@@ -1,0 +1,52 @@
+// Shared helpers for the figure-reproduction bench binaries: consistent
+// headers, normalized series, and CSV emission next to the ASCII tables so
+// results can be re-plotted.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace nu::bench {
+
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", figure, description);
+  std::printf("==============================================================\n");
+}
+
+inline void PrintFooter(const char* expectation) {
+  std::printf("expected shape: %s\n\n", expectation);
+}
+
+/// Normalizes a series by its own maximum (the paper's Figs. 4/5 plot values
+/// "divided by the maximum value of the flow-level method").
+inline std::vector<double> NormalizeByMax(const std::vector<double>& values,
+                                          double max_value) {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    out.push_back(max_value > 0.0 ? v / max_value : 0.0);
+  }
+  return out;
+}
+
+/// Parses "--trials=N" style overrides so CI can run the benches fast while
+/// the default regenerates paper-quality curves.
+inline std::size_t ArgOr(int argc, char** argv, const char* prefix,
+                         std::size_t fallback) {
+  const std::string needle = std::string("--") + prefix + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(needle, 0) == 0) {
+      return static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + needle.size(), nullptr, 10));
+    }
+  }
+  return fallback;
+}
+
+}  // namespace nu::bench

@@ -1,0 +1,70 @@
+// Extension bench — quantifying the paper's fairness narrative. The paper
+// claims (without numbers) that LMTF "relaxes fairness slightly" and that
+// P-LMTF's opportunistic updating "improves fairness to some extent" over
+// LMTF while improving efficiency further. This bench scores all schedulers
+// on order fairness (1 - fraction of inverted event pairs), displacement,
+// and Jain's index over queuing delays, against their efficiency.
+#include "bench_common.h"
+#include "exp/runner.h"
+#include "metrics/fairness.h"
+
+using namespace nu;
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "Extension: fairness vs efficiency across schedulers",
+      "8-pod Fat-Tree, 30 events of 10-100 flows, alpha=4, util 65%");
+  const std::size_t trials = bench::ArgOr(argc, argv, "trials", 3);
+
+  exp::ExperimentConfig config;
+  config.fat_tree_k = 8;
+  config.utilization = 0.65;
+  config.event_count = 30;
+  config.min_flows_per_event = 10;
+  config.max_flows_per_event = 100;
+  config.alpha = 4;
+  config.seed = 16000;
+
+  AsciiTable table({"scheduler", "avg ECT (s)", "order fairness",
+                    "mean displacement", "worst pushback", "Jain (q-delay)"});
+
+  for (const auto kind :
+       {sched::SchedulerKind::kFifo, sched::SchedulerKind::kReorder,
+        sched::SchedulerKind::kLmtf, sched::SchedulerKind::kPlmtf}) {
+    double avg_ect = 0.0, order_fairness = 0.0, displacement = 0.0,
+           jain = 0.0;
+    std::size_t worst = 0;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      exp::ExperimentConfig trial_config = config;
+      trial_config.seed = config.seed + trial;
+      const exp::Workload workload(trial_config);
+      const sim::SimResult result = exp::RunScheduler(workload, kind);
+      const metrics::FairnessReport fairness =
+          metrics::ComputeFairness(result.records);
+      avg_ect += result.report.avg_ect;
+      order_fairness += fairness.OrderFairness();
+      displacement += fairness.mean_displacement;
+      jain += fairness.jain_queuing_delay;
+      worst = std::max(worst, fairness.worst_pushback);
+    }
+    const auto n = static_cast<double>(trials);
+    table.Row()
+        .Cell(sched::ToString(kind))
+        .Cell(avg_ect / n, 1)
+        .Cell(order_fairness / n, 3)
+        .Cell(displacement / n, 2)
+        .Cell(worst)
+        .Cell(jain / n, 3);
+  }
+  table.Print();
+  bench::PrintFooter(
+      "FIFO is perfectly order-fair but slow; LMTF trades order fairness "
+      "for speed. P-LMTF's fairness recovery shows up in the DELAY "
+      "dimension (every event's queuing delay shrinks, including the "
+      "displaced heavy ones — see bench_fig9), not in pairwise ordering: "
+      "opportunistic updating executes sampled events early, which trades "
+      "order inversions for much lower absolute waiting. Jain's index is "
+      "highest for FIFO because FIFO makes everyone wait long, equally — "
+      "the classic fairness-vs-efficiency tension the paper navigates");
+  return 0;
+}

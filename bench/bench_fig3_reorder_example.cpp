@@ -1,0 +1,130 @@
+// Fig. 3 — The didactic FIFO vs cost-reorder example: three events with
+// execution time 1 s each and update costs (expressed in seconds) of 4, 1,
+// and 1. FIFO yields average ECT (5+7+9)/3 = 7 s; ordering by update cost
+// yields (2+4+9)/3 = 5 s with the same tail.
+//
+// We reproduce it with the real simulator: a tiny network where event U1
+// requires migrating 4 cost-units of background traffic while U2/U3 require
+// 1 each, and the cost model maps 1 cost-unit to 1 second.
+#include "bench_common.h"
+#include "sched/factory.h"
+#include "sim/simulator.h"
+#include "topo/fat_tree.h"
+#include "topo/path_provider.h"
+
+using namespace nu;
+
+namespace {
+
+/// Three events with (migration cost, execution time) = (4,1), (1,1), (1,1)
+/// in seconds, scheduled analytically as in the figure.
+void Analytic() {
+  const double costs[3] = {4.0, 1.0, 1.0};
+  auto simulate = [&](const std::vector<int>& order) {
+    double t = 0.0;
+    std::vector<double> completion(3);
+    for (int i : order) {
+      t += costs[i] + 1.0;
+      completion[static_cast<std::size_t>(i)] = t;
+    }
+    double sum = 0.0, tail = 0.0;
+    for (double c : completion) {
+      sum += c;
+      tail = std::max(tail, c);
+    }
+    std::printf("  completions U1=%.0fs U2=%.0fs U3=%.0fs -> avg %.2fs, "
+                "tail %.0fs\n",
+                completion[0], completion[1], completion[2], sum / 3.0, tail);
+  };
+  std::printf("FIFO order (U1, U2, U3):\n");
+  simulate({0, 1, 2});
+  std::printf("cost order (U2, U3, U1):\n");
+  simulate({1, 2, 0});
+}
+
+/// The same story through the real machinery: a congested fabric forces U1
+/// to migrate twice the background traffic of U2/U3.
+///
+/// Setup (k=4, 100 Mbps links, same-pod host pairs with 2 candidate paths):
+///   U1 = host0->host2 (pod 0): both agg paths carry 2x20 Mbps blockers from
+///        host1->host3, so a 90 Mbps flow has a 30 Mbps deficit and must
+///        migrate two blockers (cost 40 Mbps).
+///   U2 = host4->host6, U3 = host8->host10 (pods 1, 2): one 20 Mbps blocker
+///        per path, deficit 10 Mbps, one blocker migrates (cost 20 Mbps).
+/// With migration_rate = 20 Mbps/s those costs become 2 s vs 1 s of
+/// migration time, against 1 s of execution per event.
+void Simulated() {
+  topo::FatTree ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0});
+  topo::FatTreePathProvider provider(ft);
+  net::Network network(ft.graph());
+
+  // Loads every candidate path of (src, dst) with `per_path` static 20 Mbps
+  // blockers.
+  auto block = [&](std::size_t src, std::size_t dst, int per_path) {
+    for (const topo::Path& p : provider.Paths(ft.host(src), ft.host(dst))) {
+      for (int i = 0; i < per_path; ++i) {
+        flow::Flow f;
+        f.src = ft.host(src);
+        f.dst = ft.host(dst);
+        f.demand = 20.0;
+        f.duration = 1e6;  // background is static
+        if (network.CanPlace(f.demand, p)) network.Place(std::move(f), p);
+      }
+    }
+  };
+  block(1, 3, 2);   // pod 0: heavy interference for U1
+  block(5, 7, 1);   // pod 1: light interference for U2
+  block(9, 11, 1);  // pod 2: light interference for U3
+
+  auto event = [&](std::uint64_t id, std::size_t src, std::size_t dst) {
+    flow::Flow f;
+    f.src = ft.host(src);
+    f.dst = ft.host(dst);
+    f.demand = 90.0;  // exceeds the blocked residual on every path
+    f.duration = 1.0;
+    return update::UpdateEvent(EventId{id}, 0.0, {f});
+  };
+  std::vector<update::UpdateEvent> events;
+  events.push_back(event(1, 0, 2));
+  events.push_back(event(2, 4, 6));
+  events.push_back(event(3, 8, 10));
+
+  sim::SimConfig config;
+  config.cost_model.plan_time_per_flow = 0.0001;
+  config.cost_model.migration_rate = 20.0;       // 20 Mbps migrated = 1 s
+  config.cost_model.install_time_per_flow = 1.0;  // execution time = 1 s
+  config.seed = 2;
+  sim::Simulator simulator(network, provider, config);
+
+  AsciiTable table({"scheduler", "U1 ECT", "U2 ECT", "U3 ECT", "avg ECT",
+                    "tail ECT"});
+  for (const auto kind :
+       {sched::SchedulerKind::kFifo, sched::SchedulerKind::kReorder}) {
+    const auto scheduler = sched::MakeScheduler(kind);
+    const sim::SimResult result = simulator.Run(*scheduler, events);
+    table.Row()
+        .Cell(sched::ToString(kind))
+        .Cell(result.records[0].Ect(), 2)
+        .Cell(result.records[1].Ect(), 2)
+        .Cell(result.records[2].Ect(), 2)
+        .Cell(result.report.avg_ect, 2)
+        .Cell(result.report.tail_ect, 2);
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 3: LMTF-style reordering reduces average ECT against FIFO",
+      "three events, execution 1 s each, update costs 4/1/1 s");
+  Analytic();
+  std::printf("\nsimulated on a real k=4 Fat-Tree (migration rate scaled so "
+              "cost maps to seconds):\n");
+  Simulated();
+  bench::PrintFooter(
+      "reordering by cost cuts average ECT (paper: 7 s -> 5 s) while tail "
+      "ECT stays the same");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 5 — Average and tail ECT of flow-level vs event-level scheduling as
+// the number of queued update events grows (10..50), each event with 10-100
+// flows, utilization 70%. Normalized by the flow-level maximum.
+#include <algorithm>
+
+#include "bench_common.h"
+#include "exp/runner.h"
+
+using namespace nu;
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "Figure 5: flow-level vs event-level ECT vs number of events",
+      "8-pod Fat-Tree, 10..50 events of 10-100 flows, utilization 70%");
+  const std::size_t trials = bench::ArgOr(argc, argv, "trials", 3);
+
+  struct Point {
+    std::size_t events;
+    double flow_avg, flow_tail, event_avg, event_tail;
+  };
+  std::vector<Point> points;
+  double flow_avg_max = 0.0, flow_tail_max = 0.0;
+
+  for (std::size_t events = 10; events <= 50; events += 10) {
+    exp::ExperimentConfig config;
+    config.fat_tree_k = 8;
+    config.utilization = 0.7;
+    config.event_count = events;
+    config.min_flows_per_event = 10;
+    config.max_flows_per_event = 100;
+    config.seed = 5000 + events;
+
+    const std::vector<sched::SchedulerKind> kinds{sched::SchedulerKind::kPlmtf};
+    const exp::ComparisonResult result =
+        exp::CompareSchedulers(config, kinds, true, trials);
+    const auto& flow = result.mean_by_name.at(exp::kFlowLevelName);
+    const auto& event = result.mean_by_name.at("p-lmtf");
+    points.push_back(Point{events, flow.avg_ect, flow.tail_ect, event.avg_ect,
+                           event.tail_ect});
+    flow_avg_max = std::max(flow_avg_max, flow.avg_ect);
+    flow_tail_max = std::max(flow_tail_max, flow.tail_ect);
+  }
+
+  AsciiTable table({"events", "flow-level avg (norm)", "event-level avg (norm)",
+                    "flow-level tail (norm)", "event-level tail (norm)",
+                    "avg speedup", "tail speedup"});
+  for (const Point& p : points) {
+    table.Row()
+        .Cell(p.events)
+        .Cell(p.flow_avg / flow_avg_max, 3)
+        .Cell(p.event_avg / flow_avg_max, 3)
+        .Cell(p.flow_tail / flow_tail_max, 3)
+        .Cell(p.event_tail / flow_tail_max, 3)
+        .Cell(p.flow_avg / p.event_avg, 2)
+        .Cell(p.flow_tail / p.event_tail, 2);
+  }
+  table.Print();
+  bench::PrintFooter(
+      "both methods grow with queue length; event-level stays ~5x (avg) and "
+      "~2x (tail) below flow-level on average, with flow-level jumping "
+      "around 30 events");
+  return 0;
+}

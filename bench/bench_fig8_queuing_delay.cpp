@@ -1,0 +1,54 @@
+// Fig. 8 — Reduction in average and worst-case event queuing delay with
+// LMTF and P-LMTF against FIFO, for 10..50 heterogeneous events,
+// utilization 50-70%, alpha = 4.
+#include "bench_common.h"
+#include "exp/runner.h"
+
+using namespace nu;
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "Figure 8: event queuing-delay reduction vs FIFO",
+      "8-pod Fat-Tree, 10..50 events of 10-100 flows, alpha=4, util 50-70%");
+  const std::size_t trials = bench::ArgOr(argc, argv, "trials", 5);
+
+  AsciiTable table({"events", "LMTF avg red.", "LMTF worst red.",
+                    "P-LMTF avg red.", "P-LMTF worst red."});
+  const std::vector<sched::SchedulerKind> kinds{
+      sched::SchedulerKind::kFifo, sched::SchedulerKind::kLmtf,
+      sched::SchedulerKind::kPlmtf};
+
+  for (std::size_t events = 10; events <= 50; events += 10) {
+    exp::ExperimentConfig config;
+    config.fat_tree_k = 8;
+    // The paper's background "fluctuates between 50% and 70%"; our static
+    // target sits in the upper middle of that band.
+    config.utilization = 0.65;
+    config.event_count = events;
+    config.min_flows_per_event = 10;
+    config.max_flows_per_event = 100;
+    config.alpha = 4;
+    config.seed = 8000 + events;
+
+    const exp::ComparisonResult result =
+        exp::CompareSchedulers(config, kinds, false, trials);
+    const auto& fifo = result.mean_by_name.at("fifo");
+    const auto& lmtf = result.mean_by_name.at("lmtf");
+    const auto& plmtf = result.mean_by_name.at("p-lmtf");
+    table.Row()
+        .Cell(events)
+        .Cell(PercentString(
+            ReductionVs(fifo.avg_queuing_delay, lmtf.avg_queuing_delay)))
+        .Cell(PercentString(
+            ReductionVs(fifo.worst_queuing_delay, lmtf.worst_queuing_delay)))
+        .Cell(PercentString(
+            ReductionVs(fifo.avg_queuing_delay, plmtf.avg_queuing_delay)))
+        .Cell(PercentString(
+            ReductionVs(fifo.worst_queuing_delay, plmtf.worst_queuing_delay)));
+  }
+  table.Print();
+  bench::PrintFooter(
+      "paper: LMTF reduces avg queuing delay 20-40% and worst-case 10-30%; "
+      "P-LMTF 67-83% and 60-74%; roughly stable across queue sizes");
+  return 0;
+}

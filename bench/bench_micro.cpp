@@ -1,0 +1,119 @@
+// Microbenchmarks (google-benchmark) of the library's hot paths: path
+// enumeration, admission checks, migration planning, event cost probes, and
+// network copies (the what-if primitive every probe relies on).
+#include <benchmark/benchmark.h>
+
+#include "exp/workload.h"
+#include "net/admission.h"
+#include "topo/ksp.h"
+#include "update/planner.h"
+
+namespace {
+
+using namespace nu;
+
+const exp::Workload& SharedWorkload() {
+  static const exp::Workload* workload = [] {
+    exp::ExperimentConfig config;
+    config.fat_tree_k = 8;
+    config.utilization = 0.7;
+    config.event_count = 10;
+    config.seed = 42;
+    return new exp::Workload(config);
+  }();
+  return *workload;
+}
+
+void BM_FatTreePathEnumeration(benchmark::State& state) {
+  const topo::FatTree ft(topo::FatTreeConfig{
+      .k = static_cast<std::size_t>(state.range(0)), .link_capacity = 1000.0});
+  const NodeId src = ft.host(0);
+  const NodeId dst = ft.host(ft.host_count() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ft.HostPaths(src, dst));
+  }
+}
+BENCHMARK(BM_FatTreePathEnumeration)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_YenKsp(benchmark::State& state) {
+  const topo::FatTree ft(topo::FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  const NodeId src = ft.host(0);
+  const NodeId dst = ft.host(ft.host_count() - 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::YenKShortestPaths(
+        ft.graph(), src, dst, static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_YenKsp)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_AdmissionCheck(benchmark::State& state) {
+  const exp::Workload& w = SharedWorkload();
+  Rng rng(1);
+  const auto hosts = w.hosts();
+  for (auto _ : state) {
+    const NodeId src = hosts[rng.Index(hosts.size())];
+    NodeId dst = src;
+    while (dst == src) dst = hosts[rng.Index(hosts.size())];
+    benchmark::DoNotOptimize(
+        net::CanAdmit(w.network(), w.paths(), src, dst, 50.0));
+  }
+}
+BENCHMARK(BM_AdmissionCheck);
+
+void BM_NetworkCopy(benchmark::State& state) {
+  const exp::Workload& w = SharedWorkload();
+  for (auto _ : state) {
+    net::Network copy = w.network();
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_NetworkCopy);
+
+void BM_EventCostProbe(benchmark::State& state) {
+  const exp::Workload& w = SharedWorkload();
+  const update::EventPlanner planner(w.paths());
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& event = w.events()[i % w.events().size()];
+    benchmark::DoNotOptimize(planner.Plan(w.network(), event));
+    ++i;
+  }
+}
+BENCHMARK(BM_EventCostProbe);
+
+void BM_MigrationPlan(benchmark::State& state) {
+  const exp::Workload& w = SharedWorkload();
+  const update::MigrationOptimizer optimizer(w.paths());
+  Rng rng(2);
+  const auto hosts = w.hosts();
+  for (auto _ : state) {
+    const NodeId src = hosts[rng.Index(hosts.size())];
+    NodeId dst = hosts[rng.Index(hosts.size())];
+    if (src == dst) continue;
+    const auto& paths = w.paths().Paths(src, dst);
+    benchmark::DoNotOptimize(
+        optimizer.Plan(w.network(), 200.0, paths[rng.Index(paths.size())]));
+  }
+}
+BENCHMARK(BM_MigrationPlan);
+
+void BM_SelectCoverSet(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> weights;
+  for (int i = 0; i < 20; ++i) weights.push_back(rng.Uniform(1.0, 50.0));
+  const auto strategy =
+      static_cast<update::MigrationStrategy>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        update::SelectCoverSet(weights, 120.0, strategy));
+  }
+}
+BENCHMARK(BM_SelectCoverSet)
+    ->Arg(static_cast<int>(update::MigrationStrategy::kGreedyLargestFirst))
+    ->Arg(static_cast<int>(update::MigrationStrategy::kBestFitDecreasing))
+    ->Arg(static_cast<int>(update::MigrationStrategy::kLocalSearch))
+    ->Arg(static_cast<int>(update::MigrationStrategy::kExactSmall));
+
+}  // namespace
+
+BENCHMARK_MAIN();

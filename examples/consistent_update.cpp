@@ -1,0 +1,109 @@
+// Consistent-update demo: a congested flow insertion triggers a migration
+// plan; we realize the plan as a two-phase rule schedule and show that a
+// packet forwarded at EVERY intermediate step stays on exactly one version's
+// path — and that the naive in-place reroute breaks.
+//
+// Run:  ./consistent_update
+#include <cstdio>
+
+#include "consistent/migration_bridge.h"
+#include "topo/fat_tree.h"
+#include "topo/path_provider.h"
+
+using namespace nu;
+
+namespace {
+
+const char* OutcomeName(consistent::ForwardOutcome outcome) {
+  switch (outcome) {
+    case consistent::ForwardOutcome::kDelivered:
+      return "delivered";
+    case consistent::ForwardOutcome::kDropped:
+      return "DROPPED";
+    case consistent::ForwardOutcome::kLooped:
+      return "LOOPED";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  topo::FatTree ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0});
+  topo::FatTreePathProvider provider(ft);
+  net::Network network(ft.graph());
+
+  // A blocker occupies the desired path of a new 90 Mbps flow.
+  const auto& blocker_paths = provider.Paths(ft.host(1), ft.host(3));
+  flow::Flow blocker;
+  blocker.src = ft.host(1);
+  blocker.dst = ft.host(3);
+  blocker.demand = 60.0;
+  blocker.duration = 100.0;
+  const FlowId blocker_id = network.Place(blocker, blocker_paths[0]);
+
+  const auto& desired = provider.Paths(ft.host(0), ft.host(2))[0];
+  std::printf("new flow host0->host2 needs 90 Mbps; desired path residual "
+              "%.0f Mbps -> migration required\n",
+              network.Residual(desired.links[1]));
+
+  const update::MigrationOptimizer optimizer(provider);
+  const update::MigrationPlan plan = optimizer.Plan(network, 90.0, desired);
+  std::printf("migration plan: %zu move(s), %.0f Mbps migrated, feasible=%s\n",
+              plan.moves.size(), plan.migrated_traffic,
+              plan.feasible ? "yes" : "no");
+
+  // Realize the plan on the data plane with two-phase consistency.
+  consistent::VersionTracker versions;
+  consistent::RuleTable rules;
+  consistent::ApplyAll(
+      rules, consistent::PlanForPlacement(blocker_id,
+                                          network.PathOf(blocker_id),
+                                          versions));
+  const auto schedule = consistent::PlanForMigration(network, plan, versions);
+  std::printf("\ntwo-phase schedule: %zu rule ops (%.1f ms at 2 ms/op)\n",
+              schedule.size(),
+              consistent::ScheduleDuration(schedule, 0.002) * 1000.0);
+
+  const topo::Path& old_path = network.PathOf(blocker_id);
+  const topo::Path& new_path = plan.moves[0].new_path;
+  int consistent_steps = 0;
+  for (std::size_t prefix = 0; prefix <= schedule.size(); ++prefix) {
+    consistent::RuleTable step = rules;
+    for (std::size_t i = 0; i < prefix; ++i) {
+      consistent::Apply(step, schedule[i]);
+    }
+    const auto fwd = consistent::ForwardPacket(ft.graph(), step, blocker_id,
+                                               ft.host(1), ft.host(3));
+    const bool on_one_path =
+        fwd.hops == old_path.nodes || fwd.hops == new_path.nodes;
+    if (fwd.outcome == consistent::ForwardOutcome::kDelivered && on_one_path) {
+      ++consistent_steps;
+    }
+  }
+  std::printf("per-packet consistency: %d/%zu intermediate states safe\n",
+              consistent_steps, schedule.size() + 1);
+
+  // The naive baseline: overwrite rules in place.
+  const auto naive = consistent::PlanDirectReroute(blocker_id, old_path,
+                                                   new_path, 0);
+  std::printf("\nnaive in-place reroute (%zu ops):\n", naive.size());
+  for (std::size_t prefix = 0; prefix <= naive.size(); ++prefix) {
+    consistent::RuleTable step = rules;
+    for (std::size_t i = 0; i < prefix; ++i) {
+      consistent::Apply(step, naive[i]);
+    }
+    const auto fwd = consistent::ForwardPacket(ft.graph(), step, blocker_id,
+                                               ft.host(1), ft.host(3));
+    const bool on_one_path =
+        fwd.hops == old_path.nodes || fwd.hops == new_path.nodes;
+    if (fwd.outcome != consistent::ForwardOutcome::kDelivered ||
+        !on_one_path) {
+      std::printf("  after op %zu: packet %s%s  <-- anomaly two-phase "
+                  "prevents\n",
+                  prefix, OutcomeName(fwd.outcome),
+                  on_one_path ? "" : " (mixed path)");
+    }
+  }
+  return 0;
+}

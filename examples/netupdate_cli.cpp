@@ -1,0 +1,139 @@
+// netupdate_cli — run any experiment the library supports from the command
+// line and print the paper's five metrics per scheduler, optionally as CSV.
+//
+//   ./netupdate_cli --events=30 --utilization=0.7 --alpha=4
+//       --schedulers=fifo,lmtf,p-lmtf --flow-level --trials=3 --csv
+//
+// Flags (defaults in brackets):
+//   --topology=fat-tree|leaf-spine [fat-tree]   --k=8       fat-tree pods
+//   --utilization=0.7    target fabric utilization
+//   --events=20          queued update events
+//   --min-flows=10 --max-flows=100               flows per event
+//   --alpha=4            LMTF/P-LMTF sample size
+//   --trials=1           workload seeds averaged
+//   --seed=1             base seed
+//   --schedulers=...     comma list of fifo,reorder,lmtf,p-lmtf [all]
+//   --flow-level         include the flow-level baseline
+//   --static-background  disable background churn (Fig. 7 setting)
+//   --quick-probes       estimate-based LMTF cost probes (~10x cheaper)
+//   --trace=yahoo-like|benson|uniform [yahoo-like]
+//   --csv                emit CSV instead of an ASCII table
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/table.h"
+#include "exp/runner.h"
+
+using namespace nu;
+
+namespace {
+
+std::vector<std::string> SplitCommaList(const std::string& list) {
+  std::vector<std::string> out;
+  std::istringstream stream(list);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+exp::TraceFamily ParseTrace(const std::string& name) {
+  if (name == "yahoo-like") return exp::TraceFamily::kYahooLike;
+  if (name == "benson") return exp::TraceFamily::kBenson;
+  if (name == "uniform") return exp::TraceFamily::kUniform;
+  std::fprintf(stderr, "unknown trace family: %s\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags = Flags::Parse(argc, argv);
+  if (flags.Has("help")) {
+    std::printf("see the header comment of examples/netupdate_cli.cpp\n");
+    return 0;
+  }
+
+  exp::ExperimentConfig config;
+  const std::string topology = flags.GetString("topology", "fat-tree");
+  if (topology == "leaf-spine") {
+    config.topology = exp::TopologyKind::kLeafSpine;
+  } else if (topology != "fat-tree") {
+    std::fprintf(stderr, "unknown topology: %s\n", topology.c_str());
+    return 2;
+  }
+  config.fat_tree_k = flags.GetUint("k", 8);
+  config.utilization = flags.GetDouble("utilization", 0.7);
+  config.event_count = flags.GetUint("events", 20);
+  config.min_flows_per_event = flags.GetUint("min-flows", 10);
+  config.max_flows_per_event = flags.GetUint("max-flows", 100);
+  config.alpha = flags.GetUint("alpha", 4);
+  config.seed = flags.GetUint("seed", 1);
+  config.background_trace = ParseTrace(flags.GetString("trace", "yahoo-like"));
+  config.background_churn = !flags.GetBool("static-background", false);
+  config.sim.quick_cost_probes = flags.GetBool("quick-probes", false);
+  const std::size_t trials = flags.GetUint("trials", 1);
+  const bool include_flow_level = flags.GetBool("flow-level", false);
+  const bool as_csv = flags.GetBool("csv", false);
+
+  std::vector<sched::SchedulerKind> kinds;
+  for (const std::string& name : SplitCommaList(
+           flags.GetString("schedulers", "fifo,reorder,lmtf,p-lmtf"))) {
+    kinds.push_back(sched::ParseSchedulerKind(name));
+  }
+
+  const auto unknown = flags.UnqueriedFlags();
+  if (!unknown.empty()) {
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+    }
+    return 2;
+  }
+
+  const exp::ComparisonResult result =
+      exp::CompareSchedulers(config, kinds, include_flow_level, trials);
+
+  const std::vector<std::string> headers{
+      "scheduler",        "avg_ect_s",  "tail_ect_s", "total_cost_mbps",
+      "plan_time_s",      "avg_qdelay_s", "worst_qdelay_s", "makespan_s"};
+  if (as_csv) {
+    CsvWriter writer(std::cout);
+    writer.WriteRow(headers);
+    for (const auto& [name, r] : result.mean_by_name) {
+      writer.WriteRow({name, FormatDouble(r.avg_ect, 3),
+                       FormatDouble(r.tail_ect, 3),
+                       FormatDouble(r.total_cost, 1),
+                       FormatDouble(r.total_plan_time, 3),
+                       FormatDouble(r.avg_queuing_delay, 3),
+                       FormatDouble(r.worst_queuing_delay, 3),
+                       FormatDouble(r.makespan, 3)});
+    }
+    return 0;
+  }
+
+  std::printf("%s k=%zu util=%.2f events=%zu flows=[%zu,%zu] alpha=%zu "
+              "trials=%zu churn=%s trace=%s\n\n",
+              exp::ToString(config.topology), config.fat_tree_k,
+              config.utilization, config.event_count,
+              config.min_flows_per_event, config.max_flows_per_event,
+              config.alpha, trials, config.background_churn ? "on" : "off",
+              exp::ToString(config.background_trace));
+  AsciiTable table(headers);
+  for (const auto& [name, r] : result.mean_by_name) {
+    table.Row()
+        .Cell(name)
+        .Cell(r.avg_ect, 2)
+        .Cell(r.tail_ect, 2)
+        .Cell(r.total_cost, 0)
+        .Cell(r.total_plan_time, 2)
+        .Cell(r.avg_queuing_delay, 2)
+        .Cell(r.worst_queuing_delay, 2)
+        .Cell(r.makespan, 2);
+  }
+  table.Print();
+  return 0;
+}

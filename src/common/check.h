@@ -1,0 +1,32 @@
+// Lightweight contract checking, in the spirit of the Core Guidelines
+// `Expects`/`Ensures`. Violations abort with a message; checks stay enabled in
+// release builds because all users of this library are simulations where
+// correctness matters far more than the branch cost.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nu::detail {
+
+[[noreturn]] inline void CheckFailed(const char* kind, const char* expr,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "%s failed: %s at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace nu::detail
+
+#define NU_CHECK(expr)                                                \
+  ((expr) ? static_cast<void>(0)                                      \
+          : ::nu::detail::CheckFailed("NU_CHECK", #expr, __FILE__, __LINE__))
+
+#define NU_EXPECTS(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                      \
+          : ::nu::detail::CheckFailed("Precondition", #expr, __FILE__, \
+                                      __LINE__))
+
+#define NU_ENSURES(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                      \
+          : ::nu::detail::CheckFailed("Postcondition", #expr, __FILE__, \
+                                      __LINE__))

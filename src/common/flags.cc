@@ -1,0 +1,103 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace nu {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positionals_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[body.substr(0, eq)] = {body.substr(eq + 1), false};
+      continue;
+    }
+    // `--name value` when the next token is not a flag; bare boolean
+    // otherwise.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags.values_[body] = {argv[i + 1], false};
+      ++i;
+    } else {
+      flags.values_[body] = {"", false};
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  it->second.second = true;
+  return true;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  return it->second.first;
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  char* end = nullptr;
+  const double value = std::strtod(it->second.first.c_str(), &end);
+  NU_CHECK(end != it->second.first.c_str() && *end == '\0');
+  return value;
+}
+
+std::int64_t Flags::GetInt(const std::string& name,
+                           std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  char* end = nullptr;
+  const std::int64_t value =
+      std::strtoll(it->second.first.c_str(), &end, 10);
+  NU_CHECK(end != it->second.first.c_str() && *end == '\0');
+  return value;
+}
+
+std::uint64_t Flags::GetUint(const std::string& name,
+                             std::uint64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  char* end = nullptr;
+  const std::uint64_t value =
+      std::strtoull(it->second.first.c_str(), &end, 10);
+  NU_CHECK(end != it->second.first.c_str() && *end == '\0');
+  return value;
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  it->second.second = true;
+  const std::string& v = it->second.first;
+  if (v.empty() || v == "true" || v == "1") return true;
+  if (v == "false" || v == "0") return false;
+  NU_CHECK(false && "unparsable boolean flag");
+  return fallback;
+}
+
+std::vector<std::string> Flags::UnqueriedFlags() const {
+  std::vector<std::string> unqueried;
+  for (const auto& [name, entry] : values_) {
+    if (!entry.second) unqueried.push_back(name);
+  }
+  return unqueried;
+}
+
+}  // namespace nu

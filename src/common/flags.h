@@ -1,0 +1,49 @@
+// Minimal command-line flag parsing for the example/CLI binaries:
+// `--name=value` and `--name value` forms, typed getters with defaults, and
+// automatic `--help` text. No global state.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nu {
+
+class Flags {
+ public:
+  /// Parses argv. Flags are `--name=value`, `--name value`, or boolean
+  /// `--name`. Non-flag arguments are collected as positionals. Aborts on a
+  /// malformed argument (not starting with `--` is positional, fine).
+  static Flags Parse(int argc, char** argv);
+
+  [[nodiscard]] bool Has(const std::string& name) const;
+
+  /// Typed getters; return `fallback` when absent. Abort on unparsable
+  /// values for the requested type.
+  [[nodiscard]] std::string GetString(const std::string& name,
+                                      const std::string& fallback) const;
+  [[nodiscard]] double GetDouble(const std::string& name,
+                                 double fallback) const;
+  [[nodiscard]] std::int64_t GetInt(const std::string& name,
+                                    std::int64_t fallback) const;
+  [[nodiscard]] std::uint64_t GetUint(const std::string& name,
+                                      std::uint64_t fallback) const;
+  /// Boolean: present without value (or "true"/"1") => true;
+  /// "false"/"0" => false.
+  [[nodiscard]] bool GetBool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const {
+    return positionals_;
+  }
+
+  /// Names given on the command line that were never queried — typo guard
+  /// for CLI tools (call after all getters).
+  [[nodiscard]] std::vector<std::string> UnqueriedFlags() const;
+
+ private:
+  mutable std::map<std::string, std::pair<std::string, bool>> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace nu

@@ -1,0 +1,127 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "common/check.h"
+
+namespace nu {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  NU_EXPECTS(hi > lo);
+  NU_EXPECTS(buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto bucket = static_cast<std::size_t>((x - lo_) / bucket_width_);
+  bucket = std::min(bucket, counts_.size() - 1);
+  ++counts_[bucket];
+}
+
+std::size_t Histogram::count(std::size_t bucket) const {
+  NU_EXPECTS(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  NU_EXPECTS(bucket < counts_.size());
+  return lo_ + bucket_width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return bucket_lo(bucket) + bucket_width_;
+}
+
+double Histogram::CumulativeFraction(std::size_t bucket) const {
+  NU_EXPECTS(bucket < counts_.size());
+  if (total_ == 0) return 0.0;
+  std::size_t cum = underflow_;
+  for (std::size_t i = 0; i <= bucket; ++i) cum += counts_[i];
+  return static_cast<double>(cum) / static_cast<double>(total_);
+}
+
+namespace {
+
+std::string RenderRows(const std::vector<std::size_t>& counts,
+                       const std::function<double(std::size_t)>& lo_of,
+                       const std::function<double(std::size_t)>& hi_of,
+                       std::size_t width) {
+  std::size_t max_count = 1;
+  for (std::size_t c : counts) max_count = std::max(max_count, c);
+  std::string out;
+  char buf[128];
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const auto bar_len = static_cast<std::size_t>(
+        static_cast<double>(counts[i]) / static_cast<double>(max_count) *
+        static_cast<double>(width));
+    std::snprintf(buf, sizeof(buf), "[%11.4g, %11.4g) %8zu ", lo_of(i),
+                  hi_of(i), counts[i]);
+    out += buf;
+    out.append(std::max<std::size_t>(bar_len, 1), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Histogram::Render(std::size_t width) const {
+  return RenderRows(
+      counts_, [this](std::size_t i) { return bucket_lo(i); },
+      [this](std::size_t i) { return bucket_hi(i); }, width);
+}
+
+LogHistogram::LogHistogram(double scale, double base, std::size_t buckets)
+    : scale_(scale), base_(base), counts_(buckets, 0) {
+  NU_EXPECTS(scale > 0.0);
+  NU_EXPECTS(base > 1.0);
+  NU_EXPECTS(buckets > 0);
+}
+
+void LogHistogram::Add(double x) {
+  ++total_;
+  if (x < scale_) {
+    ++underflow_;
+    return;
+  }
+  auto bucket = static_cast<std::size_t>(std::log(x / scale_) / std::log(base_));
+  bucket = std::min(bucket, counts_.size() - 1);
+  ++counts_[bucket];
+}
+
+std::size_t LogHistogram::count(std::size_t bucket) const {
+  NU_EXPECTS(bucket < counts_.size());
+  return counts_[bucket];
+}
+
+double LogHistogram::bucket_lo(std::size_t bucket) const {
+  NU_EXPECTS(bucket < counts_.size());
+  return scale_ * std::pow(base_, static_cast<double>(bucket));
+}
+
+double LogHistogram::bucket_hi(std::size_t bucket) const {
+  NU_EXPECTS(bucket < counts_.size());
+  return scale_ * std::pow(base_, static_cast<double>(bucket + 1));
+}
+
+std::string LogHistogram::Render(std::size_t width) const {
+  return RenderRows(
+      counts_, [this](std::size_t i) { return bucket_lo(i); },
+      [this](std::size_t i) { return bucket_hi(i); }, width);
+}
+
+}  // namespace nu

@@ -1,0 +1,69 @@
+// Fixed-bucket and log-bucket histograms, used for flow-size / ECT
+// distributions in reports and for validating generated traces against the
+// heavy-tail shapes the paper's workloads assume.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nu {
+
+/// Linear histogram over [lo, hi) with `buckets` equal-width buckets plus
+/// underflow/overflow counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double x);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bucket) const;
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const;
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const;
+
+  /// Fraction of samples at or below the upper edge of `bucket`
+  /// (underflow included; overflow excluded until the end).
+  [[nodiscard]] double CumulativeFraction(std::size_t bucket) const;
+
+  /// Multi-line ASCII rendering (one row per bucket with a bar).
+  [[nodiscard]] std::string Render(std::size_t width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Logarithmic histogram: bucket i covers [base^i * scale, base^(i+1) * scale).
+/// Suits heavy-tailed flow-size distributions spanning many decades.
+class LogHistogram {
+ public:
+  explicit LogHistogram(double scale = 1.0, double base = 2.0,
+                        std::size_t buckets = 48);
+
+  void Add(double x);
+
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bucket) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double bucket_lo(std::size_t bucket) const;
+  [[nodiscard]] double bucket_hi(std::size_t bucket) const;
+  [[nodiscard]] std::string Render(std::size_t width = 40) const;
+
+ private:
+  double scale_;
+  double base_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace nu

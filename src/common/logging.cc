@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nu {
+namespace {
+
+std::atomic<int>& LevelStorage() {
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("NU_LOG_LEVEL");
+    const LogLevel initial = env ? ParseLogLevel(env) : LogLevel::kWarn;
+    return static_cast<int>(initial);
+  }();
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelStorage().load()); }
+
+void SetLogLevel(LogLevel level) {
+  LevelStorage().store(static_cast<int>(level));
+}
+
+LogLevel ParseLogLevel(const std::string& name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+namespace detail {
+
+void Emit(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace nu

@@ -1,0 +1,54 @@
+// Minimal leveled logging. Simulations print through this so that verbose
+// tracing can be switched on per-run (e.g. NU_LOG_LEVEL=debug in tests)
+// without recompiling.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nu {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded. Initialized from the
+/// NU_LOG_LEVEL environment variable (debug|info|warn|error), default warn.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"; returns kWarn for anything else.
+LogLevel ParseLogLevel(const std::string& name);
+
+namespace detail {
+void Emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace nu
+
+#define NU_LOG(level)                                      \
+  if (static_cast<int>(::nu::LogLevel::level) <            \
+      static_cast<int>(::nu::GetLogLevel())) {             \
+  } else                                                   \
+    ::nu::detail::LogLine(::nu::LogLevel::level)
+
+#define NU_LOG_DEBUG NU_LOG(kDebug)
+#define NU_LOG_INFO NU_LOG(kInfo)
+#define NU_LOG_WARN NU_LOG(kWarn)
+#define NU_LOG_ERROR NU_LOG(kError)

@@ -1,0 +1,136 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace nu {
+namespace {
+
+// splitmix64: used only to expand the user seed into the xoshiro state.
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+  // All-zero state is the one invalid state for xoshiro.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::Next() {
+  // xoshiro256**
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  NU_EXPECTS(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(Next());  // full range
+  // Debiased via rejection sampling (Lemire-style threshold).
+  const std::uint64_t threshold = (0 - range) % range;
+  for (;;) {
+    const std::uint64_t r = Next();
+    if (r >= threshold) {
+      return lo + static_cast<std::int64_t>(r % range);
+    }
+  }
+}
+
+double Rng::Uniform01() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  NU_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * Uniform01();
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = Uniform01();
+  } while (u1 <= 0.0);
+  const double u2 = Uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = radius * std::sin(theta);
+  has_spare_normal_ = true;
+  return mean + stddev * radius * std::cos(theta);
+}
+
+double Rng::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+double Rng::Exponential(double rate) {
+  NU_EXPECTS(rate > 0.0);
+  double u = 0.0;
+  do {
+    u = Uniform01();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::Pareto(double scale, double shape) {
+  NU_EXPECTS(scale > 0.0);
+  NU_EXPECTS(shape > 0.0);
+  double u = 0.0;
+  do {
+    u = Uniform01();
+  } while (u <= 0.0);
+  return scale / std::pow(u, 1.0 / shape);
+}
+
+bool Rng::Bernoulli(double p) {
+  NU_EXPECTS(p >= 0.0 && p <= 1.0);
+  return Uniform01() < p;
+}
+
+std::size_t Rng::Index(std::size_t n) {
+  NU_EXPECTS(n > 0);
+  return static_cast<std::size_t>(
+      UniformInt(0, static_cast<std::int64_t>(n) - 1));
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  const std::size_t take = (k < n) ? k : n;
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + Index(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(take);
+  return pool;
+}
+
+}  // namespace nu

@@ -1,0 +1,90 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace nu {
+
+std::string FormatDouble(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  NU_EXPECTS(!headers_.empty());
+}
+
+AsciiTable& AsciiTable::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+AsciiTable& AsciiTable::Cell(const std::string& text) {
+  NU_EXPECTS(!rows_.empty());
+  NU_EXPECTS(rows_.back().size() < headers_.size());
+  rows_.back().push_back(text);
+  return *this;
+}
+
+AsciiTable& AsciiTable::Cell(double value, int precision) {
+  return Cell(FormatDouble(value, precision));
+}
+
+AsciiTable& AsciiTable::Cell(std::size_t value) {
+  return Cell(std::to_string(value));
+}
+
+AsciiTable& AsciiTable::Cell(int value) { return Cell(std::to_string(value)); }
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  NU_EXPECTS(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      line += ' ';
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string separator = "+";
+  for (std::size_t w : widths) {
+    separator.append(w + 2, '-');
+    separator += '+';
+  }
+  separator += '\n';
+
+  std::string out = separator + render_row(headers_) + separator;
+  for (const auto& row : rows_) out += render_row(row);
+  out += separator;
+  return out;
+}
+
+void AsciiTable::Print() const {
+  const std::string rendered = Render();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+}  // namespace nu

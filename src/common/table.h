@@ -1,0 +1,42 @@
+// ASCII table rendering used by every bench binary to print the rows/series
+// that correspond to the paper's figures.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nu {
+
+/// Builds a fixed set of columns, accepts rows of cells, and renders an
+/// aligned monospace table. Numeric convenience overloads format doubles
+/// with a configurable precision.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent Cell() calls fill it left to right.
+  AsciiTable& Row();
+  AsciiTable& Cell(const std::string& text);
+  AsciiTable& Cell(double value, int precision = 3);
+  AsciiTable& Cell(std::size_t value);
+  AsciiTable& Cell(int value);
+
+  /// Adds a complete row at once. Size must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  [[nodiscard]] std::string Render() const;
+  /// Renders and writes to stdout.
+  void Print() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper shared with CSV output).
+[[nodiscard]] std::string FormatDouble(double value, int precision = 3);
+
+}  // namespace nu

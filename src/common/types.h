@@ -1,0 +1,112 @@
+// Strong identifier and unit types shared by every subsystem.
+//
+// All quantities in the library use these conventions:
+//   - bandwidth / rate:  Mbps (double)     e.g. a 1 Gbps link is 1000.0
+//   - traffic volume:    Mb   (double)     rate * seconds
+//   - time:              seconds (double)  simulation virtual time
+//
+// Identifiers are strong types (distinct, non-convertible) so that a NodeId
+// can never be passed where a FlowId is expected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace nu {
+
+/// CRTP strong-ID wrapper. `Tag` makes each instantiation a distinct type.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(StrongId a, StrongId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(StrongId a, StrongId b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator>(StrongId a, StrongId b) {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator<=(StrongId a, StrongId b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>=(StrongId a, StrongId b) {
+    return a.value_ >= b.value_;
+  }
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "<invalid>";
+    return os << id.value_;
+  }
+
+ private:
+  static constexpr Rep kInvalid = std::numeric_limits<Rep>::max();
+  Rep value_ = kInvalid;
+};
+
+struct NodeTag {};
+struct LinkTag {};
+struct FlowTag {};
+struct EventTag {};
+struct PathTag {};
+
+/// A switch or server in the topology graph.
+using NodeId = StrongId<NodeTag>;
+/// A directed link between two nodes.
+using LinkId = StrongId<LinkTag>;
+/// A flow (existing background flow or a flow of an update event).
+using FlowId = StrongId<FlowTag, std::uint64_t>;
+/// A network-update event (a set of flows updated together).
+using EventId = StrongId<EventTag, std::uint64_t>;
+
+/// Virtual time in seconds.
+using Seconds = double;
+/// Bandwidth in Mbps.
+using Mbps = double;
+/// Traffic volume in megabits.
+using Megabits = double;
+
+/// Tolerance used when comparing bandwidth quantities: placements accumulate
+/// floating-point error, so residual-capacity checks allow this slack.
+inline constexpr double kBandwidthEpsilon = 1e-6;
+
+[[nodiscard]] inline constexpr bool ApproxLe(double a, double b,
+                                             double eps = kBandwidthEpsilon) {
+  return a <= b + eps;
+}
+
+[[nodiscard]] inline constexpr bool ApproxGe(double a, double b,
+                                             double eps = kBandwidthEpsilon) {
+  return a + eps >= b;
+}
+
+[[nodiscard]] inline constexpr bool ApproxEq(double a, double b,
+                                             double eps = kBandwidthEpsilon) {
+  return ApproxLe(a, b, eps) && ApproxGe(a, b, eps);
+}
+
+}  // namespace nu
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<nu::StrongId<Tag, Rep>> {
+  size_t operator()(nu::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,43 @@
+#include "consistent/migration_bridge.h"
+
+namespace nu::consistent {
+
+Version VersionTracker::Current(FlowId flow) const {
+  const auto it = versions_.find(flow.value());
+  return it == versions_.end() ? 0 : it->second;
+}
+
+Version VersionTracker::Bump(FlowId flow) { return ++versions_[flow.value()]; }
+
+std::vector<RuleOp> PlanForMigration(const net::Network& network,
+                                     const update::MigrationPlan& plan,
+                                     VersionTracker& tracker) {
+  std::vector<RuleOp> ops;
+  for (const update::MigrationMove& move : plan.moves) {
+    const topo::Path& old_path = network.PathOf(move.flow);
+    const Version old_version = tracker.Current(move.flow);
+    auto reroute =
+        PlanTwoPhaseReroute(move.flow, old_path, move.new_path, old_version);
+    tracker.Bump(move.flow);
+    ops.insert(ops.end(), reroute.begin(), reroute.end());
+  }
+  return ops;
+}
+
+std::vector<RuleOp> PlanForPlacement(FlowId flow, const topo::Path& path,
+                                     VersionTracker& tracker) {
+  return PlanInitialInstall(flow, path, tracker.Current(flow));
+}
+
+std::size_t RuleOpCount(const update::MigrationPlan& plan,
+                        const net::Network& network,
+                        std::size_t placed_flow_path_hops) {
+  std::size_t ops = placed_flow_path_hops + 1;  // install + ingress tag
+  for (const update::MigrationMove& move : plan.moves) {
+    const topo::Path& old_path = network.PathOf(move.flow);
+    ops += move.new_path.links.size() + 1 + old_path.links.size();
+  }
+  return ops;
+}
+
+}  // namespace nu::consistent

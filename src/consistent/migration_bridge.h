@@ -1,0 +1,49 @@
+// Bridge between the event-level update layer and the consistent data
+// plane: turns a MigrationPlan (flow reroutes) plus new-flow placements into
+// a single per-packet-consistent rule schedule, and prices it in rule ops —
+// grounding the simulator's abstract install/migration times in concrete
+// two-phase machinery.
+#pragma once
+
+#include <vector>
+
+#include "consistent/two_phase.h"
+#include "net/network.h"
+#include "update/migration.h"
+
+namespace nu::consistent {
+
+/// Tracks per-flow versions across successive updates.
+class VersionTracker {
+ public:
+  /// Current version of a flow (0 for flows never updated).
+  [[nodiscard]] Version Current(FlowId flow) const;
+  /// Bumps and returns the new version.
+  Version Bump(FlowId flow);
+
+ private:
+  std::unordered_map<FlowId::rep_type, Version> versions_;
+};
+
+/// Rule schedule realizing a migration plan against the CURRENT paths in
+/// `network` (call before applying the plan): each move becomes a two-phase
+/// reroute from the flow's current path to its target path. Versions are
+/// taken from (and bumped in) `tracker`.
+[[nodiscard]] std::vector<RuleOp> PlanForMigration(
+    const net::Network& network, const update::MigrationPlan& plan,
+    VersionTracker& tracker);
+
+/// Rule schedule installing a brand-new flow on `path` (initial install at
+/// the tracker's current version for the flow).
+[[nodiscard]] std::vector<RuleOp> PlanForPlacement(FlowId flow,
+                                                   const topo::Path& path,
+                                                   VersionTracker& tracker);
+
+/// Total rule operations an event's update needs: migrations (two-phase per
+/// move) + placements. The per-op latency times this count is the concrete
+/// counterpart of CostModel's migration + install times.
+[[nodiscard]] std::size_t RuleOpCount(const update::MigrationPlan& plan,
+                                      const net::Network& network,
+                                      std::size_t placed_flow_path_hops);
+
+}  // namespace nu::consistent

@@ -1,0 +1,73 @@
+#include "consistent/rule_table.h"
+
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace nu::consistent {
+
+void RuleTable::Install(NodeId sw, FlowId flow, Version version,
+                        LinkId out_link) {
+  NU_EXPECTS(sw.valid());
+  NU_EXPECTS(flow.valid());
+  NU_EXPECTS(out_link.valid());
+  rules_[Key{sw.value(), flow.value(), version}] = out_link;
+}
+
+void RuleTable::Remove(NodeId sw, FlowId flow, Version version) {
+  rules_.erase(Key{sw.value(), flow.value(), version});
+}
+
+std::optional<LinkId> RuleTable::Lookup(NodeId sw, FlowId flow,
+                                        Version version) const {
+  const auto it = rules_.find(Key{sw.value(), flow.value(), version});
+  if (it == rules_.end()) return std::nullopt;
+  return it->second;
+}
+
+void RuleTable::SetIngressVersion(FlowId flow, Version version) {
+  ingress_[flow.value()] = version;
+}
+
+Version RuleTable::IngressVersion(FlowId flow) const {
+  const auto it = ingress_.find(flow.value());
+  NU_EXPECTS(it != ingress_.end());
+  return it->second;
+}
+
+std::size_t RuleTable::RuleCountForFlow(FlowId flow) const {
+  std::size_t count = 0;
+  for (const auto& [key, _] : rules_) {
+    if (key.flow == flow.value()) ++count;
+  }
+  return count;
+}
+
+ForwardResult ForwardPacket(const topo::Graph& graph, const RuleTable& rules,
+                            FlowId flow, NodeId src, NodeId dst) {
+  ForwardResult result;
+  result.version = rules.IngressVersion(flow);
+  result.hops.push_back(src);
+
+  std::unordered_set<NodeId::rep_type> visited{src.value()};
+  NodeId current = src;
+  while (current != dst) {
+    const auto out = rules.Lookup(current, flow, result.version);
+    if (!out.has_value()) {
+      result.outcome = ForwardOutcome::kDropped;
+      return result;
+    }
+    const topo::Link& link = graph.link(*out);
+    NU_CHECK(link.src == current);  // rule must point out of this switch
+    current = link.dst;
+    result.hops.push_back(current);
+    if (!visited.insert(current.value()).second) {
+      result.outcome = ForwardOutcome::kLooped;
+      return result;
+    }
+  }
+  result.outcome = ForwardOutcome::kDelivered;
+  return result;
+}
+
+}  // namespace nu::consistent

@@ -1,0 +1,101 @@
+#include "consistent/two_phase.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nu::consistent {
+
+void Apply(RuleTable& rules, const RuleOp& op) {
+  switch (op.kind) {
+    case RuleOpKind::kInstall:
+      rules.Install(op.sw, op.flow, op.version, op.out_link);
+      break;
+    case RuleOpKind::kRemove:
+      rules.Remove(op.sw, op.flow, op.version);
+      break;
+    case RuleOpKind::kFlipIngress:
+      rules.SetIngressVersion(op.flow, op.version);
+      break;
+  }
+}
+
+void ApplyAll(RuleTable& rules, std::vector<RuleOp> const& ops) {
+  for (const RuleOp& op : ops) Apply(rules, op);
+}
+
+std::vector<RuleOp> PlanInitialInstall(FlowId flow, const topo::Path& path,
+                                       Version version) {
+  NU_EXPECTS(!path.links.empty());
+  std::vector<RuleOp> ops;
+  ops.reserve(path.links.size() + 1);
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    ops.push_back(RuleOp{RuleOpKind::kInstall, path.nodes[i], flow, version,
+                         path.links[i]});
+  }
+  ops.push_back(
+      RuleOp{RuleOpKind::kFlipIngress, NodeId::invalid(), flow, version,
+             LinkId::invalid()});
+  return ops;
+}
+
+std::vector<RuleOp> PlanTwoPhaseReroute(FlowId flow,
+                                        const topo::Path& old_path,
+                                        const topo::Path& new_path,
+                                        Version old_version) {
+  NU_EXPECTS(old_path.source() == new_path.source());
+  NU_EXPECTS(old_path.destination() == new_path.destination());
+  const Version new_version = old_version + 1;
+  std::vector<RuleOp> ops;
+  ops.reserve(new_path.links.size() + 1 + old_path.links.size());
+  // Phase 1: new-version rules along the new path (order irrelevant — no
+  // packet carries the new tag yet).
+  for (std::size_t i = 0; i < new_path.links.size(); ++i) {
+    ops.push_back(RuleOp{RuleOpKind::kInstall, new_path.nodes[i], flow,
+                         new_version, new_path.links[i]});
+  }
+  // Phase 2: one atomic ingress flip.
+  ops.push_back(RuleOp{RuleOpKind::kFlipIngress, NodeId::invalid(), flow,
+                       new_version, LinkId::invalid()});
+  // Phase 3: garbage-collect the old version (after in-flight packets
+  // drain; the schedule is correct at every prefix regardless).
+  for (std::size_t i = 0; i < old_path.links.size(); ++i) {
+    ops.push_back(RuleOp{RuleOpKind::kRemove, old_path.nodes[i], flow,
+                         old_version, LinkId::invalid()});
+  }
+  return ops;
+}
+
+std::vector<RuleOp> PlanDirectReroute(FlowId flow, const topo::Path& old_path,
+                                      const topo::Path& new_path,
+                                      Version version) {
+  NU_EXPECTS(old_path.source() == new_path.source());
+  NU_EXPECTS(old_path.destination() == new_path.destination());
+  std::vector<RuleOp> ops;
+  // Overwrite along the new path, source first (the hazardous order: once
+  // the source points at the new path, downstream new-path switches may not
+  // have rules yet).
+  for (std::size_t i = 0; i < new_path.links.size(); ++i) {
+    ops.push_back(RuleOp{RuleOpKind::kInstall, new_path.nodes[i], flow,
+                         version, new_path.links[i]});
+  }
+  // Remove stale rules on old-path nodes that are not on the new path.
+  for (std::size_t i = 0; i < old_path.links.size(); ++i) {
+    const NodeId node = old_path.nodes[i];
+    const bool still_used =
+        std::find(new_path.nodes.begin(), new_path.nodes.end(), node) !=
+        new_path.nodes.end();
+    if (!still_used) {
+      ops.push_back(
+          RuleOp{RuleOpKind::kRemove, node, flow, version, LinkId::invalid()});
+    }
+  }
+  return ops;
+}
+
+Seconds ScheduleDuration(const std::vector<RuleOp>& ops, Seconds per_op) {
+  NU_EXPECTS(per_op >= 0.0);
+  return per_op * static_cast<double>(ops.size());
+}
+
+}  // namespace nu::consistent

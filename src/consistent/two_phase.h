@@ -1,0 +1,69 @@
+// Two-phase per-packet-consistent reroute (Reitblatt et al.) and the naive
+// in-place baseline it fixes.
+//
+// Two-phase: (1) install the new path's rules under version v+1 everywhere,
+// (2) flip the ingress tag to v+1, (3) remove the old version's rules. Any
+// prefix of this schedule leaves every in-flight and future packet on
+// exactly one version's complete path.
+//
+// Direct (naive): overwrite each switch's rule for version v along the new
+// path one switch at a time, then delete stale rules. Intermediate states
+// can black-hole or mis-route packets — the consistency checker in the tests
+// demonstrates it.
+#pragma once
+
+#include <vector>
+
+#include "consistent/rule_table.h"
+
+namespace nu::consistent {
+
+enum class RuleOpKind : std::uint8_t {
+  kInstall,
+  kRemove,
+  kFlipIngress,
+};
+
+/// One atomic controller action on the data plane.
+struct RuleOp {
+  RuleOpKind kind = RuleOpKind::kInstall;
+  NodeId sw;            // kInstall / kRemove
+  FlowId flow;
+  Version version = 0;  // rule version, or new ingress version for flips
+  LinkId out_link;      // kInstall
+};
+
+/// Applies one op to the table.
+void Apply(RuleTable& rules, const RuleOp& op);
+
+/// Applies all ops in order.
+void ApplyAll(RuleTable& rules, std::vector<RuleOp> const& ops);
+
+/// Rules to install a flow's initial path under `version`, plus the ingress
+/// tag. One rule per non-destination path node (source host included: it
+/// models the host's/ToR's tagging-and-forwarding entry).
+[[nodiscard]] std::vector<RuleOp> PlanInitialInstall(FlowId flow,
+                                                     const topo::Path& path,
+                                                     Version version);
+
+/// Two-phase reroute schedule: install new-version rules (new path), flip
+/// ingress, remove old-version rules (old path).
+[[nodiscard]] std::vector<RuleOp> PlanTwoPhaseReroute(FlowId flow,
+                                                      const topo::Path& old_path,
+                                                      const topo::Path& new_path,
+                                                      Version old_version);
+
+/// Naive reroute: overwrite rules in place under the SAME version, hop by
+/// hop from the source, then remove rules on old-path nodes that left the
+/// path. Not per-packet consistent.
+[[nodiscard]] std::vector<RuleOp> PlanDirectReroute(FlowId flow,
+                                                    const topo::Path& old_path,
+                                                    const topo::Path& new_path,
+                                                    Version version);
+
+/// Wall-clock duration of a schedule at `per_op` seconds per rule op —
+/// connects this module to sim::CostModel's install-time abstraction.
+[[nodiscard]] Seconds ScheduleDuration(const std::vector<RuleOp>& ops,
+                                       Seconds per_op);
+
+}  // namespace nu::consistent

@@ -1,0 +1,27 @@
+#include "exp/config.h"
+
+namespace nu::exp {
+
+const char* ToString(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kFatTree:
+      return "fat-tree";
+    case TopologyKind::kLeafSpine:
+      return "leaf-spine";
+  }
+  return "?";
+}
+
+const char* ToString(TraceFamily family) {
+  switch (family) {
+    case TraceFamily::kYahooLike:
+      return "yahoo-like";
+    case TraceFamily::kBenson:
+      return "benson";
+    case TraceFamily::kUniform:
+      return "uniform";
+  }
+  return "?";
+}
+
+}  // namespace nu::exp

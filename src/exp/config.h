@@ -1,0 +1,92 @@
+// Experiment configuration shared by the bench binaries: one struct captures
+// everything the paper's evaluation section varies (topology size, background
+// trace and utilization, event count/shape, alpha, seeds).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.h"
+#include "update/event_generator.h"
+
+namespace nu::exp {
+
+enum class TraceFamily : std::uint8_t {
+  kYahooLike,
+  kBenson,
+  kUniform,
+};
+
+[[nodiscard]] const char* ToString(TraceFamily family);
+
+enum class TopologyKind : std::uint8_t {
+  kFatTree,
+  kLeafSpine,
+};
+
+[[nodiscard]] const char* ToString(TopologyKind kind);
+
+struct ExperimentConfig {
+  /// Fabric family. The paper evaluates on a Fat-Tree; leaf-spine is
+  /// provided for generality experiments.
+  TopologyKind topology = TopologyKind::kFatTree;
+  /// Leaf-spine shape (used when topology == kLeafSpine; capacities are
+  /// derived from link_capacity and fabric_capacity_factor).
+  std::size_t leaf_spine_leaves = 16;
+  std::size_t leaf_spine_spines = 8;
+  std::size_t leaf_spine_hosts_per_leaf = 8;
+
+  /// Fat-Tree pods; the paper uses 8.
+  std::size_t fat_tree_k = 8;
+  /// Per-link capacity in Mbps; the paper uses 1 Gbps.
+  Mbps link_capacity = 1000.0;
+  /// Fabric oversubscription: fabric links get this fraction of host-link
+  /// capacity (0.5 = the common 2:1), concentrating contention in the core
+  /// where migration can relieve it. `utilization` targets the fabric.
+  double fabric_capacity_factor = 0.5;
+
+  /// Background traffic: trace family and target utilization.
+  TraceFamily background_trace = TraceFamily::kYahooLike;
+  double utilization = 0.7;
+  /// Fabric-link scratch capacity kept free of background traffic, as in
+  /// SWAN (which reserves 10-15%).
+  double background_headroom = 0.05;
+  /// Host-uplink headroom. Benson et al. observe edge links far below core
+  /// utilization (servers do not saturate NICs); also a saturated host
+  /// uplink could never be relieved by migration, making flows from that
+  /// host permanently unplaceable.
+  double background_host_headroom = 0.35;
+
+  /// Cap on a single update-event flow's demand (Mbps). Update events carry
+  /// real transfers (VM state, re-replication), so elephants up to this
+  /// size contend for fabric capacity and exercise migration.
+  Mbps max_event_flow_demand = 200.0;
+  /// Cap on an update-event flow's transmission duration (seconds), so
+  /// freed capacity returns on the scheduling timescale.
+  Seconds max_event_flow_duration = 30.0;
+
+  /// Update-event workload. Event flows are Benson-style per the paper
+  /// ("according to the characteristics of network traffic mentioned in
+  /// [12]").
+  std::size_t event_count = 10;
+  std::size_t min_flows_per_event = 10;
+  std::size_t max_flows_per_event = 100;
+  /// Mean exponential inter-arrival gap between events (0 = all at t=0,
+  /// forming the initial queue as in the paper's setup).
+  Seconds mean_interarrival = 0.0;
+
+  /// LMTF / P-LMTF sample size; the paper evaluates alpha = 4.
+  std::size_t alpha = 4;
+
+  /// Background traffic churns during the run (flows end and fresh ones
+  /// arrive), keeping update costs in flux as Section III-C describes.
+  /// Disable to reproduce the static-background setting of Fig. 7.
+  bool background_churn = true;
+
+  /// Simulation cost model, migration strategy, etc.
+  sim::SimConfig sim;
+
+  /// Base RNG seed; trials use seed, seed+1, ...
+  std::uint64_t seed = 42;
+};
+
+}  // namespace nu::exp

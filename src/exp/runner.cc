@@ -1,0 +1,114 @@
+#include "exp/runner.h"
+
+#include <future>
+#include <map>
+
+#include "common/check.h"
+
+namespace nu::exp {
+namespace {
+
+/// Builds a configured simulator (churn wired to the workload's trace).
+sim::Simulator MakeSimulator(const Workload& workload) {
+  sim::SimConfig sim_config = workload.config().sim;
+  sim_config.seed = workload.config().seed ^ 0x5eedULL;
+  sim_config.churn.enabled = workload.config().background_churn;
+  sim_config.churn.placement = workload.background_options();
+  sim::Simulator simulator(workload.network(), workload.paths(), sim_config);
+  if (sim_config.churn.enabled) {
+    simulator.SetChurnFactory([&workload](std::uint64_t seed) {
+      return MakeTrafficGenerator(workload.config().background_trace,
+                                  workload.hosts(), Rng(seed));
+    });
+  }
+  return simulator;
+}
+
+}  // namespace
+
+sim::SimResult RunScheduler(const Workload& workload,
+                            sched::SchedulerKind kind) {
+  sim::Simulator simulator = MakeSimulator(workload);
+  const auto scheduler = sched::MakeScheduler(
+      kind, sched::LmtfConfig{.alpha = workload.config().alpha});
+  return simulator.Run(*scheduler, workload.events());
+}
+
+sim::SimResult RunFlowLevel(const Workload& workload) {
+  sim::Simulator simulator = MakeSimulator(workload);
+  return simulator.RunFlowLevel(workload.events());
+}
+
+metrics::Report MeanReport(std::span<const metrics::Report> reports) {
+  NU_EXPECTS(!reports.empty());
+  metrics::Report mean;
+  for (const metrics::Report& r : reports) {
+    mean.event_count += r.event_count;
+    mean.avg_ect += r.avg_ect;
+    mean.tail_ect += r.tail_ect;
+    mean.avg_queuing_delay += r.avg_queuing_delay;
+    mean.worst_queuing_delay += r.worst_queuing_delay;
+    mean.total_cost += r.total_cost;
+    mean.total_plan_time += r.total_plan_time;
+    mean.makespan += r.makespan;
+    mean.total_deferred_flows += r.total_deferred_flows;
+  }
+  const auto n = static_cast<double>(reports.size());
+  mean.event_count = reports.front().event_count;
+  mean.avg_ect /= n;
+  mean.tail_ect /= n;
+  mean.avg_queuing_delay /= n;
+  mean.worst_queuing_delay /= n;
+  mean.total_cost /= n;
+  mean.total_plan_time /= n;
+  mean.makespan /= n;
+  mean.total_deferred_flows /= reports.size();
+  return mean;
+}
+
+ComparisonResult CompareSchedulers(
+    const ExperimentConfig& config,
+    std::span<const sched::SchedulerKind> kinds, bool include_flow_level,
+    std::size_t trials) {
+  NU_EXPECTS(trials >= 1);
+  ComparisonResult result;
+
+  // Trials are fully independent (own workload, own path-provider caches,
+  // own RNG streams), so they run concurrently; results are collected in
+  // trial order, keeping output identical to a serial run.
+  const std::vector<sched::SchedulerKind> kinds_copy(kinds.begin(),
+                                                     kinds.end());
+  auto run_trial = [&config, kinds_copy,
+                    include_flow_level](std::size_t trial) {
+    ExperimentConfig trial_config = config;
+    trial_config.seed = config.seed + trial;
+    const Workload workload(trial_config);
+    std::map<std::string, metrics::Report> reports;
+    for (sched::SchedulerKind kind : kinds_copy) {
+      reports[sched::ToString(kind)] = RunScheduler(workload, kind).report;
+    }
+    if (include_flow_level) {
+      reports[kFlowLevelName] = RunFlowLevel(workload).report;
+    }
+    return reports;
+  };
+
+  std::vector<std::future<std::map<std::string, metrics::Report>>> futures;
+  futures.reserve(trials);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    futures.push_back(
+        std::async(std::launch::async, run_trial, trial));
+  }
+  for (auto& future : futures) {
+    for (auto& [name, report] : future.get()) {
+      result.trials_by_name[name].push_back(report);
+    }
+  }
+
+  for (const auto& [name, reports] : result.trials_by_name) {
+    result.mean_by_name[name] = MeanReport(reports);
+  }
+  return result;
+}
+
+}  // namespace nu::exp

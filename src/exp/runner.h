@@ -1,0 +1,46 @@
+// Multi-trial experiment runner: runs a set of schedulers (plus optionally
+// the flow-level baseline) over several seeded workloads and averages the
+// per-run reports — the procedure behind every figure bench.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exp/workload.h"
+#include "metrics/report.h"
+#include "sched/factory.h"
+
+namespace nu::exp {
+
+/// One scheduler's run on one workload.
+[[nodiscard]] sim::SimResult RunScheduler(const Workload& workload,
+                                          sched::SchedulerKind kind);
+
+/// The flow-level baseline on one workload.
+[[nodiscard]] sim::SimResult RunFlowLevel(const Workload& workload);
+
+/// Pointwise mean of reports (all must have the same event count shape).
+[[nodiscard]] metrics::Report MeanReport(
+    std::span<const metrics::Report> reports);
+
+/// Name used for the flow-level baseline in comparison maps.
+inline constexpr const char* kFlowLevelName = "flow-level";
+
+struct ComparisonResult {
+  /// Mean report per scheduler name ("fifo", "lmtf", "p-lmtf", "reorder",
+  /// "flow-level").
+  std::map<std::string, metrics::Report> mean_by_name;
+  /// Per-trial raw reports, same keys.
+  std::map<std::string, std::vector<metrics::Report>> trials_by_name;
+};
+
+/// Builds `trials` workloads (seed, seed+1, ...), runs every requested
+/// scheduler (and the flow-level baseline when asked) on each, and averages.
+[[nodiscard]] ComparisonResult CompareSchedulers(
+    const ExperimentConfig& config,
+    std::span<const sched::SchedulerKind> kinds, bool include_flow_level,
+    std::size_t trials);
+
+}  // namespace nu::exp

@@ -1,0 +1,108 @@
+#include "exp/workload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "trace/benson.h"
+#include "trace/uniform.h"
+#include "trace/yahoo_like.h"
+
+namespace nu::exp {
+
+std::unique_ptr<trace::TrafficGenerator> MakeTrafficGenerator(
+    TraceFamily family, std::span<const NodeId> hosts, Rng rng) {
+  switch (family) {
+    case TraceFamily::kYahooLike:
+      return std::make_unique<trace::YahooLikeGenerator>(hosts, rng);
+    case TraceFamily::kBenson:
+      return std::make_unique<trace::BensonGenerator>(hosts, rng);
+    case TraceFamily::kUniform:
+      return std::make_unique<trace::UniformGenerator>(hosts, rng);
+  }
+  return nullptr;
+}
+
+std::span<const NodeId> Workload::hosts() const {
+  if (fat_tree_.has_value()) return fat_tree_->hosts();
+  NU_EXPECTS(leaf_spine_.has_value());
+  return leaf_spine_->hosts();
+}
+
+const topo::FatTree& Workload::fat_tree() const {
+  NU_EXPECTS(fat_tree_.has_value());
+  return *fat_tree_;
+}
+
+const topo::LeafSpine& Workload::leaf_spine() const {
+  NU_EXPECTS(leaf_spine_.has_value());
+  return *leaf_spine_;
+}
+
+Workload::Workload(const ExperimentConfig& config) : config_(config) {
+  // Topology + path provider.
+  switch (config_.topology) {
+    case TopologyKind::kFatTree:
+      fat_tree_.emplace(topo::FatTreeConfig{
+          .k = config_.fat_tree_k,
+          .link_capacity = config_.link_capacity,
+          .fabric_capacity_factor = config_.fabric_capacity_factor});
+      provider_ = std::make_unique<topo::FatTreePathProvider>(*fat_tree_);
+      network_.emplace(fat_tree_->graph());
+      break;
+    case TopologyKind::kLeafSpine:
+      leaf_spine_.emplace(topo::LeafSpineConfig{
+          .leaves = config_.leaf_spine_leaves,
+          .spines = config_.leaf_spine_spines,
+          .hosts_per_leaf = config_.leaf_spine_hosts_per_leaf,
+          .host_link_capacity = config_.link_capacity,
+          .fabric_link_capacity =
+              config_.link_capacity * config_.fabric_capacity_factor *
+              static_cast<double>(config_.leaf_spine_hosts_per_leaf) /
+              static_cast<double>(config_.leaf_spine_spines)});
+      provider_ = std::make_unique<topo::LeafSpinePathProvider>(*leaf_spine_);
+      network_.emplace(leaf_spine_->graph());
+      break;
+  }
+
+  Rng root(config_.seed);
+  Rng background_rng = root.Fork();
+  Rng event_flow_rng = root.Fork();
+  Rng event_shape_rng = root.Fork();
+
+  // Background traffic to the target utilization.
+  const auto generator =
+      MakeTrafficGenerator(config_.background_trace, hosts(), background_rng);
+  background_options_.target_utilization = config_.utilization;
+  background_options_.target_fabric_utilization = true;
+  background_options_.link_headroom = config_.background_headroom;
+  background_options_.host_link_headroom = config_.background_host_headroom;
+  // Per-flow ECMP-hash placement: background load lands unevenly across the
+  // fabric, so update flows meet congested links that migration can relieve.
+  background_options_.random_path_seed = config_.seed ^ 0xECEC;
+  background_ = trace::InjectBackground(*network_, *provider_, *generator,
+                                        background_options_);
+
+  // Update events: flows follow Benson-style DCN characteristics per the
+  // paper's workload description — mice-dominated, but update events also
+  // carry real bulk transfers, so the elephant tail reaches the configured
+  // cap and contends for fabric capacity.
+  trace::TrafficSpec event_spec = trace::BensonSpec();
+  event_spec.demand.elephant_fraction = 0.15;
+  event_spec.demand.tail_scale = 60.0;
+  event_spec.demand.max_value = config_.max_event_flow_demand;
+  // Event-flow transmissions drain on the same timescale as update service
+  // (seconds): the ECT is then dominated by scheduling and update work, as
+  // in the paper's model, rather than by waiting out hour-long elephants.
+  event_spec.duration.tail_scale = 8.0;
+  event_spec.duration.max_value = config_.max_event_flow_duration;
+  trace::BensonGenerator event_flows(hosts(), event_flow_rng,
+                                     trace::BensonConfig{}, event_spec);
+  update::EventGenerator events(event_flows, event_shape_rng);
+  update::SyntheticEventConfig shape;
+  shape.min_flows = config_.min_flows_per_event;
+  shape.max_flows = config_.max_flows_per_event;
+  events_ = events.Batch(config_.event_count, shape,
+                         config_.mean_interarrival);
+}
+
+}  // namespace nu::exp

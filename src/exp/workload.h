@@ -1,0 +1,68 @@
+// Workload construction: builds the fabric (Fat-Tree or leaf-spine),
+// injects background traffic to the target utilization, and generates the
+// update-event queue — one self-owned bundle the simulator runs against.
+// All randomness derives from the config seed, so identical configs give
+// identical workloads.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "exp/config.h"
+#include "net/network.h"
+#include "topo/fat_tree.h"
+#include "topo/leaf_spine.h"
+#include "topo/path_provider.h"
+#include "trace/background.h"
+
+namespace nu::exp {
+
+/// Owns everything a simulation run needs: topology, path provider, loaded
+/// network, and the event queue. Non-copyable.
+class Workload {
+ public:
+  explicit Workload(const ExperimentConfig& config);
+
+  Workload(const Workload&) = delete;
+  Workload& operator=(const Workload&) = delete;
+
+  [[nodiscard]] const ExperimentConfig& config() const { return config_; }
+  [[nodiscard]] const topo::PathProvider& paths() const { return *provider_; }
+  [[nodiscard]] const net::Network& network() const { return *network_; }
+  [[nodiscard]] const std::vector<update::UpdateEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const trace::BackgroundResult& background() const {
+    return background_;
+  }
+  /// The placement constraints used for background injection — reused by
+  /// the simulator's churn so replacement flows keep the same shape.
+  [[nodiscard]] const trace::BackgroundOptions& background_options() const {
+    return background_options_;
+  }
+  /// Hosts of whichever fabric was built.
+  [[nodiscard]] std::span<const NodeId> hosts() const;
+
+  /// The Fat-Tree instance; requires topology == kFatTree.
+  [[nodiscard]] const topo::FatTree& fat_tree() const;
+  /// The leaf-spine instance; requires topology == kLeafSpine.
+  [[nodiscard]] const topo::LeafSpine& leaf_spine() const;
+
+ private:
+  ExperimentConfig config_;
+  std::optional<topo::FatTree> fat_tree_;
+  std::optional<topo::LeafSpine> leaf_spine_;
+  std::unique_ptr<topo::PathProvider> provider_;
+  std::optional<net::Network> network_;
+  trace::BackgroundOptions background_options_;
+  trace::BackgroundResult background_;
+  std::vector<update::UpdateEvent> events_;
+};
+
+/// Builds the configured background generator over `hosts` (exposed for
+/// benches that need a raw generator, e.g. Fig. 1).
+[[nodiscard]] std::unique_ptr<trace::TrafficGenerator> MakeTrafficGenerator(
+    TraceFamily family, std::span<const NodeId> hosts, Rng rng);
+
+}  // namespace nu::exp

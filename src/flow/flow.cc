@@ -1,0 +1,23 @@
+#include "flow/flow.h"
+
+namespace nu::flow {
+
+const char* ToString(FlowOrigin origin) {
+  switch (origin) {
+    case FlowOrigin::kBackground:
+      return "background";
+    case FlowOrigin::kUpdateEvent:
+      return "update-event";
+    case FlowOrigin::kMigrated:
+      return "migrated";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Flow& flow) {
+  return os << "flow{" << flow.id << " " << flow.src << "->" << flow.dst
+            << " " << flow.demand << "Mbps " << flow.duration << "s "
+            << ToString(flow.origin) << "}";
+}
+
+}  // namespace nu::flow

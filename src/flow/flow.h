@@ -1,0 +1,42 @@
+// The flow model. A Flow is the unit the paper's abstraction composes:
+// background traffic, the new flows of an update event, and migrated flows
+// are all Flows. A flow is unsplittable (single path) per the paper's
+// congestion-free constraints in Section III-A.
+#pragma once
+
+#include <ostream>
+
+#include "common/types.h"
+#include "topo/graph.h"
+
+namespace nu::flow {
+
+/// Why a flow exists — used by reports and by event generators.
+enum class FlowOrigin : std::uint8_t {
+  kBackground,   // injected background traffic
+  kUpdateEvent,  // a new flow belonging to an update event
+  kMigrated,     // an existing flow moved by the migration optimizer
+};
+
+[[nodiscard]] const char* ToString(FlowOrigin origin);
+
+struct Flow {
+  FlowId id;
+  NodeId src;
+  NodeId dst;
+  /// Bandwidth demand d^f in Mbps. The flow consumes exactly this much on
+  /// every link of its path (unsplit, constant-rate model).
+  Mbps demand = 0.0;
+  /// Remaining transmission time at `demand` rate, in seconds.
+  Seconds duration = 0.0;
+  FlowOrigin origin = FlowOrigin::kBackground;
+  /// Event this flow belongs to; invalid for background flows.
+  EventId event = EventId::invalid();
+
+  /// Traffic volume carried over the whole lifetime (Mb).
+  [[nodiscard]] Megabits volume() const { return demand * duration; }
+};
+
+std::ostream& operator<<(std::ostream& os, const Flow& flow);
+
+}  // namespace nu::flow

@@ -1,0 +1,54 @@
+#include "flow/flow_table.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nu::flow {
+
+FlowId FlowTable::Add(Flow flow) {
+  const FlowId id{next_id_++};
+  flow.id = id;
+  NU_EXPECTS(flow.demand > 0.0);
+  NU_EXPECTS(flow.duration >= 0.0);
+  NU_EXPECTS(flow.src != flow.dst);
+  flows_.emplace(id.value(), std::move(flow));
+  return id;
+}
+
+void FlowTable::Remove(FlowId id) {
+  const auto erased = flows_.erase(id.value());
+  NU_EXPECTS(erased == 1);
+}
+
+bool FlowTable::Contains(FlowId id) const {
+  return flows_.contains(id.value());
+}
+
+const Flow& FlowTable::Get(FlowId id) const {
+  const auto it = flows_.find(id.value());
+  NU_EXPECTS(it != flows_.end());
+  return it->second;
+}
+
+Flow& FlowTable::GetMutable(FlowId id) {
+  const auto it = flows_.find(id.value());
+  NU_EXPECTS(it != flows_.end());
+  return it->second;
+}
+
+std::vector<FlowId> FlowTable::Ids() const {
+  std::vector<FlowId> ids;
+  ids.reserve(flows_.size());
+  for (const auto& [rep, _] : flows_) ids.push_back(FlowId{rep});
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Mbps FlowTable::TotalDemand() const {
+  Mbps total = 0.0;
+  for (const auto& [_, f] : flows_) total += f.demand;
+  return total;
+}
+
+}  // namespace nu::flow

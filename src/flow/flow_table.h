@@ -1,0 +1,41 @@
+// FlowTable owns flow descriptors and allocates ids. The network layer
+// references flows by id only; the table is the single source of truth for
+// flow attributes (endpoints, demand, duration, origin).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "flow/flow.h"
+
+namespace nu::flow {
+
+class FlowTable {
+ public:
+  FlowTable() = default;
+
+  /// Registers a flow; assigns and returns its id (ignores flow.id on input).
+  FlowId Add(Flow flow);
+
+  /// Removes a flow. Requires the flow to exist.
+  void Remove(FlowId id);
+
+  [[nodiscard]] bool Contains(FlowId id) const;
+  [[nodiscard]] const Flow& Get(FlowId id) const;
+  [[nodiscard]] Flow& GetMutable(FlowId id);
+
+  [[nodiscard]] std::size_t size() const { return flows_.size(); }
+
+  /// Snapshot of current flow ids (stable iteration order: ascending id).
+  [[nodiscard]] std::vector<FlowId> Ids() const;
+
+  /// Sum of demands of all registered flows (Mbps).
+  [[nodiscard]] Mbps TotalDemand() const;
+
+ private:
+  std::unordered_map<FlowId::rep_type, Flow> flows_;
+  FlowId::rep_type next_id_ = 0;
+};
+
+}  // namespace nu::flow

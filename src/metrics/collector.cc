@@ -1,0 +1,77 @@
+#include "metrics/collector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nu::metrics {
+
+EventRecord& Collector::Find(EventId event) {
+  const auto it =
+      std::find_if(records_.begin(), records_.end(),
+                   [event](const EventRecord& r) { return r.event == event; });
+  NU_EXPECTS(it != records_.end());
+  return *it;
+}
+
+void Collector::OnArrival(EventId event, Seconds time,
+                          std::size_t flow_count) {
+  EventRecord record;
+  record.event = event;
+  record.arrival = time;
+  record.exec_start = -1.0;
+  record.completion = -1.0;
+  record.flow_count = flow_count;
+  records_.push_back(record);
+}
+
+void Collector::OnExecutionStart(EventId event, Seconds time) {
+  EventRecord& record = Find(event);
+  NU_EXPECTS(record.exec_start < 0.0);
+  NU_EXPECTS(time >= record.arrival);
+  record.exec_start = time;
+}
+
+void Collector::OnCost(EventId event, Mbps added_cost) {
+  NU_EXPECTS(added_cost >= 0.0);
+  Find(event).cost += added_cost;
+}
+
+void Collector::OnDeferredFlow(EventId event) { ++Find(event).deferred_flows; }
+
+void Collector::OnCompletion(EventId event, Seconds time) {
+  EventRecord& record = Find(event);
+  NU_EXPECTS(record.completion < 0.0);
+  NU_EXPECTS(record.exec_start >= 0.0);
+  NU_EXPECTS(time >= record.exec_start);
+  record.completion = time;
+}
+
+bool Collector::AllComplete() const {
+  return std::all_of(records_.begin(), records_.end(),
+                     [](const EventRecord& r) { return r.completion >= 0.0; });
+}
+
+Samples Collector::EctSamples() const {
+  Samples samples;
+  for (const EventRecord& r : records_) {
+    if (r.completion >= 0.0) samples.Add(r.Ect());
+  }
+  return samples;
+}
+
+Samples Collector::QueuingDelaySamples() const {
+  Samples samples;
+  for (const EventRecord& r : records_) {
+    if (r.exec_start >= 0.0) samples.Add(r.QueuingDelay());
+  }
+  return samples;
+}
+
+Mbps Collector::TotalCost() const {
+  Mbps total = 0.0;
+  for (const EventRecord& r : records_) total += r.cost;
+  return total;
+}
+
+}  // namespace nu::metrics

@@ -1,0 +1,60 @@
+// Per-event measurement records and their collection. The five metrics of
+// the paper's Section V-A are all derived from these records: total update
+// cost, average ECT, tail ECT, total plan time, and event queuing delay.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace nu::metrics {
+
+/// One update event's lifecycle measurements.
+struct EventRecord {
+  EventId event = EventId::invalid();
+  /// When the event entered the update queue.
+  Seconds arrival = 0.0;
+  /// When its execution started (after the scheduling decision and plan).
+  Seconds exec_start = 0.0;
+  /// When its last flow completed.
+  Seconds completion = 0.0;
+  /// Cost(U): migrated traffic attributed to this event (Mbps).
+  Mbps cost = 0.0;
+  /// Number of flows in the event.
+  std::size_t flow_count = 0;
+  /// Flows that could not be placed at execution time and were deferred.
+  std::size_t deferred_flows = 0;
+
+  /// Queuing delay: arrival -> execution start.
+  [[nodiscard]] Seconds QueuingDelay() const { return exec_start - arrival; }
+  /// Event completion time: arrival -> last flow done (includes queuing).
+  [[nodiscard]] Seconds Ect() const { return completion - arrival; }
+};
+
+class Collector {
+ public:
+  void OnArrival(EventId event, Seconds time, std::size_t flow_count);
+  void OnExecutionStart(EventId event, Seconds time);
+  void OnCost(EventId event, Mbps added_cost);
+  void OnDeferredFlow(EventId event);
+  void OnCompletion(EventId event, Seconds time);
+
+  /// All records; complete once every event has a completion time.
+  [[nodiscard]] const std::vector<EventRecord>& records() const {
+    return records_;
+  }
+
+  [[nodiscard]] bool AllComplete() const;
+
+  [[nodiscard]] Samples EctSamples() const;
+  [[nodiscard]] Samples QueuingDelaySamples() const;
+  [[nodiscard]] Mbps TotalCost() const;
+
+ private:
+  EventRecord& Find(EventId event);
+
+  std::vector<EventRecord> records_;
+};
+
+}  // namespace nu::metrics

@@ -1,0 +1,41 @@
+#include "metrics/export.h"
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace nu::metrics {
+
+void WriteRecordsCsv(std::ostream& out,
+                     std::span<const EventRecord> records) {
+  CsvWriter writer(out);
+  writer.WriteRow({"event", "arrival", "exec_start", "completion",
+                   "queuing_delay", "ect", "cost", "flow_count",
+                   "deferred_flows"});
+  for (const EventRecord& r : records) {
+    writer.WriteRow({std::to_string(r.event.value()),
+                     FormatDouble(r.arrival, 4), FormatDouble(r.exec_start, 4),
+                     FormatDouble(r.completion, 4),
+                     FormatDouble(r.QueuingDelay(), 4),
+                     FormatDouble(r.Ect(), 4), FormatDouble(r.cost, 2),
+                     std::to_string(r.flow_count),
+                     std::to_string(r.deferred_flows)});
+  }
+}
+
+void WriteReportCsv(std::ostream& out, const Report& report) {
+  CsvWriter writer(out);
+  writer.WriteRow({"events", "avg_ect", "tail_ect", "avg_qdelay",
+                   "worst_qdelay", "total_cost", "plan_time", "makespan",
+                   "deferred"});
+  writer.WriteRow({std::to_string(report.event_count),
+                   FormatDouble(report.avg_ect, 4),
+                   FormatDouble(report.tail_ect, 4),
+                   FormatDouble(report.avg_queuing_delay, 4),
+                   FormatDouble(report.worst_queuing_delay, 4),
+                   FormatDouble(report.total_cost, 2),
+                   FormatDouble(report.total_plan_time, 4),
+                   FormatDouble(report.makespan, 4),
+                   std::to_string(report.total_deferred_flows)});
+}
+
+}  // namespace nu::metrics

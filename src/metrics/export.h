@@ -1,0 +1,24 @@
+// Machine-readable export of simulation results: per-event records and
+// aggregate reports as CSV, so bench output can be re-plotted and runs can
+// be diffed outside the repo.
+#pragma once
+
+#include <ostream>
+#include <span>
+
+#include "metrics/collector.h"
+#include "metrics/report.h"
+
+namespace nu::metrics {
+
+/// Writes one row per event:
+///   event,arrival,exec_start,completion,queuing_delay,ect,cost,flow_count,
+///   deferred_flows
+void WriteRecordsCsv(std::ostream& out, std::span<const EventRecord> records);
+
+/// Writes a single-row aggregate (with header):
+///   events,avg_ect,tail_ect,avg_qdelay,worst_qdelay,total_cost,plan_time,
+///   makespan,deferred
+void WriteReportCsv(std::ostream& out, const Report& report);
+
+}  // namespace nu::metrics

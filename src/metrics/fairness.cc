@@ -1,0 +1,85 @@
+#include "metrics/fairness.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nu::metrics {
+
+double JainIndex(std::span<const double> values) {
+  if (values.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    NU_EXPECTS(v >= 0.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+FairnessReport ComputeFairness(std::span<const EventRecord> records) {
+  FairnessReport report;
+  const std::size_t n = records.size();
+  if (n < 2) return report;
+
+  // Ranks by arrival (stable: queue order breaks ties) and by execution.
+  std::vector<std::size_t> by_arrival(n);
+  std::iota(by_arrival.begin(), by_arrival.end(), 0);
+  std::stable_sort(by_arrival.begin(), by_arrival.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return records[a].arrival < records[b].arrival;
+                   });
+  std::vector<std::size_t> by_execution(n);
+  std::iota(by_execution.begin(), by_execution.end(), 0);
+  std::stable_sort(by_execution.begin(), by_execution.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return records[a].exec_start < records[b].exec_start;
+                   });
+
+  std::vector<std::size_t> arrival_rank(n);
+  std::vector<std::size_t> execution_rank(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    arrival_rank[by_arrival[rank]] = rank;
+    execution_rank[by_execution[rank]] = rank;
+  }
+
+  // Kendall-tau style pair inversions between the two rankings.
+  std::size_t inversions = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool arrival_before = arrival_rank[i] < arrival_rank[j];
+      const bool executed_before = execution_rank[i] < execution_rank[j];
+      if (arrival_before != executed_before) ++inversions;
+    }
+  }
+  const double pairs = static_cast<double>(n * (n - 1)) / 2.0;
+  report.order_violation = static_cast<double>(inversions) / pairs;
+
+  double displacement_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto a = static_cast<std::ptrdiff_t>(arrival_rank[i]);
+    const auto e = static_cast<std::ptrdiff_t>(execution_rank[i]);
+    displacement_sum += static_cast<double>(std::abs(e - a));
+    if (e > a) {
+      report.worst_pushback =
+          std::max(report.worst_pushback, static_cast<std::size_t>(e - a));
+    }
+  }
+  report.mean_displacement = displacement_sum / static_cast<double>(n);
+
+  // Jain over (queuing delay + 1s): without the shift, all-zero delays (an
+  // idle system) would be undefined, and near-zero denominators unstable.
+  std::vector<double> delays;
+  delays.reserve(n);
+  for (const EventRecord& r : records) {
+    delays.push_back(r.QueuingDelay() + 1.0);
+  }
+  report.jain_queuing_delay = JainIndex(delays);
+  return report;
+}
+
+}  // namespace nu::metrics

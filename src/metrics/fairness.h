@@ -1,0 +1,49 @@
+// Fairness quantification. The paper argues qualitatively that LMTF
+// "relaxes fairness slightly" and that P-LMTF's opportunistic updating
+// "improves fairness to some extent" — this module makes those claims
+// measurable:
+//
+//   * Kendall-tau order violation: fraction of event pairs executed out of
+//     arrival order (0 = strict FIFO fairness, 1 = fully reversed).
+//   * Mean displacement: average |execution rank - arrival rank|, in
+//     positions.
+//   * Jain's fairness index over queuing delays: 1 = perfectly equal
+//     delays, -> 1/n as one event absorbs all waiting.
+//   * Worst displacement: the most positions any single event was pushed
+//     back (how badly the least-lucky event was treated).
+#pragma once
+
+#include <span>
+
+#include "metrics/collector.h"
+
+namespace nu::metrics {
+
+struct FairnessReport {
+  /// Fraction of event pairs whose execution order inverts arrival order.
+  double order_violation = 0.0;
+  /// Mean |execution rank - arrival rank|.
+  double mean_displacement = 0.0;
+  /// Max over events of (execution rank - arrival rank): positions a single
+  /// event was pushed *back* (delayed beyond its fair turn).
+  std::size_t worst_pushback = 0;
+  /// Jain's index over queuing delays (shifted by +1s so zero delays do not
+  /// degenerate the index).
+  double jain_queuing_delay = 1.0;
+
+  /// Scalar summary in [0, 1]: 1 = FIFO-strict. Defined as
+  /// (1 - order_violation).
+  [[nodiscard]] double OrderFairness() const { return 1.0 - order_violation; }
+};
+
+/// Computes fairness over completed event records. Events are ranked by
+/// arrival time (ties by record order — the queue order) and by execution
+/// start. Requires every record to have started execution.
+[[nodiscard]] FairnessReport ComputeFairness(
+    std::span<const EventRecord> records);
+
+/// Jain's fairness index over arbitrary non-negative samples:
+/// (sum x)^2 / (n * sum x^2); 1 when all equal. Returns 1 for empty input.
+[[nodiscard]] double JainIndex(std::span<const double> values);
+
+}  // namespace nu::metrics

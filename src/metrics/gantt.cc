@@ -1,0 +1,63 @@
+#include "metrics/gantt.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nu::metrics {
+
+std::string RenderGantt(std::span<const EventRecord> records,
+                        const GanttOptions& options) {
+  NU_EXPECTS(!records.empty());
+  NU_EXPECTS(options.width >= 8);
+
+  double t0 = records.front().arrival;
+  double t1 = records.front().completion;
+  for (const EventRecord& r : records) {
+    t0 = std::min(t0, r.arrival);
+    t1 = std::max(t1, r.completion);
+  }
+  const double span = std::max(t1 - t0, 1e-9);
+  const auto column = [&](double t) {
+    const auto c = static_cast<std::size_t>((t - t0) / span *
+                                            static_cast<double>(options.width));
+    return std::min(c, options.width - 1);
+  };
+
+  std::vector<const EventRecord*> rows;
+  rows.reserve(records.size());
+  for (const EventRecord& r : records) rows.push_back(&r);
+  std::stable_sort(rows.begin(), rows.end(),
+                   [&](const EventRecord* a, const EventRecord* b) {
+                     return options.sort_by_arrival
+                                ? a->arrival < b->arrival
+                                : a->exec_start < b->exec_start;
+                   });
+
+  std::string out;
+  char buf[96];
+  for (const EventRecord* r : rows) {
+    std::string bar(options.width, ' ');
+    const std::size_t wait_begin = column(r->arrival);
+    const std::size_t run_begin = column(r->exec_start);
+    const std::size_t run_end = column(r->completion);
+    for (std::size_t c = wait_begin; c < run_begin; ++c) bar[c] = '.';
+    for (std::size_t c = run_begin; c <= run_end; ++c) bar[c] = '#';
+    std::snprintf(buf, sizeof(buf), "ev %3llu |",
+                  static_cast<unsigned long long>(r->event.value()));
+    out += buf;
+    out += bar;
+    std::snprintf(buf, sizeof(buf), "|  wait %6.1fs  ect %6.1fs\n",
+                  r->QueuingDelay(), r->Ect());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "time axis: %.1fs .. %.1fs ('.' queued, '#' executing)\n", t0,
+                t1);
+  out += buf;
+  return out;
+}
+
+}  // namespace nu::metrics

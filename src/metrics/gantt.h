@@ -1,0 +1,30 @@
+// ASCII Gantt rendering of event lifecycles: one row per event showing
+// queue-wait ('.') and execution-to-completion ('#') against virtual time.
+// Makes scheduler behavior legible in terminal output — FIFO's staircase,
+// LMTF's reordering, P-LMTF's parallel rounds.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "metrics/collector.h"
+
+namespace nu::metrics {
+
+struct GanttOptions {
+  /// Character columns used for the time axis.
+  std::size_t width = 72;
+  /// Sort rows by arrival (true) or by execution start (false).
+  bool sort_by_arrival = true;
+};
+
+/// Renders completed records as a multi-line chart:
+///
+///   ev  3 |....######            |  wait 1.2s  ect 4.5s
+///   ev  7 |......##              |  wait 2.0s  ect 2.8s
+///
+/// Requires at least one record; rows cover [min arrival, max completion].
+[[nodiscard]] std::string RenderGantt(std::span<const EventRecord> records,
+                                      const GanttOptions& options = {});
+
+}  // namespace nu::metrics

@@ -1,0 +1,55 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nu::metrics {
+
+std::string Report::DebugString() const {
+  std::ostringstream os;
+  os << "report{events=" << event_count << " avg_ect=" << avg_ect
+     << " tail_ect=" << tail_ect << " avg_qdelay=" << avg_queuing_delay
+     << " worst_qdelay=" << worst_queuing_delay << " cost=" << total_cost
+     << " plan_time=" << total_plan_time << " makespan=" << makespan << "}";
+  return os.str();
+}
+
+Report BuildReport(const Collector& collector, double total_plan_time,
+                   double tail_percentile) {
+  NU_EXPECTS(tail_percentile > 0.0 && tail_percentile <= 1.0);
+  Report report;
+  const Samples ects = collector.EctSamples();
+  const Samples delays = collector.QueuingDelaySamples();
+  report.event_count = collector.records().size();
+  report.avg_ect = ects.mean();
+  report.tail_ect = tail_percentile >= 1.0 ? ects.max()
+                                           : ects.Percentile(tail_percentile);
+  report.avg_queuing_delay = delays.mean();
+  report.worst_queuing_delay = delays.max();
+  report.total_cost = collector.TotalCost();
+  report.total_plan_time = total_plan_time;
+  for (const EventRecord& r : collector.records()) {
+    report.makespan = std::max(report.makespan, r.completion);
+    report.total_deferred_flows += r.deferred_flows;
+  }
+  return report;
+}
+
+ReductionReport Reductions(const Report& baseline, const Report& ours) {
+  ReductionReport result;
+  result.avg_ect = ReductionVs(baseline.avg_ect, ours.avg_ect);
+  result.tail_ect = ReductionVs(baseline.tail_ect, ours.tail_ect);
+  result.total_cost = ReductionVs(baseline.total_cost, ours.total_cost);
+  result.avg_queuing_delay =
+      ReductionVs(baseline.avg_queuing_delay, ours.avg_queuing_delay);
+  result.worst_queuing_delay =
+      ReductionVs(baseline.worst_queuing_delay, ours.worst_queuing_delay);
+  result.plan_time_ratio = baseline.total_plan_time == 0.0
+                               ? 0.0
+                               : ours.total_plan_time / baseline.total_plan_time;
+  return result;
+}
+
+}  // namespace nu::metrics

@@ -1,0 +1,51 @@
+// Aggregate report over a simulation run: the exact quantities the paper's
+// figures plot, plus helpers to express one run relative to a baseline run
+// (the "reduction vs FIFO" framing of Figs. 6-9).
+#pragma once
+
+#include <string>
+
+#include "metrics/collector.h"
+
+namespace nu::metrics {
+
+struct Report {
+  std::size_t event_count = 0;
+  double avg_ect = 0.0;
+  /// Tail ECT at the configured percentile (1.0 = max).
+  double tail_ect = 0.0;
+  double avg_queuing_delay = 0.0;
+  double worst_queuing_delay = 0.0;
+  /// Total update cost: migrated traffic summed over events (Mbps).
+  double total_cost = 0.0;
+  /// Modeled control-plane planning time (seconds).
+  double total_plan_time = 0.0;
+  /// Virtual time when the last event completed.
+  double makespan = 0.0;
+  std::size_t total_deferred_flows = 0;
+
+  [[nodiscard]] std::string DebugString() const;
+};
+
+/// Builds a report from collected records. `tail_percentile` in (0, 1]:
+/// 1.0 yields the maximum (the paper's "tail").
+[[nodiscard]] Report BuildReport(const Collector& collector,
+                                 double total_plan_time,
+                                 double tail_percentile = 1.0);
+
+/// Relative reductions of `ours` against `baseline` for the four headline
+/// metrics, as fractions (0.75 = "75% reduction").
+struct ReductionReport {
+  double avg_ect = 0.0;
+  double tail_ect = 0.0;
+  double total_cost = 0.0;
+  double avg_queuing_delay = 0.0;
+  double worst_queuing_delay = 0.0;
+  /// Ratio (not reduction) of plan time: ours / baseline.
+  double plan_time_ratio = 0.0;
+};
+
+[[nodiscard]] ReductionReport Reductions(const Report& baseline,
+                                         const Report& ours);
+
+}  // namespace nu::metrics

@@ -1,0 +1,94 @@
+#include "net/admission.h"
+
+#include <limits>
+
+namespace nu::net {
+
+Mbps BottleneckResidual(const Network& network, const topo::Path& path) {
+  Mbps bottleneck = std::numeric_limits<double>::infinity();
+  for (LinkId lid : path.links) {
+    bottleneck = std::min(bottleneck, network.Residual(lid));
+  }
+  return bottleneck;
+}
+
+std::optional<topo::Path> FindFeasiblePath(const Network& network,
+                                           const topo::PathProvider& paths,
+                                           NodeId src, NodeId dst, Mbps demand,
+                                           PathSelection selection) {
+  const std::vector<topo::Path>& candidates = paths.Paths(src, dst);
+  const topo::Path* best = nullptr;
+  Mbps best_bottleneck = 0.0;
+  Mbps best_total = 0.0;
+  auto total_residual = [&network](const topo::Path& p) {
+    Mbps total = 0.0;
+    for (LinkId lid : p.links) total += network.Residual(lid);
+    return total;
+  };
+  for (const topo::Path& p : candidates) {
+    if (!network.CanPlace(demand, p)) continue;
+    switch (selection) {
+      case PathSelection::kFirstFit:
+        return p;
+      case PathSelection::kWidest: {
+        // Primary: max bottleneck. Secondary: max total residual — in
+        // multi-rooted trees every candidate shares the host links, so the
+        // bottleneck alone frequently ties and would always pack the first
+        // fabric path.
+        const Mbps b = BottleneckResidual(network, p);
+        const Mbps t = total_residual(p);
+        if (best == nullptr || b > best_bottleneck ||
+            (b == best_bottleneck && t > best_total)) {
+          best = &p;
+          best_bottleneck = b;
+          best_total = t;
+        }
+        break;
+      }
+      case PathSelection::kBestFit: {
+        const Mbps b = BottleneckResidual(network, p);
+        const Mbps t = total_residual(p);
+        if (best == nullptr || b < best_bottleneck ||
+            (b == best_bottleneck && t < best_total)) {
+          best = &p;
+          best_bottleneck = b;
+          best_total = t;
+        }
+        break;
+      }
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+bool CanAdmit(const Network& network, const topo::PathProvider& paths,
+              NodeId src, NodeId dst, Mbps demand) {
+  return FindFeasiblePath(network, paths, src, dst, demand,
+                          PathSelection::kFirstFit)
+      .has_value();
+}
+
+const topo::Path& LeastCongestedPath(const Network& network,
+                                     const topo::PathProvider& paths,
+                                     NodeId src, NodeId dst, Mbps demand) {
+  const std::vector<topo::Path>& candidates = paths.Paths(src, dst);
+  NU_EXPECTS(!candidates.empty());
+  const topo::Path* best = &candidates.front();
+  std::size_t best_congested = network.CongestedLinks(demand, *best).size();
+  Mbps best_bottleneck = BottleneckResidual(network, *best);
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const topo::Path& p = candidates[i];
+    const std::size_t congested = network.CongestedLinks(demand, p).size();
+    const Mbps bottleneck = BottleneckResidual(network, p);
+    if (congested < best_congested ||
+        (congested == best_congested && bottleneck > best_bottleneck)) {
+      best = &p;
+      best_congested = congested;
+      best_bottleneck = bottleneck;
+    }
+  }
+  return *best;
+}
+
+}  // namespace nu::net

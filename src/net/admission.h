@@ -1,0 +1,48 @@
+// Admission helpers: given a flow demand and the candidate path set P(f),
+// decide whether (and where) the flow fits without migrating anything.
+// This is the primitive behind the paper's Fig. 1 (success probability of
+// inserting a flow as utilization grows).
+#pragma once
+
+#include <optional>
+
+#include "net/network.h"
+#include "topo/path_provider.h"
+
+namespace nu::net {
+
+/// How to pick among multiple feasible paths.
+enum class PathSelection : std::uint8_t {
+  /// First feasible path in the provider's deterministic order.
+  kFirstFit,
+  /// Feasible path maximizing the bottleneck (minimum) residual — spreads
+  /// load, the default for background traffic and update flows.
+  kWidest,
+  /// Feasible path minimizing the bottleneck residual that still fits —
+  /// packs flows tightly, useful as an adversarial baseline.
+  kBestFit,
+};
+
+/// Returns a feasible path for (src, dst, demand) under `selection`, or
+/// nullopt when no candidate path has enough residual everywhere.
+[[nodiscard]] std::optional<topo::Path> FindFeasiblePath(
+    const Network& network, const topo::PathProvider& paths, NodeId src,
+    NodeId dst, Mbps demand, PathSelection selection = PathSelection::kWidest);
+
+/// True iff some candidate path can carry `demand` with no migration.
+[[nodiscard]] bool CanAdmit(const Network& network,
+                            const topo::PathProvider& paths, NodeId src,
+                            NodeId dst, Mbps demand);
+
+/// Bottleneck residual of a path: min residual over its links.
+[[nodiscard]] Mbps BottleneckResidual(const Network& network,
+                                      const topo::Path& path);
+
+/// The candidate path with the fewest congested links for `demand`; used as
+/// the "desired path" on which the migration optimizer then works when no
+/// path is outright feasible. Ties broken by larger bottleneck residual.
+[[nodiscard]] const topo::Path& LeastCongestedPath(
+    const Network& network, const topo::PathProvider& paths, NodeId src,
+    NodeId dst, Mbps demand);
+
+}  // namespace nu::net

@@ -1,0 +1,212 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nu::net {
+
+Network::Network(const topo::Graph& graph) : graph_(&graph) {
+  residual_.reserve(graph.link_count());
+  for (const topo::Link& l : graph.links()) residual_.push_back(l.capacity);
+  link_flows_.resize(graph.link_count());
+}
+
+Mbps Network::Residual(LinkId link) const {
+  NU_EXPECTS(link.value() < residual_.size());
+  return residual_[link.value()];
+}
+
+double Network::Utilization(LinkId link) const {
+  const topo::Link& l = graph_->link(link);
+  return 1.0 - Residual(link) / l.capacity;
+}
+
+double Network::AverageUtilization() const {
+  if (graph_->link_count() == 0) return 0.0;
+  double sum = 0.0;
+  for (const topo::Link& l : graph_->links()) sum += Utilization(l.id);
+  return sum / static_cast<double>(graph_->link_count());
+}
+
+double Network::FabricUtilization() const {
+  double sum = 0.0;
+  std::size_t fabric_links = 0;
+  for (const topo::Link& l : graph_->links()) {
+    const bool touches_host =
+        graph_->node(l.src).role == topo::NodeRole::kHost ||
+        graph_->node(l.dst).role == topo::NodeRole::kHost;
+    if (touches_host) continue;
+    sum += Utilization(l.id);
+    ++fabric_links;
+  }
+  if (fabric_links == 0) return AverageUtilization();
+  return sum / static_cast<double>(fabric_links);
+}
+
+double Network::ActiveLinkUtilization() const {
+  double sum = 0.0;
+  std::size_t active = 0;
+  for (const topo::Link& l : graph_->links()) {
+    if (!link_flows_[l.id.value()].empty()) {
+      sum += Utilization(l.id);
+      ++active;
+    }
+  }
+  return active == 0 ? 0.0 : sum / static_cast<double>(active);
+}
+
+bool Network::CanPlace(Mbps demand, const topo::Path& path) const {
+  for (LinkId lid : path.links) {
+    if (!ApproxGe(residual_[lid.value()], demand)) return false;
+  }
+  return true;
+}
+
+std::vector<LinkId> Network::CongestedLinks(Mbps demand,
+                                            const topo::Path& path) const {
+  std::vector<LinkId> congested;
+  for (LinkId lid : path.links) {
+    if (!ApproxGe(residual_[lid.value()], demand)) congested.push_back(lid);
+  }
+  return congested;
+}
+
+void Network::Occupy(const topo::Path& path, Mbps demand, FlowId id) {
+  for (LinkId lid : path.links) {
+    residual_[lid.value()] -= demand;
+    link_flows_[lid.value()].push_back(id);
+  }
+}
+
+void Network::Release(const topo::Path& path, Mbps demand, FlowId id) {
+  for (LinkId lid : path.links) {
+    residual_[lid.value()] += demand;
+    auto& flows = link_flows_[lid.value()];
+    const auto it = std::find(flows.begin(), flows.end(), id);
+    NU_CHECK(it != flows.end());
+    flows.erase(it);
+  }
+}
+
+FlowId Network::Place(flow::Flow flow, const topo::Path& path) {
+  NU_EXPECTS(graph_->IsValidPath(path));
+  NU_EXPECTS(path.source() == flow.src);
+  NU_EXPECTS(path.destination() == flow.dst);
+  NU_EXPECTS(CanPlace(flow.demand, path));
+  const Mbps demand = flow.demand;
+  const FlowId id = flows_.Add(std::move(flow));
+  Occupy(path, demand, id);
+  placements_.emplace(id.value(), path);
+  return id;
+}
+
+FlowId Network::ForcePlace(flow::Flow flow, const topo::Path& path) {
+  NU_EXPECTS(graph_->IsValidPath(path));
+  NU_EXPECTS(path.source() == flow.src);
+  NU_EXPECTS(path.destination() == flow.dst);
+  const Mbps demand = flow.demand;
+  const FlowId id = flows_.Add(std::move(flow));
+  Occupy(path, demand, id);
+  placements_.emplace(id.value(), path);
+  return id;
+}
+
+void Network::Remove(FlowId id) {
+  const auto it = placements_.find(id.value());
+  NU_EXPECTS(it != placements_.end());
+  const Mbps demand = flows_.Get(id).demand;
+  Release(it->second, demand, id);
+  placements_.erase(it);
+  flows_.Remove(id);
+}
+
+bool Network::CanReroute(FlowId id, const topo::Path& new_path) const {
+  const auto it = placements_.find(id.value());
+  NU_EXPECTS(it != placements_.end());
+  const flow::Flow& f = flows_.Get(id);
+  if (new_path.source() != f.src || new_path.destination() != f.dst) {
+    return false;
+  }
+  for (LinkId lid : new_path.links) {
+    Mbps residual = residual_[lid.value()];
+    if (FlowUsesLink(id, lid)) residual += f.demand;
+    if (!ApproxGe(residual, f.demand)) return false;
+  }
+  return true;
+}
+
+void Network::Reroute(FlowId id, const topo::Path& new_path) {
+  const auto it = placements_.find(id.value());
+  NU_EXPECTS(it != placements_.end());
+  const flow::Flow& f = flows_.Get(id);
+  NU_EXPECTS(graph_->IsValidPath(new_path));
+  NU_EXPECTS(new_path.source() == f.src);
+  NU_EXPECTS(new_path.destination() == f.dst);
+  const Mbps demand = f.demand;
+  // Release first so the flow's own bandwidth on shared links counts toward
+  // the feasibility of the new path.
+  topo::Path old_path = std::move(it->second);
+  Release(old_path, demand, id);
+  NU_CHECK(CanPlace(demand, new_path));
+  Occupy(new_path, demand, id);
+  it->second = new_path;
+}
+
+const topo::Path& Network::PathOf(FlowId id) const {
+  const auto it = placements_.find(id.value());
+  NU_EXPECTS(it != placements_.end());
+  return it->second;
+}
+
+std::vector<FlowId> Network::FlowsOnLink(LinkId link) const {
+  NU_EXPECTS(link.value() < link_flows_.size());
+  std::vector<FlowId> flows = link_flows_[link.value()];
+  std::sort(flows.begin(), flows.end());
+  return flows;
+}
+
+std::size_t Network::FlowCountOnLink(LinkId link) const {
+  NU_EXPECTS(link.value() < link_flows_.size());
+  return link_flows_[link.value()].size();
+}
+
+bool Network::FlowUsesLink(FlowId flow, LinkId link) const {
+  NU_EXPECTS(link.value() < link_flows_.size());
+  const auto& flows = link_flows_[link.value()];
+  return std::find(flows.begin(), flows.end(), flow) != flows.end();
+}
+
+std::vector<FlowId> Network::PlacedFlows() const {
+  std::vector<FlowId> ids;
+  ids.reserve(placements_.size());
+  for (const auto& [rep, _] : placements_) ids.push_back(FlowId{rep});
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+bool Network::CheckInvariants() const {
+  // Recompute residuals from scratch.
+  std::vector<Mbps> recomputed;
+  recomputed.reserve(graph_->link_count());
+  for (const topo::Link& l : graph_->links()) recomputed.push_back(l.capacity);
+  for (const auto& [rep, path] : placements_) {
+    const flow::Flow& f = flows_.Get(FlowId{rep});
+    if (!graph_->IsValidPath(path)) return false;
+    if (path.source() != f.src || path.destination() != f.dst) return false;
+    for (LinkId lid : path.links) recomputed[lid.value()] -= f.demand;
+  }
+  for (std::size_t i = 0; i < residual_.size(); ++i) {
+    if (std::abs(recomputed[i] - residual_[i]) > 1e-3) return false;
+    if (residual_[i] < -1e-3) return false;  // congestion-free invariant
+  }
+  // link_flows_ agrees with placements.
+  std::size_t total_link_entries = 0;
+  for (const auto& flows : link_flows_) total_link_entries += flows.size();
+  std::size_t expected_entries = 0;
+  for (const auto& [_, path] : placements_) expected_entries += path.links.size();
+  if (total_link_entries != expected_entries) return false;
+  if (placements_.size() != flows_.size()) return false;
+  return true;
+}
+
+}  // namespace nu::net

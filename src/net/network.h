@@ -1,0 +1,116 @@
+// Network: mutable network state = topology graph + placed flows + per-link
+// residual bandwidth. This is the object every algorithm in the paper reads
+// and writes: admission checks, congested-link detection (Definition 1),
+// migration, and update execution all go through it.
+//
+// Network is copyable on purpose: planners evaluate what-if scenarios
+// (LMTF cost probes, P-LMTF co-schedulability) on copies and commit only the
+// chosen plan to the real instance.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "flow/flow_table.h"
+#include "topo/graph.h"
+
+namespace nu::net {
+
+class Network {
+ public:
+  explicit Network(const topo::Graph& graph);
+
+  [[nodiscard]] const topo::Graph& graph() const { return *graph_; }
+  [[nodiscard]] const flow::FlowTable& flows() const { return flows_; }
+
+  /// Residual bandwidth c_{i,j} of a link.
+  [[nodiscard]] Mbps Residual(LinkId link) const;
+
+  /// Utilization of a link in [0, 1].
+  [[nodiscard]] double Utilization(LinkId link) const;
+
+  /// Mean utilization over all links.
+  [[nodiscard]] double AverageUtilization() const;
+
+  /// Mean utilization over links that carry at least one flow.
+  [[nodiscard]] double ActiveLinkUtilization() const;
+
+  /// Mean utilization over fabric links (links not incident to a host) —
+  /// "network utilization" in the core-contended sense. Falls back to
+  /// AverageUtilization() when the graph has no fabric links.
+  [[nodiscard]] double FabricUtilization() const;
+
+  /// True iff every link of `path` has residual >= demand (within epsilon).
+  [[nodiscard]] bool CanPlace(Mbps demand, const topo::Path& path) const;
+
+  /// Links of `path` whose residual is below `demand` — the congested set
+  /// E^c of Definition 1.
+  [[nodiscard]] std::vector<LinkId> CongestedLinks(Mbps demand,
+                                                   const topo::Path& path) const;
+
+  /// Registers and places a flow on `path`. Requires feasibility
+  /// (CanPlace). Returns the assigned flow id.
+  FlowId Place(flow::Flow flow, const topo::Path& path);
+
+  /// Places even if it would congest links (residual may go negative).
+  /// Exists for experiments that study congestion; invariant checking then
+  /// reports the congested links.
+  FlowId ForcePlace(flow::Flow flow, const topo::Path& path);
+
+  /// Removes a flow, releasing its bandwidth.
+  void Remove(FlowId id);
+
+  /// True iff `new_path` could carry the flow once its own occupancy on
+  /// shared links is released — the feasibility predicate of Reroute.
+  [[nodiscard]] bool CanReroute(FlowId id, const topo::Path& new_path) const;
+
+  /// Moves an existing flow to `new_path`. Requires the flow to exist and
+  /// CanReroute to hold.
+  void Reroute(FlowId id, const topo::Path& new_path);
+
+  /// Current path of a placed flow.
+  [[nodiscard]] const topo::Path& PathOf(FlowId id) const;
+
+  /// Ids of flows currently traversing `link` (ascending id order).
+  [[nodiscard]] std::vector<FlowId> FlowsOnLink(LinkId link) const;
+
+  /// Number of flows currently traversing `link`.
+  [[nodiscard]] std::size_t FlowCountOnLink(LinkId link) const;
+
+  /// True when `flow` crosses `link`.
+  [[nodiscard]] bool FlowUsesLink(FlowId flow, LinkId link) const;
+
+  /// All placed flow ids (ascending).
+  [[nodiscard]] std::vector<FlowId> PlacedFlows() const;
+
+  [[nodiscard]] std::size_t placed_flow_count() const {
+    return placements_.size();
+  }
+
+  /// True when no link has negative residual and internal accounting is
+  /// consistent (recomputing residuals from placements matches the
+  /// incremental values). O(V + E + flows * diameter).
+  [[nodiscard]] bool CheckInvariants() const;
+
+  /// True when a flow with this id is placed in this network instance.
+  /// Plans computed against a copy may reference flows (the planned event's
+  /// own placements) that do not exist in the original.
+  [[nodiscard]] bool HasFlow(FlowId id) const { return flows_.Contains(id); }
+
+  /// Read access to a placed flow's descriptor.
+  [[nodiscard]] const flow::Flow& FlowOf(FlowId id) const {
+    return flows_.Get(id);
+  }
+
+ private:
+  void Occupy(const topo::Path& path, Mbps demand, FlowId id);
+  void Release(const topo::Path& path, Mbps demand, FlowId id);
+
+  const topo::Graph* graph_;
+  flow::FlowTable flows_;
+  std::vector<Mbps> residual_;                      // by LinkId
+  std::vector<std::vector<FlowId>> link_flows_;     // by LinkId, unsorted
+  std::unordered_map<FlowId::rep_type, topo::Path> placements_;
+};
+
+}  // namespace nu::net

@@ -1,0 +1,3 @@
+// ScopedTransaction is header-only; this TU exists so the target has a
+// compiled artifact and a place for future out-of-line helpers.
+#include "net/snapshot.h"

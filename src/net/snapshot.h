@@ -1,0 +1,46 @@
+// What-if helpers over the copyable Network. LMTF probes the migration cost
+// of several candidate events per round and P-LMTF tests co-schedulability;
+// both need cheap speculative mutation with guaranteed rollback.
+#pragma once
+
+#include <utility>
+
+#include "net/network.h"
+
+namespace nu::net {
+
+/// RAII transaction: take a copy of the network, mutate the live instance
+/// freely, and unless Commit() is called the destructor restores the saved
+/// state. Non-movable by design — scope it tightly.
+class ScopedTransaction {
+ public:
+  explicit ScopedTransaction(Network& network)
+      : network_(network), saved_(network) {}
+
+  ScopedTransaction(const ScopedTransaction&) = delete;
+  ScopedTransaction& operator=(const ScopedTransaction&) = delete;
+  ScopedTransaction(ScopedTransaction&&) = delete;
+  ScopedTransaction& operator=(ScopedTransaction&&) = delete;
+
+  ~ScopedTransaction() {
+    if (!committed_) network_ = std::move(saved_);
+  }
+
+  /// Keeps the mutations.
+  void Commit() { committed_ = true; }
+
+  /// Explicitly discards mutations now (and disarms the destructor).
+  void Rollback() {
+    network_ = std::move(saved_);
+    committed_ = true;  // nothing left to restore
+  }
+
+  [[nodiscard]] bool committed() const { return committed_; }
+
+ private:
+  Network& network_;
+  Network saved_;
+  bool committed_ = false;
+};
+
+}  // namespace nu::net

@@ -1,0 +1,12 @@
+#include "sched/fifo.h"
+
+#include "common/check.h"
+
+namespace nu::sched {
+
+Decision FifoScheduler::Decide(SchedulingContext& context) {
+  NU_EXPECTS(!context.Queue().empty());
+  return Decision{.selected = {0}};
+}
+
+}  // namespace nu::sched

@@ -1,0 +1,16 @@
+// FIFO: strict arrival-order execution — the fairness baseline of the
+// paper's evaluation. No probes, so minimal plan time, but suffers
+// head-of-line blocking under heavy-tailed event sizes.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace nu::sched {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] Decision Decide(SchedulingContext& context) override;
+  [[nodiscard]] const char* name() const override { return "fifo"; }
+};
+
+}  // namespace nu::sched

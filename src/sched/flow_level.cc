@@ -1,0 +1,35 @@
+#include "sched/flow_level.h"
+
+namespace nu::sched {
+
+std::vector<FlowLevelItem> InterleaveFlows(
+    std::span<const update::UpdateEvent> events) {
+  std::vector<FlowLevelItem> queue;
+  std::size_t total = 0;
+  for (const update::UpdateEvent& e : events) total += e.flow_count();
+  queue.reserve(total);
+
+  std::size_t round = 0;
+  while (queue.size() < total) {
+    for (const update::UpdateEvent& e : events) {
+      if (round < e.flow_count()) {
+        queue.push_back(FlowLevelItem{&e, round});
+      }
+    }
+    ++round;
+  }
+  return queue;
+}
+
+std::vector<FlowLevelItem> ConcatenateFlows(
+    std::span<const update::UpdateEvent> events) {
+  std::vector<FlowLevelItem> queue;
+  for (const update::UpdateEvent& e : events) {
+    for (std::size_t i = 0; i < e.flow_count(); ++i) {
+      queue.push_back(FlowLevelItem{&e, i});
+    }
+  }
+  return queue;
+}
+
+}  // namespace nu::sched

@@ -1,0 +1,36 @@
+// Flow-level baseline (the comparison of Figs. 2, 4, 5): flows are
+// scheduled individually in their arrival order, with no notion of which
+// update event they belong to. Since all flows of an event arrive together,
+// the per-flow queue interleaves events round-robin — the classic
+// event-blind behaviour the paper's Fig. 2(a) depicts. The simulator
+// consumes this sequence one flow at a time; an event completes when its
+// last flow does.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "update/update_event.h"
+
+namespace nu::sched {
+
+/// One entry of the flow-level queue.
+struct FlowLevelItem {
+  const update::UpdateEvent* event = nullptr;
+  std::size_t flow_index = 0;
+};
+
+/// Builds the interleaved per-flow queue: round-robin across the events
+/// (in arrival order) until all flows are drained — f1 of U1, f1 of U2,
+/// f1 of U3, f2 of U1, ... Events with more flows keep contributing after
+/// shorter ones drain.
+[[nodiscard]] std::vector<FlowLevelItem> InterleaveFlows(
+    std::span<const update::UpdateEvent> events);
+
+/// Builds the non-interleaved sequence (all flows of U1, then U2, ...);
+/// equivalent to event-level FIFO at flow granularity. Used in tests to
+/// isolate the effect of interleaving.
+[[nodiscard]] std::vector<FlowLevelItem> ConcatenateFlows(
+    std::span<const update::UpdateEvent> events);
+
+}  // namespace nu::sched

@@ -1,0 +1,50 @@
+#include "sched/lmtf.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nu::sched {
+
+LmtfScheduler::LmtfScheduler(LmtfConfig config) : config_(config) {
+  NU_EXPECTS(config_.alpha >= 1);
+}
+
+LmtfScheduler::Pick LmtfScheduler::PickCheapest(SchedulingContext& context,
+                                                std::size_t alpha) {
+  const std::size_t queue_size = context.Queue().size();
+  NU_EXPECTS(queue_size > 0);
+
+  // Candidates: the head plus alpha events sampled without replacement from
+  // positions [1, queue_size).
+  std::vector<std::size_t> candidates{0};
+  if (queue_size > 1) {
+    const std::size_t sample_count = std::min(alpha, queue_size - 1);
+    auto sampled =
+        context.rng().SampleWithoutReplacement(queue_size - 1, sample_count);
+    for (std::size_t s : sampled) candidates.push_back(s + 1);
+    // Arrival order within the sampled set (deterministic and fairness-
+    // friendly for the P-LMTF second phase).
+    std::sort(candidates.begin() + 1, candidates.end());
+  }
+
+  std::size_t cheapest = candidates.front();
+  Mbps cheapest_cost = context.ProbeCost(candidates.front());
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const Mbps cost = context.ProbeCost(candidates[i]);
+    // Strict < : on ties the earlier arrival (smaller queue index) wins,
+    // preserving FIFO order whenever costs are equal.
+    if (cost < cheapest_cost) {
+      cheapest = candidates[i];
+      cheapest_cost = cost;
+    }
+  }
+  return Pick{.candidates = std::move(candidates), .cheapest = cheapest};
+}
+
+Decision LmtfScheduler::Decide(SchedulingContext& context) {
+  const Pick pick = PickCheapest(context, config_.alpha);
+  return Decision{.selected = {pick.cheapest}};
+}
+
+}  // namespace nu::sched

@@ -1,0 +1,28 @@
+#include "sched/plmtf.h"
+
+#include "common/check.h"
+
+namespace nu::sched {
+
+PlmtfScheduler::PlmtfScheduler(LmtfConfig config) : config_(config) {
+  NU_EXPECTS(config_.alpha >= 1);
+}
+
+Decision PlmtfScheduler::Decide(SchedulingContext& context) {
+  const LmtfScheduler::Pick pick =
+      LmtfScheduler::PickCheapest(context, config_.alpha);
+
+  Decision decision;
+  decision.selected.push_back(pick.cheapest);
+
+  // Opportunistic updating: try the other candidates in arrival order.
+  for (std::size_t candidate : pick.candidates) {
+    if (candidate == pick.cheapest) continue;
+    if (context.ProbeCoFeasible(decision.selected, candidate)) {
+      decision.selected.push_back(candidate);
+    }
+  }
+  return decision;
+}
+
+}  // namespace nu::sched

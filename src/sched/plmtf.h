@@ -1,0 +1,29 @@
+// P-LMTF — parallel LMTF with opportunistic updating (Section IV-C).
+// Step 1 is exactly LMTF: probe the head plus alpha sampled events, make the
+// cheapest the new head. Step 2 walks the REMAINING candidates in arrival
+// order and co-schedules each one that can be executed simultaneously with
+// everything already selected. Earlier arrivals get the first chance, which
+// is how the method restores fairness: a heavy event that LMTF displaced is
+// the first considered for parallel execution. Only the alpha+1 candidates
+// are checked — scanning the whole queue would reintroduce the reorder
+// scheduler's overhead.
+#pragma once
+
+#include "sched/lmtf.h"
+
+namespace nu::sched {
+
+class PlmtfScheduler final : public Scheduler {
+ public:
+  explicit PlmtfScheduler(LmtfConfig config = {});
+
+  [[nodiscard]] Decision Decide(SchedulingContext& context) override;
+  [[nodiscard]] const char* name() const override { return "p-lmtf"; }
+
+  [[nodiscard]] const LmtfConfig& config() const { return config_; }
+
+ private:
+  LmtfConfig config_;
+};
+
+}  // namespace nu::sched

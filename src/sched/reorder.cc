@@ -1,0 +1,23 @@
+#include "sched/reorder.h"
+
+#include "common/check.h"
+
+namespace nu::sched {
+
+Decision ReorderScheduler::Decide(SchedulingContext& context) {
+  const std::size_t queue_size = context.Queue().size();
+  NU_EXPECTS(queue_size > 0);
+  std::size_t best = 0;
+  Mbps best_cost = context.ProbeCost(0);
+  for (std::size_t i = 1; i < queue_size; ++i) {
+    const Mbps cost = context.ProbeCost(i);
+    // Strict < keeps the earliest arrival on ties (fairness tiebreak).
+    if (cost < best_cost) {
+      best = i;
+      best_cost = cost;
+    }
+  }
+  return Decision{.selected = {best}};
+}
+
+}  // namespace nu::sched

@@ -1,0 +1,18 @@
+// The "intrinsic" full-reorder scheduler the paper discusses (and rejects):
+// each round, compute the update cost of EVERY queued event and execute the
+// cheapest. Optimal head-of-line avoidance but O(queue) probes per round —
+// the plan-time blow-up that motivates LMTF's sampling. Kept as an upper
+// bound for the ablation benches.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace nu::sched {
+
+class ReorderScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] Decision Decide(SchedulingContext& context) override;
+  [[nodiscard]] const char* name() const override { return "reorder"; }
+};
+
+}  // namespace nu::sched

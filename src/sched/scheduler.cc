@@ -1,0 +1,17 @@
+#include "sched/scheduler.h"
+
+#include <unordered_set>
+
+namespace nu::sched {
+
+bool IsValidDecision(const Decision& decision, std::size_t queue_size) {
+  if (decision.selected.empty()) return false;
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t index : decision.selected) {
+    if (index >= queue_size) return false;
+    if (!seen.insert(index).second) return false;
+  }
+  return true;
+}
+
+}  // namespace nu::sched

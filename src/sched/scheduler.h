@@ -1,0 +1,67 @@
+// Inter-event scheduling interface (Section III-C / IV). Each round the
+// simulator asks the scheduler which queued update event(s) to execute next.
+// Schedulers see the queue through SchedulingContext, which also provides
+// the two probes the paper's methods use:
+//   * ProbeCost        — plan an event against the current network and return
+//                        its Cost(U) (LMTF's comparison metric). Expensive;
+//                        charged to the run's plan time.
+//   * ProbeCoFeasible  — can this event be executed together with the
+//                        already-selected ones? (P-LMTF's opportunistic
+//                        check). Cheaper; also charged.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "update/update_event.h"
+
+namespace nu::sched {
+
+/// Scheduler's view of one queued event.
+struct QueuedEvent {
+  const update::UpdateEvent* event = nullptr;
+  /// Position is implied by index in the queue span (arrival order).
+};
+
+class SchedulingContext {
+ public:
+  virtual ~SchedulingContext() = default;
+
+  /// Queued events in arrival order. Non-empty when Decide is called.
+  [[nodiscard]] virtual std::span<const QueuedEvent> Queue() const = 0;
+
+  /// Cost(U) of the event at `index`, planned against the current network.
+  virtual Mbps ProbeCost(std::size_t index) = 0;
+
+  /// True when the event at `index` can be fully executed simultaneously
+  /// with the events at `selected` (what-if against the current network).
+  virtual bool ProbeCoFeasible(std::span<const std::size_t> selected,
+                               std::size_t index) = 0;
+
+  /// Randomness source for sampling-based schedulers.
+  virtual Rng& rng() = 0;
+};
+
+struct Decision {
+  /// Queue indices to execute this round; front entry is the (new) head.
+  /// Must be non-empty and duplicate-free.
+  std::vector<std::size_t> selected;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Picks the events for the next round. The queue is non-empty.
+  [[nodiscard]] virtual Decision Decide(SchedulingContext& context) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Validates a decision against a queue size (non-empty, in-range, unique).
+[[nodiscard]] bool IsValidDecision(const Decision& decision,
+                                   std::size_t queue_size);
+
+}  // namespace nu::sched

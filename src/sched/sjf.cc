@@ -1,0 +1,42 @@
+#include "sched/sjf.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nu::sched {
+
+SjfScheduler::SjfScheduler(LmtfConfig config) : config_(config) {
+  NU_EXPECTS(config_.alpha >= 1);
+}
+
+Decision SjfScheduler::Decide(SchedulingContext& context) {
+  const std::size_t queue_size = context.Queue().size();
+  NU_EXPECTS(queue_size > 0);
+
+  std::vector<std::size_t> candidates{0};
+  if (queue_size > 1) {
+    const std::size_t sample_count =
+        std::min(config_.alpha, queue_size - 1);
+    auto sampled =
+        context.rng().SampleWithoutReplacement(queue_size - 1, sample_count);
+    for (std::size_t s : sampled) candidates.push_back(s + 1);
+  }
+
+  std::size_t smallest = candidates.front();
+  std::size_t smallest_flows =
+      context.Queue()[candidates.front()].event->flow_count();
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const std::size_t flows =
+        context.Queue()[candidates[i]].event->flow_count();
+    // Strict <: ties keep the earlier arrival.
+    if (flows < smallest_flows ||
+        (flows == smallest_flows && candidates[i] < smallest)) {
+      smallest = candidates[i];
+      smallest_flows = flows;
+    }
+  }
+  return Decision{.selected = {smallest}};
+}
+
+}  // namespace nu::sched

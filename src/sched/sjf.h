@@ -1,0 +1,26 @@
+// SJF-by-size: LMTF's sampling structure, but candidates are compared by
+// flow COUNT (known for free) instead of probed update cost. An ablation
+// baseline answering "does LMTF's cost probing earn its plan-time?" — if
+// event size alone predicted service time, probing would be wasted; when
+// migration cost varies independently of size (congested fabrics, churn),
+// cost probing wins.
+#pragma once
+
+#include "sched/lmtf.h"
+
+namespace nu::sched {
+
+class SjfScheduler final : public Scheduler {
+ public:
+  explicit SjfScheduler(LmtfConfig config = {});
+
+  [[nodiscard]] Decision Decide(SchedulingContext& context) override;
+  [[nodiscard]] const char* name() const override { return "sjf-size"; }
+
+  [[nodiscard]] const LmtfConfig& config() const { return config_; }
+
+ private:
+  LmtfConfig config_;
+};
+
+}  // namespace nu::sched

@@ -1,0 +1,2 @@
+// CostModel is header-only; this TU anchors the target.
+#include "sim/cost_model.h"

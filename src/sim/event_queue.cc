@@ -1,0 +1,2 @@
+// TimelineQueue is a header-only template; this TU anchors the target.
+#include "sim/event_queue.h"

@@ -1,0 +1,56 @@
+// Deterministic time-ordered queue for simulator occurrences. Entries at
+// equal times pop in insertion order (monotonic sequence tiebreak), which
+// keeps every run bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace nu::sim {
+
+template <typename T>
+class TimelineQueue {
+ public:
+  struct Entry {
+    Seconds time;
+    std::uint64_t seq;
+    T payload;
+  };
+
+  void Push(Seconds time, T payload) {
+    heap_.push(Entry{time, next_seq_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  [[nodiscard]] Seconds NextTime() const {
+    NU_EXPECTS(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  /// Pops the earliest entry.
+  Entry Pop() {
+    NU_EXPECTS(!heap_.empty());
+    Entry entry = heap_.top();
+    heap_.pop();
+    return entry;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace nu::sim

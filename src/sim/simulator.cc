@@ -1,0 +1,665 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+
+#include "common/logging.h"
+#include "metrics/collector.h"
+#include "net/admission.h"
+#include "update/cost_estimate.h"
+
+namespace nu::sim {
+namespace {
+
+constexpr double kTimeEpsilon = 1e-9;
+
+/// Timeline occurrences.
+///   kDeparture:           an event flow's transmission finished — release
+///                         its bandwidth.
+///   kBackgroundDeparture: a background flow ended (churn) — release and
+///                         spawn a replacement draw.
+///   kInstallDone:         a batch of an event's flow installations
+///                         finished — progress the event toward completion.
+struct Occurrence {
+  enum class Kind : std::uint8_t {
+    kDeparture,
+    kBackgroundDeparture,
+    kInstallDone,
+  };
+  Kind kind = Kind::kDeparture;
+  FlowId flow;            // departures
+  EventId event;          // event-flow departures and installs
+  std::size_t count = 0;  // kInstallDone: installs in the batch
+};
+
+/// An update event currently executing (installing flows, possibly waiting
+/// for capacity for its deferred flows).
+struct ActiveEvent {
+  const update::UpdateEvent* event = nullptr;
+  /// Flows whose installation has finished.
+  std::size_t installed = 0;
+  /// Installation batches in flight (scheduled kInstallDone occurrences).
+  std::size_t batches_in_flight = 0;
+  /// Indices of flows waiting for capacity, in event order.
+  std::deque<std::size_t> deferred;
+  /// Consecutive cheap-retry failures; full migration planning runs only
+  /// every kMigrationRetryPeriod-th failure to keep churn retries cheap.
+  std::size_t retry_failures = 0;
+
+  [[nodiscard]] bool Complete() const {
+    return installed == event->flow_count();
+  }
+};
+
+/// How often a deferred-flow retry escalates from a cheap admission check to
+/// full migration planning.
+constexpr std::size_t kMigrationRetryPeriod = 20;
+
+/// SchedulingContext implementation for one round. Charges probe costs and
+/// memoizes the scratch network used by incremental co-feasibility checks.
+class RoundContext final : public sched::SchedulingContext {
+ public:
+  RoundContext(const net::Network& network, const update::EventPlanner& planner,
+               const CostModel& cost_model,
+               std::span<const sched::QueuedEvent> queue, Rng& rng,
+               Mbps co_migration_allowance, bool quick_cost_probes)
+      : network_(network),
+        planner_(planner),
+        cost_model_(cost_model),
+        queue_(queue),
+        rng_(rng),
+        co_migration_allowance_(co_migration_allowance),
+        quick_cost_probes_(quick_cost_probes) {}
+
+  [[nodiscard]] std::span<const sched::QueuedEvent> Queue() const override {
+    return queue_;
+  }
+
+  Mbps ProbeCost(std::size_t index) override {
+    NU_EXPECTS(index < queue_.size());
+    const update::UpdateEvent& event = *queue_[index].event;
+    ++cost_probes_;
+
+    if (quick_cost_probes_) {
+      // Estimate-based probe: much cheaper, and the winner is NOT marked
+      // probed — execution still pays for (and computes) the full plan.
+      plan_time_ += cost_model_.quick_probe_factor *
+                    cost_model_.ProbeTime(event.flow_count());
+      return update::QuickCostScore(network_, planner_.paths(), event);
+    }
+
+    plan_time_ += cost_model_.ProbeTime(event.flow_count());
+    probed_.push_back(index);
+
+    const update::EventPlan plan = planner_.Plan(network_, event);
+    Mbps cost = plan.migrated_traffic;
+    if (!plan.fully_feasible) {
+      // Deprioritize events that cannot fully run now: a blocked flow would
+      // stall the whole round, so charge each unplaceable flow as if its
+      // whole demand had to migrate, scaled up.
+      for (const update::FlowAction& action : plan.actions) {
+        if (!action.placeable) {
+          cost += 10.0 * event.flows()[action.flow_index].demand;
+        }
+      }
+    }
+    return cost;
+  }
+
+  bool ProbeCoFeasible(std::span<const std::size_t> selected,
+                       std::size_t index) override {
+    NU_EXPECTS(index < queue_.size());
+    const update::UpdateEvent& event = *queue_[index].event;
+    plan_time_ += cost_model_.CoFeasibilityTime(event.flow_count());
+    ++cofeasibility_probes_;
+    probed_.push_back(index);
+
+    EnsureScratch(selected);
+    const update::EventPlan plan = planner_.Plan(*scratch_, event);
+    if (!plan.fully_feasible) return false;
+    // Near-free wins only: co-scheduling should not buy parallelism with
+    // migration cost that waiting (and churn) might avoid.
+    if (plan.migrated_traffic > co_migration_allowance_) return false;
+    // "Together" means without disturbing the events selected this round:
+    // the plan may shuffle background flows and still-transmitting flows of
+    // past rounds, but must not migrate flows the current round is placing.
+    for (const update::FlowAction& action : plan.actions) {
+      for (const update::MigrationMove& move : action.migration.moves) {
+        // Ids absent from the scratch network were placed by the probed
+        // event itself inside the plan's private copy — migrating one's own
+        // earlier flows is fine.
+        if (!scratch_->HasFlow(move.flow)) continue;
+        const EventId owner = scratch_->FlowOf(move.flow).event;
+        if (!owner.valid()) continue;  // background
+        for (std::size_t s : selected) {
+          if (queue_[s].event->id() == owner) return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  Rng& rng() override { return rng_; }
+
+  [[nodiscard]] Seconds plan_time() const { return plan_time_; }
+  [[nodiscard]] std::size_t cost_probes() const { return cost_probes_; }
+  [[nodiscard]] std::size_t cofeasibility_probes() const {
+    return cofeasibility_probes_;
+  }
+  [[nodiscard]] bool WasProbed(std::size_t index) const {
+    return std::find(probed_.begin(), probed_.end(), index) != probed_.end();
+  }
+
+ private:
+  /// Lazily maintains a scratch network with `selected` events applied.
+  /// P-LMTF grows `selected` by appending, so the applied prefix usually
+  /// stays valid; any other shape triggers a rebuild.
+  void EnsureScratch(std::span<const std::size_t> selected) {
+    const bool prefix_ok =
+        scratch_.has_value() && applied_.size() <= selected.size() &&
+        std::equal(applied_.begin(), applied_.end(), selected.begin());
+    if (!prefix_ok) {
+      scratch_ = network_;
+      applied_.clear();
+    }
+    if (!scratch_.has_value()) scratch_ = network_;
+    for (std::size_t i = applied_.size(); i < selected.size(); ++i) {
+      planner_.Execute(*scratch_, *queue_[selected[i]].event);
+      applied_.push_back(selected[i]);
+    }
+  }
+
+  const net::Network& network_;
+  const update::EventPlanner& planner_;
+  const CostModel& cost_model_;
+  std::span<const sched::QueuedEvent> queue_;
+  Rng& rng_;
+
+  Seconds plan_time_ = 0.0;
+  std::size_t cost_probes_ = 0;
+  std::size_t cofeasibility_probes_ = 0;
+  std::vector<std::size_t> probed_;
+  std::optional<net::Network> scratch_;
+  std::vector<std::size_t> applied_;
+  Mbps co_migration_allowance_ = 100.0;
+  bool quick_cost_probes_ = false;
+};
+
+/// Events sorted by arrival time (stable on ties).
+std::vector<const update::UpdateEvent*> SortedByArrival(
+    std::span<const update::UpdateEvent> events) {
+  std::vector<const update::UpdateEvent*> sorted;
+  sorted.reserve(events.size());
+  for (const update::UpdateEvent& e : events) sorted.push_back(&e);
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const update::UpdateEvent* a,
+                      const update::UpdateEvent* b) {
+                     return a->arrival_time() < b->arrival_time();
+                   });
+  return sorted;
+}
+
+}  // namespace
+
+Simulator::Simulator(const net::Network& initial,
+                     const topo::PathProvider& paths, SimConfig config)
+    : initial_(initial), paths_(paths), config_(config) {}
+
+SimResult Simulator::Run(sched::Scheduler& scheduler,
+                         std::span<const update::UpdateEvent> events) {
+  net::Network network = initial_;
+  const update::EventPlanner planner(paths_, config_.migration_options,
+                                     config_.path_selection);
+  const CostModel& costs = config_.cost_model;
+  metrics::Collector collector;
+  Rng rng(config_.seed);
+  SimResult result;
+
+  const auto pending = SortedByArrival(events);
+  std::size_t next_arrival = 0;
+
+  std::vector<const update::UpdateEvent*> queue;
+  std::unordered_map<EventId::rep_type, ActiveEvent> active;
+  std::vector<EventId> active_order;
+  TimelineQueue<Occurrence> timeline;
+  Seconds now = 0.0;
+  Seconds total_plan_time = 0.0;
+
+  // Background churn: existing background flows end after a residual
+  // lifetime (stationarity: uniform fraction of the full duration) and are
+  // replaced with fresh draws at departure time.
+  std::unique_ptr<trace::TrafficGenerator> churn_gen;
+  Rng churn_rng(config_.seed ^ 0xC0FFEEULL);
+  if (config_.churn.enabled) {
+    NU_CHECK(churn_factory_ != nullptr);
+    churn_gen = churn_factory_(config_.seed ^ 0xBEEFULL);
+    for (FlowId fid : network.PlacedFlows()) {
+      const flow::Flow& f = network.FlowOf(fid);
+      if (f.origin != flow::FlowOrigin::kBackground) continue;
+      timeline.Push(churn_rng.Uniform01() * f.duration,
+                    Occurrence{Occurrence::Kind::kBackgroundDeparture, fid,
+                               EventId::invalid(), 0});
+    }
+  }
+
+  auto spawn_background_replacement = [&] {
+    for (std::size_t attempt = 0;
+         attempt < config_.churn.replacement_attempts; ++attempt) {
+      const trace::FlowSpec spec = churn_gen->Next();
+      const auto path = trace::FindRandomPathWithHeadroom(
+          network, paths_, spec.src, spec.dst, spec.demand,
+          config_.churn.placement, churn_rng);
+      if (!path.has_value()) continue;
+      flow::Flow f;
+      f.src = spec.src;
+      f.dst = spec.dst;
+      f.demand = spec.demand;
+      f.duration = spec.duration;
+      f.origin = flow::FlowOrigin::kBackground;
+      const FlowId placed = network.Place(std::move(f), *path);
+      timeline.Push(now + spec.duration,
+                    Occurrence{Occurrence::Kind::kBackgroundDeparture, placed,
+                               EventId::invalid(), 0});
+      return;
+    }
+  };
+
+  auto ingest_arrivals = [&] {
+    while (next_arrival < pending.size() &&
+           pending[next_arrival]->arrival_time() <= now + kTimeEpsilon) {
+      const update::UpdateEvent* e = pending[next_arrival];
+      queue.push_back(e);
+      collector.OnArrival(e->id(), e->arrival_time(), e->flow_count());
+      ++next_arrival;
+    }
+  };
+
+  /// Schedules an install batch: flows become installed at `install_end`;
+  /// each starts transmitting then and departs after its duration.
+  auto schedule_batch = [&](ActiveEvent& ae, EventId id,
+                            std::span<const FlowId> flows,
+                            Seconds install_end) {
+    timeline.Push(install_end, Occurrence{Occurrence::Kind::kInstallDone,
+                                          FlowId::invalid(), id,
+                                          flows.size()});
+    ++ae.batches_in_flight;
+    for (FlowId fid : flows) {
+      timeline.Push(install_end + network.FlowOf(fid).duration,
+                    Occurrence{Occurrence::Kind::kDeparture, fid, id, 0});
+    }
+  };
+
+  // Retries deferred flows of active events (activation order) against the
+  // freed capacity. A retry is a cheap admission check; full migration
+  // planning runs only every kMigrationRetryPeriod-th failure, so frequent
+  // churn departures stay inexpensive. Stops at the first still-unplaceable
+  // flow per event (head-of-line within the event).
+  auto retry_deferred = [&] {
+    for (EventId id : active_order) {
+      ActiveEvent& ae = active.at(id.value());
+      while (!ae.deferred.empty()) {
+        const flow::Flow& f = ae.event->flows()[ae.deferred.front()];
+        Mbps migrated = 0.0;
+        std::optional<FlowId> placed;
+        if (auto direct = net::FindFeasiblePath(network, paths_, f.src, f.dst,
+                                                f.demand,
+                                                config_.path_selection)) {
+          placed = network.Place(f, *direct);
+          total_plan_time += costs.plan_time_per_flow;
+        } else if (++ae.retry_failures % kMigrationRetryPeriod == 0) {
+          placed = planner.PlaceFlow(network, f, &migrated);
+          total_plan_time += costs.plan_time_per_flow;
+        }
+        if (!placed.has_value()) break;
+        ae.retry_failures = 0;
+        collector.OnCost(id, migrated);
+        const Seconds install_end =
+            now + costs.MigrationTime(migrated) + costs.InstallTime(1);
+        const FlowId placed_ids[] = {*placed};
+        schedule_batch(ae, id, placed_ids, install_end);
+        ae.deferred.pop_front();
+      }
+    }
+  };
+
+  std::size_t guard = 0;
+  for (;;) {
+    NU_CHECK(++guard < 100'000'000);
+    ingest_arrivals();
+
+    // Drained: every event arrived and completed. (Churn would keep the
+    // timeline busy forever, so do not wait for it to empty.)
+    if (active.empty() && queue.empty() && next_arrival >= pending.size()) {
+      break;
+    }
+
+    if (active.empty() && !queue.empty()) {
+      // --- Scheduling round ---
+      std::vector<sched::QueuedEvent> view;
+      view.reserve(queue.size());
+      for (const update::UpdateEvent* e : queue) {
+        view.push_back(sched::QueuedEvent{e});
+      }
+      RoundContext context(network, planner, costs, view, rng,
+                           config_.plmtf_co_migration_allowance,
+                           config_.quick_cost_probes);
+      const sched::Decision decision = scheduler.Decide(context);
+      NU_CHECK(sched::IsValidDecision(decision, queue.size()));
+
+      total_plan_time += context.plan_time();
+      result.cost_probes += context.cost_probes();
+      result.cofeasibility_probes += context.cofeasibility_probes();
+      now += context.plan_time();
+
+      RoundLogEntry log;
+      log.decision_time = now;
+      log.plan_time = context.plan_time();
+
+      for (std::size_t index : decision.selected) {
+        const update::UpdateEvent* event = queue[index];
+        if (!context.WasProbed(index)) {
+          // FIFO-style execution without a prior probe still pays for
+          // computing the event's update plan.
+          const Seconds t = costs.ProbeTime(event->flow_count());
+          total_plan_time += t;
+          now += t;
+        }
+        collector.OnExecutionStart(event->id(), now);
+        const update::ExecutionResult exec = planner.Execute(network, *event);
+        collector.OnCost(event->id(), exec.plan.migrated_traffic);
+
+        ActiveEvent ae;
+        ae.event = event;
+        active_order.push_back(event->id());
+        const auto [it, inserted] =
+            active.emplace(event->id().value(), std::move(ae));
+        NU_CHECK(inserted);
+        if (!exec.placed_flows.empty()) {
+          const Seconds install_end =
+              now + costs.MigrationTime(exec.plan.migrated_traffic) +
+              costs.InstallTime(exec.placed_flows.size());
+          schedule_batch(it->second, event->id(), exec.placed_flows,
+                         install_end);
+        }
+        for (std::size_t deferred_index : exec.deferred_flows) {
+          it->second.deferred.push_back(deferred_index);
+          collector.OnDeferredFlow(event->id());
+        }
+        log.executed.push_back(event->id());
+      }
+
+      // Remove executed events from the queue (descending index).
+      std::vector<std::size_t> sorted_selected = decision.selected;
+      std::sort(sorted_selected.rbegin(), sorted_selected.rend());
+      for (std::size_t index : sorted_selected) {
+        queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(index));
+      }
+
+      ++result.rounds;
+      if (config_.keep_round_log) result.round_log.push_back(std::move(log));
+      continue;
+    }
+
+    // --- Advance virtual time ---
+    const bool have_arrival = next_arrival < pending.size();
+    const bool have_occurrence = !timeline.empty();
+    if (!have_arrival && !have_occurrence) {
+      // Deferred flows with nothing left to free capacity: break the
+      // deadlock by force-placing them (reported, not hidden).
+      bool any_deferred = false;
+      for (EventId id : active_order) {
+        ActiveEvent& ae = active.at(id.value());
+        while (!ae.deferred.empty()) {
+          any_deferred = true;
+          const flow::Flow& f = ae.event->flows()[ae.deferred.front()];
+          const topo::Path& path = net::LeastCongestedPath(
+              network, paths_, f.src, f.dst, f.demand);
+          const FlowId placed = network.ForcePlace(f, path);
+          const FlowId placed_ids[] = {placed};
+          schedule_batch(ae, id, placed_ids, now + costs.InstallTime(1));
+          ae.deferred.pop_front();
+          ++result.forced_placements;
+        }
+      }
+      NU_CHECK(any_deferred);  // otherwise the loop cannot make progress
+      continue;
+    }
+
+    Seconds next_time = std::numeric_limits<double>::infinity();
+    if (have_arrival) {
+      next_time = std::min(next_time, pending[next_arrival]->arrival_time());
+    }
+    if (have_occurrence) next_time = std::min(next_time, timeline.NextTime());
+    now = std::max(now, next_time);
+
+    bool departed = false;
+    while (!timeline.empty() && timeline.NextTime() <= now + kTimeEpsilon) {
+      const auto entry = timeline.Pop();
+      const Occurrence& occ = entry.payload;
+      if (occ.kind == Occurrence::Kind::kDeparture) {
+        network.Remove(occ.flow);
+        departed = true;
+        continue;
+      }
+      if (occ.kind == Occurrence::Kind::kBackgroundDeparture) {
+        network.Remove(occ.flow);
+        spawn_background_replacement();
+        departed = true;
+        continue;
+      }
+      // kInstallDone: the event's batch finished installing.
+      const auto it = active.find(occ.event.value());
+      NU_CHECK(it != active.end());
+      ActiveEvent& ae = it->second;
+      ae.installed += occ.count;
+      NU_CHECK(ae.batches_in_flight > 0);
+      --ae.batches_in_flight;
+      if (ae.Complete()) {
+        collector.OnCompletion(occ.event, entry.time);
+        active.erase(it);
+        active_order.erase(std::find(active_order.begin(),
+                                     active_order.end(), occ.event));
+      }
+    }
+    if (departed) retry_deferred();
+    if (config_.validate_invariants) {
+      NU_CHECK(network.CheckInvariants() || result.forced_placements > 0);
+    }
+  }
+
+  NU_CHECK(collector.AllComplete());
+  NU_CHECK(!config_.validate_invariants || network.CheckInvariants() ||
+           result.forced_placements > 0);
+  result.records = collector.records();
+  result.report = metrics::BuildReport(collector, total_plan_time,
+                                       config_.tail_percentile);
+  return result;
+}
+
+SimResult Simulator::RunFlowLevel(
+    std::span<const update::UpdateEvent> events) {
+  net::Network network = initial_;
+  const update::EventPlanner planner(paths_, config_.migration_options,
+                                     config_.path_selection);
+  const CostModel& costs = config_.cost_model;
+  metrics::Collector collector;
+  SimResult result;
+
+  const auto pending = SortedByArrival(events);
+  std::size_t next_arrival = 0;
+
+  // Per-event dispatch state, in arrival order.
+  struct EvState {
+    const update::UpdateEvent* event = nullptr;
+    std::size_t dispatched = 0;
+    Seconds last_install_end = 0.0;
+    bool started = false;
+    std::size_t retry_failures = 0;
+  };
+  std::vector<EvState> arrived;
+
+  struct FlowEnd {
+    FlowId flow;
+    bool background = false;
+  };
+  TimelineQueue<FlowEnd> departures;
+  Seconds now = 0.0;
+  Seconds total_plan_time = 0.0;
+  std::size_t cursor = 0;  // round-robin over arrived events
+
+  // Background churn (see Run for the model).
+  std::unique_ptr<trace::TrafficGenerator> churn_gen;
+  Rng churn_rng(config_.seed ^ 0xC0FFEEULL);
+  if (config_.churn.enabled) {
+    NU_CHECK(churn_factory_ != nullptr);
+    churn_gen = churn_factory_(config_.seed ^ 0xBEEFULL);
+    for (FlowId fid : network.PlacedFlows()) {
+      const flow::Flow& f = network.FlowOf(fid);
+      if (f.origin != flow::FlowOrigin::kBackground) continue;
+      departures.Push(churn_rng.Uniform01() * f.duration, FlowEnd{fid, true});
+    }
+  }
+
+  auto spawn_background_replacement = [&] {
+    for (std::size_t attempt = 0;
+         attempt < config_.churn.replacement_attempts; ++attempt) {
+      const trace::FlowSpec spec = churn_gen->Next();
+      const auto path = trace::FindRandomPathWithHeadroom(
+          network, paths_, spec.src, spec.dst, spec.demand,
+          config_.churn.placement, churn_rng);
+      if (!path.has_value()) continue;
+      flow::Flow f;
+      f.src = spec.src;
+      f.dst = spec.dst;
+      f.demand = spec.demand;
+      f.duration = spec.duration;
+      f.origin = flow::FlowOrigin::kBackground;
+      const FlowId placed = network.Place(std::move(f), *path);
+      departures.Push(now + spec.duration, FlowEnd{placed, true});
+      return;
+    }
+  };
+
+  auto ingest_arrivals = [&] {
+    while (next_arrival < pending.size() &&
+           pending[next_arrival]->arrival_time() <= now + kTimeEpsilon) {
+      const update::UpdateEvent* e = pending[next_arrival];
+      arrived.push_back(EvState{e});
+      collector.OnArrival(e->id(), e->arrival_time(), e->flow_count());
+      ++next_arrival;
+    }
+  };
+
+  // Next event with an undispatched flow under round-robin interleaving, or
+  // nullptr when everything arrived so far is fully dispatched.
+  auto next_item = [&]() -> EvState* {
+    for (std::size_t step = 0; step < arrived.size(); ++step) {
+      EvState& state = arrived[(cursor + step) % arrived.size()];
+      if (state.dispatched < state.event->flow_count()) {
+        cursor = (cursor + step) % arrived.size();
+        return &state;
+      }
+    }
+    return nullptr;
+  };
+
+  auto process_departures_until = [&](Seconds t) {
+    while (!departures.empty() && departures.NextTime() <= t + kTimeEpsilon) {
+      const FlowEnd end = departures.Pop().payload;
+      network.Remove(end.flow);
+      if (end.background) spawn_background_replacement();
+    }
+  };
+
+  // Installs one flow of `state` at the current time. Migration and rule
+  // installation occupy the update pipeline serially (advancing `now`), so
+  // one flow's update finishes before the next is dispatched. Records
+  // completion when it was the event's last flow.
+  auto install = [&](EvState& state, FlowId placed, Mbps migrated) {
+    if (!state.started) {
+      state.started = true;
+      collector.OnExecutionStart(state.event->id(), now);
+    }
+    collector.OnCost(state.event->id(), migrated);
+    now += costs.MigrationTime(migrated) + costs.InstallTime(1);
+    state.last_install_end = std::max(state.last_install_end, now);
+    departures.Push(now + network.FlowOf(placed).duration,
+                    FlowEnd{placed, false});
+    ++state.dispatched;
+    if (state.dispatched == state.event->flow_count()) {
+      collector.OnCompletion(state.event->id(), state.last_install_end);
+    }
+    cursor = (cursor + 1) % arrived.size();
+  };
+
+  std::size_t guard = 0;
+  for (;;) {
+    NU_CHECK(++guard < 100'000'000);
+    ingest_arrivals();
+
+    EvState* item = next_item();
+    if (item == nullptr) {
+      if (next_arrival >= pending.size()) break;  // all flows dispatched
+      now = std::max(now, pending[next_arrival]->arrival_time());
+      process_departures_until(now);
+      continue;
+    }
+
+    // Dispatch one flow: planning this flow costs plan time. Migration and
+    // installation then occupy the update pipeline serially (inside
+    // `install`), exactly as they do within an event-level round — the
+    // flow-level baseline differs only in its event-blind ordering.
+    // Blocked retries use the cheap admission check; full migration planning
+    // runs every kMigrationRetryPeriod-th failure (as in the event-level
+    // retry path).
+    const flow::Flow& f = item->event->flows()[item->dispatched];
+    now += costs.plan_time_per_flow;
+    total_plan_time += costs.plan_time_per_flow;
+    process_departures_until(now);
+
+    Mbps migrated = 0.0;
+    std::optional<FlowId> placed;
+    if (item->retry_failures == 0 ||
+        item->retry_failures % kMigrationRetryPeriod == 0) {
+      placed = planner.PlaceFlow(network, f, &migrated);
+    } else if (auto direct = net::FindFeasiblePath(
+                   network, paths_, f.src, f.dst, f.demand,
+                   config_.path_selection)) {
+      placed = network.Place(f, *direct);
+    }
+    if (placed.has_value()) {
+      item->retry_failures = 0;
+      install(*item, *placed, migrated);
+      continue;
+    }
+    ++item->retry_failures;
+
+    // Head-of-line blocking: the flow fits nowhere even with migration.
+    // Wait for the next departure (or arrival) and retry the same flow.
+    if (!departures.empty()) {
+      now = std::max(now, departures.NextTime());
+      process_departures_until(now);
+      continue;
+    }
+    if (next_arrival < pending.size()) {
+      now = std::max(now, pending[next_arrival]->arrival_time());
+      continue;
+    }
+    // Nothing will ever free capacity: force-place (reported).
+    const topo::Path& path =
+        net::LeastCongestedPath(network, paths_, f.src, f.dst, f.demand);
+    const FlowId forced = network.ForcePlace(f, path);
+    ++result.forced_placements;
+    install(*item, forced, 0.0);
+  }
+
+  NU_CHECK(collector.AllComplete());
+  result.records = collector.records();
+  result.report = metrics::BuildReport(collector, total_plan_time,
+                                       config_.tail_percentile);
+  return result;
+}
+
+}  // namespace nu::sim

@@ -1,0 +1,147 @@
+// The discrete-event simulator that runs a queue of update events through an
+// inter-event scheduler (event-level mode) or through the per-flow baseline
+// (flow-level mode) and measures the paper's five metrics.
+//
+// Semantics (event-level):
+//   * Update events enter the queue at their arrival times.
+//   * When no round is active and the queue is non-empty, the scheduler is
+//     consulted; its probes are charged to virtual time via the CostModel.
+//   * The selected events execute together as one round: each is planned and
+//     committed (migrations applied, flows placed). An event COMPLETES when
+//     its update is fully installed — migration delay plus per-flow install
+//     time after its execution starts. This matches the paper's model
+//     (Fig. 3 expresses both execution time and update cost in seconds of
+//     update work); flow transmission is not part of the ECT.
+//   * Installed flows transmit in the background: each occupies its
+//     bandwidth until install-time + duration, then departs, freeing
+//     capacity for later rounds. Flows that fit nowhere even with migration
+//     are deferred and retried on departures — the event (and with it the
+//     round) blocks until they install, which is exactly the head-of-line
+//     blocking the paper's schedulers attack.
+//   * The next round starts once every event of the current round completes
+//     — sequential rounds, as in the paper; P-LMTF gets parallelism by
+//     selecting multiple events per round.
+//   * Background traffic churns when configured (ChurnConfig): background
+//     flows end after their durations and fresh draws replace them, keeping
+//     update costs in flux (Section III-C). Without churn, background is
+//     static (the paper's Fig. 7 setting) and only event flows depart.
+//
+// Flow-level mode interleaves the flows of all queued events round-robin and
+// dispatches them one at a time, blocking on the queue head when a flow fits
+// nowhere — the event-blind baseline of Figs. 2/4/5.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/report.h"
+#include "net/network.h"
+#include "sched/flow_level.h"
+#include "sched/scheduler.h"
+#include "sim/cost_model.h"
+#include "sim/event_queue.h"
+#include "trace/background.h"
+#include "update/planner.h"
+
+namespace nu::sim {
+
+/// Background-traffic churn: existing background flows end after their
+/// durations and are replaced by fresh draws, so "the update queue is in
+/// flux due to the changed network traffic" (Section III-C) — the dynamics
+/// LMTF's per-round cost re-probing exploits. Disable to reproduce the
+/// static-background setting of the paper's Fig. 7.
+struct ChurnConfig {
+  bool enabled = false;
+  /// Placement constraints for replacement flows (same per-tier headroom as
+  /// the initial injection keeps utilization stationary).
+  trace::BackgroundOptions placement;
+  /// Replacement draws attempted per departure before giving up.
+  std::size_t replacement_attempts = 3;
+};
+
+struct SimConfig {
+  CostModel cost_model;
+  /// Tail percentile for the report (1.0 = max).
+  double tail_percentile = 1.0;
+  update::MigrationOptions migration_options;
+  net::PathSelection path_selection = net::PathSelection::kWidest;
+  /// RNG seed for scheduler sampling and churn.
+  std::uint64_t seed = 1;
+  /// Record a per-round log (who executed when) for examples/debugging.
+  bool keep_round_log = false;
+  /// Re-verify the network's congestion-free invariant (full recompute)
+  /// after every occurrence batch. O(flows x diameter) per check — for
+  /// tests and debugging, not for benches.
+  bool validate_invariants = false;
+  /// Cost probes use update::QuickCostScore (per-flow deficit estimates,
+  /// ~10x cheaper) instead of full event planning. The executed event is
+  /// then planned for real at execution time. Trades probe fidelity for
+  /// plan time — see bench_ablation_quickprobe.
+  bool quick_cost_probes = false;
+  /// P-LMTF co-scheduling admits only candidates whose current plan
+  /// migrates at most this much traffic (Mbps). Opportunistic updates are
+  /// meant to be near-free wins — co-scheduling an expensive event would
+  /// pay migration cost that waiting (and traffic churn) might avoid. Set
+  /// to infinity to co-schedule any fully feasible candidate.
+  Mbps plmtf_co_migration_allowance = 100.0;
+  ChurnConfig churn;
+};
+
+struct RoundLogEntry {
+  Seconds decision_time = 0.0;
+  Seconds plan_time = 0.0;
+  std::vector<EventId> executed;
+};
+
+struct SimResult {
+  metrics::Report report;
+  std::vector<metrics::EventRecord> records;
+  std::size_t rounds = 0;
+  std::size_t cost_probes = 0;
+  std::size_t cofeasibility_probes = 0;
+  /// Flows force-placed to break a capacity deadlock (should be 0 in sane
+  /// configurations; reported to make violations visible).
+  std::size_t forced_placements = 0;
+  std::vector<RoundLogEntry> round_log;
+};
+
+class Simulator {
+ public:
+  /// Builds a fresh traffic generator for churn replacement draws; invoked
+  /// once per Run with a deterministic seed so compared runs see the same
+  /// stochastic process.
+  using ChurnFactory =
+      std::function<std::unique_ptr<trace::TrafficGenerator>(std::uint64_t)>;
+
+  /// `initial` is the pre-update network state (background traffic placed);
+  /// each Run starts from a fresh copy so runs are directly comparable.
+  Simulator(const net::Network& initial, const topo::PathProvider& paths,
+            SimConfig config = {});
+
+  /// Required before Run when config.churn.enabled.
+  void SetChurnFactory(ChurnFactory factory) {
+    churn_factory_ = std::move(factory);
+  }
+
+  /// Event-level run under `scheduler`.
+  [[nodiscard]] SimResult Run(sched::Scheduler& scheduler,
+                              std::span<const update::UpdateEvent> events);
+
+  /// Flow-level baseline run.
+  [[nodiscard]] SimResult RunFlowLevel(
+      std::span<const update::UpdateEvent> events);
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+
+ private:
+  const net::Network& initial_;
+  const topo::PathProvider& paths_;
+  SimConfig config_;
+  ChurnFactory churn_factory_;
+};
+
+}  // namespace nu::sim

@@ -1,0 +1,152 @@
+#include "topo/fat_tree.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+namespace nu::topo {
+
+FatTree::FatTree(FatTreeConfig config) : config_(config) {
+  const std::size_t k = config_.k;
+  NU_EXPECTS(k >= 2 && k % 2 == 0);
+  NU_EXPECTS(config_.link_capacity > 0.0);
+  NU_EXPECTS(config_.fabric_capacity_factor > 0.0);
+  const std::size_t half = k / 2;
+  const Mbps cap = config_.link_capacity;
+  const Mbps fabric_cap = cap * config_.fabric_capacity_factor;
+
+  // Core switches.
+  cores_.reserve(half * half);
+  for (std::size_t c = 0; c < half * half; ++c) {
+    cores_.push_back(
+        graph_.AddNode(NodeRole::kCoreSwitch, "core-" + std::to_string(c)));
+  }
+
+  edges_.resize(k);
+  aggs_.resize(k);
+  hosts_.reserve(k * half * half);
+  for (std::size_t p = 0; p < k; ++p) {
+    edges_[p].reserve(half);
+    aggs_[p].reserve(half);
+    for (std::size_t i = 0; i < half; ++i) {
+      edges_[p].push_back(graph_.AddNode(
+          NodeRole::kEdgeSwitch,
+          "edge-" + std::to_string(p) + "-" + std::to_string(i)));
+      aggs_[p].push_back(graph_.AddNode(
+          NodeRole::kAggSwitch,
+          "agg-" + std::to_string(p) + "-" + std::to_string(i)));
+    }
+    // Hosts under each edge switch.
+    for (std::size_t e = 0; e < half; ++e) {
+      for (std::size_t h = 0; h < half; ++h) {
+        const NodeId host = graph_.AddNode(
+            NodeRole::kHost, "host-" + std::to_string(p) + "-" +
+                                 std::to_string(e) + "-" + std::to_string(h));
+        hosts_.push_back(host);
+        graph_.AddBidirectional(host, edges_[p][e], cap);
+      }
+    }
+    // Edge <-> agg full bipartite within the pod.
+    for (std::size_t e = 0; e < half; ++e) {
+      for (std::size_t a = 0; a < half; ++a) {
+        graph_.AddBidirectional(edges_[p][e], aggs_[p][a], fabric_cap);
+      }
+    }
+    // Agg <-> core: agg a connects to cores [a*half, (a+1)*half).
+    for (std::size_t a = 0; a < half; ++a) {
+      for (std::size_t c = 0; c < half; ++c) {
+        graph_.AddBidirectional(aggs_[p][a], cores_[a * half + c], fabric_cap);
+      }
+    }
+  }
+
+  NU_ENSURES(graph_.node_count() == 5 * k * k / 4 + k * k * k / 4);
+}
+
+NodeId FatTree::host(std::size_t index) const {
+  NU_EXPECTS(index < hosts_.size());
+  return hosts_[index];
+}
+
+NodeId FatTree::edge(std::size_t pod, std::size_t index) const {
+  NU_EXPECTS(pod < edges_.size());
+  NU_EXPECTS(index < edges_[pod].size());
+  return edges_[pod][index];
+}
+
+NodeId FatTree::agg(std::size_t pod, std::size_t index) const {
+  NU_EXPECTS(pod < aggs_.size());
+  NU_EXPECTS(index < aggs_[pod].size());
+  return aggs_[pod][index];
+}
+
+NodeId FatTree::core(std::size_t index) const {
+  NU_EXPECTS(index < cores_.size());
+  return cores_[index];
+}
+
+std::size_t FatTree::HostIndex(NodeId host) const {
+  // hosts_ is sorted: hosts are appended in increasing NodeId order within
+  // each pod, and pods are processed in order.
+  const auto it = std::lower_bound(hosts_.begin(), hosts_.end(), host);
+  NU_EXPECTS(it != hosts_.end() && *it == host);
+  return static_cast<std::size_t>(it - hosts_.begin());
+}
+
+std::size_t FatTree::PodOfHost(NodeId host) const {
+  const std::size_t half = config_.k / 2;
+  return HostIndex(host) / (half * half);
+}
+
+std::size_t FatTree::EdgeIndexOfHost(NodeId host) const {
+  const std::size_t half = config_.k / 2;
+  return (HostIndex(host) / half) % half;
+}
+
+std::vector<Path> FatTree::HostPaths(NodeId src, NodeId dst) const {
+  NU_EXPECTS(src != dst);
+  NU_EXPECTS(graph_.node(src).role == NodeRole::kHost);
+  NU_EXPECTS(graph_.node(dst).role == NodeRole::kHost);
+
+  const std::size_t half = config_.k / 2;
+  const std::size_t src_pod = PodOfHost(src);
+  const std::size_t dst_pod = PodOfHost(dst);
+  const std::size_t src_edge = EdgeIndexOfHost(src);
+  const std::size_t dst_edge = EdgeIndexOfHost(dst);
+
+  std::vector<Path> paths;
+  if (src_pod == dst_pod && src_edge == dst_edge) {
+    // Same edge switch: single two-hop path.
+    const std::array<NodeId, 3> seq{src, edges_[src_pod][src_edge], dst};
+    paths.push_back(graph_.MakePath(seq));
+    return paths;
+  }
+  if (src_pod == dst_pod) {
+    // Same pod, different edge: one path per aggregation switch.
+    paths.reserve(half);
+    for (std::size_t a = 0; a < half; ++a) {
+      const std::array<NodeId, 5> seq{src, edges_[src_pod][src_edge],
+                                      aggs_[src_pod][a],
+                                      edges_[dst_pod][dst_edge], dst};
+      paths.push_back(graph_.MakePath(seq));
+    }
+    return paths;
+  }
+  // Inter-pod: one path per core switch, via the unique agg pair that
+  // reaches that core in each pod.
+  paths.reserve(half * half);
+  for (std::size_t c = 0; c < half * half; ++c) {
+    const std::size_t agg_index = c / half;
+    const std::array<NodeId, 7> seq{src,
+                                    edges_[src_pod][src_edge],
+                                    aggs_[src_pod][agg_index],
+                                    cores_[c],
+                                    aggs_[dst_pod][agg_index],
+                                    edges_[dst_pod][dst_edge],
+                                    dst};
+    paths.push_back(graph_.MakePath(seq));
+  }
+  return paths;
+}
+
+}  // namespace nu::topo

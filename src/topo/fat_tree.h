@@ -1,0 +1,78 @@
+// k-ary Fat-Tree builder (Leiserson / Al-Fares form), the topology of the
+// paper's evaluation (k = 8, 1 Gbps links).
+//
+// Structure for even k:
+//   - k pods, each with k/2 edge switches and k/2 aggregation switches;
+//   - each edge switch connects k/2 hosts and all k/2 agg switches of its pod;
+//   - (k/2)^2 core switches; core switch c (0-based) connects to the
+//     (c / (k/2))-th aggregation switch of every pod.
+// Totals: 5k^2/4 switches, k^3/4 hosts.
+//
+// The builder also records the coordinates of every element so that
+// FatTreePathProvider can enumerate all equal-cost shortest paths
+// analytically ((k/2)^2 inter-pod, k/2 intra-pod, 1 same-edge).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace nu::topo {
+
+struct FatTreeConfig {
+  /// Pod count; must be even and >= 2. The paper uses k = 8.
+  std::size_t k = 8;
+  /// Per-link capacity; the paper uses 1 Gbps.
+  Mbps link_capacity = 1000.0;
+  /// Capacity multiplier for fabric links (edge-agg and agg-core) relative
+  /// to host links. 1.0 is the paper's full-bisection tree; 0.5 models the
+  /// 2:1 oversubscription common in production fabrics, which concentrates
+  /// contention in the core.
+  double fabric_capacity_factor = 1.0;
+};
+
+class FatTree {
+ public:
+  explicit FatTree(FatTreeConfig config);
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] const FatTreeConfig& config() const { return config_; }
+
+  [[nodiscard]] std::size_t k() const { return config_.k; }
+  [[nodiscard]] std::size_t pod_count() const { return config_.k; }
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t core_count() const { return cores_.size(); }
+
+  /// Host h (0 <= h < k^3/4).
+  [[nodiscard]] NodeId host(std::size_t index) const;
+  /// Edge switch e of pod p (0 <= e < k/2).
+  [[nodiscard]] NodeId edge(std::size_t pod, std::size_t index) const;
+  /// Aggregation switch a of pod p (0 <= a < k/2).
+  [[nodiscard]] NodeId agg(std::size_t pod, std::size_t index) const;
+  /// Core switch c (0 <= c < (k/2)^2).
+  [[nodiscard]] NodeId core(std::size_t index) const;
+
+  [[nodiscard]] std::span<const NodeId> hosts() const { return hosts_; }
+
+  /// Pod of a host.
+  [[nodiscard]] std::size_t PodOfHost(NodeId host) const;
+  /// Edge-switch index (within its pod) of a host.
+  [[nodiscard]] std::size_t EdgeIndexOfHost(NodeId host) const;
+  /// Host index from its NodeId (inverse of host()).
+  [[nodiscard]] std::size_t HostIndex(NodeId host) const;
+
+  /// All equal-cost shortest paths between two distinct hosts, in a
+  /// deterministic order. See the header comment for path counts.
+  [[nodiscard]] std::vector<Path> HostPaths(NodeId src, NodeId dst) const;
+
+ private:
+  FatTreeConfig config_;
+  Graph graph_;
+  std::vector<NodeId> hosts_;                       // k^3/4
+  std::vector<std::vector<NodeId>> edges_;          // [pod][k/2]
+  std::vector<std::vector<NodeId>> aggs_;           // [pod][k/2]
+  std::vector<NodeId> cores_;                       // (k/2)^2
+};
+
+}  // namespace nu::topo

@@ -1,0 +1,117 @@
+// Directed multigraph with link capacities — the substrate every other layer
+// builds on. Nodes carry a role (host / edge / aggregation / core switch) so
+// topology builders and path providers can reason about tiers; links are
+// directed so that the two directions of a cable are tracked independently,
+// as datacenter traffic is asymmetric.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace nu::topo {
+
+enum class NodeRole : std::uint8_t {
+  kHost,
+  kEdgeSwitch,
+  kAggSwitch,
+  kCoreSwitch,
+  kGeneric,
+};
+
+[[nodiscard]] const char* ToString(NodeRole role);
+
+struct Node {
+  NodeId id;
+  NodeRole role = NodeRole::kGeneric;
+  std::string name;
+};
+
+struct Link {
+  LinkId id;
+  NodeId src;
+  NodeId dst;
+  Mbps capacity = 0.0;
+};
+
+/// A loop-free directed path: the node sequence and the link sequence
+/// (links.size() == nodes.size() - 1; empty path has one node).
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+
+  [[nodiscard]] std::size_t hop_count() const { return links.size(); }
+  [[nodiscard]] bool empty() const { return links.empty(); }
+  [[nodiscard]] NodeId source() const {
+    NU_EXPECTS(!nodes.empty());
+    return nodes.front();
+  }
+  [[nodiscard]] NodeId destination() const {
+    NU_EXPECTS(!nodes.empty());
+    return nodes.back();
+  }
+
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.nodes == b.nodes && a.links == b.links;
+  }
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Adds a node; returns its id. Ids are dense and start at 0.
+  NodeId AddNode(NodeRole role, std::string name = {});
+
+  /// Adds one directed link src -> dst. Requires capacity > 0.
+  LinkId AddLink(NodeId src, NodeId dst, Mbps capacity);
+
+  /// Adds both directions with the same capacity; returns {forward, reverse}.
+  std::pair<LinkId, LinkId> AddBidirectional(NodeId a, NodeId b, Mbps capacity);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+
+  [[nodiscard]] const Node& node(NodeId id) const {
+    NU_EXPECTS(id.value() < nodes_.size());
+    return nodes_[id.value()];
+  }
+  [[nodiscard]] const Link& link(LinkId id) const {
+    NU_EXPECTS(id.value() < links_.size());
+    return links_[id.value()];
+  }
+
+  [[nodiscard]] std::span<const Node> nodes() const { return nodes_; }
+  [[nodiscard]] std::span<const Link> links() const { return links_; }
+
+  /// Out-links of `node` (link ids).
+  [[nodiscard]] std::span<const LinkId> OutLinks(NodeId node) const;
+  /// In-links of `node` (link ids).
+  [[nodiscard]] std::span<const LinkId> InLinks(NodeId node) const;
+
+  /// First link src -> dst, or invalid id when absent.
+  [[nodiscard]] LinkId FindLink(NodeId src, NodeId dst) const;
+
+  /// All nodes with the given role (e.g. the hosts of a Fat-Tree).
+  [[nodiscard]] std::vector<NodeId> NodesWithRole(NodeRole role) const;
+
+  /// Validates that `path` is a contiguous src->dst walk over existing links
+  /// with no repeated node (simple path).
+  [[nodiscard]] bool IsValidPath(const Path& path) const;
+
+  /// Builds the Path object for a node sequence; aborts if any consecutive
+  /// pair lacks a link. Convenience for tests and topology builders.
+  [[nodiscard]] Path MakePath(std::span<const NodeId> node_sequence) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+  std::vector<std::vector<LinkId>> in_links_;
+};
+
+}  // namespace nu::topo

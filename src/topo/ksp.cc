@@ -1,0 +1,106 @@
+#include "topo/ksp.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace nu::topo {
+namespace {
+
+struct Candidate {
+  double weight;
+  Path path;
+
+  friend bool operator<(const Candidate& a, const Candidate& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    if (a.path.nodes.size() != b.path.nodes.size()) {
+      return a.path.nodes.size() < b.path.nodes.size();
+    }
+    return a.path.nodes < b.path.nodes;  // deterministic tiebreak
+  }
+};
+
+}  // namespace
+
+std::vector<Path> YenKShortestPaths(const Graph& graph, NodeId src, NodeId dst,
+                                    std::size_t k, const LinkWeight& weight,
+                                    const LinkFilter& filter) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+
+  auto first = DijkstraShortestPath(graph, src, dst, weight, filter);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  std::set<Candidate> candidates;
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    // Each node of the previous path except the last is a spur node.
+    for (std::size_t i = 0; i + 1 < prev.nodes.size(); ++i) {
+      const NodeId spur = prev.nodes[i];
+      // Root = prefix of prev up to (and including) the spur node.
+      Path root;
+      root.nodes.assign(prev.nodes.begin(),
+                        prev.nodes.begin() + static_cast<std::ptrdiff_t>(i + 1));
+      root.links.assign(prev.links.begin(),
+                        prev.links.begin() + static_cast<std::ptrdiff_t>(i));
+
+      // Links to exclude: the i-th link of every accepted path sharing the
+      // same root.
+      std::unordered_set<LinkId::rep_type> banned_links;
+      for (const Path& p : result) {
+        if (p.links.size() > i &&
+            std::equal(root.nodes.begin(), root.nodes.end(),
+                       p.nodes.begin(),
+                       p.nodes.begin() + static_cast<std::ptrdiff_t>(i + 1))) {
+          banned_links.insert(p.links[i].value());
+        }
+      }
+      // Nodes of the root (except the spur) must not be revisited.
+      std::unordered_set<NodeId::rep_type> banned_nodes;
+      for (std::size_t j = 0; j < i; ++j) {
+        banned_nodes.insert(prev.nodes[j].value());
+      }
+
+      const LinkFilter spur_filter = [&](const Link& l) {
+        if (banned_links.contains(l.id.value())) return false;
+        if (banned_nodes.contains(l.dst.value())) return false;
+        if (banned_nodes.contains(l.src.value())) return false;
+        return !filter || filter(l);
+      };
+
+      auto spur_path =
+          DijkstraShortestPath(graph, spur, dst, weight, spur_filter);
+      if (!spur_path) continue;
+
+      Path total = root;
+      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin() + 1,
+                         spur_path->nodes.end());
+      total.links.insert(total.links.end(), spur_path->links.begin(),
+                         spur_path->links.end());
+      if (!graph.IsValidPath(total)) continue;  // loop via the root; drop
+
+      Candidate cand{PathWeight(graph, total, weight), std::move(total)};
+      // std::set keeps candidates unique and sorted.
+      candidates.insert(std::move(cand));
+    }
+
+    // Pop the best candidate not already accepted.
+    bool appended = false;
+    while (!candidates.empty()) {
+      auto it = candidates.begin();
+      Path best = it->path;
+      candidates.erase(it);
+      if (std::find(result.begin(), result.end(), best) == result.end()) {
+        result.push_back(std::move(best));
+        appended = true;
+        break;
+      }
+    }
+    if (!appended) break;  // candidate space exhausted
+  }
+  return result;
+}
+
+}  // namespace nu::topo

@@ -1,0 +1,20 @@
+// Yen's k-shortest loopless paths. Used as the path provider on arbitrary
+// graphs (where Fat-Tree analytic enumeration does not apply) and to give
+// migrated flows a ranked set of alternate paths.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topo/shortest_path.h"
+
+namespace nu::topo {
+
+/// Returns up to `k` loopless paths from src to dst in non-decreasing weight
+/// order (hop count when `weight` is empty). Deterministic: ties are broken
+/// by the deviation-node order of Yen's algorithm.
+[[nodiscard]] std::vector<Path> YenKShortestPaths(
+    const Graph& graph, NodeId src, NodeId dst, std::size_t k,
+    const LinkWeight& weight = {}, const LinkFilter& filter = {});
+
+}  // namespace nu::topo

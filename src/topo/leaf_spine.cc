@@ -1,0 +1,81 @@
+#include "topo/leaf_spine.h"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+namespace nu::topo {
+
+LeafSpine::LeafSpine(LeafSpineConfig config) : config_(config) {
+  NU_EXPECTS(config_.leaves > 0);
+  NU_EXPECTS(config_.spines > 0);
+  NU_EXPECTS(config_.hosts_per_leaf > 0);
+  NU_EXPECTS(config_.host_link_capacity > 0.0);
+  NU_EXPECTS(config_.fabric_link_capacity > 0.0);
+
+  spines_.reserve(config_.spines);
+  for (std::size_t s = 0; s < config_.spines; ++s) {
+    spines_.push_back(
+        graph_.AddNode(NodeRole::kCoreSwitch, "spine-" + std::to_string(s)));
+  }
+  leaves_.reserve(config_.leaves);
+  hosts_.reserve(config_.leaves * config_.hosts_per_leaf);
+  for (std::size_t l = 0; l < config_.leaves; ++l) {
+    const NodeId leaf =
+        graph_.AddNode(NodeRole::kEdgeSwitch, "leaf-" + std::to_string(l));
+    leaves_.push_back(leaf);
+    for (std::size_t s = 0; s < config_.spines; ++s) {
+      graph_.AddBidirectional(leaf, spines_[s], config_.fabric_link_capacity);
+    }
+    for (std::size_t h = 0; h < config_.hosts_per_leaf; ++h) {
+      const NodeId host = graph_.AddNode(
+          NodeRole::kHost,
+          "host-" + std::to_string(l) + "-" + std::to_string(h));
+      hosts_.push_back(host);
+      graph_.AddBidirectional(host, leaf, config_.host_link_capacity);
+    }
+  }
+}
+
+NodeId LeafSpine::leaf(std::size_t index) const {
+  NU_EXPECTS(index < leaves_.size());
+  return leaves_[index];
+}
+
+NodeId LeafSpine::spine(std::size_t index) const {
+  NU_EXPECTS(index < spines_.size());
+  return spines_[index];
+}
+
+NodeId LeafSpine::host(std::size_t index) const {
+  NU_EXPECTS(index < hosts_.size());
+  return hosts_[index];
+}
+
+std::size_t LeafSpine::LeafOfHost(NodeId host) const {
+  const auto it = std::lower_bound(hosts_.begin(), hosts_.end(), host);
+  NU_EXPECTS(it != hosts_.end() && *it == host);
+  return static_cast<std::size_t>(it - hosts_.begin()) /
+         config_.hosts_per_leaf;
+}
+
+std::vector<Path> LeafSpine::HostPaths(NodeId src, NodeId dst) const {
+  NU_EXPECTS(src != dst);
+  const std::size_t src_leaf = LeafOfHost(src);
+  const std::size_t dst_leaf = LeafOfHost(dst);
+  std::vector<Path> paths;
+  if (src_leaf == dst_leaf) {
+    const std::array<NodeId, 3> seq{src, leaves_[src_leaf], dst};
+    paths.push_back(graph_.MakePath(seq));
+    return paths;
+  }
+  paths.reserve(spines_.size());
+  for (NodeId spine : spines_) {
+    const std::array<NodeId, 5> seq{src, leaves_[src_leaf], spine,
+                                    leaves_[dst_leaf], dst};
+    paths.push_back(graph_.MakePath(seq));
+  }
+  return paths;
+}
+
+}  // namespace nu::topo

@@ -1,0 +1,48 @@
+// Two-tier leaf-spine (Clos) builder. Not used by the paper's headline
+// evaluation (which is a Fat-Tree) but included so the scheduling algorithms
+// can be exercised on a second realistic datacenter fabric in tests and
+// generality experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "topo/graph.h"
+
+namespace nu::topo {
+
+struct LeafSpineConfig {
+  std::size_t leaves = 8;
+  std::size_t spines = 4;
+  std::size_t hosts_per_leaf = 8;
+  Mbps host_link_capacity = 1000.0;
+  Mbps fabric_link_capacity = 4000.0;
+};
+
+class LeafSpine {
+ public:
+  explicit LeafSpine(LeafSpineConfig config);
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+  [[nodiscard]] const LeafSpineConfig& config() const { return config_; }
+
+  [[nodiscard]] NodeId leaf(std::size_t index) const;
+  [[nodiscard]] NodeId spine(std::size_t index) const;
+  [[nodiscard]] NodeId host(std::size_t index) const;
+  [[nodiscard]] std::span<const NodeId> hosts() const { return hosts_; }
+
+  [[nodiscard]] std::size_t LeafOfHost(NodeId host) const;
+
+  /// All shortest host-to-host paths: 1 for same-leaf pairs, one per spine
+  /// otherwise, in a deterministic order.
+  [[nodiscard]] std::vector<Path> HostPaths(NodeId src, NodeId dst) const;
+
+ private:
+  LeafSpineConfig config_;
+  Graph graph_;
+  std::vector<NodeId> leaves_;
+  std::vector<NodeId> spines_;
+  std::vector<NodeId> hosts_;
+};
+
+}  // namespace nu::topo

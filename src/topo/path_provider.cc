@@ -1,0 +1,105 @@
+#include "topo/path_provider.h"
+
+namespace nu::topo {
+
+FatTreePathProvider::FatTreePathProvider(const FatTree& fat_tree)
+    : fat_tree_(fat_tree) {}
+
+const std::vector<Path>& FatTreePathProvider::Paths(NodeId src,
+                                                    NodeId dst) const {
+  const std::uint64_t key = PairKey(src, dst);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, fat_tree_.HostPaths(src, dst)).first;
+  }
+  return it->second;
+}
+
+const Graph& FatTreePathProvider::graph() const { return fat_tree_.graph(); }
+
+LeafSpinePathProvider::LeafSpinePathProvider(const LeafSpine& leaf_spine)
+    : leaf_spine_(leaf_spine) {}
+
+const std::vector<Path>& LeafSpinePathProvider::Paths(NodeId src,
+                                                      NodeId dst) const {
+  const std::uint64_t key = PairKey(src, dst);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, leaf_spine_.HostPaths(src, dst)).first;
+  }
+  return it->second;
+}
+
+const Graph& LeafSpinePathProvider::graph() const {
+  return leaf_spine_.graph();
+}
+
+KspPathProvider::KspPathProvider(const Graph& graph, std::size_t k)
+    : graph_(graph), k_(k) {
+  NU_EXPECTS(k >= 1);
+}
+
+const std::vector<Path>& KspPathProvider::Paths(NodeId src, NodeId dst) const {
+  const std::uint64_t key = PairKey(src, dst);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, YenKShortestPaths(graph_, src, dst, k_)).first;
+  }
+  return it->second;
+}
+
+LinkAvoidingPathProvider::LinkAvoidingPathProvider(const PathProvider& base,
+                                                   LinkId link)
+    : base_(base), avoided_(link) {
+  const Link& l = base.graph().link(link);
+  avoided_reverse_ = base.graph().FindLink(l.dst, l.src);
+}
+
+const std::vector<Path>& LinkAvoidingPathProvider::Paths(NodeId src,
+                                                         NodeId dst) const {
+  const std::uint64_t key = PairKey(src, dst);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    std::vector<Path> filtered;
+    for (const Path& p : base_.Paths(src, dst)) {
+      bool crosses = false;
+      for (LinkId lid : p.links) {
+        if (lid == avoided_ ||
+            (avoided_reverse_.valid() && lid == avoided_reverse_)) {
+          crosses = true;
+          break;
+        }
+      }
+      if (!crosses) filtered.push_back(p);
+    }
+    it = cache_.emplace(key, std::move(filtered)).first;
+  }
+  return it->second;
+}
+
+NodeAvoidingPathProvider::NodeAvoidingPathProvider(const PathProvider& base,
+                                                   NodeId avoided)
+    : base_(base), avoided_(avoided) {}
+
+const std::vector<Path>& NodeAvoidingPathProvider::Paths(NodeId src,
+                                                         NodeId dst) const {
+  const std::uint64_t key = PairKey(src, dst);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    std::vector<Path> filtered;
+    for (const Path& p : base_.Paths(src, dst)) {
+      bool crosses = false;
+      for (NodeId n : p.nodes) {
+        if (n == avoided_) {
+          crosses = true;
+          break;
+        }
+      }
+      if (!crosses) filtered.push_back(p);
+    }
+    it = cache_.emplace(key, std::move(filtered)).first;
+  }
+  return it->second;
+}
+
+}  // namespace nu::topo

@@ -1,0 +1,121 @@
+// PathProvider abstracts "the feasible path set P(f) of a flow" from the
+// paper's model. The planner and migration optimizer only see this interface,
+// so they work identically on Fat-Trees (analytic equal-cost enumeration),
+// leaf-spines, and arbitrary graphs (Yen's KSP), with an LRU-less
+// memoization cache since path sets are static for a fixed topology.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/fat_tree.h"
+#include "topo/ksp.h"
+#include "topo/leaf_spine.h"
+
+namespace nu::topo {
+
+class PathProvider {
+ public:
+  virtual ~PathProvider() = default;
+
+  /// The candidate path set P(f) for an (src, dst) host pair, deterministic
+  /// order. Must return at least one path for connected pairs.
+  [[nodiscard]] virtual const std::vector<Path>& Paths(NodeId src,
+                                                       NodeId dst) const = 0;
+
+  [[nodiscard]] virtual const Graph& graph() const = 0;
+};
+
+/// Equal-cost shortest paths of a Fat-Tree, memoized per host pair.
+class FatTreePathProvider final : public PathProvider {
+ public:
+  explicit FatTreePathProvider(const FatTree& fat_tree);
+
+  [[nodiscard]] const std::vector<Path>& Paths(NodeId src,
+                                               NodeId dst) const override;
+  [[nodiscard]] const Graph& graph() const override;
+
+ private:
+  const FatTree& fat_tree_;
+  mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
+};
+
+/// Equal-cost shortest paths of a leaf-spine fabric, memoized per host pair.
+class LeafSpinePathProvider final : public PathProvider {
+ public:
+  explicit LeafSpinePathProvider(const LeafSpine& leaf_spine);
+
+  [[nodiscard]] const std::vector<Path>& Paths(NodeId src,
+                                               NodeId dst) const override;
+  [[nodiscard]] const Graph& graph() const override;
+
+ private:
+  const LeafSpine& leaf_spine_;
+  mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
+};
+
+/// K-shortest paths on an arbitrary graph via Yen's algorithm, memoized.
+class KspPathProvider final : public PathProvider {
+ public:
+  KspPathProvider(const Graph& graph, std::size_t k);
+
+  [[nodiscard]] const std::vector<Path>& Paths(NodeId src,
+                                               NodeId dst) const override;
+  [[nodiscard]] const Graph& graph() const override { return graph_; }
+
+ private:
+  const Graph& graph_;
+  std::size_t k_;
+  mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
+};
+
+/// Filters another provider's path sets down to paths avoiding one node —
+/// e.g. "all paths not crossing the switch being upgraded". Pairs whose
+/// every candidate path crosses the node get an empty set.
+class NodeAvoidingPathProvider final : public PathProvider {
+ public:
+  NodeAvoidingPathProvider(const PathProvider& base, NodeId avoided);
+
+  [[nodiscard]] const std::vector<Path>& Paths(NodeId src,
+                                               NodeId dst) const override;
+  [[nodiscard]] const Graph& graph() const override { return base_.graph(); }
+
+  [[nodiscard]] NodeId avoided() const { return avoided_; }
+
+ private:
+  const PathProvider& base_;
+  NodeId avoided_;
+  mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
+};
+
+/// Filters another provider's path sets down to paths avoiding one link and
+/// its reverse — e.g. "all paths not crossing the failed cable". Pairs whose
+/// every candidate crosses the link get an empty set.
+class LinkAvoidingPathProvider final : public PathProvider {
+ public:
+  /// Avoids `link` and, when present in the graph, its reverse direction
+  /// (a cable failure kills both).
+  LinkAvoidingPathProvider(const PathProvider& base, LinkId link);
+
+  [[nodiscard]] const std::vector<Path>& Paths(NodeId src,
+                                               NodeId dst) const override;
+  [[nodiscard]] const Graph& graph() const override { return base_.graph(); }
+
+  [[nodiscard]] LinkId avoided() const { return avoided_; }
+  [[nodiscard]] LinkId avoided_reverse() const { return avoided_reverse_; }
+
+ private:
+  const PathProvider& base_;
+  LinkId avoided_;
+  LinkId avoided_reverse_;
+  mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
+};
+
+/// Packs an (src, dst) pair into a cache key.
+[[nodiscard]] inline std::uint64_t PairKey(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+}
+
+}  // namespace nu::topo

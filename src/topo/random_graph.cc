@@ -1,0 +1,41 @@
+#include "topo/random_graph.h"
+
+namespace nu::topo {
+
+Graph BuildRandomConnectedGraph(const RandomGraphConfig& config, Rng& rng) {
+  NU_EXPECTS(config.nodes >= 2);
+  NU_EXPECTS(config.edge_probability >= 0.0 && config.edge_probability <= 1.0);
+  NU_EXPECTS(config.min_capacity > 0.0);
+  NU_EXPECTS(config.max_capacity >= config.min_capacity);
+
+  Graph graph;
+  std::vector<NodeId> nodes;
+  nodes.reserve(config.nodes);
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    nodes.push_back(graph.AddNode(NodeRole::kGeneric));
+  }
+
+  auto capacity = [&] {
+    return rng.Uniform(config.min_capacity, config.max_capacity);
+  };
+
+  // Random spanning tree: attach each node to a uniformly random earlier
+  // node (random recursive tree) — guarantees connectivity.
+  for (std::size_t i = 1; i < config.nodes; ++i) {
+    const std::size_t parent = rng.Index(i);
+    graph.AddBidirectional(nodes[i], nodes[parent], capacity());
+  }
+
+  // Extra Bernoulli edges (skip pairs already adjacent).
+  for (std::size_t i = 0; i < config.nodes; ++i) {
+    for (std::size_t j = i + 1; j < config.nodes; ++j) {
+      if (graph.FindLink(nodes[i], nodes[j]).valid()) continue;
+      if (rng.Bernoulli(config.edge_probability)) {
+        graph.AddBidirectional(nodes[i], nodes[j], capacity());
+      }
+    }
+  }
+  return graph;
+}
+
+}  // namespace nu::topo

@@ -1,0 +1,28 @@
+// Random connected graph builders (Erdos-Renyi and Waxman-flavoured) for
+// property tests: algorithms that must work on "a graph", not just a
+// Fat-Tree (Yen's KSP, Dijkstra, migration planning) get fuzzed on these.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "topo/graph.h"
+
+namespace nu::topo {
+
+struct RandomGraphConfig {
+  std::size_t nodes = 16;
+  /// Probability of each undirected pair being connected (on top of the
+  /// random spanning tree that guarantees connectivity).
+  double edge_probability = 0.2;
+  Mbps min_capacity = 100.0;
+  Mbps max_capacity = 1000.0;
+};
+
+/// Builds a connected graph: a random spanning tree plus Bernoulli extra
+/// edges, all bidirectional, with capacities uniform in [min, max].
+/// Every node has role kGeneric.
+[[nodiscard]] Graph BuildRandomConnectedGraph(const RandomGraphConfig& config,
+                                              Rng& rng);
+
+}  // namespace nu::topo

@@ -1,0 +1,161 @@
+#include "topo/shortest_path.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace nu::topo {
+namespace {
+
+constexpr std::size_t kUnreachable = std::numeric_limits<std::size_t>::max();
+
+/// Reconstructs a Path from per-node predecessor links.
+Path Reconstruct(const Graph& graph, NodeId src, NodeId dst,
+                 const std::vector<LinkId>& pred_link) {
+  Path path;
+  NodeId cur = dst;
+  while (cur != src) {
+    const LinkId lid = pred_link[cur.value()];
+    NU_CHECK(lid.valid());
+    path.links.push_back(lid);
+    path.nodes.push_back(cur);
+    cur = graph.link(lid).src;
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+bool LinkUsable(const LinkFilter& filter, const Link& link) {
+  return !filter || filter(link);
+}
+
+}  // namespace
+
+std::optional<Path> BfsShortestPath(const Graph& graph, NodeId src, NodeId dst,
+                                    const LinkFilter& filter) {
+  NU_EXPECTS(src.value() < graph.node_count());
+  NU_EXPECTS(dst.value() < graph.node_count());
+  if (src == dst) {
+    Path path;
+    path.nodes.push_back(src);
+    return path;
+  }
+  std::vector<LinkId> pred_link(graph.node_count());
+  std::vector<bool> visited(graph.node_count(), false);
+  std::queue<NodeId> queue;
+  visited[src.value()] = true;
+  queue.push(src);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (LinkId lid : graph.OutLinks(u)) {
+      const Link& l = graph.link(lid);
+      if (!LinkUsable(filter, l)) continue;
+      if (visited[l.dst.value()]) continue;
+      visited[l.dst.value()] = true;
+      pred_link[l.dst.value()] = lid;
+      if (l.dst == dst) return Reconstruct(graph, src, dst, pred_link);
+      queue.push(l.dst);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Path> DijkstraShortestPath(const Graph& graph, NodeId src,
+                                         NodeId dst, const LinkWeight& weight,
+                                         const LinkFilter& filter) {
+  NU_EXPECTS(src.value() < graph.node_count());
+  NU_EXPECTS(dst.value() < graph.node_count());
+  if (src == dst) {
+    Path path;
+    path.nodes.push_back(src);
+    return path;
+  }
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(graph.node_count(), kInf);
+  std::vector<LinkId> pred_link(graph.node_count());
+  std::vector<bool> done(graph.node_count(), false);
+
+  using HeapEntry = std::pair<double, NodeId::rep_type>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  dist[src.value()] = 0.0;
+  heap.emplace(0.0, src.value());
+
+  while (!heap.empty()) {
+    const auto [d, u_rep] = heap.top();
+    heap.pop();
+    if (done[u_rep]) continue;
+    done[u_rep] = true;
+    const NodeId u{u_rep};
+    if (u == dst) return Reconstruct(graph, src, dst, pred_link);
+    for (LinkId lid : graph.OutLinks(u)) {
+      const Link& l = graph.link(lid);
+      if (!LinkUsable(filter, l)) continue;
+      const double w = weight ? weight(l) : 1.0;
+      NU_CHECK(w >= 0.0);
+      const double nd = d + w;
+      if (nd < dist[l.dst.value()]) {
+        dist[l.dst.value()] = nd;
+        pred_link[l.dst.value()] = lid;
+        heap.emplace(nd, l.dst.value());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+double PathWeight(const Graph& graph, const Path& path,
+                  const LinkWeight& weight) {
+  double total = 0.0;
+  for (LinkId lid : path.links) {
+    total += weight ? weight(graph.link(lid)) : 1.0;
+  }
+  return total;
+}
+
+std::vector<std::size_t> BfsDistances(const Graph& graph, NodeId src,
+                                      const LinkFilter& filter) {
+  NU_EXPECTS(src.value() < graph.node_count());
+  std::vector<std::size_t> dist(graph.node_count(), kUnreachable);
+  std::queue<NodeId> queue;
+  dist[src.value()] = 0;
+  queue.push(src);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    for (LinkId lid : graph.OutLinks(u)) {
+      const Link& l = graph.link(lid);
+      if (!LinkUsable(filter, l)) continue;
+      if (dist[l.dst.value()] != kUnreachable) continue;
+      dist[l.dst.value()] = dist[u.value()] + 1;
+      queue.push(l.dst);
+    }
+  }
+  return dist;
+}
+
+std::size_t Diameter(const Graph& graph) {
+  std::size_t diameter = 0;
+  for (const Node& n : graph.nodes()) {
+    const auto dist = BfsDistances(graph, n.id);
+    for (std::size_t d : dist) {
+      if (d != kUnreachable) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+bool IsStronglyConnected(const Graph& graph) {
+  if (graph.node_count() == 0) return true;
+  for (const Node& n : graph.nodes()) {
+    const auto dist = BfsDistances(graph, n.id);
+    for (std::size_t d : dist) {
+      if (d == kUnreachable) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nu::topo

@@ -1,0 +1,46 @@
+// Shortest-path primitives over the graph substrate: BFS for hop counts and
+// Dijkstra for weighted searches. Both accept a link filter so higher layers
+// can search "the graph minus congested links" or "links with >= d residual
+// bandwidth" without materializing subgraphs.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "topo/graph.h"
+
+namespace nu::topo {
+
+/// Predicate deciding whether a link may be used. Empty means "all links".
+using LinkFilter = std::function<bool(const Link&)>;
+
+/// Per-link cost for weighted searches. Must be >= 0. Empty means hop count.
+using LinkWeight = std::function<double(const Link&)>;
+
+/// Hop-count shortest path via BFS. Returns nullopt when unreachable.
+/// Ties are broken deterministically by link insertion order.
+[[nodiscard]] std::optional<Path> BfsShortestPath(
+    const Graph& graph, NodeId src, NodeId dst,
+    const LinkFilter& filter = {});
+
+/// Weighted shortest path via Dijkstra (binary heap). Returns nullopt when
+/// unreachable. Requires non-negative weights.
+[[nodiscard]] std::optional<Path> DijkstraShortestPath(
+    const Graph& graph, NodeId src, NodeId dst, const LinkWeight& weight = {},
+    const LinkFilter& filter = {});
+
+/// Total weight of a path under `weight` (hop count when empty).
+[[nodiscard]] double PathWeight(const Graph& graph, const Path& path,
+                                const LinkWeight& weight = {});
+
+/// Hop distances from `src` to every node (SIZE_MAX when unreachable).
+[[nodiscard]] std::vector<std::size_t> BfsDistances(
+    const Graph& graph, NodeId src, const LinkFilter& filter = {});
+
+/// Network diameter (max finite pairwise hop distance). O(V * (V + E)).
+[[nodiscard]] std::size_t Diameter(const Graph& graph);
+
+/// True when every node can reach every other node.
+[[nodiscard]] bool IsStronglyConnected(const Graph& graph);
+
+}  // namespace nu::topo

@@ -1,0 +1,129 @@
+#include "trace/background.h"
+
+#include <limits>
+#include <optional>
+
+#include "common/logging.h"
+#include "flow/flow.h"
+
+namespace nu::trace {
+
+namespace {
+
+}  // namespace
+
+bool FitsWithHeadroom(const net::Network& network, const topo::Path& p,
+                      Mbps demand, const BackgroundOptions& options) {
+  for (LinkId lid : p.links) {
+    const topo::Link& link = network.graph().link(lid);
+    const bool touches_host =
+        network.graph().node(link.src).role == topo::NodeRole::kHost ||
+        network.graph().node(link.dst).role == topo::NodeRole::kHost;
+    const double headroom =
+        touches_host
+            ? std::max(options.link_headroom, options.host_link_headroom)
+            : options.link_headroom;
+    const Mbps reserved = headroom * link.capacity;
+    if (!ApproxGe(network.Residual(lid) - demand, reserved)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Widest path satisfying the headroom constraint, or nullopt.
+std::optional<topo::Path> FindPathWithHeadroom(
+    const net::Network& network, const topo::PathProvider& paths, NodeId src,
+    NodeId dst, Mbps demand, const BackgroundOptions& options) {
+  const topo::Path* best = nullptr;
+  Mbps best_bottleneck = 0.0;
+  for (const topo::Path& p : paths.Paths(src, dst)) {
+    if (!FitsWithHeadroom(network, p, demand, options)) continue;
+    Mbps bottleneck = std::numeric_limits<double>::infinity();
+    for (LinkId lid : p.links) {
+      bottleneck = std::min(bottleneck, network.Residual(lid));
+    }
+    if (best == nullptr || bottleneck > best_bottleneck) {
+      best = &p;
+      best_bottleneck = bottleneck;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+}  // namespace
+
+std::optional<topo::Path> FindRandomPathWithHeadroom(
+    const net::Network& network, const topo::PathProvider& paths, NodeId src,
+    NodeId dst, Mbps demand, const BackgroundOptions& options, Rng& rng) {
+  const std::vector<topo::Path>& candidates = paths.Paths(src, dst);
+  std::vector<const topo::Path*> feasible;
+  feasible.reserve(candidates.size());
+  for (const topo::Path& p : candidates) {
+    if (FitsWithHeadroom(network, p, demand, options)) {
+      feasible.push_back(&p);
+    }
+  }
+  if (feasible.empty()) return std::nullopt;
+  return *feasible[rng.Index(feasible.size())];
+}
+
+BackgroundResult InjectBackground(net::Network& network,
+                                  const topo::PathProvider& paths,
+                                  TrafficGenerator& generator,
+                                  const BackgroundOptions& options) {
+  NU_EXPECTS(options.target_utilization >= 0.0 &&
+             options.target_utilization < 1.0);
+  NU_EXPECTS(options.link_headroom >= 0.0 && options.link_headroom < 1.0);
+  BackgroundResult result;
+  std::size_t consecutive_failures = 0;
+  Rng path_rng(options.random_path_seed);
+  const auto measured_utilization = [&] {
+    return options.target_fabric_utilization ? network.FabricUtilization()
+                                             : network.AverageUtilization();
+  };
+
+  while (measured_utilization() < options.target_utilization &&
+         result.placed_flows < options.max_flows &&
+         consecutive_failures < options.max_consecutive_failures) {
+    const FlowSpec spec = generator.Next();
+    std::optional<topo::Path> path;
+    if (options.random_path_seed != 0) {
+      path = FindRandomPathWithHeadroom(network, paths, spec.src, spec.dst,
+                                        spec.demand, options, path_rng);
+    } else if (options.link_headroom > 0.0 ||
+               options.host_link_headroom > 0.0) {
+      path = FindPathWithHeadroom(network, paths, spec.src, spec.dst,
+                                  spec.demand, options);
+    } else {
+      path = net::FindFeasiblePath(network, paths, spec.src, spec.dst,
+                                   spec.demand, options.path_selection);
+    }
+    if (!path) {
+      ++result.rejected_flows;
+      ++consecutive_failures;
+      continue;
+    }
+    consecutive_failures = 0;
+    flow::Flow f;
+    f.src = spec.src;
+    f.dst = spec.dst;
+    f.demand = spec.demand;
+    f.duration = spec.duration;
+    f.origin = flow::FlowOrigin::kBackground;
+    network.Place(std::move(f), *path);
+    ++result.placed_flows;
+  }
+
+  result.achieved_utilization = measured_utilization();
+  if (result.achieved_utilization < options.target_utilization) {
+    NU_LOG_INFO << "background injection saturated at "
+                << result.achieved_utilization << " (target "
+                << options.target_utilization << ") after "
+                << result.placed_flows << " flows";
+  }
+  return result;
+}
+
+}  // namespace nu::trace

@@ -1,0 +1,46 @@
+#include "trace/benson.h"
+
+#include "common/check.h"
+
+namespace nu::trace {
+
+BensonGenerator::BensonGenerator(std::span<const NodeId> hosts, Rng rng,
+                                 BensonConfig config, TrafficSpec spec)
+    : hosts_(hosts.begin(), hosts.end()),
+      rng_(rng),
+      config_(config),
+      spec_(spec) {
+  NU_EXPECTS(hosts_.size() >= 2);
+  NU_EXPECTS(config_.rack_size >= 1);
+  NU_EXPECTS(config_.rack_locality >= 0.0 && config_.rack_locality <= 1.0);
+}
+
+FlowSpec BensonGenerator::Next() {
+  const std::size_t src_index = rng_.Index(hosts_.size());
+  std::size_t dst_index = src_index;
+
+  const std::size_t rack = src_index / config_.rack_size;
+  const std::size_t rack_begin = rack * config_.rack_size;
+  const std::size_t rack_end =
+      std::min(rack_begin + config_.rack_size, hosts_.size());
+  const bool rack_local =
+      rack_end - rack_begin >= 2 && rng_.Bernoulli(config_.rack_locality);
+
+  if (rack_local) {
+    // Pick a distinct host within the rack.
+    dst_index = rack_begin + rng_.Index(rack_end - rack_begin - 1);
+    if (dst_index >= src_index) ++dst_index;
+  } else {
+    dst_index = rng_.Index(hosts_.size() - 1);
+    if (dst_index >= src_index) ++dst_index;
+  }
+
+  return FlowSpec{
+      .src = hosts_[src_index],
+      .dst = hosts_[dst_index],
+      .demand = spec_.demand.Sample(rng_),
+      .duration = spec_.duration.Sample(rng_),
+  };
+}
+
+}  // namespace nu::trace

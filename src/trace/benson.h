@@ -1,0 +1,39 @@
+// Benson-style intra-datacenter generator: mice-dominated heavy-tailed
+// demands plus rack locality — a configurable fraction of flows stay inside
+// the source host's "rack" (hosts under the same edge switch), matching the
+// locality observation of Benson et al. The update-event flows of the
+// paper's workloads are generated "according to the characteristics of
+// network traffic mentioned in [12]", i.e. from this generator.
+#pragma once
+
+#include <vector>
+
+#include "trace/distributions.h"
+#include "trace/generator.h"
+
+namespace nu::trace {
+
+struct BensonConfig {
+  /// Probability that a flow's destination is in the source rack.
+  double rack_locality = 0.4;
+  /// Number of consecutive hosts forming a "rack" (k/2 for a Fat-Tree,
+  /// hosts_per_leaf for a leaf-spine).
+  std::size_t rack_size = 4;
+};
+
+class BensonGenerator final : public TrafficGenerator {
+ public:
+  BensonGenerator(std::span<const NodeId> hosts, Rng rng,
+                  BensonConfig config = {}, TrafficSpec spec = BensonSpec());
+
+  [[nodiscard]] FlowSpec Next() override;
+  [[nodiscard]] const char* name() const override { return "benson"; }
+
+ private:
+  std::vector<NodeId> hosts_;
+  Rng rng_;
+  BensonConfig config_;
+  TrafficSpec spec_;
+};
+
+}  // namespace nu::trace

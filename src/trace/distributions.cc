@@ -1,0 +1,71 @@
+#include "trace/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nu::trace {
+
+double HeavyTailSpec::Sample(Rng& rng) const {
+  double value = 0.0;
+  if (rng.Bernoulli(elephant_fraction)) {
+    value = rng.Pareto(tail_scale, tail_shape);
+  } else {
+    value = rng.LogNormal(body_mu, body_sigma);
+  }
+  return std::clamp(value, min_value, max_value);
+}
+
+TrafficSpec YahooLikeSpec() {
+  TrafficSpec spec;
+  // Demand: body median e^1.0 ~ 2.7 Mbps, sigma 1.2 => long lognormal body;
+  // 8% elephants Pareto from 40 Mbps with shape 1.3 (infinite variance),
+  // capped at 800 Mbps (80% of a 1 Gbps link).
+  spec.demand = HeavyTailSpec{
+      .body_mu = 1.0,
+      .body_sigma = 1.2,
+      .elephant_fraction = 0.08,
+      .tail_scale = 40.0,
+      .tail_shape = 1.3,
+      .min_value = 0.1,
+      .max_value = 800.0,
+  };
+  // Duration: body median e^2.0 ~ 7.4 s; 10% long transfers Pareto from 30 s
+  // shape 1.2, capped at 10 minutes.
+  spec.duration = HeavyTailSpec{
+      .body_mu = 2.0,
+      .body_sigma = 1.0,
+      .elephant_fraction = 0.10,
+      .tail_scale = 30.0,
+      .tail_shape = 1.2,
+      .min_value = 0.5,
+      .max_value = 600.0,
+  };
+  return spec;
+}
+
+TrafficSpec BensonSpec() {
+  TrafficSpec spec;
+  // Mice-dominated: body median ~1 Mbps, lighter 5% tail from 20 Mbps.
+  spec.demand = HeavyTailSpec{
+      .body_mu = 0.0,
+      .body_sigma = 1.0,
+      .elephant_fraction = 0.05,
+      .tail_scale = 20.0,
+      .tail_shape = 1.6,
+      .min_value = 0.05,
+      .max_value = 500.0,
+  };
+  // Short flows: body median ~2 s, 8% tail from 10 s, capped at 3 minutes.
+  spec.duration = HeavyTailSpec{
+      .body_mu = 0.7,
+      .body_sigma = 0.9,
+      .elephant_fraction = 0.08,
+      .tail_scale = 10.0,
+      .tail_shape = 1.4,
+      .min_value = 0.1,
+      .max_value = 180.0,
+  };
+  return spec;
+}
+
+}  // namespace nu::trace

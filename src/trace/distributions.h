@@ -1,0 +1,59 @@
+// Parametric flow-size/duration distributions behind the trace generators.
+//
+// The paper drives its evaluation with two traces:
+//   * the Yahoo! inter-datacenter trace [11] (not publicly available), and
+//   * synthetic traffic following Benson et al.'s datacenter measurements [12].
+// Neither distribution's exact parameters are published, but both works agree
+// on the qualitative shape the scheduling results depend on: flow sizes are
+// heavy-tailed (most flows are small; a few elephants carry most bytes) and
+// durations span several orders of magnitude. We model demand and duration as
+// a lognormal body with a Pareto elephant tail; presets below pin parameters
+// per trace family. See DESIGN.md "Substitutions".
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace nu::trace {
+
+/// Mixture: with probability (1 - elephant_fraction) draw
+/// LogNormal(body_mu, body_sigma); otherwise draw Pareto(tail_scale,
+/// tail_shape). Values are clamped to [min_value, max_value].
+struct HeavyTailSpec {
+  double body_mu = 0.0;
+  double body_sigma = 1.0;
+  double elephant_fraction = 0.1;
+  double tail_scale = 1.0;
+  double tail_shape = 1.5;
+  double min_value = 0.0;
+  double max_value = 1e18;
+
+  [[nodiscard]] double Sample(Rng& rng) const;
+};
+
+/// Demand (Mbps) and duration (seconds) specs for one trace family.
+struct TrafficSpec {
+  HeavyTailSpec demand;
+  HeavyTailSpec duration;
+};
+
+/// Yahoo!-like inter-DC traffic: demand body centred around a few Mbps with
+/// elephants up to a large fraction of a 1 Gbps link; durations seconds to
+/// minutes, heavy-tailed.
+[[nodiscard]] TrafficSpec YahooLikeSpec();
+
+/// Benson-style intra-DC traffic: smaller mice-dominated demands, shorter
+/// durations, slightly lighter tail.
+[[nodiscard]] TrafficSpec BensonSpec();
+
+/// Uniform "random trace" used by the paper's Fig. 1 comparison: demand
+/// uniform in [min_demand, max_demand], duration uniform in
+/// [min_duration, max_duration].
+struct UniformSpec {
+  Mbps min_demand = 1.0;
+  Mbps max_demand = 100.0;
+  Seconds min_duration = 1.0;
+  Seconds max_duration = 60.0;
+};
+
+}  // namespace nu::trace

@@ -1,0 +1,38 @@
+// TrafficGenerator: the interface every workload source implements — the
+// Yahoo-like and Benson-style synthetic generators, the uniform generator,
+// and the CSV trace replayer all produce FlowSpec streams consumed by the
+// background injector and the update-event generators.
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace nu::trace {
+
+/// One flow demand drawn from a trace: endpoints are hosts of the topology.
+struct FlowSpec {
+  NodeId src;
+  NodeId dst;
+  Mbps demand = 0.0;
+  Seconds duration = 0.0;
+};
+
+class TrafficGenerator {
+ public:
+  virtual ~TrafficGenerator() = default;
+
+  /// Produces the next flow. Implementations guarantee src != dst,
+  /// demand > 0, duration > 0.
+  [[nodiscard]] virtual FlowSpec Next() = 0;
+
+  /// Human-readable generator name for reports.
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Picks an ordered pair of distinct hosts uniformly at random.
+[[nodiscard]] std::pair<NodeId, NodeId> RandomHostPair(
+    std::span<const NodeId> hosts, Rng& rng);
+
+}  // namespace nu::trace

@@ -1,0 +1,33 @@
+#include "trace/ip_mapper.h"
+
+#include "common/check.h"
+
+namespace nu::trace {
+
+std::uint64_t HashIp(const std::string& ip) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : ip) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+IpMapper::IpMapper(std::span<const NodeId> hosts)
+    : hosts_(hosts.begin(), hosts.end()) {
+  NU_EXPECTS(hosts_.size() >= 2);
+}
+
+NodeId IpMapper::Map(const std::string& ip) const {
+  return hosts_[HashIp(ip) % hosts_.size()];
+}
+
+std::pair<NodeId, NodeId> IpMapper::MapPair(const std::string& src_ip,
+                                            const std::string& dst_ip) const {
+  const std::size_t src_index = HashIp(src_ip) % hosts_.size();
+  std::size_t dst_index = HashIp(dst_ip) % hosts_.size();
+  if (dst_index == src_index) dst_index = (dst_index + 1) % hosts_.size();
+  return {hosts_[src_index], hosts_[dst_index]};
+}
+
+}  // namespace nu::trace

@@ -1,0 +1,34 @@
+// Deterministic mapping from (anonymized) IP address strings to topology
+// hosts — the paper "uses a hash function to map the IP addresses of the
+// source and destination of each flow into our datacenter network". Used by
+// the CSV trace loader so real traces can drive the simulator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/types.h"
+
+namespace nu::trace {
+
+/// FNV-1a 64-bit over the raw string.
+[[nodiscard]] std::uint64_t HashIp(const std::string& ip);
+
+class IpMapper {
+ public:
+  explicit IpMapper(std::span<const NodeId> hosts);
+
+  /// Host for an IP string; stable across calls and runs.
+  [[nodiscard]] NodeId Map(const std::string& ip) const;
+
+  /// Maps a src/dst pair, guaranteeing distinct hosts: when both IPs hash to
+  /// the same host, the destination is shifted to the next host.
+  [[nodiscard]] std::pair<NodeId, NodeId> MapPair(const std::string& src_ip,
+                                                  const std::string& dst_ip) const;
+
+ private:
+  std::vector<NodeId> hosts_;
+};
+
+}  // namespace nu::trace

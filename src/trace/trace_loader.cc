@@ -1,0 +1,134 @@
+#include "trace/trace_loader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace nu::trace {
+namespace {
+
+double ParseDouble(const std::string& cell) {
+  char* end = nullptr;
+  const double value = std::strtod(cell.c_str(), &end);
+  NU_CHECK(end != cell.c_str());
+  return value;
+}
+
+}  // namespace
+
+std::vector<TraceRecord> ParseTraceCsv(const std::string& text) {
+  // Peek at the first non-comment line to detect a header.
+  CsvFile headerless = ParseCsv(text, /*has_header=*/false);
+  bool has_header = false;
+  if (!headerless.rows.empty()) {
+    const auto& first = headerless.rows.front();
+    for (const std::string& cell : first) {
+      if (cell == "src_ip" || cell == "demand_mbps" || cell == "bytes") {
+        has_header = true;
+        break;
+      }
+    }
+  }
+  const CsvFile file = ParseCsv(text, has_header);
+
+  std::size_t src_col = 0, dst_col = 1, size_col = 2, dur_col = 3;
+  bool size_is_bytes = false;
+  if (has_header) {
+    const auto src = file.ColumnIndex("src_ip");
+    const auto dst = file.ColumnIndex("dst_ip");
+    const auto dur = file.ColumnIndex("duration_s");
+    NU_CHECK(src && dst && dur);
+    src_col = *src;
+    dst_col = *dst;
+    dur_col = *dur;
+    if (const auto demand = file.ColumnIndex("demand_mbps")) {
+      size_col = *demand;
+    } else {
+      const auto bytes = file.ColumnIndex("bytes");
+      NU_CHECK(bytes.has_value());
+      size_col = *bytes;
+      size_is_bytes = true;
+    }
+  }
+
+  std::vector<TraceRecord> records;
+  records.reserve(file.rows.size());
+  for (const auto& row : file.rows) {
+    NU_CHECK(row.size() > std::max({src_col, dst_col, size_col, dur_col}));
+    TraceRecord rec;
+    rec.src_ip = row[src_col];
+    rec.dst_ip = row[dst_col];
+    rec.duration = ParseDouble(row[dur_col]);
+    const double size_value = ParseDouble(row[size_col]);
+    if (size_is_bytes) {
+      // bytes over duration -> Mbps.
+      rec.demand = rec.duration > 0.0
+                       ? size_value * 8.0 / 1e6 / rec.duration
+                       : 0.0;
+    } else {
+      rec.demand = size_value;
+    }
+    if (rec.demand <= 0.0 || rec.duration <= 0.0) continue;
+    if (rec.src_ip == rec.dst_ip) continue;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+std::vector<TraceRecord> LoadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  NU_CHECK(in.good());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTraceCsv(buffer.str());
+}
+
+void WriteTraceCsv(std::ostream& out, std::span<const TraceRecord> records) {
+  CsvWriter writer(out);
+  writer.WriteRow({"src_ip", "dst_ip", "demand_mbps", "duration_s"});
+  char buf[64];
+  for (const TraceRecord& rec : records) {
+    std::snprintf(buf, sizeof(buf), "%.6g", rec.demand);
+    std::string demand = buf;
+    std::snprintf(buf, sizeof(buf), "%.6g", rec.duration);
+    writer.WriteRow({rec.src_ip, rec.dst_ip, demand, buf});
+  }
+}
+
+std::vector<TraceRecord> SampleTrace(TrafficGenerator& generator,
+                                     std::size_t count) {
+  std::vector<TraceRecord> records;
+  records.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const FlowSpec spec = generator.Next();
+    TraceRecord rec;
+    // Synthesize stable per-host IPs from node ids.
+    rec.src_ip = "10.0.0." + std::to_string(spec.src.value());
+    rec.dst_ip = "10.0.0." + std::to_string(spec.dst.value());
+    rec.demand = spec.demand;
+    rec.duration = spec.duration;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+TraceReplayGenerator::TraceReplayGenerator(std::vector<TraceRecord> records,
+                                           std::span<const NodeId> hosts)
+    : records_(std::move(records)), mapper_(hosts) {
+  NU_EXPECTS(!records_.empty());
+}
+
+FlowSpec TraceReplayGenerator::Next() {
+  const TraceRecord& rec = records_[cursor_];
+  cursor_ = (cursor_ + 1) % records_.size();
+  const auto [src, dst] = mapper_.MapPair(rec.src_ip, rec.dst_ip);
+  return FlowSpec{
+      .src = src, .dst = dst, .demand = rec.demand, .duration = rec.duration};
+}
+
+}  // namespace nu::trace

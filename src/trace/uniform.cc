@@ -1,0 +1,27 @@
+#include "trace/uniform.h"
+
+#include "common/check.h"
+
+namespace nu::trace {
+
+UniformGenerator::UniformGenerator(std::span<const NodeId> hosts, Rng rng,
+                                   UniformSpec spec)
+    : hosts_(hosts.begin(), hosts.end()), rng_(rng), spec_(spec) {
+  NU_EXPECTS(hosts_.size() >= 2);
+  NU_EXPECTS(spec_.min_demand > 0.0);
+  NU_EXPECTS(spec_.max_demand >= spec_.min_demand);
+  NU_EXPECTS(spec_.min_duration > 0.0);
+  NU_EXPECTS(spec_.max_duration >= spec_.min_duration);
+}
+
+FlowSpec UniformGenerator::Next() {
+  const auto [src, dst] = RandomHostPair(hosts_, rng_);
+  return FlowSpec{
+      .src = src,
+      .dst = dst,
+      .demand = rng_.Uniform(spec_.min_demand, spec_.max_demand),
+      .duration = rng_.Uniform(spec_.min_duration, spec_.max_duration),
+  };
+}
+
+}  // namespace nu::trace

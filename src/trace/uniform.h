@@ -1,0 +1,28 @@
+// Uniform "random trace" generator — the second trace of the paper's Fig. 1:
+// flow demands and durations uniform over configured ranges, endpoints
+// uniform over hosts. Serves as a light-tailed control against the
+// heavy-tailed generators.
+#pragma once
+
+#include <vector>
+
+#include "trace/distributions.h"
+#include "trace/generator.h"
+
+namespace nu::trace {
+
+class UniformGenerator final : public TrafficGenerator {
+ public:
+  UniformGenerator(std::span<const NodeId> hosts, Rng rng,
+                   UniformSpec spec = {});
+
+  [[nodiscard]] FlowSpec Next() override;
+  [[nodiscard]] const char* name() const override { return "uniform"; }
+
+ private:
+  std::vector<NodeId> hosts_;
+  Rng rng_;
+  UniformSpec spec_;
+};
+
+}  // namespace nu::trace

@@ -1,0 +1,32 @@
+#include "trace/yahoo_like.h"
+
+#include "common/check.h"
+
+namespace nu::trace {
+
+std::pair<NodeId, NodeId> RandomHostPair(std::span<const NodeId> hosts,
+                                         Rng& rng) {
+  NU_EXPECTS(hosts.size() >= 2);
+  const std::size_t a = rng.Index(hosts.size());
+  std::size_t b = rng.Index(hosts.size() - 1);
+  if (b >= a) ++b;
+  return {hosts[a], hosts[b]};
+}
+
+YahooLikeGenerator::YahooLikeGenerator(std::span<const NodeId> hosts, Rng rng,
+                                       TrafficSpec spec)
+    : hosts_(hosts.begin(), hosts.end()), rng_(rng), spec_(spec) {
+  NU_EXPECTS(hosts_.size() >= 2);
+}
+
+FlowSpec YahooLikeGenerator::Next() {
+  const auto [src, dst] = RandomHostPair(hosts_, rng_);
+  return FlowSpec{
+      .src = src,
+      .dst = dst,
+      .demand = spec_.demand.Sample(rng_),
+      .duration = spec_.duration.Sample(rng_),
+  };
+}
+
+}  // namespace nu::trace

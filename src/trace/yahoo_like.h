@@ -1,0 +1,28 @@
+// Yahoo!-like synthetic trace generator. Stands in for the (non-public)
+// Yahoo! inter-datacenter trace the paper replays; see distributions.h for
+// the distribution rationale. Endpoints are drawn uniformly over hosts,
+// mirroring the paper's hash-mapping of anonymized IPs onto the Fat-Tree.
+#pragma once
+
+#include <vector>
+
+#include "trace/distributions.h"
+#include "trace/generator.h"
+
+namespace nu::trace {
+
+class YahooLikeGenerator final : public TrafficGenerator {
+ public:
+  YahooLikeGenerator(std::span<const NodeId> hosts, Rng rng,
+                     TrafficSpec spec = YahooLikeSpec());
+
+  [[nodiscard]] FlowSpec Next() override;
+  [[nodiscard]] const char* name() const override { return "yahoo-like"; }
+
+ private:
+  std::vector<NodeId> hosts_;
+  Rng rng_;
+  TrafficSpec spec_;
+};
+
+}  // namespace nu::trace

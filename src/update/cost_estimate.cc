@@ -1,0 +1,86 @@
+#include "update/cost_estimate.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace nu::update {
+namespace {
+
+/// Deficit of placing `demand` on `path`: the WORST single-link shortfall.
+/// Clearing a link requires migrating at least its deficit off it, so the
+/// max over links lower-bounds the migrated traffic (a sum would
+/// double-count: one migrated flow often relieves several links at once).
+/// Also reports the movable traffic on that worst link (an upper bound on
+/// what migration could free there).
+struct PathDeficit {
+  Mbps deficit = 0.0;
+  Mbps movable = 0.0;
+};
+
+PathDeficit DeficitOn(const net::Network& network, const topo::Path& path,
+                      Mbps demand) {
+  PathDeficit result;
+  for (LinkId lid : path.links) {
+    const Mbps residual = network.Residual(lid);
+    if (ApproxGe(residual, demand)) continue;
+    const Mbps link_deficit = demand - residual;
+    if (link_deficit > result.deficit) {
+      result.deficit = link_deficit;
+      const topo::Link& link = network.graph().link(lid);
+      result.movable = link.capacity - residual;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+QuickCostResult QuickCostEstimate(const net::Network& network,
+                                  const topo::PathProvider& paths,
+                                  const UpdateEvent& event) {
+  QuickCostResult result;
+  for (const flow::Flow& f : event.flows()) {
+    const std::vector<topo::Path>& candidates = paths.Paths(f.src, f.dst);
+    if (candidates.empty()) {
+      ++result.likely_blocked;
+      continue;
+    }
+    Mbps best_deficit = std::numeric_limits<double>::infinity();
+    Mbps movable_at_best = 0.0;
+    for (const topo::Path& p : candidates) {
+      const PathDeficit d = DeficitOn(network, p, f.demand);
+      if (d.deficit < best_deficit) {
+        best_deficit = d.deficit;
+        movable_at_best = d.movable;
+        if (best_deficit == 0.0) break;  // fits outright
+      }
+    }
+    if (best_deficit <= kBandwidthEpsilon) continue;
+    ++result.flows_with_deficit;
+    result.deficit_sum += best_deficit;
+    if (best_deficit > movable_at_best + kBandwidthEpsilon) {
+      // Even migrating everything off the congested links cannot free
+      // enough: the shortfall is structural (e.g. a saturated host uplink).
+      ++result.likely_blocked;
+    }
+  }
+  return result;
+}
+
+Mbps QuickCostScore(const net::Network& network,
+                    const topo::PathProvider& paths,
+                    const UpdateEvent& event) {
+  const QuickCostResult estimate = QuickCostEstimate(network, paths, event);
+  Mbps score = estimate.deficit_sum;
+  // Mirror the simulator's full-probe penalty: blocked flows are charged
+  // their demand at 10x. We do not know which specific flows are blocked
+  // here, so charge the mean event demand per blocked flow.
+  if (estimate.likely_blocked > 0 && event.flow_count() > 0) {
+    const Mbps mean_demand =
+        event.TotalDemand() / static_cast<double>(event.flow_count());
+    score += 10.0 * mean_demand * static_cast<double>(estimate.likely_blocked);
+  }
+  return score;
+}
+
+}  // namespace nu::update

@@ -1,0 +1,93 @@
+// Update-event construction: the synthetic heterogeneous/synchronous event
+// workloads of the evaluation (events of 10-100 or 50-60 flows drawn from a
+// traffic generator), plus domain builders for the update triggers the paper
+// motivates — switch upgrades (reroute everything crossing a switch) and VM
+// migrations (bulk state-copy flows).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "trace/generator.h"
+#include "update/update_event.h"
+
+namespace nu::update {
+
+struct SyntheticEventConfig {
+  /// Flows per event drawn uniformly from [min_flows, max_flows]; the
+  /// paper's heterogeneous events use [10, 100], synchronous ones [50, 60].
+  std::size_t min_flows = 10;
+  std::size_t max_flows = 100;
+  EventKind kind = EventKind::kGeneric;
+};
+
+/// Generates update events whose flows come from a TrafficGenerator.
+/// Owns the event-id counter so ids are unique per generator.
+class EventGenerator {
+ public:
+  EventGenerator(trace::TrafficGenerator& flow_source, Rng rng);
+
+  /// One event arriving at `arrival_time`.
+  [[nodiscard]] UpdateEvent Next(Seconds arrival_time,
+                                 const SyntheticEventConfig& config);
+
+  /// `count` events with i.i.d. exponential inter-arrival gaps of mean
+  /// `mean_interarrival` (0 = all arrive at t=0, the paper's queue setup).
+  [[nodiscard]] std::vector<UpdateEvent> Batch(
+      std::size_t count, const SyntheticEventConfig& config,
+      Seconds mean_interarrival = 0.0);
+
+ private:
+  trace::TrafficGenerator& flow_source_;
+  Rng rng_;
+  EventId::rep_type next_id_ = 0;
+};
+
+/// Ids of placed flows whose path crosses `node` (through any incident
+/// link). Basis for switch-upgrade events.
+[[nodiscard]] std::vector<FlowId> FlowsThroughNode(const net::Network& network,
+                                                   NodeId node);
+
+/// Builds a switch-upgrade event: its flows are replacements for every
+/// existing flow crossing `switch_node` (same endpoints/demand/duration).
+/// The caller removes the originals (see RemoveFlows) before executing the
+/// event with a planner whose path provider avoids the switch.
+[[nodiscard]] UpdateEvent MakeSwitchUpgradeEvent(EventId id,
+                                                 Seconds arrival_time,
+                                                 const net::Network& network,
+                                                 NodeId switch_node);
+
+/// Removes the given flows from the network (releasing their bandwidth).
+void RemoveFlows(net::Network& network, const std::vector<FlowId>& flows);
+
+struct VmMigrationConfig {
+  /// Number of parallel state-transfer streams per VM.
+  std::size_t streams = 4;
+  /// Per-stream demand (Mbps).
+  Mbps stream_demand = 100.0;
+  /// VM memory volume to copy (Mb) — determines stream durations.
+  Megabits vm_volume = 8000.0;
+};
+
+/// Builds a VM-migration event: `streams` equal flows from the old host to
+/// the new host sized so their combined volume equals vm_volume.
+[[nodiscard]] UpdateEvent MakeVmMigrationEvent(EventId id, Seconds arrival_time,
+                                               NodeId old_host, NodeId new_host,
+                                               const VmMigrationConfig& config);
+
+/// Ids of placed flows whose path crosses `link` (either direction of the
+/// cable). Basis for link-failure events.
+[[nodiscard]] std::vector<FlowId> FlowsThroughLink(const net::Network& network,
+                                                   LinkId link);
+
+/// Builds a link-failure event: replacement flows for every existing flow
+/// crossing the failed cable (both directions). The caller removes the
+/// originals (RemoveFlows) and executes the event with a planner whose path
+/// provider avoids the link (topo::LinkAvoidingPathProvider).
+[[nodiscard]] UpdateEvent MakeLinkFailureEvent(EventId id,
+                                               Seconds arrival_time,
+                                               const net::Network& network,
+                                               LinkId failed_link);
+
+}  // namespace nu::update

@@ -1,0 +1,102 @@
+#include "update/planner.h"
+
+namespace nu::update {
+
+std::size_t EventPlan::placeable_count() const {
+  std::size_t count = 0;
+  for (const FlowAction& a : actions) {
+    if (a.placeable) ++count;
+  }
+  return count;
+}
+
+EventPlanner::EventPlanner(const topo::PathProvider& paths,
+                           MigrationOptions migration_options,
+                           net::PathSelection path_selection)
+    : paths_(paths),
+      optimizer_(paths, migration_options),
+      path_selection_(path_selection) {}
+
+EventPlan EventPlanner::PlanInto(net::Network& state, const UpdateEvent& event,
+                                 std::vector<FlowId>* placed_ids) const {
+  EventPlan plan;
+  plan.event = event.id();
+  plan.actions.reserve(event.flow_count());
+  bool all_placeable = true;
+
+  for (std::size_t i = 0; i < event.flow_count(); ++i) {
+    const flow::Flow& f = event.flows()[i];
+    FlowAction action;
+    action.flow_index = i;
+
+    // 1. Direct admission on a feasible path, if one exists.
+    if (auto direct = net::FindFeasiblePath(state, paths_, f.src, f.dst,
+                                            f.demand, path_selection_)) {
+      action.path = std::move(*direct);
+      action.migration.feasible = true;
+      action.placeable = true;
+    } else {
+      // 2. Locally migrate existing flows off the least congested candidate
+      //    path (Definition 1).
+      const topo::Path& desired =
+          net::LeastCongestedPath(state, paths_, f.src, f.dst, f.demand);
+      MigrationPlan migration = optimizer_.Plan(state, f.demand, desired);
+      if (migration.feasible) {
+        action.path = desired;
+        action.migration = std::move(migration);
+        action.placeable = true;
+        ++plan.flows_needing_migration;
+        plan.migrated_traffic += action.migration.migrated_traffic;
+        plan.migration_moves += action.migration.moves.size();
+      } else {
+        action.placeable = false;
+        all_placeable = false;
+      }
+    }
+
+    if (action.placeable) {
+      MigrationOptimizer::Apply(state, action.migration);
+      const FlowId id = state.Place(f, action.path);
+      if (placed_ids != nullptr) placed_ids->push_back(id);
+    }
+    plan.actions.push_back(std::move(action));
+  }
+
+  plan.fully_feasible = all_placeable;
+  return plan;
+}
+
+EventPlan EventPlanner::Plan(const net::Network& network,
+                             const UpdateEvent& event) const {
+  net::Network scratch = network;
+  return PlanInto(scratch, event, nullptr);
+}
+
+ExecutionResult EventPlanner::Execute(net::Network& network,
+                                      const UpdateEvent& event) const {
+  ExecutionResult result;
+  result.plan = PlanInto(network, event, &result.placed_flows);
+  for (const FlowAction& action : result.plan.actions) {
+    if (!action.placeable) result.deferred_flows.push_back(action.flow_index);
+  }
+  return result;
+}
+
+std::optional<FlowId> EventPlanner::PlaceFlow(net::Network& network,
+                                              flow::Flow flow, Mbps* migrated,
+                                              std::size_t* moves) const {
+  if (auto direct = net::FindFeasiblePath(network, paths_, flow.src, flow.dst,
+                                          flow.demand, path_selection_)) {
+    return network.Place(std::move(flow), *direct);
+  }
+  const topo::Path& desired = net::LeastCongestedPath(
+      network, paths_, flow.src, flow.dst, flow.demand);
+  MigrationPlan migration = optimizer_.Plan(network, flow.demand, desired);
+  if (!migration.feasible) return std::nullopt;
+  if (migrated != nullptr) *migrated += migration.migrated_traffic;
+  if (moves != nullptr) *moves += migration.moves.size();
+  MigrationOptimizer::Apply(network, migration);
+  return network.Place(std::move(flow), desired);
+}
+
+}  // namespace nu::update

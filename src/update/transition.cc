@@ -1,0 +1,144 @@
+#include "update/transition.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace nu::update {
+
+std::size_t TransitionPlan::DetourCount() const {
+  std::size_t count = 0;
+  for (const TransitionStep& step : steps) {
+    if (step.detour) ++count;
+  }
+  return count;
+}
+
+TransitionPlan PlanTransition(const net::Network& network,
+                              const topo::PathProvider& paths,
+                              const TargetConfig& targets,
+                              const TransitionOptions& options) {
+  TransitionPlan plan;
+  net::Network scratch = network;
+
+  // Pending = flows not already on their targets, in ascending id order for
+  // determinism.
+  std::vector<FlowId> pending;
+  for (const auto& [rep, target] : targets) {
+    const FlowId id{rep};
+    NU_EXPECTS(scratch.HasFlow(id));
+    NU_EXPECTS(scratch.graph().IsValidPath(target));
+    if (!(scratch.PathOf(id) == target)) pending.push_back(id);
+  }
+  std::sort(pending.begin(), pending.end());
+
+  for (std::size_t round = 0; round < options.max_rounds && !pending.empty();
+       ++round) {
+    bool progressed = false;
+
+    // Pass 1: move every flow whose target currently fits.
+    for (std::size_t i = 0; i < pending.size();) {
+      const FlowId id = pending[i];
+      const topo::Path& target = targets.at(id.value());
+      if (scratch.CanReroute(id, target)) {
+        scratch.Reroute(id, target);
+        plan.steps.push_back(TransitionStep{id, target, false});
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+        progressed = true;
+      } else {
+        ++i;
+      }
+    }
+    if (progressed || pending.empty()) continue;
+
+    // Deadlock: no pending flow's target fits. Try parking ONE flow on an
+    // alternate path to free capacity (classic two-flow swap needs this).
+    if (!options.allow_detours) break;
+    bool detoured = false;
+    for (const FlowId id : pending) {
+      const flow::Flow& f = scratch.FlowOf(id);
+      const topo::Path& current = scratch.PathOf(id);
+      const topo::Path& target = targets.at(id.value());
+      for (const topo::Path& candidate : paths.Paths(f.src, f.dst)) {
+        if (candidate == current || candidate == target) continue;
+        if (!scratch.CanReroute(id, candidate)) continue;
+        scratch.Reroute(id, candidate);
+        plan.steps.push_back(TransitionStep{id, candidate, true});
+        detoured = true;
+        break;
+      }
+      if (detoured) break;
+    }
+    if (!detoured) break;  // genuinely stuck
+  }
+
+  plan.complete = pending.empty();
+  plan.stuck = std::move(pending);
+  return plan;
+}
+
+void ApplyTransition(net::Network& network, const TransitionPlan& plan) {
+  for (const TransitionStep& step : plan.steps) {
+    NU_CHECK(network.CanReroute(step.flow, step.path));
+    network.Reroute(step.flow, step.path);
+  }
+}
+
+TransitionPlan PlanNodeDrain(const net::Network& network,
+                             const topo::PathProvider& paths, NodeId node,
+                             const TransitionOptions& options) {
+  // Draining differs from a fixed-target transition: ANY path avoiding the
+  // node is an acceptable destination, so each round re-selects the widest
+  // currently-feasible avoiding candidate per flow instead of committing to
+  // targets upfront.
+  const topo::NodeAvoidingPathProvider avoiding(paths, node);
+  TransitionPlan plan;
+  net::Network scratch = network;
+
+  std::vector<FlowId> pending;
+  for (FlowId id : scratch.PlacedFlows()) {
+    const topo::Path& current = scratch.PathOf(id);
+    if (std::find(current.nodes.begin(), current.nodes.end(), node) !=
+        current.nodes.end()) {
+      pending.push_back(id);
+    }
+  }
+
+  for (std::size_t round = 0; round < options.max_rounds && !pending.empty();
+       ++round) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < pending.size();) {
+      const FlowId id = pending[i];
+      const flow::Flow& f = scratch.FlowOf(id);
+      const topo::Path* best = nullptr;
+      Mbps best_bottleneck = 0.0;
+      for (const topo::Path& candidate : avoiding.Paths(f.src, f.dst)) {
+        if (!scratch.CanReroute(id, candidate)) continue;
+        Mbps bottleneck = std::numeric_limits<double>::infinity();
+        for (LinkId lid : candidate.links) {
+          bottleneck = std::min(bottleneck, scratch.Residual(lid));
+        }
+        if (best == nullptr || bottleneck > best_bottleneck) {
+          best = &candidate;
+          best_bottleneck = bottleneck;
+        }
+      }
+      if (best == nullptr) {
+        ++i;
+        continue;
+      }
+      scratch.Reroute(id, *best);
+      plan.steps.push_back(TransitionStep{id, *best, false});
+      pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      progressed = true;
+    }
+    if (!progressed) break;  // remaining flows fit on no avoiding path
+  }
+
+  plan.complete = pending.empty();
+  plan.stuck = std::move(pending);
+  return plan;
+}
+
+}  // namespace nu::update

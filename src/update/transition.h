@@ -1,0 +1,66 @@
+// Configuration-transition planning: order a batch of per-flow reroutes so
+// that EVERY intermediate state is congestion-free (Dionysus-style
+// dependency-aware migration, cited by the paper as "dynamic scheduling of
+// network updates"). Given target paths for a set of placed flows, the
+// planner emits a step sequence (one reroute per step), greedily moving any
+// flow whose target currently fits and, on deadlock (flows whose targets
+// mutually occupy each other's capacity), breaking the cycle with a detour
+// through a third path when one exists.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "topo/path_provider.h"
+
+namespace nu::update {
+
+/// One reroute of the transition sequence.
+struct TransitionStep {
+  FlowId flow;
+  topo::Path path;
+  /// True when this step parks the flow on an intermediate path (deadlock
+  /// break) rather than its final target.
+  bool detour = false;
+};
+
+struct TransitionPlan {
+  /// True when every flow reached its target path.
+  bool complete = false;
+  std::vector<TransitionStep> steps;
+  /// Flows left off their targets when incomplete.
+  std::vector<FlowId> stuck;
+
+  [[nodiscard]] std::size_t DetourCount() const;
+};
+
+struct TransitionOptions {
+  /// Attempt deadlock-breaking detours through alternate provider paths.
+  bool allow_detours = true;
+  /// Bound on greedy rounds (each round scans all pending flows).
+  std::size_t max_rounds = 64;
+};
+
+/// Target configuration: flow -> desired final path.
+using TargetConfig = std::unordered_map<FlowId::rep_type, topo::Path>;
+
+/// Plans against a copy of `network` (pure). Every step of the returned
+/// plan is feasible when applied in order from the starting state.
+[[nodiscard]] TransitionPlan PlanTransition(
+    const net::Network& network, const topo::PathProvider& paths,
+    const TargetConfig& targets, const TransitionOptions& options = {});
+
+/// Applies a plan's steps in order to the live network. Aborts if a step is
+/// infeasible (the plan must have been computed against this state).
+void ApplyTransition(net::Network& network, const TransitionPlan& plan);
+
+/// Drain plan for a switch upgrade: targets every flow crossing `node` at
+/// its widest candidate path avoiding the node, then plans the
+/// congestion-free transition. Flows with no avoiding path (e.g. behind a
+/// single-homed edge switch) are reported in `stuck` without being moved.
+[[nodiscard]] TransitionPlan PlanNodeDrain(
+    const net::Network& network, const topo::PathProvider& paths, NodeId node,
+    const TransitionOptions& options = {});
+
+}  // namespace nu::update

@@ -1,0 +1,65 @@
+#include "update/update_event.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nu::update {
+
+const char* ToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kGeneric:
+      return "generic";
+    case EventKind::kSwitchUpgrade:
+      return "switch-upgrade";
+    case EventKind::kVmMigration:
+      return "vm-migration";
+    case EventKind::kFailureReroute:
+      return "failure-reroute";
+  }
+  return "?";
+}
+
+UpdateEvent::UpdateEvent(EventId id, Seconds arrival_time,
+                         std::vector<flow::Flow> flows, EventKind kind)
+    : id_(id), arrival_time_(arrival_time), kind_(kind),
+      flows_(std::move(flows)) {
+  NU_EXPECTS(id_.valid());
+  NU_EXPECTS(arrival_time_ >= 0.0);
+  NU_EXPECTS(!flows_.empty());
+  for (flow::Flow& f : flows_) {
+    NU_EXPECTS(f.demand > 0.0);
+    NU_EXPECTS(f.duration > 0.0);
+    f.origin = flow::FlowOrigin::kUpdateEvent;
+    f.event = id_;
+  }
+}
+
+Mbps UpdateEvent::TotalDemand() const {
+  Mbps total = 0.0;
+  for (const flow::Flow& f : flows_) total += f.demand;
+  return total;
+}
+
+Seconds UpdateEvent::MaxFlowDuration() const {
+  Seconds longest = 0.0;
+  for (const flow::Flow& f : flows_) longest = std::max(longest, f.duration);
+  return longest;
+}
+
+Megabits UpdateEvent::TotalVolume() const {
+  Megabits total = 0.0;
+  for (const flow::Flow& f : flows_) total += f.volume();
+  return total;
+}
+
+std::string UpdateEvent::DebugString() const {
+  std::ostringstream os;
+  os << "event{" << id_ << " " << ToString(kind_) << " t=" << arrival_time_
+     << " flows=" << flows_.size() << " demand=" << TotalDemand() << "Mbps"
+     << " max_dur=" << MaxFlowDuration() << "s}";
+  return os.str();
+}
+
+}  // namespace nu::update

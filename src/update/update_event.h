@@ -1,0 +1,53 @@
+// The event-level abstraction (Definition 2): an update event U is a set of
+// flows {f1..fw} that must be scheduled together; the event is complete only
+// when its last flow completes. Update events are what operators/apps/
+// devices emit — switch upgrades, failures, VM migrations — and what the
+// inter-event schedulers (FIFO/LMTF/P-LMTF) order.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flow/flow.h"
+
+namespace nu::update {
+
+/// What triggered the event; informational (reports, generators).
+enum class EventKind : std::uint8_t {
+  kGeneric,
+  kSwitchUpgrade,
+  kVmMigration,
+  kFailureReroute,
+};
+
+[[nodiscard]] const char* ToString(EventKind kind);
+
+class UpdateEvent {
+ public:
+  UpdateEvent(EventId id, Seconds arrival_time, std::vector<flow::Flow> flows,
+              EventKind kind = EventKind::kGeneric);
+
+  [[nodiscard]] EventId id() const { return id_; }
+  [[nodiscard]] Seconds arrival_time() const { return arrival_time_; }
+  [[nodiscard]] EventKind kind() const { return kind_; }
+  [[nodiscard]] std::span<const flow::Flow> flows() const { return flows_; }
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+
+  /// Sum of flow demands (Mbps).
+  [[nodiscard]] Mbps TotalDemand() const;
+  /// Longest flow duration — lower bound on the event's execution time.
+  [[nodiscard]] Seconds MaxFlowDuration() const;
+  /// Total traffic volume of the event's flows (Mb).
+  [[nodiscard]] Megabits TotalVolume() const;
+
+  [[nodiscard]] std::string DebugString() const;
+
+ private:
+  EventId id_;
+  Seconds arrival_time_;
+  EventKind kind_;
+  std::vector<flow::Flow> flows_;
+};
+
+}  // namespace nu::update

@@ -1,0 +1,34 @@
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace nu {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  NU_CHECK(1 + 1 == 2);
+  NU_EXPECTS(true);
+  NU_ENSURES(2 > 1);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(NU_CHECK(false), "NU_CHECK failed: false");
+}
+
+TEST(CheckDeathTest, FailingPreconditionNamesItself) {
+  EXPECT_DEATH(NU_EXPECTS(1 == 2), "Precondition failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, FailingPostconditionNamesItself) {
+  EXPECT_DEATH(NU_ENSURES(0 > 1), "Postcondition failed: 0 > 1");
+}
+
+TEST(CheckTest, ExpressionEvaluatedExactlyOnce) {
+  int count = 0;
+  NU_CHECK(++count == 1);
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace nu

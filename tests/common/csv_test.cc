@@ -1,0 +1,77 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace nu {
+namespace {
+
+TEST(SplitCsvLineTest, Simple) {
+  const auto cells = SplitCsvLine("a,b,c");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], "a");
+  EXPECT_EQ(cells[2], "c");
+}
+
+TEST(SplitCsvLineTest, QuotedComma) {
+  const auto cells = SplitCsvLine("\"a,b\",c");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], "a,b");
+  EXPECT_EQ(cells[1], "c");
+}
+
+TEST(SplitCsvLineTest, DoubledQuote) {
+  const auto cells = SplitCsvLine("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], "say \"hi\"");
+}
+
+TEST(SplitCsvLineTest, EmptyFields) {
+  const auto cells = SplitCsvLine("a,,c,");
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[1], "");
+  EXPECT_EQ(cells[3], "");
+}
+
+TEST(SplitCsvLineTest, StripsCarriageReturn) {
+  const auto cells = SplitCsvLine("a,b\r");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1], "b");
+}
+
+TEST(EscapeCsvFieldTest, PlainPassthrough) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+}
+
+TEST(EscapeCsvFieldTest, QuotesSpecials) {
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("has \"q\""), "\"has \"\"q\"\"\"");
+  EXPECT_EQ(EscapeCsvField(""), "\"\"");
+}
+
+TEST(CsvWriterTest, RoundTrip) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"x", "1,5", "z"});
+  const auto cells = SplitCsvLine(out.str().substr(0, out.str().size() - 1));
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[1], "1,5");
+}
+
+TEST(ParseCsvTest, HeaderAndRows) {
+  const CsvFile file = ParseCsv("a,b\n1,2\n3,4\n", /*has_header=*/true);
+  ASSERT_EQ(file.header.size(), 2u);
+  ASSERT_EQ(file.rows.size(), 2u);
+  EXPECT_EQ(*file.ColumnIndex("b"), 1u);
+  EXPECT_FALSE(file.ColumnIndex("missing").has_value());
+}
+
+TEST(ParseCsvTest, SkipsCommentsAndBlanks) {
+  const CsvFile file = ParseCsv("# comment\n\n1,2\n", /*has_header=*/false);
+  ASSERT_EQ(file.rows.size(), 1u);
+  EXPECT_EQ(file.rows[0][0], "1");
+}
+
+}  // namespace
+}  // namespace nu

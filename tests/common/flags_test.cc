@@ -1,0 +1,85 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace nu {
+namespace {
+
+Flags ParseArgs(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsForm) {
+  const Flags flags = ParseArgs({"--events=30", "--utilization=0.7"});
+  EXPECT_EQ(flags.GetUint("events", 0), 30u);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("utilization", 0.0), 0.7);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  const Flags flags = ParseArgs({"--events", "30", "--name", "lmtf"});
+  EXPECT_EQ(flags.GetInt("events", 0), 30);
+  EXPECT_EQ(flags.GetString("name", ""), "lmtf");
+}
+
+TEST(FlagsTest, BareBoolean) {
+  const Flags flags = ParseArgs({"--csv", "--flow-level"});
+  EXPECT_TRUE(flags.GetBool("csv", false));
+  EXPECT_TRUE(flags.GetBool("flow-level", false));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+}
+
+TEST(FlagsTest, ExplicitBooleanValues) {
+  const Flags flags = ParseArgs({"--a=true", "--b=false", "--c=1", "--d=0"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  const Flags flags = ParseArgs({});
+  EXPECT_EQ(flags.GetUint("x", 42u), 42u);
+  EXPECT_EQ(flags.GetString("y", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("z", 1.5), 1.5);
+}
+
+TEST(FlagsTest, Positionals) {
+  const Flags flags = ParseArgs({"first", "--k=2", "second"});
+  ASSERT_EQ(flags.positionals().size(), 2u);
+  EXPECT_EQ(flags.positionals()[0], "first");
+  EXPECT_EQ(flags.positionals()[1], "second");
+}
+
+TEST(FlagsTest, HasMarksQueried) {
+  const Flags flags = ParseArgs({"--known=1", "--typo=2"});
+  EXPECT_TRUE(flags.Has("known"));
+  const auto unqueried = flags.UnqueriedFlags();
+  ASSERT_EQ(unqueried.size(), 1u);
+  EXPECT_EQ(unqueried[0], "typo");
+}
+
+TEST(FlagsTest, UnqueriedEmptyAfterAllRead) {
+  const Flags flags = ParseArgs({"--a=1", "--b=2"});
+  (void)flags.GetInt("a", 0);
+  (void)flags.GetInt("b", 0);
+  EXPECT_TRUE(flags.UnqueriedFlags().empty());
+}
+
+TEST(FlagsDeathTest, UnparsableNumberDies) {
+  const Flags flags = ParseArgs({"--n=abc"});
+  EXPECT_DEATH((void)flags.GetInt("n", 0), "NU_CHECK");
+}
+
+TEST(FlagsDeathTest, UnparsableBoolDies) {
+  const Flags flags = ParseArgs({"--b=maybe"});
+  EXPECT_DEATH((void)flags.GetBool("b", false), "NU_CHECK");
+}
+
+}  // namespace
+}  // namespace nu

@@ -1,0 +1,72 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace nu {
+namespace {
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);   // underflow
+  h.Add(0.0);    // bucket 0
+  h.Add(1.9);    // bucket 0
+  h.Add(2.0);    // bucket 1
+  h.Add(9.99);   // bucket 4
+  h.Add(10.0);   // overflow
+  h.Add(100.0);  // overflow
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 0u);
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(HistogramTest, BucketEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(HistogramTest, CumulativeFraction) {
+  Histogram h(0.0, 4.0, 4);
+  for (double v : {0.5, 1.5, 2.5, 3.5}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(3), 1.0);
+}
+
+TEST(HistogramTest, RenderMentionsCounts) {
+  Histogram h(0.0, 10.0, 2);
+  h.Add(1.0);
+  h.Add(1.0);
+  const std::string out = h.Render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('2'), std::string::npos);
+}
+
+TEST(LogHistogramTest, GeometricBuckets) {
+  LogHistogram h(1.0, 2.0, 10);
+  h.Add(1.0);   // [1, 2) -> bucket 0
+  h.Add(3.0);   // [2, 4) -> bucket 1
+  h.Add(5.0);   // [4, 8) -> bucket 2
+  h.Add(0.5);   // underflow
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 16.0);
+}
+
+TEST(LogHistogramTest, LastBucketAbsorbsHuge) {
+  LogHistogram h(1.0, 2.0, 4);
+  h.Add(1e12);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+}  // namespace
+}  // namespace nu

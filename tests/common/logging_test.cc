@@ -1,0 +1,53 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace nu {
+namespace {
+
+TEST(LoggingTest, ParseLevels) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("bogus"), LogLevel::kWarn);
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, BelowThresholdIsCheap) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  NU_LOG_DEBUG << "value " << expensive();
+  // The macro short-circuits: the stream expression never runs.
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, AtThresholdEmits) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  int evaluations = 0;
+  auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  NU_LOG_ERROR << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace nu

@@ -1,0 +1,198 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace nu {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.UniformInt(10, 100);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 100);
+  }
+}
+
+TEST(RngTest, UniformIntHitsAllValuesOfSmallRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+}
+
+TEST(RngTest, Uniform01InUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(RngTest, ParetoAboveScale) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.Pareto(5.0, 1.5), 5.0);
+  }
+}
+
+TEST(RngTest, ParetoMedian) {
+  // Median of Pareto(scale, shape) is scale * 2^(1/shape).
+  Rng rng(29);
+  std::vector<double> samples;
+  for (int i = 0; i < 100001; ++i) samples.push_back(rng.Pareto(1.0, 2.0));
+  std::nth_element(samples.begin(), samples.begin() + 50000, samples.end());
+  EXPECT_NEAR(samples[50000], std::sqrt(2.0), 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, IndexInRange) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Index(7), 7u);
+  }
+}
+
+TEST(RngTest, ForkIndependentButDeterministic) {
+  Rng a(99);
+  Rng b(99);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fa.Next(), fb.Next());
+  }
+  // Parent stream continues deterministically too.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(20, 5);
+    ASSERT_EQ(sample.size(), 5u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 5u);
+    for (std::size_t s : sample) EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementWholePopulation) {
+  Rng rng(47);
+  const auto sample = rng.SampleWithoutReplacement(5, 10);
+  ASSERT_EQ(sample.size(), 5u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniform) {
+  // Each element of [0,10) should appear in a 3-sample with p = 3/10.
+  Rng rng(53);
+  std::vector<int> counts(10, 0);
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    for (std::size_t s : rng.SampleWithoutReplacement(10, 3)) {
+      ++counts[s];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / trials, 0.3, 0.02);
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, LogNormalPositive) {
+  Rng rng(61);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(rng.LogNormal(0.0, 1.5), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace nu

@@ -1,0 +1,124 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace nu {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 0.0);
+  EXPECT_EQ(rs.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats rs;
+  rs.Add(42.0);
+  EXPECT_EQ(rs.count(), 1u);
+  EXPECT_EQ(rs.mean(), 42.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.min(), 42.0);
+  EXPECT_EQ(rs.max(), 42.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats rs;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.Add(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1: sum of squared devs = 32, / 7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(rs.min(), 2.0);
+  EXPECT_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombined) {
+  RunningStats a, b, combined;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10.0;
+    if (i % 2 == 0) {
+      a.Add(v);
+    } else {
+      b.Add(v);
+    }
+    combined.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.mean(), combined.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), combined.variance(), 1e-9);
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(SamplesTest, EmptyDefaults) {
+  Samples s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Percentile(0.5), 0.0);
+}
+
+TEST(SamplesTest, MeanAndExtremes) {
+  Samples s({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 6.0);
+}
+
+TEST(SamplesTest, PercentileInterpolates) {
+  Samples s({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.125), 15.0);  // halfway between 10 and 20
+}
+
+TEST(SamplesTest, PercentileAfterAdd) {
+  Samples s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.99), 5.0);
+  s.Add(15.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 10.0);
+}
+
+TEST(SamplesTest, StddevMatchesRunningStats) {
+  Samples s({1.0, 2.0, 3.0, 4.0});
+  RunningStats rs;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) rs.Add(v);
+  EXPECT_NEAR(s.stddev(), rs.stddev(), 1e-12);
+}
+
+TEST(ReductionTest, Basic) {
+  EXPECT_DOUBLE_EQ(ReductionVs(10.0, 5.0), 0.5);
+  EXPECT_DOUBLE_EQ(ReductionVs(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(ReductionVs(10.0, 12.0), -0.2);
+  EXPECT_DOUBLE_EQ(ReductionVs(0.0, 5.0), 0.0);
+}
+
+TEST(PercentStringTest, Formats) {
+  EXPECT_EQ(PercentString(0.753), "75.3%");
+  EXPECT_EQ(PercentString(0.5, 0), "50%");
+  EXPECT_EQ(PercentString(-0.1, 1), "-10.0%");
+}
+
+}  // namespace
+}  // namespace nu

@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace nu {
+namespace {
+
+TEST(AsciiTableTest, RendersHeadersAndRows) {
+  AsciiTable table({"name", "value"});
+  table.Row().Cell("alpha").Cell(4);
+  table.Row().Cell("ect").Cell(1.2345, 2);
+  const std::string out = table.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(AsciiTableTest, AlignsColumns) {
+  AsciiTable table({"a", "b"});
+  table.Row().Cell("long-cell-content").Cell("x");
+  table.Row().Cell("s").Cell("y");
+  const std::string out = table.Render();
+  // Every rendered line has the same length.
+  std::size_t line_len = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    if (line_len == 0) {
+      line_len = next - pos;
+    } else {
+      EXPECT_EQ(next - pos, line_len);
+    }
+    pos = next + 1;
+  }
+}
+
+TEST(AsciiTableTest, AddRowChecksArity) {
+  AsciiTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_DEATH(table.AddRow({"only-one"}), "Precondition");
+}
+
+TEST(AsciiTableTest, CellBeyondHeaderCountDies) {
+  AsciiTable table({"a"});
+  table.Row().Cell("1");
+  EXPECT_DEATH(table.Cell("2"), "Precondition");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace nu

@@ -1,0 +1,64 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace nu {
+namespace {
+
+TEST(StrongIdTest, DefaultIsInvalid) {
+  NodeId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, NodeId::invalid());
+}
+
+TEST(StrongIdTest, ValueRoundTrip) {
+  const FlowId id{42};
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongIdTest, Ordering) {
+  EXPECT_LT(NodeId{1}, NodeId{2});
+  EXPECT_GT(NodeId{3}, NodeId{2});
+  EXPECT_LE(NodeId{2}, NodeId{2});
+  EXPECT_GE(NodeId{2}, NodeId{2});
+  EXPECT_NE(NodeId{1}, NodeId{2});
+}
+
+TEST(StrongIdTest, DistinctTypesDoNotMix) {
+  // Compile-time property: NodeId and LinkId are unrelated types. This test
+  // documents it; the static_asserts are the actual check.
+  static_assert(!std::is_convertible_v<NodeId, LinkId>);
+  static_assert(!std::is_convertible_v<FlowId, EventId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, NodeId>);
+  SUCCEED();
+}
+
+TEST(StrongIdTest, Hashable) {
+  std::unordered_set<FlowId> set;
+  set.insert(FlowId{1});
+  set.insert(FlowId{2});
+  set.insert(FlowId{1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongIdTest, StreamOutput) {
+  std::ostringstream os;
+  os << NodeId{7} << " " << NodeId::invalid();
+  EXPECT_EQ(os.str(), "7 <invalid>");
+}
+
+TEST(ApproxCompareTest, Tolerances) {
+  EXPECT_TRUE(ApproxLe(1.0, 1.0));
+  EXPECT_TRUE(ApproxLe(1.0 + 0.5 * kBandwidthEpsilon, 1.0));
+  EXPECT_FALSE(ApproxLe(1.0 + 2 * kBandwidthEpsilon, 1.0));
+  EXPECT_TRUE(ApproxGe(1.0, 1.0 + 0.5 * kBandwidthEpsilon));
+  EXPECT_TRUE(ApproxEq(1.0, 1.0 + 0.5 * kBandwidthEpsilon));
+  EXPECT_FALSE(ApproxEq(1.0, 1.1));
+}
+
+}  // namespace
+}  // namespace nu

@@ -1,0 +1,101 @@
+#include "consistent/migration_bridge.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/fat_tree.h"
+#include "topo/path_provider.h"
+
+namespace nu::consistent {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0}),
+        provider(ft),
+        network(ft.graph()) {}
+
+  FlowId PlaceOn(const topo::Path& path, Mbps demand) {
+    flow::Flow f;
+    f.src = path.source();
+    f.dst = path.destination();
+    f.demand = demand;
+    f.duration = 10.0;
+    return network.Place(std::move(f), path);
+  }
+
+  topo::FatTree ft;
+  topo::FatTreePathProvider provider;
+  net::Network network;
+};
+
+TEST(VersionTrackerTest, StartsAtZeroAndBumps) {
+  VersionTracker tracker;
+  EXPECT_EQ(tracker.Current(FlowId{1}), 0u);
+  EXPECT_EQ(tracker.Bump(FlowId{1}), 1u);
+  EXPECT_EQ(tracker.Current(FlowId{1}), 1u);
+  EXPECT_EQ(tracker.Bump(FlowId{1}), 2u);
+  EXPECT_EQ(tracker.Current(FlowId{2}), 0u);  // independent flows
+}
+
+TEST(MigrationBridgeTest, RealizesPlanConsistently) {
+  Fixture fx;
+  // Blocker on the desired path forces one migration.
+  const auto& blocker_paths = fx.provider.Paths(fx.ft.host(1), fx.ft.host(3));
+  const FlowId blocker = fx.PlaceOn(blocker_paths[0], 60.0);
+  const auto& desired = fx.provider.Paths(fx.ft.host(0), fx.ft.host(2))[0];
+
+  const update::MigrationOptimizer optimizer(fx.provider);
+  const update::MigrationPlan plan = optimizer.Plan(fx.network, 90.0, desired);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.moves.size(), 1u);
+
+  VersionTracker versions;
+  RuleTable rules;
+  ApplyAll(rules, PlanForPlacement(blocker, fx.network.PathOf(blocker),
+                                   versions));
+  const auto schedule = PlanForMigration(fx.network, plan, versions);
+  EXPECT_EQ(versions.Current(blocker), 1u);  // bumped by the reroute
+
+  // Every prefix keeps the blocker's packets delivered on one whole path.
+  const topo::Path old_path = fx.network.PathOf(blocker);
+  const topo::Path& new_path = plan.moves[0].new_path;
+  for (std::size_t prefix = 0; prefix <= schedule.size(); ++prefix) {
+    RuleTable step = rules;
+    for (std::size_t i = 0; i < prefix; ++i) Apply(step, schedule[i]);
+    const auto fwd = ForwardPacket(fx.ft.graph(), step, blocker,
+                                   fx.ft.host(1), fx.ft.host(3));
+    ASSERT_EQ(fwd.outcome, ForwardOutcome::kDelivered) << "prefix " << prefix;
+    ASSERT_TRUE(fwd.hops == old_path.nodes || fwd.hops == new_path.nodes);
+  }
+}
+
+TEST(MigrationBridgeTest, RuleOpCountMatchesSchedule) {
+  Fixture fx;
+  const auto& blocker_paths = fx.provider.Paths(fx.ft.host(1), fx.ft.host(3));
+  fx.PlaceOn(blocker_paths[0], 60.0);
+  const auto& desired = fx.provider.Paths(fx.ft.host(0), fx.ft.host(2))[0];
+  const update::MigrationOptimizer optimizer(fx.provider);
+  const update::MigrationPlan plan = optimizer.Plan(fx.network, 90.0, desired);
+  ASSERT_TRUE(plan.feasible);
+
+  VersionTracker versions;
+  const auto schedule = PlanForMigration(fx.network, plan, versions);
+  // RuleOpCount = migrations + placement (desired path hops + tag).
+  const std::size_t expected =
+      schedule.size() + desired.links.size() + 1;
+  EXPECT_EQ(RuleOpCount(plan, fx.network, desired.links.size()), expected);
+}
+
+TEST(MigrationBridgeTest, EmptyPlanOnlyPlacesNewFlow) {
+  Fixture fx;
+  const auto& path = fx.provider.Paths(fx.ft.host(0), fx.ft.host(2))[0];
+  update::MigrationPlan plan;
+  plan.feasible = true;
+  VersionTracker versions;
+  EXPECT_TRUE(PlanForMigration(fx.network, plan, versions).empty());
+  EXPECT_EQ(RuleOpCount(plan, fx.network, path.links.size()),
+            path.links.size() + 1);
+}
+
+}  // namespace
+}  // namespace nu::consistent

@@ -1,0 +1,132 @@
+#include "consistent/rule_table.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/fat_tree.h"
+#include "topo/path_provider.h"
+
+namespace nu::consistent {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0}),
+        provider(ft) {}
+
+  topo::FatTree ft;
+  topo::FatTreePathProvider provider;
+};
+
+TEST(RuleTableTest, InstallLookupRemove) {
+  Fixture fx;
+  RuleTable rules;
+  const FlowId flow{1};
+  const NodeId sw = fx.ft.edge(0, 0);
+  const LinkId out = fx.ft.graph().OutLinks(sw)[0];
+  EXPECT_FALSE(rules.Lookup(sw, flow, 0).has_value());
+  rules.Install(sw, flow, 0, out);
+  ASSERT_TRUE(rules.Lookup(sw, flow, 0).has_value());
+  EXPECT_EQ(*rules.Lookup(sw, flow, 0), out);
+  // Different version is a different rule.
+  EXPECT_FALSE(rules.Lookup(sw, flow, 1).has_value());
+  rules.Remove(sw, flow, 0);
+  EXPECT_FALSE(rules.Lookup(sw, flow, 0).has_value());
+  EXPECT_EQ(rules.RuleCount(), 0u);
+}
+
+TEST(RuleTableTest, RuleCountsPerFlow) {
+  Fixture fx;
+  RuleTable rules;
+  const NodeId sw = fx.ft.edge(0, 0);
+  const LinkId out = fx.ft.graph().OutLinks(sw)[0];
+  rules.Install(sw, FlowId{1}, 0, out);
+  rules.Install(sw, FlowId{1}, 1, out);
+  rules.Install(sw, FlowId{2}, 0, out);
+  EXPECT_EQ(rules.RuleCount(), 3u);
+  EXPECT_EQ(rules.RuleCountForFlow(FlowId{1}), 2u);
+  EXPECT_EQ(rules.RuleCountForFlow(FlowId{2}), 1u);
+}
+
+TEST(RuleTableTest, IngressVersion) {
+  RuleTable rules;
+  rules.SetIngressVersion(FlowId{5}, 3);
+  EXPECT_EQ(rules.IngressVersion(FlowId{5}), 3u);
+  rules.SetIngressVersion(FlowId{5}, 4);
+  EXPECT_EQ(rules.IngressVersion(FlowId{5}), 4u);
+}
+
+TEST(RuleTableDeathTest, UnknownIngressDies) {
+  RuleTable rules;
+  EXPECT_DEATH((void)rules.IngressVersion(FlowId{9}), "Precondition");
+}
+
+TEST(ForwardPacketTest, DeliversAlongInstalledPath) {
+  Fixture fx;
+  RuleTable rules;
+  const FlowId flow{1};
+  const auto& path = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12))[0];
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    rules.Install(path.nodes[i], flow, 0, path.links[i]);
+  }
+  rules.SetIngressVersion(flow, 0);
+  const ForwardResult result = ForwardPacket(
+      fx.ft.graph(), rules, flow, path.source(), path.destination());
+  EXPECT_EQ(result.outcome, ForwardOutcome::kDelivered);
+  EXPECT_EQ(result.hops, path.nodes);
+  EXPECT_EQ(result.version, 0u);
+}
+
+TEST(ForwardPacketTest, DropsWithoutRules) {
+  Fixture fx;
+  RuleTable rules;
+  rules.SetIngressVersion(FlowId{1}, 0);
+  const ForwardResult result = ForwardPacket(fx.ft.graph(), rules, FlowId{1},
+                                             fx.ft.host(0), fx.ft.host(12));
+  EXPECT_EQ(result.outcome, ForwardOutcome::kDropped);
+  EXPECT_EQ(result.hops.size(), 1u);
+}
+
+TEST(ForwardPacketTest, DetectsLoop) {
+  Fixture fx;
+  RuleTable rules;
+  const FlowId flow{1};
+  // edge(0,0) -> agg(0,0) -> edge(0,0): a 2-node loop.
+  const NodeId e = fx.ft.edge(0, 0);
+  const NodeId a = fx.ft.agg(0, 0);
+  rules.Install(e, flow, 0, fx.ft.graph().FindLink(e, a));
+  rules.Install(a, flow, 0, fx.ft.graph().FindLink(a, e));
+  // Start at the host attached to e.
+  rules.Install(fx.ft.host(0), flow, 0,
+                fx.ft.graph().FindLink(fx.ft.host(0), e));
+  rules.SetIngressVersion(flow, 0);
+  const ForwardResult result = ForwardPacket(fx.ft.graph(), rules, flow,
+                                             fx.ft.host(0), fx.ft.host(12));
+  EXPECT_EQ(result.outcome, ForwardOutcome::kLooped);
+}
+
+TEST(ForwardPacketTest, VersionSelectsPath) {
+  Fixture fx;
+  RuleTable rules;
+  const FlowId flow{1};
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  ASSERT_GE(paths.size(), 2u);
+  for (std::size_t i = 0; i < paths[0].links.size(); ++i) {
+    rules.Install(paths[0].nodes[i], flow, 0, paths[0].links[i]);
+  }
+  for (std::size_t i = 0; i < paths[1].links.size(); ++i) {
+    rules.Install(paths[1].nodes[i], flow, 1, paths[1].links[i]);
+  }
+  rules.SetIngressVersion(flow, 0);
+  EXPECT_EQ(ForwardPacket(fx.ft.graph(), rules, flow, fx.ft.host(0),
+                          fx.ft.host(12))
+                .hops,
+            paths[0].nodes);
+  rules.SetIngressVersion(flow, 1);
+  EXPECT_EQ(ForwardPacket(fx.ft.graph(), rules, flow, fx.ft.host(0),
+                          fx.ft.host(12))
+                .hops,
+            paths[1].nodes);
+}
+
+}  // namespace
+}  // namespace nu::consistent

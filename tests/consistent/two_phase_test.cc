@@ -1,0 +1,171 @@
+#include "consistent/two_phase.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "topo/fat_tree.h"
+#include "topo/path_provider.h"
+
+namespace nu::consistent {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0}),
+        provider(ft) {}
+
+  /// Installs a flow's initial path (version 0) and returns the table.
+  RuleTable WithInitialPath(FlowId flow, const topo::Path& path) {
+    RuleTable rules;
+    ApplyAll(rules, PlanInitialInstall(flow, path, 0));
+    return rules;
+  }
+
+  topo::FatTree ft;
+  topo::FatTreePathProvider provider;
+};
+
+/// True when `hops` equals exactly one of the two paths' node sequences.
+bool OnExactlyOnePath(const std::vector<NodeId>& hops, const topo::Path& a,
+                      const topo::Path& b) {
+  return hops == a.nodes || hops == b.nodes;
+}
+
+TEST(InitialInstallTest, DeliversImmediately) {
+  Fixture fx;
+  const FlowId flow{1};
+  const auto& path = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12))[0];
+  RuleTable rules = fx.WithInitialPath(flow, path);
+  const auto result = ForwardPacket(fx.ft.graph(), rules, flow, path.source(),
+                                    path.destination());
+  EXPECT_EQ(result.outcome, ForwardOutcome::kDelivered);
+  EXPECT_EQ(rules.RuleCountForFlow(flow), path.links.size());
+}
+
+TEST(TwoPhaseTest, EveryPrefixIsPerPacketConsistent) {
+  Fixture fx;
+  const FlowId flow{1};
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  ASSERT_GE(paths.size(), 2u);
+  const topo::Path& old_path = paths[0];
+  const topo::Path& new_path = paths[1];
+
+  const auto schedule = PlanTwoPhaseReroute(flow, old_path, new_path, 0);
+  for (std::size_t prefix = 0; prefix <= schedule.size(); ++prefix) {
+    RuleTable rules = fx.WithInitialPath(flow, old_path);
+    for (std::size_t i = 0; i < prefix; ++i) Apply(rules, schedule[i]);
+    const auto result = ForwardPacket(fx.ft.graph(), rules, flow,
+                                      old_path.source(),
+                                      old_path.destination());
+    EXPECT_EQ(result.outcome, ForwardOutcome::kDelivered)
+        << "prefix " << prefix;
+    EXPECT_TRUE(OnExactlyOnePath(result.hops, old_path, new_path))
+        << "prefix " << prefix << " mixed paths";
+  }
+}
+
+TEST(TwoPhaseTest, FinalStateUsesNewPathOnly) {
+  Fixture fx;
+  const FlowId flow{1};
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  const topo::Path& old_path = paths[0];
+  const topo::Path& new_path = paths[1];
+  RuleTable rules = fx.WithInitialPath(flow, old_path);
+  ApplyAll(rules, PlanTwoPhaseReroute(flow, old_path, new_path, 0));
+  const auto result = ForwardPacket(fx.ft.graph(), rules, flow,
+                                    new_path.source(), new_path.destination());
+  EXPECT_EQ(result.hops, new_path.nodes);
+  // Old rules garbage-collected: rule count equals the new path's rules.
+  EXPECT_EQ(rules.RuleCountForFlow(flow), new_path.links.size());
+}
+
+TEST(TwoPhaseTest, OpCountMatchesFormula) {
+  Fixture fx;
+  const FlowId flow{1};
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  const auto schedule = PlanTwoPhaseReroute(flow, paths[0], paths[1], 0);
+  EXPECT_EQ(schedule.size(),
+            paths[1].links.size() + 1 + paths[0].links.size());
+}
+
+TEST(TwoPhaseTest, PeakRuleOccupancyIsBothPaths) {
+  // Transient TCAM cost of consistency: right after the flip, both
+  // versions' rules coexist.
+  Fixture fx;
+  const FlowId flow{1};
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  RuleTable rules = fx.WithInitialPath(flow, paths[0]);
+  const auto schedule = PlanTwoPhaseReroute(flow, paths[0], paths[1], 0);
+  std::size_t peak = rules.RuleCountForFlow(flow);
+  for (const RuleOp& op : schedule) {
+    Apply(rules, op);
+    peak = std::max(peak, rules.RuleCountForFlow(flow));
+  }
+  EXPECT_EQ(peak, paths[0].links.size() + paths[1].links.size());
+}
+
+TEST(DirectRerouteTest, SomePrefixViolatesConsistency) {
+  // The naive in-place update must exhibit at least one intermediate state
+  // where the packet drops, loops, or takes a mixed path — the anomaly
+  // two-phase update exists to prevent.
+  Fixture fx;
+  const FlowId flow{1};
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  const topo::Path& old_path = paths[0];
+  const topo::Path& new_path = paths[1];
+
+  const auto schedule = PlanDirectReroute(flow, old_path, new_path, 0);
+  bool violated = false;
+  for (std::size_t prefix = 0; prefix <= schedule.size(); ++prefix) {
+    RuleTable rules = fx.WithInitialPath(flow, old_path);
+    for (std::size_t i = 0; i < prefix; ++i) Apply(rules, schedule[i]);
+    const auto result = ForwardPacket(fx.ft.graph(), rules, flow,
+                                      old_path.source(),
+                                      old_path.destination());
+    if (result.outcome != ForwardOutcome::kDelivered ||
+        !OnExactlyOnePath(result.hops, old_path, new_path)) {
+      violated = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(violated)
+      << "naive reroute happened to be consistent on this pair — pick "
+         "diverging paths";
+}
+
+TEST(TwoPhasePropertyTest, ConsistentOnRandomPathPairs) {
+  Fixture fx;
+  Rng rng(314);
+  for (int trial = 0; trial < 30; ++trial) {
+    const NodeId src = fx.ft.host(rng.Index(fx.ft.host_count()));
+    NodeId dst = fx.ft.host(rng.Index(fx.ft.host_count()));
+    if (src == dst) continue;
+    const auto& paths = fx.provider.Paths(src, dst);
+    if (paths.size() < 2) continue;
+    const topo::Path& a = paths[rng.Index(paths.size())];
+    const topo::Path& b = paths[rng.Index(paths.size())];
+    if (a == b) continue;
+    const FlowId flow{static_cast<FlowId::rep_type>(trial)};
+    const auto schedule = PlanTwoPhaseReroute(flow, a, b, 7);
+    for (std::size_t prefix = 0; prefix <= schedule.size(); ++prefix) {
+      RuleTable rules;
+      ApplyAll(rules, PlanInitialInstall(flow, a, 7));
+      for (std::size_t i = 0; i < prefix; ++i) Apply(rules, schedule[i]);
+      const auto result = ForwardPacket(fx.ft.graph(), rules, flow, src, dst);
+      ASSERT_EQ(result.outcome, ForwardOutcome::kDelivered);
+      ASSERT_TRUE(OnExactlyOnePath(result.hops, a, b));
+    }
+  }
+}
+
+TEST(ScheduleDurationTest, LinearInOps) {
+  Fixture fx;
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  const auto schedule = PlanTwoPhaseReroute(FlowId{1}, paths[0], paths[1], 0);
+  EXPECT_DOUBLE_EQ(ScheduleDuration(schedule, 0.002),
+                   0.002 * static_cast<double>(schedule.size()));
+  EXPECT_DOUBLE_EQ(ScheduleDuration({}, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace nu::consistent

@@ -1,0 +1,76 @@
+#include "exp/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace nu::exp {
+namespace {
+
+ExperimentConfig SmallConfig() {
+  ExperimentConfig config;
+  config.fat_tree_k = 4;
+  config.utilization = 0.4;
+  config.event_count = 4;
+  config.min_flows_per_event = 2;
+  config.max_flows_per_event = 6;
+  config.seed = 7;
+  config.sim.cost_model.plan_time_per_flow = 0.001;
+  return config;
+}
+
+TEST(RunnerTest, RunSchedulerProducesCompleteResult) {
+  const Workload w(SmallConfig());
+  const sim::SimResult result = RunScheduler(w, sched::SchedulerKind::kFifo);
+  EXPECT_EQ(result.records.size(), 4u);
+  EXPECT_GT(result.report.avg_ect, 0.0);
+  EXPECT_GE(result.report.tail_ect, result.report.avg_ect);
+}
+
+TEST(RunnerTest, FlowLevelBaselineRuns) {
+  const Workload w(SmallConfig());
+  const sim::SimResult result = RunFlowLevel(w);
+  EXPECT_EQ(result.records.size(), 4u);
+  EXPECT_GT(result.report.avg_ect, 0.0);
+}
+
+TEST(MeanReportTest, AveragesFields) {
+  metrics::Report a, b;
+  a.avg_ect = 2.0;
+  a.tail_ect = 4.0;
+  a.total_cost = 10.0;
+  b.avg_ect = 4.0;
+  b.tail_ect = 8.0;
+  b.total_cost = 30.0;
+  const std::vector<metrics::Report> reports{a, b};
+  const metrics::Report mean = MeanReport(reports);
+  EXPECT_DOUBLE_EQ(mean.avg_ect, 3.0);
+  EXPECT_DOUBLE_EQ(mean.tail_ect, 6.0);
+  EXPECT_DOUBLE_EQ(mean.total_cost, 20.0);
+}
+
+TEST(CompareSchedulersTest, ProducesAllRequestedEntries) {
+  const std::vector<sched::SchedulerKind> kinds{
+      sched::SchedulerKind::kFifo, sched::SchedulerKind::kLmtf,
+      sched::SchedulerKind::kPlmtf};
+  const ComparisonResult result =
+      CompareSchedulers(SmallConfig(), kinds, /*include_flow_level=*/true,
+                        /*trials=*/2);
+  EXPECT_EQ(result.mean_by_name.size(), 4u);
+  EXPECT_TRUE(result.mean_by_name.contains("fifo"));
+  EXPECT_TRUE(result.mean_by_name.contains("lmtf"));
+  EXPECT_TRUE(result.mean_by_name.contains("p-lmtf"));
+  EXPECT_TRUE(result.mean_by_name.contains(kFlowLevelName));
+  for (const auto& [name, trials] : result.trials_by_name) {
+    EXPECT_EQ(trials.size(), 2u) << name;
+  }
+}
+
+TEST(CompareSchedulersTest, DeterministicAcrossCalls) {
+  const std::vector<sched::SchedulerKind> kinds{sched::SchedulerKind::kFifo};
+  const auto a = CompareSchedulers(SmallConfig(), kinds, false, 1);
+  const auto b = CompareSchedulers(SmallConfig(), kinds, false, 1);
+  EXPECT_DOUBLE_EQ(a.mean_by_name.at("fifo").avg_ect,
+                   b.mean_by_name.at("fifo").avg_ect);
+}
+
+}  // namespace
+}  // namespace nu::exp

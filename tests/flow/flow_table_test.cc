@@ -1,0 +1,97 @@
+#include "flow/flow_table.h"
+
+#include <gtest/gtest.h>
+
+namespace nu::flow {
+namespace {
+
+Flow MakeFlow(Mbps demand = 10.0) {
+  Flow f;
+  f.src = NodeId{0};
+  f.dst = NodeId{1};
+  f.demand = demand;
+  f.duration = 2.0;
+  return f;
+}
+
+TEST(FlowTableTest, AddAssignsSequentialIds) {
+  FlowTable table;
+  const FlowId a = table.Add(MakeFlow());
+  const FlowId b = table.Add(MakeFlow());
+  EXPECT_EQ(a.value(), 0u);
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FlowTableTest, GetReturnsStoredFlow) {
+  FlowTable table;
+  const FlowId id = table.Add(MakeFlow(42.0));
+  const Flow& f = table.Get(id);
+  EXPECT_EQ(f.id, id);
+  EXPECT_DOUBLE_EQ(f.demand, 42.0);
+}
+
+TEST(FlowTableTest, RemoveErases) {
+  FlowTable table;
+  const FlowId id = table.Add(MakeFlow());
+  EXPECT_TRUE(table.Contains(id));
+  table.Remove(id);
+  EXPECT_FALSE(table.Contains(id));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTableTest, IdsNotReusedAfterRemove) {
+  FlowTable table;
+  const FlowId a = table.Add(MakeFlow());
+  table.Remove(a);
+  const FlowId b = table.Add(MakeFlow());
+  EXPECT_NE(a, b);
+}
+
+TEST(FlowTableTest, IdsSortedSnapshot) {
+  FlowTable table;
+  const FlowId a = table.Add(MakeFlow());
+  const FlowId b = table.Add(MakeFlow());
+  const FlowId c = table.Add(MakeFlow());
+  table.Remove(b);
+  const auto ids = table.Ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], a);
+  EXPECT_EQ(ids[1], c);
+}
+
+TEST(FlowTableTest, TotalDemand) {
+  FlowTable table;
+  table.Add(MakeFlow(10.0));
+  table.Add(MakeFlow(15.0));
+  EXPECT_DOUBLE_EQ(table.TotalDemand(), 25.0);
+}
+
+TEST(FlowTableTest, GetMutable) {
+  FlowTable table;
+  const FlowId id = table.Add(MakeFlow(5.0));
+  table.GetMutable(id).duration = 99.0;
+  EXPECT_DOUBLE_EQ(table.Get(id).duration, 99.0);
+}
+
+TEST(FlowTest, VolumeIsDemandTimesDuration) {
+  const Flow f = MakeFlow(10.0);
+  EXPECT_DOUBLE_EQ(f.volume(), 20.0);
+}
+
+TEST(FlowTableDeathTest, RejectsBadFlows) {
+  FlowTable table;
+  Flow zero_demand = MakeFlow(0.0);
+  EXPECT_DEATH(table.Add(std::move(zero_demand)), "Precondition");
+  Flow self_loop = MakeFlow();
+  self_loop.dst = self_loop.src;
+  EXPECT_DEATH(table.Add(std::move(self_loop)), "Precondition");
+}
+
+TEST(FlowTableDeathTest, GetMissingDies) {
+  FlowTable table;
+  EXPECT_DEATH(static_cast<void>(table.Get(FlowId{7})), "Precondition");
+}
+
+}  // namespace
+}  // namespace nu::flow

@@ -1,0 +1,102 @@
+// End-to-end integration: the full pipeline (topology -> background trace ->
+// event generation -> scheduling -> simulation -> reporting) on a k=4
+// Fat-Tree, exercising every scheduler including the flow-level baseline.
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+
+namespace nu::exp {
+namespace {
+
+ExperimentConfig Config(double utilization, std::size_t events,
+                        std::uint64_t seed = 17) {
+  ExperimentConfig config;
+  config.fat_tree_k = 4;
+  config.utilization = utilization;
+  config.event_count = events;
+  config.min_flows_per_event = 3;
+  config.max_flows_per_event = 12;
+  config.seed = seed;
+  config.sim.cost_model.plan_time_per_flow = 0.002;
+  return config;
+}
+
+TEST(EndToEndTest, AllSchedulersCompleteAllEvents) {
+  const Workload w(Config(0.6, 8));
+  for (const sched::SchedulerKind kind :
+       {sched::SchedulerKind::kFifo, sched::SchedulerKind::kReorder,
+        sched::SchedulerKind::kLmtf, sched::SchedulerKind::kPlmtf}) {
+    const sim::SimResult result = RunScheduler(w, kind);
+    EXPECT_EQ(result.records.size(), 8u) << sched::ToString(kind);
+    for (const auto& rec : result.records) {
+      EXPECT_GE(rec.exec_start, rec.arrival) << sched::ToString(kind);
+      EXPECT_GE(rec.completion, rec.exec_start) << sched::ToString(kind);
+    }
+    EXPECT_GT(result.report.makespan, 0.0);
+  }
+}
+
+TEST(EndToEndTest, FlowLevelCompletesToo) {
+  const Workload w(Config(0.6, 8));
+  const sim::SimResult result = RunFlowLevel(w);
+  EXPECT_EQ(result.records.size(), 8u);
+}
+
+TEST(EndToEndTest, CostsConsistentBetweenRecordsAndReport) {
+  const Workload w(Config(0.65, 6));
+  for (const sched::SchedulerKind kind :
+       {sched::SchedulerKind::kFifo, sched::SchedulerKind::kLmtf}) {
+    const sim::SimResult result = RunScheduler(w, kind);
+    double sum = 0.0;
+    for (const auto& rec : result.records) sum += rec.cost;
+    EXPECT_NEAR(result.report.total_cost, sum, 1e-6);
+  }
+}
+
+TEST(EndToEndTest, HigherUtilizationRaisesCost) {
+  // Migration cost should (weakly) grow with background pressure — compare
+  // a nearly idle fabric against a heavily loaded one across several seeds.
+  double low_cost = 0.0, high_cost = 0.0;
+  const int trials = 5;
+  for (int t = 0; t < trials; ++t) {
+    const Workload low(Config(0.1, 6, 100 + static_cast<std::uint64_t>(t)));
+    const Workload high(Config(0.85, 6, 100 + static_cast<std::uint64_t>(t)));
+    low_cost += RunScheduler(low, sched::SchedulerKind::kFifo).report.total_cost;
+    high_cost +=
+        RunScheduler(high, sched::SchedulerKind::kFifo).report.total_cost;
+  }
+  EXPECT_LE(low_cost, high_cost);
+}
+
+TEST(EndToEndTest, ReorderNeverCostsMoreProbesThanQueueSquared) {
+  const Workload w(Config(0.5, 6));
+  const sim::SimResult result =
+      RunScheduler(w, sched::SchedulerKind::kReorder);
+  EXPECT_LE(result.cost_probes, 6u * 6u);
+  EXPECT_GE(result.cost_probes, 6u);  // at least one probe per event
+}
+
+TEST(EndToEndTest, LmtfProbesBoundedByAlphaPlusOnePerRound) {
+  ExperimentConfig config = Config(0.5, 10);
+  config.alpha = 3;
+  const Workload w(config);
+  const sim::SimResult result = RunScheduler(w, sched::SchedulerKind::kLmtf);
+  EXPECT_LE(result.cost_probes, result.rounds * 4u);
+}
+
+TEST(EndToEndTest, EventLevelFasterThanFlowLevelOnAverage) {
+  // The paper's headline qualitative claim (Figs. 4/5): event-level
+  // scheduling (its cost-aware scheduler; P-LMTF here) yields lower average
+  // ECT than per-flow interleaving.
+  double event_level = 0.0, flow_level = 0.0;
+  for (int t = 0; t < 3; ++t) {
+    const Workload w(Config(0.65, 8, 200 + static_cast<std::uint64_t>(t)));
+    event_level +=
+        RunScheduler(w, sched::SchedulerKind::kPlmtf).report.avg_ect;
+    flow_level += RunFlowLevel(w).report.avg_ect;
+  }
+  EXPECT_LT(event_level, flow_level);
+}
+
+}  // namespace
+}  // namespace nu::exp

@@ -1,0 +1,82 @@
+// Golden-value regression pins: a fixed seeded workload must keep producing
+// exactly these aggregates. The library is deterministic by design, so any
+// drift here means an intentional behavior change — update the constants
+// (regenerate by printing the reports for seed 1234 below) and mention the
+// change in EXPERIMENTS.md, or an accidental one — fix the code.
+//
+// Tolerances are relative 1e-6: tight enough to catch any algorithmic
+// change, loose enough for cross-compiler floating-point association
+// differences in the statistics accumulators.
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+
+namespace nu::exp {
+namespace {
+
+ExperimentConfig GoldenConfig() {
+  ExperimentConfig config;
+  config.fat_tree_k = 4;
+  config.utilization = 0.6;
+  config.event_count = 8;
+  config.min_flows_per_event = 4;
+  config.max_flows_per_event = 16;
+  config.alpha = 4;
+  config.seed = 1234;
+  return config;
+}
+
+void ExpectNear(double expected, double actual, const char* what) {
+  EXPECT_NEAR(actual, expected, std::abs(expected) * 1e-6 + 1e-9) << what;
+}
+
+TEST(GoldenTest, FifoAggregates) {
+  const Workload w(GoldenConfig());
+  const auto r = RunScheduler(w, sched::SchedulerKind::kFifo).report;
+  ExpectNear(1.718171, r.avg_ect, "fifo avg ect");
+  ExpectNear(3.221092, r.tail_ect, "fifo tail ect");
+  ExpectNear(10.757873, r.total_cost, "fifo cost");
+  ExpectNear(0.046000, r.total_plan_time, "fifo plan time");
+}
+
+TEST(GoldenTest, LmtfAggregates) {
+  const Workload w(GoldenConfig());
+  const auto r = RunScheduler(w, sched::SchedulerKind::kLmtf).report;
+  ExpectNear(1.211207, r.avg_ect, "lmtf avg ect");
+  ExpectNear(3.277654, r.tail_ect, "lmtf tail ect");
+  ExpectNear(55.600862, r.total_cost, "lmtf cost");
+  ExpectNear(0.163000, r.total_plan_time, "lmtf plan time");
+}
+
+TEST(GoldenTest, PlmtfAggregates) {
+  const Workload w(GoldenConfig());
+  const auto r = RunScheduler(w, sched::SchedulerKind::kPlmtf).report;
+  ExpectNear(0.624633, r.avg_ect, "p-lmtf avg ect");
+  ExpectNear(2.521763, r.tail_ect, "p-lmtf tail ect");
+  ExpectNear(1.510524, r.total_cost, "p-lmtf cost");
+  ExpectNear(0.067900, r.total_plan_time, "p-lmtf plan time");
+}
+
+TEST(GoldenTest, FlowLevelAggregates) {
+  const Workload w(GoldenConfig());
+  const auto r = RunFlowLevel(w).report;
+  ExpectNear(3.313337, r.avg_ect, "flow-level avg ect");
+  ExpectNear(3.703445, r.tail_ect, "flow-level tail ect");
+}
+
+TEST(GoldenTest, HeadlineOrderingHolds) {
+  // The pinned values themselves encode the paper's headline ordering;
+  // assert it explicitly so the intent survives constant updates.
+  const Workload w(GoldenConfig());
+  const double fifo = RunScheduler(w, sched::SchedulerKind::kFifo).report.avg_ect;
+  const double lmtf = RunScheduler(w, sched::SchedulerKind::kLmtf).report.avg_ect;
+  const double plmtf =
+      RunScheduler(w, sched::SchedulerKind::kPlmtf).report.avg_ect;
+  const double flow = RunFlowLevel(w).report.avg_ect;
+  EXPECT_LT(plmtf, lmtf);
+  EXPECT_LT(lmtf, fifo);
+  EXPECT_LT(fifo, flow);
+}
+
+}  // namespace
+}  // namespace nu::exp

@@ -1,0 +1,101 @@
+// Qualitative reproduction checks: the directional claims of the paper's
+// evaluation must hold on seeded k=4 workloads (the benches then measure the
+// magnitudes at the paper's k=8 scale). Each check averages a few seeds so a
+// single unlucky draw cannot flip the sign.
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+
+namespace nu::exp {
+namespace {
+
+ExperimentConfig BaseConfig(std::uint64_t seed) {
+  ExperimentConfig config;
+  config.fat_tree_k = 4;
+  config.utilization = 0.65;
+  config.event_count = 10;
+  config.min_flows_per_event = 2;
+  config.max_flows_per_event = 20;  // heterogeneous: heavy + light events
+  config.alpha = 4;
+  config.seed = seed;
+  config.sim.cost_model.plan_time_per_flow = 0.002;
+  return config;
+}
+
+ComparisonResult RunAll(std::uint64_t seed, std::size_t trials = 3) {
+  const std::vector<sched::SchedulerKind> kinds{
+      sched::SchedulerKind::kFifo, sched::SchedulerKind::kLmtf,
+      sched::SchedulerKind::kPlmtf};
+  return CompareSchedulers(BaseConfig(seed), kinds, /*include_flow_level=*/true,
+                           trials);
+}
+
+TEST(PaperShapesTest, LmtfReducesAvgEctVsFifo) {
+  const auto result = RunAll(301);
+  EXPECT_LT(result.mean_by_name.at("lmtf").avg_ect,
+            result.mean_by_name.at("fifo").avg_ect);
+}
+
+TEST(PaperShapesTest, PlmtfReducesAvgEctVsLmtf) {
+  const auto result = RunAll(302);
+  EXPECT_LT(result.mean_by_name.at("p-lmtf").avg_ect,
+            result.mean_by_name.at("lmtf").avg_ect);
+}
+
+TEST(PaperShapesTest, PlmtfLargeReductionVsFifo) {
+  // The paper reports 69-80% average-ECT reduction; require a substantial
+  // (>30%) reduction at this smaller scale.
+  const auto result = RunAll(303);
+  const double reduction =
+      ReductionVs(result.mean_by_name.at("fifo").avg_ect,
+                  result.mean_by_name.at("p-lmtf").avg_ect);
+  EXPECT_GT(reduction, 0.3);
+}
+
+TEST(PaperShapesTest, EventLevelBeatsFlowLevelOnAvgEct) {
+  // The paper's "event-level scheduling method" in Figs. 4/5 is its
+  // cost-aware scheduler; P-LMTF is our strongest instance of it. Average
+  // ECT must be clearly lower than flow-level interleaving; the tail must
+  // not be meaningfully worse (both methods do the same total update work,
+  // so without capacity blocking the tails tie).
+  const auto result = RunAll(304);
+  EXPECT_LT(result.mean_by_name.at("p-lmtf").avg_ect,
+            result.mean_by_name.at(kFlowLevelName).avg_ect);
+  EXPECT_LE(result.mean_by_name.at("p-lmtf").tail_ect,
+            result.mean_by_name.at(kFlowLevelName).tail_ect * 1.25);
+}
+
+TEST(PaperShapesTest, PlanTimeOrderingFifoLowestLmtfHighest) {
+  // Fig. 6(d): FIFO cheapest; LMTF most expensive; P-LMTF in between
+  // (it amortizes probing over multiple executions per round).
+  const auto result = RunAll(305);
+  const double fifo = result.mean_by_name.at("fifo").total_plan_time;
+  const double lmtf = result.mean_by_name.at("lmtf").total_plan_time;
+  const double plmtf = result.mean_by_name.at("p-lmtf").total_plan_time;
+  EXPECT_LT(fifo, lmtf);
+  EXPECT_LT(fifo, plmtf);
+  EXPECT_LT(plmtf, lmtf);
+}
+
+TEST(PaperShapesTest, PlmtfReducesQueuingDelay) {
+  // Fig. 8: P-LMTF cuts both average and worst-case queuing delay vs FIFO.
+  const auto result = RunAll(306);
+  EXPECT_LT(result.mean_by_name.at("p-lmtf").avg_queuing_delay,
+            result.mean_by_name.at("fifo").avg_queuing_delay);
+  EXPECT_LT(result.mean_by_name.at("p-lmtf").worst_queuing_delay,
+            result.mean_by_name.at("fifo").worst_queuing_delay);
+}
+
+TEST(PaperShapesTest, AlphaTwoAlreadyHelps) {
+  // Section IV-B: even alpha = 2 captures most of the sampling benefit.
+  ExperimentConfig config = BaseConfig(307);
+  config.alpha = 2;
+  const std::vector<sched::SchedulerKind> kinds{sched::SchedulerKind::kFifo,
+                                                sched::SchedulerKind::kLmtf};
+  const auto result = CompareSchedulers(config, kinds, false, 3);
+  EXPECT_LT(result.mean_by_name.at("lmtf").avg_ect,
+            result.mean_by_name.at("fifo").avg_ect);
+}
+
+}  // namespace
+}  // namespace nu::exp

@@ -1,0 +1,64 @@
+// Soak test: run every scheduler (and the flow-level baseline) on moderate
+// workloads with full invariant validation turned on — the network's
+// congestion-free accounting is re-verified from scratch after every
+// occurrence batch, under churn, migrations, co-scheduling, and deferred
+// retries all at once.
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+
+namespace nu::exp {
+namespace {
+
+ExperimentConfig SoakConfig(std::uint64_t seed, bool churn) {
+  ExperimentConfig config;
+  config.fat_tree_k = 4;
+  config.utilization = 0.7;
+  config.event_count = 12;
+  config.min_flows_per_event = 5;
+  config.max_flows_per_event = 25;
+  config.alpha = 4;
+  config.seed = seed;
+  config.background_churn = churn;
+  config.sim.validate_invariants = true;
+  return config;
+}
+
+class SoakTest : public ::testing::TestWithParam<sched::SchedulerKind> {};
+
+TEST_P(SoakTest, InvariantsHoldThroughoutWithChurn) {
+  const Workload workload(SoakConfig(41, true));
+  const sim::SimResult result = RunScheduler(workload, GetParam());
+  EXPECT_EQ(result.records.size(), 12u);
+}
+
+TEST_P(SoakTest, InvariantsHoldThroughoutStatic) {
+  const Workload workload(SoakConfig(43, false));
+  const sim::SimResult result = RunScheduler(workload, GetParam());
+  EXPECT_EQ(result.records.size(), 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, SoakTest,
+                         ::testing::Values(sched::SchedulerKind::kFifo,
+                                           sched::SchedulerKind::kReorder,
+                                           sched::SchedulerKind::kLmtf,
+                                           sched::SchedulerKind::kPlmtf,
+                                           sched::SchedulerKind::kSjf));
+
+TEST(SoakTest, FlowLevelInvariantsHold) {
+  const Workload with_churn(SoakConfig(47, true));
+  EXPECT_EQ(RunFlowLevel(with_churn).records.size(), 12u);
+  const Workload without(SoakConfig(53, false));
+  EXPECT_EQ(RunFlowLevel(without).records.size(), 12u);
+}
+
+TEST(SoakTest, QuickProbesInvariantsHold) {
+  ExperimentConfig config = SoakConfig(59, true);
+  config.sim.quick_cost_probes = true;
+  const Workload workload(config);
+  EXPECT_EQ(RunScheduler(workload, sched::SchedulerKind::kLmtf).records.size(),
+            12u);
+}
+
+}  // namespace
+}  // namespace nu::exp

@@ -1,0 +1,80 @@
+#include "metrics/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace nu::metrics {
+namespace {
+
+TEST(CollectorTest, LifecycleProducesRecord) {
+  Collector c;
+  c.OnArrival(EventId{1}, 0.0, 5);
+  c.OnExecutionStart(EventId{1}, 2.0);
+  c.OnCost(EventId{1}, 30.0);
+  c.OnCost(EventId{1}, 20.0);
+  c.OnDeferredFlow(EventId{1});
+  c.OnCompletion(EventId{1}, 10.0);
+
+  ASSERT_EQ(c.records().size(), 1u);
+  const EventRecord& r = c.records()[0];
+  EXPECT_DOUBLE_EQ(r.QueuingDelay(), 2.0);
+  EXPECT_DOUBLE_EQ(r.Ect(), 10.0);
+  EXPECT_DOUBLE_EQ(r.cost, 50.0);
+  EXPECT_EQ(r.flow_count, 5u);
+  EXPECT_EQ(r.deferred_flows, 1u);
+  EXPECT_TRUE(c.AllComplete());
+}
+
+TEST(CollectorTest, AllCompleteFalseWhileRunning) {
+  Collector c;
+  c.OnArrival(EventId{1}, 0.0, 1);
+  EXPECT_FALSE(c.AllComplete());
+  c.OnExecutionStart(EventId{1}, 1.0);
+  EXPECT_FALSE(c.AllComplete());
+  c.OnCompletion(EventId{1}, 2.0);
+  EXPECT_TRUE(c.AllComplete());
+}
+
+TEST(CollectorTest, SamplesFromMultipleEvents) {
+  Collector c;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    c.OnArrival(EventId{i}, 0.0, 1);
+    c.OnExecutionStart(EventId{i}, static_cast<double>(i));
+    c.OnCompletion(EventId{i}, static_cast<double>(i) + 10.0);
+  }
+  const Samples ects = c.EctSamples();
+  EXPECT_EQ(ects.count(), 3u);
+  EXPECT_DOUBLE_EQ(ects.mean(), 11.0);
+  const Samples delays = c.QueuingDelaySamples();
+  EXPECT_DOUBLE_EQ(delays.max(), 2.0);
+}
+
+TEST(CollectorTest, TotalCost) {
+  Collector c;
+  c.OnArrival(EventId{1}, 0.0, 1);
+  c.OnArrival(EventId{2}, 0.0, 1);
+  c.OnCost(EventId{1}, 5.0);
+  c.OnCost(EventId{2}, 7.0);
+  EXPECT_DOUBLE_EQ(c.TotalCost(), 12.0);
+}
+
+TEST(CollectorDeathTest, UnknownEvent) {
+  Collector c;
+  EXPECT_DEATH(c.OnExecutionStart(EventId{9}, 1.0), "Precondition");
+}
+
+TEST(CollectorDeathTest, DoubleCompletion) {
+  Collector c;
+  c.OnArrival(EventId{1}, 0.0, 1);
+  c.OnExecutionStart(EventId{1}, 1.0);
+  c.OnCompletion(EventId{1}, 2.0);
+  EXPECT_DEATH(c.OnCompletion(EventId{1}, 3.0), "Precondition");
+}
+
+TEST(CollectorDeathTest, CompletionBeforeStart) {
+  Collector c;
+  c.OnArrival(EventId{1}, 0.0, 1);
+  EXPECT_DEATH(c.OnCompletion(EventId{1}, 2.0), "Precondition");
+}
+
+}  // namespace
+}  // namespace nu::metrics

@@ -1,0 +1,63 @@
+#include "metrics/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+
+namespace nu::metrics {
+namespace {
+
+TEST(ExportTest, RecordsCsvRoundTrips) {
+  std::vector<EventRecord> records;
+  EventRecord r;
+  r.event = EventId{7};
+  r.arrival = 1.0;
+  r.exec_start = 2.5;
+  r.completion = 4.0;
+  r.cost = 120.5;
+  r.flow_count = 9;
+  r.deferred_flows = 1;
+  records.push_back(r);
+
+  std::ostringstream out;
+  WriteRecordsCsv(out, records);
+  const CsvFile parsed = ParseCsv(out.str(), /*has_header=*/true);
+  ASSERT_EQ(parsed.rows.size(), 1u);
+  const auto& row = parsed.rows[0];
+  EXPECT_EQ(row[*parsed.ColumnIndex("event")], "7");
+  EXPECT_EQ(row[*parsed.ColumnIndex("queuing_delay")], "1.5000");
+  EXPECT_EQ(row[*parsed.ColumnIndex("ect")], "3.0000");
+  EXPECT_EQ(row[*parsed.ColumnIndex("cost")], "120.50");
+  EXPECT_EQ(row[*parsed.ColumnIndex("flow_count")], "9");
+}
+
+TEST(ExportTest, ReportCsvHasAllColumns) {
+  Report report;
+  report.event_count = 3;
+  report.avg_ect = 10.0;
+  report.tail_ect = 20.0;
+  report.total_cost = 300.0;
+  report.makespan = 25.0;
+
+  std::ostringstream out;
+  WriteReportCsv(out, report);
+  const CsvFile parsed = ParseCsv(out.str(), /*has_header=*/true);
+  ASSERT_EQ(parsed.rows.size(), 1u);
+  EXPECT_EQ(parsed.header.size(), 9u);
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("events")], "3");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("avg_ect")], "10.0000");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("makespan")], "25.0000");
+}
+
+TEST(ExportTest, EmptyRecordsProducesHeaderOnly) {
+  std::ostringstream out;
+  WriteRecordsCsv(out, {});
+  const CsvFile parsed = ParseCsv(out.str(), /*has_header=*/true);
+  EXPECT_TRUE(parsed.rows.empty());
+  EXPECT_FALSE(parsed.header.empty());
+}
+
+}  // namespace
+}  // namespace nu::metrics

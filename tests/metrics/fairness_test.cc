@@ -1,0 +1,102 @@
+#include "metrics/fairness.h"
+
+#include <gtest/gtest.h>
+
+namespace nu::metrics {
+namespace {
+
+/// Records with given arrival order and execution order (by index).
+std::vector<EventRecord> MakeRecords(
+    const std::vector<double>& arrivals,
+    const std::vector<double>& exec_starts,
+    const std::vector<double>& completions = {}) {
+  std::vector<EventRecord> records;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EventRecord r;
+    r.event = EventId{i};
+    r.arrival = arrivals[i];
+    r.exec_start = exec_starts[i];
+    r.completion = completions.empty() ? exec_starts[i] + 1.0 : completions[i];
+    r.flow_count = 1;
+    records.push_back(r);
+  }
+  return records;
+}
+
+TEST(JainIndexTest, AllEqualIsOne) {
+  const std::vector<double> v{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(JainIndex(v), 1.0);
+}
+
+TEST(JainIndexTest, SingleHogApproachesOneOverN) {
+  const std::vector<double> v{10.0, 0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(JainIndex(v), 0.25);
+}
+
+TEST(JainIndexTest, EmptyAndZeroAreOne) {
+  EXPECT_DOUBLE_EQ(JainIndex({}), 1.0);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(JainIndex(zeros), 1.0);
+}
+
+TEST(JainIndexTest, KnownValue) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  EXPECT_NEAR(JainIndex(v), 36.0 / 42.0, 1e-12);
+}
+
+TEST(ComputeFairnessTest, FifoOrderIsPerfect) {
+  const auto records =
+      MakeRecords({0.0, 1.0, 2.0, 3.0}, {10.0, 20.0, 30.0, 40.0});
+  const FairnessReport report = ComputeFairness(records);
+  EXPECT_DOUBLE_EQ(report.order_violation, 0.0);
+  EXPECT_DOUBLE_EQ(report.mean_displacement, 0.0);
+  EXPECT_EQ(report.worst_pushback, 0u);
+  EXPECT_DOUBLE_EQ(report.OrderFairness(), 1.0);
+}
+
+TEST(ComputeFairnessTest, FullReversalIsMaximallyUnfair) {
+  const auto records =
+      MakeRecords({0.0, 1.0, 2.0, 3.0}, {40.0, 30.0, 20.0, 10.0});
+  const FairnessReport report = ComputeFairness(records);
+  EXPECT_DOUBLE_EQ(report.order_violation, 1.0);
+  EXPECT_EQ(report.worst_pushback, 3u);
+  EXPECT_DOUBLE_EQ(report.mean_displacement, 2.0);  // (3+1+1+3)/4
+}
+
+TEST(ComputeFairnessTest, SingleSwap) {
+  // Events 0 and 1 swap execution order; 2, 3 in place.
+  const auto records =
+      MakeRecords({0.0, 1.0, 2.0, 3.0}, {20.0, 10.0, 30.0, 40.0});
+  const FairnessReport report = ComputeFairness(records);
+  EXPECT_DOUBLE_EQ(report.order_violation, 1.0 / 6.0);  // 1 of 6 pairs
+  EXPECT_EQ(report.worst_pushback, 1u);
+  EXPECT_DOUBLE_EQ(report.mean_displacement, 0.5);
+}
+
+TEST(ComputeFairnessTest, TiedArrivalsUseQueueOrder) {
+  // All arrive at t=0 (the paper's setup): queue order is the fairness
+  // baseline.
+  const auto records =
+      MakeRecords({0.0, 0.0, 0.0}, {10.0, 30.0, 20.0});
+  const FairnessReport report = ComputeFairness(records);
+  EXPECT_DOUBLE_EQ(report.order_violation, 1.0 / 3.0);  // pair (1,2) swapped
+}
+
+TEST(ComputeFairnessTest, FewerThanTwoEventsIsTriviallyFair) {
+  const auto one = MakeRecords({0.0}, {5.0});
+  const FairnessReport report = ComputeFairness(one);
+  EXPECT_DOUBLE_EQ(report.order_violation, 0.0);
+  EXPECT_DOUBLE_EQ(report.jain_queuing_delay, 1.0);
+}
+
+TEST(ComputeFairnessTest, JainReflectsDelaySkew) {
+  // Equal delays -> 1; one event starving -> lower.
+  const auto equal = MakeRecords({0.0, 0.0, 0.0}, {5.0, 5.0, 5.0});
+  const auto skew = MakeRecords({0.0, 0.0, 0.0}, {0.0, 0.0, 100.0});
+  EXPECT_GT(ComputeFairness(equal).jain_queuing_delay,
+            ComputeFairness(skew).jain_queuing_delay);
+}
+
+}  // namespace
+}  // namespace nu::metrics

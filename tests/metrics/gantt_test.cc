@@ -1,0 +1,85 @@
+#include "metrics/gantt.h"
+
+#include <gtest/gtest.h>
+
+namespace nu::metrics {
+namespace {
+
+std::vector<EventRecord> TwoEvents() {
+  std::vector<EventRecord> records;
+  EventRecord a;
+  a.event = EventId{0};
+  a.arrival = 0.0;
+  a.exec_start = 2.0;
+  a.completion = 5.0;
+  records.push_back(a);
+  EventRecord b;
+  b.event = EventId{1};
+  b.arrival = 1.0;
+  b.exec_start = 6.0;
+  b.completion = 10.0;
+  records.push_back(b);
+  return records;
+}
+
+TEST(GanttTest, RendersOneRowPerEventPlusAxis) {
+  const auto records = TwoEvents();
+  const std::string chart = RenderGantt(records);
+  std::size_t lines = 0;
+  for (char c : chart) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3u);  // two rows + axis
+  EXPECT_NE(chart.find("ev   0"), std::string::npos);
+  EXPECT_NE(chart.find("ev   1"), std::string::npos);
+  EXPECT_NE(chart.find("time axis"), std::string::npos);
+}
+
+TEST(GanttTest, WaitBeforeRun) {
+  const auto records = TwoEvents();
+  GanttOptions options;
+  options.width = 20;
+  const std::string chart = RenderGantt(records, options);
+  // Row 0: arrival at t=0 -> '.' from column 0; run 2..5 of 10s span.
+  const std::size_t row0 = chart.find('|') + 1;
+  EXPECT_EQ(chart[row0], '.');
+  // Somewhere in row 0 there must be a '#' after the dots.
+  EXPECT_NE(chart.find('#'), std::string::npos);
+  // Dots precede hashes in each row.
+  const std::size_t first_hash = chart.find('#');
+  const std::size_t first_dot = chart.find('.');
+  EXPECT_LT(first_dot, first_hash);
+}
+
+TEST(GanttTest, SortByExecutionStart) {
+  // Event 1 arrives later but executes... make event 1 execute first.
+  std::vector<EventRecord> records = TwoEvents();
+  records[0].exec_start = 7.0;
+  records[0].completion = 9.0;
+  records[1].exec_start = 2.0;
+  records[1].completion = 4.0;
+  GanttOptions options;
+  options.sort_by_arrival = false;
+  const std::string chart = RenderGantt(records, options);
+  // Event 1 (earlier exec) listed first.
+  EXPECT_LT(chart.find("ev   1"), chart.find("ev   0"));
+}
+
+TEST(GanttTest, ZeroDurationEventStillVisible) {
+  std::vector<EventRecord> records;
+  EventRecord r;
+  r.event = EventId{5};
+  r.arrival = 0.0;
+  r.exec_start = 0.0;
+  r.completion = 0.0;
+  records.push_back(r);
+  const std::string chart = RenderGantt(records);
+  EXPECT_NE(chart.find('#'), std::string::npos);
+}
+
+TEST(GanttDeathTest, EmptyRecordsDie) {
+  EXPECT_DEATH((void)RenderGantt({}), "Precondition");
+}
+
+}  // namespace
+}  // namespace nu::metrics

@@ -1,0 +1,221 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace nu::net {
+namespace {
+
+using topo::Graph;
+using topo::NodeRole;
+using topo::Path;
+
+/// Line graph a-b-c with 100 Mbps links.
+struct LineFixture {
+  LineFixture() {
+    a = graph.AddNode(NodeRole::kHost);
+    b = graph.AddNode(NodeRole::kGeneric);
+    c = graph.AddNode(NodeRole::kHost);
+    graph.AddBidirectional(a, b, 100.0);
+    graph.AddBidirectional(b, c, 100.0);
+  }
+
+  [[nodiscard]] Path AbcPath() const {
+    const std::array<NodeId, 3> seq{a, b, c};
+    return graph.MakePath(seq);
+  }
+
+  [[nodiscard]] flow::Flow MakeFlow(Mbps demand, Seconds duration = 5.0) const {
+    flow::Flow f;
+    f.src = a;
+    f.dst = c;
+    f.demand = demand;
+    f.duration = duration;
+    return f;
+  }
+
+  Graph graph;
+  NodeId a, b, c;
+};
+
+TEST(NetworkTest, InitialResidualEqualsCapacity) {
+  LineFixture fx;
+  Network net(fx.graph);
+  for (const auto& l : fx.graph.links()) {
+    EXPECT_DOUBLE_EQ(net.Residual(l.id), 100.0);
+    EXPECT_DOUBLE_EQ(net.Utilization(l.id), 0.0);
+  }
+  EXPECT_DOUBLE_EQ(net.AverageUtilization(), 0.0);
+  EXPECT_TRUE(net.CheckInvariants());
+}
+
+TEST(NetworkTest, PlaceConsumesResidual) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  const FlowId id = net.Place(fx.MakeFlow(30.0), p);
+  EXPECT_DOUBLE_EQ(net.Residual(p.links[0]), 70.0);
+  EXPECT_DOUBLE_EQ(net.Residual(p.links[1]), 70.0);
+  EXPECT_EQ(net.placed_flow_count(), 1u);
+  EXPECT_EQ(net.PathOf(id), p);
+  EXPECT_TRUE(net.CheckInvariants());
+}
+
+TEST(NetworkTest, RemoveReleasesResidual) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  const FlowId id = net.Place(fx.MakeFlow(30.0), p);
+  net.Remove(id);
+  EXPECT_DOUBLE_EQ(net.Residual(p.links[0]), 100.0);
+  EXPECT_EQ(net.placed_flow_count(), 0u);
+  EXPECT_TRUE(net.CheckInvariants());
+}
+
+TEST(NetworkTest, CanPlaceRespectsResidual) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  net.Place(fx.MakeFlow(80.0), p);
+  EXPECT_TRUE(net.CanPlace(20.0, p));
+  EXPECT_FALSE(net.CanPlace(20.1, p));
+}
+
+TEST(NetworkTest, CongestedLinksDetection) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  // Load only the first link via a one-hop path a->b.
+  const std::array<NodeId, 2> seq{fx.a, fx.b};
+  flow::Flow f;
+  f.src = fx.a;
+  f.dst = fx.b;
+  f.demand = 90.0;
+  f.duration = 1.0;
+  net.Place(std::move(f), fx.graph.MakePath(seq));
+
+  const auto congested = net.CongestedLinks(50.0, p);
+  ASSERT_EQ(congested.size(), 1u);
+  EXPECT_EQ(congested[0], p.links[0]);
+}
+
+TEST(NetworkTest, RerouteMovesBandwidth) {
+  // Diamond: a-b-d and a-c-d.
+  Graph g;
+  const NodeId a = g.AddNode(NodeRole::kHost);
+  const NodeId b = g.AddNode(NodeRole::kGeneric);
+  const NodeId c = g.AddNode(NodeRole::kGeneric);
+  const NodeId d = g.AddNode(NodeRole::kHost);
+  g.AddBidirectional(a, b, 100.0);
+  g.AddBidirectional(b, d, 100.0);
+  g.AddBidirectional(a, c, 100.0);
+  g.AddBidirectional(c, d, 100.0);
+  Network net(g);
+  const std::array<NodeId, 3> top{a, b, d};
+  const std::array<NodeId, 3> bottom{a, c, d};
+  const Path top_path = g.MakePath(top);
+  const Path bottom_path = g.MakePath(bottom);
+
+  flow::Flow f;
+  f.src = a;
+  f.dst = d;
+  f.demand = 60.0;
+  f.duration = 9.0;
+  const FlowId id = net.Place(std::move(f), top_path);
+  net.Reroute(id, bottom_path);
+
+  EXPECT_DOUBLE_EQ(net.Residual(top_path.links[0]), 100.0);
+  EXPECT_DOUBLE_EQ(net.Residual(bottom_path.links[0]), 40.0);
+  EXPECT_EQ(net.PathOf(id), bottom_path);
+  EXPECT_TRUE(net.CheckInvariants());
+}
+
+TEST(NetworkTest, RerouteToOverlappingPathUsesSelfRelease) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  const FlowId id = net.Place(fx.MakeFlow(100.0), p);  // saturates both links
+  // Rerouting onto the same path must succeed (self-capacity counts).
+  net.Reroute(id, p);
+  EXPECT_DOUBLE_EQ(net.Residual(p.links[0]), 0.0);
+  EXPECT_TRUE(net.CheckInvariants());
+}
+
+TEST(NetworkTest, FlowsOnLinkTracksMembership) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  const FlowId f1 = net.Place(fx.MakeFlow(10.0), p);
+  const FlowId f2 = net.Place(fx.MakeFlow(20.0), p);
+  const auto on_link = net.FlowsOnLink(p.links[0]);
+  ASSERT_EQ(on_link.size(), 2u);
+  EXPECT_EQ(on_link[0], f1);
+  EXPECT_EQ(on_link[1], f2);
+  EXPECT_TRUE(net.FlowUsesLink(f1, p.links[0]));
+  net.Remove(f1);
+  EXPECT_FALSE(net.FlowUsesLink(f1, p.links[0]));
+  EXPECT_EQ(net.FlowCountOnLink(p.links[0]), 1u);
+}
+
+TEST(NetworkTest, ForcePlaceAllowsOversubscription) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  net.Place(fx.MakeFlow(90.0), p);
+  net.ForcePlace(fx.MakeFlow(50.0), p);
+  EXPECT_LT(net.Residual(p.links[0]), 0.0);
+  EXPECT_FALSE(net.CheckInvariants());  // congestion-free invariant violated
+}
+
+TEST(NetworkTest, CopyIsIndependent) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  net.Place(fx.MakeFlow(50.0), p);
+  Network copy = net;
+  copy.Place(fx.MakeFlow(25.0), p);
+  EXPECT_DOUBLE_EQ(net.Residual(p.links[0]), 50.0);
+  EXPECT_DOUBLE_EQ(copy.Residual(p.links[0]), 25.0);
+  EXPECT_TRUE(net.CheckInvariants());
+  EXPECT_TRUE(copy.CheckInvariants());
+}
+
+TEST(NetworkTest, UtilizationAverages) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  net.Place(fx.MakeFlow(50.0), p);
+  // Two of four directed links at 50%: average 25%.
+  EXPECT_DOUBLE_EQ(net.AverageUtilization(), 0.25);
+  // Active links only: 50%.
+  EXPECT_DOUBLE_EQ(net.ActiveLinkUtilization(), 0.5);
+}
+
+TEST(NetworkDeathTest, PlaceRejectsInfeasible) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  net.Place(fx.MakeFlow(90.0), p);
+  EXPECT_DEATH(net.Place(fx.MakeFlow(20.0), p), "Precondition");
+}
+
+TEST(NetworkDeathTest, PlaceRejectsWrongEndpoints) {
+  LineFixture fx;
+  Network net(fx.graph);
+  flow::Flow f;
+  f.src = fx.b;  // path starts at a
+  f.dst = fx.c;
+  f.demand = 1.0;
+  f.duration = 1.0;
+  EXPECT_DEATH(net.Place(std::move(f), fx.AbcPath()), "Precondition");
+}
+
+TEST(NetworkDeathTest, RemoveUnknownFlow) {
+  LineFixture fx;
+  Network net(fx.graph);
+  EXPECT_DEATH(net.Remove(FlowId{123}), "Precondition");
+}
+
+}  // namespace
+}  // namespace nu::net

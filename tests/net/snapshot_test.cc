@@ -1,0 +1,87 @@
+#include "net/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace nu::net {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    a = graph.AddNode(topo::NodeRole::kHost);
+    b = graph.AddNode(topo::NodeRole::kHost);
+    graph.AddBidirectional(a, b, 100.0);
+  }
+
+  [[nodiscard]] topo::Path AbPath() const {
+    const std::array<NodeId, 2> seq{a, b};
+    return graph.MakePath(seq);
+  }
+
+  [[nodiscard]] flow::Flow MakeFlow(Mbps demand) const {
+    flow::Flow f;
+    f.src = a;
+    f.dst = b;
+    f.demand = demand;
+    f.duration = 1.0;
+    return f;
+  }
+
+  topo::Graph graph;
+  NodeId a, b;
+};
+
+TEST(ScopedTransactionTest, RollsBackOnDestruction) {
+  Fixture fx;
+  Network net(fx.graph);
+  {
+    ScopedTransaction txn(net);
+    net.Place(fx.MakeFlow(60.0), fx.AbPath());
+    EXPECT_EQ(net.placed_flow_count(), 1u);
+  }
+  EXPECT_EQ(net.placed_flow_count(), 0u);
+  EXPECT_DOUBLE_EQ(net.Residual(fx.AbPath().links[0]), 100.0);
+}
+
+TEST(ScopedTransactionTest, CommitKeepsChanges) {
+  Fixture fx;
+  Network net(fx.graph);
+  {
+    ScopedTransaction txn(net);
+    net.Place(fx.MakeFlow(60.0), fx.AbPath());
+    txn.Commit();
+  }
+  EXPECT_EQ(net.placed_flow_count(), 1u);
+  EXPECT_DOUBLE_EQ(net.Residual(fx.AbPath().links[0]), 40.0);
+}
+
+TEST(ScopedTransactionTest, ExplicitRollback) {
+  Fixture fx;
+  Network net(fx.graph);
+  ScopedTransaction txn(net);
+  net.Place(fx.MakeFlow(60.0), fx.AbPath());
+  txn.Rollback();
+  EXPECT_EQ(net.placed_flow_count(), 0u);
+  EXPECT_TRUE(txn.committed());
+}
+
+TEST(ScopedTransactionTest, NestedTransactions) {
+  Fixture fx;
+  Network net(fx.graph);
+  {
+    ScopedTransaction outer(net);
+    net.Place(fx.MakeFlow(30.0), fx.AbPath());
+    {
+      ScopedTransaction inner(net);
+      net.Place(fx.MakeFlow(30.0), fx.AbPath());
+      // inner rolls back
+    }
+    EXPECT_EQ(net.placed_flow_count(), 1u);
+    outer.Commit();
+  }
+  EXPECT_EQ(net.placed_flow_count(), 1u);
+}
+
+}  // namespace
+}  // namespace nu::net

@@ -1,0 +1,110 @@
+// Graph/topology property tests over random instances.
+#include <gtest/gtest.h>
+
+#include "topo/fat_tree.h"
+#include "topo/ksp.h"
+#include "topo/random_graph.h"
+#include "topo/shortest_path.h"
+
+namespace nu::topo {
+namespace {
+
+TEST(RandomGraphPropertyTest, AlwaysStronglyConnected) {
+  Rng rng(10);
+  for (int trial = 0; trial < 30; ++trial) {
+    RandomGraphConfig config;
+    config.nodes = 2 + rng.Index(30);
+    config.edge_probability = rng.Uniform(0.0, 0.5);
+    const Graph g = BuildRandomConnectedGraph(config, rng);
+    EXPECT_TRUE(IsStronglyConnected(g))
+        << "trial " << trial << " nodes " << config.nodes;
+  }
+}
+
+TEST(RandomGraphPropertyTest, CapacitiesWithinRange) {
+  Rng rng(11);
+  RandomGraphConfig config;
+  config.nodes = 20;
+  config.min_capacity = 50.0;
+  config.max_capacity = 150.0;
+  const Graph g = BuildRandomConnectedGraph(config, rng);
+  for (const Link& l : g.links()) {
+    EXPECT_GE(l.capacity, 50.0);
+    EXPECT_LE(l.capacity, 150.0);
+  }
+}
+
+TEST(RandomGraphPropertyTest, BfsDistancesSymmetricOnBidirectionalGraphs) {
+  Rng rng(12);
+  RandomGraphConfig config;
+  config.nodes = 15;
+  config.edge_probability = 0.2;
+  const Graph g = BuildRandomConnectedGraph(config, rng);
+  for (NodeId::rep_type s = 0; s < 5; ++s) {
+    const auto from_s = BfsDistances(g, NodeId{s});
+    for (NodeId::rep_type t = 0; t < g.node_count(); ++t) {
+      const auto from_t = BfsDistances(g, NodeId{t});
+      EXPECT_EQ(from_s[t], from_t[s]);
+    }
+  }
+}
+
+TEST(RandomGraphPropertyTest, DijkstraNeverLongerThanAnyKspPath) {
+  Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomGraphConfig config;
+    config.nodes = 12;
+    config.edge_probability = 0.3;
+    const Graph g = BuildRandomConnectedGraph(config, rng);
+    const NodeId src{0};
+    const NodeId dst{static_cast<NodeId::rep_type>(g.node_count() - 1)};
+    const auto best = DijkstraShortestPath(g, src, dst);
+    ASSERT_TRUE(best.has_value());
+    for (const Path& p : YenKShortestPaths(g, src, dst, 5)) {
+      EXPECT_LE(best->hop_count(), p.hop_count());
+    }
+  }
+}
+
+TEST(FatTreePropertyTest, AllHostPairsHaveExpectedPathCounts) {
+  const FatTree ft(FatTreeConfig{.k = 6, .link_capacity = 1000.0});
+  Rng rng(14);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t a = rng.Index(ft.host_count());
+    std::size_t b = rng.Index(ft.host_count());
+    if (a == b) continue;
+    const NodeId src = ft.host(a);
+    const NodeId dst = ft.host(b);
+    const auto paths = ft.HostPaths(src, dst);
+    const std::size_t half = ft.k() / 2;
+    std::size_t expected = 0;
+    if (ft.PodOfHost(src) != ft.PodOfHost(dst)) {
+      expected = half * half;
+    } else if (ft.EdgeIndexOfHost(src) != ft.EdgeIndexOfHost(dst)) {
+      expected = half;
+    } else {
+      expected = 1;
+    }
+    EXPECT_EQ(paths.size(), expected);
+    for (const Path& p : paths) {
+      EXPECT_TRUE(ft.graph().IsValidPath(p));
+      EXPECT_EQ(p.source(), src);
+      EXPECT_EQ(p.destination(), dst);
+    }
+  }
+}
+
+TEST(FatTreePropertyTest, EnumeratedPathsAreLinkDisjointInTheCore) {
+  // Any two inter-pod paths between the same host pair differ in their core
+  // switch, hence in their agg->core->agg links.
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  const auto paths = ft.HostPaths(ft.host(0), ft.host(12));
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i].nodes[3], paths[j].nodes[3]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nu::topo

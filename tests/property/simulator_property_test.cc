@@ -1,0 +1,136 @@
+// Simulator-level invariants over randomized workloads: every event
+// completes exactly once, causality holds (arrival <= exec_start <=
+// completion), reports agree with records, and scheduler choice never breaks
+// bookkeeping.
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+#include "metrics/fairness.h"
+
+namespace nu::exp {
+namespace {
+
+ExperimentConfig RandomizedConfig(Rng& rng) {
+  ExperimentConfig config;
+  config.fat_tree_k = 4;
+  config.utilization = rng.Uniform(0.2, 0.7);
+  config.event_count = 2 + rng.Index(8);
+  config.min_flows_per_event = 1 + rng.Index(3);
+  config.max_flows_per_event =
+      config.min_flows_per_event + rng.Index(10);
+  config.alpha = 1 + rng.Index(5);
+  config.seed = rng.Next();
+  config.mean_interarrival = rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(0.5, 5.0);
+  config.sim.cost_model.plan_time_per_flow = 0.002;
+  return config;
+}
+
+class SimulatorPropertyTest
+    : public ::testing::TestWithParam<sched::SchedulerKind> {};
+
+TEST_P(SimulatorPropertyTest, InvariantsHoldOnRandomWorkloads) {
+  Rng rng(555 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 8; ++trial) {
+    const ExperimentConfig config = RandomizedConfig(rng);
+    const Workload workload(config);
+    const sim::SimResult result = RunScheduler(workload, GetParam());
+
+    ASSERT_EQ(result.records.size(), config.event_count);
+    double total_cost = 0.0;
+    for (const auto& rec : result.records) {
+      EXPECT_GE(rec.exec_start, rec.arrival);
+      EXPECT_GE(rec.completion, rec.exec_start);
+      EXPECT_GE(rec.cost, 0.0);
+      EXPECT_GT(rec.flow_count, 0u);
+      total_cost += rec.cost;
+    }
+    EXPECT_NEAR(result.report.total_cost, total_cost, 1e-6);
+    EXPECT_GE(result.report.tail_ect, result.report.avg_ect - 1e-9);
+    EXPECT_GE(result.report.worst_queuing_delay,
+              result.report.avg_queuing_delay - 1e-9);
+    EXPECT_GE(result.rounds, 1u);
+    EXPECT_LE(result.rounds, config.event_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedulers, SimulatorPropertyTest,
+    ::testing::Values(sched::SchedulerKind::kFifo,
+                      sched::SchedulerKind::kReorder,
+                      sched::SchedulerKind::kLmtf,
+                      sched::SchedulerKind::kPlmtf));
+
+TEST(FlowLevelPropertyTest, InvariantsHoldOnRandomWorkloads) {
+  Rng rng(777);
+  for (int trial = 0; trial < 8; ++trial) {
+    const ExperimentConfig config = RandomizedConfig(rng);
+    const Workload workload(config);
+    const sim::SimResult result = RunFlowLevel(workload);
+    ASSERT_EQ(result.records.size(), config.event_count);
+    for (const auto& rec : result.records) {
+      EXPECT_GE(rec.exec_start, rec.arrival);
+      EXPECT_GE(rec.completion, rec.exec_start);
+    }
+  }
+}
+
+TEST(FairnessPropertyTest, FifoIsAlwaysOrderPerfect) {
+  // FIFO must never invert arrival order, whatever the workload.
+  Rng rng(888);
+  for (int trial = 0; trial < 6; ++trial) {
+    const ExperimentConfig config = RandomizedConfig(rng);
+    const Workload workload(config);
+    const sim::SimResult result =
+        RunScheduler(workload, sched::SchedulerKind::kFifo);
+    const metrics::FairnessReport fairness =
+        metrics::ComputeFairness(result.records);
+    EXPECT_DOUBLE_EQ(fairness.order_violation, 0.0);
+    EXPECT_EQ(fairness.worst_pushback, 0u);
+  }
+}
+
+TEST(FairnessPropertyTest, SamplingSchedulersBoundedByReorder) {
+  // LMTF inspects only alpha+1 candidates per round, so its displacement is
+  // bounded; sanity-check the fairness metrics stay in range on real runs.
+  Rng rng(889);
+  for (int trial = 0; trial < 6; ++trial) {
+    const ExperimentConfig config = RandomizedConfig(rng);
+    const Workload workload(config);
+    for (const auto kind :
+         {sched::SchedulerKind::kLmtf, sched::SchedulerKind::kPlmtf}) {
+      const sim::SimResult result = RunScheduler(workload, kind);
+      const metrics::FairnessReport fairness =
+          metrics::ComputeFairness(result.records);
+      EXPECT_GE(fairness.order_violation, 0.0);
+      EXPECT_LE(fairness.order_violation, 1.0);
+      EXPECT_LE(fairness.worst_pushback, config.event_count);
+      EXPECT_GT(fairness.jain_queuing_delay, 0.0);
+      EXPECT_LE(fairness.jain_queuing_delay, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(SeedSensitivityTest, DifferentSimSeedsOnlyAffectSampling) {
+  // FIFO ignores the RNG entirely, so sim seed must not change its result.
+  ExperimentConfig config;
+  config.fat_tree_k = 4;
+  config.utilization = 0.5;
+  config.event_count = 5;
+  config.seed = 31;
+  const Workload workload(config);
+
+  sim::SimConfig a = config.sim;
+  a.seed = 1;
+  sim::SimConfig b = config.sim;
+  b.seed = 2;
+  sim::Simulator sim_a(workload.network(), workload.paths(), a);
+  sim::Simulator sim_b(workload.network(), workload.paths(), b);
+  sched::FifoScheduler fifo_a, fifo_b;
+  const auto ra = sim_a.Run(fifo_a, workload.events());
+  const auto rb = sim_b.Run(fifo_b, workload.events());
+  EXPECT_DOUBLE_EQ(ra.report.avg_ect, rb.report.avg_ect);
+  EXPECT_DOUBLE_EQ(ra.report.total_cost, rb.report.total_cost);
+}
+
+}  // namespace
+}  // namespace nu::exp

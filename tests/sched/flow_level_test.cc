@@ -1,0 +1,79 @@
+#include "sched/flow_level.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nu::sched {
+namespace {
+
+flow::Flow MakeFlow(NodeId src, NodeId dst) {
+  flow::Flow f;
+  f.src = src;
+  f.dst = dst;
+  f.demand = 1.0;
+  f.duration = 1.0;
+  return f;
+}
+
+std::vector<update::UpdateEvent> ThreeEvents() {
+  std::vector<update::UpdateEvent> events;
+  // Event 0: 3 flows, event 1: 1 flow, event 2: 2 flows.
+  events.emplace_back(
+      EventId{0}, 0.0,
+      std::vector<flow::Flow>{MakeFlow(NodeId{0}, NodeId{1}),
+                              MakeFlow(NodeId{0}, NodeId{2}),
+                              MakeFlow(NodeId{0}, NodeId{3})});
+  events.emplace_back(EventId{1}, 0.0,
+                      std::vector<flow::Flow>{MakeFlow(NodeId{1}, NodeId{2})});
+  events.emplace_back(
+      EventId{2}, 0.0,
+      std::vector<flow::Flow>{MakeFlow(NodeId{2}, NodeId{3}),
+                              MakeFlow(NodeId{2}, NodeId{4})});
+  return events;
+}
+
+TEST(InterleaveFlowsTest, RoundRobinOrder) {
+  const auto events = ThreeEvents();
+  const auto queue = InterleaveFlows(events);
+  ASSERT_EQ(queue.size(), 6u);
+  // Round 0: (e0,f0), (e1,f0), (e2,f0); round 1: (e0,f1), (e2,f1);
+  // round 2: (e0,f2).
+  EXPECT_EQ(queue[0].event->id(), EventId{0});
+  EXPECT_EQ(queue[0].flow_index, 0u);
+  EXPECT_EQ(queue[1].event->id(), EventId{1});
+  EXPECT_EQ(queue[2].event->id(), EventId{2});
+  EXPECT_EQ(queue[3].event->id(), EventId{0});
+  EXPECT_EQ(queue[3].flow_index, 1u);
+  EXPECT_EQ(queue[4].event->id(), EventId{2});
+  EXPECT_EQ(queue[4].flow_index, 1u);
+  EXPECT_EQ(queue[5].event->id(), EventId{0});
+  EXPECT_EQ(queue[5].flow_index, 2u);
+}
+
+TEST(InterleaveFlowsTest, CoversAllFlowsExactlyOnce) {
+  const auto events = ThreeEvents();
+  const auto queue = InterleaveFlows(events);
+  std::set<std::pair<EventId, std::size_t>> seen;
+  for (const FlowLevelItem& item : queue) {
+    EXPECT_TRUE(seen.emplace(item.event->id(), item.flow_index).second);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(InterleaveFlowsTest, EmptyInput) {
+  EXPECT_TRUE(InterleaveFlows({}).empty());
+}
+
+TEST(ConcatenateFlowsTest, EventMajorOrder) {
+  const auto events = ThreeEvents();
+  const auto queue = ConcatenateFlows(events);
+  ASSERT_EQ(queue.size(), 6u);
+  EXPECT_EQ(queue[0].event->id(), EventId{0});
+  EXPECT_EQ(queue[2].event->id(), EventId{0});
+  EXPECT_EQ(queue[3].event->id(), EventId{1});
+  EXPECT_EQ(queue[4].event->id(), EventId{2});
+}
+
+}  // namespace
+}  // namespace nu::sched

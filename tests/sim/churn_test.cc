@@ -1,0 +1,84 @@
+// Tests for background churn: replacement placement, stationarity, and
+// interaction with the schedulers.
+#include <gtest/gtest.h>
+
+#include "exp/runner.h"
+#include "sched/factory.h"
+#include "trace/yahoo_like.h"
+
+namespace nu::sim {
+namespace {
+
+exp::ExperimentConfig ChurnConfigBase(bool churn) {
+  exp::ExperimentConfig config;
+  config.fat_tree_k = 4;
+  config.utilization = 0.6;
+  config.event_count = 5;
+  config.min_flows_per_event = 3;
+  config.max_flows_per_event = 10;
+  config.seed = 77;
+  config.background_churn = churn;
+  return config;
+}
+
+TEST(ChurnTest, RunsCompleteWithChurn) {
+  const exp::Workload w(ChurnConfigBase(true));
+  const SimResult result = exp::RunScheduler(w, sched::SchedulerKind::kFifo);
+  EXPECT_EQ(result.records.size(), 5u);
+  for (const auto& rec : result.records) {
+    EXPECT_GE(rec.completion, rec.exec_start);
+  }
+}
+
+TEST(ChurnTest, StaticBackgroundAlsoCompletes) {
+  const exp::Workload w(ChurnConfigBase(false));
+  const SimResult result = exp::RunScheduler(w, sched::SchedulerKind::kFifo);
+  EXPECT_EQ(result.records.size(), 5u);
+}
+
+TEST(ChurnTest, DeterministicAcrossRuns) {
+  const exp::Workload w(ChurnConfigBase(true));
+  const SimResult a = exp::RunScheduler(w, sched::SchedulerKind::kLmtf);
+  const SimResult b = exp::RunScheduler(w, sched::SchedulerKind::kLmtf);
+  EXPECT_DOUBLE_EQ(a.report.avg_ect, b.report.avg_ect);
+  EXPECT_DOUBLE_EQ(a.report.total_cost, b.report.total_cost);
+  EXPECT_DOUBLE_EQ(a.report.makespan, b.report.makespan);
+}
+
+TEST(ChurnTest, ChurnChangesOutcomeVsStatic) {
+  // Congested setup (many chunky events) so background dynamics matter.
+  auto congested = [](bool churn) {
+    exp::ExperimentConfig config = ChurnConfigBase(churn);
+    config.utilization = 0.8;
+    config.event_count = 10;
+    config.min_flows_per_event = 10;
+    config.max_flows_per_event = 40;
+    return config;
+  };
+  const exp::Workload with_churn(congested(true));
+  const exp::Workload without(congested(false));
+  const SimResult a = exp::RunScheduler(with_churn, sched::SchedulerKind::kFifo);
+  const SimResult b = exp::RunScheduler(without, sched::SchedulerKind::kFifo);
+  // Identical workloads, different dynamics: results should differ unless
+  // the run is trivially unblocked AND cost-free (not at 80% utilization).
+  EXPECT_TRUE(a.report.avg_ect != b.report.avg_ect ||
+              a.report.total_cost != b.report.total_cost);
+}
+
+TEST(ChurnTest, FlowLevelWorksWithChurn) {
+  const exp::Workload w(ChurnConfigBase(true));
+  const SimResult result = exp::RunFlowLevel(w);
+  EXPECT_EQ(result.records.size(), 5u);
+}
+
+TEST(ChurnTest, MissingFactoryDies) {
+  const exp::Workload w(ChurnConfigBase(true));
+  SimConfig config = w.config().sim;
+  config.churn.enabled = true;
+  Simulator simulator(w.network(), w.paths(), config);  // no factory set
+  sched::FifoScheduler fifo;
+  EXPECT_DEATH((void)simulator.Run(fifo, w.events()), "NU_CHECK");
+}
+
+}  // namespace
+}  // namespace nu::sim

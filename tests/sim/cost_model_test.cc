@@ -1,0 +1,46 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace nu::sim {
+namespace {
+
+TEST(CostModelTest, ProbeTimeLinearInFlows) {
+  CostModel model;
+  model.plan_time_per_flow = 0.01;
+  EXPECT_DOUBLE_EQ(model.ProbeTime(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.ProbeTime(10), 0.1);
+  EXPECT_DOUBLE_EQ(model.ProbeTime(100), 1.0);
+}
+
+TEST(CostModelTest, CoFeasibilityIsFractionOfProbe) {
+  CostModel model;
+  model.plan_time_per_flow = 0.01;
+  model.cofeasibility_factor = 0.2;
+  EXPECT_DOUBLE_EQ(model.CoFeasibilityTime(50),
+                   0.2 * model.ProbeTime(50));
+}
+
+TEST(CostModelTest, MigrationTimeScalesWithTraffic) {
+  CostModel model;
+  model.migration_rate = 2000.0;
+  EXPECT_DOUBLE_EQ(model.MigrationTime(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.MigrationTime(1000.0), 0.5);
+  EXPECT_DOUBLE_EQ(model.MigrationTime(4000.0), 2.0);
+}
+
+TEST(CostModelTest, InstallTimeLinearInFlows) {
+  CostModel model;
+  model.install_time_per_flow = 0.05;
+  EXPECT_DOUBLE_EQ(model.InstallTime(0), 0.0);
+  EXPECT_DOUBLE_EQ(model.InstallTime(20), 1.0);
+}
+
+TEST(CostModelDeathTest, ZeroMigrationRateDies) {
+  CostModel model;
+  model.migration_rate = 0.0;
+  EXPECT_DEATH(static_cast<void>(model.MigrationTime(1.0)), "Precondition");
+}
+
+}  // namespace
+}  // namespace nu::sim

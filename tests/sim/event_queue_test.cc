@@ -1,0 +1,58 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nu::sim {
+namespace {
+
+TEST(TimelineQueueTest, PopsInTimeOrder) {
+  TimelineQueue<int> q;
+  q.Push(3.0, 3);
+  q.Push(1.0, 1);
+  q.Push(2.0, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.NextTime(), 1.0);
+  EXPECT_EQ(q.Pop().payload, 1);
+  EXPECT_EQ(q.Pop().payload, 2);
+  EXPECT_EQ(q.Pop().payload, 3);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(TimelineQueueTest, TiesPopInInsertionOrder) {
+  TimelineQueue<std::string> q;
+  q.Push(5.0, "first");
+  q.Push(5.0, "second");
+  q.Push(5.0, "third");
+  EXPECT_EQ(q.Pop().payload, "first");
+  EXPECT_EQ(q.Pop().payload, "second");
+  EXPECT_EQ(q.Pop().payload, "third");
+}
+
+TEST(TimelineQueueTest, InterleavedPushPop) {
+  TimelineQueue<int> q;
+  q.Push(10.0, 10);
+  q.Push(1.0, 1);
+  EXPECT_EQ(q.Pop().payload, 1);
+  q.Push(5.0, 5);
+  EXPECT_EQ(q.Pop().payload, 5);
+  EXPECT_EQ(q.Pop().payload, 10);
+}
+
+TEST(TimelineQueueTest, EntryCarriesTime) {
+  TimelineQueue<int> q;
+  q.Push(7.5, 42);
+  const auto entry = q.Pop();
+  EXPECT_DOUBLE_EQ(entry.time, 7.5);
+  EXPECT_EQ(entry.payload, 42);
+}
+
+TEST(TimelineQueueDeathTest, PopEmptyDies) {
+  TimelineQueue<int> q;
+  EXPECT_DEATH(q.Pop(), "Precondition");
+  EXPECT_DEATH(static_cast<void>(q.NextTime()), "Precondition");
+}
+
+}  // namespace
+}  // namespace nu::sim

@@ -1,0 +1,115 @@
+#include "topo/fat_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/shortest_path.h"
+
+namespace nu::topo {
+namespace {
+
+class FatTreeSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FatTreeSizes, CountsMatchFormulae) {
+  const std::size_t k = GetParam();
+  const FatTree ft(FatTreeConfig{.k = k, .link_capacity = 1000.0});
+  EXPECT_EQ(ft.host_count(), k * k * k / 4);
+  EXPECT_EQ(ft.core_count(), k * k / 4);
+  // 5k^2/4 switches + k^3/4 hosts.
+  EXPECT_EQ(ft.graph().node_count(), 5 * k * k / 4 + k * k * k / 4);
+  // Links (directed): hosts k^3/4 * 2, edge-agg k*(k/2)^2*2, agg-core
+  // k*(k/2)^2*2.
+  const std::size_t half = k / 2;
+  EXPECT_EQ(ft.graph().link_count(),
+            2 * (k * half * half) + 2 * (k * half * half) +
+                2 * (k * half * half));
+}
+
+TEST_P(FatTreeSizes, StronglyConnected) {
+  const FatTree ft(FatTreeConfig{.k = GetParam(), .link_capacity = 1000.0});
+  EXPECT_TRUE(IsStronglyConnected(ft.graph()));
+}
+
+TEST_P(FatTreeSizes, HostDegreeIsOne) {
+  const FatTree ft(FatTreeConfig{.k = GetParam(), .link_capacity = 1000.0});
+  for (NodeId h : ft.hosts()) {
+    EXPECT_EQ(ft.graph().OutLinks(h).size(), 1u);
+    EXPECT_EQ(ft.graph().InLinks(h).size(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FatTreeSizes, ::testing::Values(2u, 4u, 6u, 8u));
+
+TEST(FatTreeTest, HostCoordinates) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  // 16 hosts: pod-major, edge-major, 2 per edge.
+  EXPECT_EQ(ft.PodOfHost(ft.host(0)), 0u);
+  EXPECT_EQ(ft.EdgeIndexOfHost(ft.host(0)), 0u);
+  EXPECT_EQ(ft.EdgeIndexOfHost(ft.host(2)), 1u);
+  EXPECT_EQ(ft.PodOfHost(ft.host(4)), 1u);
+  EXPECT_EQ(ft.HostIndex(ft.host(11)), 11u);
+}
+
+TEST(FatTreeTest, SameEdgePairHasOnePath) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  const auto paths = ft.HostPaths(ft.host(0), ft.host(1));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hop_count(), 2u);
+}
+
+TEST(FatTreeTest, SamePodPairHasHalfKPaths) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  // host 0 (edge 0) and host 2 (edge 1) of pod 0.
+  const auto paths = ft.HostPaths(ft.host(0), ft.host(2));
+  ASSERT_EQ(paths.size(), 2u);
+  for (const Path& p : paths) {
+    EXPECT_EQ(p.hop_count(), 4u);
+    EXPECT_TRUE(ft.graph().IsValidPath(p));
+  }
+}
+
+TEST(FatTreeTest, InterPodPairHasQuarterKSquaredPaths) {
+  const FatTree ft(FatTreeConfig{.k = 8, .link_capacity = 1000.0});
+  const auto paths = ft.HostPaths(ft.host(0), ft.host(100));
+  ASSERT_EQ(paths.size(), 16u);
+  std::set<NodeId> cores;
+  for (const Path& p : paths) {
+    EXPECT_EQ(p.hop_count(), 6u);
+    EXPECT_TRUE(ft.graph().IsValidPath(p));
+    // Node 3 of the 7-node sequence is the core switch.
+    cores.insert(p.nodes[3]);
+  }
+  EXPECT_EQ(cores.size(), 16u);  // each path crosses a distinct core
+}
+
+TEST(FatTreeTest, PathsMatchBfsDistance) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  const NodeId src = ft.host(0);
+  for (std::size_t i = 1; i < ft.host_count(); ++i) {
+    const NodeId dst = ft.host(i);
+    const auto enumerated = ft.HostPaths(src, dst);
+    const auto bfs = BfsShortestPath(ft.graph(), src, dst);
+    ASSERT_TRUE(bfs.has_value());
+    ASSERT_FALSE(enumerated.empty());
+    for (const Path& p : enumerated) {
+      EXPECT_EQ(p.hop_count(), bfs->hop_count())
+          << "enumerated path not shortest for host " << i;
+    }
+  }
+}
+
+TEST(FatTreeTest, CapacityAppliedToAllLinks) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 250.0});
+  for (const Link& l : ft.graph().links()) {
+    EXPECT_DOUBLE_EQ(l.capacity, 250.0);
+  }
+}
+
+TEST(FatTreeDeathTest, OddKRejected) {
+  EXPECT_DEATH(FatTree(FatTreeConfig{.k = 5, .link_capacity = 1000.0}),
+               "Precondition");
+}
+
+}  // namespace
+}  // namespace nu::topo

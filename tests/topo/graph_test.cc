@@ -1,0 +1,130 @@
+#include "topo/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace nu::topo {
+namespace {
+
+Graph Triangle() {
+  Graph g;
+  const NodeId a = g.AddNode(NodeRole::kGeneric, "a");
+  const NodeId b = g.AddNode(NodeRole::kGeneric, "b");
+  const NodeId c = g.AddNode(NodeRole::kGeneric, "c");
+  g.AddBidirectional(a, b, 100.0);
+  g.AddBidirectional(b, c, 100.0);
+  g.AddBidirectional(c, a, 100.0);
+  return g;
+}
+
+TEST(GraphTest, AddNodesAssignsDenseIds) {
+  Graph g;
+  EXPECT_EQ(g.AddNode(NodeRole::kHost).value(), 0u);
+  EXPECT_EQ(g.AddNode(NodeRole::kEdgeSwitch).value(), 1u);
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(GraphTest, NodeRolesAndNames) {
+  Graph g;
+  const NodeId h = g.AddNode(NodeRole::kHost, "my-host");
+  EXPECT_EQ(g.node(h).role, NodeRole::kHost);
+  EXPECT_EQ(g.node(h).name, "my-host");
+  const NodeId anon = g.AddNode(NodeRole::kCoreSwitch);
+  EXPECT_EQ(g.node(anon).name, "core-1");
+}
+
+TEST(GraphTest, LinksDirectedWithCapacity) {
+  Graph g;
+  const NodeId a = g.AddNode(NodeRole::kGeneric);
+  const NodeId b = g.AddNode(NodeRole::kGeneric);
+  const LinkId l = g.AddLink(a, b, 500.0);
+  EXPECT_EQ(g.link(l).src, a);
+  EXPECT_EQ(g.link(l).dst, b);
+  EXPECT_DOUBLE_EQ(g.link(l).capacity, 500.0);
+  EXPECT_EQ(g.OutLinks(a).size(), 1u);
+  EXPECT_EQ(g.InLinks(b).size(), 1u);
+  EXPECT_EQ(g.OutLinks(b).size(), 0u);
+}
+
+TEST(GraphTest, BidirectionalAddsTwo) {
+  Graph g;
+  const NodeId a = g.AddNode(NodeRole::kGeneric);
+  const NodeId b = g.AddNode(NodeRole::kGeneric);
+  const auto [fwd, rev] = g.AddBidirectional(a, b, 100.0);
+  EXPECT_EQ(g.link_count(), 2u);
+  EXPECT_EQ(g.link(fwd).src, a);
+  EXPECT_EQ(g.link(rev).src, b);
+}
+
+TEST(GraphTest, FindLink) {
+  const Graph g = Triangle();
+  const NodeId a{0}, b{1};
+  const LinkId ab = g.FindLink(a, b);
+  ASSERT_TRUE(ab.valid());
+  EXPECT_EQ(g.link(ab).dst, b);
+  // No self link.
+  EXPECT_FALSE(g.FindLink(a, a).valid());
+}
+
+TEST(GraphTest, NodesWithRole) {
+  Graph g;
+  g.AddNode(NodeRole::kHost);
+  g.AddNode(NodeRole::kCoreSwitch);
+  g.AddNode(NodeRole::kHost);
+  EXPECT_EQ(g.NodesWithRole(NodeRole::kHost).size(), 2u);
+  EXPECT_EQ(g.NodesWithRole(NodeRole::kAggSwitch).size(), 0u);
+}
+
+TEST(GraphTest, MakePathAndValidate) {
+  const Graph g = Triangle();
+  const std::array<NodeId, 3> seq{NodeId{0}, NodeId{1}, NodeId{2}};
+  const Path p = g.MakePath(seq);
+  EXPECT_TRUE(g.IsValidPath(p));
+  EXPECT_EQ(p.hop_count(), 2u);
+  EXPECT_EQ(p.source(), NodeId{0});
+  EXPECT_EQ(p.destination(), NodeId{2});
+}
+
+TEST(GraphTest, InvalidPaths) {
+  const Graph g = Triangle();
+  Path p;
+  EXPECT_FALSE(g.IsValidPath(p));  // empty
+
+  // Repeated node.
+  const std::array<NodeId, 3> seq{NodeId{0}, NodeId{1}, NodeId{2}};
+  Path valid = g.MakePath(seq);
+  Path repeated = valid;
+  repeated.nodes.push_back(NodeId{0});
+  repeated.links.push_back(g.FindLink(NodeId{2}, NodeId{0}));
+  EXPECT_FALSE(g.IsValidPath(repeated));
+
+  // Mismatched link.
+  Path broken = valid;
+  broken.links[0] = g.FindLink(NodeId{1}, NodeId{0});
+  EXPECT_FALSE(g.IsValidPath(broken));
+}
+
+TEST(GraphTest, SingleNodePathValid) {
+  const Graph g = Triangle();
+  Path p;
+  p.nodes.push_back(NodeId{1});
+  EXPECT_TRUE(g.IsValidPath(p));
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(GraphDeathTest, RejectsSelfLink) {
+  Graph g;
+  const NodeId a = g.AddNode(NodeRole::kGeneric);
+  EXPECT_DEATH(g.AddLink(a, a, 10.0), "Precondition");
+}
+
+TEST(GraphDeathTest, RejectsZeroCapacity) {
+  Graph g;
+  const NodeId a = g.AddNode(NodeRole::kGeneric);
+  const NodeId b = g.AddNode(NodeRole::kGeneric);
+  EXPECT_DEATH(g.AddLink(a, b, 0.0), "Precondition");
+}
+
+}  // namespace
+}  // namespace nu::topo

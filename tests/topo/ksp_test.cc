@@ -1,0 +1,116 @@
+#include "topo/ksp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "topo/random_graph.h"
+
+namespace nu::topo {
+namespace {
+
+/// Classic Yen example-style graph: two parallel routes plus detours.
+Graph Diamond() {
+  Graph g;
+  for (int i = 0; i < 4; ++i) g.AddNode(NodeRole::kGeneric);
+  // 0 -> 1 -> 3 and 0 -> 2 -> 3, plus 1 -> 2.
+  g.AddBidirectional(NodeId{0}, NodeId{1}, 100.0);
+  g.AddBidirectional(NodeId{1}, NodeId{3}, 100.0);
+  g.AddBidirectional(NodeId{0}, NodeId{2}, 100.0);
+  g.AddBidirectional(NodeId{2}, NodeId{3}, 100.0);
+  g.AddBidirectional(NodeId{1}, NodeId{2}, 100.0);
+  return g;
+}
+
+TEST(KspTest, FirstPathIsShortest) {
+  const Graph g = Diamond();
+  const auto paths = YenKShortestPaths(g, NodeId{0}, NodeId{3}, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hop_count(), 2u);
+}
+
+TEST(KspTest, PathsInNondecreasingLength) {
+  const Graph g = Diamond();
+  const auto paths = YenKShortestPaths(g, NodeId{0}, NodeId{3}, 10);
+  ASSERT_GE(paths.size(), 3u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].hop_count(), paths[i - 1].hop_count());
+  }
+}
+
+TEST(KspTest, PathsDistinctAndValid) {
+  const Graph g = Diamond();
+  const auto paths = YenKShortestPaths(g, NodeId{0}, NodeId{3}, 10);
+  std::set<std::vector<NodeId>> seen;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(g.IsValidPath(p));
+    EXPECT_EQ(p.source(), NodeId{0});
+    EXPECT_EQ(p.destination(), NodeId{3});
+    EXPECT_TRUE(seen.insert(p.nodes).second) << "duplicate path";
+  }
+}
+
+TEST(KspTest, ExhaustsWhenFewerThanK) {
+  Graph g;
+  const NodeId a = g.AddNode(NodeRole::kGeneric);
+  const NodeId b = g.AddNode(NodeRole::kGeneric);
+  g.AddBidirectional(a, b, 10.0);
+  const auto paths = YenKShortestPaths(g, a, b, 5);
+  EXPECT_EQ(paths.size(), 1u);  // only one loopless path exists
+}
+
+TEST(KspTest, UnreachableGivesEmpty) {
+  Graph g;
+  g.AddNode(NodeRole::kGeneric);
+  g.AddNode(NodeRole::kGeneric);
+  EXPECT_TRUE(YenKShortestPaths(g, NodeId{0}, NodeId{1}, 3).empty());
+}
+
+TEST(KspTest, KZeroGivesEmpty) {
+  const Graph g = Diamond();
+  EXPECT_TRUE(YenKShortestPaths(g, NodeId{0}, NodeId{3}, 0).empty());
+}
+
+TEST(KspTest, RespectsFilter) {
+  const Graph g = Diamond();
+  const LinkId banned = g.FindLink(NodeId{0}, NodeId{1});
+  const auto paths = YenKShortestPaths(
+      g, NodeId{0}, NodeId{3}, 10, {},
+      [banned](const Link& l) { return l.id != banned; });
+  for (const Path& p : paths) {
+    for (LinkId lid : p.links) EXPECT_NE(lid, banned);
+  }
+}
+
+TEST(KspTest, DiamondKnownPathCount) {
+  // Loopless 0->3 paths in Diamond: 0-1-3, 0-2-3, 0-1-2-3, 0-2-1-3 == 4.
+  const Graph g = Diamond();
+  const auto paths = YenKShortestPaths(g, NodeId{0}, NodeId{3}, 100);
+  EXPECT_EQ(paths.size(), 4u);
+}
+
+TEST(KspPropertyTest, RandomGraphsProduceValidDistinctSortedPaths) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomGraphConfig config;
+    config.nodes = 10 + static_cast<std::size_t>(rng.UniformInt(0, 10));
+    config.edge_probability = 0.25;
+    const Graph g = BuildRandomConnectedGraph(config, rng);
+    const NodeId src{0};
+    const NodeId dst{static_cast<NodeId::rep_type>(g.node_count() - 1)};
+    const auto paths = YenKShortestPaths(g, src, dst, 6);
+    ASSERT_FALSE(paths.empty());
+    std::set<std::vector<NodeId>> seen;
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      EXPECT_TRUE(g.IsValidPath(paths[i]));
+      EXPECT_TRUE(seen.insert(paths[i].nodes).second);
+      if (i > 0) {
+        EXPECT_GE(paths[i].hop_count(), paths[i - 1].hop_count());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nu::topo

@@ -1,0 +1,72 @@
+#include "topo/leaf_spine.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/shortest_path.h"
+
+namespace nu::topo {
+namespace {
+
+LeafSpineConfig SmallConfig() {
+  return LeafSpineConfig{.leaves = 4,
+                         .spines = 3,
+                         .hosts_per_leaf = 2,
+                         .host_link_capacity = 1000.0,
+                         .fabric_link_capacity = 4000.0};
+}
+
+TEST(LeafSpineTest, Counts) {
+  const LeafSpine ls(SmallConfig());
+  EXPECT_EQ(ls.graph().node_count(), 3u + 4u + 8u);
+  // Links: 4 leaves * 3 spines * 2 + 8 hosts * 2.
+  EXPECT_EQ(ls.graph().link_count(), 24u + 16u);
+  EXPECT_EQ(ls.hosts().size(), 8u);
+}
+
+TEST(LeafSpineTest, Connected) {
+  const LeafSpine ls(SmallConfig());
+  EXPECT_TRUE(IsStronglyConnected(ls.graph()));
+}
+
+TEST(LeafSpineTest, LeafOfHost) {
+  const LeafSpine ls(SmallConfig());
+  EXPECT_EQ(ls.LeafOfHost(ls.host(0)), 0u);
+  EXPECT_EQ(ls.LeafOfHost(ls.host(1)), 0u);
+  EXPECT_EQ(ls.LeafOfHost(ls.host(2)), 1u);
+  EXPECT_EQ(ls.LeafOfHost(ls.host(7)), 3u);
+}
+
+TEST(LeafSpineTest, SameLeafSinglePath) {
+  const LeafSpine ls(SmallConfig());
+  const auto paths = ls.HostPaths(ls.host(0), ls.host(1));
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].hop_count(), 2u);
+}
+
+TEST(LeafSpineTest, CrossLeafOnePathPerSpine) {
+  const LeafSpine ls(SmallConfig());
+  const auto paths = ls.HostPaths(ls.host(0), ls.host(6));
+  ASSERT_EQ(paths.size(), 3u);
+  for (const Path& p : paths) {
+    EXPECT_EQ(p.hop_count(), 4u);
+    EXPECT_TRUE(ls.graph().IsValidPath(p));
+  }
+}
+
+TEST(LeafSpineTest, FabricCapacityDiffersFromHostCapacity) {
+  const LeafSpine ls(SmallConfig());
+  const LinkId host_link = ls.graph().FindLink(ls.host(0), ls.leaf(0));
+  const LinkId fabric_link = ls.graph().FindLink(ls.leaf(0), ls.spine(0));
+  ASSERT_TRUE(host_link.valid());
+  ASSERT_TRUE(fabric_link.valid());
+  EXPECT_DOUBLE_EQ(ls.graph().link(host_link).capacity, 1000.0);
+  EXPECT_DOUBLE_EQ(ls.graph().link(fabric_link).capacity, 4000.0);
+}
+
+TEST(LeafSpineTest, DiameterIsFour) {
+  const LeafSpine ls(SmallConfig());
+  EXPECT_EQ(Diameter(ls.graph()), 4u);
+}
+
+}  // namespace
+}  // namespace nu::topo

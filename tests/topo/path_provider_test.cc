@@ -1,0 +1,106 @@
+#include "topo/path_provider.h"
+
+#include <gtest/gtest.h>
+
+namespace nu::topo {
+namespace {
+
+TEST(FatTreePathProviderTest, MatchesDirectEnumeration) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  const FatTreePathProvider provider(ft);
+  const auto& via_provider = provider.Paths(ft.host(0), ft.host(8));
+  const auto direct = ft.HostPaths(ft.host(0), ft.host(8));
+  ASSERT_EQ(via_provider.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(via_provider[i], direct[i]);
+  }
+}
+
+TEST(FatTreePathProviderTest, CachedReferenceStable) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  const FatTreePathProvider provider(ft);
+  const auto& first = provider.Paths(ft.host(0), ft.host(5));
+  const auto& second = provider.Paths(ft.host(0), ft.host(5));
+  EXPECT_EQ(&first, &second);
+}
+
+TEST(LeafSpinePathProviderTest, MatchesDirectEnumeration) {
+  const LeafSpine ls(LeafSpineConfig{.leaves = 3,
+                                     .spines = 2,
+                                     .hosts_per_leaf = 2,
+                                     .host_link_capacity = 1000.0,
+                                     .fabric_link_capacity = 2000.0});
+  const LeafSpinePathProvider provider(ls);
+  const auto& paths = provider.Paths(ls.host(0), ls.host(4));
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(KspPathProviderTest, ReturnsUpToKPaths) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  const KspPathProvider provider(ft.graph(), 3);
+  const auto& paths = provider.Paths(ft.host(0), ft.host(8));
+  EXPECT_EQ(paths.size(), 3u);
+  for (const Path& p : paths) {
+    EXPECT_TRUE(ft.graph().IsValidPath(p));
+  }
+}
+
+TEST(NodeAvoidingPathProviderTest, FiltersPathsThroughNode) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  const FatTreePathProvider base(ft);
+  // Avoid one core switch: inter-pod pairs lose exactly one of their 4 paths.
+  const NodeAvoidingPathProvider filtered(base, ft.core(0));
+  const auto& all = base.Paths(ft.host(0), ft.host(8));
+  const auto& kept = filtered.Paths(ft.host(0), ft.host(8));
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_EQ(kept.size(), 3u);
+  for (const Path& p : kept) {
+    for (NodeId n : p.nodes) EXPECT_NE(n, ft.core(0));
+  }
+}
+
+TEST(LinkAvoidingPathProviderTest, FiltersBothDirections) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  const FatTreePathProvider base(ft);
+  // Fail the agg(0,0) -> core(0) cable: inter-pod pairs out of pod 0 lose
+  // exactly the path through core 0.
+  const LinkId cable = ft.graph().FindLink(ft.agg(0, 0), ft.core(0));
+  ASSERT_TRUE(cable.valid());
+  const LinkAvoidingPathProvider filtered(base, cable);
+  EXPECT_TRUE(filtered.avoided_reverse().valid());
+
+  const auto& all = base.Paths(ft.host(0), ft.host(8));
+  const auto& kept = filtered.Paths(ft.host(0), ft.host(8));
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_EQ(kept.size(), 3u);
+  for (const Path& p : kept) {
+    for (LinkId lid : p.links) {
+      EXPECT_NE(lid, cable);
+      EXPECT_NE(lid, filtered.avoided_reverse());
+    }
+  }
+  // The reverse direction (host8 -> host0) is filtered too.
+  EXPECT_EQ(filtered.Paths(ft.host(8), ft.host(0)).size(), 3u);
+}
+
+TEST(LinkAvoidingPathProviderTest, HostLinkEmptiesEverything) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  const FatTreePathProvider base(ft);
+  const LinkId uplink = ft.graph().FindLink(ft.host(0), ft.edge(0, 0));
+  const LinkAvoidingPathProvider filtered(base, uplink);
+  EXPECT_TRUE(filtered.Paths(ft.host(0), ft.host(8)).empty());
+  // Pairs not involving host 0 are unaffected.
+  EXPECT_EQ(filtered.Paths(ft.host(4), ft.host(8)).size(), 4u);
+}
+
+TEST(NodeAvoidingPathProviderTest, CanEmptyOut) {
+  const FatTree ft(FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+  const FatTreePathProvider base(ft);
+  // Same-edge pair has exactly one path through its edge switch; avoiding
+  // that switch leaves nothing.
+  const NodeAvoidingPathProvider filtered(base, ft.edge(0, 0));
+  EXPECT_TRUE(filtered.Paths(ft.host(0), ft.host(1)).empty());
+}
+
+}  // namespace
+}  // namespace nu::topo

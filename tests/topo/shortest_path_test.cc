@@ -1,0 +1,135 @@
+#include "topo/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+namespace nu::topo {
+namespace {
+
+/// A 2x3 grid:  0-1-2
+///              |  |  |
+///              3-4-5
+Graph Grid() {
+  Graph g;
+  for (int i = 0; i < 6; ++i) g.AddNode(NodeRole::kGeneric);
+  auto add = [&](int a, int b) {
+    g.AddBidirectional(NodeId{static_cast<NodeId::rep_type>(a)},
+                       NodeId{static_cast<NodeId::rep_type>(b)}, 100.0);
+  };
+  add(0, 1);
+  add(1, 2);
+  add(3, 4);
+  add(4, 5);
+  add(0, 3);
+  add(1, 4);
+  add(2, 5);
+  return g;
+}
+
+TEST(BfsTest, FindsShortestHopPath) {
+  const Graph g = Grid();
+  const auto p = BfsShortestPath(g, NodeId{0}, NodeId{5});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hop_count(), 3u);
+  EXPECT_TRUE(g.IsValidPath(*p));
+  EXPECT_EQ(p->source(), NodeId{0});
+  EXPECT_EQ(p->destination(), NodeId{5});
+}
+
+TEST(BfsTest, SameNodeEmptyPath) {
+  const Graph g = Grid();
+  const auto p = BfsShortestPath(g, NodeId{2}, NodeId{2});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(BfsTest, FilterBlocksRoute) {
+  Graph g;
+  const NodeId a = g.AddNode(NodeRole::kGeneric);
+  const NodeId b = g.AddNode(NodeRole::kGeneric);
+  g.AddBidirectional(a, b, 100.0);
+  const auto blocked = BfsShortestPath(
+      g, a, b, [](const Link&) { return false; });
+  EXPECT_FALSE(blocked.has_value());
+}
+
+TEST(BfsTest, FilterForcesDetour) {
+  const Graph g = Grid();
+  // Block the direct 0->1 link: the shortest 0->2 route becomes 5 hops? No:
+  // 0-3-4-1-2 is 4 hops, or 0-3-4-5-2 is 4 hops.
+  const LinkId direct = g.FindLink(NodeId{0}, NodeId{1});
+  const auto p = BfsShortestPath(
+      g, NodeId{0}, NodeId{2},
+      [direct](const Link& l) { return l.id != direct; });
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hop_count(), 4u);
+}
+
+TEST(DijkstraTest, MatchesBfsOnUnitWeights) {
+  const Graph g = Grid();
+  for (NodeId::rep_type s = 0; s < 6; ++s) {
+    for (NodeId::rep_type t = 0; t < 6; ++t) {
+      const auto bfs = BfsShortestPath(g, NodeId{s}, NodeId{t});
+      const auto dij = DijkstraShortestPath(g, NodeId{s}, NodeId{t});
+      ASSERT_EQ(bfs.has_value(), dij.has_value());
+      if (bfs) {
+        EXPECT_EQ(bfs->hop_count(), dij->hop_count());
+      }
+    }
+  }
+}
+
+TEST(DijkstraTest, RespectsWeights) {
+  // Triangle where the direct edge is expensive.
+  Graph g;
+  const NodeId a = g.AddNode(NodeRole::kGeneric);
+  const NodeId b = g.AddNode(NodeRole::kGeneric);
+  const NodeId c = g.AddNode(NodeRole::kGeneric);
+  g.AddBidirectional(a, c, 100.0);  // capacity encodes the weight below
+  g.AddBidirectional(a, b, 1.0);
+  g.AddBidirectional(b, c, 1.0);
+  const auto p = DijkstraShortestPath(
+      g, a, c, [](const Link& l) { return static_cast<double>(l.capacity); });
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->hop_count(), 2u);  // via b, total weight 2 < 100
+}
+
+TEST(PathWeightTest, HopCountDefault) {
+  const Graph g = Grid();
+  const auto p = BfsShortestPath(g, NodeId{0}, NodeId{5});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(PathWeight(g, *p), 3.0);
+  EXPECT_DOUBLE_EQ(
+      PathWeight(g, *p, [](const Link&) { return 2.5; }), 7.5);
+}
+
+TEST(BfsDistancesTest, AllReachable) {
+  const Graph g = Grid();
+  const auto dist = BfsDistances(g, NodeId{0});
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[5], 3u);
+}
+
+TEST(DiameterTest, Grid) {
+  EXPECT_EQ(Diameter(Grid()), 3u);
+}
+
+TEST(ConnectivityTest, DisconnectedDetected) {
+  Graph g;
+  g.AddNode(NodeRole::kGeneric);
+  g.AddNode(NodeRole::kGeneric);
+  EXPECT_FALSE(IsStronglyConnected(g));
+  const auto p = BfsShortestPath(g, NodeId{0}, NodeId{1});
+  EXPECT_FALSE(p.has_value());
+}
+
+TEST(ConnectivityTest, OneWayIsNotStrong) {
+  Graph g;
+  const NodeId a = g.AddNode(NodeRole::kGeneric);
+  const NodeId b = g.AddNode(NodeRole::kGeneric);
+  g.AddLink(a, b, 10.0);
+  EXPECT_FALSE(IsStronglyConnected(g));
+}
+
+}  // namespace
+}  // namespace nu::topo

@@ -1,0 +1,85 @@
+#include "trace/background.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/fat_tree.h"
+#include "topo/path_provider.h"
+#include "trace/uniform.h"
+#include "trace/yahoo_like.h"
+
+namespace nu::trace {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : ft(topo::FatTreeConfig{.k = 4, .link_capacity = 1000.0}),
+        provider(ft),
+        network(ft.graph()) {}
+
+  topo::FatTree ft;
+  topo::FatTreePathProvider provider;
+  net::Network network;
+};
+
+TEST(BackgroundTest, ReachesModerateUtilization) {
+  Fixture fx;
+  YahooLikeGenerator gen(fx.ft.hosts(), Rng(1));
+  BackgroundOptions options;
+  options.target_utilization = 0.3;
+  const BackgroundResult result =
+      InjectBackground(fx.network, fx.provider, gen, options);
+  EXPECT_GE(result.achieved_utilization, 0.3);
+  EXPECT_GT(result.placed_flows, 0u);
+  EXPECT_TRUE(fx.network.CheckInvariants());
+}
+
+TEST(BackgroundTest, NetworkStaysCongestionFree) {
+  Fixture fx;
+  YahooLikeGenerator gen(fx.ft.hosts(), Rng(2));
+  BackgroundOptions options;
+  options.target_utilization = 0.6;
+  InjectBackground(fx.network, fx.provider, gen, options);
+  for (const auto& link : fx.ft.graph().links()) {
+    EXPECT_GE(fx.network.Residual(link.id), -1e-6);
+  }
+}
+
+TEST(BackgroundTest, StopsWhenSaturated) {
+  Fixture fx;
+  // Huge uniform flows quickly wedge admission before 95% utilization.
+  UniformSpec spec;
+  spec.min_demand = 400.0;
+  spec.max_demand = 900.0;
+  UniformGenerator gen(fx.ft.hosts(), Rng(3), spec);
+  BackgroundOptions options;
+  options.target_utilization = 0.95;
+  options.max_consecutive_failures = 50;
+  const BackgroundResult result =
+      InjectBackground(fx.network, fx.provider, gen, options);
+  EXPECT_GT(result.rejected_flows, 0u);
+  EXPECT_LT(result.achieved_utilization, 0.95);
+}
+
+TEST(BackgroundTest, DeterministicForSeed) {
+  Fixture a, b;
+  YahooLikeGenerator ga(a.ft.hosts(), Rng(7));
+  YahooLikeGenerator gb(b.ft.hosts(), Rng(7));
+  BackgroundOptions options;
+  options.target_utilization = 0.4;
+  const auto ra = InjectBackground(a.network, a.provider, ga, options);
+  const auto rb = InjectBackground(b.network, b.provider, gb, options);
+  EXPECT_EQ(ra.placed_flows, rb.placed_flows);
+  EXPECT_DOUBLE_EQ(ra.achieved_utilization, rb.achieved_utilization);
+}
+
+TEST(BackgroundTest, ZeroTargetPlacesNothing) {
+  Fixture fx;
+  YahooLikeGenerator gen(fx.ft.hosts(), Rng(4));
+  BackgroundOptions options;
+  options.target_utilization = 0.0;
+  const auto result = InjectBackground(fx.network, fx.provider, gen, options);
+  EXPECT_EQ(result.placed_flows, 0u);
+}
+
+}  // namespace
+}  // namespace nu::trace

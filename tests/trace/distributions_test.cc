@@ -1,0 +1,88 @@
+#include "trace/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace nu::trace {
+namespace {
+
+TEST(HeavyTailSpecTest, RespectsClamps) {
+  HeavyTailSpec spec;
+  spec.body_mu = 0.0;
+  spec.body_sigma = 2.0;
+  spec.elephant_fraction = 0.5;
+  spec.tail_scale = 10.0;
+  spec.tail_shape = 1.1;
+  spec.min_value = 1.0;
+  spec.max_value = 50.0;
+  Rng rng(1);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = spec.Sample(rng);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 50.0);
+  }
+}
+
+TEST(HeavyTailSpecTest, ElephantFractionZeroIsPureLognormal) {
+  HeavyTailSpec spec;
+  spec.body_mu = 1.0;
+  spec.body_sigma = 0.5;
+  spec.elephant_fraction = 0.0;
+  spec.tail_scale = 1e9;  // would be obvious if sampled
+  spec.max_value = 1e12;
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(spec.Sample(rng), 1e6);
+  }
+}
+
+TEST(HeavyTailSpecTest, HeavyTailHasHighMaxToMedianRatio) {
+  const TrafficSpec spec = YahooLikeSpec();
+  Rng rng(3);
+  std::vector<double> demands;
+  for (int i = 0; i < 50000; ++i) demands.push_back(spec.demand.Sample(rng));
+  std::sort(demands.begin(), demands.end());
+  const double median = demands[demands.size() / 2];
+  const double p999 = demands[static_cast<std::size_t>(
+      0.999 * static_cast<double>(demands.size()))];
+  // Heavy tail: the 99.9th percentile dwarfs the median.
+  EXPECT_GT(p999 / median, 20.0);
+}
+
+TEST(TrafficSpecTest, YahooDemandsWithinLinkCapacity) {
+  const TrafficSpec spec = YahooLikeSpec();
+  Rng rng(4);
+  for (int i = 0; i < 50000; ++i) {
+    const double d = spec.demand.Sample(rng);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 800.0);  // capped below 1 Gbps
+  }
+}
+
+TEST(TrafficSpecTest, BensonSmallerThanYahooOnAverage) {
+  Rng rng1(5), rng2(5);
+  const TrafficSpec yahoo = YahooLikeSpec();
+  const TrafficSpec benson = BensonSpec();
+  double yahoo_sum = 0.0, benson_sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    yahoo_sum += yahoo.demand.Sample(rng1);
+    benson_sum += benson.demand.Sample(rng2);
+  }
+  EXPECT_GT(yahoo_sum / n, benson_sum / n);
+}
+
+TEST(TrafficSpecTest, DurationsPositiveAndBounded) {
+  const TrafficSpec spec = BensonSpec();
+  Rng rng(6);
+  for (int i = 0; i < 20000; ++i) {
+    const double d = spec.duration.Sample(rng);
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 180.0);
+  }
+}
+
+}  // namespace
+}  // namespace nu::trace

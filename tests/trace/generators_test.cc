@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/fat_tree.h"
+#include "trace/benson.h"
+#include "trace/ip_mapper.h"
+#include "trace/uniform.h"
+#include "trace/yahoo_like.h"
+
+namespace nu::trace {
+namespace {
+
+topo::FatTree SmallTree() {
+  return topo::FatTree(topo::FatTreeConfig{.k = 4, .link_capacity = 1000.0});
+}
+
+TEST(YahooLikeGeneratorTest, ProducesValidFlows) {
+  const auto ft = SmallTree();
+  YahooLikeGenerator gen(ft.hosts(), Rng(1));
+  std::set<NodeId> hosts(ft.hosts().begin(), ft.hosts().end());
+  for (int i = 0; i < 5000; ++i) {
+    const FlowSpec spec = gen.Next();
+    EXPECT_NE(spec.src, spec.dst);
+    EXPECT_TRUE(hosts.contains(spec.src));
+    EXPECT_TRUE(hosts.contains(spec.dst));
+    EXPECT_GT(spec.demand, 0.0);
+    EXPECT_GT(spec.duration, 0.0);
+  }
+}
+
+TEST(YahooLikeGeneratorTest, DeterministicPerSeed) {
+  const auto ft = SmallTree();
+  YahooLikeGenerator a(ft.hosts(), Rng(9));
+  YahooLikeGenerator b(ft.hosts(), Rng(9));
+  for (int i = 0; i < 100; ++i) {
+    const FlowSpec fa = a.Next();
+    const FlowSpec fb = b.Next();
+    EXPECT_EQ(fa.src, fb.src);
+    EXPECT_EQ(fa.dst, fb.dst);
+    EXPECT_DOUBLE_EQ(fa.demand, fb.demand);
+    EXPECT_DOUBLE_EQ(fa.duration, fb.duration);
+  }
+}
+
+TEST(YahooLikeGeneratorTest, EndpointsCoverAllHosts) {
+  const auto ft = SmallTree();
+  YahooLikeGenerator gen(ft.hosts(), Rng(2));
+  std::set<NodeId> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const FlowSpec spec = gen.Next();
+    seen.insert(spec.src);
+    seen.insert(spec.dst);
+  }
+  EXPECT_EQ(seen.size(), ft.host_count());
+}
+
+TEST(BensonGeneratorTest, RackLocalityBias) {
+  const auto ft = SmallTree();
+  BensonConfig config;
+  config.rack_locality = 0.8;
+  config.rack_size = 2;  // k/2 hosts per edge switch for k=4
+  BensonGenerator gen(ft.hosts(), Rng(3), config);
+  int local = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const FlowSpec spec = gen.Next();
+    EXPECT_NE(spec.src, spec.dst);
+    const std::size_t src_rack = ft.HostIndex(spec.src) / 2;
+    const std::size_t dst_rack = ft.HostIndex(spec.dst) / 2;
+    if (src_rack == dst_rack) ++local;
+  }
+  // 80% targeted locality plus incidental random hits.
+  EXPECT_GT(static_cast<double>(local) / n, 0.7);
+}
+
+TEST(BensonGeneratorTest, ZeroLocalityMostlyRemote) {
+  const auto ft = SmallTree();
+  BensonConfig config;
+  config.rack_locality = 0.0;
+  config.rack_size = 2;
+  BensonGenerator gen(ft.hosts(), Rng(4), config);
+  int local = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const FlowSpec spec = gen.Next();
+    if (ft.HostIndex(spec.src) / 2 == ft.HostIndex(spec.dst) / 2) ++local;
+  }
+  // Random remote pick hits the same rack with p = 1/15 for 16 hosts.
+  EXPECT_LT(static_cast<double>(local) / n, 0.12);
+}
+
+TEST(UniformGeneratorTest, WithinConfiguredRanges) {
+  const auto ft = SmallTree();
+  UniformSpec spec;
+  spec.min_demand = 5.0;
+  spec.max_demand = 15.0;
+  spec.min_duration = 2.0;
+  spec.max_duration = 4.0;
+  UniformGenerator gen(ft.hosts(), Rng(5), spec);
+  for (int i = 0; i < 5000; ++i) {
+    const FlowSpec f = gen.Next();
+    EXPECT_GE(f.demand, 5.0);
+    EXPECT_LE(f.demand, 15.0);
+    EXPECT_GE(f.duration, 2.0);
+    EXPECT_LE(f.duration, 4.0);
+  }
+}
+
+TEST(RandomHostPairTest, DistinctAndUniform) {
+  const auto ft = SmallTree();
+  Rng rng(6);
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (int i = 0; i < 20000; ++i) {
+    const auto [src, dst] = RandomHostPair(ft.hosts(), rng);
+    EXPECT_NE(src, dst);
+    pairs.emplace(src, dst);
+  }
+  // 16 hosts -> 240 ordered pairs; all should appear.
+  EXPECT_EQ(pairs.size(), 240u);
+}
+
+TEST(IpMapperTest, StableAndInRange) {
+  const auto ft = SmallTree();
+  const IpMapper mapper(ft.hosts());
+  const NodeId a = mapper.Map("10.0.0.1");
+  EXPECT_EQ(a, mapper.Map("10.0.0.1"));
+  std::set<NodeId> hosts(ft.hosts().begin(), ft.hosts().end());
+  EXPECT_TRUE(hosts.contains(a));
+}
+
+TEST(IpMapperTest, PairNeverCollides) {
+  const auto ft = SmallTree();
+  const IpMapper mapper(ft.hosts());
+  for (int i = 0; i < 1000; ++i) {
+    const std::string ip = "192.168.0." + std::to_string(i);
+    const auto [src, dst] = mapper.MapPair(ip, ip);
+    EXPECT_NE(src, dst);
+  }
+}
+
+TEST(HashIpTest, DifferentStringsUsuallyDiffer) {
+  EXPECT_NE(HashIp("10.0.0.1"), HashIp("10.0.0.2"));
+  EXPECT_EQ(HashIp("x"), HashIp("x"));
+}
+
+}  // namespace
+}  // namespace nu::trace

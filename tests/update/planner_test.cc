@@ -1,0 +1,181 @@
+#include "update/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/fat_tree.h"
+#include "topo/path_provider.h"
+
+namespace nu::update {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0}),
+        provider(ft),
+        network(ft.graph()),
+        planner(provider) {}
+
+  [[nodiscard]] flow::Flow MakeFlow(std::size_t src, std::size_t dst,
+                                    Mbps demand, Seconds duration = 5.0) const {
+    flow::Flow f;
+    f.src = ft.host(src);
+    f.dst = ft.host(dst);
+    f.demand = demand;
+    f.duration = duration;
+    return f;
+  }
+
+  [[nodiscard]] UpdateEvent MakeEvent(EventId id,
+                                      std::vector<flow::Flow> flows) const {
+    return UpdateEvent(id, 0.0, std::move(flows));
+  }
+
+  topo::FatTree ft;
+  topo::FatTreePathProvider provider;
+  net::Network network;
+  EventPlanner planner;
+};
+
+TEST(EventPlannerTest, PlanOnEmptyNetworkIsFreeAndFeasible) {
+  Fixture fx;
+  const UpdateEvent event = fx.MakeEvent(
+      EventId{1}, {fx.MakeFlow(0, 8, 30.0), fx.MakeFlow(1, 9, 40.0)});
+  const EventPlan plan = fx.planner.Plan(fx.network, event);
+  EXPECT_TRUE(plan.fully_feasible);
+  EXPECT_DOUBLE_EQ(plan.migrated_traffic, 0.0);
+  EXPECT_EQ(plan.migration_moves, 0u);
+  EXPECT_EQ(plan.placeable_count(), 2u);
+  // Pure probe: network untouched.
+  EXPECT_EQ(fx.network.placed_flow_count(), 0u);
+}
+
+TEST(EventPlannerTest, PlanCountsIntraEventContention) {
+  Fixture fx;
+  // Two 60 Mbps flows from the SAME host: its 100 Mbps uplink fits only one.
+  const UpdateEvent event = fx.MakeEvent(
+      EventId{1}, {fx.MakeFlow(0, 8, 60.0), fx.MakeFlow(0, 9, 60.0)});
+  const EventPlan plan = fx.planner.Plan(fx.network, event);
+  EXPECT_FALSE(plan.fully_feasible);
+  EXPECT_EQ(plan.placeable_count(), 1u);
+}
+
+TEST(EventPlannerTest, ExecutePlacesFlows) {
+  Fixture fx;
+  const UpdateEvent event = fx.MakeEvent(
+      EventId{1}, {fx.MakeFlow(0, 8, 30.0), fx.MakeFlow(1, 9, 40.0)});
+  const ExecutionResult result = fx.planner.Execute(fx.network, event);
+  EXPECT_TRUE(result.plan.fully_feasible);
+  EXPECT_EQ(result.placed_flows.size(), 2u);
+  EXPECT_TRUE(result.deferred_flows.empty());
+  EXPECT_EQ(fx.network.placed_flow_count(), 2u);
+  for (FlowId id : result.placed_flows) {
+    EXPECT_EQ(fx.network.FlowOf(id).event, EventId{1});
+    EXPECT_EQ(fx.network.FlowOf(id).origin, flow::FlowOrigin::kUpdateEvent);
+  }
+  EXPECT_TRUE(fx.network.CheckInvariants());
+}
+
+TEST(EventPlannerTest, ExecuteTriggersMigrationWhenNeeded) {
+  Fixture fx;
+  // Saturate 3 of 4 inter-pod-ish choices between host0's pod and pod 2:
+  // fill every path of host1->host8 to 70 so host0->host8 (demand 60)
+  // congests everywhere and must migrate something.
+  const auto& blocker_paths = fx.provider.Paths(fx.ft.host(1), fx.ft.host(9));
+  for (const topo::Path& p : blocker_paths) {
+    flow::Flow f = fx.MakeFlow(1, 9, 15.0);
+    if (fx.network.CanPlace(f.demand, p)) fx.network.Place(std::move(f), p);
+  }
+  // Now load host0's uplink-adjacent fabric so direct placement fails:
+  // fill edge0->agg links via host1 flows... simpler: occupy all 4 paths of
+  // host0->host8 partially via host1->host8 (shares edge0->agg and beyond).
+  const auto& shared_paths = fx.provider.Paths(fx.ft.host(1), fx.ft.host(8));
+  for (const topo::Path& p : shared_paths) {
+    flow::Flow f = fx.MakeFlow(1, 8, 50.0);
+    if (fx.network.CanPlace(f.demand, p)) fx.network.Place(std::move(f), p);
+  }
+
+  const UpdateEvent event =
+      fx.MakeEvent(EventId{2}, {fx.MakeFlow(0, 8, 60.0)});
+  const bool direct_possible =
+      net::CanAdmit(fx.network, fx.provider, fx.ft.host(0), fx.ft.host(8),
+                    60.0);
+  const ExecutionResult result = fx.planner.Execute(fx.network, event);
+  if (!direct_possible) {
+    EXPECT_GT(result.plan.migrated_traffic, 0.0);
+    EXPECT_GE(result.plan.flows_needing_migration, 1u);
+  }
+  EXPECT_TRUE(result.plan.fully_feasible);
+  EXPECT_TRUE(fx.network.CheckInvariants());
+}
+
+TEST(EventPlannerTest, PlanMatchesExecuteOnSameState) {
+  Fixture fx;
+  const UpdateEvent event = fx.MakeEvent(
+      EventId{3}, {fx.MakeFlow(0, 8, 30.0), fx.MakeFlow(2, 10, 45.0),
+                   fx.MakeFlow(5, 12, 20.0)});
+  const EventPlan probe = fx.planner.Plan(fx.network, event);
+  const ExecutionResult exec = fx.planner.Execute(fx.network, event);
+  EXPECT_EQ(probe.fully_feasible, exec.plan.fully_feasible);
+  EXPECT_DOUBLE_EQ(probe.migrated_traffic, exec.plan.migrated_traffic);
+  EXPECT_EQ(probe.migration_moves, exec.plan.migration_moves);
+  ASSERT_EQ(probe.actions.size(), exec.plan.actions.size());
+  for (std::size_t i = 0; i < probe.actions.size(); ++i) {
+    EXPECT_EQ(probe.actions[i].path, exec.plan.actions[i].path);
+  }
+}
+
+TEST(EventPlannerTest, DeferredFlowsReported) {
+  Fixture fx;
+  // Fill host 0's uplink completely; a new flow from host 0 can never fit.
+  const auto& p = fx.provider.Paths(fx.ft.host(0), fx.ft.host(3));
+  flow::Flow filler = fx.MakeFlow(0, 3, 100.0);
+  fx.network.Place(std::move(filler), p[0]);
+  const UpdateEvent event =
+      fx.MakeEvent(EventId{4}, {fx.MakeFlow(0, 8, 10.0)});
+  const ExecutionResult result = fx.planner.Execute(fx.network, event);
+  EXPECT_FALSE(result.plan.fully_feasible);
+  ASSERT_EQ(result.deferred_flows.size(), 1u);
+  EXPECT_EQ(result.deferred_flows[0], 0u);
+  EXPECT_TRUE(result.placed_flows.empty());
+}
+
+TEST(EventPlannerTest, PlaceFlowDirect) {
+  Fixture fx;
+  Mbps migrated = 0.0;
+  const auto id = fx.planner.PlaceFlow(fx.network, fx.MakeFlow(0, 8, 40.0),
+                                       &migrated);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_DOUBLE_EQ(migrated, 0.0);
+  EXPECT_EQ(fx.network.placed_flow_count(), 1u);
+}
+
+TEST(EventPlannerTest, PlaceFlowFailsWhenImpossible) {
+  Fixture fx;
+  const auto& p = fx.provider.Paths(fx.ft.host(0), fx.ft.host(3));
+  flow::Flow filler = fx.MakeFlow(0, 3, 100.0);
+  fx.network.Place(std::move(filler), p[0]);
+  const auto id = fx.planner.PlaceFlow(fx.network, fx.MakeFlow(0, 8, 10.0));
+  EXPECT_FALSE(id.has_value());
+  EXPECT_EQ(fx.network.placed_flow_count(), 1u);
+}
+
+TEST(EventPlannerTest, CostIsCumulativeAcrossFlows) {
+  Fixture fx;
+  // Congest both agg choices for pod-0 pairs with big blockers, then plan an
+  // event of two same-pod flows that each require migration.
+  const auto& b1 = fx.provider.Paths(fx.ft.host(1), fx.ft.host(3));
+  for (const topo::Path& p : b1) {
+    flow::Flow f = fx.MakeFlow(1, 3, 70.0);
+    if (fx.network.CanPlace(f.demand, p)) fx.network.Place(std::move(f), p);
+  }
+  const UpdateEvent event = fx.MakeEvent(
+      EventId{9}, {fx.MakeFlow(0, 2, 50.0), fx.MakeFlow(0, 2, 40.0)});
+  const EventPlan plan = fx.planner.Plan(fx.network, event);
+  if (plan.flows_needing_migration >= 2) {
+    EXPECT_GT(plan.migrated_traffic, 70.0);  // at least two blockers moved
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace nu::update

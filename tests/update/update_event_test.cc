@@ -1,0 +1,65 @@
+#include "update/update_event.h"
+
+#include <gtest/gtest.h>
+
+namespace nu::update {
+namespace {
+
+std::vector<flow::Flow> TwoFlows() {
+  flow::Flow a;
+  a.src = NodeId{0};
+  a.dst = NodeId{1};
+  a.demand = 10.0;
+  a.duration = 3.0;
+  flow::Flow b;
+  b.src = NodeId{2};
+  b.dst = NodeId{3};
+  b.demand = 20.0;
+  b.duration = 7.0;
+  return {a, b};
+}
+
+TEST(UpdateEventTest, BasicAccessors) {
+  const UpdateEvent e(EventId{5}, 1.5, TwoFlows(), EventKind::kVmMigration);
+  EXPECT_EQ(e.id(), EventId{5});
+  EXPECT_DOUBLE_EQ(e.arrival_time(), 1.5);
+  EXPECT_EQ(e.kind(), EventKind::kVmMigration);
+  EXPECT_EQ(e.flow_count(), 2u);
+}
+
+TEST(UpdateEventTest, FlowsTaggedWithEvent) {
+  const UpdateEvent e(EventId{5}, 0.0, TwoFlows());
+  for (const flow::Flow& f : e.flows()) {
+    EXPECT_EQ(f.event, EventId{5});
+    EXPECT_EQ(f.origin, flow::FlowOrigin::kUpdateEvent);
+  }
+}
+
+TEST(UpdateEventTest, Aggregates) {
+  const UpdateEvent e(EventId{1}, 0.0, TwoFlows());
+  EXPECT_DOUBLE_EQ(e.TotalDemand(), 30.0);
+  EXPECT_DOUBLE_EQ(e.MaxFlowDuration(), 7.0);
+  EXPECT_DOUBLE_EQ(e.TotalVolume(), 10.0 * 3.0 + 20.0 * 7.0);
+}
+
+TEST(UpdateEventTest, DebugStringMentionsKind) {
+  const UpdateEvent e(EventId{1}, 0.0, TwoFlows(), EventKind::kSwitchUpgrade);
+  EXPECT_NE(e.DebugString().find("switch-upgrade"), std::string::npos);
+}
+
+TEST(UpdateEventDeathTest, RejectsEmptyFlows) {
+  EXPECT_DEATH(UpdateEvent(EventId{1}, 0.0, {}), "Precondition");
+}
+
+TEST(UpdateEventDeathTest, RejectsInvalidId) {
+  EXPECT_DEATH(UpdateEvent(EventId::invalid(), 0.0, TwoFlows()),
+               "Precondition");
+}
+
+TEST(EventKindTest, Names) {
+  EXPECT_STREQ(ToString(EventKind::kGeneric), "generic");
+  EXPECT_STREQ(ToString(EventKind::kFailureReroute), "failure-reroute");
+}
+
+}  // namespace
+}  // namespace nu::update
