@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coallowance.dir/bench_ablation_coallowance.cpp.o"
+  "CMakeFiles/bench_ablation_coallowance.dir/bench_ablation_coallowance.cpp.o.d"
+  "bench_ablation_coallowance"
+  "bench_ablation_coallowance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coallowance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_quickprobe.dir/bench_ablation_quickprobe.cpp.o"
+  "CMakeFiles/bench_ablation_quickprobe.dir/bench_ablation_quickprobe.cpp.o.d"
+  "bench_ablation_quickprobe"
+  "bench_ablation_quickprobe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_quickprobe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_leafspine.dir/bench_extension_leafspine.cpp.o"
+  "CMakeFiles/bench_extension_leafspine.dir/bench_extension_leafspine.cpp.o.d"
+  "bench_extension_leafspine"
+  "bench_extension_leafspine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_leafspine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

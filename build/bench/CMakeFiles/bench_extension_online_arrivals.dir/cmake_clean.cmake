@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_online_arrivals.dir/bench_extension_online_arrivals.cpp.o"
+  "CMakeFiles/bench_extension_online_arrivals.dir/bench_extension_online_arrivals.cpp.o.d"
+  "bench_extension_online_arrivals"
+  "bench_extension_online_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_online_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_flows_per_event.dir/bench_fig4_flows_per_event.cpp.o"
+  "CMakeFiles/bench_fig4_flows_per_event.dir/bench_fig4_flows_per_event.cpp.o.d"
+  "bench_fig4_flows_per_event"
+  "bench_fig4_flows_per_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_flows_per_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_lmtf_vs_fifo.dir/bench_fig6_lmtf_vs_fifo.cpp.o"
+  "CMakeFiles/bench_fig6_lmtf_vs_fifo.dir/bench_fig6_lmtf_vs_fifo.cpp.o.d"
+  "bench_fig6_lmtf_vs_fifo"
+  "bench_fig6_lmtf_vs_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_lmtf_vs_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_lmtf_vs_fifo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netupdate_cli.dir/netupdate_cli.cpp.o"
+  "CMakeFiles/netupdate_cli.dir/netupdate_cli.cpp.o.d"
+  "netupdate_cli"
+  "netupdate_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netupdate_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

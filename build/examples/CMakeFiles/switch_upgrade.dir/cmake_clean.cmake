@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_upgrade.dir/switch_upgrade.cpp.o"
+  "CMakeFiles/switch_upgrade.dir/switch_upgrade.cpp.o.d"
+  "switch_upgrade"
+  "switch_upgrade.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_upgrade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

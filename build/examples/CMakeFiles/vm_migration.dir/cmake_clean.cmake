@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_migration.dir/vm_migration.cpp.o"
+  "CMakeFiles/vm_migration.dir/vm_migration.cpp.o.d"
+  "vm_migration"
+  "vm_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nu_common.dir/common/csv.cc.o"
+  "CMakeFiles/nu_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/nu_common.dir/common/flags.cc.o"
+  "CMakeFiles/nu_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/nu_common.dir/common/histogram.cc.o"
+  "CMakeFiles/nu_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/nu_common.dir/common/logging.cc.o"
+  "CMakeFiles/nu_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/nu_common.dir/common/rng.cc.o"
+  "CMakeFiles/nu_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/nu_common.dir/common/stats.cc.o"
+  "CMakeFiles/nu_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/nu_common.dir/common/table.cc.o"
+  "CMakeFiles/nu_common.dir/common/table.cc.o.d"
+  "libnu_common.a"
+  "libnu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consistent/migration_bridge.cc" "src/CMakeFiles/nu_consistent.dir/consistent/migration_bridge.cc.o" "gcc" "src/CMakeFiles/nu_consistent.dir/consistent/migration_bridge.cc.o.d"
+  "/root/repo/src/consistent/rule_table.cc" "src/CMakeFiles/nu_consistent.dir/consistent/rule_table.cc.o" "gcc" "src/CMakeFiles/nu_consistent.dir/consistent/rule_table.cc.o.d"
+  "/root/repo/src/consistent/two_phase.cc" "src/CMakeFiles/nu_consistent.dir/consistent/two_phase.cc.o" "gcc" "src/CMakeFiles/nu_consistent.dir/consistent/two_phase.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nu_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

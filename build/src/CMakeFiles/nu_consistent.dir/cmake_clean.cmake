@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nu_consistent.dir/consistent/migration_bridge.cc.o"
+  "CMakeFiles/nu_consistent.dir/consistent/migration_bridge.cc.o.d"
+  "CMakeFiles/nu_consistent.dir/consistent/rule_table.cc.o"
+  "CMakeFiles/nu_consistent.dir/consistent/rule_table.cc.o.d"
+  "CMakeFiles/nu_consistent.dir/consistent/two_phase.cc.o"
+  "CMakeFiles/nu_consistent.dir/consistent/two_phase.cc.o.d"
+  "libnu_consistent.a"
+  "libnu_consistent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nu_consistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nu_consistent.
+# This may be replaced when dependencies are built.

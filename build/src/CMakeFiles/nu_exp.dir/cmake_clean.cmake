@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nu_exp.dir/exp/config.cc.o"
+  "CMakeFiles/nu_exp.dir/exp/config.cc.o.d"
+  "CMakeFiles/nu_exp.dir/exp/runner.cc.o"
+  "CMakeFiles/nu_exp.dir/exp/runner.cc.o.d"
+  "CMakeFiles/nu_exp.dir/exp/workload.cc.o"
+  "CMakeFiles/nu_exp.dir/exp/workload.cc.o.d"
+  "libnu_exp.a"
+  "libnu_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nu_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/flow.cc" "src/CMakeFiles/nu_flow.dir/flow/flow.cc.o" "gcc" "src/CMakeFiles/nu_flow.dir/flow/flow.cc.o.d"
+  "/root/repo/src/flow/flow_table.cc" "src/CMakeFiles/nu_flow.dir/flow/flow_table.cc.o" "gcc" "src/CMakeFiles/nu_flow.dir/flow/flow_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nu_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nu_flow.dir/flow/flow.cc.o"
+  "CMakeFiles/nu_flow.dir/flow/flow.cc.o.d"
+  "CMakeFiles/nu_flow.dir/flow/flow_table.cc.o"
+  "CMakeFiles/nu_flow.dir/flow/flow_table.cc.o.d"
+  "libnu_flow.a"
+  "libnu_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nu_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

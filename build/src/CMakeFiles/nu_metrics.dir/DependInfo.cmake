@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/collector.cc" "src/CMakeFiles/nu_metrics.dir/metrics/collector.cc.o" "gcc" "src/CMakeFiles/nu_metrics.dir/metrics/collector.cc.o.d"
+  "/root/repo/src/metrics/export.cc" "src/CMakeFiles/nu_metrics.dir/metrics/export.cc.o" "gcc" "src/CMakeFiles/nu_metrics.dir/metrics/export.cc.o.d"
+  "/root/repo/src/metrics/fairness.cc" "src/CMakeFiles/nu_metrics.dir/metrics/fairness.cc.o" "gcc" "src/CMakeFiles/nu_metrics.dir/metrics/fairness.cc.o.d"
+  "/root/repo/src/metrics/gantt.cc" "src/CMakeFiles/nu_metrics.dir/metrics/gantt.cc.o" "gcc" "src/CMakeFiles/nu_metrics.dir/metrics/gantt.cc.o.d"
+  "/root/repo/src/metrics/report.cc" "src/CMakeFiles/nu_metrics.dir/metrics/report.cc.o" "gcc" "src/CMakeFiles/nu_metrics.dir/metrics/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

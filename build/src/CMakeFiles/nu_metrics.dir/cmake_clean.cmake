@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nu_metrics.dir/metrics/collector.cc.o"
+  "CMakeFiles/nu_metrics.dir/metrics/collector.cc.o.d"
+  "CMakeFiles/nu_metrics.dir/metrics/export.cc.o"
+  "CMakeFiles/nu_metrics.dir/metrics/export.cc.o.d"
+  "CMakeFiles/nu_metrics.dir/metrics/fairness.cc.o"
+  "CMakeFiles/nu_metrics.dir/metrics/fairness.cc.o.d"
+  "CMakeFiles/nu_metrics.dir/metrics/gantt.cc.o"
+  "CMakeFiles/nu_metrics.dir/metrics/gantt.cc.o.d"
+  "CMakeFiles/nu_metrics.dir/metrics/report.cc.o"
+  "CMakeFiles/nu_metrics.dir/metrics/report.cc.o.d"
+  "libnu_metrics.a"
+  "libnu_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nu_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

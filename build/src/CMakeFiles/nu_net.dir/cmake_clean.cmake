@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nu_net.dir/net/admission.cc.o"
+  "CMakeFiles/nu_net.dir/net/admission.cc.o.d"
+  "CMakeFiles/nu_net.dir/net/network.cc.o"
+  "CMakeFiles/nu_net.dir/net/network.cc.o.d"
+  "CMakeFiles/nu_net.dir/net/snapshot.cc.o"
+  "CMakeFiles/nu_net.dir/net/snapshot.cc.o.d"
+  "libnu_net.a"
+  "libnu_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nu_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/factory.cc" "src/CMakeFiles/nu_sched.dir/sched/factory.cc.o" "gcc" "src/CMakeFiles/nu_sched.dir/sched/factory.cc.o.d"
+  "/root/repo/src/sched/fifo.cc" "src/CMakeFiles/nu_sched.dir/sched/fifo.cc.o" "gcc" "src/CMakeFiles/nu_sched.dir/sched/fifo.cc.o.d"
+  "/root/repo/src/sched/flow_level.cc" "src/CMakeFiles/nu_sched.dir/sched/flow_level.cc.o" "gcc" "src/CMakeFiles/nu_sched.dir/sched/flow_level.cc.o.d"
+  "/root/repo/src/sched/lmtf.cc" "src/CMakeFiles/nu_sched.dir/sched/lmtf.cc.o" "gcc" "src/CMakeFiles/nu_sched.dir/sched/lmtf.cc.o.d"
+  "/root/repo/src/sched/plmtf.cc" "src/CMakeFiles/nu_sched.dir/sched/plmtf.cc.o" "gcc" "src/CMakeFiles/nu_sched.dir/sched/plmtf.cc.o.d"
+  "/root/repo/src/sched/reorder.cc" "src/CMakeFiles/nu_sched.dir/sched/reorder.cc.o" "gcc" "src/CMakeFiles/nu_sched.dir/sched/reorder.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/CMakeFiles/nu_sched.dir/sched/scheduler.cc.o" "gcc" "src/CMakeFiles/nu_sched.dir/sched/scheduler.cc.o.d"
+  "/root/repo/src/sched/sjf.cc" "src/CMakeFiles/nu_sched.dir/sched/sjf.cc.o" "gcc" "src/CMakeFiles/nu_sched.dir/sched/sjf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nu_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nu_sched.dir/sched/factory.cc.o"
+  "CMakeFiles/nu_sched.dir/sched/factory.cc.o.d"
+  "CMakeFiles/nu_sched.dir/sched/fifo.cc.o"
+  "CMakeFiles/nu_sched.dir/sched/fifo.cc.o.d"
+  "CMakeFiles/nu_sched.dir/sched/flow_level.cc.o"
+  "CMakeFiles/nu_sched.dir/sched/flow_level.cc.o.d"
+  "CMakeFiles/nu_sched.dir/sched/lmtf.cc.o"
+  "CMakeFiles/nu_sched.dir/sched/lmtf.cc.o.d"
+  "CMakeFiles/nu_sched.dir/sched/plmtf.cc.o"
+  "CMakeFiles/nu_sched.dir/sched/plmtf.cc.o.d"
+  "CMakeFiles/nu_sched.dir/sched/reorder.cc.o"
+  "CMakeFiles/nu_sched.dir/sched/reorder.cc.o.d"
+  "CMakeFiles/nu_sched.dir/sched/scheduler.cc.o"
+  "CMakeFiles/nu_sched.dir/sched/scheduler.cc.o.d"
+  "CMakeFiles/nu_sched.dir/sched/sjf.cc.o"
+  "CMakeFiles/nu_sched.dir/sched/sjf.cc.o.d"
+  "libnu_sched.a"
+  "libnu_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nu_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnu_sched.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cc" "src/CMakeFiles/nu_sim.dir/sim/cost_model.cc.o" "gcc" "src/CMakeFiles/nu_sim.dir/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/nu_sim.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/nu_sim.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/nu_sim.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/nu_sim.dir/sim/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nu_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nu_sim.dir/sim/cost_model.cc.o"
+  "CMakeFiles/nu_sim.dir/sim/cost_model.cc.o.d"
+  "CMakeFiles/nu_sim.dir/sim/event_queue.cc.o"
+  "CMakeFiles/nu_sim.dir/sim/event_queue.cc.o.d"
+  "CMakeFiles/nu_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/nu_sim.dir/sim/simulator.cc.o.d"
+  "libnu_sim.a"
+  "libnu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/fat_tree.cc" "src/CMakeFiles/nu_topo.dir/topo/fat_tree.cc.o" "gcc" "src/CMakeFiles/nu_topo.dir/topo/fat_tree.cc.o.d"
+  "/root/repo/src/topo/graph.cc" "src/CMakeFiles/nu_topo.dir/topo/graph.cc.o" "gcc" "src/CMakeFiles/nu_topo.dir/topo/graph.cc.o.d"
+  "/root/repo/src/topo/ksp.cc" "src/CMakeFiles/nu_topo.dir/topo/ksp.cc.o" "gcc" "src/CMakeFiles/nu_topo.dir/topo/ksp.cc.o.d"
+  "/root/repo/src/topo/leaf_spine.cc" "src/CMakeFiles/nu_topo.dir/topo/leaf_spine.cc.o" "gcc" "src/CMakeFiles/nu_topo.dir/topo/leaf_spine.cc.o.d"
+  "/root/repo/src/topo/path_provider.cc" "src/CMakeFiles/nu_topo.dir/topo/path_provider.cc.o" "gcc" "src/CMakeFiles/nu_topo.dir/topo/path_provider.cc.o.d"
+  "/root/repo/src/topo/random_graph.cc" "src/CMakeFiles/nu_topo.dir/topo/random_graph.cc.o" "gcc" "src/CMakeFiles/nu_topo.dir/topo/random_graph.cc.o.d"
+  "/root/repo/src/topo/shortest_path.cc" "src/CMakeFiles/nu_topo.dir/topo/shortest_path.cc.o" "gcc" "src/CMakeFiles/nu_topo.dir/topo/shortest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

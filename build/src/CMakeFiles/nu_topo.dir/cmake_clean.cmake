@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nu_topo.dir/topo/fat_tree.cc.o"
+  "CMakeFiles/nu_topo.dir/topo/fat_tree.cc.o.d"
+  "CMakeFiles/nu_topo.dir/topo/graph.cc.o"
+  "CMakeFiles/nu_topo.dir/topo/graph.cc.o.d"
+  "CMakeFiles/nu_topo.dir/topo/ksp.cc.o"
+  "CMakeFiles/nu_topo.dir/topo/ksp.cc.o.d"
+  "CMakeFiles/nu_topo.dir/topo/leaf_spine.cc.o"
+  "CMakeFiles/nu_topo.dir/topo/leaf_spine.cc.o.d"
+  "CMakeFiles/nu_topo.dir/topo/path_provider.cc.o"
+  "CMakeFiles/nu_topo.dir/topo/path_provider.cc.o.d"
+  "CMakeFiles/nu_topo.dir/topo/random_graph.cc.o"
+  "CMakeFiles/nu_topo.dir/topo/random_graph.cc.o.d"
+  "CMakeFiles/nu_topo.dir/topo/shortest_path.cc.o"
+  "CMakeFiles/nu_topo.dir/topo/shortest_path.cc.o.d"
+  "libnu_topo.a"
+  "libnu_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nu_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

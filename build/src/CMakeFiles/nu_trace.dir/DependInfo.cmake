@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/background.cc" "src/CMakeFiles/nu_trace.dir/trace/background.cc.o" "gcc" "src/CMakeFiles/nu_trace.dir/trace/background.cc.o.d"
+  "/root/repo/src/trace/benson.cc" "src/CMakeFiles/nu_trace.dir/trace/benson.cc.o" "gcc" "src/CMakeFiles/nu_trace.dir/trace/benson.cc.o.d"
+  "/root/repo/src/trace/distributions.cc" "src/CMakeFiles/nu_trace.dir/trace/distributions.cc.o" "gcc" "src/CMakeFiles/nu_trace.dir/trace/distributions.cc.o.d"
+  "/root/repo/src/trace/ip_mapper.cc" "src/CMakeFiles/nu_trace.dir/trace/ip_mapper.cc.o" "gcc" "src/CMakeFiles/nu_trace.dir/trace/ip_mapper.cc.o.d"
+  "/root/repo/src/trace/trace_loader.cc" "src/CMakeFiles/nu_trace.dir/trace/trace_loader.cc.o" "gcc" "src/CMakeFiles/nu_trace.dir/trace/trace_loader.cc.o.d"
+  "/root/repo/src/trace/uniform.cc" "src/CMakeFiles/nu_trace.dir/trace/uniform.cc.o" "gcc" "src/CMakeFiles/nu_trace.dir/trace/uniform.cc.o.d"
+  "/root/repo/src/trace/yahoo_like.cc" "src/CMakeFiles/nu_trace.dir/trace/yahoo_like.cc.o" "gcc" "src/CMakeFiles/nu_trace.dir/trace/yahoo_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

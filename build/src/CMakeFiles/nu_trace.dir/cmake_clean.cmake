@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nu_trace.dir/trace/background.cc.o"
+  "CMakeFiles/nu_trace.dir/trace/background.cc.o.d"
+  "CMakeFiles/nu_trace.dir/trace/benson.cc.o"
+  "CMakeFiles/nu_trace.dir/trace/benson.cc.o.d"
+  "CMakeFiles/nu_trace.dir/trace/distributions.cc.o"
+  "CMakeFiles/nu_trace.dir/trace/distributions.cc.o.d"
+  "CMakeFiles/nu_trace.dir/trace/ip_mapper.cc.o"
+  "CMakeFiles/nu_trace.dir/trace/ip_mapper.cc.o.d"
+  "CMakeFiles/nu_trace.dir/trace/trace_loader.cc.o"
+  "CMakeFiles/nu_trace.dir/trace/trace_loader.cc.o.d"
+  "CMakeFiles/nu_trace.dir/trace/uniform.cc.o"
+  "CMakeFiles/nu_trace.dir/trace/uniform.cc.o.d"
+  "CMakeFiles/nu_trace.dir/trace/yahoo_like.cc.o"
+  "CMakeFiles/nu_trace.dir/trace/yahoo_like.cc.o.d"
+  "libnu_trace.a"
+  "libnu_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nu_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

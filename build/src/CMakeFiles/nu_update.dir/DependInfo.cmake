@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/update/cost_estimate.cc" "src/CMakeFiles/nu_update.dir/update/cost_estimate.cc.o" "gcc" "src/CMakeFiles/nu_update.dir/update/cost_estimate.cc.o.d"
+  "/root/repo/src/update/event_generator.cc" "src/CMakeFiles/nu_update.dir/update/event_generator.cc.o" "gcc" "src/CMakeFiles/nu_update.dir/update/event_generator.cc.o.d"
+  "/root/repo/src/update/migration.cc" "src/CMakeFiles/nu_update.dir/update/migration.cc.o" "gcc" "src/CMakeFiles/nu_update.dir/update/migration.cc.o.d"
+  "/root/repo/src/update/planner.cc" "src/CMakeFiles/nu_update.dir/update/planner.cc.o" "gcc" "src/CMakeFiles/nu_update.dir/update/planner.cc.o.d"
+  "/root/repo/src/update/transition.cc" "src/CMakeFiles/nu_update.dir/update/transition.cc.o" "gcc" "src/CMakeFiles/nu_update.dir/update/transition.cc.o.d"
+  "/root/repo/src/update/update_event.cc" "src/CMakeFiles/nu_update.dir/update/update_event.cc.o" "gcc" "src/CMakeFiles/nu_update.dir/update/update_event.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nu_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

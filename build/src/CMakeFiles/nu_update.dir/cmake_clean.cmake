@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nu_update.dir/update/cost_estimate.cc.o"
+  "CMakeFiles/nu_update.dir/update/cost_estimate.cc.o.d"
+  "CMakeFiles/nu_update.dir/update/event_generator.cc.o"
+  "CMakeFiles/nu_update.dir/update/event_generator.cc.o.d"
+  "CMakeFiles/nu_update.dir/update/migration.cc.o"
+  "CMakeFiles/nu_update.dir/update/migration.cc.o.d"
+  "CMakeFiles/nu_update.dir/update/planner.cc.o"
+  "CMakeFiles/nu_update.dir/update/planner.cc.o.d"
+  "CMakeFiles/nu_update.dir/update/transition.cc.o"
+  "CMakeFiles/nu_update.dir/update/transition.cc.o.d"
+  "CMakeFiles/nu_update.dir/update/update_event.cc.o"
+  "CMakeFiles/nu_update.dir/update/update_event.cc.o.d"
+  "libnu_update.a"
+  "libnu_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nu_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

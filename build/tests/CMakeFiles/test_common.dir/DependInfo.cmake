@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/check_test.cc" "tests/CMakeFiles/test_common.dir/common/check_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/check_test.cc.o.d"
+  "/root/repo/tests/common/csv_test.cc" "tests/CMakeFiles/test_common.dir/common/csv_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/csv_test.cc.o.d"
+  "/root/repo/tests/common/flags_test.cc" "tests/CMakeFiles/test_common.dir/common/flags_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/flags_test.cc.o.d"
+  "/root/repo/tests/common/histogram_test.cc" "tests/CMakeFiles/test_common.dir/common/histogram_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/histogram_test.cc.o.d"
+  "/root/repo/tests/common/logging_test.cc" "tests/CMakeFiles/test_common.dir/common/logging_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/logging_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/CMakeFiles/test_common.dir/common/rng_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/CMakeFiles/test_common.dir/common/stats_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cc.o.d"
+  "/root/repo/tests/common/table_test.cc" "tests/CMakeFiles/test_common.dir/common/table_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/table_test.cc.o.d"
+  "/root/repo/tests/common/types_test.cc" "tests/CMakeFiles/test_common.dir/common/types_test.cc.o" "gcc" "tests/CMakeFiles/test_common.dir/common/types_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nu_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_consistent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/common/check_test.cc.o"
+  "CMakeFiles/test_common.dir/common/check_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/csv_test.cc.o"
+  "CMakeFiles/test_common.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/flags_test.cc.o"
+  "CMakeFiles/test_common.dir/common/flags_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/histogram_test.cc.o"
+  "CMakeFiles/test_common.dir/common/histogram_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/logging_test.cc.o"
+  "CMakeFiles/test_common.dir/common/logging_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/rng_test.cc.o"
+  "CMakeFiles/test_common.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/stats_test.cc.o"
+  "CMakeFiles/test_common.dir/common/stats_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/table_test.cc.o"
+  "CMakeFiles/test_common.dir/common/table_test.cc.o.d"
+  "CMakeFiles/test_common.dir/common/types_test.cc.o"
+  "CMakeFiles/test_common.dir/common/types_test.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consistent.dir/consistent/migration_bridge_test.cc.o"
+  "CMakeFiles/test_consistent.dir/consistent/migration_bridge_test.cc.o.d"
+  "CMakeFiles/test_consistent.dir/consistent/rule_table_test.cc.o"
+  "CMakeFiles/test_consistent.dir/consistent/rule_table_test.cc.o.d"
+  "CMakeFiles/test_consistent.dir/consistent/two_phase_test.cc.o"
+  "CMakeFiles/test_consistent.dir/consistent/two_phase_test.cc.o.d"
+  "test_consistent"
+  "test_consistent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

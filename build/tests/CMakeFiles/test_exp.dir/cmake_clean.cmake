@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exp.dir/exp/runner_test.cc.o"
+  "CMakeFiles/test_exp.dir/exp/runner_test.cc.o.d"
+  "CMakeFiles/test_exp.dir/exp/workload_test.cc.o"
+  "CMakeFiles/test_exp.dir/exp/workload_test.cc.o.d"
+  "test_exp"
+  "test_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

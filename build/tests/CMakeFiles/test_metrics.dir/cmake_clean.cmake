@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics.dir/metrics/collector_test.cc.o"
+  "CMakeFiles/test_metrics.dir/metrics/collector_test.cc.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/export_test.cc.o"
+  "CMakeFiles/test_metrics.dir/metrics/export_test.cc.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/fairness_test.cc.o"
+  "CMakeFiles/test_metrics.dir/metrics/fairness_test.cc.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/gantt_test.cc.o"
+  "CMakeFiles/test_metrics.dir/metrics/gantt_test.cc.o.d"
+  "CMakeFiles/test_metrics.dir/metrics/report_test.cc.o"
+  "CMakeFiles/test_metrics.dir/metrics/report_test.cc.o.d"
+  "test_metrics"
+  "test_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

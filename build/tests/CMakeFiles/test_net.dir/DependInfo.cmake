@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/admission_test.cc" "tests/CMakeFiles/test_net.dir/net/admission_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/admission_test.cc.o.d"
+  "/root/repo/tests/net/fabric_test.cc" "tests/CMakeFiles/test_net.dir/net/fabric_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/fabric_test.cc.o.d"
+  "/root/repo/tests/net/network_test.cc" "tests/CMakeFiles/test_net.dir/net/network_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/network_test.cc.o.d"
+  "/root/repo/tests/net/snapshot_test.cc" "tests/CMakeFiles/test_net.dir/net/snapshot_test.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/net/snapshot_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/nu_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_consistent.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/nu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/graph_property_test.cc.o"
+  "CMakeFiles/test_property.dir/property/graph_property_test.cc.o.d"
+  "CMakeFiles/test_property.dir/property/migration_property_test.cc.o"
+  "CMakeFiles/test_property.dir/property/migration_property_test.cc.o.d"
+  "CMakeFiles/test_property.dir/property/simulator_property_test.cc.o"
+  "CMakeFiles/test_property.dir/property/simulator_property_test.cc.o.d"
+  "test_property"
+  "test_property.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

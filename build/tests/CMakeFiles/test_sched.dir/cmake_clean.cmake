@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/flow_level_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/flow_level_test.cc.o.d"
+  "CMakeFiles/test_sched.dir/sched/schedulers_test.cc.o"
+  "CMakeFiles/test_sched.dir/sched/schedulers_test.cc.o.d"
+  "test_sched"
+  "test_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

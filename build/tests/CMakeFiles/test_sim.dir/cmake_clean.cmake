@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/churn_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/churn_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/cost_model_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/cost_model_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/event_queue_test.cc.o.d"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/test_sim.dir/sim/simulator_test.cc.o.d"
+  "test_sim"
+  "test_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

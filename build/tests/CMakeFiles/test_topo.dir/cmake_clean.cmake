@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topo.dir/topo/fat_tree_test.cc.o"
+  "CMakeFiles/test_topo.dir/topo/fat_tree_test.cc.o.d"
+  "CMakeFiles/test_topo.dir/topo/graph_test.cc.o"
+  "CMakeFiles/test_topo.dir/topo/graph_test.cc.o.d"
+  "CMakeFiles/test_topo.dir/topo/ksp_test.cc.o"
+  "CMakeFiles/test_topo.dir/topo/ksp_test.cc.o.d"
+  "CMakeFiles/test_topo.dir/topo/leaf_spine_test.cc.o"
+  "CMakeFiles/test_topo.dir/topo/leaf_spine_test.cc.o.d"
+  "CMakeFiles/test_topo.dir/topo/path_provider_test.cc.o"
+  "CMakeFiles/test_topo.dir/topo/path_provider_test.cc.o.d"
+  "CMakeFiles/test_topo.dir/topo/shortest_path_test.cc.o"
+  "CMakeFiles/test_topo.dir/topo/shortest_path_test.cc.o.d"
+  "test_topo"
+  "test_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/background_test.cc.o"
+  "CMakeFiles/test_trace.dir/trace/background_test.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/distributions_test.cc.o"
+  "CMakeFiles/test_trace.dir/trace/distributions_test.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/generators_test.cc.o"
+  "CMakeFiles/test_trace.dir/trace/generators_test.cc.o.d"
+  "CMakeFiles/test_trace.dir/trace/trace_loader_test.cc.o"
+  "CMakeFiles/test_trace.dir/trace/trace_loader_test.cc.o.d"
+  "test_trace"
+  "test_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_update.dir/update/cost_estimate_test.cc.o"
+  "CMakeFiles/test_update.dir/update/cost_estimate_test.cc.o.d"
+  "CMakeFiles/test_update.dir/update/event_generator_test.cc.o"
+  "CMakeFiles/test_update.dir/update/event_generator_test.cc.o.d"
+  "CMakeFiles/test_update.dir/update/migration_test.cc.o"
+  "CMakeFiles/test_update.dir/update/migration_test.cc.o.d"
+  "CMakeFiles/test_update.dir/update/planner_test.cc.o"
+  "CMakeFiles/test_update.dir/update/planner_test.cc.o.d"
+  "CMakeFiles/test_update.dir/update/transition_test.cc.o"
+  "CMakeFiles/test_update.dir/update/transition_test.cc.o.d"
+  "CMakeFiles/test_update.dir/update/update_event_test.cc.o"
+  "CMakeFiles/test_update.dir/update/update_event_test.cc.o.d"
+  "test_update"
+  "test_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
