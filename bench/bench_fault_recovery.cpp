@@ -1,0 +1,100 @@
+// Robustness bench — fault injection & recovery. A fixed random plan of
+// fabric-link outages plus a sweep of the flaky-install failure probability,
+// run through the event-level schedulers. Reports how ECT and makespan
+// degrade with fault intensity and what the recovery machinery did about it
+// (retries, aborts+rollbacks, replans, per-flow recovery latency).
+//
+// Run:  ./bench_fault_recovery [--trials=N]
+#include <vector>
+
+#include "bench_common.h"
+#include "exp/runner.h"
+#include "fault/fault_plan.h"
+
+using namespace nu;
+
+namespace {
+
+exp::ExperimentConfig BaseConfig(std::uint64_t seed) {
+  exp::ExperimentConfig config;
+  config.fat_tree_k = 4;
+  config.utilization = 0.6;
+  config.event_count = 20;
+  config.min_flows_per_event = 5;
+  config.max_flows_per_event = 40;
+  config.alpha = 4;
+  config.background_churn = true;
+  config.seed = seed;
+  return config;
+}
+
+metrics::Report RunPoint(double flaky_p, sched::SchedulerKind kind,
+                         std::size_t trials) {
+  std::vector<metrics::Report> reports;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    exp::ExperimentConfig config = BaseConfig(23000 + trial);
+    {
+      // Sample victim cables from the workload's own graph; rebuilding the
+      // workload from the same seed below reproduces that graph exactly.
+      const exp::Workload probe(config);
+      Rng fault_rng(config.seed ^ 0xFA17ULL);
+      fault::RandomLinkFaultOptions outages;
+      outages.failures = 3;
+      outages.first_failure = 1.0;
+      outages.spacing = 2.0;
+      outages.outage = 4.0;
+      config.sim.faults.plan = fault::MakeRandomLinkFaultPlan(
+          probe.network().graph(), outages, fault_rng);
+    }
+    config.sim.faults.flaky.failure_probability = flaky_p;
+    config.sim.faults.flaky.latency_jitter_frac = 0.2;
+    config.sim.faults.retry.max_attempts = 4;
+    config.sim.faults.retry.base_delay = 0.05;
+
+    const exp::Workload workload(config);
+    reports.push_back(exp::RunScheduler(workload, kind).report);
+  }
+  return exp::MeanReport(reports);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintHeader(
+      "Robustness: fault injection & recovery",
+      "4-pod Fat-Tree, 20 events, 3 random fabric-link outages (4 s each), "
+      "flaky-install probability sweep, churn on");
+  const std::size_t trials = bench::ArgOr(argc, argv, "trials", 3);
+
+  AsciiTable table({"flaky p", "scheduler", "avg ECT (s)", "makespan (s)",
+                    "attempts", "retried", "aborted", "replanned", "killed",
+                    "rec mean (s)", "rec p99 (s)"});
+  const std::vector<double> probabilities{0.0, 0.1, 0.3, 0.5};
+  const std::vector<sched::SchedulerKind> kinds{sched::SchedulerKind::kFifo,
+                                                sched::SchedulerKind::kLmtf,
+                                                sched::SchedulerKind::kPlmtf};
+  for (double p : probabilities) {
+    for (sched::SchedulerKind kind : kinds) {
+      const metrics::Report r = RunPoint(p, kind, trials);
+      table.Row()
+          .Cell(p, 1)
+          .Cell(std::string(sched::ToString(kind)))
+          .Cell(r.avg_ect, 1)
+          .Cell(r.makespan, 1)
+          .Cell(r.installs_attempted)
+          .Cell(r.installs_retried)
+          .Cell(r.events_aborted)
+          .Cell(r.events_replanned)
+          .Cell(r.flows_killed)
+          .Cell(r.recovery_latency_mean, 2)
+          .Cell(r.recovery_latency_p99, 2);
+    }
+  }
+  table.Print();
+  bench::PrintFooter(
+      "ECT and makespan grow with flaky probability (retry backoff + aborted "
+      "rounds); retried/aborted counters scale with p while replans/kills "
+      "stay fixed by the outage plan; recovery latency stays bounded because "
+      "victims re-plan immediately on surviving paths");
+  return 0;
+}

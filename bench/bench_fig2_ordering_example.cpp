@@ -53,7 +53,10 @@ int main() {
 
   std::vector<update::UpdateEvent> events;
   for (std::uint64_t i = 0; i < 3; ++i) {
-    std::vector<flow::Flow> flows(3 + i, UnitFlow());
+    // Explicit fill: the vector(n, value) constructor trips a GCC 12
+    // -Wstringop-overflow false positive at -O3.
+    std::vector<flow::Flow> flows;
+    for (std::uint64_t f = 0; f < 3 + i; ++f) flows.push_back(UnitFlow());
     events.emplace_back(EventId{i}, 0.0, std::move(flows));
   }
 

@@ -1,0 +1,36 @@
+#include "common/retry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nu {
+
+Seconds RetryPolicy::NominalDelay(std::size_t failure) const {
+  NU_EXPECTS(failure >= 1);
+  NU_EXPECTS(base_delay >= 0.0);
+  NU_EXPECTS(backoff_factor >= 1.0);
+  Seconds delay = base_delay;
+  for (std::size_t i = 1; i < failure; ++i) {
+    delay *= backoff_factor;
+    if (delay >= max_delay) break;
+  }
+  return std::min(delay, max_delay);
+}
+
+Seconds RetryPolicy::MinDelay(std::size_t failure) const {
+  return NominalDelay(failure) * (1.0 - jitter_frac);
+}
+
+Seconds RetryPolicy::MaxDelay(std::size_t failure) const {
+  return NominalDelay(failure) * (1.0 + jitter_frac);
+}
+
+Seconds RetryPolicy::BackoffDelay(std::size_t failure, Rng& rng) const {
+  NU_EXPECTS(jitter_frac >= 0.0 && jitter_frac <= 1.0);
+  const Seconds nominal = NominalDelay(failure);
+  const double spread = 1.0 - jitter_frac + 2.0 * jitter_frac * rng.Uniform01();
+  return nominal * spread;
+}
+
+}  // namespace nu

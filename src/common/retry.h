@@ -1,0 +1,48 @@
+// Bounded-retry policy with exponential backoff and deterministic jitter.
+//
+// Used wherever a data-plane operation can fail transiently (rule installs
+// under the fault model, future RPC layers): the caller samples a backoff
+// delay per failed attempt through an explicitly seeded Rng, so retry timing
+// is bit-reproducible for a fixed seed. Jitter is multiplicative and
+// bounded — MinDelay/MaxDelay give the exact envelope, which the tests pin.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace nu {
+
+struct RetryPolicy {
+  /// Total attempts allowed, including the first try. 1 = no retries.
+  std::size_t max_attempts = 4;
+  /// Backoff before the first retry (seconds).
+  Seconds base_delay = 0.05;
+  /// Multiplier applied per additional failure.
+  double backoff_factor = 2.0;
+  /// Ceiling on the un-jittered backoff (seconds).
+  Seconds max_delay = 2.0;
+  /// Jitter fraction j: the sampled delay is uniform in
+  /// [nominal * (1 - j), nominal * (1 + j)). Must be in [0, 1].
+  double jitter_frac = 0.1;
+
+  /// True when `attempt` (1-based) may be followed by another try.
+  [[nodiscard]] bool AllowsRetryAfter(std::size_t attempt) const {
+    return attempt < max_attempts;
+  }
+
+  /// Un-jittered backoff after the `failure`-th consecutive failure
+  /// (1-based): min(max_delay, base_delay * backoff_factor^(failure-1)).
+  [[nodiscard]] Seconds NominalDelay(std::size_t failure) const;
+
+  /// Tight bounds on BackoffDelay(failure, rng) over all rng states.
+  [[nodiscard]] Seconds MinDelay(std::size_t failure) const;
+  [[nodiscard]] Seconds MaxDelay(std::size_t failure) const;
+
+  /// Jittered backoff after the `failure`-th consecutive failure. Draws
+  /// exactly one uniform variate from `rng`; deterministic per seed.
+  [[nodiscard]] Seconds BackoffDelay(std::size_t failure, Rng& rng) const;
+};
+
+}  // namespace nu

@@ -93,6 +93,27 @@ std::vector<RuleOp> PlanDirectReroute(FlowId flow, const topo::Path& old_path,
   return ops;
 }
 
+bool CanRollback(const std::vector<RuleOp>& ops, std::size_t applied) {
+  NU_EXPECTS(applied <= ops.size());
+  for (std::size_t i = 0; i < applied; ++i) {
+    if (ops[i].kind != RuleOpKind::kInstall) return false;
+  }
+  return true;
+}
+
+std::vector<RuleOp> PlanRollback(const std::vector<RuleOp>& ops,
+                                 std::size_t applied) {
+  NU_EXPECTS(CanRollback(ops, applied));
+  std::vector<RuleOp> undo;
+  undo.reserve(applied);
+  for (std::size_t i = applied; i > 0; --i) {
+    const RuleOp& op = ops[i - 1];
+    undo.push_back(RuleOp{RuleOpKind::kRemove, op.sw, op.flow, op.version,
+                          LinkId::invalid()});
+  }
+  return undo;
+}
+
 Seconds ScheduleDuration(const std::vector<RuleOp>& ops, Seconds per_op) {
   NU_EXPECTS(per_op >= 0.0);
   return per_op * static_cast<double>(ops.size());

@@ -61,6 +61,22 @@ void ApplyAll(RuleTable& rules, std::vector<RuleOp> const& ops);
                                                     const topo::Path& new_path,
                                                     Version version);
 
+/// Abort rollback for a partially executed schedule: ops that undo the first
+/// `applied` ops, restoring the pre-update rule table. Only valid BEFORE the
+/// ingress flip — the flip is the commit point of a two-phase update; every
+/// op in the applied prefix must be a kInstall (phase 1). Past the flip the
+/// correct recovery is to roll FORWARD (apply the remaining ops), never back.
+/// Emitted in reverse application order, each op per-packet safe: the new
+/// version's rules are unreachable until the flip, so removing them never
+/// touches a live packet.
+[[nodiscard]] std::vector<RuleOp> PlanRollback(const std::vector<RuleOp>& ops,
+                                               std::size_t applied);
+
+/// True when aborting after `applied` ops may still roll back (no commit
+/// point — ingress flip — inside the applied prefix).
+[[nodiscard]] bool CanRollback(const std::vector<RuleOp>& ops,
+                               std::size_t applied);
+
 /// Wall-clock duration of a schedule at `per_op` seconds per rule op —
 /// connects this module to sim::CostModel's install-time abstraction.
 [[nodiscard]] Seconds ScheduleDuration(const std::vector<RuleOp>& ops,

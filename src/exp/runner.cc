@@ -52,6 +52,15 @@ metrics::Report MeanReport(std::span<const metrics::Report> reports) {
     mean.total_plan_time += r.total_plan_time;
     mean.makespan += r.makespan;
     mean.total_deferred_flows += r.total_deferred_flows;
+    mean.installs_attempted += r.installs_attempted;
+    mean.installs_retried += r.installs_retried;
+    mean.installs_failed += r.installs_failed;
+    mean.events_aborted += r.events_aborted;
+    mean.events_replanned += r.events_replanned;
+    mean.flows_killed += r.flows_killed;
+    mean.recovery_latency_mean += r.recovery_latency_mean;
+    mean.recovery_latency_p99 += r.recovery_latency_p99;
+    mean.recovery_latency_max += r.recovery_latency_max;
   }
   const auto n = static_cast<double>(reports.size());
   mean.event_count = reports.front().event_count;
@@ -63,6 +72,15 @@ metrics::Report MeanReport(std::span<const metrics::Report> reports) {
   mean.total_plan_time /= n;
   mean.makespan /= n;
   mean.total_deferred_flows /= reports.size();
+  mean.installs_attempted /= reports.size();
+  mean.installs_retried /= reports.size();
+  mean.installs_failed /= reports.size();
+  mean.events_aborted /= reports.size();
+  mean.events_replanned /= reports.size();
+  mean.flows_killed /= reports.size();
+  mean.recovery_latency_mean /= n;
+  mean.recovery_latency_p99 /= n;
+  mean.recovery_latency_max /= n;
   return mean;
 }
 

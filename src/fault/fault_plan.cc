@@ -1,0 +1,110 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace nu::fault {
+
+const char* ToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      return "link-down";
+    case FaultKind::kLinkUp:
+      return "link-up";
+    case FaultKind::kSwitchDown:
+      return "switch-down";
+    case FaultKind::kSwitchUp:
+      return "switch-up";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::Add(FaultSpec spec) {
+  NU_EXPECTS(spec.time >= 0.0);
+  NU_EXPECTS(spec.IsLinkFault() ? spec.link.valid() : spec.node.valid());
+  // Insert before the first later spec: stable order for equal times.
+  const auto it = std::upper_bound(
+      specs_.begin(), specs_.end(), spec.time,
+      [](Seconds t, const FaultSpec& s) { return t < s.time; });
+  specs_.insert(it, spec);
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddLinkDown(Seconds time, LinkId link) {
+  return Add(FaultSpec{time, FaultKind::kLinkDown, link, NodeId::invalid()});
+}
+
+FaultPlan& FaultPlan::AddLinkUp(Seconds time, LinkId link) {
+  return Add(FaultSpec{time, FaultKind::kLinkUp, link, NodeId::invalid()});
+}
+
+FaultPlan& FaultPlan::AddLinkOutage(Seconds time, Seconds outage,
+                                    LinkId link) {
+  AddLinkDown(time, link);
+  if (outage > 0.0) AddLinkUp(time + outage, link);
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddSwitchDown(Seconds time, NodeId node) {
+  return Add(FaultSpec{time, FaultKind::kSwitchDown, LinkId::invalid(), node});
+}
+
+FaultPlan& FaultPlan::AddSwitchUp(Seconds time, NodeId node) {
+  return Add(FaultSpec{time, FaultKind::kSwitchUp, LinkId::invalid(), node});
+}
+
+FaultPlan& FaultPlan::AddSwitchOutage(Seconds time, Seconds outage,
+                                      NodeId node) {
+  AddSwitchDown(time, node);
+  if (outage > 0.0) AddSwitchUp(time + outage, node);
+  return *this;
+}
+
+std::string FaultPlan::DebugString() const {
+  std::ostringstream os;
+  os << "fault-plan{";
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& s = specs_[i];
+    if (i > 0) os << ", ";
+    os << "t=" << s.time << " " << ToString(s.kind) << " ";
+    if (s.IsLinkFault()) {
+      os << "link " << s.link;
+    } else {
+      os << "node " << s.node;
+    }
+  }
+  os << "}";
+  return os.str();
+}
+
+FaultPlan MakeRandomLinkFaultPlan(const topo::Graph& graph,
+                                  const RandomLinkFaultOptions& options,
+                                  Rng& rng) {
+  // Candidate cables: one direction per pair (skip the reverse twin so a
+  // cable is sampled once), optionally fabric-only.
+  std::vector<LinkId> candidates;
+  for (const topo::Link& l : graph.links()) {
+    if (options.fabric_only &&
+        (graph.node(l.src).role == topo::NodeRole::kHost ||
+         graph.node(l.dst).role == topo::NodeRole::kHost)) {
+      continue;
+    }
+    const LinkId reverse = graph.FindLink(l.dst, l.src);
+    if (reverse.valid() && reverse < l.id) continue;  // twin already listed
+    candidates.push_back(l.id);
+  }
+  FaultPlan plan;
+  if (candidates.empty()) return plan;
+  const std::size_t count = std::min(options.failures, candidates.size());
+  const auto picks = rng.SampleWithoutReplacement(candidates.size(), count);
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    const Seconds at =
+        options.first_failure + static_cast<double>(i) * options.spacing;
+    plan.AddLinkOutage(at, options.outage, candidates[picks[i]]);
+  }
+  return plan;
+}
+
+}  // namespace nu::fault

@@ -1,0 +1,118 @@
+// Deterministic fault schedules. A FaultPlan is a time-ordered list of
+// data-plane incidents — cable (link) down/up, switch down/up — plus the
+// probabilistic flaky-install model that makes rule installations fallible.
+// Plans are plain data: building one draws nothing from any Rng unless the
+// random-plan helper is used, and that helper consumes an explicit Rng, so
+// a (plan, seed) pair reproduces a run bit-for-bit.
+//
+// The paper motivates update events with "network failures" as a
+// first-class trigger; this module supplies the failure side of that story
+// so the schedulers can be exercised under the conditions they exist for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/retry.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "topo/graph.h"
+
+namespace nu::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkDown,
+  kLinkUp,
+  kSwitchDown,
+  kSwitchUp,
+};
+
+[[nodiscard]] const char* ToString(FaultKind kind);
+
+/// One scheduled incident. Link faults name the forward direction of a
+/// cable; the injector takes down/up both directions (a cable failure kills
+/// both, as with topo::LinkAvoidingPathProvider).
+struct FaultSpec {
+  Seconds time = 0.0;
+  FaultKind kind = FaultKind::kLinkDown;
+  LinkId link;  // kLinkDown / kLinkUp
+  NodeId node;  // kSwitchDown / kSwitchUp
+
+  [[nodiscard]] bool IsLinkFault() const {
+    return kind == FaultKind::kLinkDown || kind == FaultKind::kLinkUp;
+  }
+  [[nodiscard]] bool IsDown() const {
+    return kind == FaultKind::kLinkDown || kind == FaultKind::kSwitchDown;
+  }
+};
+
+/// Probabilistic model of an unreliable rule-install pipeline: each install
+/// attempt independently fails with `failure_probability`, and each
+/// attempt's latency is stretched by a uniform factor in
+/// [1, 1 + latency_jitter_frac).
+struct FlakyInstallModel {
+  double failure_probability = 0.0;
+  double latency_jitter_frac = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return failure_probability > 0.0 || latency_jitter_frac > 0.0;
+  }
+};
+
+/// A time-sorted incident schedule. Add* keeps specs sorted by time (stable
+/// for equal times, preserving insertion order — deterministic replay).
+class FaultPlan {
+ public:
+  FaultPlan& AddLinkDown(Seconds time, LinkId link);
+  FaultPlan& AddLinkUp(Seconds time, LinkId link);
+  /// Down at `time`, back up at `time + outage`.
+  FaultPlan& AddLinkOutage(Seconds time, Seconds outage, LinkId link);
+  FaultPlan& AddSwitchDown(Seconds time, NodeId node);
+  FaultPlan& AddSwitchUp(Seconds time, NodeId node);
+  FaultPlan& AddSwitchOutage(Seconds time, Seconds outage, NodeId node);
+
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+  [[nodiscard]] bool empty() const { return specs_.empty(); }
+  [[nodiscard]] std::size_t size() const { return specs_.size(); }
+
+  [[nodiscard]] std::string DebugString() const;
+
+ private:
+  FaultPlan& Add(FaultSpec spec);
+
+  std::vector<FaultSpec> specs_;
+};
+
+/// Everything the simulator needs to run under faults: the incident
+/// schedule, the flaky-install model, and the retry/backoff policy for
+/// failed installs. Disabled (the default) costs nothing on the hot path.
+struct FaultConfig {
+  FaultPlan plan;
+  FlakyInstallModel flaky;
+  RetryPolicy retry;
+
+  [[nodiscard]] bool enabled() const {
+    return !plan.empty() || flaky.enabled();
+  }
+};
+
+/// Shape of a randomly generated link-outage plan.
+struct RandomLinkFaultOptions {
+  /// Number of distinct cables to fail.
+  std::size_t failures = 2;
+  /// First failure time; subsequent failures are `spacing` apart.
+  Seconds first_failure = 1.0;
+  Seconds spacing = 2.0;
+  /// How long each cable stays down. <= 0 means it never comes back.
+  Seconds outage = 4.0;
+  /// Restrict victims to fabric links (neither endpoint a host) — host
+  /// uplinks have no alternative path, so failing one strands its flows.
+  bool fabric_only = true;
+};
+
+/// Samples `failures` distinct victim cables from `graph` via `rng` and
+/// schedules their outages. Deterministic in (graph, options, rng state).
+[[nodiscard]] FaultPlan MakeRandomLinkFaultPlan(
+    const topo::Graph& graph, const RandomLinkFaultOptions& options, Rng& rng);
+
+}  // namespace nu::fault

@@ -1,0 +1,63 @@
+#include "fault/flaky_apply.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nu::fault {
+
+FlakyApplyResult ApplyWithFaults(consistent::RuleTable& rules,
+                                 const std::vector<consistent::RuleOp>& ops,
+                                 const FlakyInstallModel& flaky,
+                                 const RetryPolicy& retry, Rng& rng,
+                                 Seconds per_op) {
+  NU_EXPECTS(flaky.failure_probability >= 0.0 &&
+             flaky.failure_probability < 1.0);
+  NU_EXPECTS(per_op >= 0.0);
+  const std::size_t max_attempts = std::max<std::size_t>(1,
+                                                         retry.max_attempts);
+  FlakyApplyResult result;
+  for (const consistent::RuleOp& op : ops) {
+    if (op.kind != consistent::RuleOpKind::kInstall) {
+      // Flips are controller-local (atomic version stamp); removes are
+      // garbage collection — neither can strand the update.
+      consistent::Apply(rules, op);
+      ++result.applied_ops;
+      result.elapsed += per_op;
+      continue;
+    }
+    bool installed = false;
+    for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+      ++result.attempts;
+      if (attempt > 1) ++result.retries;
+      result.elapsed += per_op;
+      if (!rng.Bernoulli(flaky.failure_probability)) {
+        consistent::Apply(rules, op);
+        ++result.applied_ops;
+        installed = true;
+        break;
+      }
+      if (attempt < max_attempts) {
+        result.elapsed += retry.BackoffDelay(attempt, rng);
+      }
+    }
+    if (installed) continue;
+
+    // Exhausted. Before the flip: undo the applied prefix. After: roll
+    // forward — retrying forever beats leaving mixed state, and in this
+    // model only installs fail, so the remaining flip/removes succeed.
+    if (consistent::CanRollback(ops, result.applied_ops)) {
+      const auto undo = consistent::PlanRollback(ops, result.applied_ops);
+      consistent::ApplyAll(rules, undo);
+      result.elapsed += per_op * static_cast<double>(undo.size());
+      result.rolled_back = true;
+      return result;
+    }
+    consistent::Apply(rules, op);  // forced through on the final state
+    ++result.applied_ops;
+  }
+  result.committed = true;
+  return result;
+}
+
+}  // namespace nu::fault

@@ -1,0 +1,45 @@
+// Drives a consistent-update rule schedule through the flaky-install model:
+// each kInstall op may fail and is retried under the RetryPolicy; exhausting
+// the retries before the commit point (ingress flip) aborts the update and
+// rolls the partially installed new-version rules back, leaving the table
+// exactly as it was. Past the commit point recovery rolls FORWARD. Flip and
+// remove ops are controller-local/garbage-collection actions and never fail.
+//
+// This grounds the simulator's abstract "install failed, roll back the
+// batch" transition in the concrete two-phase machinery, where the tests
+// verify per-packet consistency at every intermediate state.
+#pragma once
+
+#include <vector>
+
+#include "consistent/two_phase.h"
+#include "fault/fault_plan.h"
+
+namespace nu::fault {
+
+struct FlakyApplyResult {
+  /// True when the whole schedule was applied (possibly with retries).
+  bool committed = false;
+  /// True when the update aborted and the applied prefix was undone.
+  bool rolled_back = false;
+  /// Total install attempts, counting retries.
+  std::size_t attempts = 0;
+  /// Retries alone (attempts beyond each op's first).
+  std::size_t retries = 0;
+  /// Schedule ops successfully applied (pre-rollback count on abort).
+  std::size_t applied_ops = 0;
+  /// Wall-clock spent, at `per_op` seconds per attempted op plus backoff
+  /// waits (rollback removals included).
+  Seconds elapsed = 0.0;
+};
+
+/// Applies `ops` to `rules` under the flaky model. `rng` drives both the
+/// failure draws and the backoff jitter — a fixed state reproduces the
+/// outcome exactly. `per_op` prices each attempted or rollback op.
+FlakyApplyResult ApplyWithFaults(consistent::RuleTable& rules,
+                                 const std::vector<consistent::RuleOp>& ops,
+                                 const FlakyInstallModel& flaky,
+                                 const RetryPolicy& retry, Rng& rng,
+                                 Seconds per_op = 0.0);
+
+}  // namespace nu::fault

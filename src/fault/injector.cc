@@ -1,0 +1,88 @@
+#include "fault/injector.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nu::fault {
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+InstallTrial FaultInjector::SampleInstall(Seconds attempt_latency) {
+  NU_EXPECTS(attempt_latency >= 0.0);
+  const FlakyInstallModel& flaky = config_.flaky;
+  InstallTrial trial;
+  if (!flaky.enabled()) return trial;
+  NU_EXPECTS(flaky.failure_probability >= 0.0 &&
+             flaky.failure_probability < 1.0);
+
+  const std::size_t max_attempts = std::max<std::size_t>(
+      1, config_.retry.max_attempts);
+  for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    const double factor =
+        1.0 + flaky.latency_jitter_frac * rng_.Uniform01();
+    if (!rng_.Bernoulli(flaky.failure_probability)) {
+      trial.attempts = attempt;
+      trial.latency_factor = factor;
+      return trial;
+    }
+    // Failed attempt: its (jittered) latency is spent, then the backoff.
+    trial.wasted_delay += attempt_latency * factor;
+    if (attempt < max_attempts) {
+      trial.wasted_delay += config_.retry.BackoffDelay(attempt, rng_);
+    }
+  }
+  trial.attempts = max_attempts;
+  trial.success = false;
+  return trial;
+}
+
+namespace {
+
+/// Links whose failure strands flows under `spec`.
+std::vector<LinkId> DeadLinks(const net::Network& network,
+                              const FaultSpec& spec) {
+  const topo::Graph& graph = network.graph();
+  std::vector<LinkId> links;
+  if (spec.IsLinkFault()) {
+    links.push_back(spec.link);
+    const topo::Link& l = graph.link(spec.link);
+    const LinkId reverse = graph.FindLink(l.dst, l.src);
+    if (reverse.valid()) links.push_back(reverse);
+  } else {
+    for (LinkId lid : graph.OutLinks(spec.node)) links.push_back(lid);
+    for (LinkId lid : graph.InLinks(spec.node)) links.push_back(lid);
+  }
+  return links;
+}
+
+}  // namespace
+
+std::vector<FlowId> AffectedFlows(const net::Network& network,
+                                  const FaultSpec& spec) {
+  if (!spec.IsDown()) return {};
+  std::vector<FlowId> affected;
+  for (LinkId lid : DeadLinks(network, spec)) {
+    for (FlowId fid : network.FlowsOnLink(lid)) affected.push_back(fid);
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  return affected;
+}
+
+void ApplyFaultState(net::Network& network, const FaultSpec& spec) {
+  const bool up = !spec.IsDown();
+  if (spec.IsLinkFault()) {
+    const topo::Graph& graph = network.graph();
+    network.SetLinkUp(spec.link, up);
+    const topo::Link& l = graph.link(spec.link);
+    const LinkId reverse = graph.FindLink(l.dst, l.src);
+    if (reverse.valid()) network.SetLinkUp(reverse, up);
+  } else {
+    network.SetNodeUp(spec.node, up);
+  }
+}
+
+}  // namespace nu::fault

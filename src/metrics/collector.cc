@@ -47,6 +47,34 @@ void Collector::OnCompletion(EventId event, Seconds time) {
   record.completion = time;
 }
 
+void Collector::OnInstallBatch(std::size_t attempts, bool failed) {
+  NU_EXPECTS(attempts >= 1);
+  fault_stats_.installs_attempted += attempts;
+  fault_stats_.installs_retried += attempts - 1;
+  if (failed) ++fault_stats_.installs_failed;
+}
+
+void Collector::OnInstallAborted(EventId event) {
+  ++Find(event).aborts;
+  ++fault_stats_.events_aborted;
+}
+
+void Collector::OnEventReplanned(EventId event) {
+  ++Find(event).replans;
+  ++fault_stats_.events_replanned;
+}
+
+void Collector::OnFault(bool link_fault) {
+  link_fault ? ++fault_stats_.link_failures : ++fault_stats_.switch_failures;
+}
+
+void Collector::OnFlowKilled() { ++fault_stats_.flows_killed; }
+
+void Collector::OnRecovery(Seconds latency) {
+  NU_EXPECTS(latency >= 0.0);
+  fault_stats_.recovery_latency.Add(latency);
+}
+
 bool Collector::AllComplete() const {
   return std::all_of(records_.begin(), records_.end(),
                      [](const EventRecord& r) { return r.completion >= 0.0; });

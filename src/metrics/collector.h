@@ -25,11 +25,37 @@ struct EventRecord {
   std::size_t flow_count = 0;
   /// Flows that could not be placed at execution time and were deferred.
   std::size_t deferred_flows = 0;
+  /// Install batches of this event aborted after exhausting retries.
+  std::size_t aborts = 0;
+  /// Times a fault forced this event's in-flight flows back to replanning.
+  std::size_t replans = 0;
 
   /// Queuing delay: arrival -> execution start.
   [[nodiscard]] Seconds QueuingDelay() const { return exec_start - arrival; }
   /// Event completion time: arrival -> last flow done (includes queuing).
   [[nodiscard]] Seconds Ect() const { return completion - arrival; }
+};
+
+/// Run-wide fault-and-recovery counters (zero when fault injection is
+/// off). Attempt counting covers every install batch once the fault layer
+/// is active, so attempted == batches when nothing flakes.
+struct FaultStats {
+  std::size_t installs_attempted = 0;
+  std::size_t installs_retried = 0;
+  /// Batches whose retries were exhausted (each triggers an abort+rollback).
+  std::size_t installs_failed = 0;
+  /// Install-batch aborts (rolled back, flows re-deferred for replanning).
+  std::size_t events_aborted = 0;
+  /// (event, fault) replanning hits: a fault stranded in-flight flows of an
+  /// active event, which were re-planned on surviving paths.
+  std::size_t events_replanned = 0;
+  std::size_t link_failures = 0;
+  std::size_t switch_failures = 0;
+  /// Placed flows removed because a fault killed their path.
+  std::size_t flows_killed = 0;
+  /// Disruption -> successful reinstall latencies (seconds), per recovered
+  /// flow. Mean/percentiles feed the report; raw samples feed histograms.
+  Samples recovery_latency;
 };
 
 class Collector {
@@ -39,6 +65,23 @@ class Collector {
   void OnCost(EventId event, Mbps added_cost);
   void OnDeferredFlow(EventId event);
   void OnCompletion(EventId event, Seconds time);
+
+  // --- Fault lifecycle ---------------------------------------------------
+  /// One install batch went through the flaky pipeline with `attempts`
+  /// tries; `failed` when retries were exhausted.
+  void OnInstallBatch(std::size_t attempts, bool failed);
+  /// A batch of `event` aborted (rolled back) after exhausted retries.
+  void OnInstallAborted(EventId event);
+  /// A fault stranded in-flight flows of `event`; they were re-deferred.
+  void OnEventReplanned(EventId event);
+  /// A scheduled fault fired.
+  void OnFault(bool link_fault);
+  /// A placed flow was removed by a fault.
+  void OnFlowKilled();
+  /// A disrupted flow reinstalled `latency` seconds after its disruption.
+  void OnRecovery(Seconds latency);
+
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
 
   /// All records; complete once every event has a completion time.
   [[nodiscard]] const std::vector<EventRecord>& records() const {
@@ -55,6 +98,7 @@ class Collector {
   EventRecord& Find(EventId event);
 
   std::vector<EventRecord> records_;
+  FaultStats fault_stats_;
 };
 
 }  // namespace nu::metrics

@@ -10,7 +10,7 @@ void WriteRecordsCsv(std::ostream& out,
   CsvWriter writer(out);
   writer.WriteRow({"event", "arrival", "exec_start", "completion",
                    "queuing_delay", "ect", "cost", "flow_count",
-                   "deferred_flows"});
+                   "deferred_flows", "aborts", "replans"});
   for (const EventRecord& r : records) {
     writer.WriteRow({std::to_string(r.event.value()),
                      FormatDouble(r.arrival, 4), FormatDouble(r.exec_start, 4),
@@ -18,7 +18,8 @@ void WriteRecordsCsv(std::ostream& out,
                      FormatDouble(r.QueuingDelay(), 4),
                      FormatDouble(r.Ect(), 4), FormatDouble(r.cost, 2),
                      std::to_string(r.flow_count),
-                     std::to_string(r.deferred_flows)});
+                     std::to_string(r.deferred_flows),
+                     std::to_string(r.aborts), std::to_string(r.replans)});
   }
 }
 
@@ -26,7 +27,10 @@ void WriteReportCsv(std::ostream& out, const Report& report) {
   CsvWriter writer(out);
   writer.WriteRow({"events", "avg_ect", "tail_ect", "avg_qdelay",
                    "worst_qdelay", "total_cost", "plan_time", "makespan",
-                   "deferred"});
+                   "deferred", "installs_attempted", "installs_retried",
+                   "installs_failed", "events_aborted", "events_replanned",
+                   "flows_killed", "recovery_mean", "recovery_p99",
+                   "recovery_max"});
   writer.WriteRow({std::to_string(report.event_count),
                    FormatDouble(report.avg_ect, 4),
                    FormatDouble(report.tail_ect, 4),
@@ -35,7 +39,16 @@ void WriteReportCsv(std::ostream& out, const Report& report) {
                    FormatDouble(report.total_cost, 2),
                    FormatDouble(report.total_plan_time, 4),
                    FormatDouble(report.makespan, 4),
-                   std::to_string(report.total_deferred_flows)});
+                   std::to_string(report.total_deferred_flows),
+                   std::to_string(report.installs_attempted),
+                   std::to_string(report.installs_retried),
+                   std::to_string(report.installs_failed),
+                   std::to_string(report.events_aborted),
+                   std::to_string(report.events_replanned),
+                   std::to_string(report.flows_killed),
+                   FormatDouble(report.recovery_latency_mean, 4),
+                   FormatDouble(report.recovery_latency_p99, 4),
+                   FormatDouble(report.recovery_latency_max, 4)});
 }
 
 }  // namespace nu::metrics

@@ -13,12 +13,14 @@ namespace nu::metrics {
 
 /// Writes one row per event:
 ///   event,arrival,exec_start,completion,queuing_delay,ect,cost,flow_count,
-///   deferred_flows
+///   deferred_flows,aborts,replans
 void WriteRecordsCsv(std::ostream& out, std::span<const EventRecord> records);
 
 /// Writes a single-row aggregate (with header):
 ///   events,avg_ect,tail_ect,avg_qdelay,worst_qdelay,total_cost,plan_time,
-///   makespan,deferred
+///   makespan,deferred,installs_attempted,installs_retried,installs_failed,
+///   events_aborted,events_replanned,flows_killed,recovery_mean,
+///   recovery_p99,recovery_max
 void WriteReportCsv(std::ostream& out, const Report& report);
 
 }  // namespace nu::metrics

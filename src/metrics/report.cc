@@ -12,7 +12,14 @@ std::string Report::DebugString() const {
   os << "report{events=" << event_count << " avg_ect=" << avg_ect
      << " tail_ect=" << tail_ect << " avg_qdelay=" << avg_queuing_delay
      << " worst_qdelay=" << worst_queuing_delay << " cost=" << total_cost
-     << " plan_time=" << total_plan_time << " makespan=" << makespan << "}";
+     << " plan_time=" << total_plan_time << " makespan=" << makespan;
+  if (installs_attempted > 0 || flows_killed > 0) {
+    os << " installs=" << installs_attempted << "/" << installs_retried
+       << "r/" << installs_failed << "f aborted=" << events_aborted
+       << " replanned=" << events_replanned << " killed=" << flows_killed
+       << " recovery_mean=" << recovery_latency_mean;
+  }
+  os << "}";
   return os.str();
 }
 
@@ -33,6 +40,18 @@ Report BuildReport(const Collector& collector, double total_plan_time,
   for (const EventRecord& r : collector.records()) {
     report.makespan = std::max(report.makespan, r.completion);
     report.total_deferred_flows += r.deferred_flows;
+  }
+  const FaultStats& faults = collector.fault_stats();
+  report.installs_attempted = faults.installs_attempted;
+  report.installs_retried = faults.installs_retried;
+  report.installs_failed = faults.installs_failed;
+  report.events_aborted = faults.events_aborted;
+  report.events_replanned = faults.events_replanned;
+  report.flows_killed = faults.flows_killed;
+  if (!faults.recovery_latency.empty()) {
+    report.recovery_latency_mean = faults.recovery_latency.mean();
+    report.recovery_latency_p99 = faults.recovery_latency.Percentile(0.99);
+    report.recovery_latency_max = faults.recovery_latency.max();
   }
   return report;
 }

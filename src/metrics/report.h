@@ -24,6 +24,19 @@ struct Report {
   double makespan = 0.0;
   std::size_t total_deferred_flows = 0;
 
+  // Fault-and-recovery aggregates (all zero when fault injection is off);
+  // see metrics::FaultStats for the counters' exact meanings.
+  std::size_t installs_attempted = 0;
+  std::size_t installs_retried = 0;
+  std::size_t installs_failed = 0;
+  std::size_t events_aborted = 0;
+  std::size_t events_replanned = 0;
+  std::size_t flows_killed = 0;
+  /// Disruption -> reinstall latency stats (0 when nothing was disrupted).
+  double recovery_latency_mean = 0.0;
+  double recovery_latency_p99 = 0.0;
+  double recovery_latency_max = 0.0;
+
   [[nodiscard]] std::string DebugString() const;
 };
 

@@ -9,6 +9,47 @@ Network::Network(const topo::Graph& graph) : graph_(&graph) {
   residual_.reserve(graph.link_count());
   for (const topo::Link& l : graph.links()) residual_.push_back(l.capacity);
   link_flows_.resize(graph.link_count());
+  link_up_.assign(graph.link_count(), 1);
+  node_up_.assign(graph.node_count(), 1);
+}
+
+void Network::SetLinkUp(LinkId link, bool up) {
+  NU_EXPECTS(link.value() < link_up_.size());
+  char& state = link_up_[link.value()];
+  if (static_cast<bool>(state) == up) return;
+  state = up ? 1 : 0;
+  up ? --down_links_ : ++down_links_;
+  ++epoch_;
+}
+
+bool Network::LinkUp(LinkId link) const {
+  NU_EXPECTS(link.value() < link_up_.size());
+  return link_up_[link.value()] != 0;
+}
+
+void Network::SetNodeUp(NodeId node, bool up) {
+  NU_EXPECTS(node.value() < node_up_.size());
+  char& state = node_up_[node.value()];
+  if (static_cast<bool>(state) == up) return;
+  state = up ? 1 : 0;
+  up ? --down_nodes_ : ++down_nodes_;
+  ++epoch_;
+}
+
+bool Network::NodeUp(NodeId node) const {
+  NU_EXPECTS(node.value() < node_up_.size());
+  return node_up_[node.value()] != 0;
+}
+
+bool Network::PathAlive(const topo::Path& path) const {
+  if (down_links_ == 0 && down_nodes_ == 0) return true;
+  for (LinkId lid : path.links) {
+    if (!LinkUp(lid)) return false;
+  }
+  for (NodeId nid : path.nodes) {
+    if (!NodeUp(nid)) return false;
+  }
+  return true;
 }
 
 Mbps Network::Residual(LinkId link) const {
@@ -56,6 +97,7 @@ double Network::ActiveLinkUtilization() const {
 }
 
 bool Network::CanPlace(Mbps demand, const topo::Path& path) const {
+  if (!PathAlive(path)) return false;
   for (LinkId lid : path.links) {
     if (!ApproxGe(residual_[lid.value()], demand)) return false;
   }
@@ -127,6 +169,7 @@ bool Network::CanReroute(FlowId id, const topo::Path& new_path) const {
   if (new_path.source() != f.src || new_path.destination() != f.dst) {
     return false;
   }
+  if (!PathAlive(new_path)) return false;
   for (LinkId lid : new_path.links) {
     Mbps residual = residual_[lid.value()];
     if (FlowUsesLink(id, lid)) residual += f.demand;
@@ -193,6 +236,8 @@ bool Network::CheckInvariants() const {
     const flow::Flow& f = flows_.Get(FlowId{rep});
     if (!graph_->IsValidPath(path)) return false;
     if (path.source() != f.src || path.destination() != f.dst) return false;
+    // No flow may keep occupying a failed link or switch.
+    if (!PathAlive(path)) return false;
     for (LinkId lid : path.links) recomputed[lid.value()] -= f.demand;
   }
   for (std::size_t i = 0; i < residual_.size(); ++i) {

@@ -92,6 +92,35 @@ class Network {
   /// incremental values). O(V + E + flows * diameter).
   [[nodiscard]] bool CheckInvariants() const;
 
+  // --- Fault state -------------------------------------------------------
+  // Links and switches can be administratively down (fault injection). A
+  // down element revokes its capacity: no placement, reroute, or candidate
+  // path may cross it. Flows already crossing a failing element are NOT
+  // removed implicitly — the fault layer computes the victim set first and
+  // removes/replans them explicitly, so every state change stays visible.
+
+  /// Marks one directed link up or down. Idempotent; bumps the topology
+  /// epoch on an actual change.
+  void SetLinkUp(LinkId link, bool up);
+  [[nodiscard]] bool LinkUp(LinkId link) const;
+
+  /// Marks a node (switch) up or down. A down node kills every path through
+  /// it. Idempotent; bumps the topology epoch on an actual change.
+  void SetNodeUp(NodeId node, bool up);
+  [[nodiscard]] bool NodeUp(NodeId node) const;
+
+  /// True when every link and node of `path` is up. Always true while no
+  /// element is down (cheap fast path).
+  [[nodiscard]] bool PathAlive(const topo::Path& path) const;
+
+  /// Monotonic counter bumped on every up/down transition — lets path
+  /// caches (topo::PredicatePathProvider) invalidate precisely when the
+  /// live topology changes.
+  [[nodiscard]] std::uint64_t topology_epoch() const { return epoch_; }
+
+  [[nodiscard]] std::size_t down_link_count() const { return down_links_; }
+  [[nodiscard]] std::size_t down_node_count() const { return down_nodes_; }
+
   /// True when a flow with this id is placed in this network instance.
   /// Plans computed against a copy may reference flows (the planned event's
   /// own placements) that do not exist in the original.
@@ -111,6 +140,11 @@ class Network {
   std::vector<Mbps> residual_;                      // by LinkId
   std::vector<std::vector<FlowId>> link_flows_;     // by LinkId, unsorted
   std::unordered_map<FlowId::rep_type, topo::Path> placements_;
+  std::vector<char> link_up_;                       // by LinkId
+  std::vector<char> node_up_;                       // by NodeId
+  std::size_t down_links_ = 0;
+  std::size_t down_nodes_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace nu::net

@@ -4,10 +4,13 @@
 #include <deque>
 #include <limits>
 #include <numeric>
+#include <unordered_set>
 
 #include "common/logging.h"
+#include "fault/injector.h"
 #include "metrics/collector.h"
 #include "net/admission.h"
+#include "topo/path_provider.h"
 #include "update/cost_estimate.h"
 
 namespace nu::sim {
@@ -22,16 +25,26 @@ constexpr double kTimeEpsilon = 1e-9;
 ///                         spawn a replacement draw.
 ///   kInstallDone:         a batch of an event's flow installations
 ///                         finished — progress the event toward completion.
+///   kInstallAborted:      a batch exhausted its install retries — roll its
+///                         placements back and re-defer the flows.
+///   kFault:               a scheduled FaultSpec fires — flip topology state
+///                         and strand the flows crossing the dead element.
 struct Occurrence {
   enum class Kind : std::uint8_t {
     kDeparture,
     kBackgroundDeparture,
     kInstallDone,
+    kInstallAborted,
+    kFault,
   };
   Kind kind = Kind::kDeparture;
-  FlowId flow;            // departures
-  EventId event;          // event-flow departures and installs
-  std::size_t count = 0;  // kInstallDone: installs in the batch
+  FlowId flow;                 // departures
+  EventId event;               // install batches
+  std::size_t fault_index = 0;  // kFault: index into the fault plan's specs
+  /// kInstallDone / kInstallAborted: the batch's placed flow ids. Entries no
+  /// longer in the network were killed by a fault mid-install and are
+  /// skipped (flow ids are never reused).
+  std::vector<FlowId> flows;
 };
 
 /// An update event currently executing (installing flows, possibly waiting
@@ -47,6 +60,18 @@ struct ActiveEvent {
   /// Consecutive cheap-retry failures; full migration planning runs only
   /// every kMigrationRetryPeriod-th failure to keep churn retries cheap.
   std::size_t retry_failures = 0;
+
+  // --- Fault bookkeeping (maintained only when fault injection is on) ----
+  /// Placed flow id -> index into event->flows(). Lets fault handlers map a
+  /// stranded placement back to the event flow that must be replanned.
+  std::unordered_map<FlowId::rep_type, std::size_t> flow_index;
+  /// Placed ids whose installation completed (subset of flow_index keys).
+  /// Killing one of these un-installs it (decrements `installed`).
+  std::unordered_set<FlowId::rep_type> installed_ids;
+  /// Event flow index -> time of its FIRST disruption (fault kill or install
+  /// abort). Cleared — and a recovery latency recorded — when a replacement
+  /// placement finishes installing.
+  std::unordered_map<std::size_t, Seconds> pending_recovery;
 
   [[nodiscard]] bool Complete() const {
     return installed == event->flow_count();
@@ -210,7 +235,20 @@ Simulator::Simulator(const net::Network& initial,
 SimResult Simulator::Run(sched::Scheduler& scheduler,
                          std::span<const update::UpdateEvent> events) {
   net::Network network = initial_;
-  const update::EventPlanner planner(paths_, config_.migration_options,
+
+  // Fault wiring. When faults are off the planner sees the raw provider and
+  // the injector draws nothing, so a fixed-seed run is bit-identical with
+  // and without this machinery. When on, planning/placement go through an
+  // alive-paths view that re-filters whenever the topology epoch changes.
+  const bool faults_on = config_.faults.enabled();
+  const topo::PredicatePathProvider alive_paths(
+      paths_, [&network](const topo::Path& p) { return network.PathAlive(p); },
+      [&network] { return network.topology_epoch(); });
+  const topo::PathProvider& provider =
+      faults_on ? static_cast<const topo::PathProvider&>(alive_paths) : paths_;
+  fault::FaultInjector injector(config_.faults, config_.seed ^ 0xFA11ULL);
+
+  const update::EventPlanner planner(provider, config_.migration_options,
                                      config_.path_selection);
   const CostModel& costs = config_.cost_model;
   metrics::Collector collector;
@@ -227,6 +265,17 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
   Seconds now = 0.0;
   Seconds total_plan_time = 0.0;
 
+  // Every scheduled incident enters the timeline up front; the plan is
+  // already time-sorted, but the queue orders them anyway.
+  if (faults_on) {
+    const std::vector<fault::FaultSpec>& specs = config_.faults.plan.specs();
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      timeline.Push(specs[i].time,
+                    Occurrence{Occurrence::Kind::kFault, FlowId::invalid(),
+                               EventId::invalid(), i, {}});
+    }
+  }
+
   // Background churn: existing background flows end after a residual
   // lifetime (stationarity: uniform fraction of the full duration) and are
   // replaced with fresh draws at departure time.
@@ -240,7 +289,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
       if (f.origin != flow::FlowOrigin::kBackground) continue;
       timeline.Push(churn_rng.Uniform01() * f.duration,
                     Occurrence{Occurrence::Kind::kBackgroundDeparture, fid,
-                               EventId::invalid(), 0});
+                               EventId::invalid(), 0, {}});
     }
   }
 
@@ -249,7 +298,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
          attempt < config_.churn.replacement_attempts; ++attempt) {
       const trace::FlowSpec spec = churn_gen->Next();
       const auto path = trace::FindRandomPathWithHeadroom(
-          network, paths_, spec.src, spec.dst, spec.demand,
+          network, provider, spec.src, spec.dst, spec.demand,
           config_.churn.placement, churn_rng);
       if (!path.has_value()) continue;
       flow::Flow f;
@@ -261,7 +310,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
       const FlowId placed = network.Place(std::move(f), *path);
       timeline.Push(now + spec.duration,
                     Occurrence{Occurrence::Kind::kBackgroundDeparture, placed,
-                               EventId::invalid(), 0});
+                               EventId::invalid(), 0, {}});
       return;
     }
   };
@@ -276,18 +325,39 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
     }
   };
 
-  /// Schedules an install batch: flows become installed at `install_end`;
-  /// each starts transmitting then and departs after its duration.
+  /// Schedules an install batch starting at `start` with nominal rule-push
+  /// latency `nominal_install`. With a healthy pipeline the flows become
+  /// installed at start + nominal_install; each starts transmitting then and
+  /// departs after its duration. Under the flaky model the batch is run
+  /// through the injector: success stretches the latency (jitter + backoff
+  /// waits), exhaustion schedules an abort instead — its placements roll
+  /// back when the abort fires.
   auto schedule_batch = [&](ActiveEvent& ae, EventId id,
-                            std::span<const FlowId> flows,
-                            Seconds install_end) {
-    timeline.Push(install_end, Occurrence{Occurrence::Kind::kInstallDone,
-                                          FlowId::invalid(), id,
-                                          flows.size()});
+                            std::span<const FlowId> flows, Seconds start,
+                            Seconds nominal_install) {
     ++ae.batches_in_flight;
+    std::vector<FlowId> batch(flows.begin(), flows.end());
+    Seconds install_end = start + nominal_install;
+    if (faults_on) {
+      const fault::InstallTrial trial = injector.SampleInstall(nominal_install);
+      collector.OnInstallBatch(trial.attempts, !trial.success);
+      if (!trial.success) {
+        timeline.Push(start + trial.wasted_delay,
+                      Occurrence{Occurrence::Kind::kInstallAborted,
+                                 FlowId::invalid(), id, 0, std::move(batch)});
+        return;
+      }
+      install_end =
+          start + trial.wasted_delay + trial.latency_factor * nominal_install;
+    }
+    // Push order (kInstallDone first, then departures) is part of the
+    // deterministic tie-break for same-time occurrences — keep it stable.
+    timeline.Push(install_end,
+                  Occurrence{Occurrence::Kind::kInstallDone, FlowId::invalid(),
+                             id, 0, std::move(batch)});
     for (FlowId fid : flows) {
       timeline.Push(install_end + network.FlowOf(fid).duration,
-                    Occurrence{Occurrence::Kind::kDeparture, fid, id, 0});
+                    Occurrence{Occurrence::Kind::kDeparture, fid, id, 0, {}});
     }
   };
 
@@ -300,11 +370,12 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
     for (EventId id : active_order) {
       ActiveEvent& ae = active.at(id.value());
       while (!ae.deferred.empty()) {
-        const flow::Flow& f = ae.event->flows()[ae.deferred.front()];
+        const std::size_t flow_idx = ae.deferred.front();
+        const flow::Flow& f = ae.event->flows()[flow_idx];
         Mbps migrated = 0.0;
         std::optional<FlowId> placed;
-        if (auto direct = net::FindFeasiblePath(network, paths_, f.src, f.dst,
-                                                f.demand,
+        if (auto direct = net::FindFeasiblePath(network, provider, f.src,
+                                                f.dst, f.demand,
                                                 config_.path_selection)) {
           placed = network.Place(f, *direct);
           total_plan_time += costs.plan_time_per_flow;
@@ -314,11 +385,11 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         }
         if (!placed.has_value()) break;
         ae.retry_failures = 0;
+        if (faults_on) ae.flow_index.emplace(placed->value(), flow_idx);
         collector.OnCost(id, migrated);
-        const Seconds install_end =
-            now + costs.MigrationTime(migrated) + costs.InstallTime(1);
         const FlowId placed_ids[] = {*placed};
-        schedule_batch(ae, id, placed_ids, install_end);
+        schedule_batch(ae, id, placed_ids, now + costs.MigrationTime(migrated),
+                       costs.InstallTime(1));
         ae.deferred.pop_front();
       }
     }
@@ -376,12 +447,20 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         const auto [it, inserted] =
             active.emplace(event->id().value(), std::move(ae));
         NU_CHECK(inserted);
+        if (faults_on) {
+          // placed_flows is parallel to the placeable actions, in order.
+          std::size_t placed_i = 0;
+          for (const update::FlowAction& action : exec.plan.actions) {
+            if (!action.placeable) continue;
+            it->second.flow_index.emplace(
+                exec.placed_flows[placed_i].value(), action.flow_index);
+            ++placed_i;
+          }
+        }
         if (!exec.placed_flows.empty()) {
-          const Seconds install_end =
-              now + costs.MigrationTime(exec.plan.migrated_traffic) +
-              costs.InstallTime(exec.placed_flows.size());
           schedule_batch(it->second, event->id(), exec.placed_flows,
-                         install_end);
+                         now + costs.MigrationTime(exec.plan.migrated_traffic),
+                         costs.InstallTime(exec.placed_flows.size()));
         }
         for (std::size_t deferred_index : exec.deferred_flows) {
           it->second.deferred.push_back(deferred_index);
@@ -413,12 +492,18 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         ActiveEvent& ae = active.at(id.value());
         while (!ae.deferred.empty()) {
           any_deferred = true;
-          const flow::Flow& f = ae.event->flows()[ae.deferred.front()];
+          const std::size_t flow_idx = ae.deferred.front();
+          const flow::Flow& f = ae.event->flows()[flow_idx];
+          // Prefer a surviving path; only when the fault state severed the
+          // pair entirely does the forced placement fall back to the raw
+          // provider (and get reported via forced_placements).
+          const bool pair_alive = !provider.Paths(f.src, f.dst).empty();
           const topo::Path& path = net::LeastCongestedPath(
-              network, paths_, f.src, f.dst, f.demand);
+              network, pair_alive ? provider : paths_, f.src, f.dst, f.demand);
           const FlowId placed = network.ForcePlace(f, path);
+          if (faults_on) ae.flow_index.emplace(placed.value(), flow_idx);
           const FlowId placed_ids[] = {placed};
-          schedule_batch(ae, id, placed_ids, now + costs.InstallTime(1));
+          schedule_batch(ae, id, placed_ids, now, costs.InstallTime(1));
           ae.deferred.pop_front();
           ++result.forced_placements;
         }
@@ -439,23 +524,114 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
       const auto entry = timeline.Pop();
       const Occurrence& occ = entry.payload;
       if (occ.kind == Occurrence::Kind::kDeparture) {
+        // A flow killed by a fault has no bandwidth left to release; its
+        // stale departure is a no-op (flow ids are never reused).
+        if (faults_on && !network.HasFlow(occ.flow)) continue;
         network.Remove(occ.flow);
         departed = true;
         continue;
       }
       if (occ.kind == Occurrence::Kind::kBackgroundDeparture) {
+        // Killed background flows are not replaced: the churn process only
+        // replaces flows that ended naturally.
+        if (faults_on && !network.HasFlow(occ.flow)) continue;
         network.Remove(occ.flow);
         spawn_background_replacement();
         departed = true;
         continue;
       }
+      if (occ.kind == Occurrence::Kind::kFault) {
+        const fault::FaultSpec& spec =
+            config_.faults.plan.specs()[occ.fault_index];
+        const std::vector<FlowId> victims =
+            fault::AffectedFlows(network, spec);
+        fault::ApplyFaultState(network, spec);
+        if (spec.IsDown()) collector.OnFault(spec.IsLinkFault());
+        std::unordered_set<EventId::rep_type> replanned;
+        for (FlowId victim : victims) {
+          const EventId owner = network.FlowOf(victim).event;
+          network.Remove(victim);
+          collector.OnFlowKilled();
+          if (!owner.valid()) continue;  // background: killed outright
+          const auto owner_it = active.find(owner.value());
+          if (owner_it == active.end()) continue;  // event already complete
+          // In-flight event flow: roll it back to deferred so the planner
+          // re-places it on surviving paths.
+          ActiveEvent& ae = owner_it->second;
+          const auto idx_it = ae.flow_index.find(victim.value());
+          NU_CHECK(idx_it != ae.flow_index.end());
+          const std::size_t flow_idx = idx_it->second;
+          ae.flow_index.erase(idx_it);
+          if (ae.installed_ids.erase(victim.value()) > 0) {
+            NU_CHECK(ae.installed > 0);
+            --ae.installed;  // un-install: completion now needs the redo
+          }
+          ae.pending_recovery.emplace(flow_idx, entry.time);
+          ae.deferred.push_back(flow_idx);
+          if (replanned.insert(owner.value()).second) {
+            collector.OnEventReplanned(owner);
+          }
+        }
+        // Up-events restore capacity; down-events free the victims' shares
+        // elsewhere on their old paths. Either way deferred flows may fit
+        // now, so treat the fault like a departure.
+        departed = true;
+        continue;
+      }
+      if (occ.kind == Occurrence::Kind::kInstallAborted) {
+        // Retries exhausted: roll the batch back (remove its placements)
+        // and re-defer the flows for replanning.
+        const auto it = active.find(occ.event.value());
+        // A fault can kill every flow of an in-flight batch; replacements
+        // may then complete the event before this occurrence fires. Such a
+        // stale batch holds only dead flows — nothing to roll back.
+        if (it == active.end()) {
+          NU_CHECK(faults_on);
+          continue;
+        }
+        ActiveEvent& ae = it->second;
+        NU_CHECK(ae.batches_in_flight > 0);
+        --ae.batches_in_flight;
+        collector.OnInstallAborted(occ.event);
+        for (FlowId fid : occ.flows) {
+          if (!network.HasFlow(fid)) continue;  // a fault beat us to it
+          const auto idx_it = ae.flow_index.find(fid.value());
+          NU_CHECK(idx_it != ae.flow_index.end());
+          const std::size_t flow_idx = idx_it->second;
+          network.Remove(fid);
+          ae.flow_index.erase(idx_it);
+          ae.pending_recovery.emplace(flow_idx, entry.time);
+          ae.deferred.push_back(flow_idx);
+        }
+        departed = true;  // freed capacity: worth retrying deferred flows
+        continue;
+      }
       // kInstallDone: the event's batch finished installing.
       const auto it = active.find(occ.event.value());
-      NU_CHECK(it != active.end());
+      // Stale batch of an already-completed event (see kInstallAborted).
+      if (it == active.end()) {
+        NU_CHECK(faults_on);
+        continue;
+      }
       ActiveEvent& ae = it->second;
-      ae.installed += occ.count;
       NU_CHECK(ae.batches_in_flight > 0);
       --ae.batches_in_flight;
+      if (faults_on) {
+        for (FlowId fid : occ.flows) {
+          if (!network.HasFlow(fid)) continue;  // killed mid-install
+          ++ae.installed;
+          ae.installed_ids.insert(fid.value());
+          const auto idx_it = ae.flow_index.find(fid.value());
+          NU_CHECK(idx_it != ae.flow_index.end());
+          const auto rec = ae.pending_recovery.find(idx_it->second);
+          if (rec != ae.pending_recovery.end()) {
+            collector.OnRecovery(entry.time - rec->second);
+            ae.pending_recovery.erase(rec);
+          }
+        }
+      } else {
+        ae.installed += occ.flows.size();
+      }
       if (ae.Complete()) {
         collector.OnCompletion(occ.event, entry.time);
         active.erase(it);
@@ -473,6 +649,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
   NU_CHECK(!config_.validate_invariants || network.CheckInvariants() ||
            result.forced_placements > 0);
   result.records = collector.records();
+  result.fault_stats = collector.fault_stats();
   result.report = metrics::BuildReport(collector, total_plan_time,
                                        config_.tail_percentile);
   return result;

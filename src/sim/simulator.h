@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "metrics/report.h"
 #include "net/network.h"
 #include "sched/flow_level.h"
@@ -89,6 +90,24 @@ struct SimConfig {
   /// to infinity to co-schedule any fully feasible candidate.
   Mbps plmtf_co_migration_allowance = 100.0;
   ChurnConfig churn;
+  /// Fault injection (event-level Run only): scheduled link/switch outages
+  /// plus the flaky-install model and its retry policy. Disabled by default;
+  /// a disabled config draws nothing from any Rng, so enabling faults never
+  /// perturbs the scheduler or churn streams of a fixed-seed run.
+  ///
+  /// Semantics when enabled:
+  ///   * Planning and placement use only alive paths (dead links/switches
+  ///     are excluded; path caches refresh on every topology transition).
+  ///   * A down-fault removes every placed flow crossing the dead element.
+  ///     Victims of an ACTIVE update event are re-deferred and re-planned on
+  ///     surviving paths (counted as a replan; the event completes only once
+  ///     replacements install). Background victims and victims of already
+  ///     completed events are killed outright.
+  ///   * Each install batch runs through the flaky pipeline: attempts fail
+  ///     with FlakyInstallModel::failure_probability and retry after
+  ///     exponential backoff. Exhausted retries abort the batch — its placed
+  ///     flows are rolled back (removed) and re-deferred for replanning.
+  fault::FaultConfig faults;
 };
 
 struct RoundLogEntry {
@@ -107,6 +126,9 @@ struct SimResult {
   /// configurations; reported to make violations visible).
   std::size_t forced_placements = 0;
   std::vector<RoundLogEntry> round_log;
+  /// Fault-and-recovery counters (all zero when SimConfig::faults is
+  /// disabled); also folded into `report`.
+  metrics::FaultStats fault_stats;
 };
 
 class Simulator {

@@ -102,4 +102,31 @@ const std::vector<Path>& NodeAvoidingPathProvider::Paths(NodeId src,
   return it->second;
 }
 
+PredicatePathProvider::PredicatePathProvider(const PathProvider& base,
+                                             Predicate keep, EpochFn epoch)
+    : base_(base), keep_(std::move(keep)), epoch_(std::move(epoch)) {
+  NU_EXPECTS(keep_ != nullptr);
+  NU_EXPECTS(epoch_ != nullptr);
+}
+
+const std::vector<Path>& PredicatePathProvider::Paths(NodeId src,
+                                                      NodeId dst) const {
+  const std::uint64_t epoch = epoch_();
+  if (!cache_valid_ || epoch != cached_epoch_) {
+    cache_.clear();
+    cached_epoch_ = epoch;
+    cache_valid_ = true;
+  }
+  const std::uint64_t key = PairKey(src, dst);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    std::vector<Path> filtered;
+    for (const Path& p : base_.Paths(src, dst)) {
+      if (keep_(p)) filtered.push_back(p);
+    }
+    it = cache_.emplace(key, std::move(filtered)).first;
+  }
+  return it->second;
+}
+
 }  // namespace nu::topo

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -110,6 +112,38 @@ class LinkAvoidingPathProvider final : public PathProvider {
   const PathProvider& base_;
   LinkId avoided_;
   LinkId avoided_reverse_;
+  mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
+};
+
+/// Filters another provider's path sets through an arbitrary keep-predicate
+/// with epoch-based cache invalidation: filtered sets are cached per host
+/// pair while `epoch()` is stable and recomputed when it changes. This is
+/// how the planner sees only surviving paths under fault injection — the
+/// predicate is net::Network::PathAlive and the epoch is the network's
+/// topology epoch, without topo depending on net. Pairs whose every
+/// candidate is rejected get an empty set (the flow must wait for repair).
+class PredicatePathProvider final : public PathProvider {
+ public:
+  using Predicate = std::function<bool(const Path&)>;
+  using EpochFn = std::function<std::uint64_t()>;
+
+  PredicatePathProvider(const PathProvider& base, Predicate keep,
+                        EpochFn epoch);
+
+  [[nodiscard]] const std::vector<Path>& Paths(NodeId src,
+                                               NodeId dst) const override;
+  [[nodiscard]] const Graph& graph() const override { return base_.graph(); }
+
+  /// The unfiltered provider (deadlock-breaking force placement falls back
+  /// to it when no surviving path exists).
+  [[nodiscard]] const PathProvider& base() const { return base_; }
+
+ private:
+  const PathProvider& base_;
+  Predicate keep_;
+  EpochFn epoch_;
+  mutable std::uint64_t cached_epoch_ = 0;
+  mutable bool cache_valid_ = false;
   mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
 };
 

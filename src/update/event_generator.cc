@@ -117,6 +117,26 @@ UpdateEvent MakeLinkFailureEvent(EventId id, Seconds arrival_time,
                      EventKind::kFailureReroute);
 }
 
+UpdateEvent MakeSwitchFailureEvent(EventId id, Seconds arrival_time,
+                                   const net::Network& network,
+                                   NodeId failed_node) {
+  const std::vector<FlowId> affected = FlowsThroughNode(network, failed_node);
+  NU_EXPECTS(!affected.empty());
+  std::vector<flow::Flow> replacements;
+  replacements.reserve(affected.size());
+  for (FlowId fid : affected) {
+    const flow::Flow& original = network.FlowOf(fid);
+    flow::Flow replacement;
+    replacement.src = original.src;
+    replacement.dst = original.dst;
+    replacement.demand = original.demand;
+    replacement.duration = original.duration;
+    replacements.push_back(std::move(replacement));
+  }
+  return UpdateEvent(id, arrival_time, std::move(replacements),
+                     EventKind::kFailureReroute);
+}
+
 UpdateEvent MakeVmMigrationEvent(EventId id, Seconds arrival_time,
                                  NodeId old_host, NodeId new_host,
                                  const VmMigrationConfig& config) {

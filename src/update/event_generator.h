@@ -90,4 +90,14 @@ struct VmMigrationConfig {
                                                const net::Network& network,
                                                LinkId failed_link);
 
+/// Builds a switch-failure event: replacement flows for every existing flow
+/// crossing `failed_node`. Unlike a switch upgrade (planned maintenance),
+/// the switch is already dead — the caller removes the originals and
+/// executes the event with a provider that avoids the node (either
+/// topo::NodeAvoidingPathProvider or a fault-aware PredicatePathProvider).
+[[nodiscard]] UpdateEvent MakeSwitchFailureEvent(EventId id,
+                                                 Seconds arrival_time,
+                                                 const net::Network& network,
+                                                 NodeId failed_node);
+
 }  // namespace nu::update

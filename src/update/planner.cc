@@ -35,6 +35,11 @@ EventPlan EventPlanner::PlanInto(net::Network& state, const UpdateEvent& event,
       action.path = std::move(*direct);
       action.migration.feasible = true;
       action.placeable = true;
+    } else if (paths_.Paths(f.src, f.dst).empty()) {
+      // No candidate paths at all (every path dead under fault injection):
+      // the flow must wait for the topology to heal.
+      action.placeable = false;
+      all_placeable = false;
     } else {
       // 2. Locally migrate existing flows off the least congested candidate
       //    path (Definition 1).
@@ -89,6 +94,7 @@ std::optional<FlowId> EventPlanner::PlaceFlow(net::Network& network,
                                           flow.demand, path_selection_)) {
     return network.Place(std::move(flow), *direct);
   }
+  if (paths_.Paths(flow.src, flow.dst).empty()) return std::nullopt;
   const topo::Path& desired = net::LeastCongestedPath(
       network, paths_, flow.src, flow.dst, flow.demand);
   MigrationPlan migration = optimizer_.Plan(network, flow.demand, desired);

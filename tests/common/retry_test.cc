@@ -1,0 +1,93 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+namespace nu {
+namespace {
+
+TEST(RetryPolicyTest, NominalDelayDoublesUntilCapped) {
+  RetryPolicy policy;  // base 0.05, factor 2, max 2.0
+  EXPECT_DOUBLE_EQ(policy.NominalDelay(1), 0.05);
+  EXPECT_DOUBLE_EQ(policy.NominalDelay(2), 0.10);
+  EXPECT_DOUBLE_EQ(policy.NominalDelay(3), 0.20);
+  EXPECT_DOUBLE_EQ(policy.NominalDelay(4), 0.40);
+  EXPECT_DOUBLE_EQ(policy.NominalDelay(5), 0.80);
+  EXPECT_DOUBLE_EQ(policy.NominalDelay(6), 1.60);
+  // 0.05 * 2^6 = 3.2 would exceed the cap.
+  EXPECT_DOUBLE_EQ(policy.NominalDelay(7), 2.0);
+  EXPECT_DOUBLE_EQ(policy.NominalDelay(20), 2.0);
+}
+
+TEST(RetryPolicyTest, AllowsRetryAfterCountsAttemptsNotFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  EXPECT_TRUE(policy.AllowsRetryAfter(1));
+  EXPECT_TRUE(policy.AllowsRetryAfter(3));
+  EXPECT_FALSE(policy.AllowsRetryAfter(4));
+  EXPECT_FALSE(policy.AllowsRetryAfter(5));
+
+  policy.max_attempts = 1;  // no retries at all
+  EXPECT_FALSE(policy.AllowsRetryAfter(1));
+}
+
+TEST(RetryPolicyTest, JitterEnvelopeIsTightAroundNominal) {
+  RetryPolicy policy;
+  policy.jitter_frac = 0.25;
+  for (std::size_t failure = 1; failure <= 8; ++failure) {
+    const Seconds nominal = policy.NominalDelay(failure);
+    EXPECT_DOUBLE_EQ(policy.MinDelay(failure), nominal * 0.75);
+    EXPECT_DOUBLE_EQ(policy.MaxDelay(failure), nominal * 1.25);
+  }
+}
+
+TEST(RetryPolicyTest, BackoffDelayStaysInsideEnvelope) {
+  RetryPolicy policy;
+  policy.jitter_frac = 0.5;
+  Rng rng(99);
+  for (std::size_t failure = 1; failure <= 6; ++failure) {
+    for (int draw = 0; draw < 200; ++draw) {
+      const Seconds d = policy.BackoffDelay(failure, rng);
+      EXPECT_GE(d, policy.MinDelay(failure));
+      EXPECT_LT(d, policy.MaxDelay(failure));
+    }
+  }
+}
+
+TEST(RetryPolicyTest, ZeroJitterIsExactlyNominal) {
+  RetryPolicy policy;
+  policy.jitter_frac = 0.0;
+  Rng rng(7);
+  for (std::size_t failure = 1; failure <= 10; ++failure) {
+    EXPECT_DOUBLE_EQ(policy.BackoffDelay(failure, rng),
+                     policy.NominalDelay(failure));
+  }
+}
+
+TEST(RetryPolicyTest, BackoffDelayDeterministicPerSeed) {
+  RetryPolicy policy;
+  Rng a(1234);
+  Rng b(1234);
+  for (std::size_t failure = 1; failure <= 12; ++failure) {
+    EXPECT_DOUBLE_EQ(policy.BackoffDelay(failure, a),
+                     policy.BackoffDelay(failure, b));
+  }
+}
+
+TEST(RetryPolicyTest, ExhaustionScheduleSumsBoundedDelays) {
+  // Max total backoff of a fully exhausted policy: sum of the per-failure
+  // envelopes — what an aborting install batch can wait at most.
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  Rng rng(5);
+  Seconds total = 0.0;
+  Seconds bound = 0.0;
+  for (std::size_t failure = 1; policy.AllowsRetryAfter(failure); ++failure) {
+    total += policy.BackoffDelay(failure, rng);
+    bound += policy.MaxDelay(failure);
+  }
+  EXPECT_GT(total, 0.0);
+  EXPECT_LT(total, bound);
+}
+
+}  // namespace
+}  // namespace nu

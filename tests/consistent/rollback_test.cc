@@ -1,0 +1,137 @@
+// Abort/rollback coverage for two-phase updates: a rule install that fails
+// mid-schedule (before the ingress flip) must leave the table restorable to
+// the exact pre-update state, and every intermediate rollback state must
+// stay per-packet consistent.
+#include <gtest/gtest.h>
+
+#include "consistent/two_phase.h"
+#include "topo/fat_tree.h"
+#include "topo/path_provider.h"
+
+namespace nu::consistent {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0}),
+        provider(ft) {}
+
+  RuleTable WithInitialPath(FlowId flow, const topo::Path& path) {
+    RuleTable rules;
+    ApplyAll(rules, PlanInitialInstall(flow, path, 0));
+    return rules;
+  }
+
+  topo::FatTree ft;
+  topo::FatTreePathProvider provider;
+};
+
+/// True when the table holds exactly the old path's version-0 rules for
+/// `flow` and its ingress still stamps version 0 — i.e. the pre-update
+/// state.
+bool EqualsPreUpdateState(const RuleTable& rules, FlowId flow,
+                          const topo::Path& old_path,
+                          const topo::Path& new_path) {
+  if (rules.RuleCountForFlow(flow) != old_path.links.size()) return false;
+  if (rules.IngressVersion(flow) != 0) return false;
+  for (std::size_t i = 0; i < old_path.links.size(); ++i) {
+    const auto rule = rules.Lookup(old_path.nodes[i], flow, 0);
+    if (!rule.has_value() || *rule != old_path.links[i]) return false;
+  }
+  // No stray v1 rules anywhere on the new path.
+  for (std::size_t i = 0; i < new_path.links.size(); ++i) {
+    if (rules.Lookup(new_path.nodes[i], flow, 1).has_value()) return false;
+  }
+  return true;
+}
+
+TEST(RollbackTest, CanRollbackOnlyBeforeTheFlip) {
+  Fixture fx;
+  const FlowId flow{1};
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  ASSERT_GE(paths.size(), 2u);
+  const auto schedule = PlanTwoPhaseReroute(flow, paths[0], paths[1], 0);
+  const std::size_t phase1 = paths[1].links.size();  // installs before flip
+
+  for (std::size_t applied = 0; applied <= phase1; ++applied) {
+    EXPECT_TRUE(CanRollback(schedule, applied)) << "applied " << applied;
+  }
+  for (std::size_t applied = phase1 + 1; applied <= schedule.size();
+       ++applied) {
+    EXPECT_FALSE(CanRollback(schedule, applied)) << "applied " << applied;
+  }
+}
+
+TEST(RollbackTest, RestoresPreUpdateTableFromEveryPhase1Prefix) {
+  // Simulate the install pipeline dying after each possible number of
+  // phase-1 ops; rollback must reproduce the pre-update table exactly.
+  Fixture fx;
+  const FlowId flow{1};
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  const topo::Path& old_path = paths[0];
+  const topo::Path& new_path = paths[1];
+  const auto schedule = PlanTwoPhaseReroute(flow, old_path, new_path, 0);
+  const std::size_t phase1 = new_path.links.size();
+
+  for (std::size_t applied = 0; applied <= phase1; ++applied) {
+    RuleTable rules = fx.WithInitialPath(flow, old_path);
+    for (std::size_t i = 0; i < applied; ++i) Apply(rules, schedule[i]);
+
+    const auto undo = PlanRollback(schedule, applied);
+    EXPECT_EQ(undo.size(), applied);
+    ApplyAll(rules, undo);
+
+    EXPECT_TRUE(EqualsPreUpdateState(rules, flow, old_path, new_path))
+        << "rollback from prefix " << applied;
+    const auto fwd = ForwardPacket(fx.ft.graph(), rules, flow,
+                                   old_path.source(), old_path.destination());
+    EXPECT_EQ(fwd.outcome, ForwardOutcome::kDelivered);
+    EXPECT_EQ(fwd.hops, old_path.nodes);
+  }
+}
+
+TEST(RollbackTest, EveryIntermediateRollbackStateIsConsistent) {
+  // Per-packet consistency must hold not just after the rollback finishes
+  // but after every individual undo op — packets keep flowing while the
+  // controller unwinds.
+  Fixture fx;
+  const FlowId flow{1};
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  const topo::Path& old_path = paths[0];
+  const topo::Path& new_path = paths[1];
+  const auto schedule = PlanTwoPhaseReroute(flow, old_path, new_path, 0);
+  const std::size_t phase1 = new_path.links.size();
+
+  RuleTable rules = fx.WithInitialPath(flow, old_path);
+  for (std::size_t i = 0; i < phase1; ++i) Apply(rules, schedule[i]);
+
+  const auto undo = PlanRollback(schedule, phase1);
+  for (const RuleOp& op : undo) {
+    Apply(rules, op);
+    const auto fwd = ForwardPacket(fx.ft.graph(), rules, flow,
+                                   old_path.source(), old_path.destination());
+    ASSERT_EQ(fwd.outcome, ForwardOutcome::kDelivered);
+    ASSERT_EQ(fwd.hops, old_path.nodes) << "rollback strayed off old path";
+  }
+}
+
+TEST(RollbackTest, RollbackOpsAreReverseOrderRemoves) {
+  Fixture fx;
+  const FlowId flow{2};
+  const auto& paths = fx.provider.Paths(fx.ft.host(1), fx.ft.host(13));
+  const auto schedule = PlanTwoPhaseReroute(flow, paths[0], paths[1], 0);
+  const std::size_t applied = paths[1].links.size();
+
+  const auto undo = PlanRollback(schedule, applied);
+  ASSERT_EQ(undo.size(), applied);
+  for (std::size_t i = 0; i < undo.size(); ++i) {
+    EXPECT_EQ(undo[i].kind, RuleOpKind::kRemove);
+    // Reverse application order: undo[i] undoes schedule[applied - 1 - i].
+    const RuleOp& original = schedule[applied - 1 - i];
+    EXPECT_EQ(undo[i].sw, original.sw);
+    EXPECT_EQ(undo[i].version, original.version);
+  }
+}
+
+}  // namespace
+}  // namespace nu::consistent

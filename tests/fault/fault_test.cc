@@ -1,0 +1,340 @@
+// Fault subsystem: deterministic fault plans, the injector's flaky-install
+// sampling, victim computation / fault-state application on the network,
+// and the rule-level flaky apply with rollback.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "consistent/two_phase.h"
+#include "fault/flaky_apply.h"
+#include "fault/injector.h"
+#include "topo/fat_tree.h"
+#include "topo/path_provider.h"
+
+namespace nu::fault {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0}),
+        provider(ft),
+        network(ft.graph()) {}
+
+  FlowId PlaceFlow(NodeId src, NodeId dst, Mbps demand,
+                   std::size_t path_index = 0) {
+    const auto& paths = provider.Paths(src, dst);
+    flow::Flow f;
+    f.src = src;
+    f.dst = dst;
+    f.demand = demand;
+    f.duration = 10.0;
+    return network.Place(std::move(f), paths.at(path_index));
+  }
+
+  topo::FatTree ft;
+  topo::FatTreePathProvider provider;
+  net::Network network;
+};
+
+TEST(FaultPlanTest, SpecsStaySortedByTime) {
+  FaultPlan plan;
+  plan.AddLinkDown(5.0, LinkId{3});
+  plan.AddSwitchDown(1.0, NodeId{2});
+  plan.AddLinkUp(3.0, LinkId{3});
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_DOUBLE_EQ(plan.specs()[0].time, 1.0);
+  EXPECT_DOUBLE_EQ(plan.specs()[1].time, 3.0);
+  EXPECT_DOUBLE_EQ(plan.specs()[2].time, 5.0);
+}
+
+TEST(FaultPlanTest, EqualTimesKeepInsertionOrder) {
+  FaultPlan plan;
+  plan.AddLinkDown(2.0, LinkId{1});
+  plan.AddLinkDown(2.0, LinkId{2});
+  plan.AddLinkDown(2.0, LinkId{3});
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan.specs()[0].link, LinkId{1});
+  EXPECT_EQ(plan.specs()[1].link, LinkId{2});
+  EXPECT_EQ(plan.specs()[2].link, LinkId{3});
+}
+
+TEST(FaultPlanTest, OutageSchedulesDownThenUp) {
+  FaultPlan plan;
+  plan.AddLinkOutage(1.0, 4.0, LinkId{7});
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.specs()[0].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(plan.specs()[1].kind, FaultKind::kLinkUp);
+  EXPECT_DOUBLE_EQ(plan.specs()[1].time, 5.0);
+
+  FaultPlan permanent;
+  permanent.AddSwitchOutage(1.0, 0.0, NodeId{3});  // outage <= 0: never up
+  EXPECT_EQ(permanent.size(), 1u);
+}
+
+TEST(RandomLinkFaultPlanTest, DeterministicAndFabricOnly) {
+  Fixture fx;
+  RandomLinkFaultOptions options;
+  options.failures = 3;
+
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const FaultPlan a = MakeRandomLinkFaultPlan(fx.ft.graph(), options, rng_a);
+  const FaultPlan b = MakeRandomLinkFaultPlan(fx.ft.graph(), options, rng_b);
+  ASSERT_EQ(a.size(), 6u);  // 3 outages = 3 downs + 3 ups
+  ASSERT_EQ(a.size(), b.size());
+  std::set<LinkId::rep_type> victims;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.specs()[i].link, b.specs()[i].link);
+    EXPECT_EQ(a.specs()[i].kind, b.specs()[i].kind);
+    const topo::Link& l = fx.ft.graph().link(a.specs()[i].link);
+    EXPECT_NE(fx.ft.graph().node(l.src).role, topo::NodeRole::kHost);
+    EXPECT_NE(fx.ft.graph().node(l.dst).role, topo::NodeRole::kHost);
+    if (a.specs()[i].kind == FaultKind::kLinkDown) {
+      victims.insert(a.specs()[i].link.value());
+    }
+  }
+  EXPECT_EQ(victims.size(), 3u);  // distinct cables
+}
+
+TEST(InjectorTest, DisabledModelPassesThrough) {
+  FaultConfig config;  // flaky disabled
+  FaultInjector injector(config, 42);
+  const InstallTrial trial = injector.SampleInstall(0.5);
+  EXPECT_TRUE(trial.success);
+  EXPECT_EQ(trial.attempts, 1u);
+  EXPECT_DOUBLE_EQ(trial.wasted_delay, 0.0);
+  EXPECT_DOUBLE_EQ(trial.latency_factor, 1.0);
+}
+
+TEST(InjectorTest, SamplingIsDeterministicPerSeed) {
+  FaultConfig config;
+  config.flaky.failure_probability = 0.3;
+  config.flaky.latency_jitter_frac = 0.2;
+  FaultInjector a(config, 7);
+  FaultInjector b(config, 7);
+  for (int i = 0; i < 200; ++i) {
+    const InstallTrial ta = a.SampleInstall(0.1);
+    const InstallTrial tb = b.SampleInstall(0.1);
+    EXPECT_EQ(ta.attempts, tb.attempts);
+    EXPECT_EQ(ta.success, tb.success);
+    EXPECT_DOUBLE_EQ(ta.wasted_delay, tb.wasted_delay);
+    EXPECT_DOUBLE_EQ(ta.latency_factor, tb.latency_factor);
+  }
+}
+
+TEST(InjectorTest, HighFailureRateEventuallyExhaustsRetries) {
+  FaultConfig config;
+  config.flaky.failure_probability = 0.9;
+  config.retry.max_attempts = 3;
+  FaultInjector injector(config, 13);
+  std::size_t failures = 0;
+  std::size_t retries = 0;
+  for (int i = 0; i < 300; ++i) {
+    const InstallTrial trial = injector.SampleInstall(0.1);
+    EXPECT_LE(trial.attempts, 3u);
+    if (!trial.success) {
+      ++failures;
+      EXPECT_EQ(trial.attempts, 3u);
+      // Two failed attempt latencies plus two backoff waits were spent.
+      EXPECT_GT(trial.wasted_delay, 0.2);
+    }
+    if (trial.attempts > 1) ++retries;
+  }
+  EXPECT_GT(failures, 0u);
+  EXPECT_GT(retries, 0u);
+}
+
+TEST(InjectorTest, JitterStretchesLatencyWithinBounds) {
+  FaultConfig config;
+  config.flaky.latency_jitter_frac = 0.5;  // failures off: jitter only
+  FaultInjector injector(config, 3);
+  for (int i = 0; i < 100; ++i) {
+    const InstallTrial trial = injector.SampleInstall(1.0);
+    EXPECT_TRUE(trial.success);
+    EXPECT_GE(trial.latency_factor, 1.0);
+    EXPECT_LT(trial.latency_factor, 1.5);
+  }
+}
+
+TEST(AffectedFlowsTest, LinkFaultStrandsBothDirections) {
+  Fixture fx;
+  const NodeId src = fx.ft.host(0);
+  const NodeId dst = fx.ft.host(12);
+  const FlowId forward = fx.PlaceFlow(src, dst, 10.0);
+  const FlowId backward = fx.PlaceFlow(dst, src, 10.0);
+
+  // Fail the first fabric link of the forward flow's path; the backward
+  // flow's reverse path shares the cable only if it chose the mirrored
+  // route, so assert on the forward flow and on determinism of the rest.
+  const topo::Path& path = fx.network.PathOf(forward);
+  FaultSpec spec;
+  spec.kind = FaultKind::kLinkDown;
+  spec.link = path.links[0];
+  const auto victims = AffectedFlows(fx.network, spec);
+  EXPECT_TRUE(std::find(victims.begin(), victims.end(), forward) !=
+              victims.end());
+  // Sorted ascending, no duplicates.
+  EXPECT_TRUE(std::is_sorted(victims.begin(), victims.end()));
+  EXPECT_TRUE(std::adjacent_find(victims.begin(), victims.end()) ==
+              victims.end());
+
+  // The host uplink is shared by both directions' endpoints: failing it
+  // strands both flows.
+  FaultSpec uplink;
+  uplink.kind = FaultKind::kLinkDown;
+  uplink.link = fx.ft.graph().FindLink(src, path.nodes[1]);
+  const auto both = AffectedFlows(fx.network, uplink);
+  ASSERT_EQ(both.size(), 2u);
+  EXPECT_EQ(both[0], std::min(forward, backward));
+  EXPECT_EQ(both[1], std::max(forward, backward));
+}
+
+TEST(AffectedFlowsTest, SwitchFaultStrandsEveryFlowThroughIt) {
+  Fixture fx;
+  const FlowId f = fx.PlaceFlow(fx.ft.host(0), fx.ft.host(12), 10.0);
+  const topo::Path& path = fx.network.PathOf(f);
+  FaultSpec spec;
+  spec.kind = FaultKind::kSwitchDown;
+  spec.node = path.nodes[path.nodes.size() / 2];  // a core/agg switch
+  const auto victims = AffectedFlows(fx.network, spec);
+  EXPECT_TRUE(std::find(victims.begin(), victims.end(), f) != victims.end());
+}
+
+TEST(AffectedFlowsTest, UpEventsStrandNothing) {
+  Fixture fx;
+  const FlowId f = fx.PlaceFlow(fx.ft.host(0), fx.ft.host(12), 10.0);
+  const topo::Path& path = fx.network.PathOf(f);
+  FaultSpec spec;
+  spec.kind = FaultKind::kLinkUp;
+  spec.link = path.links[0];
+  EXPECT_TRUE(AffectedFlows(fx.network, spec).empty());
+}
+
+TEST(ApplyFaultStateTest, LinkFaultTakesDownBothDirectionsOfTheCable) {
+  Fixture fx;
+  const LinkId forward = fx.ft.graph().links()[0].id;
+  const topo::Link& l = fx.ft.graph().link(forward);
+  const LinkId reverse = fx.ft.graph().FindLink(l.dst, l.src);
+  ASSERT_TRUE(reverse.valid());
+
+  FaultSpec down;
+  down.kind = FaultKind::kLinkDown;
+  down.link = forward;
+  ApplyFaultState(fx.network, down);
+  EXPECT_FALSE(fx.network.LinkUp(forward));
+  EXPECT_FALSE(fx.network.LinkUp(reverse));
+
+  FaultSpec up = down;
+  up.kind = FaultKind::kLinkUp;
+  ApplyFaultState(fx.network, up);
+  EXPECT_TRUE(fx.network.LinkUp(forward));
+  EXPECT_TRUE(fx.network.LinkUp(reverse));
+  EXPECT_EQ(fx.network.down_link_count(), 0u);
+}
+
+TEST(ApplyFaultStateTest, DoesNotRemoveStrandedFlows) {
+  Fixture fx;
+  const FlowId f = fx.PlaceFlow(fx.ft.host(0), fx.ft.host(12), 10.0);
+  FaultSpec spec;
+  spec.kind = FaultKind::kSwitchDown;
+  spec.node = fx.network.PathOf(f).nodes[1];
+  ApplyFaultState(fx.network, spec);
+  EXPECT_TRUE(fx.network.HasFlow(f));  // victim fate is the caller's call
+  EXPECT_FALSE(fx.network.CheckInvariants());
+  fx.network.Remove(f);
+  EXPECT_TRUE(fx.network.CheckInvariants());
+}
+
+TEST(FlakyApplyTest, HealthyPipelineCommitsEverything) {
+  Fixture fx;
+  const FlowId flow{1};
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  consistent::RuleTable rules;
+  ApplyAll(rules, consistent::PlanInitialInstall(flow, paths[0], 0));
+  const auto schedule =
+      consistent::PlanTwoPhaseReroute(flow, paths[0], paths[1], 0);
+
+  FlakyInstallModel healthy;  // p = 0
+  RetryPolicy retry;
+  Rng rng(1);
+  const FlakyApplyResult result =
+      ApplyWithFaults(rules, schedule, healthy, retry, rng, 0.001);
+  EXPECT_TRUE(result.committed);
+  EXPECT_FALSE(result.rolled_back);
+  EXPECT_EQ(result.applied_ops, schedule.size());
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_DOUBLE_EQ(result.elapsed,
+                   0.001 * static_cast<double>(schedule.size()));
+  EXPECT_EQ(rules.RuleCountForFlow(flow), paths[1].links.size());
+}
+
+TEST(FlakyApplyTest, ExhaustedInstallRollsBackToPreUpdateState) {
+  Fixture fx;
+  const FlowId flow{1};
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(12));
+  const topo::Path& old_path = paths[0];
+  const topo::Path& new_path = paths[1];
+  const auto schedule =
+      consistent::PlanTwoPhaseReroute(flow, old_path, new_path, 0);
+
+  FlakyInstallModel flaky;
+  flaky.failure_probability = 0.6;
+  RetryPolicy retry;
+  retry.max_attempts = 2;
+
+  // Sweep seeds until one aborts; each aborted run must restore the exact
+  // pre-update table and keep delivering on the old path.
+  bool saw_rollback = false;
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    consistent::RuleTable rules;
+    ApplyAll(rules, consistent::PlanInitialInstall(flow, old_path, 0));
+    Rng rng(seed);
+    const FlakyApplyResult result =
+        ApplyWithFaults(rules, schedule, flaky, retry, rng);
+    if (!result.rolled_back) continue;
+    saw_rollback = true;
+    EXPECT_FALSE(result.committed);
+    EXPECT_GT(result.retries, 0u);
+    EXPECT_EQ(rules.RuleCountForFlow(flow), old_path.links.size());
+    EXPECT_EQ(rules.IngressVersion(flow), 0u);
+    const auto fwd = ForwardPacket(fx.ft.graph(), rules, flow,
+                                   old_path.source(), old_path.destination());
+    EXPECT_EQ(fwd.outcome, consistent::ForwardOutcome::kDelivered);
+    EXPECT_EQ(fwd.hops, old_path.nodes);
+  }
+  EXPECT_TRUE(saw_rollback);
+}
+
+TEST(FlakyApplyTest, PastCommitPointRollsForwardToNewPath) {
+  // Installs only fail in phase 1; with the flip applied the remaining ops
+  // are flips/removes, which never fail — so any run that reaches the flip
+  // must commit and land on the new path.
+  Fixture fx;
+  const FlowId flow{2};
+  const auto& paths = fx.provider.Paths(fx.ft.host(1), fx.ft.host(13));
+  const auto schedule =
+      consistent::PlanTwoPhaseReroute(flow, paths[0], paths[1], 0);
+
+  FlakyInstallModel flaky;
+  flaky.failure_probability = 0.3;
+  RetryPolicy retry;
+  retry.max_attempts = 5;
+
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    consistent::RuleTable rules;
+    ApplyAll(rules, consistent::PlanInitialInstall(flow, paths[0], 0));
+    Rng rng(seed);
+    const FlakyApplyResult result =
+        ApplyWithFaults(rules, schedule, flaky, retry, rng);
+    ASSERT_TRUE(result.committed != result.rolled_back);
+    if (!result.committed) continue;
+    const auto fwd = ForwardPacket(fx.ft.graph(), rules, flow,
+                                   paths[1].source(), paths[1].destination());
+    EXPECT_EQ(fwd.outcome, consistent::ForwardOutcome::kDelivered);
+    EXPECT_EQ(fwd.hops, paths[1].nodes);
+  }
+}
+
+}  // namespace
+}  // namespace nu::fault

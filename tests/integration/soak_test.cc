@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/runner.h"
+#include "fault/fault_plan.h"
 
 namespace nu::exp {
 namespace {
@@ -50,6 +51,60 @@ TEST(SoakTest, FlowLevelInvariantsHold) {
   EXPECT_EQ(RunFlowLevel(with_churn).records.size(), 12u);
   const Workload without(SoakConfig(53, false));
   EXPECT_EQ(RunFlowLevel(without).records.size(), 12u);
+}
+
+/// The ISSUE's robustness acceptance run: random fabric-link outages plus
+/// flaky installs, full invariant validation after every occurrence batch,
+/// and nonzero fault counters in the exported report.
+TEST(SoakTest, FaultInjectionSoakStaysConsistent) {
+  ExperimentConfig config = SoakConfig(61, true);
+  {
+    // Sample victim cables from the workload's own graph; the same seed
+    // rebuilds the identical graph below.
+    const Workload probe(config);
+    Rng fault_rng(config.seed ^ 0xFA17ULL);
+    fault::RandomLinkFaultOptions options;
+    options.failures = 3;
+    options.first_failure = 0.5;
+    options.spacing = 1.5;
+    options.outage = 3.0;
+    config.sim.faults.plan = fault::MakeRandomLinkFaultPlan(
+        probe.network().graph(), options, fault_rng);
+  }
+  config.sim.faults.flaky.failure_probability = 0.25;
+  config.sim.faults.flaky.latency_jitter_frac = 0.2;
+  config.sim.faults.retry.max_attempts = 3;
+  config.sim.faults.retry.base_delay = 0.02;
+
+  const Workload workload(config);
+  const sim::SimResult result =
+      RunScheduler(workload, sched::SchedulerKind::kLmtf);
+  // Invariants were re-verified after every occurrence batch (NU_CHECK
+  // aborts on violation), and every event still completed.
+  EXPECT_EQ(result.records.size(), 12u);
+  EXPECT_EQ(result.fault_stats.link_failures, 3u);
+  EXPECT_GT(result.fault_stats.installs_attempted, 0u);
+  EXPECT_GT(result.fault_stats.installs_retried, 0u);
+  EXPECT_EQ(result.report.installs_retried,
+            result.fault_stats.installs_retried);
+}
+
+/// Same soak under aggressive flakiness and a stingy retry budget so the
+/// abort+rollback path is exercised repeatedly across rounds.
+TEST(SoakTest, AbortHeavySoakStillCompletesEverything) {
+  ExperimentConfig config = SoakConfig(67, false);
+  config.sim.faults.flaky.failure_probability = 0.6;
+  config.sim.faults.flaky.latency_jitter_frac = 0.3;
+  config.sim.faults.retry.max_attempts = 2;
+  config.sim.faults.retry.base_delay = 0.02;
+
+  const Workload workload(config);
+  const sim::SimResult result =
+      RunScheduler(workload, sched::SchedulerKind::kPlmtf);
+  EXPECT_EQ(result.records.size(), 12u);
+  EXPECT_GT(result.fault_stats.events_aborted, 0u);
+  EXPECT_GT(result.fault_stats.installs_failed, 0u);
+  EXPECT_GT(result.fault_stats.recovery_latency.count(), 0u);
 }
 
 TEST(SoakTest, QuickProbesInvariantsHold) {

@@ -40,15 +40,39 @@ TEST(ExportTest, ReportCsvHasAllColumns) {
   report.tail_ect = 20.0;
   report.total_cost = 300.0;
   report.makespan = 25.0;
+  report.installs_attempted = 12;
+  report.installs_retried = 2;
+  report.events_aborted = 1;
+  report.recovery_latency_p99 = 0.75;
 
   std::ostringstream out;
   WriteReportCsv(out, report);
   const CsvFile parsed = ParseCsv(out.str(), /*has_header=*/true);
   ASSERT_EQ(parsed.rows.size(), 1u);
-  EXPECT_EQ(parsed.header.size(), 9u);
+  EXPECT_EQ(parsed.header.size(), 18u);
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("events")], "3");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("avg_ect")], "10.0000");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("makespan")], "25.0000");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("installs_attempted")], "12");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("installs_retried")], "2");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("events_aborted")], "1");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("recovery_p99")], "0.7500");
+}
+
+TEST(ExportTest, RecordsCsvCarriesFaultColumns) {
+  std::vector<EventRecord> records;
+  EventRecord r;
+  r.event = EventId{3};
+  r.aborts = 2;
+  r.replans = 1;
+  records.push_back(r);
+
+  std::ostringstream out;
+  WriteRecordsCsv(out, records);
+  const CsvFile parsed = ParseCsv(out.str(), /*has_header=*/true);
+  ASSERT_EQ(parsed.rows.size(), 1u);
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("aborts")], "2");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("replans")], "1");
 }
 
 TEST(ExportTest, EmptyRecordsProducesHeaderOnly) {

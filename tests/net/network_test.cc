@@ -217,5 +217,77 @@ TEST(NetworkDeathTest, RemoveUnknownFlow) {
   EXPECT_DEATH(net.Remove(FlowId{123}), "Precondition");
 }
 
+TEST(NetworkFaultStateTest, AllUpInitiallyAndEpochZero) {
+  LineFixture fx;
+  Network net(fx.graph);
+  EXPECT_EQ(net.topology_epoch(), 0u);
+  EXPECT_EQ(net.down_link_count(), 0u);
+  EXPECT_EQ(net.down_node_count(), 0u);
+  for (const auto& l : fx.graph.links()) EXPECT_TRUE(net.LinkUp(l.id));
+  EXPECT_TRUE(net.NodeUp(fx.b));
+  EXPECT_TRUE(net.PathAlive(fx.AbcPath()));
+}
+
+TEST(NetworkFaultStateTest, DownLinkKillsPathAndRevokesCapacity) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  net.SetLinkUp(p.links[0], false);
+  EXPECT_FALSE(net.LinkUp(p.links[0]));
+  EXPECT_FALSE(net.PathAlive(p));
+  EXPECT_FALSE(net.CanPlace(1.0, p));  // plenty of residual, but dead
+  EXPECT_EQ(net.down_link_count(), 1u);
+
+  net.SetLinkUp(p.links[0], true);
+  EXPECT_TRUE(net.PathAlive(p));
+  EXPECT_TRUE(net.CanPlace(1.0, p));
+  EXPECT_EQ(net.down_link_count(), 0u);
+}
+
+TEST(NetworkFaultStateTest, DownNodeKillsEveryPathThroughIt) {
+  LineFixture fx;
+  Network net(fx.graph);
+  net.SetNodeUp(fx.b, false);
+  EXPECT_FALSE(net.PathAlive(fx.AbcPath()));
+  EXPECT_EQ(net.down_node_count(), 1u);
+  net.SetNodeUp(fx.b, true);
+  EXPECT_TRUE(net.PathAlive(fx.AbcPath()));
+}
+
+TEST(NetworkFaultStateTest, EpochBumpsOnlyOnTransitions) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  net.SetLinkUp(p.links[0], false);
+  const auto after_down = net.topology_epoch();
+  EXPECT_GT(after_down, 0u);
+  net.SetLinkUp(p.links[0], false);  // idempotent: no transition
+  EXPECT_EQ(net.topology_epoch(), after_down);
+  net.SetLinkUp(p.links[0], true);
+  EXPECT_GT(net.topology_epoch(), after_down);
+}
+
+TEST(NetworkFaultStateTest, InvariantsFailWhileFlowsOccupyDeadElements) {
+  // The fault layer must remove victims explicitly; until it does, the
+  // network reports the inconsistency.
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  const FlowId id = net.Place(fx.MakeFlow(10.0), p);
+  net.SetLinkUp(p.links[1], false);
+  EXPECT_FALSE(net.CheckInvariants());
+  net.Remove(id);
+  EXPECT_TRUE(net.CheckInvariants());
+}
+
+TEST(NetworkFaultStateTest, RerouteRejectsDeadTargetPath) {
+  LineFixture fx;
+  Network net(fx.graph);
+  const Path p = fx.AbcPath();
+  const FlowId id = net.Place(fx.MakeFlow(10.0), p);
+  net.SetLinkUp(p.links[0], false);
+  EXPECT_FALSE(net.CanReroute(id, p));
+}
+
 }  // namespace
 }  // namespace nu::net

@@ -137,6 +137,34 @@ TEST(SwitchUpgradeEventTest, EndToEndUpgradeDrainsSwitch) {
   EXPECT_TRUE(fx.network.CheckInvariants());
 }
 
+TEST(SwitchFailureEventTest, ReplacesEveryFlowThroughTheDeadSwitch) {
+  Fixture fx;
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(8));
+  for (int i = 0; i < 3; ++i) {
+    flow::Flow f;
+    f.src = fx.ft.host(0);
+    f.dst = fx.ft.host(8);
+    f.demand = 10.0 + i;
+    f.duration = 2.0;
+    fx.network.Place(std::move(f), paths[0]);
+  }
+  const NodeId core = paths[0].nodes[3];
+  const UpdateEvent event =
+      MakeSwitchFailureEvent(EventId{5}, 1.5, fx.network, core);
+  EXPECT_EQ(event.kind(), EventKind::kFailureReroute);
+  EXPECT_DOUBLE_EQ(event.arrival_time(), 1.5);
+  EXPECT_EQ(event.flow_count(), 3u);
+  EXPECT_DOUBLE_EQ(event.TotalDemand(), 10.0 + 11.0 + 12.0);
+}
+
+TEST(SwitchFailureEventDeathTest, RejectsSwitchNothingCrosses) {
+  Fixture fx;
+  const auto& paths = fx.provider.Paths(fx.ft.host(0), fx.ft.host(8));
+  const NodeId idle_core = paths[1].nodes[3];
+  EXPECT_DEATH(MakeSwitchFailureEvent(EventId{6}, 0.0, fx.network, idle_core),
+               "Precondition");
+}
+
 TEST(LinkFailureEventTest, ReplacesFlowsOnBothDirections) {
   Fixture fx;
   // Forward flow host0->host8 via core paths[0]; reverse flow host8->host0

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI-style check: build + test the Release tree, then build + test a
+# sanitized (ASan + UBSan) Debug tree. Run from anywhere inside the repo.
+#
+#   tools/check.sh [-j N]
+#
+# Exits nonzero on the first build or test failure.
+set -euo pipefail
+
+jobs=$(nproc 2>/dev/null || echo 4)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+run_tree() {
+  local dir="$1"; shift
+  echo "=== configure: $dir ($*) ==="
+  cmake -B "$dir" -S . "$@" >/dev/null
+  echo "=== build: $dir ==="
+  cmake --build "$dir" -j "$jobs"
+  echo "=== test: $dir ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+run_tree build -DCMAKE_BUILD_TYPE=Release
+run_tree build-asan -DCMAKE_BUILD_TYPE=Debug -DNU_SANITIZE=ON
+
+echo "=== all checks passed ==="
