@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,32 @@ inline std::size_t ArgOr(int argc, char** argv, const char* prefix,
     }
   }
   return fallback;
+}
+
+/// Parses "--name=value" string overrides (e.g. "--csv=out.csv").
+inline std::string ArgOrStr(int argc, char** argv, const char* prefix,
+                            std::string fallback) {
+  const std::string needle = std::string("--") + prefix + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(needle, 0) == 0) {
+      return arg.substr(needle.size());
+    }
+  }
+  return fallback;
+}
+
+/// Writes the table's machine-readable twin when "--csv=PATH" was given;
+/// a no-op otherwise so the default run stays side-effect free.
+inline void MaybeWriteCsv(const AsciiTable& table, const std::string& path) {
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open csv output: %s\n", path.c_str());
+    return;
+  }
+  table.WriteCsv(out);
+  std::printf("csv written: %s\n", path.c_str());
 }
 
 }  // namespace nu::bench

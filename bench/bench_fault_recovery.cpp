@@ -4,7 +4,7 @@
 // degrade with fault intensity and what the recovery machinery did about it
 // (retries, aborts+rollbacks, replans, per-flow recovery latency).
 //
-// Run:  ./bench_fault_recovery [--trials=N]
+// Run:  ./bench_fault_recovery [--trials=N] [--csv=PATH]
 #include <vector>
 
 #include "bench_common.h"
@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
     }
   }
   table.Print();
+  bench::MaybeWriteCsv(table, bench::ArgOrStr(argc, argv, "csv", ""));
   bench::PrintFooter(
       "ECT and makespan grow with flaky probability (retry backoff + aborted "
       "rounds); retried/aborted counters scale with p while replans/kills "

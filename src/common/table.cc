@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <ostream>
 
 #include "common/check.h"
+#include "common/csv.h"
 
 namespace nu {
 
@@ -85,6 +87,12 @@ std::string AsciiTable::Render() const {
 void AsciiTable::Print() const {
   const std::string rendered = Render();
   std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+}
+
+void AsciiTable::WriteCsv(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.WriteRow(headers_);
+  for (const auto& row : rows_) writer.WriteRow(row);
 }
 
 }  // namespace nu

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,10 @@ class AsciiTable {
   [[nodiscard]] std::string Render() const;
   /// Renders and writes to stdout.
   void Print() const;
+
+  /// Writes header + rows as CSV (shared escaping rules from common/csv.h),
+  /// so every bench table has a machine-readable twin.
+  void WriteCsv(std::ostream& out) const;
 
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
 

@@ -1,5 +1,6 @@
 #include "exp/runner.h"
 
+#include <algorithm>
 #include <future>
 #include <map>
 
@@ -61,6 +62,15 @@ metrics::Report MeanReport(std::span<const metrics::Report> reports) {
     mean.recovery_latency_mean += r.recovery_latency_mean;
     mean.recovery_latency_p99 += r.recovery_latency_p99;
     mean.recovery_latency_max += r.recovery_latency_max;
+    mean.events_completed += r.events_completed;
+    mean.events_shed += r.events_shed;
+    mean.deadline_misses += r.deadline_misses;
+    mean.events_requeued += r.events_requeued;
+    mean.events_quarantined += r.events_quarantined;
+    mean.audits_run += r.audits_run;
+    mean.audit_violations += r.audit_violations;
+    mean.max_queue_length =
+        std::max(mean.max_queue_length, r.max_queue_length);
   }
   const auto n = static_cast<double>(reports.size());
   mean.event_count = reports.front().event_count;
@@ -81,6 +91,14 @@ metrics::Report MeanReport(std::span<const metrics::Report> reports) {
   mean.recovery_latency_mean /= n;
   mean.recovery_latency_p99 /= n;
   mean.recovery_latency_max /= n;
+  mean.events_completed /= reports.size();
+  mean.events_shed /= reports.size();
+  mean.deadline_misses /= reports.size();
+  mean.events_requeued /= reports.size();
+  mean.events_quarantined /= reports.size();
+  mean.audits_run /= reports.size();
+  mean.audit_violations /= reports.size();
+  // max_queue_length stays the cross-trial maximum (a bound, not a mean).
   return mean;
 }
 

@@ -1,0 +1,181 @@
+#include "guard/auditor.h"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace nu::guard {
+namespace {
+
+/// Residual/occupancy comparisons tolerate accumulated floating-point noise
+/// from incremental Occupy/Release updates (same spirit as the network's
+/// own CheckInvariants).
+constexpr double kBandwidthEpsilon = 1e-6;
+
+}  // namespace
+
+const char* ToString(AuditMode mode) {
+  switch (mode) {
+    case AuditMode::kLogAndCount:
+      return "log-and-count";
+    case AuditMode::kFailFast:
+      return "fail-fast";
+  }
+  return "unknown";
+}
+
+AuditFailure::AuditFailure(AuditViolation violation)
+    : std::runtime_error("audit violation [" + violation.invariant +
+                         "]: " + violation.detail),
+      violation_(std::move(violation)) {}
+
+Auditor::Auditor(AuditorConfig config) : config_(config) {
+  NU_EXPECTS(config_.cadence >= 1);
+}
+
+void Auditor::Report(std::string invariant, std::string detail,
+                     std::size_t& found_this_pass) {
+  ++found_this_pass;
+  AuditViolation violation{std::move(invariant), std::move(detail)};
+  NU_LOG(kError) << "audit violation [" << violation.invariant
+                 << "]: " << violation.detail;
+  if (config_.mode == AuditMode::kFailFast) {
+    throw AuditFailure(std::move(violation));
+  }
+  violations_.push_back(std::move(violation));
+}
+
+void Auditor::AuditCapacity(const net::Network& network, bool allow_overcommit,
+                            std::size_t& found) {
+  const topo::Graph& graph = network.graph();
+  // Independent recompute: per-link load from the placements themselves,
+  // never from the network's incremental residuals.
+  std::vector<Mbps> load(graph.link_count(), 0.0);
+  for (FlowId fid : network.PlacedFlows()) {
+    const Mbps demand = network.FlowOf(fid).demand;
+    for (LinkId link : network.PathOf(fid).links) {
+      load[link.value()] += demand;
+    }
+  }
+  for (std::size_t i = 0; i < graph.link_count(); ++i) {
+    const LinkId link{static_cast<LinkId::rep_type>(i)};
+    const Mbps capacity = graph.link(link).capacity;
+    const Mbps residual = network.Residual(link);
+    if (std::abs((capacity - load[i]) - residual) > kBandwidthEpsilon) {
+      std::ostringstream os;
+      os << "link " << i << ": residual " << residual
+         << " disagrees with recomputed " << (capacity - load[i])
+         << " (capacity " << capacity << ", load " << load[i] << ")";
+      Report("capacity", os.str(), found);
+    }
+    if (!allow_overcommit && load[i] > capacity + kBandwidthEpsilon) {
+      std::ostringstream os;
+      os << "link " << i << ": reserved " << load[i] << " exceeds capacity "
+         << capacity;
+      Report("capacity", os.str(), found);
+    }
+    if (!allow_overcommit && residual < -kBandwidthEpsilon) {
+      std::ostringstream os;
+      os << "link " << i << ": negative residual " << residual;
+      Report("capacity", os.str(), found);
+    }
+  }
+}
+
+void Auditor::AuditCoherence(const net::Network& network,
+                             bool allow_dead_paths, std::size_t& found) {
+  const topo::Graph& graph = network.graph();
+  for (FlowId fid : network.PlacedFlows()) {
+    const flow::Flow& flow = network.FlowOf(fid);
+    const topo::Path& path = network.PathOf(fid);
+
+    if (path.nodes.empty() || path.links.size() + 1 != path.nodes.size()) {
+      std::ostringstream os;
+      os << "flow " << fid.value() << ": malformed path shape ("
+         << path.nodes.size() << " nodes, " << path.links.size() << " links)";
+      Report("coherence", os.str(), found);
+      continue;  // the structural checks below assume a sane shape
+    }
+    if (path.source() != flow.src || path.destination() != flow.dst) {
+      std::ostringstream os;
+      os << "flow " << fid.value() << ": path endpoints ("
+         << path.source().value() << " -> " << path.destination().value()
+         << ") do not match flow (" << flow.src.value() << " -> "
+         << flow.dst.value() << ")";
+      Report("coherence", os.str(), found);
+    }
+    bool contiguous = true;
+    for (std::size_t i = 0; i < path.links.size(); ++i) {
+      const topo::Link& link = graph.link(path.links[i]);
+      if (link.src != path.nodes[i] || link.dst != path.nodes[i + 1]) {
+        contiguous = false;
+        break;
+      }
+    }
+    if (!contiguous) {
+      std::ostringstream os;
+      os << "flow " << fid.value()
+         << ": path links do not connect its node sequence (blackhole)";
+      Report("coherence", os.str(), found);
+    }
+    std::unordered_set<NodeId::rep_type> seen;
+    bool loop_free = true;
+    for (NodeId node : path.nodes) {
+      if (!seen.insert(node.value()).second) {
+        loop_free = false;
+        break;
+      }
+    }
+    if (!loop_free) {
+      std::ostringstream os;
+      os << "flow " << fid.value() << ": forwarding loop (repeated node)";
+      Report("coherence", os.str(), found);
+    }
+    if (!allow_dead_paths && !network.PathAlive(path)) {
+      std::ostringstream os;
+      os << "flow " << fid.value()
+         << ": path crosses a down link or switch (blackhole)";
+      Report("coherence", os.str(), found);
+    }
+  }
+}
+
+void Auditor::AuditAccounting(const QueueAccounting& accounting,
+                              std::size_t& found) {
+  const std::size_t placed = accounting.queued + accounting.active +
+                             accounting.parked + accounting.completed +
+                             accounting.shed + accounting.quarantined;
+  if (placed != accounting.arrived) {
+    std::ostringstream os;
+    os << "event conservation: arrived " << accounting.arrived
+       << " != queued " << accounting.queued << " + active "
+       << accounting.active << " + parked " << accounting.parked
+       << " + completed " << accounting.completed << " + shed "
+       << accounting.shed << " + quarantined " << accounting.quarantined;
+    Report("accounting", os.str(), found);
+  }
+  if (accounting.queue_capacity > 0 &&
+      accounting.queued > accounting.queue_capacity) {
+    std::ostringstream os;
+    os << "bounded queue holds " << accounting.queued << " > capacity "
+       << accounting.queue_capacity;
+    Report("accounting", os.str(), found);
+  }
+}
+
+std::size_t Auditor::Audit(const net::Network& network,
+                           const QueueAccounting& accounting,
+                           std::size_t forced_placements) {
+  ++audits_run_;
+  std::size_t found = 0;
+  const bool relaxed = forced_placements > 0;
+  AuditCapacity(network, /*allow_overcommit=*/relaxed, found);
+  AuditCoherence(network, /*allow_dead_paths=*/relaxed, found);
+  AuditAccounting(accounting, found);
+  return found;
+}
+
+}  // namespace nu::guard

@@ -1,0 +1,118 @@
+// Runtime invariant auditor. Transient-consistency bugs are exactly the
+// kind that survive unit tests and surface only mid-run ("Transiently
+// Consistent SDN Updates: Being Greedy is Hard"), so the guard re-derives
+// the system's invariants from first principles at runtime instead of
+// trusting them by construction. An audit pass recomputes, independently of
+// the network's own incremental bookkeeping:
+//
+//   * capacity conservation — per link, the sum of placed-flow demands must
+//     match capacity - residual, never exceed capacity, and never drive the
+//     residual negative (unless the run deliberately force-placed flows to
+//     break a reported deadlock);
+//   * flow/rule coherence — every placed flow must hold a structurally
+//     valid path: contiguous src -> dst walk over existing links, loop-free,
+//     endpoints matching the flow descriptor, and fully alive (no blackhole
+//     through a down link or switch);
+//   * queue/quarantine accounting — every event the run has admitted is in
+//     exactly one place: queued, active, parked for requeue, completed,
+//     shed, or quarantined; a bounded queue never exceeds its bound.
+//
+// Two failure modes: kFailFast throws AuditFailure at the first violation
+// (tests, canary runs); kLogAndCount records every violation and keeps the
+// run alive (production telemetry — counters land in metrics::GuardStats).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace nu::guard {
+
+enum class AuditMode : std::uint8_t {
+  kLogAndCount,
+  kFailFast,
+};
+
+[[nodiscard]] const char* ToString(AuditMode mode);
+
+struct AuditorConfig {
+  bool enabled = false;
+  AuditMode mode = AuditMode::kLogAndCount;
+  /// Run a pass every `cadence`-th simulator occurrence. Fault occurrences
+  /// always trigger a pass regardless of cadence (faults are when state
+  /// corruption happens, if it happens). >= 1.
+  std::size_t cadence = 64;
+};
+
+struct AuditViolation {
+  /// Which invariant family fired: "capacity" | "coherence" | "accounting".
+  std::string invariant;
+  std::string detail;
+};
+
+/// Thrown by fail-fast audits at the first violation.
+class AuditFailure : public std::runtime_error {
+ public:
+  explicit AuditFailure(AuditViolation violation);
+
+  [[nodiscard]] const AuditViolation& violation() const { return violation_; }
+
+ private:
+  AuditViolation violation_;
+};
+
+/// The simulator-side event accounting an audit pass cross-checks. Every
+/// admitted event must be in exactly one bucket.
+struct QueueAccounting {
+  /// Every event the run has seen so far (shed arrivals included — shedding
+  /// is one of the conservation buckets below, never a silent drop).
+  std::size_t arrived = 0;
+  std::size_t queued = 0;
+  std::size_t active = 0;
+  /// Aborted by the watchdog, waiting out their requeue backoff.
+  std::size_t parked = 0;
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  std::size_t quarantined = 0;
+  /// Queue bound; 0 = unbounded.
+  std::size_t queue_capacity = 0;
+};
+
+class Auditor {
+ public:
+  explicit Auditor(AuditorConfig config = {});
+
+  /// One full audit pass. Returns the number of violations found by this
+  /// pass (also appended to violations()). In fail-fast mode the first
+  /// violation throws AuditFailure instead. `forced_placements` > 0 relaxes
+  /// the capacity and liveness checks — the simulator reports force-placed
+  /// flows separately, and they intentionally overcommit links.
+  std::size_t Audit(const net::Network& network,
+                    const QueueAccounting& accounting,
+                    std::size_t forced_placements = 0);
+
+  [[nodiscard]] const AuditorConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t audits_run() const { return audits_run_; }
+  [[nodiscard]] const std::vector<AuditViolation>& violations() const {
+    return violations_;
+  }
+
+ private:
+  /// Records (or throws, in fail-fast mode) one violation.
+  void Report(std::string invariant, std::string detail,
+              std::size_t& found_this_pass);
+
+  void AuditCapacity(const net::Network& network, bool allow_overcommit,
+                     std::size_t& found);
+  void AuditCoherence(const net::Network& network, bool allow_dead_paths,
+                      std::size_t& found);
+  void AuditAccounting(const QueueAccounting& accounting, std::size_t& found);
+
+  AuditorConfig config_;
+  std::size_t audits_run_ = 0;
+  std::vector<AuditViolation> violations_;
+};
+
+}  // namespace nu::guard

@@ -1,0 +1,23 @@
+// Umbrella configuration for the guard subsystem: overload control on the
+// update queue, the deadline watchdog + poison quarantine, and the runtime
+// invariant auditor. Disabled (the default) costs nothing on the simulator
+// hot path and leaves fixed-seed runs bit-identical to pre-guard builds.
+#pragma once
+
+#include "guard/auditor.h"
+#include "guard/overload.h"
+#include "guard/watchdog.h"
+
+namespace nu::guard {
+
+struct GuardConfig {
+  OverloadConfig overload;
+  DeadlineConfig deadline;
+  AuditorConfig auditor;
+
+  [[nodiscard]] bool enabled() const {
+    return overload.enabled() || deadline.enabled() || auditor.enabled;
+  }
+};
+
+}  // namespace nu::guard

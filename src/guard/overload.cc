@@ -1,0 +1,61 @@
+#include "guard/overload.h"
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "update/cost_estimate.h"
+
+namespace nu::guard {
+
+const char* ToString(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kRejectNew:
+      return "reject-new";
+    case OverloadPolicy::kShedOldest:
+      return "shed-oldest";
+    case OverloadPolicy::kShedCostliest:
+      return "shed-costliest";
+  }
+  return "unknown";
+}
+
+OverloadPolicy ParseOverloadPolicy(const std::string& name) {
+  if (name == "reject-new") return OverloadPolicy::kRejectNew;
+  if (name == "shed-oldest") return OverloadPolicy::kShedOldest;
+  if (name == "shed-costliest") return OverloadPolicy::kShedCostliest;
+  NU_CHECK(false && "unknown overload policy");
+  return OverloadPolicy::kRejectNew;
+}
+
+std::optional<std::size_t> ChooseShedVictim(
+    const OverloadConfig& config,
+    std::span<const update::UpdateEvent* const> queue,
+    const update::UpdateEvent& incoming, const net::Network& network,
+    const topo::PathProvider& paths) {
+  NU_EXPECTS(config.enabled());
+  NU_EXPECTS(queue.size() >= config.max_queue_length);
+
+  switch (config.policy) {
+    case OverloadPolicy::kRejectNew:
+      return std::nullopt;
+    case OverloadPolicy::kShedOldest:
+      return 0;
+    case OverloadPolicy::kShedCostliest: {
+      // Ties go to the incoming event (prefer keeping admitted work), then
+      // to the earliest queue position — deterministic for equal scores.
+      Mbps worst = update::QuickCostScore(network, paths, incoming);
+      std::optional<std::size_t> victim;
+      for (std::size_t i = 0; i < queue.size(); ++i) {
+        const Mbps score = update::QuickCostScore(network, paths, *queue[i]);
+        if (score > worst) {
+          worst = score;
+          victim = i;
+        }
+      }
+      NU_LOG(kDebug) << "overload: shed-costliest victim score " << worst;
+      return victim;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nu::guard

@@ -1,0 +1,68 @@
+// Overload control for the update queue. A production controller cannot let
+// the scheduler's queue grow without bound: beyond some depth every further
+// admission only adds queuing delay for everyone (the paper's Fig. 8 metric)
+// while the head keeps starving. The guard bounds the queue and applies a
+// configurable backpressure policy when a new event arrives at a full queue:
+//
+//   * kRejectNew     — the incoming event is shed (classic tail drop). Keeps
+//                      the oldest work; favors fairness (FIFO order intact).
+//   * kShedOldest    — the queue head is shed to admit the newcomer (head
+//                      drop). Keeps the queue fresh under sustained overload,
+//                      when the oldest entries have already missed any
+//                      latency target worth meeting.
+//   * kShedCostliest — the event with the largest estimated update cost
+//                      (update::QuickCostScore, the same estimate LMTF's
+//                      quick probes rank by) among queue + newcomer is shed.
+//                      Maximizes surviving throughput per unit of migration
+//                      work — the LMTF idea applied to admission.
+//
+// Shedding is observable, never silent: the simulator records every shed
+// event with a terminal status (metrics::TerminalStatus) and counts it in
+// metrics::GuardStats.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "net/network.h"
+#include "topo/path_provider.h"
+#include "update/update_event.h"
+
+namespace nu::guard {
+
+enum class OverloadPolicy : std::uint8_t {
+  kRejectNew,
+  kShedOldest,
+  kShedCostliest,
+};
+
+[[nodiscard]] const char* ToString(OverloadPolicy policy);
+
+/// Parses "reject-new" | "shed-oldest" | "shed-costliest". Aborts on
+/// unknown names (mirrors sched::ParseSchedulerKind).
+[[nodiscard]] OverloadPolicy ParseOverloadPolicy(const std::string& name);
+
+struct OverloadConfig {
+  /// Maximum number of queued (admitted, not yet executing) update events.
+  /// 0 disables admission control entirely — the queue is unbounded, as in
+  /// the paper's evaluation setting.
+  std::size_t max_queue_length = 0;
+  OverloadPolicy policy = OverloadPolicy::kRejectNew;
+
+  [[nodiscard]] bool enabled() const { return max_queue_length > 0; }
+};
+
+/// Decides which event to shed when `incoming` arrives at a full queue
+/// (queue.size() == max_queue_length). Returns the queue index of the
+/// victim, or nullopt when the incoming event itself should be shed.
+/// kShedCostliest estimates every candidate's cost against the current
+/// network — O(queue x flows) path lookups, paid only at the overload
+/// boundary.
+[[nodiscard]] std::optional<std::size_t> ChooseShedVictim(
+    const OverloadConfig& config,
+    std::span<const update::UpdateEvent* const> queue,
+    const update::UpdateEvent& incoming, const net::Network& network,
+    const topo::PathProvider& paths);
+
+}  // namespace nu::guard

@@ -6,6 +6,22 @@
 
 namespace nu::metrics {
 
+const char* ToString(TerminalStatus status) {
+  switch (status) {
+    case TerminalStatus::kPending:
+      return "pending";
+    case TerminalStatus::kCompleted:
+      return "completed";
+    case TerminalStatus::kShed:
+      return "shed";
+    case TerminalStatus::kAborted:
+      return "aborted";
+    case TerminalStatus::kQuarantined:
+      return "quarantined";
+  }
+  return "unknown";
+}
+
 EventRecord& Collector::Find(EventId event) {
   const auto it =
       std::find_if(records_.begin(), records_.end(),
@@ -27,9 +43,11 @@ void Collector::OnArrival(EventId event, Seconds time,
 
 void Collector::OnExecutionStart(EventId event, Seconds time) {
   EventRecord& record = Find(event);
-  NU_EXPECTS(record.exec_start < 0.0);
   NU_EXPECTS(time >= record.arrival);
-  record.exec_start = time;
+  // A watchdog-aborted event can execute again after requeueing; queuing
+  // delay is measured to the FIRST execution start, so later attempts keep
+  // the original timestamp.
+  if (record.exec_start < 0.0) record.exec_start = time;
 }
 
 void Collector::OnCost(EventId event, Mbps added_cost) {
@@ -44,7 +62,9 @@ void Collector::OnCompletion(EventId event, Seconds time) {
   NU_EXPECTS(record.completion < 0.0);
   NU_EXPECTS(record.exec_start >= 0.0);
   NU_EXPECTS(time >= record.exec_start);
+  NU_EXPECTS(!record.terminal());
   record.completion = time;
+  record.status = TerminalStatus::kCompleted;
 }
 
 void Collector::OnInstallBatch(std::size_t attempts, bool failed) {
@@ -73,6 +93,49 @@ void Collector::OnFlowKilled() { ++fault_stats_.flows_killed; }
 void Collector::OnRecovery(Seconds latency) {
   NU_EXPECTS(latency >= 0.0);
   fault_stats_.recovery_latency.Add(latency);
+}
+
+void Collector::OnShed(EventId event, Seconds time) {
+  EventRecord& record = Find(event);
+  NU_EXPECTS(!record.terminal());
+  NU_EXPECTS(time >= record.arrival);
+  record.status = record.exec_start >= 0.0 ? TerminalStatus::kAborted
+                                           : TerminalStatus::kShed;
+  ++guard_stats_.events_shed;
+}
+
+void Collector::OnDeadlineMiss(EventId event) {
+  ++Find(event).deadline_misses;
+  ++guard_stats_.deadline_misses;
+}
+
+void Collector::OnRequeued(EventId event) {
+  NU_EXPECTS(!Find(event).terminal());
+  ++guard_stats_.events_requeued;
+}
+
+void Collector::OnQuarantined(EventId event, Seconds time) {
+  EventRecord& record = Find(event);
+  NU_EXPECTS(!record.terminal());
+  NU_EXPECTS(time >= record.arrival);
+  NU_EXPECTS(record.deadline_misses > 0);
+  record.status = TerminalStatus::kQuarantined;
+  ++guard_stats_.events_quarantined;
+}
+
+void Collector::OnAudit(std::size_t violations) {
+  ++guard_stats_.audits_run;
+  guard_stats_.audit_violations += violations;
+}
+
+void Collector::OnQueueDepth(std::size_t length) {
+  guard_stats_.max_queue_length =
+      std::max(guard_stats_.max_queue_length, length);
+}
+
+bool Collector::AllTerminal() const {
+  return std::all_of(records_.begin(), records_.end(),
+                     [](const EventRecord& r) { return r.terminal(); });
 }
 
 bool Collector::AllComplete() const {

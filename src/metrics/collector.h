@@ -10,15 +10,36 @@
 
 namespace nu::metrics {
 
+/// How an update event's lifecycle ended. Every admitted event reaches
+/// exactly one terminal state by the end of a run:
+///   kCompleted   — all flows installed (the only state with an ECT).
+///   kShed        — dropped by overload admission control before it ever
+///                  started executing.
+///   kAborted     — started executing at least once, was rolled back by the
+///                  watchdog, and was then shed from a full queue while
+///                  waiting to retry.
+///   kQuarantined — missed its deadline max_failures times (poison event);
+///                  removed from the round loop permanently.
+enum class TerminalStatus : std::uint8_t {
+  kPending,  // still in flight (non-terminal)
+  kCompleted,
+  kShed,
+  kAborted,
+  kQuarantined,
+};
+
+[[nodiscard]] const char* ToString(TerminalStatus status);
+
 /// One update event's lifecycle measurements.
 struct EventRecord {
   EventId event = EventId::invalid();
   /// When the event entered the update queue.
   Seconds arrival = 0.0;
-  /// When its execution started (after the scheduling decision and plan).
-  Seconds exec_start = 0.0;
-  /// When its last flow completed.
-  Seconds completion = 0.0;
+  /// When its FIRST execution started (after the scheduling decision and
+  /// plan); -1 while the event has never executed.
+  Seconds exec_start = -1.0;
+  /// When its last flow completed; -1 unless kCompleted.
+  Seconds completion = -1.0;
   /// Cost(U): migrated traffic attributed to this event (Mbps).
   Mbps cost = 0.0;
   /// Number of flows in the event.
@@ -29,6 +50,14 @@ struct EventRecord {
   std::size_t aborts = 0;
   /// Times a fault forced this event's in-flight flows back to replanning.
   std::size_t replans = 0;
+  /// Watchdog deadline misses (each one aborted an execution attempt).
+  std::size_t deadline_misses = 0;
+  /// How the event's lifecycle ended (kPending only mid-run).
+  TerminalStatus status = TerminalStatus::kPending;
+
+  [[nodiscard]] bool terminal() const {
+    return status != TerminalStatus::kPending;
+  }
 
   /// Queuing delay: arrival -> execution start.
   [[nodiscard]] Seconds QueuingDelay() const { return exec_start - arrival; }
@@ -58,6 +87,25 @@ struct FaultStats {
   Samples recovery_latency;
 };
 
+/// Run-wide overload-guard and auditor counters (all zero when the guard
+/// subsystem is disabled).
+struct GuardStats {
+  /// Events dropped by admission control (terminal kShed or kAborted).
+  std::size_t events_shed = 0;
+  /// Watchdog firings: an execution attempt overran its soft deadline and
+  /// was aborted + rolled back.
+  std::size_t deadline_misses = 0;
+  /// Aborted events re-admitted to the queue after their backoff.
+  std::size_t events_requeued = 0;
+  /// Poison events moved to quarantine after max_failures misses.
+  std::size_t events_quarantined = 0;
+  /// Invariant-auditor passes run and total violations they found.
+  std::size_t audits_run = 0;
+  std::size_t audit_violations = 0;
+  /// High-water mark of the update queue length.
+  std::size_t max_queue_length = 0;
+};
+
 class Collector {
  public:
   void OnArrival(EventId event, Seconds time, std::size_t flow_count);
@@ -81,12 +129,34 @@ class Collector {
   /// A disrupted flow reinstalled `latency` seconds after its disruption.
   void OnRecovery(Seconds latency);
 
+  // --- Guard lifecycle ---------------------------------------------------
+  /// Admission control shed `event` at `time`. Events that never executed
+  /// terminate kShed; events with a past execution start (watchdog-aborted,
+  /// shed while requeued) terminate kAborted.
+  void OnShed(EventId event, Seconds time);
+  /// The watchdog aborted an execution attempt of `event` (deadline miss).
+  void OnDeadlineMiss(EventId event);
+  /// A watchdog-aborted event re-entered the queue after its backoff.
+  void OnRequeued(EventId event);
+  /// `event` exhausted its deadline-failure budget and was quarantined.
+  void OnQuarantined(EventId event, Seconds time);
+  /// One auditor pass ran and found `violations` invariant violations.
+  void OnAudit(std::size_t violations);
+  /// Update-queue length observed after an admission; keeps the high-water
+  /// mark.
+  void OnQueueDepth(std::size_t length);
+
   [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
+  [[nodiscard]] const GuardStats& guard_stats() const { return guard_stats_; }
 
   /// All records; complete once every event has a completion time.
   [[nodiscard]] const std::vector<EventRecord>& records() const {
     return records_;
   }
+
+  /// Every record reached a terminal state (completed, or — with the guard
+  /// subsystem on — shed, aborted, or quarantined).
+  [[nodiscard]] bool AllTerminal() const;
 
   [[nodiscard]] bool AllComplete() const;
 
@@ -99,6 +169,7 @@ class Collector {
 
   std::vector<EventRecord> records_;
   FaultStats fault_stats_;
+  GuardStats guard_stats_;
 };
 
 }  // namespace nu::metrics

@@ -10,16 +10,22 @@ void WriteRecordsCsv(std::ostream& out,
   CsvWriter writer(out);
   writer.WriteRow({"event", "arrival", "exec_start", "completion",
                    "queuing_delay", "ect", "cost", "flow_count",
-                   "deferred_flows", "aborts", "replans"});
+                   "deferred_flows", "aborts", "replans", "deadline_misses",
+                   "status"});
   for (const EventRecord& r : records) {
+    // Events that never started/completed carry -1 sentinels; derived
+    // delays are meaningless for them and exported as -1 too.
+    const double qdelay = r.exec_start >= 0.0 ? r.QueuingDelay() : -1.0;
+    const double ect = r.completion >= 0.0 ? r.Ect() : -1.0;
     writer.WriteRow({std::to_string(r.event.value()),
                      FormatDouble(r.arrival, 4), FormatDouble(r.exec_start, 4),
                      FormatDouble(r.completion, 4),
-                     FormatDouble(r.QueuingDelay(), 4),
-                     FormatDouble(r.Ect(), 4), FormatDouble(r.cost, 2),
+                     FormatDouble(qdelay, 4),
+                     FormatDouble(ect, 4), FormatDouble(r.cost, 2),
                      std::to_string(r.flow_count),
                      std::to_string(r.deferred_flows),
-                     std::to_string(r.aborts), std::to_string(r.replans)});
+                     std::to_string(r.aborts), std::to_string(r.replans),
+                     std::to_string(r.deadline_misses), ToString(r.status)});
   }
 }
 
@@ -30,7 +36,9 @@ void WriteReportCsv(std::ostream& out, const Report& report) {
                    "deferred", "installs_attempted", "installs_retried",
                    "installs_failed", "events_aborted", "events_replanned",
                    "flows_killed", "recovery_mean", "recovery_p99",
-                   "recovery_max"});
+                   "recovery_max", "events_completed", "events_shed",
+                   "deadline_misses", "events_requeued", "events_quarantined",
+                   "audits_run", "audit_violations", "max_queue_length"});
   writer.WriteRow({std::to_string(report.event_count),
                    FormatDouble(report.avg_ect, 4),
                    FormatDouble(report.tail_ect, 4),
@@ -48,7 +56,15 @@ void WriteReportCsv(std::ostream& out, const Report& report) {
                    std::to_string(report.flows_killed),
                    FormatDouble(report.recovery_latency_mean, 4),
                    FormatDouble(report.recovery_latency_p99, 4),
-                   FormatDouble(report.recovery_latency_max, 4)});
+                   FormatDouble(report.recovery_latency_max, 4),
+                   std::to_string(report.events_completed),
+                   std::to_string(report.events_shed),
+                   std::to_string(report.deadline_misses),
+                   std::to_string(report.events_requeued),
+                   std::to_string(report.events_quarantined),
+                   std::to_string(report.audits_run),
+                   std::to_string(report.audit_violations),
+                   std::to_string(report.max_queue_length)});
 }
 
 }  // namespace nu::metrics

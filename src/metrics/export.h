@@ -13,14 +13,18 @@ namespace nu::metrics {
 
 /// Writes one row per event:
 ///   event,arrival,exec_start,completion,queuing_delay,ect,cost,flow_count,
-///   deferred_flows,aborts,replans
+///   deferred_flows,aborts,replans,deadline_misses,status
+/// `status` is the terminal state (completed|shed|aborted|quarantined;
+/// non-completed events carry -1 exec_start/completion sentinels).
 void WriteRecordsCsv(std::ostream& out, std::span<const EventRecord> records);
 
 /// Writes a single-row aggregate (with header):
 ///   events,avg_ect,tail_ect,avg_qdelay,worst_qdelay,total_cost,plan_time,
 ///   makespan,deferred,installs_attempted,installs_retried,installs_failed,
 ///   events_aborted,events_replanned,flows_killed,recovery_mean,
-///   recovery_p99,recovery_max
+///   recovery_p99,recovery_max,events_completed,events_shed,
+///   deadline_misses,events_requeued,events_quarantined,audits_run,
+///   audit_violations,max_queue_length
 void WriteReportCsv(std::ostream& out, const Report& report);
 
 }  // namespace nu::metrics

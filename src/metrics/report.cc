@@ -19,6 +19,13 @@ std::string Report::DebugString() const {
        << " replanned=" << events_replanned << " killed=" << flows_killed
        << " recovery_mean=" << recovery_latency_mean;
   }
+  if (events_shed > 0 || deadline_misses > 0 || events_quarantined > 0 ||
+      audits_run > 0) {
+    os << " completed=" << events_completed << " shed=" << events_shed
+       << " deadline_misses=" << deadline_misses
+       << " quarantined=" << events_quarantined << " audits=" << audits_run
+       << "/" << audit_violations << "v max_queue=" << max_queue_length;
+  }
   os << "}";
   return os.str();
 }
@@ -41,6 +48,17 @@ Report BuildReport(const Collector& collector, double total_plan_time,
     report.makespan = std::max(report.makespan, r.completion);
     report.total_deferred_flows += r.deferred_flows;
   }
+  for (const EventRecord& r : collector.records()) {
+    if (r.status == TerminalStatus::kCompleted) ++report.events_completed;
+  }
+  const GuardStats& guard = collector.guard_stats();
+  report.events_shed = guard.events_shed;
+  report.deadline_misses = guard.deadline_misses;
+  report.events_requeued = guard.events_requeued;
+  report.events_quarantined = guard.events_quarantined;
+  report.audits_run = guard.audits_run;
+  report.audit_violations = guard.audit_violations;
+  report.max_queue_length = guard.max_queue_length;
   const FaultStats& faults = collector.fault_stats();
   report.installs_attempted = faults.installs_attempted;
   report.installs_retried = faults.installs_retried;

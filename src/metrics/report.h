@@ -37,6 +37,19 @@ struct Report {
   double recovery_latency_p99 = 0.0;
   double recovery_latency_max = 0.0;
 
+  // Overload-guard and auditor aggregates (all zero when the guard
+  // subsystem is off); see metrics::GuardStats for exact meanings. With the
+  // guard on, ECT/queuing-delay averages cover completed events only —
+  // events_completed says how many that is.
+  std::size_t events_completed = 0;
+  std::size_t events_shed = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t events_requeued = 0;
+  std::size_t events_quarantined = 0;
+  std::size_t audits_run = 0;
+  std::size_t audit_violations = 0;
+  std::size_t max_queue_length = 0;
+
   [[nodiscard]] std::string DebugString() const;
 };
 

@@ -42,8 +42,14 @@ LmtfScheduler::Pick LmtfScheduler::PickCheapest(SchedulingContext& context,
   return Pick{.candidates = std::move(candidates), .cheapest = cheapest};
 }
 
+std::size_t LmtfScheduler::EffectiveAlpha(const SchedulingContext& context,
+                                          std::size_t alpha) {
+  return context.Pressure().Overloaded() ? 2 * alpha : alpha;
+}
+
 Decision LmtfScheduler::Decide(SchedulingContext& context) {
-  const Pick pick = PickCheapest(context, config_.alpha);
+  const Pick pick =
+      PickCheapest(context, EffectiveAlpha(context, config_.alpha));
   return Decision{.selected = {pick.cheapest}};
 }
 

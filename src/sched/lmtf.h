@@ -34,6 +34,13 @@ class LmtfScheduler final : public Scheduler {
   };
   static Pick PickCheapest(SchedulingContext& context, std::size_t alpha);
 
+  /// Backpressure-aware sample width: while the bounded queue is saturated
+  /// (guard admission control is shedding), doubling the candidate sample
+  /// spends extra probe time to pick better drains — worth it exactly when
+  /// queuing delay, not plan time, dominates. No-op without a queue bound.
+  static std::size_t EffectiveAlpha(const SchedulingContext& context,
+                                    std::size_t alpha);
+
  private:
   friend class PlmtfScheduler;
   LmtfConfig config_;

@@ -9,8 +9,10 @@ PlmtfScheduler::PlmtfScheduler(LmtfConfig config) : config_(config) {
 }
 
 Decision PlmtfScheduler::Decide(SchedulingContext& context) {
-  const LmtfScheduler::Pick pick =
-      LmtfScheduler::PickCheapest(context, config_.alpha);
+  // Under backpressure the widened sample also widens the co-scheduling
+  // pool, draining the saturated queue with bigger parallel rounds.
+  const LmtfScheduler::Pick pick = LmtfScheduler::PickCheapest(
+      context, LmtfScheduler::EffectiveAlpha(context, config_.alpha));
 
   Decision decision;
   decision.selected.push_back(pick.cheapest);

@@ -25,6 +25,22 @@ struct QueuedEvent {
   /// Position is implied by index in the queue span (arrival order).
 };
 
+/// Backpressure view of the bounded update queue (guard subsystem). The
+/// queue a scheduler sees holds only admitted events — overload shedding
+/// already happened — but pressure lets policies adapt while the system is
+/// saturated (e.g. LMTF/P-LMTF widen their candidate sample to drain
+/// faster). `capacity == 0` means admission control is off.
+struct QueuePressure {
+  std::size_t capacity = 0;
+  std::size_t length = 0;
+  /// Events shed by admission control so far this run.
+  std::size_t shed_total = 0;
+
+  [[nodiscard]] bool Overloaded() const {
+    return capacity > 0 && length >= capacity;
+  }
+};
+
 class SchedulingContext {
  public:
   virtual ~SchedulingContext() = default;
@@ -42,6 +58,10 @@ class SchedulingContext {
 
   /// Randomness source for sampling-based schedulers.
   virtual Rng& rng() = 0;
+
+  /// Current backpressure state. Defaults to "no admission control" so
+  /// contexts predating the guard subsystem need not override it.
+  [[nodiscard]] virtual QueuePressure Pressure() const { return {}; }
 };
 
 struct Decision {

@@ -29,6 +29,11 @@ constexpr double kTimeEpsilon = 1e-9;
 ///                         placements back and re-defer the flows.
 ///   kFault:               a scheduled FaultSpec fires — flip topology state
 ///                         and strand the flows crossing the dead element.
+///   kWatchdog:            an execution attempt's soft deadline expired —
+///                         abort + roll back the attempt if it is still the
+///                         live one (guard subsystem).
+///   kRequeue:             a watchdog-aborted event's backoff elapsed — it
+///                         re-enters the queue through admission control.
 struct Occurrence {
   enum class Kind : std::uint8_t {
     kDeparture,
@@ -36,15 +41,22 @@ struct Occurrence {
     kInstallDone,
     kInstallAborted,
     kFault,
+    kWatchdog,
+    kRequeue,
   };
   Kind kind = Kind::kDeparture;
   FlowId flow;                 // departures
-  EventId event;               // install batches
+  EventId event;               // install batches / watchdog / requeue
   std::size_t fault_index = 0;  // kFault: index into the fault plan's specs
   /// kInstallDone / kInstallAborted: the batch's placed flow ids. Entries no
   /// longer in the network were killed by a fault mid-install and are
   /// skipped (flow ids are never reused).
   std::vector<FlowId> flows;
+  /// kInstallDone / kInstallAborted / kWatchdog: the activation generation
+  /// the occurrence was scheduled for. A watchdog abort + requeue restarts
+  /// the event under a fresh generation; occurrences of dead generations
+  /// are stale and skipped.
+  std::uint64_t generation = 0;
 };
 
 /// An update event currently executing (installing flows, possibly waiting
@@ -60,8 +72,12 @@ struct ActiveEvent {
   /// Consecutive cheap-retry failures; full migration planning runs only
   /// every kMigrationRetryPeriod-th failure to keep churn retries cheap.
   std::size_t retry_failures = 0;
+  /// Which activation of the event this is (1-based; > 1 only after
+  /// watchdog abort + requeue). Guards against stale timeline occurrences
+  /// from aborted activations.
+  std::uint64_t generation = 1;
 
-  // --- Fault bookkeeping (maintained only when fault injection is on) ----
+  // --- Fault bookkeeping (maintained when faults or the watchdog are on) --
   /// Placed flow id -> index into event->flows(). Lets fault handlers map a
   /// stranded placement back to the event flow that must be replanned.
   std::unordered_map<FlowId::rep_type, std::size_t> flow_index;
@@ -89,17 +105,23 @@ class RoundContext final : public sched::SchedulingContext {
   RoundContext(const net::Network& network, const update::EventPlanner& planner,
                const CostModel& cost_model,
                std::span<const sched::QueuedEvent> queue, Rng& rng,
-               Mbps co_migration_allowance, bool quick_cost_probes)
+               Mbps co_migration_allowance, bool quick_cost_probes,
+               sched::QueuePressure pressure)
       : network_(network),
         planner_(planner),
         cost_model_(cost_model),
         queue_(queue),
         rng_(rng),
         co_migration_allowance_(co_migration_allowance),
-        quick_cost_probes_(quick_cost_probes) {}
+        quick_cost_probes_(quick_cost_probes),
+        pressure_(pressure) {}
 
   [[nodiscard]] std::span<const sched::QueuedEvent> Queue() const override {
     return queue_;
+  }
+
+  [[nodiscard]] sched::QueuePressure Pressure() const override {
+    return pressure_;
   }
 
   Mbps ProbeCost(std::size_t index) override {
@@ -210,6 +232,7 @@ class RoundContext final : public sched::SchedulingContext {
   std::vector<std::size_t> applied_;
   Mbps co_migration_allowance_ = 100.0;
   bool quick_cost_probes_ = false;
+  sched::QueuePressure pressure_;
 };
 
 /// Events sorted by arrival time (stable on ties).
@@ -255,12 +278,39 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
   Rng rng(config_.seed);
   SimResult result;
 
+  // Guard wiring. Like the fault machinery, a disabled guard draws nothing
+  // and changes nothing: fixed-seed runs are bit-identical with and without
+  // it. `lossy` marks the regimes where placed flows can disappear out from
+  // under scheduled occurrences (fault kills, watchdog rollbacks), which
+  // turns on the per-flow bookkeeping and stale-occurrence tolerance.
+  const guard::GuardConfig& gcfg = config_.guard;
+  const bool overload_on = gcfg.overload.enabled();
+  const bool watchdog_on = gcfg.deadline.enabled();
+  const bool audit_on = gcfg.auditor.enabled;
+  const bool lossy = faults_on || watchdog_on;
+  guard::Watchdog watchdog(gcfg.deadline);
+  guard::Auditor auditor(gcfg.auditor);
+
   const auto pending = SortedByArrival(events);
   std::size_t next_arrival = 0;
 
   std::vector<const update::UpdateEvent*> queue;
   std::unordered_map<EventId::rep_type, ActiveEvent> active;
   std::vector<EventId> active_order;
+  // Requeue lookups (kRequeue carries only the EventId) and activation
+  // generations for stale-occurrence detection.
+  std::unordered_map<EventId::rep_type, const update::UpdateEvent*>
+      event_by_id;
+  for (const update::UpdateEvent* e : pending) {
+    event_by_id.emplace(e->id().value(), e);
+  }
+  std::unordered_map<EventId::rep_type, std::uint64_t> activation_count;
+  // Event-conservation buckets the auditor cross-checks: every arrived
+  // event is queued, active, parked, completed, shed, or quarantined.
+  std::size_t parked_count = 0;
+  std::size_t completed_count = 0;
+  std::size_t shed_count = 0;
+  std::size_t quarantined_count = 0;
   TimelineQueue<Occurrence> timeline;
   Seconds now = 0.0;
   Seconds total_plan_time = 0.0;
@@ -315,12 +365,39 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
     }
   };
 
+  /// Terminally sheds `e` (admission drop or requeue drop). The collector
+  /// distinguishes kShed from kAborted by whether the event ever executed.
+  /// `now` can sit kTimeEpsilon below the arrival being ingested, so clamp.
+  auto shed = [&](const update::UpdateEvent& e) {
+    collector.OnShed(e.id(), std::max(now, e.arrival_time()));
+    ++shed_count;
+  };
+
+  /// Admission control: pushes `e` unless the bounded queue is full, in
+  /// which case the configured policy picks a victim — possibly `e` itself
+  /// (returns false). A disabled guard admits unconditionally.
+  auto admit = [&](const update::UpdateEvent* e) -> bool {
+    if (overload_on && queue.size() >= gcfg.overload.max_queue_length) {
+      const std::optional<std::size_t> victim = guard::ChooseShedVictim(
+          gcfg.overload, queue, *e, network, provider);
+      if (!victim.has_value()) {
+        shed(*e);
+        return false;
+      }
+      shed(*queue[*victim]);
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(*victim));
+    }
+    queue.push_back(e);
+    collector.OnQueueDepth(queue.size());
+    return true;
+  };
+
   auto ingest_arrivals = [&] {
     while (next_arrival < pending.size() &&
            pending[next_arrival]->arrival_time() <= now + kTimeEpsilon) {
       const update::UpdateEvent* e = pending[next_arrival];
-      queue.push_back(e);
       collector.OnArrival(e->id(), e->arrival_time(), e->flow_count());
+      admit(e);
       ++next_arrival;
     }
   };
@@ -344,7 +421,8 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
       if (!trial.success) {
         timeline.Push(start + trial.wasted_delay,
                       Occurrence{Occurrence::Kind::kInstallAborted,
-                                 FlowId::invalid(), id, 0, std::move(batch)});
+                                 FlowId::invalid(), id, 0, std::move(batch),
+                                 ae.generation});
         return;
       }
       install_end =
@@ -354,7 +432,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
     // deterministic tie-break for same-time occurrences — keep it stable.
     timeline.Push(install_end,
                   Occurrence{Occurrence::Kind::kInstallDone, FlowId::invalid(),
-                             id, 0, std::move(batch)});
+                             id, 0, std::move(batch), ae.generation});
     for (FlowId fid : flows) {
       timeline.Push(install_end + network.FlowOf(fid).duration,
                     Occurrence{Occurrence::Kind::kDeparture, fid, id, 0, {}});
@@ -385,7 +463,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         }
         if (!placed.has_value()) break;
         ae.retry_failures = 0;
-        if (faults_on) ae.flow_index.emplace(placed->value(), flow_idx);
+        if (lossy) ae.flow_index.emplace(placed->value(), flow_idx);
         collector.OnCost(id, migrated);
         const FlowId placed_ids[] = {*placed};
         schedule_batch(ae, id, placed_ids, now + costs.MigrationTime(migrated),
@@ -395,14 +473,34 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
     }
   };
 
-  std::size_t guard = 0;
+  /// One full audit pass over the live run state. The event-conservation
+  /// buckets come straight from the loop's own counters; everything else
+  /// the auditor recomputes from the network itself.
+  auto run_audit = [&] {
+    guard::QueueAccounting acct;
+    acct.arrived = collector.records().size();
+    acct.queued = queue.size();
+    acct.active = active.size();
+    acct.parked = parked_count;
+    acct.completed = completed_count;
+    acct.shed = shed_count;
+    acct.quarantined = quarantined_count;
+    acct.queue_capacity = gcfg.overload.max_queue_length;
+    collector.OnAudit(auditor.Audit(network, acct, result.forced_placements));
+  };
+  std::size_t occurrences_since_audit = 0;
+  bool audit_due = false;
+
+  std::size_t loop_guard = 0;
   for (;;) {
-    NU_CHECK(++guard < 100'000'000);
+    NU_CHECK(++loop_guard < 100'000'000);
     ingest_arrivals();
 
-    // Drained: every event arrived and completed. (Churn would keep the
-    // timeline busy forever, so do not wait for it to empty.)
-    if (active.empty() && queue.empty() && next_arrival >= pending.size()) {
+    // Drained: every event arrived and reached a terminal state. Parked
+    // events still owe a requeue attempt. (Churn would keep the timeline
+    // busy forever, so do not wait for it to empty.)
+    if (active.empty() && queue.empty() && parked_count == 0 &&
+        next_arrival >= pending.size()) {
       break;
     }
 
@@ -413,9 +511,11 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
       for (const update::UpdateEvent* e : queue) {
         view.push_back(sched::QueuedEvent{e});
       }
-      RoundContext context(network, planner, costs, view, rng,
-                           config_.plmtf_co_migration_allowance,
-                           config_.quick_cost_probes);
+      RoundContext context(
+          network, planner, costs, view, rng,
+          config_.plmtf_co_migration_allowance, config_.quick_cost_probes,
+          sched::QueuePressure{gcfg.overload.max_queue_length, queue.size(),
+                               shed_count});
       const sched::Decision decision = scheduler.Decide(context);
       NU_CHECK(sched::IsValidDecision(decision, queue.size()));
 
@@ -447,7 +547,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         const auto [it, inserted] =
             active.emplace(event->id().value(), std::move(ae));
         NU_CHECK(inserted);
-        if (faults_on) {
+        if (lossy) {
           // placed_flows is parallel to the placeable actions, in order.
           std::size_t placed_i = 0;
           for (const update::FlowAction& action : exec.plan.actions) {
@@ -456,6 +556,16 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
                 exec.placed_flows[placed_i].value(), action.flow_index);
             ++placed_i;
           }
+        }
+        if (watchdog_on) {
+          // Each execution attempt runs under a fresh generation so the
+          // watchdog (and any install occurrences it strands) can tell a
+          // re-execution from the attempt it aborted.
+          it->second.generation = ++activation_count[event->id().value()];
+          timeline.Push(
+              now + gcfg.deadline.DeadlineFor(event->flow_count()),
+              Occurrence{Occurrence::Kind::kWatchdog, FlowId::invalid(),
+                         event->id(), 0, {}, it->second.generation});
         }
         if (!exec.placed_flows.empty()) {
           schedule_batch(it->second, event->id(), exec.placed_flows,
@@ -501,7 +611,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
           const topo::Path& path = net::LeastCongestedPath(
               network, pair_alive ? provider : paths_, f.src, f.dst, f.demand);
           const FlowId placed = network.ForcePlace(f, path);
-          if (faults_on) ae.flow_index.emplace(placed.value(), flow_idx);
+          if (lossy) ae.flow_index.emplace(placed.value(), flow_idx);
           const FlowId placed_ids[] = {placed};
           schedule_batch(ae, id, placed_ids, now, costs.InstallTime(1));
           ae.deferred.pop_front();
@@ -523,10 +633,12 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
     while (!timeline.empty() && timeline.NextTime() <= now + kTimeEpsilon) {
       const auto entry = timeline.Pop();
       const Occurrence& occ = entry.payload;
+      ++occurrences_since_audit;
       if (occ.kind == Occurrence::Kind::kDeparture) {
-        // A flow killed by a fault has no bandwidth left to release; its
-        // stale departure is a no-op (flow ids are never reused).
-        if (faults_on && !network.HasFlow(occ.flow)) continue;
+        // A flow killed by a fault (or rolled back by the watchdog) has no
+        // bandwidth left to release; its stale departure is a no-op (flow
+        // ids are never reused).
+        if (lossy && !network.HasFlow(occ.flow)) continue;
         network.Remove(occ.flow);
         departed = true;
         continue;
@@ -538,6 +650,49 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         network.Remove(occ.flow);
         spawn_background_replacement();
         departed = true;
+        continue;
+      }
+      if (occ.kind == Occurrence::Kind::kWatchdog) {
+        // Fires once per execution attempt. Stale when the watched
+        // activation already completed, was aborted, or was superseded.
+        const auto it = active.find(occ.event.value());
+        if (it == active.end() || it->second.generation != occ.generation) {
+          continue;
+        }
+        ActiveEvent& ae = it->second;
+        collector.OnDeadlineMiss(occ.event);
+        // Abort + roll back the whole attempt: every placement of this
+        // activation is removed, returning its bandwidth. In-flight install
+        // occurrences and departures become stale (generation mismatch /
+        // missing flows) and are skipped when they fire.
+        for (const auto& [fid_rep, flow_idx] : ae.flow_index) {
+          const FlowId fid{fid_rep};
+          if (network.HasFlow(fid)) network.Remove(fid);
+        }
+        active.erase(it);
+        active_order.erase(std::find(active_order.begin(),
+                                     active_order.end(), occ.event));
+        if (watchdog.RecordMiss(occ.event)) {
+          // Poison: out of failure budget — quarantine instead of another
+          // round of livelock.
+          collector.OnQuarantined(occ.event, entry.time);
+          ++quarantined_count;
+        } else {
+          timeline.Push(entry.time + watchdog.RequeueDelay(occ.event),
+                        Occurrence{Occurrence::Kind::kRequeue,
+                                   FlowId::invalid(), occ.event, 0, {}});
+          ++parked_count;
+        }
+        departed = true;  // the rollback freed capacity
+        continue;
+      }
+      if (occ.kind == Occurrence::Kind::kRequeue) {
+        // Backoff elapsed: the aborted event re-enters through admission
+        // control (a full queue may shed it — then it terminates kAborted).
+        --parked_count;
+        if (admit(event_by_id.at(occ.event.value()))) {
+          collector.OnRequeued(occ.event);
+        }
         continue;
       }
       if (occ.kind == Occurrence::Kind::kFault) {
@@ -576,6 +731,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         // elsewhere on their old paths. Either way deferred flows may fit
         // now, so treat the fault like a departure.
         departed = true;
+        audit_due = true;  // faults always trigger an audit pass
         continue;
       }
       if (occ.kind == Occurrence::Kind::kInstallAborted) {
@@ -584,12 +740,19 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         const auto it = active.find(occ.event.value());
         // A fault can kill every flow of an in-flight batch; replacements
         // may then complete the event before this occurrence fires. Such a
-        // stale batch holds only dead flows — nothing to roll back.
+        // stale batch holds only dead flows — nothing to roll back. The
+        // watchdog strands batches the same way (abort or quarantine).
         if (it == active.end()) {
-          NU_CHECK(faults_on);
+          NU_CHECK(lossy);
           continue;
         }
         ActiveEvent& ae = it->second;
+        if (ae.generation != occ.generation) {
+          // Batch of a watchdog-aborted activation; its placements were
+          // rolled back with the abort.
+          NU_CHECK(watchdog_on);
+          continue;
+        }
         NU_CHECK(ae.batches_in_flight > 0);
         --ae.batches_in_flight;
         collector.OnInstallAborted(occ.event);
@@ -608,15 +771,19 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
       }
       // kInstallDone: the event's batch finished installing.
       const auto it = active.find(occ.event.value());
-      // Stale batch of an already-completed event (see kInstallAborted).
+      // Stale batch of an already-terminated event (see kInstallAborted).
       if (it == active.end()) {
-        NU_CHECK(faults_on);
+        NU_CHECK(lossy);
         continue;
       }
       ActiveEvent& ae = it->second;
+      if (ae.generation != occ.generation) {
+        NU_CHECK(watchdog_on);  // batch of a watchdog-aborted activation
+        continue;
+      }
       NU_CHECK(ae.batches_in_flight > 0);
       --ae.batches_in_flight;
-      if (faults_on) {
+      if (lossy) {
         for (FlowId fid : occ.flows) {
           if (!network.HasFlow(fid)) continue;  // killed mid-install
           ++ae.installed;
@@ -634,6 +801,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
       }
       if (ae.Complete()) {
         collector.OnCompletion(occ.event, entry.time);
+        ++completed_count;
         active.erase(it);
         active_order.erase(std::find(active_order.begin(),
                                      active_order.end(), occ.event));
@@ -643,13 +811,24 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
     if (config_.validate_invariants) {
       NU_CHECK(network.CheckInvariants() || result.forced_placements > 0);
     }
+    if (audit_on &&
+        (audit_due || occurrences_since_audit >= gcfg.auditor.cadence)) {
+      run_audit();
+      occurrences_since_audit = 0;
+      audit_due = false;
+    }
   }
 
-  NU_CHECK(collector.AllComplete());
+  // Final audit: acceptance is "zero violations at end of run", so the last
+  // pass always runs regardless of where the cadence counter stands.
+  if (audit_on) run_audit();
+
+  NU_CHECK(collector.AllTerminal());
   NU_CHECK(!config_.validate_invariants || network.CheckInvariants() ||
            result.forced_placements > 0);
   result.records = collector.records();
   result.fault_stats = collector.fault_stats();
+  result.guard_stats = collector.guard_stats();
   result.report = metrics::BuildReport(collector, total_plan_time,
                                        config_.tail_percentile);
   return result;

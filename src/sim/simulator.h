@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "guard/guard.h"
 #include "metrics/report.h"
 #include "net/network.h"
 #include "sched/flow_level.h"
@@ -108,6 +109,28 @@ struct SimConfig {
   ///     exponential backoff. Exhausted retries abort the batch — its placed
   ///     flows are rolled back (removed) and re-deferred for replanning.
   fault::FaultConfig faults;
+  /// Overload guard & runtime invariant auditor (event-level Run only).
+  /// Disabled by default; enabling it never perturbs the RNG streams of a
+  /// fixed-seed run (the guard draws nothing from any Rng).
+  ///
+  /// Semantics when enabled:
+  ///   * Overload control: the update queue is bounded; an arrival at a
+  ///     full queue triggers the configured shed policy (reject-new /
+  ///     shed-oldest / shed-costliest). Shed events terminate with status
+  ///     kShed (kAborted if they had already executed once) and are
+  ///     reported, never silently dropped.
+  ///   * Deadlines & watchdog: each execution attempt gets a soft deadline
+  ///     (base + per-flow budget). Overrunning it aborts the attempt — all
+  ///     of the event's placements are rolled back, freeing capacity — and
+  ///     requeues the event after an escalating backoff. After
+  ///     max_failures misses the event is poison and moves to quarantine
+  ///     (terminal status kQuarantined) instead of livelocking the rounds.
+  ///   * Auditor: every `cadence` occurrences (and after every fault) the
+  ///     run's state is re-audited from first principles — capacity
+  ///     conservation, flow/path coherence, queue/quarantine accounting.
+  ///     kFailFast throws guard::AuditFailure; kLogAndCount counts into
+  ///     metrics::GuardStats.
+  guard::GuardConfig guard;
 };
 
 struct RoundLogEntry {
@@ -129,6 +152,10 @@ struct SimResult {
   /// Fault-and-recovery counters (all zero when SimConfig::faults is
   /// disabled); also folded into `report`.
   metrics::FaultStats fault_stats;
+  /// Overload-guard and auditor counters (all zero when SimConfig::guard is
+  /// disabled); also folded into `report`. Per-event terminal statuses
+  /// (completed | shed | aborted | quarantined) live in `records`.
+  metrics::GuardStats guard_stats;
 };
 
 class Simulator {

@@ -1,0 +1,156 @@
+// Runtime invariant auditor: clean states pass, deliberately corrupted
+// states (overcommitted links, blackholed paths, broken event conservation)
+// are detected — throwing in fail-fast mode, counting in log-and-count mode.
+#include "guard/auditor.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <optional>
+
+namespace nu::guard {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    a = graph.AddNode(topo::NodeRole::kHost);
+    b = graph.AddNode(topo::NodeRole::kHost);
+    graph.AddBidirectional(a, b, 100.0);
+    network.emplace(graph);
+  }
+
+  [[nodiscard]] topo::Path AbPath() const {
+    const std::array<NodeId, 2> seq{a, b};
+    return graph.MakePath(seq);
+  }
+
+  [[nodiscard]] flow::Flow MakeFlow(Mbps demand) const {
+    flow::Flow f;
+    f.src = a;
+    f.dst = b;
+    f.demand = demand;
+    f.duration = 1.0;
+    return f;
+  }
+
+  topo::Graph graph;
+  NodeId a, b;
+  std::optional<net::Network> network;
+};
+
+AuditorConfig Mode(AuditMode mode) {
+  AuditorConfig config;
+  config.enabled = true;
+  config.mode = mode;
+  return config;
+}
+
+/// Accounting where every arrived event sits in a legal bucket.
+QueueAccounting Balanced() {
+  QueueAccounting acct;
+  acct.arrived = 3;
+  acct.queued = 1;
+  acct.completed = 1;
+  acct.shed = 1;
+  return acct;
+}
+
+TEST(AuditorTest, CleanStatePassesBothModes) {
+  Fixture fx;
+  fx.network->Place(fx.MakeFlow(60.0), fx.AbPath());
+  for (const auto mode : {AuditMode::kLogAndCount, AuditMode::kFailFast}) {
+    Auditor auditor(Mode(mode));
+    EXPECT_EQ(auditor.Audit(*fx.network, Balanced()), 0u);
+    EXPECT_EQ(auditor.audits_run(), 1u);
+    EXPECT_TRUE(auditor.violations().empty());
+  }
+}
+
+TEST(AuditorTest, FailFastThrowsOnOvercommittedLink) {
+  // Deliberate corruption: force-place past capacity without the simulator
+  // reporting a forced placement — the auditor must fire.
+  Fixture fx;
+  fx.network->ForcePlace(fx.MakeFlow(150.0), fx.AbPath());
+  Auditor auditor(Mode(AuditMode::kFailFast));
+  try {
+    (void)auditor.Audit(*fx.network, Balanced());
+    FAIL() << "expected AuditFailure";
+  } catch (const AuditFailure& failure) {
+    EXPECT_EQ(failure.violation().invariant, "capacity");
+    EXPECT_NE(std::string(failure.what()).find("capacity"),
+              std::string::npos);
+  }
+}
+
+TEST(AuditorTest, LogAndCountSurvivesOvercommittedLink) {
+  Fixture fx;
+  fx.network->ForcePlace(fx.MakeFlow(150.0), fx.AbPath());
+  Auditor auditor(Mode(AuditMode::kLogAndCount));
+  // Overcommit is two capacity violations (reserved > capacity, negative
+  // residual) on the a->b direction.
+  EXPECT_EQ(auditor.Audit(*fx.network, Balanced()), 2u);
+  EXPECT_EQ(auditor.violations().size(), 2u);
+  for (const AuditViolation& v : auditor.violations()) {
+    EXPECT_EQ(v.invariant, "capacity");
+  }
+}
+
+TEST(AuditorTest, ForcedPlacementsRelaxCapacityChecks) {
+  // When the simulator itself reports deadlock-breaking forced placements,
+  // the resulting overcommit is expected and must not count as corruption.
+  Fixture fx;
+  fx.network->ForcePlace(fx.MakeFlow(150.0), fx.AbPath());
+  Auditor auditor(Mode(AuditMode::kFailFast));
+  EXPECT_EQ(auditor.Audit(*fx.network, Balanced(), /*forced_placements=*/1),
+            0u);
+}
+
+TEST(AuditorTest, DetectsBlackholeThroughDownLink) {
+  // Deliberate corruption: a placed flow's path crosses a link that went
+  // down without the fault layer removing the flow.
+  Fixture fx;
+  fx.network->Place(fx.MakeFlow(40.0), fx.AbPath());
+  fx.network->SetLinkUp(fx.AbPath().links[0], false);
+
+  Auditor counting(Mode(AuditMode::kLogAndCount));
+  EXPECT_EQ(counting.Audit(*fx.network, Balanced()), 1u);
+  EXPECT_EQ(counting.violations()[0].invariant, "coherence");
+
+  Auditor failing(Mode(AuditMode::kFailFast));
+  EXPECT_THROW((void)failing.Audit(*fx.network, Balanced()), AuditFailure);
+}
+
+TEST(AuditorTest, DetectsEventConservationLeak) {
+  Fixture fx;
+  QueueAccounting acct;
+  acct.arrived = 5;
+  acct.completed = 2;
+  acct.shed = 1;  // two events unaccounted for
+  Auditor auditor(Mode(AuditMode::kLogAndCount));
+  EXPECT_EQ(auditor.Audit(*fx.network, acct), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "accounting");
+}
+
+TEST(AuditorTest, DetectsQueueBoundOverflow) {
+  Fixture fx;
+  QueueAccounting acct;
+  acct.arrived = 5;
+  acct.queued = 5;
+  acct.queue_capacity = 3;
+  Auditor auditor(Mode(AuditMode::kLogAndCount));
+  EXPECT_EQ(auditor.Audit(*fx.network, acct), 1u);
+  EXPECT_EQ(auditor.violations()[0].invariant, "accounting");
+}
+
+TEST(AuditorTest, ViolationsAccumulateAcrossPasses) {
+  Fixture fx;
+  fx.network->ForcePlace(fx.MakeFlow(150.0), fx.AbPath());
+  Auditor auditor(Mode(AuditMode::kLogAndCount));
+  (void)auditor.Audit(*fx.network, Balanced());
+  (void)auditor.Audit(*fx.network, Balanced());
+  EXPECT_EQ(auditor.audits_run(), 2u);
+  EXPECT_EQ(auditor.violations().size(), 4u);
+}
+
+}  // namespace
+}  // namespace nu::guard

@@ -44,12 +44,17 @@ TEST(ExportTest, ReportCsvHasAllColumns) {
   report.installs_retried = 2;
   report.events_aborted = 1;
   report.recovery_latency_p99 = 0.75;
+  report.events_shed = 4;
+  report.deadline_misses = 5;
+  report.events_quarantined = 1;
+  report.audit_violations = 0;
+  report.max_queue_length = 16;
 
   std::ostringstream out;
   WriteReportCsv(out, report);
   const CsvFile parsed = ParseCsv(out.str(), /*has_header=*/true);
   ASSERT_EQ(parsed.rows.size(), 1u);
-  EXPECT_EQ(parsed.header.size(), 18u);
+  EXPECT_EQ(parsed.header.size(), 26u);
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("events")], "3");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("avg_ect")], "10.0000");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("makespan")], "25.0000");
@@ -57,6 +62,11 @@ TEST(ExportTest, ReportCsvHasAllColumns) {
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("installs_retried")], "2");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("events_aborted")], "1");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("recovery_p99")], "0.7500");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("events_shed")], "4");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("deadline_misses")], "5");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("events_quarantined")], "1");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("audit_violations")], "0");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("max_queue_length")], "16");
 }
 
 TEST(ExportTest, RecordsCsvCarriesFaultColumns) {

@@ -1,0 +1,148 @@
+// ScopedTransaction interleavings beyond the basics of snapshot_test.cc:
+// mutations after Commit, rollback across fault-state changes (down marks
+// and topology epoch restored), and nested commit/rollback combinations.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "net/snapshot.h"
+
+namespace nu::net {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    a = graph.AddNode(topo::NodeRole::kHost);
+    b = graph.AddNode(topo::NodeRole::kHost);
+    graph.AddBidirectional(a, b, 100.0);
+  }
+
+  [[nodiscard]] topo::Path AbPath() const {
+    const std::array<NodeId, 2> seq{a, b};
+    return graph.MakePath(seq);
+  }
+
+  [[nodiscard]] flow::Flow MakeFlow(Mbps demand) const {
+    flow::Flow f;
+    f.src = a;
+    f.dst = b;
+    f.demand = demand;
+    f.duration = 1.0;
+    return f;
+  }
+
+  topo::Graph graph;
+  NodeId a, b;
+};
+
+TEST(ScopedTransactionTest, MutationsAfterCommitPersist) {
+  // Commit disarms the destructor for good: later mutations in the same
+  // scope are NOT rolled back either.
+  Fixture fx;
+  Network net(fx.graph);
+  {
+    ScopedTransaction txn(net);
+    net.Place(fx.MakeFlow(30.0), fx.AbPath());
+    txn.Commit();
+    net.Place(fx.MakeFlow(20.0), fx.AbPath());
+  }
+  EXPECT_EQ(net.placed_flow_count(), 2u);
+  EXPECT_DOUBLE_EQ(net.Residual(fx.AbPath().links[0]), 50.0);
+}
+
+TEST(ScopedTransactionTest, RollbackRestoresFaultState) {
+  // A speculative fault application (down mark + victim removal) must be
+  // fully reversible: flow back, link up, epoch back to its saved value.
+  Fixture fx;
+  Network net(fx.graph);
+  const FlowId placed = net.Place(fx.MakeFlow(40.0), fx.AbPath());
+  const std::uint64_t epoch_before = net.topology_epoch();
+  {
+    ScopedTransaction txn(net);
+    net.SetLinkUp(fx.AbPath().links[0], false);
+    net.Remove(placed);  // the fault kills the crossing flow
+    EXPECT_EQ(net.placed_flow_count(), 0u);
+    EXPECT_FALSE(net.LinkUp(fx.AbPath().links[0]));
+    EXPECT_GT(net.topology_epoch(), epoch_before);
+  }
+  EXPECT_TRUE(net.HasFlow(placed));
+  EXPECT_TRUE(net.LinkUp(fx.AbPath().links[0]));
+  EXPECT_EQ(net.topology_epoch(), epoch_before);
+  EXPECT_DOUBLE_EQ(net.Residual(fx.AbPath().links[0]), 60.0);
+  EXPECT_TRUE(net.CheckInvariants());
+}
+
+TEST(ScopedTransactionTest, RollbackRestoresPreexistingDownMarks) {
+  // Rollback must not "heal" faults that predate the transaction.
+  Fixture fx;
+  Network net(fx.graph);
+  net.SetLinkUp(fx.AbPath().links[0], false);
+  {
+    ScopedTransaction txn(net);
+    net.SetLinkUp(fx.AbPath().links[0], true);  // speculative repair
+    net.Place(fx.MakeFlow(40.0), fx.AbPath());
+  }
+  EXPECT_FALSE(net.LinkUp(fx.AbPath().links[0]));
+  EXPECT_EQ(net.placed_flow_count(), 0u);
+  EXPECT_EQ(net.down_link_count(), 1u);
+}
+
+TEST(ScopedTransactionTest, RollbackDiscardsForcedOvercommit) {
+  Fixture fx;
+  Network net(fx.graph);
+  {
+    ScopedTransaction txn(net);
+    net.ForcePlace(fx.MakeFlow(150.0), fx.AbPath());
+    EXPECT_FALSE(net.CheckInvariants());  // negative residual
+  }
+  EXPECT_TRUE(net.CheckInvariants());
+  EXPECT_DOUBLE_EQ(net.Residual(fx.AbPath().links[0]), 100.0);
+}
+
+TEST(ScopedTransactionTest, NestedInnerCommitOuterRollback) {
+  // The outer snapshot predates the inner transaction, so an outer rollback
+  // discards even inner-committed work — snapshots nest like savepoints.
+  Fixture fx;
+  Network net(fx.graph);
+  {
+    ScopedTransaction outer(net);
+    net.Place(fx.MakeFlow(30.0), fx.AbPath());
+    {
+      ScopedTransaction inner(net);
+      net.Place(fx.MakeFlow(20.0), fx.AbPath());
+      inner.Commit();
+    }
+    EXPECT_EQ(net.placed_flow_count(), 2u);
+    // outer rolls back on destruction
+  }
+  EXPECT_EQ(net.placed_flow_count(), 0u);
+}
+
+TEST(ScopedTransactionTest, NestedRollbackAfterFaultInterleaving) {
+  // Outer transaction places work; an inner "what if this link died"
+  // experiment rolls back; the outer commit must keep exactly the outer
+  // mutations with the fault experiment fully erased.
+  Fixture fx;
+  Network net(fx.graph);
+  const std::uint64_t epoch_before = net.topology_epoch();
+  {
+    ScopedTransaction outer(net);
+    const FlowId placed = net.Place(fx.MakeFlow(30.0), fx.AbPath());
+    {
+      ScopedTransaction inner(net);
+      net.SetLinkUp(fx.AbPath().links[0], false);
+      net.Remove(placed);
+      inner.Rollback();
+      EXPECT_TRUE(inner.committed());
+    }
+    EXPECT_TRUE(net.HasFlow(placed));
+    EXPECT_TRUE(net.LinkUp(fx.AbPath().links[0]));
+    outer.Commit();
+  }
+  EXPECT_EQ(net.placed_flow_count(), 1u);
+  EXPECT_EQ(net.topology_epoch(), epoch_before);
+  EXPECT_TRUE(net.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace nu::net

@@ -1,0 +1,115 @@
+// Guard-level property: random workloads x random fault plans, with the
+// overload guard, watchdog, and auditor all enabled — every event reaches a
+// terminal state, the bounded queue never exceeds its bound, and the
+// runtime invariant auditor finds ZERO violations at the end of every run,
+// for all three of the paper's schedulers.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "exp/runner.h"
+#include "fault/fault_plan.h"
+
+namespace nu::exp {
+namespace {
+
+ExperimentConfig RandomizedConfig(Rng& rng) {
+  ExperimentConfig config;
+  config.fat_tree_k = 4;
+  config.utilization = rng.Uniform(0.3, 0.7);
+  config.event_count = 4 + rng.Index(8);
+  config.min_flows_per_event = 1 + rng.Index(3);
+  config.max_flows_per_event = config.min_flows_per_event + rng.Index(8);
+  config.alpha = 1 + rng.Index(4);
+  config.seed = rng.Next();
+  config.mean_interarrival = rng.Bernoulli(0.5) ? 0.0 : rng.Uniform(0.2, 2.0);
+  config.sim.cost_model.plan_time_per_flow = 0.002;
+  return config;
+}
+
+/// Guard settings tight enough to actually engage under faults: a small
+/// queue bound, deadlines a blocked event will overrun, and the auditor on
+/// a short cadence in log-and-count mode (violations must be COUNTED, not
+/// thrown, so a buggy invariant would fail the assertions below visibly).
+void EnableGuard(sim::SimConfig& config, Rng& rng) {
+  config.guard.overload.max_queue_length = 3 + rng.Index(6);
+  const std::array<guard::OverloadPolicy, 3> policies = {
+      guard::OverloadPolicy::kRejectNew, guard::OverloadPolicy::kShedOldest,
+      guard::OverloadPolicy::kShedCostliest};
+  config.guard.overload.policy = policies[rng.Index(policies.size())];
+  config.guard.deadline.base_deadline = rng.Uniform(2.0, 6.0);
+  config.guard.deadline.per_flow_deadline = 0.2;
+  config.guard.deadline.max_failures = 2 + rng.Index(3);
+  config.guard.deadline.requeue_backoff = 0.25;
+  config.guard.auditor.enabled = true;
+  config.guard.auditor.mode = guard::AuditMode::kLogAndCount;
+  config.guard.auditor.cadence = 4 + rng.Index(12);
+}
+
+class GuardPropertyTest
+    : public ::testing::TestWithParam<sched::SchedulerKind> {};
+
+TEST_P(GuardPropertyTest, AuditorStaysSilentUnderChaos) {
+  Rng rng(4242 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 6; ++trial) {
+    const ExperimentConfig config = RandomizedConfig(rng);
+    const Workload workload(config);
+
+    sim::SimConfig sim_config = config.sim;
+    sim_config.seed = config.seed;
+    // Random link outages plus a flaky install pipeline.
+    fault::RandomLinkFaultOptions fault_options;
+    fault_options.failures = 1 + rng.Index(3);
+    fault_options.first_failure = rng.Uniform(0.1, 1.0);
+    fault_options.spacing = rng.Uniform(0.5, 2.0);
+    fault_options.outage = rng.Bernoulli(0.7) ? rng.Uniform(1.0, 4.0) : -1.0;
+    sim_config.faults.plan = fault::MakeRandomLinkFaultPlan(
+        workload.network().graph(), fault_options, rng);
+    sim_config.faults.flaky.failure_probability = rng.Uniform(0.0, 0.3);
+    sim_config.faults.retry.max_attempts = 3;
+    sim_config.faults.retry.base_delay = 0.01;
+    EnableGuard(sim_config, rng);
+
+    sim::Simulator sim(workload.network(), workload.paths(), sim_config);
+    const auto scheduler =
+        sched::MakeScheduler(GetParam(), sched::LmtfConfig{config.alpha});
+    const sim::SimResult result = sim.Run(*scheduler, workload.events());
+
+    ASSERT_EQ(result.records.size(), config.event_count);
+    std::size_t completed = 0, shed = 0, quarantined = 0;
+    for (const auto& rec : result.records) {
+      ASSERT_TRUE(rec.terminal());
+      switch (rec.status) {
+        case metrics::TerminalStatus::kCompleted:
+          ++completed;
+          EXPECT_GE(rec.completion, rec.exec_start);
+          break;
+        case metrics::TerminalStatus::kQuarantined:
+          ++quarantined;
+          EXPECT_GT(rec.deadline_misses, 0u);
+          break;
+        default:
+          ++shed;  // kShed or kAborted
+          break;
+      }
+    }
+    EXPECT_EQ(completed + shed + quarantined, config.event_count);
+    EXPECT_EQ(completed, result.report.events_completed);
+    // The bounded queue must never have exceeded its bound.
+    EXPECT_LE(result.guard_stats.max_queue_length,
+              sim_config.guard.overload.max_queue_length);
+    // The acceptance property: a healthy simulator audits clean, every
+    // trial, every scheduler, faults or not.
+    EXPECT_GT(result.guard_stats.audits_run, 0u);
+    EXPECT_EQ(result.guard_stats.audit_violations, 0u)
+        << "scheduler=" << ToString(GetParam()) << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, GuardPropertyTest,
+                         ::testing::Values(sched::SchedulerKind::kFifo,
+                                           sched::SchedulerKind::kLmtf,
+                                           sched::SchedulerKind::kPlmtf));
+
+}  // namespace
+}  // namespace nu::exp
