@@ -71,6 +71,14 @@ metrics::Report MeanReport(std::span<const metrics::Report> reports) {
     mean.audit_violations += r.audit_violations;
     mean.max_queue_length =
         std::max(mean.max_queue_length, r.max_queue_length);
+    mean.probe_cache_hits += r.probe_cache_hits;
+    mean.probe_cache_misses += r.probe_cache_misses;
+    mean.exec_plan_reuses += r.exec_plan_reuses;
+    mean.overlay_probes += r.overlay_probes;
+    mean.legacy_probe_copies += r.legacy_probe_copies;
+    mean.parallel_probe_batches += r.parallel_probe_batches;
+    mean.overlay_bytes_saved += r.overlay_bytes_saved;
+    mean.probe_wall_seconds += r.probe_wall_seconds;
   }
   const auto n = static_cast<double>(reports.size());
   mean.event_count = reports.front().event_count;
@@ -98,6 +106,14 @@ metrics::Report MeanReport(std::span<const metrics::Report> reports) {
   mean.events_quarantined /= reports.size();
   mean.audits_run /= reports.size();
   mean.audit_violations /= reports.size();
+  mean.probe_cache_hits /= reports.size();
+  mean.probe_cache_misses /= reports.size();
+  mean.exec_plan_reuses /= reports.size();
+  mean.overlay_probes /= reports.size();
+  mean.legacy_probe_copies /= reports.size();
+  mean.parallel_probe_batches /= reports.size();
+  mean.overlay_bytes_saved /= n;
+  mean.probe_wall_seconds /= n;
   // max_queue_length stays the cross-trial maximum (a bound, not a mean).
   return mean;
 }

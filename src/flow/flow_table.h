@@ -30,6 +30,11 @@ class FlowTable {
   /// Snapshot of current flow ids (stable iteration order: ascending id).
   [[nodiscard]] std::vector<FlowId> Ids() const;
 
+  /// The id the next Add() will assign (ids are never reused). Lets
+  /// what-if overlays allocate ids numerically identical to the ids a copy
+  /// of this table would have assigned.
+  [[nodiscard]] FlowId::rep_type peek_next_id() const { return next_id_; }
+
   /// Sum of demands of all registered flows (Mbps).
   [[nodiscard]] Mbps TotalDemand() const;
 

@@ -106,6 +106,31 @@ struct GuardStats {
   std::size_t max_queue_length = 0;
 };
 
+/// Run-wide probe fast-path counters (all zero with the fast path off).
+/// Wall-clock quantities here measure the real control plane running the
+/// simulation, not the modeled plan time — the fast path never changes
+/// modeled time, only how fast it is computed.
+struct ProbeStats {
+  /// Cost probes answered from the per-event epoch-keyed cache.
+  std::size_t probe_cache_hits = 0;
+  /// Cost probes that had to plan (and then populated the cache).
+  std::size_t probe_cache_misses = 0;
+  /// Winner executions that replayed the cached probe plan instead of
+  /// re-planning the event at commit time.
+  std::size_t exec_plan_reuses = 0;
+  /// What-if plans evaluated on a copy-on-write overlay.
+  std::size_t overlay_probes = 0;
+  /// What-if plans evaluated on a full deep copy (legacy baseline).
+  std::size_t legacy_probe_copies = 0;
+  /// ProbeCosts batches dispatched to the worker pool.
+  std::size_t parallel_probe_batches = 0;
+  /// Bytes of network state NOT copied thanks to overlays (approximate:
+  /// deep-copy footprint at probe time, summed over overlay probes).
+  double overlay_bytes_saved = 0.0;
+  /// Real wall-clock seconds spent inside cost probes.
+  double probe_wall_seconds = 0.0;
+};
+
 class Collector {
  public:
   void OnArrival(EventId event, Seconds time, std::size_t flow_count);
@@ -146,8 +171,13 @@ class Collector {
   /// mark.
   void OnQueueDepth(std::size_t length);
 
+  // --- Probe fast path ---------------------------------------------------
+  /// Accumulates a run's probe fast-path counters into this collector.
+  void OnProbeStats(const ProbeStats& stats);
+
   [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
   [[nodiscard]] const GuardStats& guard_stats() const { return guard_stats_; }
+  [[nodiscard]] const ProbeStats& probe_stats() const { return probe_stats_; }
 
   /// All records; complete once every event has a completion time.
   [[nodiscard]] const std::vector<EventRecord>& records() const {
@@ -170,6 +200,7 @@ class Collector {
   std::vector<EventRecord> records_;
   FaultStats fault_stats_;
   GuardStats guard_stats_;
+  ProbeStats probe_stats_;
 };
 
 }  // namespace nu::metrics

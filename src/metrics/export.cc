@@ -38,7 +38,11 @@ void WriteReportCsv(std::ostream& out, const Report& report) {
                    "flows_killed", "recovery_mean", "recovery_p99",
                    "recovery_max", "events_completed", "events_shed",
                    "deadline_misses", "events_requeued", "events_quarantined",
-                   "audits_run", "audit_violations", "max_queue_length"});
+                   "audits_run", "audit_violations", "max_queue_length",
+                   "probe_cache_hits", "probe_cache_misses",
+                   "exec_plan_reuses", "overlay_probes", "legacy_probe_copies",
+                   "parallel_probe_batches", "overlay_bytes_saved",
+                   "probe_wall_seconds"});
   writer.WriteRow({std::to_string(report.event_count),
                    FormatDouble(report.avg_ect, 4),
                    FormatDouble(report.tail_ect, 4),
@@ -64,7 +68,15 @@ void WriteReportCsv(std::ostream& out, const Report& report) {
                    std::to_string(report.events_quarantined),
                    std::to_string(report.audits_run),
                    std::to_string(report.audit_violations),
-                   std::to_string(report.max_queue_length)});
+                   std::to_string(report.max_queue_length),
+                   std::to_string(report.probe_cache_hits),
+                   std::to_string(report.probe_cache_misses),
+                   std::to_string(report.exec_plan_reuses),
+                   std::to_string(report.overlay_probes),
+                   std::to_string(report.legacy_probe_copies),
+                   std::to_string(report.parallel_probe_batches),
+                   FormatDouble(report.overlay_bytes_saved, 0),
+                   FormatDouble(report.probe_wall_seconds, 6)});
 }
 
 }  // namespace nu::metrics

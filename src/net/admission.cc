@@ -4,7 +4,7 @@
 
 namespace nu::net {
 
-Mbps BottleneckResidual(const Network& network, const topo::Path& path) {
+Mbps BottleneckResidual(const NetworkView& network, const topo::Path& path) {
   Mbps bottleneck = std::numeric_limits<double>::infinity();
   for (LinkId lid : path.links) {
     bottleneck = std::min(bottleneck, network.Residual(lid));
@@ -12,7 +12,7 @@ Mbps BottleneckResidual(const Network& network, const topo::Path& path) {
   return bottleneck;
 }
 
-std::optional<topo::Path> FindFeasiblePath(const Network& network,
+std::optional<topo::Path> FindFeasiblePath(const NetworkView& network,
                                            const topo::PathProvider& paths,
                                            NodeId src, NodeId dst, Mbps demand,
                                            PathSelection selection) {
@@ -62,14 +62,14 @@ std::optional<topo::Path> FindFeasiblePath(const Network& network,
   return *best;
 }
 
-bool CanAdmit(const Network& network, const topo::PathProvider& paths,
+bool CanAdmit(const NetworkView& network, const topo::PathProvider& paths,
               NodeId src, NodeId dst, Mbps demand) {
   return FindFeasiblePath(network, paths, src, dst, demand,
                           PathSelection::kFirstFit)
       .has_value();
 }
 
-const topo::Path& LeastCongestedPath(const Network& network,
+const topo::Path& LeastCongestedPath(const NetworkView& network,
                                      const topo::PathProvider& paths,
                                      NodeId src, NodeId dst, Mbps demand) {
   const std::vector<topo::Path>& candidates = paths.Paths(src, dst);

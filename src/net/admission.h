@@ -6,7 +6,7 @@
 
 #include <optional>
 
-#include "net/network.h"
+#include "net/network_view.h"
 #include "topo/path_provider.h"
 
 namespace nu::net {
@@ -26,23 +26,23 @@ enum class PathSelection : std::uint8_t {
 /// Returns a feasible path for (src, dst, demand) under `selection`, or
 /// nullopt when no candidate path has enough residual everywhere.
 [[nodiscard]] std::optional<topo::Path> FindFeasiblePath(
-    const Network& network, const topo::PathProvider& paths, NodeId src,
+    const NetworkView& network, const topo::PathProvider& paths, NodeId src,
     NodeId dst, Mbps demand, PathSelection selection = PathSelection::kWidest);
 
 /// True iff some candidate path can carry `demand` with no migration.
-[[nodiscard]] bool CanAdmit(const Network& network,
+[[nodiscard]] bool CanAdmit(const NetworkView& network,
                             const topo::PathProvider& paths, NodeId src,
                             NodeId dst, Mbps demand);
 
 /// Bottleneck residual of a path: min residual over its links.
-[[nodiscard]] Mbps BottleneckResidual(const Network& network,
+[[nodiscard]] Mbps BottleneckResidual(const NetworkView& network,
                                       const topo::Path& path);
 
 /// The candidate path with the fewest congested links for `demand`; used as
 /// the "desired path" on which the migration optimizer then works when no
 /// path is outright feasible. Ties broken by larger bottleneck residual.
 [[nodiscard]] const topo::Path& LeastCongestedPath(
-    const Network& network, const topo::PathProvider& paths, NodeId src,
+    const NetworkView& network, const topo::PathProvider& paths, NodeId src,
     NodeId dst, Mbps demand);
 
 }  // namespace nu::net

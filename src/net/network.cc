@@ -20,6 +20,7 @@ void Network::SetLinkUp(LinkId link, bool up) {
   state = up ? 1 : 0;
   up ? --down_links_ : ++down_links_;
   ++epoch_;
+  ++state_epoch_;
 }
 
 bool Network::LinkUp(LinkId link) const {
@@ -34,6 +35,7 @@ void Network::SetNodeUp(NodeId node, bool up) {
   state = up ? 1 : 0;
   up ? --down_nodes_ : ++down_nodes_;
   ++epoch_;
+  ++state_epoch_;
 }
 
 bool Network::NodeUp(NodeId node) const {
@@ -96,23 +98,6 @@ double Network::ActiveLinkUtilization() const {
   return active == 0 ? 0.0 : sum / static_cast<double>(active);
 }
 
-bool Network::CanPlace(Mbps demand, const topo::Path& path) const {
-  if (!PathAlive(path)) return false;
-  for (LinkId lid : path.links) {
-    if (!ApproxGe(residual_[lid.value()], demand)) return false;
-  }
-  return true;
-}
-
-std::vector<LinkId> Network::CongestedLinks(Mbps demand,
-                                            const topo::Path& path) const {
-  std::vector<LinkId> congested;
-  for (LinkId lid : path.links) {
-    if (!ApproxGe(residual_[lid.value()], demand)) congested.push_back(lid);
-  }
-  return congested;
-}
-
 void Network::Occupy(const topo::Path& path, Mbps demand, FlowId id) {
   for (LinkId lid : path.links) {
     residual_[lid.value()] -= demand;
@@ -139,6 +124,7 @@ FlowId Network::Place(flow::Flow flow, const topo::Path& path) {
   const FlowId id = flows_.Add(std::move(flow));
   Occupy(path, demand, id);
   placements_.emplace(id.value(), path);
+  ++state_epoch_;
   return id;
 }
 
@@ -150,6 +136,7 @@ FlowId Network::ForcePlace(flow::Flow flow, const topo::Path& path) {
   const FlowId id = flows_.Add(std::move(flow));
   Occupy(path, demand, id);
   placements_.emplace(id.value(), path);
+  ++state_epoch_;
   return id;
 }
 
@@ -160,22 +147,7 @@ void Network::Remove(FlowId id) {
   Release(it->second, demand, id);
   placements_.erase(it);
   flows_.Remove(id);
-}
-
-bool Network::CanReroute(FlowId id, const topo::Path& new_path) const {
-  const auto it = placements_.find(id.value());
-  NU_EXPECTS(it != placements_.end());
-  const flow::Flow& f = flows_.Get(id);
-  if (new_path.source() != f.src || new_path.destination() != f.dst) {
-    return false;
-  }
-  if (!PathAlive(new_path)) return false;
-  for (LinkId lid : new_path.links) {
-    Mbps residual = residual_[lid.value()];
-    if (FlowUsesLink(id, lid)) residual += f.demand;
-    if (!ApproxGe(residual, f.demand)) return false;
-  }
-  return true;
+  ++state_epoch_;
 }
 
 void Network::Reroute(FlowId id, const topo::Path& new_path) {
@@ -193,6 +165,7 @@ void Network::Reroute(FlowId id, const topo::Path& new_path) {
   NU_CHECK(CanPlace(demand, new_path));
   Occupy(new_path, demand, id);
   it->second = new_path;
+  ++state_epoch_;
 }
 
 const topo::Path& Network::PathOf(FlowId id) const {
@@ -225,6 +198,20 @@ std::vector<FlowId> Network::PlacedFlows() const {
   for (const auto& [rep, _] : placements_) ids.push_back(FlowId{rep});
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+std::size_t Network::ApproxStateBytes() const {
+  std::size_t bytes = residual_.size() * sizeof(Mbps) + link_up_.size() +
+                      node_up_.size();
+  for (const auto& flows : link_flows_) {
+    bytes += sizeof(flows) + flows.capacity() * sizeof(FlowId);
+  }
+  for (const auto& [_, path] : placements_) {
+    bytes += sizeof(path) + path.links.capacity() * sizeof(LinkId) +
+             path.nodes.capacity() * sizeof(NodeId);
+  }
+  bytes += flows_.size() * sizeof(flow::Flow);
+  return bytes;
 }
 
 bool Network::CheckInvariants() const {

@@ -3,28 +3,30 @@
 // and writes: admission checks, congested-link detection (Definition 1),
 // migration, and update execution all go through it.
 //
-// Network is copyable on purpose: planners evaluate what-if scenarios
-// (LMTF cost probes, P-LMTF co-schedulability) on copies and commit only the
-// chosen plan to the real instance.
+// Network is copyable on purpose, but planners normally evaluate what-if
+// scenarios (LMTF cost probes, P-LMTF co-schedulability) against a
+// copy-on-write NetworkOverlay (net/overlay.h) and commit only the chosen
+// plan to the real instance; deep copies remain as the legacy baseline.
 #pragma once
 
 #include <unordered_map>
 #include <vector>
 
 #include "flow/flow_table.h"
+#include "net/network_view.h"
 #include "topo/graph.h"
 
 namespace nu::net {
 
-class Network {
+class Network final : public MutableNetwork {
  public:
   explicit Network(const topo::Graph& graph);
 
-  [[nodiscard]] const topo::Graph& graph() const { return *graph_; }
+  [[nodiscard]] const topo::Graph& graph() const override { return *graph_; }
   [[nodiscard]] const flow::FlowTable& flows() const { return flows_; }
 
   /// Residual bandwidth c_{i,j} of a link.
-  [[nodiscard]] Mbps Residual(LinkId link) const;
+  [[nodiscard]] Mbps Residual(LinkId link) const override;
 
   /// Utilization of a link in [0, 1].
   [[nodiscard]] double Utilization(LinkId link) const;
@@ -40,17 +42,13 @@ class Network {
   /// AverageUtilization() when the graph has no fabric links.
   [[nodiscard]] double FabricUtilization() const;
 
-  /// True iff every link of `path` has residual >= demand (within epsilon).
-  [[nodiscard]] bool CanPlace(Mbps demand, const topo::Path& path) const;
-
-  /// Links of `path` whose residual is below `demand` — the congested set
-  /// E^c of Definition 1.
-  [[nodiscard]] std::vector<LinkId> CongestedLinks(Mbps demand,
-                                                   const topo::Path& path) const;
+  // CanPlace / CongestedLinks / CanReroute are inherited from NetworkView,
+  // implemented once over the virtual primitives so overlays share their
+  // exact feasibility semantics.
 
   /// Registers and places a flow on `path`. Requires feasibility
   /// (CanPlace). Returns the assigned flow id.
-  FlowId Place(flow::Flow flow, const topo::Path& path);
+  FlowId Place(flow::Flow flow, const topo::Path& path) override;
 
   /// Places even if it would congest links (residual may go negative).
   /// Exists for experiments that study congestion; invariant checking then
@@ -58,27 +56,23 @@ class Network {
   FlowId ForcePlace(flow::Flow flow, const topo::Path& path);
 
   /// Removes a flow, releasing its bandwidth.
-  void Remove(FlowId id);
-
-  /// True iff `new_path` could carry the flow once its own occupancy on
-  /// shared links is released — the feasibility predicate of Reroute.
-  [[nodiscard]] bool CanReroute(FlowId id, const topo::Path& new_path) const;
+  void Remove(FlowId id) override;
 
   /// Moves an existing flow to `new_path`. Requires the flow to exist and
   /// CanReroute to hold.
-  void Reroute(FlowId id, const topo::Path& new_path);
+  void Reroute(FlowId id, const topo::Path& new_path) override;
 
   /// Current path of a placed flow.
-  [[nodiscard]] const topo::Path& PathOf(FlowId id) const;
+  [[nodiscard]] const topo::Path& PathOf(FlowId id) const override;
 
   /// Ids of flows currently traversing `link` (ascending id order).
-  [[nodiscard]] std::vector<FlowId> FlowsOnLink(LinkId link) const;
+  [[nodiscard]] std::vector<FlowId> FlowsOnLink(LinkId link) const override;
 
   /// Number of flows currently traversing `link`.
-  [[nodiscard]] std::size_t FlowCountOnLink(LinkId link) const;
+  [[nodiscard]] std::size_t FlowCountOnLink(LinkId link) const override;
 
   /// True when `flow` crosses `link`.
-  [[nodiscard]] bool FlowUsesLink(FlowId flow, LinkId link) const;
+  [[nodiscard]] bool FlowUsesLink(FlowId flow, LinkId link) const override;
 
   /// All placed flow ids (ascending).
   [[nodiscard]] std::vector<FlowId> PlacedFlows() const;
@@ -102,34 +96,52 @@ class Network {
   /// Marks one directed link up or down. Idempotent; bumps the topology
   /// epoch on an actual change.
   void SetLinkUp(LinkId link, bool up);
-  [[nodiscard]] bool LinkUp(LinkId link) const;
+  [[nodiscard]] bool LinkUp(LinkId link) const override;
 
   /// Marks a node (switch) up or down. A down node kills every path through
   /// it. Idempotent; bumps the topology epoch on an actual change.
   void SetNodeUp(NodeId node, bool up);
-  [[nodiscard]] bool NodeUp(NodeId node) const;
+  [[nodiscard]] bool NodeUp(NodeId node) const override;
 
   /// True when every link and node of `path` is up. Always true while no
   /// element is down (cheap fast path).
-  [[nodiscard]] bool PathAlive(const topo::Path& path) const;
+  [[nodiscard]] bool PathAlive(const topo::Path& path) const override;
 
   /// Monotonic counter bumped on every up/down transition — lets path
   /// caches (topo::PredicatePathProvider) invalidate precisely when the
   /// live topology changes.
   [[nodiscard]] std::uint64_t topology_epoch() const { return epoch_; }
 
+  /// Monotonic counter bumped on ANY state mutation — placements, removals,
+  /// reroutes, and up/down transitions alike. Two reads of this network
+  /// under the same state epoch observe identical state, so probe-cost
+  /// caches key on it.
+  [[nodiscard]] std::uint64_t state_epoch() const { return state_epoch_; }
+
   [[nodiscard]] std::size_t down_link_count() const { return down_links_; }
   [[nodiscard]] std::size_t down_node_count() const { return down_nodes_; }
 
   /// True when a flow with this id is placed in this network instance.
-  /// Plans computed against a copy may reference flows (the planned event's
-  /// own placements) that do not exist in the original.
-  [[nodiscard]] bool HasFlow(FlowId id) const { return flows_.Contains(id); }
+  /// Plans computed against a what-if view may reference flows (the planned
+  /// event's own placements) that do not exist in the original.
+  [[nodiscard]] bool HasFlow(FlowId id) const override {
+    return flows_.Contains(id);
+  }
 
   /// Read access to a placed flow's descriptor.
-  [[nodiscard]] const flow::Flow& FlowOf(FlowId id) const {
+  [[nodiscard]] const flow::Flow& FlowOf(FlowId id) const override {
     return flows_.Get(id);
   }
+
+  /// Next flow id this network would assign (see NetworkView).
+  [[nodiscard]] FlowId::rep_type FlowIdUpperBound() const override {
+    return flows_.peek_next_id();
+  }
+
+  /// Rough byte footprint of the mutable state a deep copy would duplicate
+  /// (residuals, link-flow lists, placements, flow table). Feeds the
+  /// overlay_bytes_saved probe statistic.
+  [[nodiscard]] std::size_t ApproxStateBytes() const;
 
  private:
   void Occupy(const topo::Path& path, Mbps demand, FlowId id);
@@ -145,6 +157,7 @@ class Network {
   std::size_t down_links_ = 0;
   std::size_t down_nodes_ = 0;
   std::uint64_t epoch_ = 0;
+  std::uint64_t state_epoch_ = 0;
 };
 
 }  // namespace nu::net

@@ -1,0 +1,40 @@
+#include "net/network_view.h"
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace nu::net {
+
+bool NetworkView::CanPlace(Mbps demand, const topo::Path& path) const {
+  if (!PathAlive(path)) return false;
+  for (LinkId lid : path.links) {
+    if (!ApproxGe(Residual(lid), demand)) return false;
+  }
+  return true;
+}
+
+std::vector<LinkId> NetworkView::CongestedLinks(Mbps demand,
+                                                const topo::Path& path) const {
+  std::vector<LinkId> congested;
+  for (LinkId lid : path.links) {
+    if (!ApproxGe(Residual(lid), demand)) congested.push_back(lid);
+  }
+  return congested;
+}
+
+bool NetworkView::CanReroute(FlowId id, const topo::Path& new_path) const {
+  NU_EXPECTS(HasFlow(id));
+  const flow::Flow& f = FlowOf(id);
+  if (new_path.source() != f.src || new_path.destination() != f.dst) {
+    return false;
+  }
+  if (!PathAlive(new_path)) return false;
+  for (LinkId lid : new_path.links) {
+    Mbps residual = Residual(lid);
+    if (FlowUsesLink(id, lid)) residual += f.demand;
+    if (!ApproxGe(residual, f.demand)) return false;
+  }
+  return true;
+}
+
+}  // namespace nu::net

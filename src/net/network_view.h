@@ -1,0 +1,95 @@
+// Read and read-write interfaces over network state. Every planning
+// algorithm (admission, migration, event planning, quick cost estimation)
+// consumes these instead of the concrete Network, so a what-if probe can run
+// against a copy-on-write NetworkOverlay (O(touched state)) exactly as it
+// runs against the real Network or a deep copy — with bit-identical reads
+// and therefore bit-identical decisions.
+//
+// The virtual methods are the primitives; CanPlace / CongestedLinks /
+// CanReroute are derived helpers implemented once over the primitives so
+// the overlay and the concrete network can never diverge on feasibility
+// semantics.
+#pragma once
+
+#include <vector>
+
+#include "flow/flow.h"
+#include "topo/graph.h"
+
+namespace nu::net {
+
+class NetworkView {
+ public:
+  virtual ~NetworkView() = default;
+
+  [[nodiscard]] virtual const topo::Graph& graph() const = 0;
+
+  /// Residual bandwidth c_{i,j} of a link.
+  [[nodiscard]] virtual Mbps Residual(LinkId link) const = 0;
+
+  [[nodiscard]] virtual bool LinkUp(LinkId link) const = 0;
+  [[nodiscard]] virtual bool NodeUp(NodeId node) const = 0;
+
+  /// True when every link and node of `path` is up.
+  [[nodiscard]] virtual bool PathAlive(const topo::Path& path) const = 0;
+
+  /// True when a flow with this id is placed in this view.
+  [[nodiscard]] virtual bool HasFlow(FlowId id) const = 0;
+
+  /// Read access to a placed flow's descriptor. Requires HasFlow(id).
+  [[nodiscard]] virtual const flow::Flow& FlowOf(FlowId id) const = 0;
+
+  /// Current path of a placed flow. Requires HasFlow(id).
+  [[nodiscard]] virtual const topo::Path& PathOf(FlowId id) const = 0;
+
+  /// Ids of flows currently traversing `link` (ascending id order).
+  [[nodiscard]] virtual std::vector<FlowId> FlowsOnLink(LinkId link) const = 0;
+
+  /// Number of flows currently traversing `link`.
+  [[nodiscard]] virtual std::size_t FlowCountOnLink(LinkId link) const = 0;
+
+  /// True when `flow` crosses `link`.
+  [[nodiscard]] virtual bool FlowUsesLink(FlowId flow, LinkId link) const = 0;
+
+  /// Exclusive upper bound on the flow ids this view would assign next: a
+  /// Place here (or in any overlay stacked on this view) allocates exactly
+  /// this id. Chaining the bound through overlays keeps what-if flow ids
+  /// numerically identical to the ids a deep copy would have assigned —
+  /// P-LMTF's co-feasibility ownership checks depend on that.
+  [[nodiscard]] virtual FlowId::rep_type FlowIdUpperBound() const = 0;
+
+  // --- Derived helpers (shared semantics for Network and overlays) --------
+
+  /// True iff `path` is alive and every link has residual >= demand
+  /// (within epsilon).
+  [[nodiscard]] bool CanPlace(Mbps demand, const topo::Path& path) const;
+
+  /// Links of `path` whose residual is below `demand` — the congested set
+  /// E^c of Definition 1.
+  [[nodiscard]] std::vector<LinkId> CongestedLinks(
+      Mbps demand, const topo::Path& path) const;
+
+  /// True iff `new_path` could carry the flow once its own occupancy on
+  /// shared links is released — the feasibility predicate of Reroute.
+  /// Requires HasFlow(id).
+  [[nodiscard]] bool CanReroute(FlowId id, const topo::Path& new_path) const;
+};
+
+/// A view that also accepts the three state mutations planning needs. The
+/// concrete Network and the copy-on-write NetworkOverlay both implement it,
+/// so the planner's mutation core runs unchanged against either.
+class MutableNetwork : public NetworkView {
+ public:
+  /// Registers and places a flow on `path`. Requires feasibility
+  /// (CanPlace). Returns the assigned flow id.
+  virtual FlowId Place(flow::Flow flow, const topo::Path& path) = 0;
+
+  /// Moves an existing flow to `new_path`. Requires the flow to exist and
+  /// the move to be feasible under self-release.
+  virtual void Reroute(FlowId id, const topo::Path& new_path) = 0;
+
+  /// Removes a flow, releasing its bandwidth.
+  virtual void Remove(FlowId id) = 0;
+};
+
+}  // namespace nu::net

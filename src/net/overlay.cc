@@ -1,0 +1,146 @@
+#include "net/overlay.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace nu::net {
+
+NetworkOverlay::NetworkOverlay(const NetworkView& base)
+    : base_(&base), next_id_(base.FlowIdUpperBound()) {}
+
+Mbps NetworkOverlay::Residual(LinkId link) const {
+  const auto it = residual_.find(link.value());
+  if (it != residual_.end()) return it->second;
+  return base_->Residual(link);
+}
+
+bool NetworkOverlay::HasFlow(FlowId id) const {
+  if (added_flows_.contains(id.value())) return true;
+  if (removed_.contains(id.value())) return false;
+  return base_->HasFlow(id);
+}
+
+const flow::Flow& NetworkOverlay::FlowOf(FlowId id) const {
+  const auto it = added_flows_.find(id.value());
+  if (it != added_flows_.end()) return it->second;
+  NU_EXPECTS(!removed_.contains(id.value()));
+  return base_->FlowOf(id);
+}
+
+const topo::Path& NetworkOverlay::PathOf(FlowId id) const {
+  const auto it = paths_.find(id.value());
+  if (it != paths_.end()) return it->second;
+  NU_EXPECTS(!removed_.contains(id.value()));
+  return base_->PathOf(id);
+}
+
+std::vector<FlowId> NetworkOverlay::FlowsOnLink(LinkId link) const {
+  const auto it = link_flows_.find(link.value());
+  if (it == link_flows_.end()) return base_->FlowsOnLink(link);
+  std::vector<FlowId> flows = it->second;
+  std::sort(flows.begin(), flows.end());
+  return flows;
+}
+
+std::size_t NetworkOverlay::FlowCountOnLink(LinkId link) const {
+  const auto it = link_flows_.find(link.value());
+  if (it == link_flows_.end()) return base_->FlowCountOnLink(link);
+  return it->second.size();
+}
+
+bool NetworkOverlay::FlowUsesLink(FlowId flow, LinkId link) const {
+  const auto it = link_flows_.find(link.value());
+  if (it == link_flows_.end()) return base_->FlowUsesLink(flow, link);
+  const auto& flows = it->second;
+  return std::find(flows.begin(), flows.end(), flow) != flows.end();
+}
+
+Mbps& NetworkOverlay::ResidualSlot(LinkId link) {
+  const auto [it, inserted] = residual_.try_emplace(link.value(), 0.0);
+  if (inserted) it->second = base_->Residual(link);
+  return it->second;
+}
+
+std::vector<FlowId>& NetworkOverlay::LinkFlowsSlot(LinkId link) {
+  const auto [it, inserted] = link_flows_.try_emplace(link.value());
+  if (inserted) it->second = base_->FlowsOnLink(link);
+  return it->second;
+}
+
+void NetworkOverlay::Occupy(const topo::Path& path, Mbps demand, FlowId id) {
+  for (LinkId lid : path.links) {
+    ResidualSlot(lid) -= demand;
+    LinkFlowsSlot(lid).push_back(id);
+  }
+}
+
+void NetworkOverlay::Release(const topo::Path& path, Mbps demand, FlowId id) {
+  for (LinkId lid : path.links) {
+    ResidualSlot(lid) += demand;
+    auto& flows = LinkFlowsSlot(lid);
+    const auto it = std::find(flows.begin(), flows.end(), id);
+    NU_CHECK(it != flows.end());
+    flows.erase(it);
+  }
+}
+
+FlowId NetworkOverlay::Place(flow::Flow flow, const topo::Path& path) {
+  NU_EXPECTS(graph().IsValidPath(path));
+  NU_EXPECTS(path.source() == flow.src);
+  NU_EXPECTS(path.destination() == flow.dst);
+  NU_EXPECTS(CanPlace(flow.demand, path));
+  // Mirror FlowTable::Add's registration checks and id assignment.
+  NU_EXPECTS(flow.demand > 0.0);
+  NU_EXPECTS(flow.duration >= 0.0);
+  NU_EXPECTS(flow.src != flow.dst);
+  const FlowId id{next_id_++};
+  const Mbps demand = flow.demand;
+  flow.id = id;
+  added_flows_.emplace(id.value(), std::move(flow));
+  Occupy(path, demand, id);
+  paths_.emplace(id.value(), path);
+  return id;
+}
+
+void NetworkOverlay::Reroute(FlowId id, const topo::Path& new_path) {
+  NU_EXPECTS(HasFlow(id));
+  const flow::Flow& f = FlowOf(id);
+  NU_EXPECTS(graph().IsValidPath(new_path));
+  NU_EXPECTS(new_path.source() == f.src);
+  NU_EXPECTS(new_path.destination() == f.dst);
+  const Mbps demand = f.demand;
+  // Release first so the flow's own bandwidth on shared links counts toward
+  // the feasibility of the new path (same order as Network::Reroute).
+  const topo::Path old_path = PathOf(id);
+  Release(old_path, demand, id);
+  NU_CHECK(CanPlace(demand, new_path));
+  Occupy(new_path, demand, id);
+  paths_[id.value()] = new_path;
+}
+
+void NetworkOverlay::Remove(FlowId id) {
+  NU_EXPECTS(HasFlow(id));
+  const Mbps demand = FlowOf(id).demand;
+  const topo::Path path = PathOf(id);
+  Release(path, demand, id);
+  if (added_flows_.erase(id.value()) == 0) removed_.insert(id.value());
+  paths_.erase(id.value());
+}
+
+std::size_t NetworkOverlay::ApproxDeltaBytes() const {
+  std::size_t bytes = residual_.size() * (sizeof(Mbps) + sizeof(LinkId)) +
+                      removed_.size() * sizeof(FlowId) +
+                      added_flows_.size() * sizeof(flow::Flow);
+  for (const auto& [_, flows] : link_flows_) {
+    bytes += sizeof(flows) + flows.capacity() * sizeof(FlowId);
+  }
+  for (const auto& [_, path] : paths_) {
+    bytes += sizeof(path) + path.links.capacity() * sizeof(LinkId) +
+             path.nodes.capacity() * sizeof(NodeId);
+  }
+  return bytes;
+}
+
+}  // namespace nu::net

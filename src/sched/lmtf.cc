@@ -28,15 +28,18 @@ LmtfScheduler::Pick LmtfScheduler::PickCheapest(SchedulingContext& context,
     std::sort(candidates.begin() + 1, candidates.end());
   }
 
+  // Probe all candidates in one batch so a parallel-capable context can
+  // evaluate them concurrently; the scan below is unchanged.
+  std::vector<Mbps> costs(candidates.size());
+  context.ProbeCosts(candidates, costs);
   std::size_t cheapest = candidates.front();
-  Mbps cheapest_cost = context.ProbeCost(candidates.front());
+  Mbps cheapest_cost = costs.front();
   for (std::size_t i = 1; i < candidates.size(); ++i) {
-    const Mbps cost = context.ProbeCost(candidates[i]);
     // Strict < : on ties the earlier arrival (smaller queue index) wins,
     // preserving FIFO order whenever costs are equal.
-    if (cost < cheapest_cost) {
+    if (costs[i] < cheapest_cost) {
       cheapest = candidates[i];
-      cheapest_cost = cost;
+      cheapest_cost = costs[i];
     }
   }
   return Pick{.candidates = std::move(candidates), .cheapest = cheapest};

@@ -7,14 +7,17 @@ namespace nu::sched {
 Decision ReorderScheduler::Decide(SchedulingContext& context) {
   const std::size_t queue_size = context.Queue().size();
   NU_EXPECTS(queue_size > 0);
+  std::vector<std::size_t> indices(queue_size);
+  for (std::size_t i = 0; i < queue_size; ++i) indices[i] = i;
+  std::vector<Mbps> costs(queue_size);
+  context.ProbeCosts(indices, costs);
   std::size_t best = 0;
-  Mbps best_cost = context.ProbeCost(0);
+  Mbps best_cost = costs[0];
   for (std::size_t i = 1; i < queue_size; ++i) {
-    const Mbps cost = context.ProbeCost(i);
     // Strict < keeps the earliest arrival on ties (fairness tiebreak).
-    if (cost < best_cost) {
+    if (costs[i] < best_cost) {
       best = i;
-      best_cost = cost;
+      best_cost = costs[i];
     }
   }
   return Decision{.selected = {best}};

@@ -2,7 +2,17 @@
 
 #include <unordered_set>
 
+#include "common/check.h"
+
 namespace nu::sched {
+
+void SchedulingContext::ProbeCosts(std::span<const std::size_t> indices,
+                                   std::span<Mbps> out) {
+  NU_EXPECTS(out.size() >= indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    out[i] = ProbeCost(indices[i]);
+  }
+}
 
 bool IsValidDecision(const Decision& decision, std::size_t queue_size) {
   if (decision.selected.empty()) return false;

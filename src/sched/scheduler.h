@@ -51,6 +51,14 @@ class SchedulingContext {
   /// Cost(U) of the event at `index`, planned against the current network.
   virtual Mbps ProbeCost(std::size_t index) = 0;
 
+  /// Batch form of ProbeCost: fills `out[i] = ProbeCost(indices[i])`.
+  /// `out.size() >= indices.size()`. The default calls ProbeCost
+  /// sequentially; the simulator overrides it to evaluate the candidates on
+  /// a worker pool when probe_parallelism is enabled. Results and all
+  /// accounting are identical to the sequential calls by contract.
+  virtual void ProbeCosts(std::span<const std::size_t> indices,
+                          std::span<Mbps> out);
+
   /// True when the event at `index` can be fully executed simultaneously
   /// with the events at `selected` (what-if against the current network).
   virtual bool ProbeCoFeasible(std::span<const std::size_t> selected,

@@ -1,15 +1,19 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
+#include <future>
 #include <limits>
 #include <numeric>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "fault/injector.h"
 #include "metrics/collector.h"
 #include "net/admission.h"
+#include "net/overlay.h"
 #include "topo/path_provider.h"
 #include "update/cost_estimate.h"
 
@@ -17,6 +21,37 @@ namespace nu::sim {
 namespace {
 
 constexpr double kTimeEpsilon = 1e-9;
+
+/// Probe fast-path wiring shared by the rounds of one Run: configuration,
+/// the optional worker pool, and the run-wide counters.
+struct ProbeRuntime {
+  /// Probes run on overlays (true) or deep copies (legacy baseline, false).
+  bool fast_path = true;
+  /// Epoch-keyed cost/plan caching (requires fast_path).
+  bool cache_enabled = true;
+  /// Non-null when parallel candidate probing is on.
+  ThreadPool* pool = nullptr;
+  metrics::ProbeStats stats;
+};
+
+/// One event's cached probe result, valid while the network's state epoch
+/// is unchanged since the probe.
+struct ProbeCacheEntry {
+  std::uint64_t epoch = 0;
+  Mbps cost = 0.0;
+  /// Full probes cache the plan for execute-time replay; quick probes cache
+  /// the cost only.
+  bool has_plan = false;
+  update::EventPlan plan;
+};
+
+using ProbeCache = std::unordered_map<EventId::rep_type, ProbeCacheEntry>;
+
+using ProbeClock = std::chrono::steady_clock;
+
+double SecondsSince(ProbeClock::time_point start) {
+  return std::chrono::duration<double>(ProbeClock::now() - start).count();
+}
 
 /// Timeline occurrences.
 ///   kDeparture:           an event flow's transmission finished — release
@@ -99,22 +134,32 @@ struct ActiveEvent {
 constexpr std::size_t kMigrationRetryPeriod = 20;
 
 /// SchedulingContext implementation for one round. Charges probe costs and
-/// memoizes the scratch network used by incremental co-feasibility checks.
+/// memoizes the scratch state used by incremental co-feasibility checks.
+///
+/// Fast path (ProbeRuntime::fast_path): every what-if plan runs on a
+/// copy-on-write overlay over the frozen round network; the legacy baseline
+/// deep-copies instead. Cache hits skip only the planning work — modeled
+/// plan time, probe counters, and probed-marking are identical either way,
+/// so decisions and golden metrics cannot drift.
 class RoundContext final : public sched::SchedulingContext {
  public:
   RoundContext(const net::Network& network, const update::EventPlanner& planner,
                const CostModel& cost_model,
                std::span<const sched::QueuedEvent> queue, Rng& rng,
                Mbps co_migration_allowance, bool quick_cost_probes,
-               sched::QueuePressure pressure)
+               sched::QueuePressure pressure, ProbeRuntime& probe_rt,
+               ProbeCache& probe_cache)
       : network_(network),
         planner_(planner),
         cost_model_(cost_model),
         queue_(queue),
         rng_(rng),
+        probed_bits_(queue.size(), 0),
         co_migration_allowance_(co_migration_allowance),
         quick_cost_probes_(quick_cost_probes),
-        pressure_(pressure) {}
+        pressure_(pressure),
+        probe_rt_(probe_rt),
+        probe_cache_(probe_cache) {}
 
   [[nodiscard]] std::span<const sched::QueuedEvent> Queue() const override {
     return queue_;
@@ -134,25 +179,90 @@ class RoundContext final : public sched::SchedulingContext {
       // probed — execution still pays for (and computes) the full plan.
       plan_time_ += cost_model_.quick_probe_factor *
                     cost_model_.ProbeTime(event.flow_count());
-      return update::QuickCostScore(network_, planner_.paths(), event);
+      if (const ProbeCacheEntry* entry = CacheLookup(event.id())) {
+        ++probe_rt_.stats.probe_cache_hits;
+        return entry->cost;
+      }
+      const auto start = ProbeClock::now();
+      const Mbps score =
+          update::QuickCostScore(network_, planner_.paths(), event);
+      probe_rt_.stats.probe_wall_seconds += SecondsSince(start);
+      CacheStore(event.id(), score, nullptr);
+      return score;
     }
 
     plan_time_ += cost_model_.ProbeTime(event.flow_count());
-    probed_.push_back(index);
+    probed_bits_[index] = 1;
 
-    const update::EventPlan plan = planner_.Plan(network_, event);
-    Mbps cost = plan.migrated_traffic;
-    if (!plan.fully_feasible) {
-      // Deprioritize events that cannot fully run now: a blocked flow would
-      // stall the whole round, so charge each unplaceable flow as if its
-      // whole demand had to migrate, scaled up.
-      for (const update::FlowAction& action : plan.actions) {
-        if (!action.placeable) {
-          cost += 10.0 * event.flows()[action.flow_index].demand;
-        }
-      }
+    if (const ProbeCacheEntry* entry = CacheLookup(event.id())) {
+      ++probe_rt_.stats.probe_cache_hits;
+      return entry->cost;
     }
+    const auto start = ProbeClock::now();
+    update::EventPlan plan = FullProbePlan(event);
+    probe_rt_.stats.probe_wall_seconds += SecondsSince(start);
+    const Mbps cost = ProbedCost(plan, event);
+    CacheStore(event.id(), cost, &plan);
     return cost;
+  }
+
+  void ProbeCosts(std::span<const std::size_t> indices,
+                  std::span<Mbps> out) override {
+    // Parallel evaluation pays off only for full overlay probes; quick
+    // probes are too cheap and the legacy baseline stays sequential (it
+    // models the original code path).
+    if (probe_rt_.pool == nullptr || !probe_rt_.fast_path ||
+        quick_cost_probes_ || indices.size() < 2) {
+      sched::SchedulingContext::ProbeCosts(indices, out);
+      return;
+    }
+    NU_EXPECTS(out.size() >= indices.size());
+
+    // Phase 1 (reads only): resolve cache hits BY VALUE (a later store may
+    // rehash the map) and dispatch every miss to the pool. Workers run pure
+    // what-if plans against the frozen round network; nothing else is
+    // shared mutable state.
+    const auto start = ProbeClock::now();
+    std::vector<char> is_hit(indices.size(), 0);
+    std::vector<Mbps> hit_cost(indices.size(), 0.0);
+    std::vector<std::future<update::EventPlan>> pending(indices.size());
+    bool dispatched = false;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const update::UpdateEvent& event = *queue_[indices[i]].event;
+      if (const ProbeCacheEntry* entry = CacheLookup(event.id())) {
+        is_hit[i] = 1;
+        hit_cost[i] = entry->cost;
+        continue;
+      }
+      pending[i] = probe_rt_.pool->Submit(
+          [this, &event] { return planner_.Plan(network_, event); });
+      dispatched = true;
+    }
+    if (dispatched) ++probe_rt_.stats.parallel_probe_batches;
+
+    // Phase 2 (simulation thread, candidate order): identical bookkeeping
+    // to sequential ProbeCost calls — same accumulation order for the
+    // modeled plan time, same counters, same cache stores — so the batch is
+    // bit-identical to probing one by one.
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const update::UpdateEvent& event = *queue_[indices[i]].event;
+      ++cost_probes_;
+      plan_time_ += cost_model_.ProbeTime(event.flow_count());
+      probed_bits_[indices[i]] = 1;
+      if (is_hit[i] != 0) {
+        ++probe_rt_.stats.probe_cache_hits;
+        out[i] = hit_cost[i];
+        continue;
+      }
+      update::EventPlan plan = pending[i].get();
+      ++probe_rt_.stats.overlay_probes;
+      probe_rt_.stats.overlay_bytes_saved +=
+          static_cast<double>(StateBytes());
+      const Mbps cost = ProbedCost(plan, event);
+      CacheStore(event.id(), cost, &plan);
+      out[i] = cost;
+    }
+    probe_rt_.stats.probe_wall_seconds += SecondsSince(start);
   }
 
   bool ProbeCoFeasible(std::span<const std::size_t> selected,
@@ -161,10 +271,14 @@ class RoundContext final : public sched::SchedulingContext {
     const update::UpdateEvent& event = *queue_[index].event;
     plan_time_ += cost_model_.CoFeasibilityTime(event.flow_count());
     ++cofeasibility_probes_;
-    probed_.push_back(index);
+    probed_bits_[index] = 1;
 
-    EnsureScratch(selected);
-    const update::EventPlan plan = planner_.Plan(*scratch_, event);
+    const auto start = ProbeClock::now();
+    net::MutableNetwork& scratch = EnsureScratch(selected);
+    const update::EventPlan plan = probe_rt_.fast_path
+                                       ? ProbeOnOverlay(scratch, event)
+                                       : ProbeOnCopy(event);
+    probe_rt_.stats.probe_wall_seconds += SecondsSince(start);
     if (!plan.fully_feasible) return false;
     // Near-free wins only: co-scheduling should not buy parallelism with
     // migration cost that waiting (and churn) might avoid.
@@ -174,11 +288,11 @@ class RoundContext final : public sched::SchedulingContext {
     // past rounds, but must not migrate flows the current round is placing.
     for (const update::FlowAction& action : plan.actions) {
       for (const update::MigrationMove& move : action.migration.moves) {
-        // Ids absent from the scratch network were placed by the probed
-        // event itself inside the plan's private copy — migrating one's own
+        // Ids absent from the scratch state were placed by the probed
+        // event itself inside the plan's private view — migrating one's own
         // earlier flows is fine.
-        if (!scratch_->HasFlow(move.flow)) continue;
-        const EventId owner = scratch_->FlowOf(move.flow).event;
+        if (!scratch.HasFlow(move.flow)) continue;
+        const EventId owner = scratch.FlowOf(move.flow).event;
         if (!owner.valid()) continue;  // background
         for (std::size_t s : selected) {
           if (queue_[s].event->id() == owner) return false;
@@ -196,26 +310,108 @@ class RoundContext final : public sched::SchedulingContext {
     return cofeasibility_probes_;
   }
   [[nodiscard]] bool WasProbed(std::size_t index) const {
-    return std::find(probed_.begin(), probed_.end(), index) != probed_.end();
+    return probed_bits_[index] != 0;
   }
 
  private:
-  /// Lazily maintains a scratch network with `selected` events applied.
-  /// P-LMTF grows `selected` by appending, so the applied prefix usually
-  /// stays valid; any other shape triggers a rebuild.
-  void EnsureScratch(std::span<const std::size_t> selected) {
+  /// One full cost-probe plan with fast-path/legacy dispatch + stats.
+  update::EventPlan FullProbePlan(const update::UpdateEvent& event) {
+    if (probe_rt_.fast_path) {
+      ++probe_rt_.stats.overlay_probes;
+      probe_rt_.stats.overlay_bytes_saved +=
+          static_cast<double>(StateBytes());
+      return planner_.Plan(network_, event);
+    }
+    ++probe_rt_.stats.legacy_probe_copies;
+    return planner_.PlanLegacyCopy(network_, event);
+  }
+
+  update::EventPlan ProbeOnOverlay(const net::NetworkView& scratch,
+                                   const update::UpdateEvent& event) {
+    ++probe_rt_.stats.overlay_probes;
+    probe_rt_.stats.overlay_bytes_saved += static_cast<double>(StateBytes());
+    return planner_.Plan(scratch, event);
+  }
+
+  update::EventPlan ProbeOnCopy(const update::UpdateEvent& event) {
+    ++probe_rt_.stats.legacy_probe_copies;
+    return planner_.PlanLegacyCopy(*scratch_copy_, event);
+  }
+
+  /// The probe cost the schedulers compare: migrated traffic, plus a 10x
+  /// demand penalty per unplaceable flow — a blocked flow would stall the
+  /// whole round, so such events are deprioritized.
+  static Mbps ProbedCost(const update::EventPlan& plan,
+                         const update::UpdateEvent& event) {
+    Mbps cost = plan.migrated_traffic;
+    if (!plan.fully_feasible) {
+      for (const update::FlowAction& action : plan.actions) {
+        if (!action.placeable) {
+          cost += 10.0 * event.flows()[action.flow_index].demand;
+        }
+      }
+    }
+    return cost;
+  }
+
+  [[nodiscard]] ProbeCacheEntry* CacheLookup(EventId id) {
+    if (!probe_rt_.cache_enabled) return nullptr;
+    const auto it = probe_cache_.find(id.value());
+    if (it == probe_cache_.end() ||
+        it->second.epoch != network_.state_epoch()) {
+      return nullptr;
+    }
+    return &it->second;
+  }
+
+  /// Stores a probe result (counted as a miss). `plan` is consumed when
+  /// non-null; quick probes pass nullptr (cost-only entries never replay).
+  void CacheStore(EventId id, Mbps cost, update::EventPlan* plan) {
+    if (!probe_rt_.cache_enabled) return;
+    ++probe_rt_.stats.probe_cache_misses;
+    ProbeCacheEntry& entry = probe_cache_[id.value()];
+    entry.epoch = network_.state_epoch();
+    entry.cost = cost;
+    entry.has_plan = plan != nullptr;
+    entry.plan = plan != nullptr ? std::move(*plan) : update::EventPlan{};
+  }
+
+  /// Deep-copy footprint of the round network, memoized (the network is
+  /// frozen while the round's probes run).
+  [[nodiscard]] std::size_t StateBytes() {
+    if (!state_bytes_.has_value()) state_bytes_ = network_.ApproxStateBytes();
+    return *state_bytes_;
+  }
+
+  /// Lazily maintains a scratch state with `selected` events applied — an
+  /// overlay on the fast path, a deep copy on the legacy baseline. P-LMTF
+  /// grows `selected` by appending, so the applied prefix usually stays
+  /// valid; any other shape triggers a rebuild.
+  net::MutableNetwork& EnsureScratch(std::span<const std::size_t> selected) {
+    const bool have_scratch =
+        probe_rt_.fast_path ? scratch_overlay_.has_value()
+                            : scratch_copy_.has_value();
     const bool prefix_ok =
-        scratch_.has_value() && applied_.size() <= selected.size() &&
+        have_scratch && applied_.size() <= selected.size() &&
         std::equal(applied_.begin(), applied_.end(), selected.begin());
     if (!prefix_ok) {
-      scratch_ = network_;
+      if (probe_rt_.fast_path) {
+        scratch_overlay_.emplace(network_);
+      } else {
+        scratch_copy_ = network_;
+      }
       applied_.clear();
     }
-    if (!scratch_.has_value()) scratch_ = network_;
+    net::MutableNetwork& scratch =
+        probe_rt_.fast_path
+            ? static_cast<net::MutableNetwork&>(*scratch_overlay_)
+            : static_cast<net::MutableNetwork&>(*scratch_copy_);
     for (std::size_t i = applied_.size(); i < selected.size(); ++i) {
-      planner_.Execute(*scratch_, *queue_[selected[i]].event);
+      planner_.Execute(scratch, *queue_[selected[i]].event,
+                       /*legacy_migration=*/!probe_rt_.fast_path);
       applied_.push_back(selected[i]);
     }
+    return scratch;
   }
 
   const net::Network& network_;
@@ -227,12 +423,18 @@ class RoundContext final : public sched::SchedulingContext {
   Seconds plan_time_ = 0.0;
   std::size_t cost_probes_ = 0;
   std::size_t cofeasibility_probes_ = 0;
-  std::vector<std::size_t> probed_;
-  std::optional<net::Network> scratch_;
+  /// Per-round probed flags, indexed by queue position (replaces the
+  /// O(probes) linear scan the WasProbed lookup used to do).
+  std::vector<char> probed_bits_;
+  std::optional<net::NetworkOverlay> scratch_overlay_;
+  std::optional<net::Network> scratch_copy_;
   std::vector<std::size_t> applied_;
+  std::optional<std::size_t> state_bytes_;
   Mbps co_migration_allowance_ = 100.0;
   bool quick_cost_probes_ = false;
   sched::QueuePressure pressure_;
+  ProbeRuntime& probe_rt_;
+  ProbeCache& probe_cache_;
 };
 
 /// Events sorted by arrival time (stable on ties).
@@ -277,6 +479,21 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
   metrics::Collector collector;
   Rng rng(config_.seed);
   SimResult result;
+
+  // Probe fast-path wiring (docs/model.md §9). The cache persists across
+  // rounds but is keyed by the network's state epoch, so any mutation
+  // invalidates it wholesale; the pool exists only when parallelism is both
+  // requested and applicable (full probes on the overlay fast path).
+  ProbeRuntime probe_rt;
+  probe_rt.fast_path = config_.probe_fast_path;
+  probe_rt.cache_enabled = config_.probe_cost_cache && config_.probe_fast_path;
+  std::unique_ptr<ThreadPool> probe_pool;
+  if (config_.probe_parallelism > 1 && config_.probe_fast_path &&
+      !config_.quick_cost_probes) {
+    probe_pool = std::make_unique<ThreadPool>(config_.probe_parallelism);
+    probe_rt.pool = probe_pool.get();
+  }
+  ProbeCache probe_cache;
 
   // Guard wiring. Like the fault machinery, a disabled guard draws nothing
   // and changes nothing: fixed-seed runs are bit-identical with and without
@@ -515,7 +732,8 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
           network, planner, costs, view, rng,
           config_.plmtf_co_migration_allowance, config_.quick_cost_probes,
           sched::QueuePressure{gcfg.overload.max_queue_length, queue.size(),
-                               shed_count});
+                               shed_count},
+          probe_rt, probe_cache);
       const sched::Decision decision = scheduler.Decide(context);
       NU_CHECK(sched::IsValidDecision(decision, queue.size()));
 
@@ -538,7 +756,29 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
           now += t;
         }
         collector.OnExecutionStart(event->id(), now);
-        const update::ExecutionResult exec = planner.Execute(network, *event);
+        // A winner probed this round has a cached plan built against the
+        // exact current state — replay it instead of re-planning. Place and
+        // Reroute re-validate everything, so a stale plan would abort loudly
+        // rather than corrupt state.
+        update::ExecutionResult exec;
+        ProbeCacheEntry* cached = nullptr;
+        if (probe_rt.cache_enabled) {
+          const auto it = probe_cache.find(event->id().value());
+          if (it != probe_cache.end() &&
+              it->second.epoch == network.state_epoch() &&
+              it->second.has_plan) {
+            cached = &it->second;
+          }
+        }
+        if (cached != nullptr) {
+          exec = planner.ExecuteWithPlan(network, *event,
+                                         std::move(cached->plan));
+          cached->has_plan = false;
+          ++probe_rt.stats.exec_plan_reuses;
+        } else {
+          exec = planner.Execute(network, *event,
+                                 /*legacy_migration=*/!probe_rt.fast_path);
+        }
         collector.OnCost(event->id(), exec.plan.migrated_traffic);
 
         ActiveEvent ae;
@@ -829,6 +1069,8 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
   result.records = collector.records();
   result.fault_stats = collector.fault_stats();
   result.guard_stats = collector.guard_stats();
+  collector.OnProbeStats(probe_rt.stats);
+  result.probe_stats = collector.probe_stats();
   result.report = metrics::BuildReport(collector, total_plan_time,
                                        config_.tail_percentile);
   return result;

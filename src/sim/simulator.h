@@ -84,6 +84,24 @@ struct SimConfig {
   /// then planned for real at execution time. Trades probe fidelity for
   /// plan time — see bench_ablation_quickprobe.
   bool quick_cost_probes = false;
+  /// Probe fast path: what-if probes (cost sampling, co-feasibility) run on
+  /// copy-on-write overlays (net::NetworkOverlay) instead of deep network
+  /// copies. Decision-identical to the deep-copy baseline by construction
+  /// (see docs/model.md §9); off = the legacy baseline, kept for
+  /// differential tests and bench_probe_scaling.
+  bool probe_fast_path = true;
+  /// Epoch-keyed probe-cost cache: a re-probe of an event under an
+  /// unchanged network state epoch returns the cached cost, and executing a
+  /// probed winner replays the cached plan instead of re-planning. Only
+  /// wall-clock changes — modeled plan time, probe counters, and decisions
+  /// are identical either way. Effective only with probe_fast_path.
+  bool probe_cost_cache = true;
+  /// Worker threads for evaluating a round's sampled candidates
+  /// concurrently (0 or 1 = sequential). Decisions are bit-identical to
+  /// sequential probing: workers only run pure what-if plans; all
+  /// accounting happens on the simulation thread in candidate order.
+  /// Effective only with probe_fast_path and full (non-quick) probes.
+  std::size_t probe_parallelism = 0;
   /// P-LMTF co-scheduling admits only candidates whose current plan
   /// migrates at most this much traffic (Mbps). Opportunistic updates are
   /// meant to be near-free wins — co-scheduling an expensive event would
@@ -156,6 +174,9 @@ struct SimResult {
   /// disabled); also folded into `report`. Per-event terminal statuses
   /// (completed | shed | aborted | quarantined) live in `records`.
   metrics::GuardStats guard_stats;
+  /// Probe fast-path counters (all zero when probe_fast_path is off); also
+  /// folded into `report`.
+  metrics::ProbeStats probe_stats;
 };
 
 class Simulator {

@@ -7,6 +7,7 @@ FatTreePathProvider::FatTreePathProvider(const FatTree& fat_tree)
 
 const std::vector<Path>& FatTreePathProvider::Paths(NodeId src,
                                                     NodeId dst) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t key = PairKey(src, dst);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
@@ -22,6 +23,7 @@ LeafSpinePathProvider::LeafSpinePathProvider(const LeafSpine& leaf_spine)
 
 const std::vector<Path>& LeafSpinePathProvider::Paths(NodeId src,
                                                       NodeId dst) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t key = PairKey(src, dst);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
@@ -40,6 +42,7 @@ KspPathProvider::KspPathProvider(const Graph& graph, std::size_t k)
 }
 
 const std::vector<Path>& KspPathProvider::Paths(NodeId src, NodeId dst) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t key = PairKey(src, dst);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
@@ -57,6 +60,7 @@ LinkAvoidingPathProvider::LinkAvoidingPathProvider(const PathProvider& base,
 
 const std::vector<Path>& LinkAvoidingPathProvider::Paths(NodeId src,
                                                          NodeId dst) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t key = PairKey(src, dst);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
@@ -83,6 +87,7 @@ NodeAvoidingPathProvider::NodeAvoidingPathProvider(const PathProvider& base,
 
 const std::vector<Path>& NodeAvoidingPathProvider::Paths(NodeId src,
                                                          NodeId dst) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t key = PairKey(src, dst);
   auto it = cache_.find(key);
   if (it == cache_.end()) {
@@ -111,6 +116,7 @@ PredicatePathProvider::PredicatePathProvider(const PathProvider& base,
 
 const std::vector<Path>& PredicatePathProvider::Paths(NodeId src,
                                                       NodeId dst) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
   const std::uint64_t epoch = epoch_();
   if (!cache_valid_ || epoch != cached_epoch_) {
     cache_.clear();

@@ -3,12 +3,16 @@
 // so they work identically on Fat-Trees (analytic equal-cost enumeration),
 // leaf-spines, and arbitrary graphs (Yen's KSP), with an LRU-less
 // memoization cache since path sets are static for a fixed topology.
+// Memo caches are mutex-guarded: parallel cost probes call Paths()
+// concurrently, and unordered_map mapped references stay valid across
+// rehashes, so returned references are safe to read lock-free afterwards.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +45,7 @@ class FatTreePathProvider final : public PathProvider {
 
  private:
   const FatTree& fat_tree_;
+  mutable std::mutex mutex_;
   mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
 };
 
@@ -55,6 +60,7 @@ class LeafSpinePathProvider final : public PathProvider {
 
  private:
   const LeafSpine& leaf_spine_;
+  mutable std::mutex mutex_;
   mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
 };
 
@@ -70,6 +76,7 @@ class KspPathProvider final : public PathProvider {
  private:
   const Graph& graph_;
   std::size_t k_;
+  mutable std::mutex mutex_;
   mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
 };
 
@@ -89,6 +96,7 @@ class NodeAvoidingPathProvider final : public PathProvider {
  private:
   const PathProvider& base_;
   NodeId avoided_;
+  mutable std::mutex mutex_;
   mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
 };
 
@@ -112,6 +120,7 @@ class LinkAvoidingPathProvider final : public PathProvider {
   const PathProvider& base_;
   LinkId avoided_;
   LinkId avoided_reverse_;
+  mutable std::mutex mutex_;
   mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
 };
 
@@ -144,6 +153,7 @@ class PredicatePathProvider final : public PathProvider {
   EpochFn epoch_;
   mutable std::uint64_t cached_epoch_ = 0;
   mutable bool cache_valid_ = false;
+  mutable std::mutex mutex_;
   mutable std::unordered_map<std::uint64_t, std::vector<Path>> cache_;
 };
 

@@ -2,9 +2,36 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 namespace nu::update {
 namespace {
+
+/// Per-call residual memo. Candidate paths of one event overlap heavily
+/// (all share host links; fabric links repeat across candidates), so each
+/// link's residual is fetched from the network once and then served from a
+/// flat array.
+class ResidualScratch {
+ public:
+  explicit ResidualScratch(const net::NetworkView& network)
+      : network_(&network),
+        value_(network.graph().link_count(), 0.0),
+        known_(network.graph().link_count(), 0) {}
+
+  Mbps Get(LinkId lid) {
+    const auto i = lid.value();
+    if (known_[i] == 0) {
+      value_[i] = network_->Residual(lid);
+      known_[i] = 1;
+    }
+    return value_[i];
+  }
+
+ private:
+  const net::NetworkView* network_;
+  std::vector<Mbps> value_;
+  std::vector<char> known_;
+};
 
 /// Deficit of placing `demand` on `path`: the WORST single-link shortfall.
 /// Clearing a link requires migrating at least its deficit off it, so the
@@ -17,11 +44,12 @@ struct PathDeficit {
   Mbps movable = 0.0;
 };
 
-PathDeficit DeficitOn(const net::Network& network, const topo::Path& path,
+PathDeficit DeficitOn(const net::NetworkView& network,
+                      ResidualScratch& residuals, const topo::Path& path,
                       Mbps demand) {
   PathDeficit result;
   for (LinkId lid : path.links) {
-    const Mbps residual = network.Residual(lid);
+    const Mbps residual = residuals.Get(lid);
     if (ApproxGe(residual, demand)) continue;
     const Mbps link_deficit = demand - residual;
     if (link_deficit > result.deficit) {
@@ -35,10 +63,11 @@ PathDeficit DeficitOn(const net::Network& network, const topo::Path& path,
 
 }  // namespace
 
-QuickCostResult QuickCostEstimate(const net::Network& network,
+QuickCostResult QuickCostEstimate(const net::NetworkView& network,
                                   const topo::PathProvider& paths,
                                   const UpdateEvent& event) {
   QuickCostResult result;
+  ResidualScratch residuals(network);
   for (const flow::Flow& f : event.flows()) {
     const std::vector<topo::Path>& candidates = paths.Paths(f.src, f.dst);
     if (candidates.empty()) {
@@ -48,11 +77,11 @@ QuickCostResult QuickCostEstimate(const net::Network& network,
     Mbps best_deficit = std::numeric_limits<double>::infinity();
     Mbps movable_at_best = 0.0;
     for (const topo::Path& p : candidates) {
-      const PathDeficit d = DeficitOn(network, p, f.demand);
+      const PathDeficit d = DeficitOn(network, residuals, p, f.demand);
       if (d.deficit < best_deficit) {
         best_deficit = d.deficit;
         movable_at_best = d.movable;
-        if (best_deficit == 0.0) break;  // fits outright
+        if (best_deficit <= kBandwidthEpsilon) break;  // fits outright
       }
     }
     if (best_deficit <= kBandwidthEpsilon) continue;
@@ -67,7 +96,7 @@ QuickCostResult QuickCostEstimate(const net::Network& network,
   return result;
 }
 
-Mbps QuickCostScore(const net::Network& network,
+Mbps QuickCostScore(const net::NetworkView& network,
                     const topo::PathProvider& paths,
                     const UpdateEvent& event) {
   const QuickCostResult estimate = QuickCostEstimate(network, paths, event);

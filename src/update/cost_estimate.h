@@ -8,7 +8,7 @@
 // with it and pay for one full plan only at execution.
 #pragma once
 
-#include "net/network.h"
+#include "net/network_view.h"
 #include "topo/path_provider.h"
 #include "update/update_event.h"
 
@@ -32,13 +32,13 @@ struct QuickCostResult {
 /// and — unlike EventPlanner::Plan — does not account for intra-event
 /// contention (earlier flows of the same event consuming capacity), which
 /// is the main source of underestimation.
-[[nodiscard]] QuickCostResult QuickCostEstimate(const net::Network& network,
+[[nodiscard]] QuickCostResult QuickCostEstimate(const net::NetworkView& network,
                                                 const topo::PathProvider& paths,
                                                 const UpdateEvent& event);
 
 /// Scalar ranking value mirroring the simulator's probe semantics: the
 /// deficit sum plus a 10x penalty on likely-blocked flows' demands.
-[[nodiscard]] Mbps QuickCostScore(const net::Network& network,
+[[nodiscard]] Mbps QuickCostScore(const net::NetworkView& network,
                                   const topo::PathProvider& paths,
                                   const UpdateEvent& event);
 

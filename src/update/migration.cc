@@ -236,8 +236,8 @@ std::optional<std::vector<std::size_t>> SelectCoverSet(
 }
 
 std::optional<topo::Path> FindRerouteTarget(
-    const net::Network& network, const topo::PathProvider& paths, FlowId flow,
-    const std::unordered_set<LinkId::rep_type>& forbidden) {
+    const net::NetworkView& network, const topo::PathProvider& paths,
+    FlowId flow, const std::unordered_set<LinkId::rep_type>& forbidden) {
   const flow::Flow& f = network.FlowOf(flow);
   const topo::Path& current = network.PathOf(flow);
   const std::vector<topo::Path>& candidates = paths.Paths(f.src, f.dst);
@@ -277,11 +277,25 @@ MigrationOptimizer::MigrationOptimizer(const topo::PathProvider& paths,
                                        MigrationOptions options)
     : paths_(paths), options_(options) {}
 
-MigrationPlan MigrationOptimizer::Plan(const net::Network& network, Mbps demand,
+MigrationPlan MigrationOptimizer::Plan(const net::NetworkView& network,
+                                       Mbps demand,
                                        const topo::Path& desired_path) const {
+  net::NetworkOverlay scratch(network);
+  return PlanOn(scratch, demand, desired_path);
+}
+
+MigrationPlan MigrationOptimizer::PlanDeepCopy(
+    const net::Network& network, Mbps demand,
+    const topo::Path& desired_path) const {
+  net::Network scratch = network;
+  return PlanOn(scratch, demand, desired_path);
+}
+
+MigrationPlan MigrationOptimizer::PlanOn(net::MutableNetwork& scratch,
+                                         Mbps demand,
+                                         const topo::Path& desired_path) const {
   NU_EXPECTS(demand > 0.0);
   MigrationPlan plan;
-  net::Network scratch = network;
 
   if (scratch.CanPlace(demand, desired_path)) {
     plan.feasible = true;
@@ -356,7 +370,7 @@ MigrationPlan MigrationOptimizer::Plan(const net::Network& network, Mbps demand,
   return plan;
 }
 
-void MigrationOptimizer::Apply(net::Network& network,
+void MigrationOptimizer::Apply(net::MutableNetwork& network,
                                const MigrationPlan& plan) {
   NU_EXPECTS(plan.feasible);
   for (const MigrationMove& move : plan.moves) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "net/overlay.h"
 #include "topo/path_provider.h"
 
 namespace nu::update {
@@ -62,20 +63,33 @@ class MigrationOptimizer {
                      MigrationOptions options = {});
 
   /// Plans the migration set enabling (demand, desired_path) on `network`.
-  /// Pure: operates on an internal copy. `moves` are ordered so that applying
-  /// them front-to-back keeps every intermediate state congestion-free
-  /// (constraint (5) of the paper).
-  [[nodiscard]] MigrationPlan Plan(const net::Network& network, Mbps demand,
+  /// Pure: operates on a copy-on-write overlay, so the cost is proportional
+  /// to the state the plan touches, not to network size. `moves` are ordered
+  /// so that applying them front-to-back keeps every intermediate state
+  /// congestion-free (constraint (5) of the paper).
+  [[nodiscard]] MigrationPlan Plan(const net::NetworkView& network, Mbps demand,
                                    const topo::Path& desired_path) const;
+
+  /// Legacy baseline of Plan: identical algorithm over a full deep copy of
+  /// `network`. Kept for the probe fast-path differential tests and the
+  /// bench_probe_scaling speedup measurement.
+  [[nodiscard]] MigrationPlan PlanDeepCopy(const net::Network& network,
+                                           Mbps demand,
+                                           const topo::Path& desired_path) const;
 
   /// Applies a plan's reroutes to the live network. The caller then places
   /// the new flow. Aborts if any move became infeasible (the plan must have
   /// been computed against the current state).
-  static void Apply(net::Network& network, const MigrationPlan& plan);
+  static void Apply(net::MutableNetwork& network, const MigrationPlan& plan);
 
   [[nodiscard]] const MigrationOptions& options() const { return options_; }
 
  private:
+  /// Shared mutation core: runs the cover-and-reroute passes directly on
+  /// `scratch` (an overlay for the fast path, a deep copy for the baseline).
+  [[nodiscard]] MigrationPlan PlanOn(net::MutableNetwork& scratch, Mbps demand,
+                                     const topo::Path& desired_path) const;
+
   const topo::PathProvider& paths_;
   MigrationOptions options_;
 };
@@ -84,7 +98,7 @@ class MigrationOptimizer {
 /// the flow's current one, avoiding all `forbidden` links, feasible once the
 /// flow's own occupancy is released. Returns the widest such path.
 [[nodiscard]] std::optional<topo::Path> FindRerouteTarget(
-    const net::Network& network, const topo::PathProvider& paths,
+    const net::NetworkView& network, const topo::PathProvider& paths,
     FlowId flow, const std::unordered_set<LinkId::rep_type>& forbidden);
 
 /// Min-sum subset cover: choose indices of `weights` with total >= deficit

@@ -1,5 +1,7 @@
 #include "update/planner.h"
 
+#include "common/check.h"
+
 namespace nu::update {
 
 std::size_t EventPlan::placeable_count() const {
@@ -17,8 +19,10 @@ EventPlanner::EventPlanner(const topo::PathProvider& paths,
       optimizer_(paths, migration_options),
       path_selection_(path_selection) {}
 
-EventPlan EventPlanner::PlanInto(net::Network& state, const UpdateEvent& event,
-                                 std::vector<FlowId>* placed_ids) const {
+EventPlan EventPlanner::PlanInto(net::MutableNetwork& state,
+                                 const UpdateEvent& event,
+                                 std::vector<FlowId>* placed_ids,
+                                 bool legacy_migration) const {
   EventPlan plan;
   plan.event = event.id();
   plan.actions.reserve(event.flow_count());
@@ -45,7 +49,14 @@ EventPlan EventPlanner::PlanInto(net::Network& state, const UpdateEvent& event,
       //    path (Definition 1).
       const topo::Path& desired =
           net::LeastCongestedPath(state, paths_, f.src, f.dst, f.demand);
-      MigrationPlan migration = optimizer_.Plan(state, f.demand, desired);
+      MigrationPlan migration;
+      if (legacy_migration) {
+        const auto* concrete = dynamic_cast<const net::Network*>(&state);
+        NU_CHECK(concrete != nullptr);
+        migration = optimizer_.PlanDeepCopy(*concrete, f.demand, desired);
+      } else {
+        migration = optimizer_.Plan(state, f.demand, desired);
+      }
       if (migration.feasible) {
         action.path = desired;
         action.migration = std::move(migration);
@@ -71,23 +82,52 @@ EventPlan EventPlanner::PlanInto(net::Network& state, const UpdateEvent& event,
   return plan;
 }
 
-EventPlan EventPlanner::Plan(const net::Network& network,
+EventPlan EventPlanner::Plan(const net::NetworkView& network,
                              const UpdateEvent& event) const {
-  net::Network scratch = network;
+  net::NetworkOverlay scratch(network);
   return PlanInto(scratch, event, nullptr);
 }
 
-ExecutionResult EventPlanner::Execute(net::Network& network,
-                                      const UpdateEvent& event) const {
+EventPlan EventPlanner::PlanLegacyCopy(const net::Network& network,
+                                       const UpdateEvent& event) const {
+  net::Network scratch = network;
+  return PlanInto(scratch, event, nullptr, /*legacy_migration=*/true);
+}
+
+ExecutionResult EventPlanner::Execute(net::MutableNetwork& network,
+                                      const UpdateEvent& event,
+                                      bool legacy_migration) const {
   ExecutionResult result;
-  result.plan = PlanInto(network, event, &result.placed_flows);
+  result.plan =
+      PlanInto(network, event, &result.placed_flows, legacy_migration);
   for (const FlowAction& action : result.plan.actions) {
     if (!action.placeable) result.deferred_flows.push_back(action.flow_index);
   }
   return result;
 }
 
-std::optional<FlowId> EventPlanner::PlaceFlow(net::Network& network,
+ExecutionResult EventPlanner::ExecuteWithPlan(net::MutableNetwork& network,
+                                              const UpdateEvent& event,
+                                              EventPlan plan) const {
+  ExecutionResult result;
+  for (const FlowAction& action : plan.actions) {
+    if (!action.placeable) {
+      result.deferred_flows.push_back(action.flow_index);
+      continue;
+    }
+    // Place() and Reroute() re-validate feasibility, so a stale plan (state
+    // mutated since it was computed) aborts loudly instead of corrupting
+    // residuals.
+    MigrationOptimizer::Apply(network, action.migration);
+    const FlowId id =
+        network.Place(event.flows()[action.flow_index], action.path);
+    result.placed_flows.push_back(id);
+  }
+  result.plan = std::move(plan);
+  return result;
+}
+
+std::optional<FlowId> EventPlanner::PlaceFlow(net::MutableNetwork& network,
                                               flow::Flow flow, Mbps* migrated,
                                               std::size_t* moves) const {
   if (auto direct = net::FindFeasiblePath(network, paths_, flow.src, flow.dst,

@@ -4,13 +4,16 @@
 // plan's total migrated traffic is the event's cost Cost(U) (Definition 2),
 // the quantity LMTF/P-LMTF compare.
 //
-// Plan() is a pure what-if probe (used by LMTF cost sampling); Execute()
-// commits against the live network.
+// Plan() is a pure what-if probe (used by LMTF cost sampling) running on a
+// copy-on-write overlay; PlanLegacyCopy() is the deep-copy baseline it
+// replaced. Execute() commits against the live network; ExecuteWithPlan()
+// replays a previously computed plan without re-planning.
 #pragma once
 
 #include <vector>
 
 #include "net/admission.h"
+#include "net/overlay.h"
 #include "update/migration.h"
 #include "update/update_event.h"
 
@@ -61,22 +64,41 @@ class EventPlanner {
                         net::PathSelection path_selection =
                             net::PathSelection::kWidest);
 
-  /// Cost probe: plans the whole event against a copy of `network` (flows of
-  /// the event occupy capacity as they are planned, so intra-event
-  /// contention is counted). Does not mutate `network`.
-  [[nodiscard]] EventPlan Plan(const net::Network& network,
+  /// Cost probe: plans the whole event against a copy-on-write overlay of
+  /// `network` (flows of the event occupy capacity as they are planned, so
+  /// intra-event contention is counted). Does not mutate `network`; probe
+  /// cost scales with the state the event touches, not with network size.
+  [[nodiscard]] EventPlan Plan(const net::NetworkView& network,
                                const UpdateEvent& event) const;
+
+  /// Legacy baseline of Plan: deep-copies `network` and plans on the copy
+  /// (migration probes deep-copy too). Decision-identical to Plan; kept for
+  /// the differential tests and bench_probe_scaling.
+  [[nodiscard]] EventPlan PlanLegacyCopy(const net::Network& network,
+                                         const UpdateEvent& event) const;
 
   /// Plans and commits against the live network: applies migrations and
   /// places every placeable flow. Unplaceable flows are reported as deferred.
-  ExecutionResult Execute(net::Network& network,
-                          const UpdateEvent& event) const;
+  /// With `legacy_migration`, inner migration probes deep-copy the state (the
+  /// pre-overlay behaviour); requires the state to be a concrete Network.
+  ExecutionResult Execute(net::MutableNetwork& network,
+                          const UpdateEvent& event,
+                          bool legacy_migration = false) const;
+
+  /// Replays a plan computed by Plan() against `network` without
+  /// re-planning: applies each placeable action's migrations and placement
+  /// in plan order. Because network state is identical to what the plan was
+  /// computed against (same state epoch) and the planner is deterministic,
+  /// this commits exactly what Execute() would have committed.
+  ExecutionResult ExecuteWithPlan(net::MutableNetwork& network,
+                                  const UpdateEvent& event,
+                                  EventPlan plan) const;
 
   /// Plans and places a single flow (used by the flow-level baseline and by
   /// deferred-flow retries). Returns the placed id, or nullopt when the flow
   /// fits nowhere even with migration; `migrated` accumulates move traffic.
-  std::optional<FlowId> PlaceFlow(net::Network& network, flow::Flow flow,
-                                  Mbps* migrated = nullptr,
+  std::optional<FlowId> PlaceFlow(net::MutableNetwork& network,
+                                  flow::Flow flow, Mbps* migrated = nullptr,
                                   std::size_t* moves = nullptr) const;
 
   [[nodiscard]] const topo::PathProvider& paths() const { return paths_; }
@@ -86,8 +108,9 @@ class EventPlanner {
 
  private:
   /// Shared implementation: plans against `state`, mutating it.
-  EventPlan PlanInto(net::Network& state, const UpdateEvent& event,
-                     std::vector<FlowId>* placed_ids) const;
+  EventPlan PlanInto(net::MutableNetwork& state, const UpdateEvent& event,
+                     std::vector<FlowId>* placed_ids,
+                     bool legacy_migration = false) const;
 
   const topo::PathProvider& paths_;
   MigrationOptimizer optimizer_;

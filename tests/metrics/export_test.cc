@@ -49,12 +49,17 @@ TEST(ExportTest, ReportCsvHasAllColumns) {
   report.events_quarantined = 1;
   report.audit_violations = 0;
   report.max_queue_length = 16;
+  report.probe_cache_hits = 7;
+  report.exec_plan_reuses = 6;
+  report.overlay_probes = 40;
+  report.overlay_bytes_saved = 1024.0;
+  report.probe_wall_seconds = 0.125;
 
   std::ostringstream out;
   WriteReportCsv(out, report);
   const CsvFile parsed = ParseCsv(out.str(), /*has_header=*/true);
   ASSERT_EQ(parsed.rows.size(), 1u);
-  EXPECT_EQ(parsed.header.size(), 26u);
+  EXPECT_EQ(parsed.header.size(), 34u);
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("events")], "3");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("avg_ect")], "10.0000");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("makespan")], "25.0000");
@@ -67,6 +72,12 @@ TEST(ExportTest, ReportCsvHasAllColumns) {
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("events_quarantined")], "1");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("audit_violations")], "0");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("max_queue_length")], "16");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("probe_cache_hits")], "7");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("exec_plan_reuses")], "6");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("overlay_probes")], "40");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("overlay_bytes_saved")], "1024");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("probe_wall_seconds")],
+            "0.125000");
 }
 
 TEST(ExportTest, RecordsCsvCarriesFaultColumns) {
