@@ -18,6 +18,12 @@
 //   --quick-probes       estimate-based LMTF cost probes (~10x cheaper)
 //   --trace=yahoo-like|benson|uniform [yahoo-like]
 //   --csv                emit CSV instead of an ASCII table
+//
+// Checkpointing (single scheduler, single trial — see docs/model.md §11):
+//   --checkpoint-dir=DIR      write snapshots + journals into DIR
+//   --checkpoint-cadence=N    snapshot every N scheduling rounds [1]
+//   --crash-at-round=N        inject a controller crash at round N (demo)
+//   --resume                  recover from DIR and finish the crashed run
 #include <cstdio>
 #include <iostream>
 #include <sstream>
@@ -86,12 +92,64 @@ int main(int argc, char** argv) {
     kinds.push_back(sched::ParseSchedulerKind(name));
   }
 
+  ckpt::CheckpointConfig checkpoint;
+  checkpoint.dir = flags.GetString("checkpoint-dir", "");
+  checkpoint.cadence = flags.GetUint("checkpoint-cadence", 1);
+  config.sim.faults.crash.at_round = flags.GetUint("crash-at-round", 0);
+  const bool resume = flags.GetBool("resume", false);
+
   const auto unknown = flags.UnqueriedFlags();
   if (!unknown.empty()) {
     for (const std::string& name : unknown) {
       std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
     }
     return 2;
+  }
+
+  // Checkpointing runs one scheduler on one workload: recovery is defined
+  // against a single deterministic run, not an averaged comparison.
+  if (checkpoint.enabled() || resume) {
+    if (!checkpoint.enabled()) {
+      std::fprintf(stderr, "--resume requires --checkpoint-dir\n");
+      return 2;
+    }
+    if (kinds.size() != 1 || trials != 1) {
+      std::fprintf(stderr,
+                   "--checkpoint-dir requires exactly one --schedulers entry "
+                   "and --trials=1\n");
+      return 2;
+    }
+    const exp::Workload workload(config);
+    sim::SimResult run;
+    try {
+      run = exp::RunSchedulerCheckpointed(workload, kinds[0], checkpoint,
+                                          resume);
+    } catch (const fault::ControllerCrash& crash) {
+      std::fprintf(stderr, "%s; rerun with --resume to recover\n",
+                   crash.what());
+      return 3;
+    } catch (const sim::RecoveryError& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return 4;
+    }
+    const metrics::Report& r = run.report;
+    std::printf("%s: avg_ect=%.3f tail_ect=%.3f makespan=%.3f rounds=%zu\n",
+                sched::ToString(kinds[0]), r.avg_ect, r.tail_ect, r.makespan,
+                run.rounds);
+    std::printf("checkpoint: snapshots=%zu wal_records=%zu snapshot_mb=%.2f\n",
+                r.ckpt_snapshots, r.ckpt_wal_records,
+                r.ckpt_snapshot_bytes / 1e6);
+    if (run.recovery.recovered) {
+      std::printf(
+          "recovery: snapshot_round=%llu replayed=%llu torn_bytes=%llu "
+          "snapshots_skipped=%llu wall_s=%.3f\n",
+          static_cast<unsigned long long>(run.recovery.snapshot_round),
+          static_cast<unsigned long long>(run.recovery.wal_records_replayed),
+          static_cast<unsigned long long>(run.recovery.torn_bytes_truncated),
+          static_cast<unsigned long long>(run.recovery.snapshots_skipped),
+          run.recovery.recovery_wall_seconds);
+    }
+    return 0;
   }
 
   const exp::ComparisonResult result =

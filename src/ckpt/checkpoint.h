@@ -1,0 +1,69 @@
+// Checkpoint directory management and recovery bookkeeping.
+//
+// A checkpoint directory holds snapshot/journal segment pairs keyed by the
+// scheduling round at which the snapshot was taken:
+//
+//   snap-0000000042.nuck   full controller state before round 43
+//   wal-0000000042.nuwal   committed operations since that snapshot
+//
+// The journal is rotated (a fresh wal segment started) every time a
+// snapshot is written, so recovery needs exactly one pair: the newest
+// loadable snapshot plus its journal. Older pairs are retained for
+// fallback when the newest snapshot fails validation. Formats and
+// recovery semantics are documented in docs/model.md §11.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace nu::ckpt {
+
+/// Simulator-facing checkpoint switches. Default-constructed means
+/// disabled: no files are touched, no state is serialized, and no Rng is
+/// consulted — fixed-seed runs are bit-identical to a build without the
+/// subsystem.
+struct CheckpointConfig {
+  /// Directory for snapshot/journal segments; empty disables checkpointing.
+  std::string dir;
+  /// Snapshot every N scheduling rounds (>= 1). A snapshot is always taken
+  /// before the first round so recovery never depends on re-reading inputs
+  /// mid-stream.
+  std::size_t cadence = 1;
+
+  [[nodiscard]] bool enabled() const { return !dir.empty(); }
+};
+
+/// Per-process recovery outcome. Deliberately NOT serialized into
+/// snapshots: it describes what this process did to recover, so keeping it
+/// out of the payload keeps snapshot bytes identical between an
+/// uninterrupted run and a recovered one.
+struct RecoveryInfo {
+  bool recovered = false;
+  /// Round of the snapshot that was restored.
+  std::uint64_t snapshot_round = 0;
+  /// On-disk size of the restored snapshot file.
+  std::uint64_t snapshot_bytes = 0;
+  /// Journal records cross-checked during deterministic re-execution.
+  std::uint64_t wal_records_replayed = 0;
+  /// Torn-tail bytes truncated from the journal before replay.
+  std::uint64_t torn_bytes_truncated = 0;
+  /// Newer snapshots skipped because they failed validation.
+  std::uint64_t snapshots_skipped = 0;
+  /// Wall-clock spent restoring + replaying (nondeterministic).
+  double recovery_wall_seconds = 0.0;
+};
+
+/// File names for the segment pair of a snapshot taken at `round`.
+[[nodiscard]] std::filesystem::path SnapshotPath(
+    const std::filesystem::path& dir, std::uint64_t round);
+[[nodiscard]] std::filesystem::path JournalPath(
+    const std::filesystem::path& dir, std::uint64_t round);
+
+/// Rounds that have a snapshot file present, newest first. Unparseable
+/// file names are ignored.
+[[nodiscard]] std::vector<std::uint64_t> ListSnapshotRounds(
+    const std::filesystem::path& dir);
+
+}  // namespace nu::ckpt

@@ -1,0 +1,162 @@
+#include "ckpt/journal.h"
+
+#include <bit>
+#include <sstream>
+
+#include "common/binio.h"
+#include "common/check.h"
+
+namespace nu::ckpt {
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 length + u32 crc
+
+std::string EncodePayload(const WalRecord& record) {
+  BinWriter w;
+  w.U8(static_cast<std::uint8_t>(record.op));
+  w.U64(record.subject);
+  w.F64(record.value);
+  return w.TakeBuffer();
+}
+
+WalRecord DecodePayload(std::string_view payload) {
+  BinReader r(payload);
+  WalRecord record;
+  const std::uint8_t op = r.U8();
+  if (op < static_cast<std::uint8_t>(WalOp::kArrival) ||
+      op > static_cast<std::uint8_t>(WalOp::kFault)) {
+    throw JournalCorruption("unknown op " + std::to_string(op));
+  }
+  record.op = static_cast<WalOp>(op);
+  record.subject = r.U64();
+  record.value = r.F64();
+  r.ExpectEnd();
+  return record;
+}
+
+}  // namespace
+
+const char* WalOpName(WalOp op) {
+  switch (op) {
+    case WalOp::kArrival:
+      return "arrival";
+    case WalOp::kExecute:
+      return "execute";
+    case WalOp::kMigration:
+      return "migration";
+    case WalOp::kComplete:
+      return "complete";
+    case WalOp::kShed:
+      return "shed";
+    case WalOp::kQuarantine:
+      return "quarantine";
+    case WalOp::kRequeue:
+      return "requeue";
+    case WalOp::kFault:
+      return "fault";
+  }
+  return "?";
+}
+
+bool WalRecord::BitwiseEquals(const WalRecord& other) const {
+  return op == other.op && subject == other.subject &&
+         std::bit_cast<std::uint64_t>(value) ==
+             std::bit_cast<std::uint64_t>(other.value);
+}
+
+std::string WalRecord::DebugString() const {
+  std::ostringstream out;
+  out << WalOpName(op) << "(subject=" << subject << ", value=" << value << ")";
+  return out.str();
+}
+
+std::string EncodeWalFrame(const WalRecord& record) {
+  const std::string payload = EncodePayload(record);
+  BinWriter frame;
+  frame.U32(static_cast<std::uint32_t>(payload.size()));
+  frame.U32(Crc32(payload));
+  frame.Bytes(payload.data(), payload.size());
+  return frame.TakeBuffer();
+}
+
+JournalContents ReadJournal(const std::filesystem::path& path) {
+  JournalContents contents;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return contents;  // missing journal == no committed records
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const std::size_t remaining = bytes.size() - pos;
+    if (remaining < kFrameHeaderBytes) break;  // torn mid-header
+    BinReader header(std::string_view(bytes).substr(pos, kFrameHeaderBytes));
+    const std::uint32_t length = header.U32();
+    const std::uint32_t crc = header.U32();
+    if (length > kMaxWalPayload) {
+      // The writer never produces frames this large; a complete header
+      // claiming one is corruption, not a crash artifact.
+      throw JournalCorruption("frame length " + std::to_string(length) +
+                              " exceeds bound at offset " +
+                              std::to_string(pos));
+    }
+    if (remaining < kFrameHeaderBytes + length) break;  // torn mid-payload
+    const std::string_view payload =
+        std::string_view(bytes).substr(pos + kFrameHeaderBytes, length);
+    if (Crc32(payload) != crc) {
+      throw JournalCorruption("checksum mismatch at offset " +
+                              std::to_string(pos));
+    }
+    try {
+      contents.records.push_back(DecodePayload(payload));
+    } catch (const CorruptInput& e) {
+      throw JournalCorruption("undecodable payload at offset " +
+                              std::to_string(pos) + ": " + e.what());
+    }
+    pos += kFrameHeaderBytes + length;
+  }
+  contents.valid_bytes = pos;
+  contents.torn_bytes = bytes.size() - pos;
+  return contents;
+}
+
+void JournalWriter::Open(const std::filesystem::path& path,
+                         std::uint64_t keep_bytes) {
+  NU_EXPECTS(!is_open());
+  path_ = path;
+  std::error_code ec;
+  const auto on_disk = std::filesystem::file_size(path, ec);
+  if (!ec && on_disk > keep_bytes) {
+    std::filesystem::resize_file(path, keep_bytes);
+  }
+  out_.open(path, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("cannot open journal for append: " +
+                             path.string());
+  }
+}
+
+void JournalWriter::Close() {
+  if (out_.is_open()) out_.close();
+}
+
+void JournalWriter::Append(const WalRecord& record) {
+  NU_EXPECTS(is_open());
+  const std::string frame = EncodeWalFrame(record);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) throw std::runtime_error("journal append failed");
+}
+
+void JournalWriter::AppendTorn(const WalRecord& record) {
+  NU_EXPECTS(is_open());
+  const std::string frame = EncodeWalFrame(record);
+  // Cut inside the payload: the header lands intact, the payload does not,
+  // which is the hardest tear for the reader to classify.
+  const std::size_t cut = kFrameHeaderBytes + (frame.size() - kFrameHeaderBytes) / 2;
+  out_.write(frame.data(), static_cast<std::streamsize>(cut));
+  out_.flush();
+  if (!out_) throw std::runtime_error("journal torn-append failed");
+}
+
+}  // namespace nu::ckpt

@@ -1,0 +1,116 @@
+// Write-ahead journal of committed controller operations.
+//
+// Between snapshots the simulator appends one fixed-layout record per
+// committed operation (event arrival/execute/complete, migration cost,
+// fault occurrence, shed/quarantine/requeue). Each record is framed as
+//
+//   u32 payload length | u32 CRC32(payload) | payload
+//
+// and flushed immediately, so the on-disk journal is always a valid prefix
+// plus at most one torn (partially written) final frame.
+//
+// Torn tail vs corruption — the reader distinguishes them deliberately:
+//   * a final frame whose header or payload extends past EOF is a TORN
+//     TAIL: the bytes were cut off mid-write by a crash. It is reported via
+//     `torn_bytes` and must be truncated by the caller, never replayed.
+//   * a frame that is fully present but fails its CRC, or whose length
+//     field exceeds the sanity bound, is CORRUPTION (bit rot, concurrent
+//     writer, format bug) and throws JournalCorruption — recovery must fail
+//     loudly rather than silently diverge.
+//
+// The journal is a commit record, not a redo log: recovery re-executes
+// deterministically from the snapshot and cross-checks each regenerated
+// operation against the journal (see sim::Simulator::Resume).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nu::ckpt {
+
+/// Largest payload a writer will ever produce; a complete frame header
+/// claiming more than this is corruption, not a torn tail.
+inline constexpr std::uint32_t kMaxWalPayload = 4096;
+
+/// Thrown when a fully-present journal record fails validation.
+class JournalCorruption : public std::runtime_error {
+ public:
+  explicit JournalCorruption(const std::string& what)
+      : std::runtime_error("journal corruption: " + what) {}
+};
+
+/// Committed-operation kinds. Values are part of the on-disk format;
+/// append only, never renumber.
+enum class WalOp : std::uint8_t {
+  kArrival = 1,     // subject = event id, value = arrival time
+  kExecute = 2,     // subject = event id, value = execution start time
+  kMigration = 3,   // subject = event id, value = committed migration cost
+  kComplete = 4,    // subject = event id, value = completion time
+  kShed = 5,        // subject = event id, value = shed time
+  kQuarantine = 6,  // subject = event id, value = quarantine time
+  kRequeue = 7,     // subject = event id, value = requeue time
+  kFault = 8,       // subject = fault plan index, value = fault time
+};
+
+[[nodiscard]] const char* WalOpName(WalOp op);
+
+/// One committed operation. `value` comparisons are bitwise: replay
+/// verification demands bit-identical re-execution, not approximate.
+struct WalRecord {
+  WalOp op = WalOp::kArrival;
+  std::uint64_t subject = 0;
+  double value = 0.0;
+
+  [[nodiscard]] bool BitwiseEquals(const WalRecord& other) const;
+  [[nodiscard]] std::string DebugString() const;
+};
+
+/// Result of scanning a journal file.
+struct JournalContents {
+  std::vector<WalRecord> records;
+  /// Length of the valid prefix; the caller truncates the file here before
+  /// appending new records.
+  std::uint64_t valid_bytes = 0;
+  /// Trailing bytes discarded as a torn tail (0 for a clean journal).
+  std::uint64_t torn_bytes = 0;
+};
+
+/// Parses a journal file. A missing file reads as empty (a snapshot may be
+/// taken and the process die before the first append). Torn tails are
+/// dropped and reported; corruption throws JournalCorruption.
+[[nodiscard]] JournalContents ReadJournal(const std::filesystem::path& path);
+
+/// Encodes one record as a complete frame (exposed for tests that build
+/// journals byte-by-byte).
+[[nodiscard]] std::string EncodeWalFrame(const WalRecord& record);
+
+/// Append-only journal writer. Every Append flushes, so a crash can tear
+/// at most the record being written.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+
+  /// Opens `path` for appending after truncating it to `keep_bytes`
+  /// (drops a previously detected torn tail; pass 0 for a fresh journal).
+  void Open(const std::filesystem::path& path, std::uint64_t keep_bytes);
+  void Close();
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+  [[nodiscard]] const std::filesystem::path& path() const { return path_; }
+
+  /// Appends a complete frame and flushes.
+  void Append(const WalRecord& record);
+
+  /// Deliberately writes only a prefix of the frame (crash injection:
+  /// emulates the process dying mid-write).
+  void AppendTorn(const WalRecord& record);
+
+ private:
+  std::ofstream out_;
+  std::filesystem::path path_;
+};
+
+}  // namespace nu::ckpt

@@ -1,0 +1,72 @@
+#include "ckpt/snapshot.h"
+
+#include <fstream>
+
+#include "common/binio.h"
+
+namespace nu::ckpt {
+namespace {
+
+// "NUSNAP01" little-endian.
+constexpr std::uint64_t kMagic = 0x313050414E53554EULL;
+
+}  // namespace
+
+std::uint64_t WriteSnapshotFile(const std::filesystem::path& path,
+                                std::string_view payload) {
+  BinWriter frame;
+  frame.U64(kMagic);
+  frame.U32(kSnapshotVersion);
+  frame.U64(payload.size());
+  frame.U32(Crc32(payload));
+  frame.Bytes(payload.data(), payload.size());
+
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot open snapshot tmp file: " +
+                               tmp.string());
+    }
+    out.write(frame.buffer().data(),
+              static_cast<std::streamsize>(frame.size()));
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("snapshot write failed: " + tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, path);
+  return frame.size();
+}
+
+std::string ReadSnapshotFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open snapshot file: " + path.string());
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  try {
+    BinReader reader(bytes);
+    if (reader.U64() != kMagic) throw SnapshotCorruption("bad magic");
+    const std::uint32_t version = reader.U32();
+    if (version != kSnapshotVersion) {
+      throw SnapshotCorruption("version mismatch: file has v" +
+                               std::to_string(version) + ", reader expects v" +
+                               std::to_string(kSnapshotVersion));
+    }
+    const std::uint64_t payload_size = reader.U64();
+    const std::uint32_t crc = reader.U32();
+    if (payload_size != reader.remaining()) {
+      throw SnapshotCorruption("payload size mismatch");
+    }
+    std::string payload =
+        bytes.substr(reader.position(), static_cast<std::size_t>(payload_size));
+    if (Crc32(payload) != crc) throw SnapshotCorruption("checksum mismatch");
+    return payload;
+  } catch (const CorruptInput& e) {
+    throw SnapshotCorruption(std::string("truncated frame (") + e.what() + ")");
+  }
+}
+
+}  // namespace nu::ckpt

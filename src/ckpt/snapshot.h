@@ -1,0 +1,50 @@
+// Snapshot file framing for crash-consistent checkpointing.
+//
+// A snapshot file is an opaque serialized payload (produced by the
+// simulator's state serializer) wrapped in a self-validating frame:
+//
+//   u64 magic "NUSNAP01"  | u32 format version | u64 payload size
+//   u32 CRC32(payload)    | payload bytes
+//
+// Writes are atomic: the frame is written to `<path>.tmp` and renamed into
+// place, so a crash during a snapshot write leaves at most a stray .tmp
+// file and never a half-visible snapshot. Readers validate magic, version,
+// size, and checksum and throw SnapshotCorruption on any mismatch —
+// recovery treats that as "fall back to an older snapshot", never as data.
+//
+// Version policy: the version is bumped on ANY payload layout change and
+// readers require an exact match. Snapshots are short-lived run artifacts
+// (a crashed run is resumed by the same binary), not archives, so there is
+// deliberately no cross-version migration path.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace nu::ckpt {
+
+/// Current snapshot payload format version.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Thrown when a snapshot file fails frame validation (bad magic, version
+/// mismatch, truncation, or checksum failure).
+class SnapshotCorruption : public std::runtime_error {
+ public:
+  explicit SnapshotCorruption(const std::string& what)
+      : std::runtime_error("snapshot corruption: " + what) {}
+};
+
+/// Atomically writes `payload` to `path` (tmp file + rename) framed with
+/// magic, version, length, and CRC32. Returns total bytes on disk.
+std::uint64_t WriteSnapshotFile(const std::filesystem::path& path,
+                                std::string_view payload);
+
+/// Reads and validates a snapshot file, returning the raw payload.
+/// Throws SnapshotCorruption on any frame violation and
+/// std::runtime_error when the file cannot be opened.
+[[nodiscard]] std::string ReadSnapshotFile(const std::filesystem::path& path);
+
+}  // namespace nu::ckpt

@@ -37,8 +37,11 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
 }
 
 std::string EscapeCsvField(const std::string& field) {
+  // Quote when the field contains a separator, a quote, or a line break
+  // (unquoted newlines would split one logical record across rows). Bare
+  // spaces are fine unquoted per RFC 4180 and stay unadorned.
   const bool needs_quotes =
-      field.find_first_of(",\" ") != std::string::npos || field.empty();
+      field.find_first_of(",\"\n\r") != std::string::npos || field.empty();
   if (!needs_quotes) return field;
   std::string out = "\"";
   for (char c : field) {

@@ -15,7 +15,9 @@ namespace nu {
 /// line-per-record).
 [[nodiscard]] std::vector<std::string> SplitCsvLine(const std::string& line);
 
-/// Escapes a field for CSV output (quotes when it contains , " or space).
+/// Escapes a field for CSV output: quotes when the field contains a comma,
+/// a quote, or a line break (CR/LF), doubling embedded quotes. Bare spaces
+/// do not force quoting.
 [[nodiscard]] std::string EscapeCsvField(const std::string& field);
 
 /// Incremental CSV writer.

@@ -16,8 +16,35 @@ namespace nu {
 
 class Rng {
  public:
+  /// Complete serializable engine state: the four xoshiro256** words plus
+  /// the Box-Muller spare. Restoring a captured state resumes the stream at
+  /// exactly the draw where it was captured, including a pending Normal()
+  /// spare value.
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double spare_normal = 0.0;
+    bool has_spare_normal = false;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
   /// Seeds the generator. Identical seeds produce identical streams.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Captures the full engine state for checkpointing.
+  [[nodiscard]] State GetState() const {
+    return State{state_, spare_normal_, has_spare_normal_};
+  }
+
+  /// Restores a previously captured state. The all-zero word vector is the
+  /// one invalid xoshiro state and is rejected.
+  void SetState(const State& s) {
+    NU_EXPECTS(s.words[0] != 0 || s.words[1] != 0 || s.words[2] != 0 ||
+               s.words[3] != 0);
+    state_ = s.words;
+    spare_normal_ = s.spare_normal;
+    has_spare_normal_ = s.has_spare_normal;
+  }
 
   /// Next raw 64-bit value.
   std::uint64_t Next();

@@ -10,8 +10,11 @@ namespace nu::exp {
 namespace {
 
 /// Builds a configured simulator (churn wired to the workload's trace).
-sim::Simulator MakeSimulator(const Workload& workload) {
+sim::Simulator MakeSimulator(const Workload& workload,
+                             const ckpt::CheckpointConfig* checkpoint =
+                                 nullptr) {
   sim::SimConfig sim_config = workload.config().sim;
+  if (checkpoint != nullptr) sim_config.checkpoint = *checkpoint;
   sim_config.seed = workload.config().seed ^ 0x5eedULL;
   sim_config.churn.enabled = workload.config().background_churn;
   sim_config.churn.placement = workload.background_options();
@@ -33,6 +36,16 @@ sim::SimResult RunScheduler(const Workload& workload,
   const auto scheduler = sched::MakeScheduler(
       kind, sched::LmtfConfig{.alpha = workload.config().alpha});
   return simulator.Run(*scheduler, workload.events());
+}
+
+sim::SimResult RunSchedulerCheckpointed(
+    const Workload& workload, sched::SchedulerKind kind,
+    const ckpt::CheckpointConfig& checkpoint, bool resume) {
+  sim::Simulator simulator = MakeSimulator(workload, &checkpoint);
+  const auto scheduler = sched::MakeScheduler(
+      kind, sched::LmtfConfig{.alpha = workload.config().alpha});
+  return resume ? simulator.Resume(*scheduler, workload.events())
+                : simulator.Run(*scheduler, workload.events());
 }
 
 sim::SimResult RunFlowLevel(const Workload& workload) {
@@ -79,6 +92,13 @@ metrics::Report MeanReport(std::span<const metrics::Report> reports) {
     mean.parallel_probe_batches += r.parallel_probe_batches;
     mean.overlay_bytes_saved += r.overlay_bytes_saved;
     mean.probe_wall_seconds += r.probe_wall_seconds;
+    mean.ckpt_snapshots += r.ckpt_snapshots;
+    mean.ckpt_wal_records += r.ckpt_wal_records;
+    mean.ckpt_recoveries += r.ckpt_recoveries;
+    mean.ckpt_wal_replayed += r.ckpt_wal_replayed;
+    mean.ckpt_snapshot_bytes += r.ckpt_snapshot_bytes;
+    mean.ckpt_snapshot_wall_seconds += r.ckpt_snapshot_wall_seconds;
+    mean.ckpt_recovery_wall_seconds += r.ckpt_recovery_wall_seconds;
   }
   const auto n = static_cast<double>(reports.size());
   mean.event_count = reports.front().event_count;
@@ -114,6 +134,13 @@ metrics::Report MeanReport(std::span<const metrics::Report> reports) {
   mean.parallel_probe_batches /= reports.size();
   mean.overlay_bytes_saved /= n;
   mean.probe_wall_seconds /= n;
+  mean.ckpt_snapshots /= reports.size();
+  mean.ckpt_wal_records /= reports.size();
+  mean.ckpt_recoveries /= reports.size();
+  mean.ckpt_wal_replayed /= reports.size();
+  mean.ckpt_snapshot_bytes /= n;
+  mean.ckpt_snapshot_wall_seconds /= n;
+  mean.ckpt_recovery_wall_seconds /= n;
   // max_queue_length stays the cross-trial maximum (a bound, not a mean).
   return mean;
 }

@@ -18,6 +18,15 @@ namespace nu::exp {
 [[nodiscard]] sim::SimResult RunScheduler(const Workload& workload,
                                           sched::SchedulerKind kind);
 
+/// RunScheduler with checkpointing wired in (see docs/model.md §11). With
+/// `resume` false, runs from scratch writing snapshots/journals into
+/// `checkpoint.dir` (and throws fault::ControllerCrash if the workload's
+/// crash spec fires); with `resume` true, recovers from the directory and
+/// finishes the run instead of starting fresh.
+[[nodiscard]] sim::SimResult RunSchedulerCheckpointed(
+    const Workload& workload, sched::SchedulerKind kind,
+    const ckpt::CheckpointConfig& checkpoint, bool resume);
+
 /// The flow-level baseline on one workload.
 [[nodiscard]] sim::SimResult RunFlowLevel(const Workload& workload);
 

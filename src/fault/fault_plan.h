@@ -10,6 +10,7 @@
 // so the schedulers can be exercised under the conditions they exist for.
 #pragma once
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -83,13 +84,63 @@ class FaultPlan {
   std::vector<FaultSpec> specs_;
 };
 
+/// Where in a scheduling round a controller crash fires.
+enum class CrashPoint : std::uint8_t {
+  /// At the scheduling point of round `at_round`, before any of its work
+  /// (right after the checkpoint hook, so it models "crashed immediately
+  /// after a snapshot/between rounds").
+  kBeforeRound,
+  /// After the round's first event has executed and its journal records
+  /// are durable; additionally leaves a deliberately torn journal record,
+  /// modeling a kill -9 mid-write.
+  kMidRound,
+};
+
+/// A controller-crash injection point. Unlike data-plane faults this does
+/// not model the network failing — it models the CONTROLLER dying, so the
+/// simulator aborts by throwing ControllerCrash (no unwinding of committed
+/// state, like kill -9). Crash specs are one-shot per process:
+/// sim::Simulator::Resume ignores them, otherwise a recovered run would
+/// crash at the same round forever.
+struct CrashSpec {
+  /// 1-based scheduling round at which to die; 0 disables crash injection.
+  std::size_t at_round = 0;
+  CrashPoint point = CrashPoint::kBeforeRound;
+
+  [[nodiscard]] bool armed() const { return at_round > 0; }
+};
+
+/// Thrown by the simulator when an armed CrashSpec fires. Carries no run
+/// state on purpose — a crashed controller saves nothing on the way down;
+/// recovery works only from what is already on disk.
+class ControllerCrash : public std::runtime_error {
+ public:
+  ControllerCrash(std::size_t round, CrashPoint point)
+      : std::runtime_error(
+            "controller crash injected at round " + std::to_string(round) +
+            (point == CrashPoint::kMidRound ? " (mid-round)" : " (pre-round)")),
+        round_(round),
+        point_(point) {}
+
+  [[nodiscard]] std::size_t round() const { return round_; }
+  [[nodiscard]] CrashPoint point() const { return point_; }
+
+ private:
+  std::size_t round_;
+  CrashPoint point_;
+};
+
 /// Everything the simulator needs to run under faults: the incident
-/// schedule, the flaky-install model, and the retry/backoff policy for
-/// failed installs. Disabled (the default) costs nothing on the hot path.
+/// schedule, the flaky-install model, the retry/backoff policy for
+/// failed installs, and an optional controller-crash point. Disabled (the
+/// default) costs nothing on the hot path.
 struct FaultConfig {
   FaultPlan plan;
   FlakyInstallModel flaky;
   RetryPolicy retry;
+  /// Controller-crash injection; orthogonal to `enabled()` (a crash can be
+  /// injected with a perfectly healthy data plane).
+  CrashSpec crash;
 
   [[nodiscard]] bool enabled() const {
     return !plan.empty() || flaky.enabled();

@@ -43,6 +43,11 @@ class FaultInjector {
 
   [[nodiscard]] const FaultConfig& config() const { return config_; }
 
+  /// Checkpoint access to the private flaky-install stream: restoring it
+  /// resumes sampling at exactly the draw where a snapshot was taken.
+  [[nodiscard]] Rng::State GetRngState() const { return rng_.GetState(); }
+  void SetRngState(const Rng::State& state) { rng_.SetState(state); }
+
  private:
   const FaultConfig& config_;
   Rng rng_;

@@ -51,4 +51,39 @@ Mbps FlowTable::TotalDemand() const {
   return total;
 }
 
+void FlowTable::SaveState(BinWriter& w) const {
+  w.U64(next_id_);
+  w.Size(flows_.size());
+  for (FlowId id : Ids()) {  // ascending ids => canonical byte stream
+    const Flow& f = flows_.at(id.value());
+    w.U64(f.id.value());
+    w.U32(f.src.value());
+    w.U32(f.dst.value());
+    w.F64(f.demand);
+    w.F64(f.duration);
+    w.U8(static_cast<std::uint8_t>(f.origin));
+    w.U64(f.event.value());
+  }
+}
+
+void FlowTable::LoadState(BinReader& r) {
+  flows_.clear();
+  next_id_ = r.U64();
+  const std::size_t count = r.Size();
+  flows_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Flow f;
+    f.id = FlowId{r.U64()};
+    f.src = NodeId{r.U32()};
+    f.dst = NodeId{r.U32()};
+    f.demand = r.F64();
+    f.duration = r.F64();
+    f.origin = static_cast<FlowOrigin>(r.U8());
+    f.event = EventId{r.U64()};
+    NU_CHECK(f.id.value() < next_id_);
+    const auto [_, inserted] = flows_.emplace(f.id.value(), std::move(f));
+    NU_CHECK(inserted);
+  }
+}
+
 }  // namespace nu::flow

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binio.h"
 #include "flow/flow.h"
 
 namespace nu::flow {
@@ -37,6 +38,13 @@ class FlowTable {
 
   /// Sum of demands of all registered flows (Mbps).
   [[nodiscard]] Mbps TotalDemand() const;
+
+  /// Serializes the full table (flows in ascending-id order + the id
+  /// allocator) for checkpointing.
+  void SaveState(BinWriter& w) const;
+
+  /// Restores a table serialized by SaveState, replacing all contents.
+  void LoadState(BinReader& r);
 
  private:
   std::unordered_map<FlowId::rep_type, Flow> flows_;

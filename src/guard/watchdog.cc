@@ -41,4 +41,28 @@ Seconds Watchdog::RequeueDelay(EventId event) const {
   return config_.BackoffAfter(misses);
 }
 
+void Watchdog::SaveState(BinWriter& w) const {
+  std::vector<EventId::rep_type> events;
+  events.reserve(failures_.size());
+  for (const auto& [rep, _] : failures_) events.push_back(rep);
+  std::sort(events.begin(), events.end());
+  w.Size(events.size());
+  for (EventId::rep_type rep : events) {
+    w.U64(rep);
+    w.U64(failures_.at(rep));
+  }
+}
+
+void Watchdog::LoadState(BinReader& r) {
+  failures_.clear();
+  const std::size_t count = r.Size();
+  failures_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const EventId::rep_type rep = r.U64();
+    const std::size_t misses = r.U64();
+    const auto [_, inserted] = failures_.emplace(rep, misses);
+    NU_CHECK(inserted);
+  }
+}
+
 }  // namespace nu::guard

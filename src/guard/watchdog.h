@@ -15,6 +15,7 @@
 
 #include <unordered_map>
 
+#include "common/binio.h"
 #include "common/types.h"
 
 namespace nu::guard {
@@ -61,6 +62,14 @@ class Watchdog {
   [[nodiscard]] Seconds RequeueDelay(EventId event) const;
 
   [[nodiscard]] const DeadlineConfig& config() const { return config_; }
+
+  /// Serializes the per-event miss counts (ascending event id) for
+  /// checkpointing. The config is not persisted — it is reconstructed from
+  /// the run configuration on restore.
+  void SaveState(BinWriter& w) const;
+
+  /// Restores miss counts serialized by SaveState.
+  void LoadState(BinReader& r);
 
  private:
   DeadlineConfig config_;

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "common/binio.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -131,6 +132,18 @@ struct ProbeStats {
   double probe_wall_seconds = 0.0;
 };
 
+/// Run-wide checkpointing counters (all zero with checkpointing off).
+/// Both counters are deterministic and are themselves serialized into
+/// snapshots, so an uninterrupted run and a crash+recover run report the
+/// same totals: a recovered process inherits the counts up to the restored
+/// snapshot and re-counts replayed journal records as it verifies them.
+struct CkptStats {
+  /// Snapshots written since the run started (cumulative across recovery).
+  std::size_t snapshots_taken = 0;
+  /// Committed operations journaled since the run started (cumulative).
+  std::size_t wal_records = 0;
+};
+
 class Collector {
  public:
   void OnArrival(EventId event, Seconds time, std::size_t flow_count);
@@ -175,9 +188,17 @@ class Collector {
   /// Accumulates a run's probe fast-path counters into this collector.
   void OnProbeStats(const ProbeStats& stats);
 
+  // --- Checkpointing -----------------------------------------------------
+  /// A snapshot is being taken (counted before the payload is serialized,
+  /// so the snapshot includes its own count — see CkptStats).
+  void OnSnapshotTaken() { ++ckpt_stats_.snapshots_taken; }
+  /// One committed operation was journaled (or replay-verified).
+  void OnWalRecord() { ++ckpt_stats_.wal_records; }
+
   [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
   [[nodiscard]] const GuardStats& guard_stats() const { return guard_stats_; }
   [[nodiscard]] const ProbeStats& probe_stats() const { return probe_stats_; }
+  [[nodiscard]] const CkptStats& ckpt_stats() const { return ckpt_stats_; }
 
   /// All records; complete once every event has a completion time.
   [[nodiscard]] const std::vector<EventRecord>& records() const {
@@ -194,6 +215,13 @@ class Collector {
   [[nodiscard]] Samples QueuingDelaySamples() const;
   [[nodiscard]] Mbps TotalCost() const;
 
+  /// Serializes every record and counter for checkpointing (records in
+  /// insertion order — that order is part of the run's observable output).
+  void SaveState(BinWriter& w) const;
+
+  /// Restores state serialized by SaveState, replacing all contents.
+  void LoadState(BinReader& r);
+
  private:
   EventRecord& Find(EventId event);
 
@@ -201,6 +229,7 @@ class Collector {
   FaultStats fault_stats_;
   GuardStats guard_stats_;
   ProbeStats probe_stats_;
+  CkptStats ckpt_stats_;
 };
 
 }  // namespace nu::metrics

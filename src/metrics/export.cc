@@ -42,7 +42,10 @@ void WriteReportCsv(std::ostream& out, const Report& report) {
                    "probe_cache_hits", "probe_cache_misses",
                    "exec_plan_reuses", "overlay_probes", "legacy_probe_copies",
                    "parallel_probe_batches", "overlay_bytes_saved",
-                   "probe_wall_seconds"});
+                   "probe_wall_seconds", "ckpt_snapshots", "ckpt_wal_records",
+                   "ckpt_recoveries", "ckpt_wal_replayed",
+                   "ckpt_snapshot_bytes", "ckpt_snapshot_wall_seconds",
+                   "ckpt_recovery_wall_seconds"});
   writer.WriteRow({std::to_string(report.event_count),
                    FormatDouble(report.avg_ect, 4),
                    FormatDouble(report.tail_ect, 4),
@@ -76,7 +79,14 @@ void WriteReportCsv(std::ostream& out, const Report& report) {
                    std::to_string(report.legacy_probe_copies),
                    std::to_string(report.parallel_probe_batches),
                    FormatDouble(report.overlay_bytes_saved, 0),
-                   FormatDouble(report.probe_wall_seconds, 6)});
+                   FormatDouble(report.probe_wall_seconds, 6),
+                   std::to_string(report.ckpt_snapshots),
+                   std::to_string(report.ckpt_wal_records),
+                   std::to_string(report.ckpt_recoveries),
+                   std::to_string(report.ckpt_wal_replayed),
+                   FormatDouble(report.ckpt_snapshot_bytes, 0),
+                   FormatDouble(report.ckpt_snapshot_wall_seconds, 6),
+                   FormatDouble(report.ckpt_recovery_wall_seconds, 6)});
 }
 
 }  // namespace nu::metrics

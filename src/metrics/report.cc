@@ -34,6 +34,15 @@ std::string Report::DebugString() const {
        << " bytes_saved=" << overlay_bytes_saved
        << " wall=" << probe_wall_seconds << "s}";
   }
+  if (ckpt_snapshots > 0 || ckpt_recoveries > 0) {
+    os << " ckpt{snapshots=" << ckpt_snapshots
+       << " wal_records=" << ckpt_wal_records
+       << " recoveries=" << ckpt_recoveries
+       << " replayed=" << ckpt_wal_replayed
+       << " snapshot_bytes=" << ckpt_snapshot_bytes
+       << " snapshot_wall=" << ckpt_snapshot_wall_seconds
+       << "s recovery_wall=" << ckpt_recovery_wall_seconds << "s}";
+  }
   os << "}";
   return os.str();
 }
@@ -88,6 +97,12 @@ Report BuildReport(const Collector& collector, double total_plan_time,
   report.parallel_probe_batches = probes.parallel_probe_batches;
   report.overlay_bytes_saved = probes.overlay_bytes_saved;
   report.probe_wall_seconds = probes.probe_wall_seconds;
+  const CkptStats& ckpt = collector.ckpt_stats();
+  report.ckpt_snapshots = ckpt.snapshots_taken;
+  report.ckpt_wal_records = ckpt.wal_records;
+  // The per-process recovery fields (ckpt_recoveries, ckpt_wal_replayed,
+  // byte/wall totals) are filled in by the simulator, which owns that
+  // bookkeeping.
   return report;
 }
 

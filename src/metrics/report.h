@@ -62,6 +62,20 @@ struct Report {
   double overlay_bytes_saved = 0.0;
   double probe_wall_seconds = 0.0;
 
+  // Checkpoint & crash-recovery aggregates (all zero with checkpointing
+  // off). snapshots/wal_records are deterministic run totals (see
+  // metrics::CkptStats); the remaining fields describe what THIS process
+  // did — snapshot bytes/wall it wrote, journal records it replay-verified
+  // after a restore — so they legitimately differ between an uninterrupted
+  // run and a crash+recover run and are excluded by the determinism oracle.
+  std::size_t ckpt_snapshots = 0;
+  std::size_t ckpt_wal_records = 0;
+  std::size_t ckpt_recoveries = 0;
+  std::size_t ckpt_wal_replayed = 0;
+  double ckpt_snapshot_bytes = 0.0;
+  double ckpt_snapshot_wall_seconds = 0.0;
+  double ckpt_recovery_wall_seconds = 0.0;
+
   [[nodiscard]] std::string DebugString() const;
 };
 

@@ -214,6 +214,98 @@ std::size_t Network::ApproxStateBytes() const {
   return bytes;
 }
 
+std::uint32_t Network::TopologyFingerprint() const {
+  BinWriter w;
+  w.Size(graph_->node_count());
+  for (const topo::Node& n : graph_->nodes()) {
+    w.U8(static_cast<std::uint8_t>(n.role));
+  }
+  w.Size(graph_->link_count());
+  for (const topo::Link& l : graph_->links()) {
+    w.U32(l.src.value());
+    w.U32(l.dst.value());
+    w.F64(l.capacity);
+  }
+  return Crc32(w.buffer());
+}
+
+namespace {
+
+void SavePath(BinWriter& w, const topo::Path& path) {
+  w.Size(path.nodes.size());
+  for (NodeId n : path.nodes) w.U32(n.value());
+  w.Size(path.links.size());
+  for (LinkId l : path.links) w.U32(l.value());
+}
+
+topo::Path LoadPath(BinReader& r) {
+  topo::Path path;
+  const std::size_t node_count = r.Size();
+  path.nodes.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) path.nodes.push_back(NodeId{r.U32()});
+  const std::size_t link_count = r.Size();
+  path.links.reserve(link_count);
+  for (std::size_t i = 0; i < link_count; ++i) path.links.push_back(LinkId{r.U32()});
+  return path;
+}
+
+}  // namespace
+
+void Network::SaveState(BinWriter& w) const {
+  w.U32(TopologyFingerprint());
+  flows_.SaveState(w);
+  w.Vec(residual_, [](BinWriter& out, Mbps v) { out.F64(v); });
+  w.Size(link_flows_.size());
+  for (const auto& flows : link_flows_) {
+    w.Vec(flows, [](BinWriter& out, FlowId id) { out.U64(id.value()); });
+  }
+  std::vector<FlowId::rep_type> placed;
+  placed.reserve(placements_.size());
+  for (const auto& [rep, _] : placements_) placed.push_back(rep);
+  std::sort(placed.begin(), placed.end());
+  w.Size(placed.size());
+  for (FlowId::rep_type rep : placed) {
+    w.U64(rep);
+    SavePath(w, placements_.at(rep));
+  }
+  w.Vec(link_up_, [](BinWriter& out, char v) { out.U8(static_cast<std::uint8_t>(v)); });
+  w.Vec(node_up_, [](BinWriter& out, char v) { out.U8(static_cast<std::uint8_t>(v)); });
+  w.Size(down_links_);
+  w.Size(down_nodes_);
+  w.U64(epoch_);
+  w.U64(state_epoch_);
+}
+
+void Network::LoadState(BinReader& r) {
+  const std::uint32_t fingerprint = r.U32();
+  NU_CHECK(fingerprint == TopologyFingerprint());
+  flows_.LoadState(r);
+  residual_ = r.Vec<Mbps>([](BinReader& in) { return in.F64(); });
+  NU_CHECK(residual_.size() == graph_->link_count());
+  const std::size_t link_count = r.Size();
+  NU_CHECK(link_count == graph_->link_count());
+  link_flows_.assign(link_count, {});
+  for (std::size_t i = 0; i < link_count; ++i) {
+    link_flows_[i] = r.Vec<FlowId>([](BinReader& in) { return FlowId{in.U64()}; });
+  }
+  placements_.clear();
+  const std::size_t placed = r.Size();
+  placements_.reserve(placed);
+  for (std::size_t i = 0; i < placed; ++i) {
+    const FlowId::rep_type rep = r.U64();
+    const auto [_, inserted] = placements_.emplace(rep, LoadPath(r));
+    NU_CHECK(inserted);
+  }
+  link_up_ = r.Vec<char>([](BinReader& in) { return static_cast<char>(in.U8()); });
+  node_up_ = r.Vec<char>([](BinReader& in) { return static_cast<char>(in.U8()); });
+  NU_CHECK(link_up_.size() == graph_->link_count());
+  NU_CHECK(node_up_.size() == graph_->node_count());
+  down_links_ = r.Size();
+  down_nodes_ = r.Size();
+  epoch_ = r.U64();
+  state_epoch_ = r.U64();
+}
+
 bool Network::CheckInvariants() const {
   // Recompute residuals from scratch.
   std::vector<Mbps> recomputed;

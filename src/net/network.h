@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/binio.h"
 #include "flow/flow_table.h"
 #include "net/network_view.h"
 #include "topo/graph.h"
@@ -142,6 +143,25 @@ class Network final : public MutableNetwork {
   /// (residuals, link-flow lists, placements, flow table). Feeds the
   /// overlay_bytes_saved probe statistic.
   [[nodiscard]] std::size_t ApproxStateBytes() const;
+
+  // --- Checkpointing -----------------------------------------------------
+
+  /// CRC32 over the graph's structure (node roles, link endpoints and
+  /// capacities). Snapshots embed it so a restore against a different
+  /// topology fails loudly instead of decoding garbage.
+  [[nodiscard]] std::uint32_t TopologyFingerprint() const;
+
+  /// Serializes the complete mutable state. Link-flow lists are written
+  /// verbatim (their relative order is part of the state: Release() keeps
+  /// relative order, so a restored network must reproduce it exactly);
+  /// unordered maps are written in ascending-key order for a canonical
+  /// byte stream.
+  void SaveState(BinWriter& w) const;
+
+  /// Restores state serialized by SaveState. The graph itself is not
+  /// persisted — the caller reconstructs it and this network must already
+  /// be bound to an identical graph (checked via TopologyFingerprint).
+  void LoadState(BinReader& r);
 
  private:
   void Occupy(const topo::Path& path, Mbps demand, FlowId id);

@@ -1,10 +1,16 @@
 // Deterministic time-ordered queue for simulator occurrences. Entries at
 // equal times pop in insertion order (monotonic sequence tiebreak), which
 // keeps every run bit-for-bit reproducible.
+//
+// Implemented over an explicit vector + push_heap/pop_heap (rather than
+// std::priority_queue) so checkpointing can serialize the pending entries:
+// because (time, seq) is a strict total order, the pop sequence is
+// independent of the heap's internal layout, and a queue rebuilt from a
+// canonically sorted entry list behaves identically to the original.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "common/check.h"
@@ -22,7 +28,8 @@ class TimelineQueue {
   };
 
   void Push(Seconds time, T payload) {
-    heap_.push(Entry{time, next_seq_++, std::move(payload)});
+    heap_.push_back(Entry{time, next_seq_++, std::move(payload)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
   }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
@@ -30,15 +37,41 @@ class TimelineQueue {
 
   [[nodiscard]] Seconds NextTime() const {
     NU_EXPECTS(!heap_.empty());
-    return heap_.top().time;
+    return heap_.front().time;
   }
 
   /// Pops the earliest entry.
   Entry Pop() {
     NU_EXPECTS(!heap_.empty());
-    Entry entry = heap_.top();
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry entry = std::move(heap_.back());
+    heap_.pop_back();
     return entry;
+  }
+
+  /// Pending entries in canonical (time, seq) pop order — heap-layout
+  /// independent, so two queues with identical contents serialize
+  /// identically regardless of insertion history.
+  [[nodiscard]] std::vector<Entry> SortedEntries() const {
+    std::vector<Entry> entries = heap_;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.time != b.time) return a.time < b.time;
+                return a.seq < b.seq;
+              });
+    return entries;
+  }
+
+  /// Sequence number the next Push will consume (monotonic, never reused).
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Rebuilds the queue from serialized state. `entries` need not be
+  /// sorted; `next_seq` must exceed every entry's seq.
+  void Restore(std::vector<Entry> entries, std::uint64_t next_seq) {
+    for (const Entry& e : entries) NU_EXPECTS(e.seq < next_seq);
+    heap_ = std::move(entries);
+    std::make_heap(heap_.begin(), heap_.end(), Later{});
+    next_seq_ = next_seq;
   }
 
  private:
@@ -49,7 +82,7 @@ class TimelineQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::vector<Entry> heap_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <filesystem>
 #include <future>
 #include <limits>
 #include <numeric>
 #include <unordered_set>
 
+#include "ckpt/journal.h"
+#include "ckpt/snapshot.h"
+#include "common/binio.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "fault/injector.h"
@@ -51,6 +55,26 @@ using ProbeClock = std::chrono::steady_clock;
 
 double SecondsSince(ProbeClock::time_point start) {
   return std::chrono::duration<double>(ProbeClock::now() - start).count();
+}
+
+void SaveRngState(BinWriter& w, const Rng::State& s) {
+  for (std::uint64_t word : s.words) w.U64(word);
+  w.F64(s.spare_normal);
+  w.Bool(s.has_spare_normal);
+}
+
+Rng::State LoadRngState(BinReader& r) {
+  Rng::State s;
+  for (std::uint64_t& word : s.words) word = r.U64();
+  s.spare_normal = r.F64();
+  s.has_spare_normal = r.Bool();
+  // The all-zero word vector is the one invalid xoshiro state; a snapshot
+  // can only contain it if its bytes are garbage.
+  if (s.words[0] == 0 && s.words[1] == 0 && s.words[2] == 0 &&
+      s.words[3] == 0) {
+    throw CorruptInput("all-zero rng state");
+  }
+  return s;
 }
 
 /// Timeline occurrences.
@@ -459,6 +483,17 @@ Simulator::Simulator(const net::Network& initial,
 
 SimResult Simulator::Run(sched::Scheduler& scheduler,
                          std::span<const update::UpdateEvent> events) {
+  return RunEventLoop(scheduler, events, /*resume=*/false);
+}
+
+SimResult Simulator::Resume(sched::Scheduler& scheduler,
+                            std::span<const update::UpdateEvent> events) {
+  return RunEventLoop(scheduler, events, /*resume=*/true);
+}
+
+SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
+                                  std::span<const update::UpdateEvent> events,
+                                  const bool resume) {
   net::Network network = initial_;
 
   // Fault wiring. When faults are off the planner sees the raw provider and
@@ -532,6 +567,60 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
   Seconds now = 0.0;
   Seconds total_plan_time = 0.0;
 
+  // Checkpoint wiring (docs/model.md §11). Disabled configs touch no files
+  // and skip every hook, so fixed-seed runs are bit-identical to a build
+  // without the subsystem. The journal is a determinism cross-check, not a
+  // redo log: a resumed run re-executes from the restored snapshot and
+  // verifies each regenerated operation bitwise against the journal.
+  const ckpt::CheckpointConfig& ck = config_.checkpoint;
+  const bool ckpt_on = ck.enabled();
+  if (resume && !ckpt_on) {
+    throw RecoveryError("Resume requires a checkpoint directory");
+  }
+  if (ckpt_on) NU_CHECK(ck.cadence >= 1);
+  // Crash injection is one-shot per process: a resumed run ignores the
+  // spec, otherwise it would crash at the same round forever.
+  fault::CrashSpec crash = config_.faults.crash;
+  if (resume) crash = fault::CrashSpec{};
+  ckpt::JournalWriter wal;
+  std::vector<ckpt::WalRecord> replay;  // journal records left to verify
+  std::size_t replay_pos = 0;
+  std::uint64_t wal_round = 0;       // round key of the current wal segment
+  std::uint64_t wal_keep_bytes = 0;  // valid prefix of the replayed segment
+  // Set when the restored snapshot sits exactly at a cadence point, so the
+  // re-entered hook must not write (or count) a duplicate snapshot.
+  bool skip_snapshot_once = false;
+  std::uint64_t churn_draws = 0;  // TrafficGenerator::Next calls so far
+  std::uint64_t snapshot_bytes_written = 0;
+  double snapshot_wall_seconds = 0.0;
+
+  /// Journals one committed operation. During recovery the regenerated
+  /// record is verified bitwise against the journal instead of appended;
+  /// when the journal runs out, the same segment switches to live appends
+  /// at its valid-prefix length (dropping any torn tail for good).
+  auto commit = [&](ckpt::WalOp op, std::uint64_t subject, double value) {
+    if (!ckpt_on) return;
+    const ckpt::WalRecord rec{op, subject, value};
+    if (replay_pos < replay.size()) {
+      const ckpt::WalRecord& expect = replay[replay_pos];
+      if (!rec.BitwiseEquals(expect)) {
+        throw RecoveryError(
+            "replay divergence at record " + std::to_string(replay_pos) +
+            ": journal has " + expect.DebugString() +
+            ", re-execution produced " + rec.DebugString());
+      }
+      ++replay_pos;
+      ++result.recovery.wal_records_replayed;
+      collector.OnWalRecord();
+      if (replay_pos == replay.size()) {
+        wal.Open(ckpt::JournalPath(ck.dir, wal_round), wal_keep_bytes);
+      }
+      return;
+    }
+    collector.OnWalRecord();
+    wal.Append(rec);
+  };
+
   // Every scheduled incident enters the timeline up front; the plan is
   // already time-sorted, but the queue orders them anyway.
   if (faults_on) {
@@ -564,6 +653,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
     for (std::size_t attempt = 0;
          attempt < config_.churn.replacement_attempts; ++attempt) {
       const trace::FlowSpec spec = churn_gen->Next();
+      ++churn_draws;  // replayed to restore the generator from a snapshot
       const auto path = trace::FindRandomPathWithHeadroom(
           network, provider, spec.src, spec.dst, spec.demand,
           config_.churn.placement, churn_rng);
@@ -586,7 +676,9 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
   /// distinguishes kShed from kAborted by whether the event ever executed.
   /// `now` can sit kTimeEpsilon below the arrival being ingested, so clamp.
   auto shed = [&](const update::UpdateEvent& e) {
-    collector.OnShed(e.id(), std::max(now, e.arrival_time()));
+    const Seconds t = std::max(now, e.arrival_time());
+    collector.OnShed(e.id(), t);
+    commit(ckpt::WalOp::kShed, e.id().value(), t);
     ++shed_count;
   };
 
@@ -614,6 +706,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
            pending[next_arrival]->arrival_time() <= now + kTimeEpsilon) {
       const update::UpdateEvent* e = pending[next_arrival];
       collector.OnArrival(e->id(), e->arrival_time(), e->flow_count());
+      commit(ckpt::WalOp::kArrival, e->id().value(), e->arrival_time());
       admit(e);
       ++next_arrival;
     }
@@ -682,6 +775,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         ae.retry_failures = 0;
         if (lossy) ae.flow_index.emplace(placed->value(), flow_idx);
         collector.OnCost(id, migrated);
+        commit(ckpt::WalOp::kMigration, id.value(), migrated);
         const FlowId placed_ids[] = {*placed};
         schedule_batch(ae, id, placed_ids, now + costs.MigrationTime(migrated),
                        costs.InstallTime(1));
@@ -708,6 +802,300 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
   std::size_t occurrences_since_audit = 0;
   bool audit_due = false;
 
+  /// Serializes the complete mid-run controller state at a round boundary.
+  /// Field order IS the snapshot payload format — bump
+  /// ckpt::kSnapshotVersion on any change. Unordered containers are written
+  /// in ascending-key order (canonical bytes); active events in activation
+  /// order; the timeline in canonical (time, seq) pop order.
+  auto serialize_state = [&](BinWriter& w) {
+    network.SaveState(w);
+    SaveRngState(w, rng.GetState());
+    SaveRngState(w, churn_rng.GetState());
+    SaveRngState(w, injector.GetRngState());
+    w.U64(churn_draws);
+    collector.SaveState(w);
+    watchdog.SaveState(w);
+    w.U64(result.rounds);
+    w.U64(result.cost_probes);
+    w.U64(result.cofeasibility_probes);
+    w.U64(result.forced_placements);
+    w.U64(probe_rt.stats.probe_cache_hits);
+    w.U64(probe_rt.stats.probe_cache_misses);
+    w.U64(probe_rt.stats.exec_plan_reuses);
+    w.U64(probe_rt.stats.overlay_probes);
+    w.U64(probe_rt.stats.legacy_probe_copies);
+    w.U64(probe_rt.stats.parallel_probe_batches);
+    w.F64(probe_rt.stats.overlay_bytes_saved);
+    w.F64(probe_rt.stats.probe_wall_seconds);
+    w.U64(next_arrival);
+    w.Size(queue.size());
+    for (const update::UpdateEvent* e : queue) w.U64(e->id().value());
+    w.Size(active_order.size());
+    for (EventId id : active_order) {
+      const ActiveEvent& ae = active.at(id.value());
+      w.U64(id.value());
+      w.U64(ae.installed);
+      w.U64(ae.batches_in_flight);
+      w.Size(ae.deferred.size());
+      for (std::size_t idx : ae.deferred) w.U64(idx);
+      w.U64(ae.retry_failures);
+      w.U64(ae.generation);
+      std::vector<FlowId::rep_type> placed;
+      placed.reserve(ae.flow_index.size());
+      for (const auto& [rep, _] : ae.flow_index) placed.push_back(rep);
+      std::sort(placed.begin(), placed.end());
+      w.Size(placed.size());
+      for (FlowId::rep_type rep : placed) {
+        w.U64(rep);
+        w.U64(ae.flow_index.at(rep));
+      }
+      std::vector<FlowId::rep_type> installed(ae.installed_ids.begin(),
+                                              ae.installed_ids.end());
+      std::sort(installed.begin(), installed.end());
+      w.Size(installed.size());
+      for (FlowId::rep_type rep : installed) w.U64(rep);
+      std::vector<std::size_t> recovering;
+      recovering.reserve(ae.pending_recovery.size());
+      for (const auto& [idx, _] : ae.pending_recovery) {
+        recovering.push_back(idx);
+      }
+      std::sort(recovering.begin(), recovering.end());
+      w.Size(recovering.size());
+      for (std::size_t idx : recovering) {
+        w.U64(idx);
+        w.F64(ae.pending_recovery.at(idx));
+      }
+    }
+    std::vector<EventId::rep_type> activated;
+    activated.reserve(activation_count.size());
+    for (const auto& [rep, _] : activation_count) activated.push_back(rep);
+    std::sort(activated.begin(), activated.end());
+    w.Size(activated.size());
+    for (EventId::rep_type rep : activated) {
+      w.U64(rep);
+      w.U64(activation_count.at(rep));
+    }
+    w.U64(parked_count);
+    w.U64(completed_count);
+    w.U64(shed_count);
+    w.U64(quarantined_count);
+    const auto entries = timeline.SortedEntries();
+    w.Size(entries.size());
+    for (const auto& entry : entries) {
+      w.F64(entry.time);
+      w.U64(entry.seq);
+      const Occurrence& occ = entry.payload;
+      w.U8(static_cast<std::uint8_t>(occ.kind));
+      w.U64(occ.flow.value());
+      w.U64(occ.event.value());
+      w.U64(occ.fault_index);
+      w.Size(occ.flows.size());
+      for (FlowId fid : occ.flows) w.U64(fid.value());
+      w.U64(occ.generation);
+    }
+    w.U64(timeline.next_seq());
+    w.F64(now);
+    w.F64(total_plan_time);
+    w.U64(occurrences_since_audit);
+    w.Bool(audit_due);
+  };
+
+  /// Mirror of serialize_state. Replaces every piece of loop state, so a
+  /// partial restore followed by a fallback to an older snapshot is safe.
+  /// Unknown ids and out-of-range enum values throw CorruptInput — the
+  /// caller treats the snapshot as corrupt and falls back.
+  auto restore_state = [&](BinReader& r) {
+    auto event_ptr = [&](std::uint64_t rep) -> const update::UpdateEvent* {
+      const auto it = event_by_id.find(rep);
+      if (it == event_by_id.end()) {
+        throw CorruptInput("unknown event id in snapshot");
+      }
+      return it->second;
+    };
+    network.LoadState(r);
+    rng.SetState(LoadRngState(r));
+    churn_rng.SetState(LoadRngState(r));
+    injector.SetRngState(LoadRngState(r));
+    churn_draws = r.U64();
+    if (config_.churn.enabled) {
+      // The generator's stream position is restored by replaying its draw
+      // count against a freshly seeded instance.
+      churn_gen = churn_factory_(config_.seed ^ 0xBEEFULL);
+      for (std::uint64_t i = 0; i < churn_draws; ++i) (void)churn_gen->Next();
+    }
+    collector.LoadState(r);
+    watchdog.LoadState(r);
+    result.rounds = static_cast<std::size_t>(r.U64());
+    result.cost_probes = static_cast<std::size_t>(r.U64());
+    result.cofeasibility_probes = static_cast<std::size_t>(r.U64());
+    result.forced_placements = static_cast<std::size_t>(r.U64());
+    probe_rt.stats.probe_cache_hits = static_cast<std::size_t>(r.U64());
+    probe_rt.stats.probe_cache_misses = static_cast<std::size_t>(r.U64());
+    probe_rt.stats.exec_plan_reuses = static_cast<std::size_t>(r.U64());
+    probe_rt.stats.overlay_probes = static_cast<std::size_t>(r.U64());
+    probe_rt.stats.legacy_probe_copies = static_cast<std::size_t>(r.U64());
+    probe_rt.stats.parallel_probe_batches = static_cast<std::size_t>(r.U64());
+    probe_rt.stats.overlay_bytes_saved = r.F64();
+    probe_rt.stats.probe_wall_seconds = r.F64();
+    next_arrival = static_cast<std::size_t>(r.U64());
+    queue.clear();
+    const std::size_t queue_size = r.Size();
+    for (std::size_t i = 0; i < queue_size; ++i) {
+      queue.push_back(event_ptr(r.U64()));
+    }
+    active.clear();
+    active_order.clear();
+    const std::size_t active_size = r.Size();
+    for (std::size_t i = 0; i < active_size; ++i) {
+      const EventId::rep_type id_rep = r.U64();
+      ActiveEvent ae;
+      ae.event = event_ptr(id_rep);
+      ae.installed = static_cast<std::size_t>(r.U64());
+      ae.batches_in_flight = static_cast<std::size_t>(r.U64());
+      const std::size_t deferred_size = r.Size();
+      for (std::size_t j = 0; j < deferred_size; ++j) {
+        ae.deferred.push_back(static_cast<std::size_t>(r.U64()));
+      }
+      ae.retry_failures = static_cast<std::size_t>(r.U64());
+      ae.generation = r.U64();
+      const std::size_t index_size = r.Size();
+      ae.flow_index.reserve(index_size);
+      for (std::size_t j = 0; j < index_size; ++j) {
+        const FlowId::rep_type rep = r.U64();
+        ae.flow_index.emplace(rep, static_cast<std::size_t>(r.U64()));
+      }
+      const std::size_t installed_size = r.Size();
+      ae.installed_ids.reserve(installed_size);
+      for (std::size_t j = 0; j < installed_size; ++j) {
+        ae.installed_ids.insert(r.U64());
+      }
+      const std::size_t recovery_size = r.Size();
+      ae.pending_recovery.reserve(recovery_size);
+      for (std::size_t j = 0; j < recovery_size; ++j) {
+        const std::size_t idx = static_cast<std::size_t>(r.U64());
+        ae.pending_recovery.emplace(idx, r.F64());
+      }
+      active_order.push_back(EventId{id_rep});
+      active.emplace(id_rep, std::move(ae));
+    }
+    activation_count.clear();
+    const std::size_t activated_size = r.Size();
+    activation_count.reserve(activated_size);
+    for (std::size_t i = 0; i < activated_size; ++i) {
+      const EventId::rep_type rep = r.U64();
+      activation_count.emplace(rep, r.U64());
+    }
+    parked_count = static_cast<std::size_t>(r.U64());
+    completed_count = static_cast<std::size_t>(r.U64());
+    shed_count = static_cast<std::size_t>(r.U64());
+    quarantined_count = static_cast<std::size_t>(r.U64());
+    std::vector<TimelineQueue<Occurrence>::Entry> entries;
+    const std::size_t entry_count = r.Size();
+    entries.reserve(entry_count);
+    for (std::size_t i = 0; i < entry_count; ++i) {
+      TimelineQueue<Occurrence>::Entry entry;
+      entry.time = r.F64();
+      entry.seq = r.U64();
+      const std::uint8_t kind = r.U8();
+      if (kind > static_cast<std::uint8_t>(Occurrence::Kind::kRequeue)) {
+        throw CorruptInput("bad occurrence kind");
+      }
+      entry.payload.kind = static_cast<Occurrence::Kind>(kind);
+      entry.payload.flow = FlowId{r.U64()};
+      entry.payload.event = EventId{r.U64()};
+      entry.payload.fault_index = static_cast<std::size_t>(r.U64());
+      const std::size_t flow_count = r.Size();
+      entry.payload.flows.reserve(flow_count);
+      for (std::size_t j = 0; j < flow_count; ++j) {
+        entry.payload.flows.push_back(FlowId{r.U64()});
+      }
+      entry.payload.generation = r.U64();
+      entries.push_back(std::move(entry));
+    }
+    const std::uint64_t next_seq = r.U64();
+    timeline.Restore(std::move(entries), next_seq);
+    now = r.F64();
+    total_plan_time = r.F64();
+    occurrences_since_audit = static_cast<std::size_t>(r.U64());
+    audit_due = r.Bool();
+  };
+
+  /// Writes the snapshot for `round` and rotates the journal. The snapshot
+  /// counter is bumped BEFORE serialization so the payload includes its own
+  /// count — a restored run then reports the same total as an uninterrupted
+  /// one without re-counting.
+  auto take_snapshot = [&](std::uint64_t round) {
+    NU_CHECK(replay_pos == replay.size());  // segments end at rotations
+    const auto start = ProbeClock::now();
+    collector.OnSnapshotTaken();
+    BinWriter w;
+    serialize_state(w);
+    wal.Close();
+    snapshot_bytes_written +=
+        ckpt::WriteSnapshotFile(ckpt::SnapshotPath(ck.dir, round), w.buffer());
+    wal_round = round;
+    wal_keep_bytes = 0;
+    wal.Open(ckpt::JournalPath(ck.dir, wal_round), 0);
+    snapshot_wall_seconds += SecondsSince(start);
+  };
+
+  if (ckpt_on && !resume) {
+    // Snapshot 0 precedes the first commit (arrivals are committed before
+    // the first round), so every journal segment is fully covered by the
+    // snapshot that opened it.
+    std::filesystem::create_directories(ck.dir);
+    take_snapshot(0);
+  }
+  if (resume) {
+    const auto recovery_start = ProbeClock::now();
+    const std::vector<std::uint64_t> snapshot_rounds =
+        ckpt::ListSnapshotRounds(ck.dir);
+    bool restored = false;
+    for (const std::uint64_t snap_round : snapshot_rounds) {  // newest first
+      const std::filesystem::path snap_path =
+          ckpt::SnapshotPath(ck.dir, snap_round);
+      try {
+        const std::string payload = ckpt::ReadSnapshotFile(snap_path);
+        BinReader r(payload);
+        restore_state(r);
+        r.ExpectEnd();
+      } catch (const ckpt::SnapshotCorruption&) {
+        ++result.recovery.snapshots_skipped;
+        continue;
+      } catch (const CorruptInput&) {
+        ++result.recovery.snapshots_skipped;
+        continue;
+      }
+      // Journal corruption is NOT a fallback case: an older snapshot would
+      // silently skip the verification the journal exists to provide, so
+      // JournalCorruption propagates to the caller.
+      const ckpt::JournalContents contents =
+          ckpt::ReadJournal(ckpt::JournalPath(ck.dir, snap_round));
+      replay = contents.records;
+      replay_pos = 0;
+      wal_round = snap_round;
+      wal_keep_bytes = contents.valid_bytes;
+      skip_snapshot_once = snap_round > 0;
+      result.recovery.recovered = true;
+      result.recovery.snapshot_round = snap_round;
+      result.recovery.snapshot_bytes = std::filesystem::file_size(snap_path);
+      result.recovery.torn_bytes_truncated = contents.torn_bytes;
+      restored = true;
+      break;
+    }
+    if (!restored) {
+      throw RecoveryError("no loadable snapshot in " + ck.dir + " (" +
+                          std::to_string(snapshot_rounds.size()) +
+                          " candidates)");
+    }
+    if (replay.empty()) {
+      // Nothing to verify (crash happened right after a snapshot): open the
+      // segment for live appends immediately.
+      wal.Open(ckpt::JournalPath(ck.dir, wal_round), wal_keep_bytes);
+    }
+    result.recovery.recovery_wall_seconds = SecondsSince(recovery_start);
+  }
+
   std::size_t loop_guard = 0;
   for (;;) {
     NU_CHECK(++loop_guard < 100'000'000);
@@ -722,6 +1110,23 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
     }
 
     if (active.empty() && !queue.empty()) {
+      // --- Checkpoint hook (round entry) ---
+      if (ckpt_on && result.rounds > 0 && result.rounds % ck.cadence == 0) {
+        // The probe cache is cleared at EVERY cadence point — also when the
+        // snapshot itself is skipped — so a recovered run (which necessarily
+        // restarts with a cold cache) sees the same hit/miss sequence as an
+        // uninterrupted one. Decisions never depend on the cache.
+        probe_cache.clear();
+        if (skip_snapshot_once) {
+          skip_snapshot_once = false;
+        } else {
+          take_snapshot(result.rounds);
+        }
+      }
+      if (crash.armed() && crash.point == fault::CrashPoint::kBeforeRound &&
+          result.rounds + 1 == crash.at_round) {
+        throw fault::ControllerCrash(crash.at_round, crash.point);
+      }
       // --- Scheduling round ---
       std::vector<sched::QueuedEvent> view;
       view.reserve(queue.size());
@@ -756,6 +1161,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
           now += t;
         }
         collector.OnExecutionStart(event->id(), now);
+        commit(ckpt::WalOp::kExecute, event->id().value(), now);
         // A winner probed this round has a cached plan built against the
         // exact current state — replay it instead of re-planning. Place and
         // Reroute re-validate everything, so a stale plan would abort loudly
@@ -780,6 +1186,8 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
                                  /*legacy_migration=*/!probe_rt.fast_path);
         }
         collector.OnCost(event->id(), exec.plan.migrated_traffic);
+        commit(ckpt::WalOp::kMigration, event->id().value(),
+               exec.plan.migrated_traffic);
 
         ActiveEvent ae;
         ae.event = event;
@@ -817,6 +1225,18 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
           collector.OnDeferredFlow(event->id());
         }
         log.executed.push_back(event->id());
+
+        if (crash.armed() && crash.point == fault::CrashPoint::kMidRound &&
+            result.rounds + 1 == crash.at_round) {
+          // Die after the round's first event committed its journal
+          // records, leaving a deliberately torn record behind — the
+          // kill -9-mid-write case the journal framing exists for.
+          if (ckpt_on && wal.is_open()) {
+            wal.AppendTorn(ckpt::WalRecord{ckpt::WalOp::kMigration,
+                                           event->id().value(), -1.0});
+          }
+          throw fault::ControllerCrash(crash.at_round, crash.point);
+        }
       }
 
       // Remove executed events from the queue (descending index).
@@ -904,8 +1324,17 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         // Abort + roll back the whole attempt: every placement of this
         // activation is removed, returning its bandwidth. In-flight install
         // occurrences and departures become stale (generation mismatch /
-        // missing flows) and are skipped when they fire.
-        for (const auto& [fid_rep, flow_idx] : ae.flow_index) {
+        // missing flows) and are skipped when they fire. Removal runs in
+        // ascending flow-id order: Remove() reshuffles per-link flow lists,
+        // whose order is serialized state, and unordered_map iteration
+        // order would differ between a live map and a restored one.
+        std::vector<FlowId::rep_type> rollback;
+        rollback.reserve(ae.flow_index.size());
+        for (const auto& [fid_rep, _] : ae.flow_index) {
+          rollback.push_back(fid_rep);
+        }
+        std::sort(rollback.begin(), rollback.end());
+        for (FlowId::rep_type fid_rep : rollback) {
           const FlowId fid{fid_rep};
           if (network.HasFlow(fid)) network.Remove(fid);
         }
@@ -916,6 +1345,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
           // Poison: out of failure budget — quarantine instead of another
           // round of livelock.
           collector.OnQuarantined(occ.event, entry.time);
+          commit(ckpt::WalOp::kQuarantine, occ.event.value(), entry.time);
           ++quarantined_count;
         } else {
           timeline.Push(entry.time + watchdog.RequeueDelay(occ.event),
@@ -932,6 +1362,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         --parked_count;
         if (admit(event_by_id.at(occ.event.value()))) {
           collector.OnRequeued(occ.event);
+          commit(ckpt::WalOp::kRequeue, occ.event.value(), entry.time);
         }
         continue;
       }
@@ -941,6 +1372,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
         const std::vector<FlowId> victims =
             fault::AffectedFlows(network, spec);
         fault::ApplyFaultState(network, spec);
+        commit(ckpt::WalOp::kFault, occ.fault_index, entry.time);
         if (spec.IsDown()) collector.OnFault(spec.IsLinkFault());
         std::unordered_set<EventId::rep_type> replanned;
         for (FlowId victim : victims) {
@@ -1041,6 +1473,7 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
       }
       if (ae.Complete()) {
         collector.OnCompletion(occ.event, entry.time);
+        commit(ckpt::WalOp::kComplete, occ.event.value(), entry.time);
         ++completed_count;
         active.erase(it);
         active_order.erase(std::find(active_order.begin(),
@@ -1066,6 +1499,16 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
   NU_CHECK(collector.AllTerminal());
   NU_CHECK(!config_.validate_invariants || network.CheckInvariants() ||
            result.forced_placements > 0);
+  // A finished run that still holds unverified journal records re-executed
+  // FEWER operations than the crashed run committed — divergence.
+  if (replay_pos < replay.size()) {
+    throw RecoveryError("run finished with " +
+                        std::to_string(replay.size() - replay_pos) +
+                        " journal records left unverified; next is " +
+                        replay[replay_pos].DebugString());
+  }
+  wal.Close();
+
   result.records = collector.records();
   result.fault_stats = collector.fault_stats();
   result.guard_stats = collector.guard_stats();
@@ -1073,6 +1516,14 @@ SimResult Simulator::Run(sched::Scheduler& scheduler,
   result.probe_stats = collector.probe_stats();
   result.report = metrics::BuildReport(collector, total_plan_time,
                                        config_.tail_percentile);
+  result.report.ckpt_recoveries = result.recovery.recovered ? 1 : 0;
+  result.report.ckpt_wal_replayed =
+      static_cast<std::size_t>(result.recovery.wal_records_replayed);
+  result.report.ckpt_snapshot_bytes =
+      static_cast<double>(snapshot_bytes_written);
+  result.report.ckpt_snapshot_wall_seconds = snapshot_wall_seconds;
+  result.report.ckpt_recovery_wall_seconds =
+      result.recovery.recovery_wall_seconds;
   return result;
 }
 

@@ -35,9 +35,12 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "fault/fault_plan.h"
 #include "guard/guard.h"
 #include "metrics/report.h"
@@ -50,6 +53,15 @@
 #include "update/planner.h"
 
 namespace nu::sim {
+
+/// Thrown by Simulator::Resume when recovery cannot proceed: no snapshot in
+/// the checkpoint directory validates, or deterministic re-execution
+/// produced an operation that differs bitwise from the journaled one.
+class RecoveryError : public std::runtime_error {
+ public:
+  explicit RecoveryError(const std::string& what)
+      : std::runtime_error("recovery error: " + what) {}
+};
 
 /// Background-traffic churn: existing background flows end after their
 /// durations and are replaced by fresh draws, so "the update queue is in
@@ -149,6 +161,16 @@ struct SimConfig {
   ///     kFailFast throws guard::AuditFailure; kLogAndCount counts into
   ///     metrics::GuardStats.
   guard::GuardConfig guard;
+  /// Crash-consistent checkpointing (event-level Run only). Disabled by
+  /// default; a disabled config touches no files, draws nothing from any
+  /// Rng, and leaves fixed-seed runs bit-identical to a build without the
+  /// subsystem. When enabled, a snapshot of the full controller state is
+  /// written before the first round and every `cadence` rounds thereafter,
+  /// and every committed operation between snapshots is journaled (see
+  /// docs/model.md §11). Run throws fault::ControllerCrash when
+  /// SimConfig::faults.crash fires; Resume restores the newest loadable
+  /// snapshot, replay-verifies the journal, and finishes the run.
+  ckpt::CheckpointConfig checkpoint;
 };
 
 struct RoundLogEntry {
@@ -177,6 +199,10 @@ struct SimResult {
   /// Probe fast-path counters (all zero when probe_fast_path is off); also
   /// folded into `report`.
   metrics::ProbeStats probe_stats;
+  /// What this process did to recover (all zero unless Resume ran); the
+  /// per-process subset is also folded into `report` (ckpt_recoveries,
+  /// ckpt_wal_replayed, ckpt_recovery_wall_seconds).
+  ckpt::RecoveryInfo recovery;
 };
 
 class Simulator {
@@ -197,9 +223,21 @@ class Simulator {
     churn_factory_ = std::move(factory);
   }
 
-  /// Event-level run under `scheduler`.
+  /// Event-level run under `scheduler`. With config.checkpoint enabled and
+  /// config.faults.crash armed, throws fault::ControllerCrash at the
+  /// injected crash point (committed snapshots/journal stay on disk).
   [[nodiscard]] SimResult Run(sched::Scheduler& scheduler,
                               std::span<const update::UpdateEvent> events);
+
+  /// Recovers a crashed event-level run from config.checkpoint.dir: restores
+  /// the newest loadable snapshot (falling back past corrupt ones), replays
+  /// the journal as a determinism cross-check while re-executing, and runs
+  /// to completion. Must be called with the same config and events as the
+  /// crashed Run; crash injection points are ignored (one-shot per process).
+  /// Throws RecoveryError when no snapshot loads or re-execution diverges
+  /// from the journal.
+  [[nodiscard]] SimResult Resume(sched::Scheduler& scheduler,
+                                 std::span<const update::UpdateEvent> events);
 
   /// Flow-level baseline run.
   [[nodiscard]] SimResult RunFlowLevel(
@@ -208,6 +246,13 @@ class Simulator {
   [[nodiscard]] const SimConfig& config() const { return config_; }
 
  private:
+  /// Shared body of Run and Resume. `resume` restores the newest loadable
+  /// snapshot into the loop state and replay-verifies the journal before
+  /// switching to live appends.
+  SimResult RunEventLoop(sched::Scheduler& scheduler,
+                         std::span<const update::UpdateEvent> events,
+                         bool resume);
+
   const net::Network& initial_;
   const topo::PathProvider& paths_;
   SimConfig config_;

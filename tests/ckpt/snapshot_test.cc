@@ -1,0 +1,145 @@
+// Snapshot frame validation (magic / version / length / checksum), atomic
+// write behavior, and checkpoint-directory bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "ckpt/snapshot.h"
+
+namespace nu::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("nu_snapshot_test_" + std::string(::testing::UnitTest::GetInstance()
+                                                  ->current_test_info()
+                                                  ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] fs::path File(const std::string& name) const {
+    return dir_ / name;
+  }
+
+  static std::string ReadBytes(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }
+
+  static void WriteBytes(const fs::path& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(SnapshotTest, RoundTrip) {
+  const std::string payload = "controller state bytes \x00\x01\x02 and more";
+  const fs::path path = File("snap");
+  const std::uint64_t bytes = WriteSnapshotFile(path, payload);
+  EXPECT_EQ(bytes, fs::file_size(path));
+  EXPECT_EQ(ReadSnapshotFile(path), payload);
+  // The tmp staging file must not linger after the rename.
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+}
+
+TEST_F(SnapshotTest, EmptyPayloadRoundTrips) {
+  const fs::path path = File("snap");
+  WriteSnapshotFile(path, "");
+  EXPECT_EQ(ReadSnapshotFile(path), "");
+}
+
+TEST_F(SnapshotTest, RewriteReplacesAtomically) {
+  const fs::path path = File("snap");
+  WriteSnapshotFile(path, "old state");
+  WriteSnapshotFile(path, "new state");
+  EXPECT_EQ(ReadSnapshotFile(path), "new state");
+}
+
+TEST_F(SnapshotTest, EveryTruncationIsDetected) {
+  const fs::path path = File("snap");
+  WriteSnapshotFile(path, "some payload worth protecting");
+  const std::string bytes = ReadBytes(path);
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    const fs::path cut = File("cut_" + std::to_string(keep));
+    WriteBytes(cut, bytes.substr(0, keep));
+    EXPECT_THROW((void)ReadSnapshotFile(cut), SnapshotCorruption)
+        << "prefix " << keep;
+  }
+}
+
+TEST_F(SnapshotTest, EveryBitFlipIsDetected) {
+  const fs::path path = File("snap");
+  WriteSnapshotFile(path, "some payload worth protecting");
+  const std::string bytes = ReadBytes(path);
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    std::string flipped = bytes;
+    flipped[byte] = static_cast<char>(flipped[byte] ^ 0x40);
+    const fs::path bad = File("flip_" + std::to_string(byte));
+    WriteBytes(bad, flipped);
+    EXPECT_THROW((void)ReadSnapshotFile(bad), SnapshotCorruption)
+        << "byte " << byte;
+  }
+}
+
+TEST_F(SnapshotTest, VersionMismatchIsRejected) {
+  const fs::path path = File("snap");
+  WriteSnapshotFile(path, "payload");
+  std::string bytes = ReadBytes(path);
+  // The u32 version sits right after the u64 magic; any other version —
+  // even a "newer" one — must be rejected (exact-match policy).
+  bytes[8] = static_cast<char>(kSnapshotVersion + 1);
+  WriteBytes(path, bytes);
+  EXPECT_THROW((void)ReadSnapshotFile(path), SnapshotCorruption);
+}
+
+TEST_F(SnapshotTest, MissingFileThrows) {
+  EXPECT_THROW((void)ReadSnapshotFile(File("absent")), std::runtime_error);
+}
+
+TEST_F(SnapshotTest, SegmentPathsUseZeroPaddedRounds) {
+  EXPECT_EQ(SnapshotPath(dir_, 42).filename().string(),
+            "snap-0000000042.nuck");
+  EXPECT_EQ(JournalPath(dir_, 42).filename().string(),
+            "wal-0000000042.nuwal");
+}
+
+TEST_F(SnapshotTest, ListSnapshotRoundsNewestFirstIgnoringGarbage) {
+  WriteSnapshotFile(SnapshotPath(dir_, 0), "a");
+  WriteSnapshotFile(SnapshotPath(dir_, 7), "b");
+  WriteSnapshotFile(SnapshotPath(dir_, 3), "c");
+  WriteBytes(File("snap-notanumber.nuck"), "junk");
+  WriteBytes(File("unrelated.txt"), "junk");
+  WriteBytes(JournalPath(dir_, 7).string(), "junk");
+
+  const std::vector<std::uint64_t> rounds = ListSnapshotRounds(dir_);
+  EXPECT_EQ(rounds, (std::vector<std::uint64_t>{7, 3, 0}));
+}
+
+TEST_F(SnapshotTest, ListSnapshotRoundsOnMissingDirIsEmpty) {
+  EXPECT_TRUE(ListSnapshotRounds(dir_ / "nonexistent").empty());
+}
+
+TEST_F(SnapshotTest, CheckpointConfigDisabledByDefault) {
+  const CheckpointConfig config;
+  EXPECT_FALSE(config.enabled());
+  CheckpointConfig enabled;
+  enabled.dir = dir_.string();
+  EXPECT_TRUE(enabled.enabled());
+}
+
+}  // namespace
+}  // namespace nu::ckpt

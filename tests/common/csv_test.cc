@@ -50,6 +50,34 @@ TEST(EscapeCsvFieldTest, QuotesSpecials) {
   EXPECT_EQ(EscapeCsvField(""), "\"\"");
 }
 
+TEST(EscapeCsvFieldTest, QuotesLineBreaks) {
+  // An unquoted newline would split one logical record across two rows.
+  EXPECT_EQ(EscapeCsvField("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(EscapeCsvField("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(EscapeCsvFieldTest, BareSpacesNotQuoted) {
+  EXPECT_EQ(EscapeCsvField("two words"), "two words");
+  EXPECT_EQ(EscapeCsvField(" leading"), " leading");
+}
+
+TEST(EscapeCsvFieldTest, SplitRoundTripsEscapedFields) {
+  // Join escaped fields into one physical line and split it back; every
+  // field must survive, including embedded newlines inside quotes.
+  const std::vector<std::string> fields{
+      "plain", "a,b", "say \"hi\"", "multi\nline", "", "two words"};
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    line += EscapeCsvField(fields[i]);
+  }
+  const auto cells = SplitCsvLine(line);
+  ASSERT_EQ(cells.size(), fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    EXPECT_EQ(cells[i], fields[i]) << "field " << i;
+  }
+}
+
 TEST(CsvWriterTest, RoundTrip) {
   std::ostringstream out;
   CsvWriter writer(out);

@@ -187,6 +187,38 @@ TEST(RngTest, ShuffleIsPermutation) {
   EXPECT_EQ(v, sorted);
 }
 
+TEST(RngTest, StateRoundTripResumesStream) {
+  Rng rng(67);
+  // Burn an odd mix of draws so a Box-Muller spare is pending.
+  for (int i = 0; i < 17; ++i) rng.Next();
+  (void)rng.Normal();  // leaves has_spare_normal set
+  const Rng::State mid = rng.GetState();
+  EXPECT_TRUE(mid.has_spare_normal);
+
+  std::vector<double> expect;
+  for (int i = 0; i < 64; ++i) expect.push_back(rng.Normal(1.0, 2.0));
+  for (int i = 0; i < 64; ++i) expect.push_back(rng.Uniform01());
+
+  Rng restored(0);  // different seed; SetState must fully overwrite it
+  restored.SetState(mid);
+  EXPECT_EQ(restored.GetState(), mid);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(restored.Normal(1.0, 2.0), expect[i]) << "draw " << i;
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(restored.Uniform01(), expect[64 + i]) << "draw " << i;
+  }
+}
+
+TEST(RngTest, StateCaptureDoesNotPerturbStream) {
+  Rng a(71);
+  Rng b(71);
+  for (int i = 0; i < 10; ++i) {
+    (void)a.GetState();
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
 TEST(RngTest, LogNormalPositive) {
   Rng rng(61);
   for (int i = 0; i < 10000; ++i) {
