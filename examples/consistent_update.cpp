@@ -66,7 +66,8 @@ int main() {
               consistent::ScheduleDuration(schedule, 0.002) * 1000.0);
 
   const topo::Path& old_path = network.PathOf(blocker_id);
-  const topo::Path& new_path = plan.moves[0].new_path;
+  const topo::Path& new_path =
+      network.path_registry().Get(plan.moves[0].new_path);
   int consistent_steps = 0;
   for (std::size_t prefix = 0; prefix <= schedule.size(); ++prefix) {
     consistent::RuleTable step = rules;

@@ -73,6 +73,11 @@ using LinkId = StrongId<LinkTag>;
 using FlowId = StrongId<FlowTag, std::uint64_t>;
 /// A network-update event (a set of flows updated together).
 using EventId = StrongId<EventTag, std::uint64_t>;
+/// Handle to an interned path in a topo::PathRegistry. 32 bits: hot state
+/// stores one of these per placement instead of a deep topo::Path copy.
+/// Refs are only meaningful against the registry that issued them; within
+/// one registry, ref equality is content equality (Intern dedups).
+using PathRef = StrongId<PathTag>;
 
 /// Virtual time in seconds.
 using Seconds = double;

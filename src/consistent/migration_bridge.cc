@@ -15,9 +15,10 @@ std::vector<RuleOp> PlanForMigration(const net::Network& network,
   std::vector<RuleOp> ops;
   for (const update::MigrationMove& move : plan.moves) {
     const topo::Path& old_path = network.PathOf(move.flow);
+    const topo::Path& new_path = network.path_registry().Get(move.new_path);
     const Version old_version = tracker.Current(move.flow);
     auto reroute =
-        PlanTwoPhaseReroute(move.flow, old_path, move.new_path, old_version);
+        PlanTwoPhaseReroute(move.flow, old_path, new_path, old_version);
     tracker.Bump(move.flow);
     ops.insert(ops.end(), reroute.begin(), reroute.end());
   }
@@ -35,7 +36,8 @@ std::size_t RuleOpCount(const update::MigrationPlan& plan,
   std::size_t ops = placed_flow_path_hops + 1;  // install + ingress tag
   for (const update::MigrationMove& move : plan.moves) {
     const topo::Path& old_path = network.PathOf(move.flow);
-    ops += move.new_path.links.size() + 1 + old_path.links.size();
+    const topo::Path& new_path = network.path_registry().Get(move.new_path);
+    ops += new_path.links.size() + 1 + old_path.links.size();
   }
   return ops;
 }

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "metrics/report_fields.h"
 
 namespace nu::exp {
 namespace {
@@ -56,92 +57,44 @@ sim::SimResult RunFlowLevel(const Workload& workload) {
 metrics::Report MeanReport(std::span<const metrics::Report> reports) {
   NU_EXPECTS(!reports.empty());
   metrics::Report mean;
+  // Accumulate then finalize, driven entirely by the shared descriptor
+  // table: counters and doubles sum (kMax keeps the running maximum), then
+  // kMean fields divide by the trial count and kFirst fields take trial 0.
   for (const metrics::Report& r : reports) {
-    mean.event_count += r.event_count;
-    mean.avg_ect += r.avg_ect;
-    mean.tail_ect += r.tail_ect;
-    mean.avg_queuing_delay += r.avg_queuing_delay;
-    mean.worst_queuing_delay += r.worst_queuing_delay;
-    mean.total_cost += r.total_cost;
-    mean.total_plan_time += r.total_plan_time;
-    mean.makespan += r.makespan;
-    mean.total_deferred_flows += r.total_deferred_flows;
-    mean.installs_attempted += r.installs_attempted;
-    mean.installs_retried += r.installs_retried;
-    mean.installs_failed += r.installs_failed;
-    mean.events_aborted += r.events_aborted;
-    mean.events_replanned += r.events_replanned;
-    mean.flows_killed += r.flows_killed;
-    mean.recovery_latency_mean += r.recovery_latency_mean;
-    mean.recovery_latency_p99 += r.recovery_latency_p99;
-    mean.recovery_latency_max += r.recovery_latency_max;
-    mean.events_completed += r.events_completed;
-    mean.events_shed += r.events_shed;
-    mean.deadline_misses += r.deadline_misses;
-    mean.events_requeued += r.events_requeued;
-    mean.events_quarantined += r.events_quarantined;
-    mean.audits_run += r.audits_run;
-    mean.audit_violations += r.audit_violations;
-    mean.max_queue_length =
-        std::max(mean.max_queue_length, r.max_queue_length);
-    mean.probe_cache_hits += r.probe_cache_hits;
-    mean.probe_cache_misses += r.probe_cache_misses;
-    mean.exec_plan_reuses += r.exec_plan_reuses;
-    mean.overlay_probes += r.overlay_probes;
-    mean.legacy_probe_copies += r.legacy_probe_copies;
-    mean.parallel_probe_batches += r.parallel_probe_batches;
-    mean.overlay_bytes_saved += r.overlay_bytes_saved;
-    mean.probe_wall_seconds += r.probe_wall_seconds;
-    mean.ckpt_snapshots += r.ckpt_snapshots;
-    mean.ckpt_wal_records += r.ckpt_wal_records;
-    mean.ckpt_recoveries += r.ckpt_recoveries;
-    mean.ckpt_wal_replayed += r.ckpt_wal_replayed;
-    mean.ckpt_snapshot_bytes += r.ckpt_snapshot_bytes;
-    mean.ckpt_snapshot_wall_seconds += r.ckpt_snapshot_wall_seconds;
-    mean.ckpt_recovery_wall_seconds += r.ckpt_recovery_wall_seconds;
+    for (const metrics::ReportField& field : metrics::kReportFields) {
+      if (field.counter != nullptr) {
+        if (field.mean == metrics::FieldMean::kMax) {
+          mean.*field.counter =
+              std::max(mean.*field.counter, r.*field.counter);
+        } else {
+          mean.*field.counter += r.*field.counter;
+        }
+      } else {
+        mean.*field.real += r.*field.real;
+      }
+    }
   }
   const auto n = static_cast<double>(reports.size());
-  mean.event_count = reports.front().event_count;
-  mean.avg_ect /= n;
-  mean.tail_ect /= n;
-  mean.avg_queuing_delay /= n;
-  mean.worst_queuing_delay /= n;
-  mean.total_cost /= n;
-  mean.total_plan_time /= n;
-  mean.makespan /= n;
-  mean.total_deferred_flows /= reports.size();
-  mean.installs_attempted /= reports.size();
-  mean.installs_retried /= reports.size();
-  mean.installs_failed /= reports.size();
-  mean.events_aborted /= reports.size();
-  mean.events_replanned /= reports.size();
-  mean.flows_killed /= reports.size();
-  mean.recovery_latency_mean /= n;
-  mean.recovery_latency_p99 /= n;
-  mean.recovery_latency_max /= n;
-  mean.events_completed /= reports.size();
-  mean.events_shed /= reports.size();
-  mean.deadline_misses /= reports.size();
-  mean.events_requeued /= reports.size();
-  mean.events_quarantined /= reports.size();
-  mean.audits_run /= reports.size();
-  mean.audit_violations /= reports.size();
-  mean.probe_cache_hits /= reports.size();
-  mean.probe_cache_misses /= reports.size();
-  mean.exec_plan_reuses /= reports.size();
-  mean.overlay_probes /= reports.size();
-  mean.legacy_probe_copies /= reports.size();
-  mean.parallel_probe_batches /= reports.size();
-  mean.overlay_bytes_saved /= n;
-  mean.probe_wall_seconds /= n;
-  mean.ckpt_snapshots /= reports.size();
-  mean.ckpt_wal_records /= reports.size();
-  mean.ckpt_recoveries /= reports.size();
-  mean.ckpt_wal_replayed /= reports.size();
-  mean.ckpt_snapshot_bytes /= n;
-  mean.ckpt_snapshot_wall_seconds /= n;
-  mean.ckpt_recovery_wall_seconds /= n;
-  // max_queue_length stays the cross-trial maximum (a bound, not a mean).
+  for (const metrics::ReportField& field : metrics::kReportFields) {
+    switch (field.mean) {
+      case metrics::FieldMean::kFirst:
+        if (field.counter != nullptr) {
+          mean.*field.counter = reports.front().*field.counter;
+        } else {
+          mean.*field.real = reports.front().*field.real;
+        }
+        break;
+      case metrics::FieldMean::kMax:
+        break;  // already the cross-trial maximum (a bound, not a mean)
+      case metrics::FieldMean::kMean:
+        if (field.counter != nullptr) {
+          mean.*field.counter /= reports.size();
+        } else {
+          mean.*field.real /= n;
+        }
+        break;
+    }
+  }
   return mean;
 }
 

@@ -64,7 +64,9 @@ std::vector<FlowId> AffectedFlows(const net::Network& network,
   if (!spec.IsDown()) return {};
   std::vector<FlowId> affected;
   for (LinkId lid : DeadLinks(network, spec)) {
-    for (FlowId fid : network.FlowsOnLink(lid)) affected.push_back(fid);
+    for (std::uint32_t rep : network.LinkFlowIds(lid)) {
+      affected.push_back(FlowId{rep});
+    }
   }
   std::sort(affected.begin(), affected.end());
   affected.erase(std::unique(affected.begin(), affected.end()),

@@ -1,61 +1,51 @@
 #include "flow/flow_table.h"
 
-#include <algorithm>
-
-#include "common/check.h"
+#include <limits>
 
 namespace nu::flow {
 
 FlowId FlowTable::Add(Flow flow) {
+  // Dense stores keep 32-bit flow ids in link lists; the allocator staying
+  // below 2^32 is a structural property (a run allocating 4 billion flows
+  // is far past any supported scale), checked rather than assumed.
+  NU_CHECK(next_id_ < std::numeric_limits<std::uint32_t>::max());
   const FlowId id{next_id_++};
   flow.id = id;
   NU_EXPECTS(flow.demand > 0.0);
   NU_EXPECTS(flow.duration >= 0.0);
   NU_EXPECTS(flow.src != flow.dst);
-  flows_.emplace(id.value(), std::move(flow));
+  slots_.push_back(std::move(flow));
+  ++live_;
   return id;
 }
 
 void FlowTable::Remove(FlowId id) {
-  const auto erased = flows_.erase(id.value());
-  NU_EXPECTS(erased == 1);
-}
-
-bool FlowTable::Contains(FlowId id) const {
-  return flows_.contains(id.value());
-}
-
-const Flow& FlowTable::Get(FlowId id) const {
-  const auto it = flows_.find(id.value());
-  NU_EXPECTS(it != flows_.end());
-  return it->second;
-}
-
-Flow& FlowTable::GetMutable(FlowId id) {
-  const auto it = flows_.find(id.value());
-  NU_EXPECTS(it != flows_.end());
-  return it->second;
+  NU_EXPECTS(Contains(id));
+  slots_[static_cast<std::size_t>(id.value())] = Flow{};  // tombstone
+  --live_;
 }
 
 std::vector<FlowId> FlowTable::Ids() const {
   std::vector<FlowId> ids;
-  ids.reserve(flows_.size());
-  for (const auto& [rep, _] : flows_) ids.push_back(FlowId{rep});
-  std::sort(ids.begin(), ids.end());
+  ids.reserve(live_);
+  ForEach([&ids](const Flow& f) { ids.push_back(f.id); });
   return ids;
 }
 
 Mbps FlowTable::TotalDemand() const {
   Mbps total = 0.0;
-  for (const auto& [_, f] : flows_) total += f.demand;
+  ForEach([&total](const Flow& f) { total += f.demand; });
   return total;
+}
+
+std::size_t FlowTable::ApproxBytes() const {
+  return slots_.size() * sizeof(Flow);
 }
 
 void FlowTable::SaveState(BinWriter& w) const {
   w.U64(next_id_);
-  w.Size(flows_.size());
-  for (FlowId id : Ids()) {  // ascending ids => canonical byte stream
-    const Flow& f = flows_.at(id.value());
+  w.Size(live_);
+  ForEach([&w](const Flow& f) {  // ascending ids => canonical byte stream
     w.U64(f.id.value());
     w.U32(f.src.value());
     w.U32(f.dst.value());
@@ -63,14 +53,16 @@ void FlowTable::SaveState(BinWriter& w) const {
     w.F64(f.duration);
     w.U8(static_cast<std::uint8_t>(f.origin));
     w.U64(f.event.value());
-  }
+  });
 }
 
 void FlowTable::LoadState(BinReader& r) {
-  flows_.clear();
+  slots_.clear();
+  live_ = 0;
   next_id_ = r.U64();
+  NU_CHECK(next_id_ < std::numeric_limits<std::uint32_t>::max());
+  slots_.resize(static_cast<std::size_t>(next_id_));
   const std::size_t count = r.Size();
-  flows_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
     Flow f;
     f.id = FlowId{r.U64()};
@@ -81,8 +73,10 @@ void FlowTable::LoadState(BinReader& r) {
     f.origin = static_cast<FlowOrigin>(r.U8());
     f.event = EventId{r.U64()};
     NU_CHECK(f.id.value() < next_id_);
-    const auto [_, inserted] = flows_.emplace(f.id.value(), std::move(f));
-    NU_CHECK(inserted);
+    Flow& slot = slots_[static_cast<std::size_t>(f.id.value())];
+    NU_CHECK(!slot.id.valid());  // duplicate id in stream
+    slot = std::move(f);
+    ++live_;
   }
 }
 

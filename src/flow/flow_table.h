@@ -1,13 +1,21 @@
 // FlowTable owns flow descriptors and allocates ids. The network layer
 // references flows by id only; the table is the single source of truth for
 // flow attributes (endpoints, demand, duration, origin).
+//
+// Storage is a dense id-indexed slot store: ids are monotonic and never
+// reused, so flow i lives in slot i and every lookup is O(1) indexing with
+// no hashing. Slots are deque chunks, not one vector, so references handed
+// out by Get()/FlowOf() stay valid across later Add() calls (the legacy
+// unordered_map gave the same stability guarantee). A slot whose flow
+// departed keeps only its invalid-id tombstone.
 #pragma once
 
+#include <deque>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/binio.h"
+#include "common/check.h"
 #include "flow/flow.h"
 
 namespace nu::flow {
@@ -22,14 +30,34 @@ class FlowTable {
   /// Removes a flow. Requires the flow to exist.
   void Remove(FlowId id);
 
-  [[nodiscard]] bool Contains(FlowId id) const;
-  [[nodiscard]] const Flow& Get(FlowId id) const;
-  [[nodiscard]] Flow& GetMutable(FlowId id);
+  [[nodiscard]] bool Contains(FlowId id) const {
+    return id.value() < slots_.size() &&
+           slots_[static_cast<std::size_t>(id.value())].id.valid();
+  }
 
-  [[nodiscard]] std::size_t size() const { return flows_.size(); }
+  [[nodiscard]] const Flow& Get(FlowId id) const {
+    NU_EXPECTS(Contains(id));
+    return slots_[static_cast<std::size_t>(id.value())];
+  }
+
+  [[nodiscard]] Flow& GetMutable(FlowId id) {
+    NU_EXPECTS(Contains(id));
+    return slots_[static_cast<std::size_t>(id.value())];
+  }
+
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Snapshot of current flow ids (stable iteration order: ascending id).
   [[nodiscard]] std::vector<FlowId> Ids() const;
+
+  /// Calls `fn(const Flow&)` for every live flow in ascending-id order.
+  /// Cache-linear slot scan, no allocation.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Flow& f : slots_) {
+      if (f.id.valid()) fn(f);
+    }
+  }
 
   /// The id the next Add() will assign (ids are never reused). Lets
   /// what-if overlays allocate ids numerically identical to the ids a copy
@@ -39,6 +67,10 @@ class FlowTable {
   /// Sum of demands of all registered flows (Mbps).
   [[nodiscard]] Mbps TotalDemand() const;
 
+  /// Honest byte footprint of the slot store (live and tombstoned slots —
+  /// the high-water cost a deep copy would duplicate).
+  [[nodiscard]] std::size_t ApproxBytes() const;
+
   /// Serializes the full table (flows in ascending-id order + the id
   /// allocator) for checkpointing.
   void SaveState(BinWriter& w) const;
@@ -47,7 +79,10 @@ class FlowTable {
   void LoadState(BinReader& r);
 
  private:
-  std::unordered_map<FlowId::rep_type, Flow> flows_;
+  /// Slot i holds the flow with id i, or a default Flow (invalid id) if
+  /// that flow departed or was never assigned. size() == next_id_.
+  std::deque<Flow> slots_;
+  std::size_t live_ = 0;
   FlowId::rep_type next_id_ = 0;
 };
 

@@ -54,12 +54,12 @@ void Auditor::AuditCapacity(const net::Network& network, bool allow_overcommit,
   // Independent recompute: per-link load from the placements themselves,
   // never from the network's incremental residuals.
   std::vector<Mbps> load(graph.link_count(), 0.0);
-  for (FlowId fid : network.PlacedFlows()) {
-    const Mbps demand = network.FlowOf(fid).demand;
-    for (LinkId link : network.PathOf(fid).links) {
-      load[link.value()] += demand;
-    }
-  }
+  network.ForEachPlacement(
+      [&load](FlowId, const flow::Flow& flow, const topo::Path& path) {
+        for (LinkId link : path.links) {
+          load[link.value()] += flow.demand;
+        }
+      });
   for (std::size_t i = 0; i < graph.link_count(); ++i) {
     const LinkId link{static_cast<LinkId::rep_type>(i)};
     const Mbps capacity = graph.link(link).capacity;
@@ -88,16 +88,14 @@ void Auditor::AuditCapacity(const net::Network& network, bool allow_overcommit,
 void Auditor::AuditCoherence(const net::Network& network,
                              bool allow_dead_paths, std::size_t& found) {
   const topo::Graph& graph = network.graph();
-  for (FlowId fid : network.PlacedFlows()) {
-    const flow::Flow& flow = network.FlowOf(fid);
-    const topo::Path& path = network.PathOf(fid);
-
+  network.ForEachPlacement([&](FlowId fid, const flow::Flow& flow,
+                               const topo::Path& path) {
     if (path.nodes.empty() || path.links.size() + 1 != path.nodes.size()) {
       std::ostringstream os;
       os << "flow " << fid.value() << ": malformed path shape ("
          << path.nodes.size() << " nodes, " << path.links.size() << " links)";
       Report("coherence", os.str(), found);
-      continue;  // the structural checks below assume a sane shape
+      return;  // the structural checks below assume a sane shape
     }
     if (path.source() != flow.src || path.destination() != flow.dst) {
       std::ostringstream os;
@@ -140,7 +138,7 @@ void Auditor::AuditCoherence(const net::Network& network,
          << ": path crosses a down link or switch (blackhole)";
       Report("coherence", os.str(), found);
     }
-  }
+  });
 }
 
 void Auditor::AuditAccounting(const QueueAccounting& accounting,

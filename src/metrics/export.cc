@@ -2,6 +2,7 @@
 
 #include "common/csv.h"
 #include "common/table.h"
+#include "metrics/report_fields.h"
 
 namespace nu::metrics {
 
@@ -31,62 +32,19 @@ void WriteRecordsCsv(std::ostream& out,
 
 void WriteReportCsv(std::ostream& out, const Report& report) {
   CsvWriter writer(out);
-  writer.WriteRow({"events", "avg_ect", "tail_ect", "avg_qdelay",
-                   "worst_qdelay", "total_cost", "plan_time", "makespan",
-                   "deferred", "installs_attempted", "installs_retried",
-                   "installs_failed", "events_aborted", "events_replanned",
-                   "flows_killed", "recovery_mean", "recovery_p99",
-                   "recovery_max", "events_completed", "events_shed",
-                   "deadline_misses", "events_requeued", "events_quarantined",
-                   "audits_run", "audit_violations", "max_queue_length",
-                   "probe_cache_hits", "probe_cache_misses",
-                   "exec_plan_reuses", "overlay_probes", "legacy_probe_copies",
-                   "parallel_probe_batches", "overlay_bytes_saved",
-                   "probe_wall_seconds", "ckpt_snapshots", "ckpt_wal_records",
-                   "ckpt_recoveries", "ckpt_wal_replayed",
-                   "ckpt_snapshot_bytes", "ckpt_snapshot_wall_seconds",
-                   "ckpt_recovery_wall_seconds"});
-  writer.WriteRow({std::to_string(report.event_count),
-                   FormatDouble(report.avg_ect, 4),
-                   FormatDouble(report.tail_ect, 4),
-                   FormatDouble(report.avg_queuing_delay, 4),
-                   FormatDouble(report.worst_queuing_delay, 4),
-                   FormatDouble(report.total_cost, 2),
-                   FormatDouble(report.total_plan_time, 4),
-                   FormatDouble(report.makespan, 4),
-                   std::to_string(report.total_deferred_flows),
-                   std::to_string(report.installs_attempted),
-                   std::to_string(report.installs_retried),
-                   std::to_string(report.installs_failed),
-                   std::to_string(report.events_aborted),
-                   std::to_string(report.events_replanned),
-                   std::to_string(report.flows_killed),
-                   FormatDouble(report.recovery_latency_mean, 4),
-                   FormatDouble(report.recovery_latency_p99, 4),
-                   FormatDouble(report.recovery_latency_max, 4),
-                   std::to_string(report.events_completed),
-                   std::to_string(report.events_shed),
-                   std::to_string(report.deadline_misses),
-                   std::to_string(report.events_requeued),
-                   std::to_string(report.events_quarantined),
-                   std::to_string(report.audits_run),
-                   std::to_string(report.audit_violations),
-                   std::to_string(report.max_queue_length),
-                   std::to_string(report.probe_cache_hits),
-                   std::to_string(report.probe_cache_misses),
-                   std::to_string(report.exec_plan_reuses),
-                   std::to_string(report.overlay_probes),
-                   std::to_string(report.legacy_probe_copies),
-                   std::to_string(report.parallel_probe_batches),
-                   FormatDouble(report.overlay_bytes_saved, 0),
-                   FormatDouble(report.probe_wall_seconds, 6),
-                   std::to_string(report.ckpt_snapshots),
-                   std::to_string(report.ckpt_wal_records),
-                   std::to_string(report.ckpt_recoveries),
-                   std::to_string(report.ckpt_wal_replayed),
-                   FormatDouble(report.ckpt_snapshot_bytes, 0),
-                   FormatDouble(report.ckpt_snapshot_wall_seconds, 6),
-                   FormatDouble(report.ckpt_recovery_wall_seconds, 6)});
+  std::vector<std::string> header;
+  std::vector<std::string> row;
+  header.reserve(kReportFields.size());
+  row.reserve(kReportFields.size());
+  for (const ReportField& field : kReportFields) {
+    header.emplace_back(field.csv_name);
+    row.push_back(field.counter != nullptr
+                      ? std::to_string(report.*field.counter)
+                      : FormatDouble(report.*field.real,
+                                     field.csv_precision));
+  }
+  writer.WriteRow(header);
+  writer.WriteRow(row);
 }
 
 }  // namespace nu::metrics

@@ -2,10 +2,32 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <unordered_map>
 
 namespace nu::net {
+namespace {
 
-Network::Network(const topo::Graph& graph) : graph_(&graph) {
+/// Sorted-insert of `rep` into ascending `flows`.
+void InsertSorted(std::vector<std::uint32_t>& flows, std::uint32_t rep) {
+  flows.insert(std::lower_bound(flows.begin(), flows.end(), rep), rep);
+}
+
+/// Sorted-erase of `rep` from ascending `flows`. Aborts if absent.
+void EraseSorted(std::vector<std::uint32_t>& flows, std::uint32_t rep) {
+  const auto it = std::lower_bound(flows.begin(), flows.end(), rep);
+  NU_CHECK(it != flows.end() && *it == rep);
+  flows.erase(it);
+}
+
+std::uint32_t Rep32(FlowId id) {
+  return static_cast<std::uint32_t>(id.value());
+}
+
+}  // namespace
+
+Network::Network(const topo::Graph& graph)
+    : graph_(&graph), registry_(std::make_shared<topo::PathRegistry>()) {
   residual_.reserve(graph.link_count());
   for (const topo::Link& l : graph.links()) residual_.push_back(l.capacity);
   link_flows_.resize(graph.link_count());
@@ -101,18 +123,23 @@ double Network::ActiveLinkUtilization() const {
 void Network::Occupy(const topo::Path& path, Mbps demand, FlowId id) {
   for (LinkId lid : path.links) {
     residual_[lid.value()] -= demand;
-    link_flows_[lid.value()].push_back(id);
+    InsertSorted(link_flows_[lid.value()], Rep32(id));
   }
 }
 
 void Network::Release(const topo::Path& path, Mbps demand, FlowId id) {
   for (LinkId lid : path.links) {
     residual_[lid.value()] += demand;
-    auto& flows = link_flows_[lid.value()];
-    const auto it = std::find(flows.begin(), flows.end(), id);
-    NU_CHECK(it != flows.end());
-    flows.erase(it);
+    EraseSorted(link_flows_[lid.value()], Rep32(id));
   }
+}
+
+void Network::StorePlacement(FlowId id, PathRef ref) {
+  const auto index = static_cast<std::size_t>(id.value());
+  if (index >= placements_.size()) placements_.resize(index + 1);
+  NU_CHECK(!placements_[index].valid());
+  placements_[index] = ref;
+  ++placed_count_;
 }
 
 FlowId Network::Place(flow::Flow flow, const topo::Path& path) {
@@ -123,7 +150,7 @@ FlowId Network::Place(flow::Flow flow, const topo::Path& path) {
   const Mbps demand = flow.demand;
   const FlowId id = flows_.Add(std::move(flow));
   Occupy(path, demand, id);
-  placements_.emplace(id.value(), path);
+  StorePlacement(id, registry_->Intern(path));
   ++state_epoch_;
   return id;
 }
@@ -135,24 +162,23 @@ FlowId Network::ForcePlace(flow::Flow flow, const topo::Path& path) {
   const Mbps demand = flow.demand;
   const FlowId id = flows_.Add(std::move(flow));
   Occupy(path, demand, id);
-  placements_.emplace(id.value(), path);
+  StorePlacement(id, registry_->Intern(path));
   ++state_epoch_;
   return id;
 }
 
 void Network::Remove(FlowId id) {
-  const auto it = placements_.find(id.value());
-  NU_EXPECTS(it != placements_.end());
+  const PathRef ref = PathRefOf(id);
   const Mbps demand = flows_.Get(id).demand;
-  Release(it->second, demand, id);
-  placements_.erase(it);
+  Release(registry_->Get(ref), demand, id);
+  placements_[static_cast<std::size_t>(id.value())] = PathRef::invalid();
+  --placed_count_;
   flows_.Remove(id);
   ++state_epoch_;
 }
 
 void Network::Reroute(FlowId id, const topo::Path& new_path) {
-  const auto it = placements_.find(id.value());
-  NU_EXPECTS(it != placements_.end());
+  const PathRef old_ref = PathRefOf(id);
   const flow::Flow& f = flows_.Get(id);
   NU_EXPECTS(graph_->IsValidPath(new_path));
   NU_EXPECTS(new_path.source() == f.src);
@@ -160,58 +186,52 @@ void Network::Reroute(FlowId id, const topo::Path& new_path) {
   const Mbps demand = f.demand;
   // Release first so the flow's own bandwidth on shared links counts toward
   // the feasibility of the new path.
-  topo::Path old_path = std::move(it->second);
-  Release(old_path, demand, id);
+  Release(registry_->Get(old_ref), demand, id);
   NU_CHECK(CanPlace(demand, new_path));
   Occupy(new_path, demand, id);
-  it->second = new_path;
+  placements_[static_cast<std::size_t>(id.value())] =
+      registry_->Intern(new_path);
   ++state_epoch_;
 }
 
-const topo::Path& Network::PathOf(FlowId id) const {
-  const auto it = placements_.find(id.value());
-  NU_EXPECTS(it != placements_.end());
-  return it->second;
+PathRef Network::PathRefOf(FlowId id) const {
+  NU_EXPECTS(id.value() < placements_.size());
+  const PathRef ref = placements_[static_cast<std::size_t>(id.value())];
+  NU_EXPECTS(ref.valid());
+  return ref;
 }
 
-std::vector<FlowId> Network::FlowsOnLink(LinkId link) const {
+std::span<const std::uint32_t> Network::LinkFlowIds(LinkId link) const {
   NU_EXPECTS(link.value() < link_flows_.size());
-  std::vector<FlowId> flows = link_flows_[link.value()];
-  std::sort(flows.begin(), flows.end());
-  return flows;
-}
-
-std::size_t Network::FlowCountOnLink(LinkId link) const {
-  NU_EXPECTS(link.value() < link_flows_.size());
-  return link_flows_[link.value()].size();
-}
-
-bool Network::FlowUsesLink(FlowId flow, LinkId link) const {
-  NU_EXPECTS(link.value() < link_flows_.size());
-  const auto& flows = link_flows_[link.value()];
-  return std::find(flows.begin(), flows.end(), flow) != flows.end();
+  return link_flows_[link.value()];
 }
 
 std::vector<FlowId> Network::PlacedFlows() const {
   std::vector<FlowId> ids;
-  ids.reserve(placements_.size());
-  for (const auto& [rep, _] : placements_) ids.push_back(FlowId{rep});
-  std::sort(ids.begin(), ids.end());
+  ids.reserve(placed_count_);
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    if (placements_[i].valid()) {
+      ids.push_back(FlowId{static_cast<FlowId::rep_type>(i)});
+    }
+  }
   return ids;
 }
 
 std::size_t Network::ApproxStateBytes() const {
-  std::size_t bytes = residual_.size() * sizeof(Mbps) + link_up_.size() +
-                      node_up_.size();
+  std::size_t bytes = residual_.capacity() * sizeof(Mbps) +
+                      link_up_.capacity() + node_up_.capacity();
   for (const auto& flows : link_flows_) {
-    bytes += sizeof(flows) + flows.capacity() * sizeof(FlowId);
+    bytes += sizeof(flows) + flows.capacity() * sizeof(std::uint32_t);
   }
-  for (const auto& [_, path] : placements_) {
-    bytes += sizeof(path) + path.links.capacity() * sizeof(LinkId) +
-             path.nodes.capacity() * sizeof(NodeId);
-  }
-  bytes += flows_.size() * sizeof(flow::Flow);
+  bytes += placements_.capacity() * sizeof(PathRef);
+  bytes += flows_.ApproxBytes();
+  bytes += registry_->ApproxBytes();
   return bytes;
+}
+
+void Network::ShrinkToFit() {
+  for (auto& flows : link_flows_) flows.shrink_to_fit();
+  placements_.shrink_to_fit();
 }
 
 std::uint32_t Network::TopologyFingerprint() const {
@@ -257,16 +277,29 @@ void Network::SaveState(BinWriter& w) const {
   w.Vec(residual_, [](BinWriter& out, Mbps v) { out.F64(v); });
   w.Size(link_flows_.size());
   for (const auto& flows : link_flows_) {
-    w.Vec(flows, [](BinWriter& out, FlowId id) { out.U64(id.value()); });
+    w.Vec(flows, [](BinWriter& out, std::uint32_t rep) {
+      out.U64(rep);  // U64 on the wire for format stability
+    });
   }
-  std::vector<FlowId::rep_type> placed;
-  placed.reserve(placements_.size());
-  for (const auto& [rep, _] : placements_) placed.push_back(rep);
-  std::sort(placed.begin(), placed.end());
+  // Used-paths table: distinct paths in first-use order over ascending flow
+  // ids. Depends only on the logical state — never on PathRef numbering.
+  std::unordered_map<std::uint32_t, std::size_t> table_index;
+  std::vector<PathRef> table;
+  std::vector<std::pair<std::uint64_t, std::size_t>> placed;  // id, index
+  placed.reserve(placed_count_);
+  for (std::size_t i = 0; i < placements_.size(); ++i) {
+    const PathRef ref = placements_[i];
+    if (!ref.valid()) continue;
+    const auto [it, inserted] = table_index.emplace(ref.value(), table.size());
+    if (inserted) table.push_back(ref);
+    placed.emplace_back(static_cast<std::uint64_t>(i), it->second);
+  }
+  w.Size(table.size());
+  for (const PathRef ref : table) SavePath(w, registry_->Get(ref));
   w.Size(placed.size());
-  for (FlowId::rep_type rep : placed) {
-    w.U64(rep);
-    SavePath(w, placements_.at(rep));
+  for (const auto& [id, index] : placed) {
+    w.U64(id);
+    w.Size(index);
   }
   w.Vec(link_up_, [](BinWriter& out, char v) { out.U8(static_cast<std::uint8_t>(v)); });
   w.Vec(node_up_, [](BinWriter& out, char v) { out.U8(static_cast<std::uint8_t>(v)); });
@@ -286,15 +319,31 @@ void Network::LoadState(BinReader& r) {
   NU_CHECK(link_count == graph_->link_count());
   link_flows_.assign(link_count, {});
   for (std::size_t i = 0; i < link_count; ++i) {
-    link_flows_[i] = r.Vec<FlowId>([](BinReader& in) { return FlowId{in.U64()}; });
+    link_flows_[i] = r.Vec<std::uint32_t>([](BinReader& in) {
+      const std::uint64_t rep = in.U64();
+      NU_CHECK(rep < std::numeric_limits<std::uint32_t>::max());
+      return static_cast<std::uint32_t>(rep);
+    });
+    NU_CHECK(std::is_sorted(link_flows_[i].begin(), link_flows_[i].end()));
   }
-  placements_.clear();
+  // Re-intern the used-paths table into the live registry; ref VALUES are
+  // allocated fresh here (and may differ from the saving run's), which is
+  // fine — only path contents are state.
+  const std::size_t table_size = r.Size();
+  std::vector<PathRef> table;
+  table.reserve(table_size);
+  for (std::size_t i = 0; i < table_size; ++i) {
+    table.push_back(registry_->Intern(LoadPath(r)));
+  }
+  placements_.assign(static_cast<std::size_t>(flows_.peek_next_id()),
+                     PathRef::invalid());
+  placed_count_ = 0;
   const std::size_t placed = r.Size();
-  placements_.reserve(placed);
   for (std::size_t i = 0; i < placed; ++i) {
-    const FlowId::rep_type rep = r.U64();
-    const auto [_, inserted] = placements_.emplace(rep, LoadPath(r));
-    NU_CHECK(inserted);
+    const std::uint64_t id = r.U64();
+    const std::size_t index = r.Size();
+    NU_CHECK(index < table.size());
+    StorePlacement(FlowId{id}, table[index]);
   }
   link_up_ = r.Vec<char>([](BinReader& in) { return static_cast<char>(in.U8()); });
   node_up_ = r.Vec<char>([](BinReader& in) { return static_cast<char>(in.U8()); });
@@ -311,25 +360,31 @@ bool Network::CheckInvariants() const {
   std::vector<Mbps> recomputed;
   recomputed.reserve(graph_->link_count());
   for (const topo::Link& l : graph_->links()) recomputed.push_back(l.capacity);
-  for (const auto& [rep, path] : placements_) {
-    const flow::Flow& f = flows_.Get(FlowId{rep});
-    if (!graph_->IsValidPath(path)) return false;
-    if (path.source() != f.src || path.destination() != f.dst) return false;
+  bool placements_ok = true;
+  std::size_t expected_entries = 0;
+  ForEachPlacement([&](FlowId, const flow::Flow& f, const topo::Path& path) {
+    if (!graph_->IsValidPath(path)) placements_ok = false;
+    if (path.source() != f.src || path.destination() != f.dst) {
+      placements_ok = false;
+    }
     // No flow may keep occupying a failed link or switch.
-    if (!PathAlive(path)) return false;
+    if (!PathAlive(path)) placements_ok = false;
     for (LinkId lid : path.links) recomputed[lid.value()] -= f.demand;
-  }
+    expected_entries += path.links.size();
+  });
+  if (!placements_ok) return false;
   for (std::size_t i = 0; i < residual_.size(); ++i) {
     if (std::abs(recomputed[i] - residual_[i]) > 1e-3) return false;
     if (residual_[i] < -1e-3) return false;  // congestion-free invariant
   }
   // link_flows_ agrees with placements.
   std::size_t total_link_entries = 0;
-  for (const auto& flows : link_flows_) total_link_entries += flows.size();
-  std::size_t expected_entries = 0;
-  for (const auto& [_, path] : placements_) expected_entries += path.links.size();
+  for (const auto& flows : link_flows_) {
+    if (!std::is_sorted(flows.begin(), flows.end())) return false;
+    total_link_entries += flows.size();
+  }
   if (total_link_entries != expected_entries) return false;
-  if (placements_.size() != flows_.size()) return false;
+  if (placed_count_ != flows_.size()) return false;
   return true;
 }
 

@@ -3,19 +3,28 @@
 // and writes: admission checks, congested-link detection (Definition 1),
 // migration, and update execution all go through it.
 //
-// Network is copyable on purpose, but planners normally evaluate what-if
-// scenarios (LMTF cost probes, P-LMTF co-schedulability) against a
-// copy-on-write NetworkOverlay (net/overlay.h) and commit only the chosen
-// plan to the real instance; deep copies remain as the legacy baseline.
+// Hot-state layout: flows live in a dense id-indexed slot store
+// (flow/flow_table.h), each placement is a 32-bit PathRef into a shared
+// append-only topo::PathRegistry (one deep copy per DISTINCT path in the
+// whole world, not per flow), and per-link flow lists are ascending-sorted
+// 32-bit id vectors served as allocation-free spans. Ids are monotonic and
+// never reused, which is what makes dense slots and sorted lists canonical.
+//
+// Network is copyable on purpose (copies share the registry, so PathRefs
+// remain valid across ScopedTransaction saves and legacy deep-copy probes),
+// but planners normally evaluate what-if scenarios against a copy-on-write
+// NetworkOverlay (net/overlay.h) and commit only the chosen plan to the
+// real instance.
 #pragma once
 
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "common/binio.h"
 #include "flow/flow_table.h"
 #include "net/network_view.h"
 #include "topo/graph.h"
+#include "topo/path_registry.h"
 
 namespace nu::net {
 
@@ -25,6 +34,11 @@ class Network final : public MutableNetwork {
 
   [[nodiscard]] const topo::Graph& graph() const override { return *graph_; }
   [[nodiscard]] const flow::FlowTable& flows() const { return flows_; }
+
+  /// The shared path-interning registry (see NetworkView::path_registry).
+  [[nodiscard]] topo::PathRegistry& path_registry() const override {
+    return *registry_;
+  }
 
   /// Residual bandwidth c_{i,j} of a link.
   [[nodiscard]] Mbps Residual(LinkId link) const override;
@@ -43,9 +57,9 @@ class Network final : public MutableNetwork {
   /// AverageUtilization() when the graph has no fabric links.
   [[nodiscard]] double FabricUtilization() const;
 
-  // CanPlace / CongestedLinks / CanReroute are inherited from NetworkView,
-  // implemented once over the virtual primitives so overlays share their
-  // exact feasibility semantics.
+  // CanPlace / CongestedLinks / CanReroute and the FlowsOnLink family are
+  // inherited from NetworkView, implemented once over the virtual
+  // primitives so overlays share their exact feasibility semantics.
 
   /// Registers and places a flow on `path`. Requires feasibility
   /// (CanPlace). Returns the assigned flow id.
@@ -63,24 +77,30 @@ class Network final : public MutableNetwork {
   /// CanReroute to hold.
   void Reroute(FlowId id, const topo::Path& new_path) override;
 
-  /// Current path of a placed flow.
-  [[nodiscard]] const topo::Path& PathOf(FlowId id) const override;
+  /// Interned ref of a placed flow's current path.
+  [[nodiscard]] PathRef PathRefOf(FlowId id) const override;
 
-  /// Ids of flows currently traversing `link` (ascending id order).
-  [[nodiscard]] std::vector<FlowId> FlowsOnLink(LinkId link) const override;
-
-  /// Number of flows currently traversing `link`.
-  [[nodiscard]] std::size_t FlowCountOnLink(LinkId link) const override;
-
-  /// True when `flow` crosses `link`.
-  [[nodiscard]] bool FlowUsesLink(FlowId flow, LinkId link) const override;
+  /// Raw ids of flows on `link`, ascending, allocation-free.
+  [[nodiscard]] std::span<const std::uint32_t> LinkFlowIds(
+      LinkId link) const override;
 
   /// All placed flow ids (ascending).
   [[nodiscard]] std::vector<FlowId> PlacedFlows() const;
 
-  [[nodiscard]] std::size_t placed_flow_count() const {
-    return placements_.size();
+  /// Calls `fn(FlowId, const flow::Flow&, const topo::Path&)` for every
+  /// placed flow in ascending-id order. Cache-linear slot scan — the
+  /// iteration auditors and invariant checks should use at scale.
+  template <typename Fn>
+  void ForEachPlacement(Fn&& fn) const {
+    for (std::size_t i = 0; i < placements_.size(); ++i) {
+      const PathRef ref = placements_[i];
+      if (!ref.valid()) continue;
+      const FlowId id{static_cast<FlowId::rep_type>(i)};
+      fn(id, flows_.Get(id), registry_->Get(ref));
+    }
   }
+
+  [[nodiscard]] std::size_t placed_flow_count() const { return placed_count_; }
 
   /// True when no link has negative residual and internal accounting is
   /// consistent (recomputing residuals from placements matches the
@@ -139,10 +159,17 @@ class Network final : public MutableNetwork {
     return flows_.peek_next_id();
   }
 
-  /// Rough byte footprint of the mutable state a deep copy would duplicate
-  /// (residuals, link-flow lists, placements, flow table). Feeds the
-  /// overlay_bytes_saved probe statistic.
+  /// Honest byte footprint of the mutable state a deep copy would duplicate:
+  /// residual/liveness arrays, link-flow id vectors, the dense placement-ref
+  /// and flow-slot stores, and the shared path registry's storage (chunks,
+  /// per-path vectors, dedup index). Feeds the overlay_bytes_saved probe
+  /// statistic and the scale-tier bytes comparison.
   [[nodiscard]] std::size_t ApproxStateBytes() const;
+
+  /// Releases the slack capacity bulk loading left in the dense stores
+  /// (vector growth doubles). Call after a large initial injection so the
+  /// footprint reflects the loaded state, not the load pattern.
+  void ShrinkToFit();
 
   // --- Checkpointing -----------------------------------------------------
 
@@ -151,29 +178,38 @@ class Network final : public MutableNetwork {
   /// topology fails loudly instead of decoding garbage.
   [[nodiscard]] std::uint32_t TopologyFingerprint() const;
 
-  /// Serializes the complete mutable state. Link-flow lists are written
-  /// verbatim (their relative order is part of the state: Release() keeps
-  /// relative order, so a restored network must reproduce it exactly);
-  /// unordered maps are written in ascending-key order for a canonical
-  /// byte stream.
+  /// Serializes the complete mutable state (snapshot payload format v2).
+  /// Link-flow lists are written in their canonical ascending order. Paths
+  /// are written as a per-snapshot used-paths table (distinct paths in
+  /// first-use order over ascending flow ids) plus a table index per
+  /// placement — raw PathRef values never reach the wire, because ref
+  /// numbering depends on interning order (parallel probing may intern in
+  /// any order) while the table depends only on the logical state.
   void SaveState(BinWriter& w) const;
 
   /// Restores state serialized by SaveState. The graph itself is not
   /// persisted — the caller reconstructs it and this network must already
   /// be bound to an identical graph (checked via TopologyFingerprint).
+  /// Table entries are re-interned into the live registry.
   void LoadState(BinReader& r);
 
  private:
   void Occupy(const topo::Path& path, Mbps demand, FlowId id);
   void Release(const topo::Path& path, Mbps demand, FlowId id);
+  /// Records `ref` as flow `id`'s placement, growing the dense store.
+  void StorePlacement(FlowId id, PathRef ref);
 
   const topo::Graph* graph_;
+  std::shared_ptr<topo::PathRegistry> registry_;
   flow::FlowTable flows_;
-  std::vector<Mbps> residual_;                      // by LinkId
-  std::vector<std::vector<FlowId>> link_flows_;     // by LinkId, unsorted
-  std::unordered_map<FlowId::rep_type, topo::Path> placements_;
-  std::vector<char> link_up_;                       // by LinkId
-  std::vector<char> node_up_;                       // by NodeId
+  std::vector<Mbps> residual_;  // by LinkId
+  /// Flow ids on each link, ascending (canonical), 32-bit reps.
+  std::vector<std::vector<std::uint32_t>> link_flows_;  // by LinkId
+  /// Path ref of each placed flow, indexed by flow id; invalid() = absent.
+  std::vector<PathRef> placements_;
+  std::size_t placed_count_ = 0;
+  std::vector<char> link_up_;  // by LinkId
+  std::vector<char> node_up_;  // by NodeId
   std::size_t down_links_ = 0;
   std::size_t down_nodes_ = 0;
   std::uint64_t epoch_ = 0;

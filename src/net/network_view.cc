@@ -1,9 +1,26 @@
 #include "net/network_view.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/types.h"
 
 namespace nu::net {
+
+std::vector<FlowId> NetworkView::FlowsOnLink(LinkId link) const {
+  const std::span<const std::uint32_t> ids = LinkFlowIds(link);
+  std::vector<FlowId> flows;
+  flows.reserve(ids.size());
+  for (const std::uint32_t rep : ids) flows.push_back(FlowId{rep});
+  return flows;
+}
+
+bool NetworkView::FlowUsesLink(FlowId flow, LinkId link) const {
+  const std::span<const std::uint32_t> ids = LinkFlowIds(link);
+  const auto rep = static_cast<std::uint32_t>(flow.value());
+  if (rep != flow.value()) return false;  // ids beyond 2^32 are never stored
+  return std::binary_search(ids.begin(), ids.end(), rep);
+}
 
 bool NetworkView::CanPlace(Mbps demand, const topo::Path& path) const {
   if (!PathAlive(path)) return false;

@@ -6,15 +6,18 @@
 // and therefore bit-identical decisions.
 //
 // The virtual methods are the primitives; CanPlace / CongestedLinks /
-// CanReroute are derived helpers implemented once over the primitives so
-// the overlay and the concrete network can never diverge on feasibility
-// semantics.
+// CanReroute — and the link-membership reads FlowsOnLink / FlowCountOnLink /
+// FlowUsesLink, which are derived from the allocation-free LinkFlowIds()
+// span — are implemented once over the primitives so the overlay and the
+// concrete network can never diverge on feasibility semantics.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "flow/flow.h"
 #include "topo/graph.h"
+#include "topo/path_registry.h"
 
 namespace nu::net {
 
@@ -23,6 +26,12 @@ class NetworkView {
   virtual ~NetworkView() = default;
 
   [[nodiscard]] virtual const topo::Graph& graph() const = 0;
+
+  /// The path-interning registry this view's PathRefs resolve against.
+  /// Shared by the base network, its copies, and every overlay stacked on
+  /// it; append-only, so handing out a mutable reference from a const view
+  /// is safe (interning never perturbs existing state).
+  [[nodiscard]] virtual topo::PathRegistry& path_registry() const = 0;
 
   /// Residual bandwidth c_{i,j} of a link.
   [[nodiscard]] virtual Mbps Residual(LinkId link) const = 0;
@@ -39,17 +48,13 @@ class NetworkView {
   /// Read access to a placed flow's descriptor. Requires HasFlow(id).
   [[nodiscard]] virtual const flow::Flow& FlowOf(FlowId id) const = 0;
 
-  /// Current path of a placed flow. Requires HasFlow(id).
-  [[nodiscard]] virtual const topo::Path& PathOf(FlowId id) const = 0;
+  /// Interned ref of a placed flow's current path. Requires HasFlow(id).
+  [[nodiscard]] virtual PathRef PathRefOf(FlowId id) const = 0;
 
-  /// Ids of flows currently traversing `link` (ascending id order).
-  [[nodiscard]] virtual std::vector<FlowId> FlowsOnLink(LinkId link) const = 0;
-
-  /// Number of flows currently traversing `link`.
-  [[nodiscard]] virtual std::size_t FlowCountOnLink(LinkId link) const = 0;
-
-  /// True when `flow` crosses `link`.
-  [[nodiscard]] virtual bool FlowUsesLink(FlowId flow, LinkId link) const = 0;
+  /// Raw ids of flows currently traversing `link`, ascending, with no
+  /// allocation or copy. Valid until the next mutation of this view.
+  [[nodiscard]] virtual std::span<const std::uint32_t> LinkFlowIds(
+      LinkId link) const = 0;
 
   /// Exclusive upper bound on the flow ids this view would assign next: a
   /// Place here (or in any overlay stacked on this view) allocates exactly
@@ -59,6 +64,24 @@ class NetworkView {
   [[nodiscard]] virtual FlowId::rep_type FlowIdUpperBound() const = 0;
 
   // --- Derived helpers (shared semantics for Network and overlays) --------
+
+  /// Current path of a placed flow. Requires HasFlow(id). The reference is
+  /// owned by the shared registry and outlives this view.
+  [[nodiscard]] const topo::Path& PathOf(FlowId id) const {
+    return path_registry().Get(PathRefOf(id));
+  }
+
+  /// Ids of flows currently traversing `link` (ascending id order).
+  /// Materializes a vector; hot paths should use LinkFlowIds().
+  [[nodiscard]] std::vector<FlowId> FlowsOnLink(LinkId link) const;
+
+  /// Number of flows currently traversing `link`.
+  [[nodiscard]] std::size_t FlowCountOnLink(LinkId link) const {
+    return LinkFlowIds(link).size();
+  }
+
+  /// True when `flow` crosses `link`. Binary search over the sorted span.
+  [[nodiscard]] bool FlowUsesLink(FlowId flow, LinkId link) const;
 
   /// True iff `path` is alive and every link has residual >= demand
   /// (within epsilon).

@@ -29,32 +29,18 @@ const flow::Flow& NetworkOverlay::FlowOf(FlowId id) const {
   return base_->FlowOf(id);
 }
 
-const topo::Path& NetworkOverlay::PathOf(FlowId id) const {
+PathRef NetworkOverlay::PathRefOf(FlowId id) const {
   const auto it = paths_.find(id.value());
   if (it != paths_.end()) return it->second;
   NU_EXPECTS(!removed_.contains(id.value()));
-  return base_->PathOf(id);
+  return base_->PathRefOf(id);
 }
 
-std::vector<FlowId> NetworkOverlay::FlowsOnLink(LinkId link) const {
+std::span<const std::uint32_t> NetworkOverlay::LinkFlowIds(
+    LinkId link) const {
   const auto it = link_flows_.find(link.value());
-  if (it == link_flows_.end()) return base_->FlowsOnLink(link);
-  std::vector<FlowId> flows = it->second;
-  std::sort(flows.begin(), flows.end());
-  return flows;
-}
-
-std::size_t NetworkOverlay::FlowCountOnLink(LinkId link) const {
-  const auto it = link_flows_.find(link.value());
-  if (it == link_flows_.end()) return base_->FlowCountOnLink(link);
-  return it->second.size();
-}
-
-bool NetworkOverlay::FlowUsesLink(FlowId flow, LinkId link) const {
-  const auto it = link_flows_.find(link.value());
-  if (it == link_flows_.end()) return base_->FlowUsesLink(flow, link);
-  const auto& flows = it->second;
-  return std::find(flows.begin(), flows.end(), flow) != flows.end();
+  if (it == link_flows_.end()) return base_->LinkFlowIds(link);
+  return it->second;
 }
 
 Mbps& NetworkOverlay::ResidualSlot(LinkId link) {
@@ -63,25 +49,31 @@ Mbps& NetworkOverlay::ResidualSlot(LinkId link) {
   return it->second;
 }
 
-std::vector<FlowId>& NetworkOverlay::LinkFlowsSlot(LinkId link) {
+std::vector<std::uint32_t>& NetworkOverlay::LinkFlowsSlot(LinkId link) {
   const auto [it, inserted] = link_flows_.try_emplace(link.value());
-  if (inserted) it->second = base_->FlowsOnLink(link);
+  if (inserted) {
+    const std::span<const std::uint32_t> base_ids = base_->LinkFlowIds(link);
+    it->second.assign(base_ids.begin(), base_ids.end());
+  }
   return it->second;
 }
 
 void NetworkOverlay::Occupy(const topo::Path& path, Mbps demand, FlowId id) {
+  const auto rep = static_cast<std::uint32_t>(id.value());
   for (LinkId lid : path.links) {
     ResidualSlot(lid) -= demand;
-    LinkFlowsSlot(lid).push_back(id);
+    auto& flows = LinkFlowsSlot(lid);
+    flows.insert(std::lower_bound(flows.begin(), flows.end(), rep), rep);
   }
 }
 
 void NetworkOverlay::Release(const topo::Path& path, Mbps demand, FlowId id) {
+  const auto rep = static_cast<std::uint32_t>(id.value());
   for (LinkId lid : path.links) {
     ResidualSlot(lid) += demand;
     auto& flows = LinkFlowsSlot(lid);
-    const auto it = std::find(flows.begin(), flows.end(), id);
-    NU_CHECK(it != flows.end());
+    const auto it = std::lower_bound(flows.begin(), flows.end(), rep);
+    NU_CHECK(it != flows.end() && *it == rep);
     flows.erase(it);
   }
 }
@@ -100,7 +92,7 @@ FlowId NetworkOverlay::Place(flow::Flow flow, const topo::Path& path) {
   flow.id = id;
   added_flows_.emplace(id.value(), std::move(flow));
   Occupy(path, demand, id);
-  paths_.emplace(id.value(), path);
+  paths_.emplace(id.value(), path_registry().Intern(path));
   return id;
 }
 
@@ -113,18 +105,18 @@ void NetworkOverlay::Reroute(FlowId id, const topo::Path& new_path) {
   const Mbps demand = f.demand;
   // Release first so the flow's own bandwidth on shared links counts toward
   // the feasibility of the new path (same order as Network::Reroute).
-  const topo::Path old_path = PathOf(id);
-  Release(old_path, demand, id);
+  const PathRef old_ref = PathRefOf(id);
+  Release(path_registry().Get(old_ref), demand, id);
   NU_CHECK(CanPlace(demand, new_path));
   Occupy(new_path, demand, id);
-  paths_[id.value()] = new_path;
+  paths_[id.value()] = path_registry().Intern(new_path);
 }
 
 void NetworkOverlay::Remove(FlowId id) {
   NU_EXPECTS(HasFlow(id));
   const Mbps demand = FlowOf(id).demand;
-  const topo::Path path = PathOf(id);
-  Release(path, demand, id);
+  const PathRef ref = PathRefOf(id);
+  Release(path_registry().Get(ref), demand, id);
   if (added_flows_.erase(id.value()) == 0) removed_.insert(id.value());
   paths_.erase(id.value());
 }
@@ -132,13 +124,10 @@ void NetworkOverlay::Remove(FlowId id) {
 std::size_t NetworkOverlay::ApproxDeltaBytes() const {
   std::size_t bytes = residual_.size() * (sizeof(Mbps) + sizeof(LinkId)) +
                       removed_.size() * sizeof(FlowId) +
-                      added_flows_.size() * sizeof(flow::Flow);
+                      added_flows_.size() * sizeof(flow::Flow) +
+                      paths_.size() * (sizeof(FlowId) + sizeof(PathRef));
   for (const auto& [_, flows] : link_flows_) {
-    bytes += sizeof(flows) + flows.capacity() * sizeof(FlowId);
-  }
-  for (const auto& [_, path] : paths_) {
-    bytes += sizeof(path) + path.links.capacity() * sizeof(LinkId) +
-             path.nodes.capacity() * sizeof(NodeId);
+    bytes += sizeof(flows) + flows.capacity() * sizeof(std::uint32_t);
   }
   return bytes;
 }

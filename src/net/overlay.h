@@ -11,8 +11,10 @@
 //     they would on a copy, so IEEE arithmetic is identical.
 //   * Flow ids are allocated from the base's FlowIdUpperBound(), so the ids
 //     a probe assigns match the ids a deep copy would have assigned.
-//   * Link-flow lists mirror Network's append/erase bookkeeping and are
-//     sorted on read, exactly like Network::FlowsOnLink.
+//   * Link-flow patches mirror Network's canonical ascending id lists
+//     (sorted insert/erase), served as allocation-free spans.
+//   * Paths are stored as PathRefs into the registry shared with the base,
+//     so resolved references are identical objects.
 //
 // Overlays compose: an overlay over an overlay works (the event planner
 // stacks one for migration what-ifs inside a co-feasibility scratch).
@@ -35,6 +37,9 @@ class NetworkOverlay final : public MutableNetwork {
   [[nodiscard]] const topo::Graph& graph() const override {
     return base_->graph();
   }
+  [[nodiscard]] topo::PathRegistry& path_registry() const override {
+    return base_->path_registry();
+  }
   [[nodiscard]] Mbps Residual(LinkId link) const override;
   [[nodiscard]] bool LinkUp(LinkId link) const override {
     return base_->LinkUp(link);
@@ -47,10 +52,9 @@ class NetworkOverlay final : public MutableNetwork {
   }
   [[nodiscard]] bool HasFlow(FlowId id) const override;
   [[nodiscard]] const flow::Flow& FlowOf(FlowId id) const override;
-  [[nodiscard]] const topo::Path& PathOf(FlowId id) const override;
-  [[nodiscard]] std::vector<FlowId> FlowsOnLink(LinkId link) const override;
-  [[nodiscard]] std::size_t FlowCountOnLink(LinkId link) const override;
-  [[nodiscard]] bool FlowUsesLink(FlowId flow, LinkId link) const override;
+  [[nodiscard]] PathRef PathRefOf(FlowId id) const override;
+  [[nodiscard]] std::span<const std::uint32_t> LinkFlowIds(
+      LinkId link) const override;
   [[nodiscard]] FlowId::rep_type FlowIdUpperBound() const override {
     return next_id_;
   }
@@ -69,17 +73,17 @@ class NetworkOverlay final : public MutableNetwork {
   /// Absolute residual slot for `link`, seeded from the base on first touch.
   Mbps& ResidualSlot(LinkId link);
   /// Materialized flow list for `link`, seeded from the base on first touch.
-  std::vector<FlowId>& LinkFlowsSlot(LinkId link);
+  std::vector<std::uint32_t>& LinkFlowsSlot(LinkId link);
   void Occupy(const topo::Path& path, Mbps demand, FlowId id);
   void Release(const topo::Path& path, Mbps demand, FlowId id);
 
   const NetworkView* base_;
   std::unordered_map<LinkId::rep_type, Mbps> residual_;
-  std::unordered_map<LinkId::rep_type, std::vector<FlowId>> link_flows_;
+  std::unordered_map<LinkId::rep_type, std::vector<std::uint32_t>> link_flows_;
   /// Flows placed through this overlay (not known to the base).
   std::unordered_map<FlowId::rep_type, flow::Flow> added_flows_;
-  /// Paths of added flows and of rerouted base flows.
-  std::unordered_map<FlowId::rep_type, topo::Path> paths_;
+  /// Path refs of added flows and of rerouted base flows.
+  std::unordered_map<FlowId::rep_type, PathRef> paths_;
   /// Base flows removed through this overlay.
   std::unordered_set<FlowId::rep_type> removed_;
   FlowId::rep_type next_id_ = 0;

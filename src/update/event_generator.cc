@@ -50,10 +50,14 @@ std::vector<FlowId> FlowsThroughNode(const net::Network& network,
                                      NodeId node) {
   std::vector<FlowId> result;
   for (LinkId lid : network.graph().OutLinks(node)) {
-    for (FlowId fid : network.FlowsOnLink(lid)) result.push_back(fid);
+    for (std::uint32_t rep : network.LinkFlowIds(lid)) {
+      result.push_back(FlowId{rep});
+    }
   }
   for (LinkId lid : network.graph().InLinks(node)) {
-    for (FlowId fid : network.FlowsOnLink(lid)) result.push_back(fid);
+    for (std::uint32_t rep : network.LinkFlowIds(lid)) {
+      result.push_back(FlowId{rep});
+    }
   }
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());
@@ -90,7 +94,9 @@ std::vector<FlowId> FlowsThroughLink(const net::Network& network,
   const topo::Link& l = network.graph().link(link);
   const LinkId reverse = network.graph().FindLink(l.dst, l.src);
   if (reverse.valid()) {
-    for (FlowId fid : network.FlowsOnLink(reverse)) result.push_back(fid);
+    for (std::uint32_t rep : network.LinkFlowIds(reverse)) {
+      result.push_back(FlowId{rep});
+    }
   }
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <span>
 
 #include "common/logging.h"
 #include "net/admission.h"
@@ -321,12 +322,13 @@ MigrationPlan MigrationOptimizer::PlanOn(net::MutableNetwork& scratch,
       if (deficit <= kBandwidthEpsilon) continue;
 
       // Candidate set F_A: flows currently on the congested link that have
-      // somewhere else to go.
-      const std::vector<FlowId> on_link = scratch.FlowsOnLink(link);
+      // somewhere else to go. No mutation happens while the span is read.
+      const std::span<const std::uint32_t> on_link = scratch.LinkFlowIds(link);
       std::vector<FlowId> movable;
       std::vector<double> weights;
       movable.reserve(on_link.size());
-      for (FlowId fid : on_link) {
+      for (const std::uint32_t rep : on_link) {
+        const FlowId fid{rep};
         if (FindRerouteTarget(scratch, paths_, fid, forbidden).has_value()) {
           movable.push_back(fid);
           weights.push_back(scratch.FlowOf(fid).demand);
@@ -349,7 +351,8 @@ MigrationPlan MigrationOptimizer::PlanOn(net::MutableNetwork& scratch,
         if (!target.has_value()) continue;
         const Mbps moved = scratch.FlowOf(fid).demand;
         scratch.Reroute(fid, *target);
-        plan.moves.push_back(MigrationMove{fid, *target, moved});
+        plan.moves.push_back(
+            MigrationMove{fid, scratch.PathRefOf(fid), moved});
         plan.migrated_traffic += moved;
         deficit = demand - scratch.Residual(link);
         progressed = true;
@@ -374,7 +377,7 @@ void MigrationOptimizer::Apply(net::MutableNetwork& network,
                                const MigrationPlan& plan) {
   NU_EXPECTS(plan.feasible);
   for (const MigrationMove& move : plan.moves) {
-    network.Reroute(move.flow, move.new_path);
+    network.Reroute(move.flow, network.path_registry().Get(move.new_path));
   }
 }
 

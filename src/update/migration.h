@@ -36,7 +36,9 @@ enum class MigrationStrategy : std::uint8_t {
 /// One flow relocation of a migration plan.
 struct MigrationMove {
   FlowId flow;
-  topo::Path new_path;
+  /// Interned target path; resolve against the planning view's
+  /// path_registry() (shared by the view, its overlays, and its copies).
+  PathRef new_path;
   /// Demand of the migrated flow (Mbps) — the unit of the paper's Cost(U).
   Mbps traffic = 0.0;
 };

@@ -36,7 +36,7 @@ EventPlan EventPlanner::PlanInto(net::MutableNetwork& state,
     // 1. Direct admission on a feasible path, if one exists.
     if (auto direct = net::FindFeasiblePath(state, paths_, f.src, f.dst,
                                             f.demand, path_selection_)) {
-      action.path = std::move(*direct);
+      action.path = state.path_registry().Intern(*direct);
       action.migration.feasible = true;
       action.placeable = true;
     } else if (paths_.Paths(f.src, f.dst).empty()) {
@@ -58,7 +58,7 @@ EventPlan EventPlanner::PlanInto(net::MutableNetwork& state,
         migration = optimizer_.Plan(state, f.demand, desired);
       }
       if (migration.feasible) {
-        action.path = desired;
+        action.path = state.path_registry().Intern(desired);
         action.migration = std::move(migration);
         action.placeable = true;
         ++plan.flows_needing_migration;
@@ -72,7 +72,7 @@ EventPlan EventPlanner::PlanInto(net::MutableNetwork& state,
 
     if (action.placeable) {
       MigrationOptimizer::Apply(state, action.migration);
-      const FlowId id = state.Place(f, action.path);
+      const FlowId id = state.Place(f, state.path_registry().Get(action.path));
       if (placed_ids != nullptr) placed_ids->push_back(id);
     }
     plan.actions.push_back(std::move(action));
@@ -119,8 +119,8 @@ ExecutionResult EventPlanner::ExecuteWithPlan(net::MutableNetwork& network,
     // mutated since it was computed) aborts loudly instead of corrupting
     // residuals.
     MigrationOptimizer::Apply(network, action.migration);
-    const FlowId id =
-        network.Place(event.flows()[action.flow_index], action.path);
+    const FlowId id = network.Place(event.flows()[action.flow_index],
+                                    network.path_registry().Get(action.path));
     result.placed_flows.push_back(id);
   }
   result.plan = std::move(plan);

@@ -23,8 +23,9 @@ namespace nu::update {
 struct FlowAction {
   /// Index of the flow within the event.
   std::size_t flow_index = 0;
-  /// Chosen path (desired path when migration is involved).
-  topo::Path path;
+  /// Chosen path (desired path when migration is involved), interned in the
+  /// planning view's path_registry().
+  PathRef path;
   /// Migrations freeing the path; empty moves for a direct placement.
   MigrationPlan migration;
   /// False when the flow fits on no path even with migration — it must wait

@@ -58,7 +58,8 @@ TEST(MigrationBridgeTest, RealizesPlanConsistently) {
 
   // Every prefix keeps the blocker's packets delivered on one whole path.
   const topo::Path old_path = fx.network.PathOf(blocker);
-  const topo::Path& new_path = plan.moves[0].new_path;
+  const topo::Path& new_path =
+      fx.network.path_registry().Get(plan.moves[0].new_path);
   for (std::size_t prefix = 0; prefix <= schedule.size(); ++prefix) {
     RuleTable step = rules;
     for (std::size_t i = 0; i < prefix; ++i) Apply(step, schedule[i]);

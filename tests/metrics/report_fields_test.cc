@@ -1,0 +1,82 @@
+// Coverage guard for the Report field-descriptor table: every Report
+// member must have exactly one descriptor in kReportFields, so the CSV
+// exporter and MeanReport can never silently drop a field. Report is (by
+// construction) a flat struct of 8-byte members, so full coverage is
+// checkable: the descriptors' member offsets must tile sizeof(Report)
+// exactly. Adding a member without a descriptor grows the struct past the
+// tiled size and fails OffsetsTileStruct.
+#include "metrics/report_fields.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace nu::metrics {
+namespace {
+
+std::size_t OffsetOf(const ReportField& field) {
+  Report probe;
+  const char* base = reinterpret_cast<const char*>(&probe);
+  const char* member =
+      field.counter != nullptr
+          ? reinterpret_cast<const char*>(&(probe.*field.counter))
+          : reinterpret_cast<const char*>(&(probe.*field.real));
+  return static_cast<std::size_t>(member - base);
+}
+
+TEST(ReportFieldsTest, EveryDescriptorNamesExactlyOneMember) {
+  std::set<std::string> names;
+  for (const ReportField& field : kReportFields) {
+    EXPECT_NE(field.csv_name, nullptr);
+    EXPECT_TRUE(names.insert(field.csv_name).second)
+        << "duplicate csv column " << field.csv_name;
+    // Exactly one of the member pointers is set.
+    EXPECT_NE(field.counter == nullptr, field.real == nullptr)
+        << field.csv_name;
+  }
+}
+
+TEST(ReportFieldsTest, OffsetsTileStruct) {
+  // Both member types are 8 bytes; if that ever changes the tiling
+  // arithmetic below needs rethinking, so pin it.
+  static_assert(sizeof(std::size_t) == 8);
+  static_assert(sizeof(double) == 8);
+
+  std::set<std::size_t> offsets;
+  for (const ReportField& field : kReportFields) {
+    EXPECT_TRUE(offsets.insert(OffsetOf(field)).second)
+        << "two descriptors point at the same member: " << field.csv_name;
+  }
+  // Descriptors must cover offsets 0, 8, 16, ... up to sizeof(Report) with
+  // no gap: a Report member without a descriptor leaves a hole (or pushes
+  // sizeof(Report) past the tiled size).
+  ASSERT_EQ(offsets.size(), kReportFields.size());
+  EXPECT_EQ(kReportFields.size() * 8, sizeof(Report))
+      << "Report has a member with no descriptor in kReportFields";
+  std::size_t expected = 0;
+  for (std::size_t offset : offsets) {
+    EXPECT_EQ(offset, expected) << "descriptor coverage gap";
+    expected += 8;
+  }
+}
+
+TEST(ReportFieldsTest, ColumnOrderMatchesDeclarationOrder) {
+  // The CSV schema promises columns in Report declaration order; the table
+  // must list fields by ascending member offset.
+  std::size_t previous = 0;
+  bool first = true;
+  for (const ReportField& field : kReportFields) {
+    const std::size_t offset = OffsetOf(field);
+    if (!first) {
+      EXPECT_GT(offset, previous) << field.csv_name;
+    }
+    previous = offset;
+    first = false;
+  }
+}
+
+}  // namespace
+}  // namespace nu::metrics

@@ -78,14 +78,14 @@ TEST_P(MigrationPropertyTest, FeasiblePlansAreSoundOnFatTree) {
     // Applying move-by-move keeps every intermediate state congestion-free
     // and ends with the desired path feasible.
     for (const MigrationMove& move : plan.moves) {
-      network.Reroute(move.flow, move.new_path);
+      network.Reroute(move.flow, network.path_registry().Get(move.new_path));
       ASSERT_TRUE(network.CheckInvariants());
     }
     EXPECT_TRUE(network.CanPlace(demand, desired));
 
     // No move lands on the desired path.
     for (const MigrationMove& move : plan.moves) {
-      for (LinkId moved_link : move.new_path.links) {
+      for (LinkId moved_link : network.path_registry().Get(move.new_path).links) {
         for (LinkId desired_link : desired.links) {
           EXPECT_NE(moved_link, desired_link);
         }

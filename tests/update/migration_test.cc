@@ -273,7 +273,8 @@ TEST(MigrationOptimizerTest, MovesOrderedApplicableSequentially) {
   ASSERT_TRUE(plan.feasible);
   // Apply one-by-one: every intermediate state stays congestion-free.
   for (const MigrationMove& move : plan.moves) {
-    fx.network.Reroute(move.flow, move.new_path);
+    fx.network.Reroute(move.flow,
+                       fx.network.path_registry().Get(move.new_path));
     EXPECT_TRUE(fx.network.CheckInvariants());
   }
   EXPECT_TRUE(fx.network.CanPlace(99.0, desired));
