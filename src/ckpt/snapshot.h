@@ -30,7 +30,7 @@ namespace nu::ckpt {
 /// v2: network section stores canonically sorted link-flow id lists and an
 /// interned used-paths table (paths written once, placements reference them
 /// by table index) instead of a deep path per placement.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// Thrown when a snapshot file fails frame validation (bad magic, version
 /// mismatch, truncation, or checksum failure).

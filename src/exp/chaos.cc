@@ -1,0 +1,460 @@
+#include "exp/chaos.h"
+
+#include <algorithm>
+#include <charconv>
+#include <sstream>
+#include <string_view>
+
+#include "common/check.h"
+#include "fault/srlg.h"
+#include "guard/auditor.h"
+#include "metrics/export.h"
+#include "topo/fat_tree.h"
+
+namespace nu::exp {
+namespace {
+
+constexpr std::string_view kArtifactHeader = "netupdate-chaos-repro v1";
+
+[[noreturn]] void Fail(const std::string& what) { throw ChaosError(what); }
+
+/// Shortest round-trip formatting (same discipline as the fault-plan
+/// format): artifact bytes must be platform-independent.
+std::string FormatNum(double value) {
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  NU_CHECK(ec == std::errc());
+  return std::string(buf, end);
+}
+
+double ParseNum(std::string_view token) {
+  double value = 0.0;
+  const auto [rest, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || rest != token.data() + token.size()) {
+    Fail("bad number '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+std::uint64_t ParseU64(std::string_view token) {
+  std::uint64_t value = 0;
+  const auto [rest, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || rest != token.data() + token.size()) {
+    Fail("bad integer '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+std::vector<std::string> Tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+sched::SchedulerKind ParseSchedulerName(const std::string& name) {
+  // ParseSchedulerKind aborts on unknown names; artifacts are hand-editable
+  // so pre-validate and throw instead.
+  for (const char* known :
+       {"fifo", "reorder", "lmtf", "p-lmtf", "plmtf", "sjf-size", "sjf"}) {
+    if (name == known) return sched::ParseSchedulerKind(name);
+  }
+  Fail("unknown scheduler '" + name + "'");
+}
+
+/// Rebuilds a plan holding exactly `specs`, pruning group declarations no
+/// surviving spec references (and remapping the kept specs' group indices).
+fault::FaultPlan RebuildPlan(const fault::FaultPlan& original,
+                             const std::vector<fault::FaultSpec>& specs) {
+  std::vector<std::size_t> remap(original.groups().size(), fault::kNoGroup);
+  fault::FaultPlan plan;
+  for (std::size_t gi = 0; gi < original.groups().size(); ++gi) {
+    const bool used =
+        std::any_of(specs.begin(), specs.end(),
+                    [gi](const fault::FaultSpec& s) { return s.group == gi; });
+    if (used) remap[gi] = plan.AddGroup(original.groups()[gi]);
+  }
+  for (const fault::FaultSpec& s : specs) {
+    switch (s.kind) {
+      case fault::FaultKind::kLinkDown:
+        plan.AddLinkDown(s.time, s.link);
+        break;
+      case fault::FaultKind::kLinkUp:
+        plan.AddLinkUp(s.time, s.link);
+        break;
+      case fault::FaultKind::kSwitchDown:
+        plan.AddSwitchDown(s.time, s.node);
+        break;
+      case fault::FaultKind::kSwitchUp:
+        plan.AddSwitchUp(s.time, s.node);
+        break;
+      case fault::FaultKind::kGroupDown:
+        plan.AddGroupDown(s.time, remap[s.group]);
+        break;
+      case fault::FaultKind::kGroupUp:
+        plan.AddGroupUp(s.time, remap[s.group]);
+        break;
+    }
+  }
+  return plan;
+}
+
+bool PlanValidFor(const fault::FaultPlan& plan, std::size_t k) {
+  const topo::FatTree ft(
+      topo::FatTreeConfig{.k = k, .link_capacity = 100.0});
+  try {
+    (void)plan.Validate(ft.graph());
+  } catch (const fault::FaultPlanError&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool operator==(const ChaosScenario& a, const ChaosScenario& b) {
+  const bool storm_eq =
+      a.storm.has_value() == b.storm.has_value() &&
+      (!a.storm.has_value() ||
+       (a.storm->start == b.storm->start &&
+        a.storm->duration == b.storm->duration &&
+        a.storm->model.failure_probability ==
+            b.storm->model.failure_probability &&
+        a.storm->model.latency_jitter_frac ==
+            b.storm->model.latency_jitter_frac));
+  return a.seed == b.seed && a.fat_tree_k == b.fat_tree_k &&
+         a.event_count == b.event_count && a.scheduler == b.scheduler &&
+         a.plan == b.plan &&
+         a.cascade.max_secondary_failures == b.cascade.max_secondary_failures &&
+         a.cascade.utilization_threshold == b.cascade.utilization_threshold &&
+         a.cascade.hold_time == b.cascade.hold_time &&
+         a.cascade.outage == b.cascade.outage && storm_eq;
+}
+
+ChaosScenario MakeTrialScenario(const ChaosOptions& options,
+                                std::size_t trial) {
+  ChaosScenario scenario;
+  scenario.seed = options.seed ^ (0x9E3779B97F4A7C15ULL * (trial + 1));
+  scenario.fat_tree_k = options.fat_tree_k;
+  scenario.event_count = options.event_count;
+  constexpr sched::SchedulerKind kRotation[] = {sched::SchedulerKind::kFifo,
+                                                sched::SchedulerKind::kLmtf,
+                                                sched::SchedulerKind::kPlmtf};
+  scenario.scheduler = kRotation[trial % 3];
+
+  // The plan rng is independent of the run's streams: generating a harder
+  // plan never perturbs what the simulator itself draws.
+  Rng rng(options.seed ^ (0xC0DEULL + trial));
+  const topo::FatTree ft(topo::FatTreeConfig{.k = scenario.fat_tree_k,
+                                             .link_capacity = 100.0});
+  switch (rng.Index(3)) {
+    case 0: {
+      fault::RandomLinkFaultOptions lo;
+      lo.failures = 2;
+      lo.outage = 2.0;
+      scenario.plan = fault::MakeRandomLinkFaultPlan(ft.graph(), lo, rng);
+      break;
+    }
+    case 1: {
+      fault::RandomSrlgFaultOptions so;
+      so.incidents = 1;
+      so.outage = 2.0;
+      scenario.plan = fault::MakeRandomSrlgFaultPlan(
+          fault::DeriveFatTreeSrlgs(ft), so, rng);
+      break;
+    }
+    default: {
+      // Correlated group incident with the overload cascade armed on top.
+      fault::RandomSrlgFaultOptions so;
+      so.incidents = 1;
+      so.outage = 2.0;
+      scenario.plan = fault::MakeRandomSrlgFaultPlan(
+          fault::DeriveFatTreeSrlgs(ft), so, rng);
+      scenario.cascade.max_secondary_failures = 2;
+      scenario.cascade.utilization_threshold = 0.9;
+      scenario.cascade.hold_time = 0.3;
+      scenario.cascade.outage = 2.0;
+      break;
+    }
+  }
+  if (rng.Bernoulli(0.3)) {
+    scenario.storm = fault::FlakyStorm{1.0, 1.5, {0.8, 0.2}};
+  }
+  return scenario;
+}
+
+sim::SimResult RunScenario(const ChaosScenario& scenario) {
+  ExperimentConfig config;
+  config.fat_tree_k = scenario.fat_tree_k;
+  config.utilization = 0.6;
+  config.event_count = scenario.event_count;
+  config.min_flows_per_event = 4;
+  config.max_flows_per_event = 12;
+  config.alpha = 4;
+  config.background_churn = true;
+  config.seed = scenario.seed;
+
+  config.sim.faults.plan = scenario.plan;
+  config.sim.faults.cascade = scenario.cascade;
+  if (scenario.storm.has_value()) {
+    config.sim.faults.storms.push_back(*scenario.storm);
+  }
+  config.sim.faults.flaky.failure_probability = 0.1;
+  config.sim.faults.flaky.latency_jitter_frac = 0.1;
+  config.sim.faults.retry.max_attempts = 3;
+  config.sim.faults.retry.base_delay = 0.05;
+
+  config.sim.guard.overload.max_queue_length = 8;
+  config.sim.guard.deadline.base_deadline = 6.0;
+  config.sim.guard.deadline.per_flow_deadline = 1.0;
+  config.sim.guard.deadline.requeue_backoff = 0.5;
+  config.sim.guard.deadline.max_failures = 3;
+  config.sim.guard.auditor.enabled = true;
+  config.sim.guard.auditor.mode = guard::AuditMode::kLogAndCount;
+  config.sim.guard.auditor.cadence = 8;
+
+  const Workload workload(config);
+  return RunScheduler(workload, scenario.scheduler);
+}
+
+std::string NormalizedReportCsv(const sim::SimResult& result) {
+  metrics::Report report = result.report;
+  report.probe_wall_seconds = 0.0;
+  report.ckpt_snapshot_wall_seconds = 0.0;
+  report.ckpt_recovery_wall_seconds = 0.0;
+  std::ostringstream out;
+  metrics::WriteReportCsv(out, report);
+  return out.str();
+}
+
+ChaosVerdict JudgeScenario(const ChaosScenario& scenario,
+                           const ChaosOptions& options) {
+  ChaosVerdict verdict;
+  auto run_once = [&](sim::SimResult& out) -> bool {
+    try {
+      out = RunScenario(scenario);
+    } catch (const sim::RecoveryError& e) {
+      verdict.failed = true;
+      verdict.oracle = "recovery-error";
+      verdict.detail = e.what();
+      return false;
+    } catch (const guard::AuditFailure& e) {
+      verdict.failed = true;
+      verdict.oracle = "audit-failure";
+      verdict.detail = e.what();
+      return false;
+    }
+    return true;
+  };
+  sim::SimResult first;
+  if (!run_once(first)) return verdict;
+  if (!first.violations.empty()) {
+    const guard::AuditViolation& v = first.violations.front();
+    verdict.failed = true;
+    verdict.oracle = "audit-violation";
+    verdict.detail = "[" + v.invariant + "] round " + std::to_string(v.round) +
+                     " epoch " + std::to_string(v.topology_epoch) + ": " +
+                     v.detail;
+    return verdict;
+  }
+  if (options.check_determinism) {
+    sim::SimResult second;
+    if (!run_once(second)) return verdict;
+    if (NormalizedReportCsv(first) != NormalizedReportCsv(second)) {
+      verdict.failed = true;
+      verdict.oracle = "nondeterminism";
+      verdict.detail = "normalized report CSVs differ across identical runs";
+      return verdict;
+    }
+  }
+  if (options.inject_bug && first.report.flows_killed > 0) {
+    verdict.failed = true;
+    verdict.oracle = "injected-bug";
+    verdict.detail =
+        std::to_string(first.report.flows_killed) + " flows killed by faults";
+  }
+  return verdict;
+}
+
+ChaosScenario ShrinkScenario(const ChaosScenario& failing,
+                             const ChaosOptions& options, std::size_t* runs) {
+  std::size_t spent = 0;
+  const ChaosVerdict original = JudgeScenario(failing, options);
+  ++spent;
+  ChaosScenario best = failing;
+  if (!original.failed) {
+    // Nothing to hold on to — the caller handed us a passing scenario.
+    if (runs != nullptr) *runs = spent;
+    return best;
+  }
+  // A candidate counts only if it fails the SAME oracle: shrinking must not
+  // wander from one bug to a different one.
+  auto still_fails = [&](const ChaosScenario& candidate) -> bool {
+    if (spent >= options.max_shrink_runs) return false;
+    ++spent;
+    const ChaosVerdict v = JudgeScenario(candidate, options);
+    return v.failed && v.oracle == original.oracle;
+  };
+
+  // Stage 1: ddmin over the fault plan's specs — drop complement chunks,
+  // halving granularity, until no single-spec removal preserves the
+  // failure. An empty plan is tried first (the bug may not need faults).
+  if (!best.plan.empty()) {
+    ChaosScenario bare = best;
+    bare.plan = fault::FaultPlan();
+    if (still_fails(bare)) {
+      best = bare;
+    } else {
+      std::vector<fault::FaultSpec> specs = best.plan.specs();
+      std::size_t granularity = 2;
+      while (specs.size() >= 2) {
+        const std::size_t chunk = (specs.size() + granularity - 1) /
+                                  granularity;
+        bool reduced = false;
+        for (std::size_t start = 0; start < specs.size(); start += chunk) {
+          std::vector<fault::FaultSpec> rest;
+          rest.reserve(specs.size());
+          for (std::size_t i = 0; i < specs.size(); ++i) {
+            if (i < start || i >= start + chunk) rest.push_back(specs[i]);
+          }
+          if (rest.empty()) continue;
+          ChaosScenario candidate = best;
+          candidate.plan = RebuildPlan(best.plan, rest);
+          if (still_fails(candidate)) {
+            specs = std::move(rest);
+            best = std::move(candidate);
+            granularity = std::max<std::size_t>(granularity - 1, 2);
+            reduced = true;
+            break;
+          }
+        }
+        if (!reduced) {
+          if (granularity >= specs.size()) break;
+          granularity = std::min(specs.size(), granularity * 2);
+        }
+      }
+    }
+  }
+
+  // Stage 2: halve the trace length while the failure survives.
+  while (best.event_count > 2) {
+    ChaosScenario candidate = best;
+    candidate.event_count = best.event_count / 2;
+    if (!still_fails(candidate)) break;
+    best = std::move(candidate);
+  }
+
+  // Stage 3: step the fabric arity down. Candidates whose plan references
+  // ids outside the smaller fabric are skipped, not judged — an invalid
+  // plan is a harness error, never a finding.
+  while (best.fat_tree_k > 4) {
+    ChaosScenario candidate = best;
+    candidate.fat_tree_k = best.fat_tree_k - 2;
+    if (!PlanValidFor(candidate.plan, candidate.fat_tree_k)) break;
+    if (!still_fails(candidate)) break;
+    best = std::move(candidate);
+  }
+
+  if (runs != nullptr) *runs = spent;
+  return best;
+}
+
+ChaosCampaignResult RunChaosCampaign(const ChaosOptions& options) {
+  ChaosCampaignResult result;
+  for (std::size_t trial = 0; trial < options.trials; ++trial) {
+    const ChaosScenario scenario = MakeTrialScenario(options, trial);
+    const ChaosVerdict verdict = JudgeScenario(scenario, options);
+    ++result.trials_run;
+    if (!verdict.failed) continue;
+    ChaosFailure failure;
+    failure.trial = trial;
+    failure.scenario = ShrinkScenario(scenario, options, &failure.shrink_runs);
+    failure.verdict = JudgeScenario(failure.scenario, options);
+    failure.artifact = SerializeArtifact(failure.scenario);
+    result.failures.push_back(std::move(failure));
+  }
+  return result;
+}
+
+std::string SerializeArtifact(const ChaosScenario& scenario) {
+  std::ostringstream out;
+  out << kArtifactHeader << "\n";
+  out << "seed " << scenario.seed << "\n";
+  out << "k " << scenario.fat_tree_k << "\n";
+  out << "events " << scenario.event_count << "\n";
+  out << "scheduler " << sched::ToString(scenario.scheduler) << "\n";
+  out << "cascade " << scenario.cascade.max_secondary_failures << " "
+      << FormatNum(scenario.cascade.utilization_threshold) << " "
+      << FormatNum(scenario.cascade.hold_time) << " "
+      << FormatNum(scenario.cascade.outage) << "\n";
+  if (scenario.storm.has_value()) {
+    out << "storm " << FormatNum(scenario.storm->start) << " "
+        << FormatNum(scenario.storm->duration) << " "
+        << FormatNum(scenario.storm->model.failure_probability) << " "
+        << FormatNum(scenario.storm->model.latency_jitter_frac) << "\n";
+  }
+  out << "plan\n";
+  scenario.plan.SaveText(out);
+  return out.str();
+}
+
+ChaosScenario ParseArtifact(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || Tokens(line) != Tokens(std::string(
+                                                     kArtifactHeader))) {
+    Fail("missing header '" + std::string(kArtifactHeader) + "'");
+  }
+  ChaosScenario scenario;
+  bool saw_seed = false;
+  bool saw_plan = false;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> tokens = Tokens(line);
+    if (tokens.empty() || tokens[0][0] == '#') continue;
+    const std::string& key = tokens[0];
+    if (key == "plan") {
+      // Everything after the 'plan' line is the embedded fault plan; a
+      // malformed one is a malformed ARTIFACT, so surface it as ChaosError.
+      try {
+        scenario.plan = fault::FaultPlan::LoadText(in);
+      } catch (const fault::FaultPlanError& e) {
+        Fail(std::string("embedded plan: ") + e.what());
+      }
+      saw_plan = true;
+      break;
+    }
+    if (key == "seed" && tokens.size() == 2) {
+      scenario.seed = ParseU64(tokens[1]);
+      saw_seed = true;
+    } else if (key == "k" && tokens.size() == 2) {
+      scenario.fat_tree_k = static_cast<std::size_t>(ParseU64(tokens[1]));
+    } else if (key == "events" && tokens.size() == 2) {
+      scenario.event_count = static_cast<std::size_t>(ParseU64(tokens[1]));
+    } else if (key == "scheduler" && tokens.size() == 2) {
+      scenario.scheduler = ParseSchedulerName(tokens[1]);
+    } else if (key == "cascade" && tokens.size() == 5) {
+      scenario.cascade.max_secondary_failures =
+          static_cast<std::size_t>(ParseU64(tokens[1]));
+      scenario.cascade.utilization_threshold = ParseNum(tokens[2]);
+      scenario.cascade.hold_time = ParseNum(tokens[3]);
+      scenario.cascade.outage = ParseNum(tokens[4]);
+    } else if (key == "storm" && tokens.size() == 5) {
+      fault::FlakyStorm storm;
+      storm.start = ParseNum(tokens[1]);
+      storm.duration = ParseNum(tokens[2]);
+      storm.model.failure_probability = ParseNum(tokens[3]);
+      storm.model.latency_jitter_frac = ParseNum(tokens[4]);
+      scenario.storm = storm;
+    } else {
+      Fail("unrecognized line '" + line + "'");
+    }
+  }
+  if (!saw_seed) Fail("missing 'seed' line");
+  if (!saw_plan) Fail("missing 'plan' section");
+  return scenario;
+}
+
+}  // namespace nu::exp

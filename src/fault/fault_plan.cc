@@ -1,11 +1,108 @@
 #include "fault/fault_plan.h"
 
 #include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <istream>
+#include <ostream>
 #include <sstream>
 
 #include "common/check.h"
 
 namespace nu::fault {
+namespace {
+
+[[noreturn]] void Fail(const std::string& what) { throw FaultPlanError(what); }
+
+// Shortest round-trip decimal formatting via std::to_chars: the emitted
+// bytes are identical across platforms and parse back to the exact double,
+// which is what makes text artifacts a determinism oracle.
+std::string FormatTime(double value) {
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  NU_CHECK(res.ec == std::errc{});
+  return std::string(buf, res.ptr);
+}
+
+double ParseTime(std::string_view token, const std::string& context) {
+  double value = 0.0;
+  const auto res =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (res.ec != std::errc{} || res.ptr != token.data() + token.size()) {
+    Fail(context + ": bad time '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+std::uint64_t ParseUint(std::string_view token, const std::string& context) {
+  std::uint64_t value = 0;
+  const auto res =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (res.ec != std::errc{} || res.ptr != token.data() + token.size()) {
+    Fail(context + ": bad id '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+// Splits a line into whitespace-separated tokens.
+std::vector<std::string_view> Tokens(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    std::size_t start = i;
+    while (i < line.size() &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+// Splits "1,2,3" into ids; empty value means the empty list.
+template <typename Id>
+std::vector<Id> ParseIdList(std::string_view value, const std::string& context) {
+  std::vector<Id> out;
+  while (!value.empty()) {
+    const std::size_t comma = value.find(',');
+    const std::string_view item = value.substr(0, comma);
+    if (item.empty()) Fail(context + ": empty id in list");
+    out.push_back(Id{static_cast<typename Id::rep_type>(
+        ParseUint(item, context))});
+    if (comma == std::string_view::npos) break;
+    value.remove_prefix(comma + 1);
+  }
+  return out;
+}
+
+// "key=value" accessor; throws when the token does not start with `key=`.
+std::string_view ExpectKey(std::string_view token, std::string_view key,
+                           const std::string& context) {
+  if (token.size() < key.size() + 1 || token.substr(0, key.size()) != key ||
+      token[key.size()] != '=') {
+    Fail(context + ": expected " + std::string(key) + "=..., got '" +
+         std::string(token) + "'");
+  }
+  return token.substr(key.size() + 1);
+}
+
+template <typename Id>
+std::string JoinIds(const std::vector<Id>& ids) {
+  std::string out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(ids[i].value());
+  }
+  return out;
+}
+
+constexpr std::string_view kFormatHeader = "netupdate-fault-plan v1";
+
+}  // namespace
 
 const char* ToString(FaultKind kind) {
   switch (kind) {
@@ -17,13 +114,28 @@ const char* ToString(FaultKind kind) {
       return "switch-down";
     case FaultKind::kSwitchUp:
       return "switch-up";
+    case FaultKind::kGroupDown:
+      return "group-down";
+    case FaultKind::kGroupUp:
+      return "group-up";
   }
   return "?";
 }
 
 FaultPlan& FaultPlan::Add(FaultSpec spec) {
-  NU_EXPECTS(spec.time >= 0.0);
-  NU_EXPECTS(spec.IsLinkFault() ? spec.link.valid() : spec.node.valid());
+  if (spec.time < 0.0) {
+    Fail("spec time must be >= 0, got " + FormatTime(spec.time));
+  }
+  if (spec.IsGroupFault()) {
+    if (spec.group >= groups_.size()) {
+      Fail("group index " + std::to_string(spec.group) + " out of range (" +
+           std::to_string(groups_.size()) + " groups declared)");
+    }
+  } else if (spec.IsLinkFault()) {
+    if (!spec.link.valid()) Fail("link fault with invalid link id");
+  } else {
+    if (!spec.node.valid()) Fail("switch fault with invalid node id");
+  }
   // Insert before the first later spec: stable order for equal times.
   const auto it = std::upper_bound(
       specs_.begin(), specs_.end(), spec.time,
@@ -42,8 +154,12 @@ FaultPlan& FaultPlan::AddLinkUp(Seconds time, LinkId link) {
 
 FaultPlan& FaultPlan::AddLinkOutage(Seconds time, Seconds outage,
                                     LinkId link) {
+  if (outage <= 0.0) {
+    Fail("link outage duration must be > 0 (got " + FormatTime(outage) +
+         "); use AddLinkDown for a permanent failure");
+  }
   AddLinkDown(time, link);
-  if (outage > 0.0) AddLinkUp(time + outage, link);
+  AddLinkUp(time + outage, link);
   return *this;
 }
 
@@ -57,9 +173,204 @@ FaultPlan& FaultPlan::AddSwitchUp(Seconds time, NodeId node) {
 
 FaultPlan& FaultPlan::AddSwitchOutage(Seconds time, Seconds outage,
                                       NodeId node) {
+  if (outage <= 0.0) {
+    Fail("switch outage duration must be > 0 (got " + FormatTime(outage) +
+         "); use AddSwitchDown for a permanent failure");
+  }
   AddSwitchDown(time, node);
-  if (outage > 0.0) AddSwitchUp(time + outage, node);
+  AddSwitchUp(time + outage, node);
   return *this;
+}
+
+std::size_t FaultPlan::AddGroup(SharedRiskGroup group) {
+  if (group.empty()) Fail("shared-risk group '" + group.name + "' is empty");
+  if (group.name.empty()) Fail("shared-risk group with empty name");
+  for (char c : group.name) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Fail("shared-risk group name '" + group.name +
+           "' contains whitespace (names must be single tokens so plans "
+           "serialize line-oriented)");
+    }
+  }
+  groups_.push_back(std::move(group));
+  return groups_.size() - 1;
+}
+
+FaultPlan& FaultPlan::AddGroupDown(Seconds time, std::size_t group) {
+  return Add(FaultSpec{time, FaultKind::kGroupDown, LinkId::invalid(),
+                       NodeId::invalid(), group});
+}
+
+FaultPlan& FaultPlan::AddGroupUp(Seconds time, std::size_t group) {
+  return Add(FaultSpec{time, FaultKind::kGroupUp, LinkId::invalid(),
+                       NodeId::invalid(), group});
+}
+
+FaultPlan& FaultPlan::AddGroupOutage(Seconds time, Seconds outage,
+                                     std::size_t group) {
+  if (outage <= 0.0) {
+    Fail("group outage duration must be > 0 (got " + FormatTime(outage) +
+         "); use AddGroupDown for a permanent failure");
+  }
+  AddGroupDown(time, group);
+  AddGroupUp(time + outage, group);
+  return *this;
+}
+
+FaultPlan& FaultPlan::AddRollingDrain(Seconds time, Seconds stagger,
+                                      Seconds outage, std::size_t group) {
+  if (group >= groups_.size()) {
+    Fail("rolling drain over undeclared group index " + std::to_string(group));
+  }
+  if (stagger < 0.0) {
+    Fail("rolling drain stagger must be >= 0, got " + FormatTime(stagger));
+  }
+  if (outage <= 0.0) {
+    Fail("rolling drain outage must be > 0, got " + FormatTime(outage));
+  }
+  // Primitive per-element outages: each member is its own transition —
+  // that's what distinguishes a drain from a power event. Nodes first, then
+  // links, declaration order; the group is only a membership list here.
+  const SharedRiskGroup& g = groups_[group];
+  std::size_t i = 0;
+  for (NodeId node : g.nodes) {
+    AddSwitchOutage(time + static_cast<double>(i++) * stagger, outage, node);
+  }
+  for (LinkId link : g.links) {
+    AddLinkOutage(time + static_cast<double>(i++) * stagger, outage, link);
+  }
+  return *this;
+}
+
+const FaultPlan& FaultPlan::Validate(const topo::Graph& graph) const {
+  for (std::size_t gi = 0; gi < groups_.size(); ++gi) {
+    if (!GroupIdsValid(groups_[gi], graph)) {
+      Fail("group " + std::to_string(gi) + " ('" + groups_[gi].name +
+           "') names a link/node id that does not exist in the topology");
+    }
+  }
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& s = specs_[i];
+    if (s.IsLinkFault()) {
+      if (s.link.value() >= graph.link_count()) {
+        Fail("spec " + std::to_string(i) + " (" + ToString(s.kind) + " t=" +
+             FormatTime(s.time) + ") names nonexistent link " +
+             std::to_string(s.link.value()) + " (topology has " +
+             std::to_string(graph.link_count()) + " links)");
+      }
+    } else if (!s.IsGroupFault()) {
+      if (s.node.value() >= graph.node_count()) {
+        Fail("spec " + std::to_string(i) + " (" + ToString(s.kind) + " t=" +
+             FormatTime(s.time) + ") names nonexistent node " +
+             std::to_string(s.node.value()) + " (topology has " +
+             std::to_string(graph.node_count()) + " nodes)");
+      }
+    }
+    // Group indices are range-checked at Add() time; member ids were just
+    // checked above.
+  }
+  return *this;
+}
+
+void FaultPlan::SaveText(std::ostream& out) const {
+  out << kFormatHeader << '\n';
+  for (const SharedRiskGroup& g : groups_) {
+    out << "group " << g.name << " nodes=" << JoinIds(g.nodes)
+        << " links=" << JoinIds(g.links) << '\n';
+  }
+  for (const FaultSpec& s : specs_) {
+    out << ToString(s.kind) << " t=" << FormatTime(s.time);
+    if (s.IsGroupFault()) {
+      out << " group=" << s.group;
+    } else if (s.IsLinkFault()) {
+      out << " link=" << s.link.value();
+    } else {
+      out << " node=" << s.node.value();
+    }
+    out << '\n';
+  }
+}
+
+FaultPlan FaultPlan::LoadText(std::istream& in) {
+  FaultPlan plan;
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string context = "line " + std::to_string(line_no);
+    // Comments and blank lines are for hand-written plans; SaveText never
+    // emits them.
+    const auto tokens = Tokens(line);
+    if (tokens.empty() || tokens[0].front() == '#') continue;
+    if (!saw_header) {
+      if (tokens.size() != 2 || tokens[0] != "netupdate-fault-plan" ||
+          tokens[1] != "v1") {
+        Fail(context + ": expected header '" + std::string(kFormatHeader) +
+             "'");
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::string_view head = tokens[0];
+    if (head == "group") {
+      if (tokens.size() != 4) {
+        Fail(context + ": group line needs: group <name> nodes=... links=...");
+      }
+      SharedRiskGroup g;
+      g.name = std::string(tokens[1]);
+      g.nodes =
+          ParseIdList<NodeId>(ExpectKey(tokens[2], "nodes", context), context);
+      g.links =
+          ParseIdList<LinkId>(ExpectKey(tokens[3], "links", context), context);
+      plan.AddGroup(std::move(g));
+      continue;
+    }
+    if (tokens.size() != 3) {
+      Fail(context + ": fault line needs: <kind> t=<time> <target>=<id>");
+    }
+    const Seconds time = ParseTime(ExpectKey(tokens[1], "t", context), context);
+    if (head == "link-down" || head == "link-up") {
+      const LinkId link{static_cast<LinkId::rep_type>(
+          ParseUint(ExpectKey(tokens[2], "link", context), context))};
+      plan.Add(FaultSpec{time,
+                         head == "link-down" ? FaultKind::kLinkDown
+                                             : FaultKind::kLinkUp,
+                         link, NodeId::invalid()});
+    } else if (head == "switch-down" || head == "switch-up") {
+      const NodeId node{static_cast<NodeId::rep_type>(
+          ParseUint(ExpectKey(tokens[2], "node", context), context))};
+      plan.Add(FaultSpec{time,
+                         head == "switch-down" ? FaultKind::kSwitchDown
+                                               : FaultKind::kSwitchUp,
+                         LinkId::invalid(), node});
+    } else if (head == "group-down" || head == "group-up") {
+      const std::size_t group = static_cast<std::size_t>(
+          ParseUint(ExpectKey(tokens[2], "group", context), context));
+      plan.Add(FaultSpec{time,
+                         head == "group-down" ? FaultKind::kGroupDown
+                                              : FaultKind::kGroupUp,
+                         LinkId::invalid(), NodeId::invalid(), group});
+    } else {
+      Fail(context + ": unknown fault kind '" + std::string(head) + "'");
+    }
+  }
+  if (!saw_header) Fail("missing header '" + std::string(kFormatHeader) + "'");
+  return plan;
+}
+
+void FaultPlan::SaveFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) Fail("cannot open '" + path + "' for writing");
+  SaveText(out);
+  out.flush();
+  if (!out) Fail("write to '" + path + "' failed");
+}
+
+FaultPlan FaultPlan::LoadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Fail("cannot open '" + path + "' for reading");
+  return LoadText(in);
 }
 
 std::string FaultPlan::DebugString() const {
@@ -69,7 +380,9 @@ std::string FaultPlan::DebugString() const {
     const FaultSpec& s = specs_[i];
     if (i > 0) os << ", ";
     os << "t=" << s.time << " " << ToString(s.kind) << " ";
-    if (s.IsLinkFault()) {
+    if (s.IsGroupFault()) {
+      os << "group " << groups_[s.group].name;
+    } else if (s.IsLinkFault()) {
       os << "link " << s.link;
     } else {
       os << "node " << s.node;
@@ -77,6 +390,10 @@ std::string FaultPlan::DebugString() const {
   }
   os << "}";
   return os.str();
+}
+
+bool operator==(const FaultPlan& a, const FaultPlan& b) {
+  return a.specs_ == b.specs_ && a.groups_ == b.groups_;
 }
 
 FaultPlan MakeRandomLinkFaultPlan(const topo::Graph& graph,
@@ -102,7 +419,35 @@ FaultPlan MakeRandomLinkFaultPlan(const topo::Graph& graph,
   for (std::size_t i = 0; i < picks.size(); ++i) {
     const Seconds at =
         options.first_failure + static_cast<double>(i) * options.spacing;
-    plan.AddLinkOutage(at, options.outage, candidates[picks[i]]);
+    if (options.outage > 0.0) {
+      plan.AddLinkOutage(at, options.outage, candidates[picks[i]]);
+    } else {
+      plan.AddLinkDown(at, candidates[picks[i]]);  // permanent failure
+    }
+  }
+  return plan;
+}
+
+FaultPlan MakeRandomSrlgFaultPlan(const std::vector<SharedRiskGroup>& catalog,
+                                  const RandomSrlgFaultOptions& options,
+                                  Rng& rng) {
+  FaultPlan plan;
+  if (catalog.empty()) return plan;
+  if (options.outage <= 0.0) {
+    Fail("random SRLG plans need outage > 0 (recovery must happen inside "
+         "the run)");
+  }
+  const std::size_t count = std::min(options.incidents, catalog.size());
+  const auto picks = rng.SampleWithoutReplacement(catalog.size(), count);
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    const std::size_t index = plan.AddGroup(catalog[picks[i]]);
+    const Seconds at =
+        options.first_failure + static_cast<double>(i) * options.spacing;
+    if (rng.Bernoulli(options.drain_probability)) {
+      plan.AddRollingDrain(at, options.drain_stagger, options.outage, index);
+    } else {
+      plan.AddGroupOutage(at, options.outage, index);
+    }
   }
   return plan;
 }

@@ -1,15 +1,30 @@
 // Deterministic fault schedules. A FaultPlan is a time-ordered list of
-// data-plane incidents — cable (link) down/up, switch down/up — plus the
-// probabilistic flaky-install model that makes rule installations fallible.
-// Plans are plain data: building one draws nothing from any Rng unless the
-// random-plan helper is used, and that helper consumes an explicit Rng, so
-// a (plan, seed) pair reproduces a run bit-for-bit.
+// data-plane incidents — cable (link) down/up, switch down/up, and
+// correlated GROUP events over shared-risk groups (pod power events, core
+// plane losses) — plus the probabilistic flaky-install model that makes rule
+// installations fallible. Plans are plain data: building one draws nothing
+// from any Rng unless a random-plan helper is used, and those helpers
+// consume an explicit Rng, so a (plan, seed) pair reproduces a run
+// bit-for-bit.
+//
+// Compound incidents expand at plan-build time:
+//   * AddGroupOutage — the whole group transitions down (and later up) as
+//     ONE incident: a single topology-epoch bump, one victim sweep across
+//     every member (see fault::ApplyFaultState / AffectedFlows overloads).
+//   * AddRollingDrain — a staggered maintenance drain: the group's members
+//     go down one at a time, `stagger` apart, each for `outage` seconds.
+//     Expands to primitive per-element specs (each its own transition,
+//     which is the point of a rolling drain).
+//
+// Plans serialize to a line-oriented text format (SaveText/LoadText) so
+// chaos-campaign repro artifacts and hand-written plans share one format.
 //
 // The paper motivates update events with "network failures" as a
 // first-class trigger; this module supplies the failure side of that story
 // so the schedulers can be exercised under the conditions they exist for.
 #pragma once
 
+#include <iosfwd>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -17,6 +32,7 @@
 #include "common/retry.h"
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/srlg.h"
 #include "topo/graph.h"
 
 namespace nu::fault {
@@ -26,24 +42,51 @@ enum class FaultKind : std::uint8_t {
   kLinkUp,
   kSwitchDown,
   kSwitchUp,
+  kGroupDown,
+  kGroupUp,
 };
 
 [[nodiscard]] const char* ToString(FaultKind kind);
 
+/// Thrown when a plan is malformed: an outage with non-positive duration, a
+/// group index with no declared group, or (via Validate) a link/node id that
+/// does not exist in the topology the plan will run against. Build-time
+/// rejection keeps a bad plan from silently misfiring mid-run.
+class FaultPlanError : public std::runtime_error {
+ public:
+  explicit FaultPlanError(const std::string& what)
+      : std::runtime_error("fault plan error: " + what) {}
+};
+
+/// Sentinel for FaultSpec::group on non-group specs.
+inline constexpr std::size_t kNoGroup = static_cast<std::size_t>(-1);
+
 /// One scheduled incident. Link faults name the forward direction of a
 /// cable; the injector takes down/up both directions (a cable failure kills
-/// both, as with topo::LinkAvoidingPathProvider).
+/// both, as with topo::LinkAvoidingPathProvider). Group faults name an index
+/// into the owning plan's groups() catalog and take every member down/up in
+/// one topology transition.
 struct FaultSpec {
   Seconds time = 0.0;
   FaultKind kind = FaultKind::kLinkDown;
-  LinkId link;  // kLinkDown / kLinkUp
-  NodeId node;  // kSwitchDown / kSwitchUp
+  LinkId link;                  // kLinkDown / kLinkUp
+  NodeId node;                  // kSwitchDown / kSwitchUp
+  std::size_t group = kNoGroup;  // kGroupDown / kGroupUp
 
   [[nodiscard]] bool IsLinkFault() const {
     return kind == FaultKind::kLinkDown || kind == FaultKind::kLinkUp;
   }
+  [[nodiscard]] bool IsGroupFault() const {
+    return kind == FaultKind::kGroupDown || kind == FaultKind::kGroupUp;
+  }
   [[nodiscard]] bool IsDown() const {
-    return kind == FaultKind::kLinkDown || kind == FaultKind::kSwitchDown;
+    return kind == FaultKind::kLinkDown || kind == FaultKind::kSwitchDown ||
+           kind == FaultKind::kGroupDown;
+  }
+
+  friend bool operator==(const FaultSpec& a, const FaultSpec& b) {
+    return a.time == b.time && a.kind == b.kind && a.link == b.link &&
+           a.node == b.node && a.group == b.group;
   }
 };
 
@@ -60,28 +103,84 @@ struct FlakyInstallModel {
   }
 };
 
-/// A time-sorted incident schedule. Add* keeps specs sorted by time (stable
-/// for equal times, preserving insertion order — deterministic replay).
+/// A correlated flaky-install storm: during [start, start + duration) the
+/// install pipeline degrades to THIS model instead of the baseline one —
+/// e.g. a controller-to-switch control-channel brownout that makes every
+/// install in the window likely to fail. Outside all storm windows the
+/// baseline FlakyInstallModel applies.
+struct FlakyStorm {
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+  FlakyInstallModel model;
+
+  [[nodiscard]] bool Covers(Seconds t) const {
+    return t >= start && t < start + duration;
+  }
+};
+
+/// A time-sorted incident schedule plus the shared-risk groups its compound
+/// specs reference. Add* keeps specs sorted by time (stable for equal times,
+/// preserving insertion order — deterministic replay).
 class FaultPlan {
  public:
   FaultPlan& AddLinkDown(Seconds time, LinkId link);
   FaultPlan& AddLinkUp(Seconds time, LinkId link);
-  /// Down at `time`, back up at `time + outage`.
+  /// Down at `time`, back up at `time + outage`. Requires outage > 0 (use
+  /// AddLinkDown for a permanent failure); throws FaultPlanError otherwise.
   FaultPlan& AddLinkOutage(Seconds time, Seconds outage, LinkId link);
   FaultPlan& AddSwitchDown(Seconds time, NodeId node);
   FaultPlan& AddSwitchUp(Seconds time, NodeId node);
   FaultPlan& AddSwitchOutage(Seconds time, Seconds outage, NodeId node);
 
+  /// Declares a shared-risk group and returns its index for Add{Group,*}
+  /// calls. Empty groups are rejected (they could never fire a victim
+  /// sweep, so declaring one is a bug).
+  std::size_t AddGroup(SharedRiskGroup group);
+
+  /// Whole-group transition in one topology-epoch bump (e.g. pod power).
+  FaultPlan& AddGroupDown(Seconds time, std::size_t group);
+  FaultPlan& AddGroupUp(Seconds time, std::size_t group);
+  FaultPlan& AddGroupOutage(Seconds time, Seconds outage, std::size_t group);
+
+  /// Rolling maintenance drain over `group`: member i (nodes first, then
+  /// links, declaration order) goes down at time + i * stagger for `outage`
+  /// seconds. Expands to primitive specs — each element is its own
+  /// transition, which is what distinguishes a drain from a power event.
+  FaultPlan& AddRollingDrain(Seconds time, Seconds stagger, Seconds outage,
+                             std::size_t group);
+
   [[nodiscard]] const std::vector<FaultSpec>& specs() const { return specs_; }
+  [[nodiscard]] const std::vector<SharedRiskGroup>& groups() const {
+    return groups_;
+  }
   [[nodiscard]] bool empty() const { return specs_.empty(); }
   [[nodiscard]] std::size_t size() const { return specs_.size(); }
 
+  /// Rejects plans referencing nonexistent link/node ids (in specs or in
+  /// group declarations) against the topology the plan will run against.
+  /// Throws FaultPlanError naming the first offending spec; returns *this
+  /// so workload builders can validate inline.
+  const FaultPlan& Validate(const topo::Graph& graph) const;
+
+  /// Line-oriented text serialization (format "netupdate-fault-plan v1").
+  /// SaveText/LoadText round-trip exactly: LoadText(SaveText(p)) == p, and
+  /// the emitted bytes are platform-independent (times use shortest
+  /// round-trip formatting). LoadText throws FaultPlanError on malformed
+  /// input. One format for repro artifacts and hand-written plans.
+  void SaveText(std::ostream& out) const;
+  [[nodiscard]] static FaultPlan LoadText(std::istream& in);
+  void SaveFile(const std::string& path) const;
+  [[nodiscard]] static FaultPlan LoadFile(const std::string& path);
+
   [[nodiscard]] std::string DebugString() const;
+
+  friend bool operator==(const FaultPlan& a, const FaultPlan& b);
 
  private:
   FaultPlan& Add(FaultSpec spec);
 
   std::vector<FaultSpec> specs_;
+  std::vector<SharedRiskGroup> groups_;
 };
 
 /// Where in a scheduling round a controller crash fires.
@@ -130,20 +229,48 @@ class ControllerCrash : public std::runtime_error {
   CrashPoint point_;
 };
 
+/// Overload-to-cascade feedback: sustained congestion on a link (observed by
+/// the guard's LinkStressMonitor) trips the link itself — the thermal /
+/// buffer-exhaustion cascade real fabrics exhibit under correlated load
+/// spikes. A link whose utilization stays at or above
+/// `utilization_threshold` for `hold_time` seconds of virtual time fails as
+/// a SECONDARY fault (cascade depth = parent fault's depth + 1), bounded by
+/// `max_secondary_failures` per run so a cascade cannot raze the fabric.
+struct CascadeConfig {
+  /// Secondary-failure budget; 0 disables the cascade engine entirely.
+  std::size_t max_secondary_failures = 0;
+  /// Utilization (occupied / capacity) at or above which a link is
+  /// considered overloaded.
+  double utilization_threshold = 0.98;
+  /// How long the overload must persist before the link trips.
+  Seconds hold_time = 1.0;
+  /// How long a cascade-failed link stays down; <= 0 means it never
+  /// recovers within the run.
+  Seconds outage = 5.0;
+
+  [[nodiscard]] bool enabled() const { return max_secondary_failures > 0; }
+};
+
 /// Everything the simulator needs to run under faults: the incident
-/// schedule, the flaky-install model, the retry/backoff policy for
-/// failed installs, and an optional controller-crash point. Disabled (the
-/// default) costs nothing on the hot path.
+/// schedule, the flaky-install model (baseline + storm windows), the
+/// retry/backoff policy for failed installs, the overload-cascade model,
+/// and an optional controller-crash point. Disabled (the default) costs
+/// nothing on the hot path.
 struct FaultConfig {
   FaultPlan plan;
   FlakyInstallModel flaky;
+  /// Correlated flaky-install storms; inside a storm window the storm's
+  /// model replaces `flaky`.
+  std::vector<FlakyStorm> storms;
   RetryPolicy retry;
+  CascadeConfig cascade;
   /// Controller-crash injection; orthogonal to `enabled()` (a crash can be
   /// injected with a perfectly healthy data plane).
   CrashSpec crash;
 
   [[nodiscard]] bool enabled() const {
-    return !plan.empty() || flaky.enabled();
+    return !plan.empty() || flaky.enabled() || !storms.empty() ||
+           cascade.enabled();
   }
 };
 
@@ -165,5 +292,30 @@ struct RandomLinkFaultOptions {
 /// schedules their outages. Deterministic in (graph, options, rng state).
 [[nodiscard]] FaultPlan MakeRandomLinkFaultPlan(
     const topo::Graph& graph, const RandomLinkFaultOptions& options, Rng& rng);
+
+/// Shape of a randomly generated correlated-failure plan over an SRLG
+/// catalog: `incidents` groups are sampled without replacement; each becomes
+/// a pod-power-style group outage or (with `drain_probability`) a rolling
+/// maintenance drain.
+struct RandomSrlgFaultOptions {
+  std::size_t incidents = 1;
+  Seconds first_failure = 1.0;
+  Seconds spacing = 3.0;
+  /// Group-outage duration (must be > 0: chaos scenarios need recovery to
+  /// happen inside the run to be judged).
+  Seconds outage = 3.0;
+  /// Probability an incident is a rolling drain instead of a group outage.
+  double drain_probability = 0.3;
+  /// Stagger between members of a rolling drain.
+  Seconds drain_stagger = 0.5;
+};
+
+/// Samples `incidents` distinct groups from `catalog` via `rng` and
+/// schedules correlated incidents over them. Deterministic in
+/// (catalog, options, rng state). Groups are declared in the plan in the
+/// order sampled.
+[[nodiscard]] FaultPlan MakeRandomSrlgFaultPlan(
+    const std::vector<SharedRiskGroup>& catalog,
+    const RandomSrlgFaultOptions& options, Rng& rng);
 
 }  // namespace nu::fault

@@ -9,20 +9,29 @@ namespace nu::fault {
 FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t seed)
     : config_(config), rng_(seed) {}
 
-InstallTrial FaultInjector::SampleInstall(Seconds attempt_latency) {
+InstallTrial FaultInjector::SampleInstall(Seconds attempt_latency,
+                                          Seconds now) {
   NU_EXPECTS(attempt_latency >= 0.0);
-  const FlakyInstallModel& flaky = config_.flaky;
+  // The active model: a storm window covering `now` overrides the baseline.
+  // First-declared storm wins on overlap — deterministic and documented.
+  const FlakyInstallModel* flaky = &config_.flaky;
+  for (const FlakyStorm& storm : config_.storms) {
+    if (storm.Covers(now)) {
+      flaky = &storm.model;
+      break;
+    }
+  }
   InstallTrial trial;
-  if (!flaky.enabled()) return trial;
-  NU_EXPECTS(flaky.failure_probability >= 0.0 &&
-             flaky.failure_probability < 1.0);
+  if (!flaky->enabled()) return trial;
+  NU_EXPECTS(flaky->failure_probability >= 0.0 &&
+             flaky->failure_probability < 1.0);
 
   const std::size_t max_attempts = std::max<std::size_t>(
       1, config_.retry.max_attempts);
   for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
     const double factor =
-        1.0 + flaky.latency_jitter_frac * rng_.Uniform01();
-    if (!rng_.Bernoulli(flaky.failure_probability)) {
+        1.0 + flaky->latency_jitter_frac * rng_.Uniform01();
+    if (!rng_.Bernoulli(flaky->failure_probability)) {
       trial.attempts = attempt;
       trial.latency_factor = factor;
       return trial;
@@ -40,19 +49,37 @@ InstallTrial FaultInjector::SampleInstall(Seconds attempt_latency) {
 
 namespace {
 
+/// Adds the cable's both directions to `links`.
+void AddCable(const topo::Graph& graph, LinkId link,
+              std::vector<LinkId>& links) {
+  links.push_back(link);
+  const topo::Link& l = graph.link(link);
+  const LinkId reverse = graph.FindLink(l.dst, l.src);
+  if (reverse.valid()) links.push_back(reverse);
+}
+
+/// Adds every link incident to `node` to `links`.
+void AddIncident(const topo::Graph& graph, NodeId node,
+                 std::vector<LinkId>& links) {
+  for (LinkId lid : graph.OutLinks(node)) links.push_back(lid);
+  for (LinkId lid : graph.InLinks(node)) links.push_back(lid);
+}
+
 /// Links whose failure strands flows under `spec`.
 std::vector<LinkId> DeadLinks(const net::Network& network,
-                              const FaultSpec& spec) {
+                              const FaultSpec& spec,
+                              std::span<const SharedRiskGroup> groups) {
   const topo::Graph& graph = network.graph();
   std::vector<LinkId> links;
-  if (spec.IsLinkFault()) {
-    links.push_back(spec.link);
-    const topo::Link& l = graph.link(spec.link);
-    const LinkId reverse = graph.FindLink(l.dst, l.src);
-    if (reverse.valid()) links.push_back(reverse);
+  if (spec.IsGroupFault()) {
+    NU_EXPECTS(spec.group < groups.size());
+    const SharedRiskGroup& g = groups[spec.group];
+    for (NodeId node : g.nodes) AddIncident(graph, node, links);
+    for (LinkId link : g.links) AddCable(graph, link, links);
+  } else if (spec.IsLinkFault()) {
+    AddCable(graph, spec.link, links);
   } else {
-    for (LinkId lid : graph.OutLinks(spec.node)) links.push_back(lid);
-    for (LinkId lid : graph.InLinks(spec.node)) links.push_back(lid);
+    AddIncident(graph, spec.node, links);
   }
   return links;
 }
@@ -60,10 +87,11 @@ std::vector<LinkId> DeadLinks(const net::Network& network,
 }  // namespace
 
 std::vector<FlowId> AffectedFlows(const net::Network& network,
-                                  const FaultSpec& spec) {
+                                  const FaultSpec& spec,
+                                  std::span<const SharedRiskGroup> groups) {
   if (!spec.IsDown()) return {};
   std::vector<FlowId> affected;
-  for (LinkId lid : DeadLinks(network, spec)) {
+  for (LinkId lid : DeadLinks(network, spec, groups)) {
     for (std::uint32_t rep : network.LinkFlowIds(lid)) {
       affected.push_back(FlowId{rep});
     }
@@ -74,10 +102,25 @@ std::vector<FlowId> AffectedFlows(const net::Network& network,
   return affected;
 }
 
-void ApplyFaultState(net::Network& network, const FaultSpec& spec) {
+std::vector<FlowId> AffectedFlows(const net::Network& network,
+                                  const FaultSpec& spec) {
+  NU_EXPECTS(!spec.IsGroupFault());
+  return AffectedFlows(network, spec, {});
+}
+
+void ApplyFaultState(net::Network& network, const FaultSpec& spec,
+                     std::span<const SharedRiskGroup> groups) {
   const bool up = !spec.IsDown();
-  if (spec.IsLinkFault()) {
-    const topo::Graph& graph = network.graph();
+  const topo::Graph& graph = network.graph();
+  if (spec.IsGroupFault()) {
+    NU_EXPECTS(spec.group < groups.size());
+    const SharedRiskGroup& g = groups[spec.group];
+    std::vector<LinkId> links;
+    links.reserve(g.links.size() * 2);
+    for (LinkId link : g.links) AddCable(graph, link, links);
+    // One topology transition for the whole group.
+    network.SetElementsUp(links, g.nodes, up);
+  } else if (spec.IsLinkFault()) {
     network.SetLinkUp(spec.link, up);
     const topo::Link& l = graph.link(spec.link);
     const LinkId reverse = graph.FindLink(l.dst, l.src);
@@ -85,6 +128,11 @@ void ApplyFaultState(net::Network& network, const FaultSpec& spec) {
   } else {
     network.SetNodeUp(spec.node, up);
   }
+}
+
+void ApplyFaultState(net::Network& network, const FaultSpec& spec) {
+  NU_EXPECTS(!spec.IsGroupFault());
+  ApplyFaultState(network, spec, {});
 }
 
 }  // namespace nu::fault

@@ -9,9 +9,11 @@
 // in-flight events onto surviving paths).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "fault/fault_plan.h"
+#include "fault/srlg.h"
 #include "net/network.h"
 
 namespace nu::fault {
@@ -38,8 +40,12 @@ class FaultInjector {
   FaultInjector(const FaultConfig& config, std::uint64_t seed);
 
   /// Runs one install of nominal latency `attempt_latency` through the
-  /// flaky model + retry policy. Deterministic per injector stream.
-  [[nodiscard]] InstallTrial SampleInstall(Seconds attempt_latency);
+  /// flaky model + retry policy. Deterministic per injector stream. `now`
+  /// selects the active model: inside a FlakyStorm window the storm's
+  /// (usually much worse) model replaces the baseline one. Passing the
+  /// default 0.0 is fine for configs without storms — the baseline applies.
+  [[nodiscard]] InstallTrial SampleInstall(Seconds attempt_latency,
+                                           Seconds now = 0.0);
 
   [[nodiscard]] const FaultConfig& config() const { return config_; }
 
@@ -55,14 +61,30 @@ class FaultInjector {
 
 /// Flows stranded by `spec` if it fired now: flows crossing either direction
 /// of the failing cable, or any link incident to the failing switch. Empty
-/// for up-events. Ascending id order (deterministic processing).
+/// for up-events. Ascending id order (deterministic processing). This
+/// overload handles primitive specs only; group specs need the catalog.
 [[nodiscard]] std::vector<FlowId> AffectedFlows(const net::Network& network,
                                                 const FaultSpec& spec);
+
+/// As above, but also resolves group specs against `groups` (the owning
+/// FaultPlan's catalog): the union of flows stranded by every member
+/// element, sorted and deduped — the single victim sweep of a correlated
+/// incident.
+[[nodiscard]] std::vector<FlowId> AffectedFlows(
+    const net::Network& network, const FaultSpec& spec,
+    std::span<const SharedRiskGroup> groups);
 
 /// Applies the up/down transition of `spec` to the network's fault state
 /// (both directions of a cable; the switch node itself). Does NOT remove
 /// stranded flows — callers pair this with AffectedFlows and decide each
-/// victim's fate (kill, replan) explicitly.
+/// victim's fate (kill, replan) explicitly. Primitive specs only.
 void ApplyFaultState(net::Network& network, const FaultSpec& spec);
+
+/// As above, but also resolves group specs: every member node and link
+/// (plus reverse twins of member links) flips in ONE topology transition
+/// via net::Network::SetElementsUp — a pod power event is one epoch bump,
+/// not size(group) of them.
+void ApplyFaultState(net::Network& network, const FaultSpec& spec,
+                     std::span<const SharedRiskGroup> groups);
 
 }  // namespace nu::fault

@@ -1,0 +1,65 @@
+#include "fault/srlg.h"
+
+namespace nu::fault {
+
+std::vector<SharedRiskGroup> DeriveFatTreeSrlgs(const topo::FatTree& fabric) {
+  const std::size_t k = fabric.k();
+  const std::size_t half = k / 2;
+  std::vector<SharedRiskGroup> groups;
+  groups.reserve(k + half);
+  for (std::size_t pod = 0; pod < fabric.pod_count(); ++pod) {
+    SharedRiskGroup group;
+    group.name = "pod" + std::to_string(pod);
+    group.nodes.reserve(k);
+    for (std::size_t e = 0; e < half; ++e) {
+      group.nodes.push_back(fabric.edge(pod, e));
+    }
+    for (std::size_t a = 0; a < half; ++a) {
+      group.nodes.push_back(fabric.agg(pod, a));
+    }
+    groups.push_back(std::move(group));
+  }
+  // Core switch c attaches to aggregation switch c / (k/2) of every pod, so
+  // plane j owns cores [j * k/2, (j+1) * k/2).
+  for (std::size_t plane = 0; plane < half; ++plane) {
+    SharedRiskGroup group;
+    group.name = "core-plane" + std::to_string(plane);
+    group.nodes.reserve(half);
+    for (std::size_t c = 0; c < half; ++c) {
+      group.nodes.push_back(fabric.core(plane * half + c));
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<SharedRiskGroup> DeriveLeafSpineSrlgs(
+    const topo::LeafSpine& fabric) {
+  std::vector<SharedRiskGroup> groups;
+  groups.reserve(fabric.config().spines + fabric.config().leaves);
+  for (std::size_t s = 0; s < fabric.config().spines; ++s) {
+    SharedRiskGroup group;
+    group.name = "spine" + std::to_string(s);
+    group.nodes.push_back(fabric.spine(s));
+    groups.push_back(std::move(group));
+  }
+  for (std::size_t l = 0; l < fabric.config().leaves; ++l) {
+    SharedRiskGroup group;
+    group.name = "leaf" + std::to_string(l);
+    group.nodes.push_back(fabric.leaf(l));
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+bool GroupIdsValid(const SharedRiskGroup& group, const topo::Graph& graph) {
+  for (NodeId node : group.nodes) {
+    if (!node.valid() || node.value() >= graph.node_count()) return false;
+  }
+  for (LinkId link : group.links) {
+    if (!link.valid() || link.value() >= graph.link_count()) return false;
+  }
+  return true;
+}
+
+}  // namespace nu::fault

@@ -1,0 +1,65 @@
+// Shared-risk link groups (SRLGs): sets of links and switches that fail
+// together because they share a physical risk — a pod's power feed, a core
+// plane's line card, a maintenance batch. Real fabrics fail in exactly these
+// correlated bursts, and consistent-update schedulers are hardest to keep
+// correct when a whole group goes down mid-update, so the fault layer models
+// groups as first-class incidents rather than independent coin flips.
+//
+// A SharedRiskGroup is plain data over ids; derivation helpers build the
+// canonical group catalogs for the two structured fabrics (Fat-Tree pods and
+// core planes, leaf-spine leaves and spines) in a deterministic order so
+// seeded chaos campaigns reproduce bit-for-bit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/fat_tree.h"
+#include "topo/graph.h"
+#include "topo/leaf_spine.h"
+
+namespace nu::fault {
+
+/// One shared-risk group: the switches and (directed) links that share a
+/// failure domain. Down-events take every member down in a single topology
+/// transition; link members implicitly include their reverse twins (a cable
+/// failure kills both directions, as with single-link faults).
+struct SharedRiskGroup {
+  std::string name;
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+
+  [[nodiscard]] bool empty() const { return nodes.empty() && links.empty(); }
+  [[nodiscard]] std::size_t size() const {
+    return nodes.size() + links.size();
+  }
+
+  friend bool operator==(const SharedRiskGroup& a, const SharedRiskGroup& b) {
+    return a.name == b.name && a.nodes == b.nodes && a.links == b.links;
+  }
+};
+
+/// Canonical Fat-Tree SRLG catalog, in deterministic order:
+///   * "pod<i>" for each of the k pods — the pod's edge and aggregation
+///     switches (a pod power event takes the whole pod down; hosts are left
+///     out so their flows are stranded, not vaporized, which is the case the
+///     schedulers must survive);
+///   * "core-plane<j>" for each of the k/2 core planes — the k/2 core
+///     switches wired to aggregation switch j of every pod (one line-card /
+///     plane failure).
+[[nodiscard]] std::vector<SharedRiskGroup> DeriveFatTreeSrlgs(
+    const topo::FatTree& fabric);
+
+/// Canonical leaf-spine SRLG catalog, in deterministic order:
+///   * "spine<j>" for each spine switch (a spine loss halves the fabric);
+///   * "leaf<i>" for each leaf switch (a top-of-rack power event).
+[[nodiscard]] std::vector<SharedRiskGroup> DeriveLeafSpineSrlgs(
+    const topo::LeafSpine& fabric);
+
+/// True when every id the group names exists in `graph`. Cheap enough to run
+/// at plan-build time; FaultPlan::Validate uses it to reject misdeclared
+/// groups before they misfire at runtime.
+[[nodiscard]] bool GroupIdsValid(const SharedRiskGroup& group,
+                                 const topo::Graph& graph);
+
+}  // namespace nu::fault

@@ -39,9 +39,11 @@ Auditor::Auditor(AuditorConfig config) : config_(config) {
 void Auditor::Report(std::string invariant, std::string detail,
                      std::size_t& found_this_pass) {
   ++found_this_pass;
-  AuditViolation violation{std::move(invariant), std::move(detail)};
-  NU_LOG(kError) << "audit violation [" << violation.invariant
-                 << "]: " << violation.detail;
+  AuditViolation violation{std::move(invariant), std::move(detail),
+                           context_.round, context_.topology_epoch};
+  NU_LOG(kError) << "audit violation [" << violation.invariant << "] round "
+                 << violation.round << " epoch " << violation.topology_epoch
+                 << ": " << violation.detail;
   if (config_.mode == AuditMode::kFailFast) {
     throw AuditFailure(std::move(violation));
   }
@@ -166,8 +168,10 @@ void Auditor::AuditAccounting(const QueueAccounting& accounting,
 
 std::size_t Auditor::Audit(const net::Network& network,
                            const QueueAccounting& accounting,
-                           std::size_t forced_placements) {
+                           std::size_t forced_placements,
+                           const AuditContext& context) {
   ++audits_run_;
+  context_ = context;
   std::size_t found = 0;
   const bool relaxed = forced_placements > 0;
   AuditCapacity(network, /*allow_overcommit=*/relaxed, found);

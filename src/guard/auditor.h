@@ -46,10 +46,25 @@ struct AuditorConfig {
   std::size_t cadence = 64;
 };
 
+/// Where in the run an audit pass happened. Chaos-campaign logs are only
+/// actionable when a violation pins down WHEN it was observed, so passes
+/// carry the scheduling round and the network's topology epoch, and both
+/// land in every violation record.
+struct AuditContext {
+  /// 1-based scheduling round in progress (0 = outside any round).
+  std::size_t round = 0;
+  /// net::Network::topology_epoch() at audit time — identifies which
+  /// fault-induced topology the violated state was observed under.
+  std::uint64_t topology_epoch = 0;
+};
+
 struct AuditViolation {
   /// Which invariant family fired: "capacity" | "coherence" | "accounting".
   std::string invariant;
   std::string detail;
+  /// Scheduling round and topology epoch of the audit pass that found it.
+  std::size_t round = 0;
+  std::uint64_t topology_epoch = 0;
 };
 
 /// Thrown by fail-fast audits at the first violation.
@@ -88,10 +103,13 @@ class Auditor {
   /// pass (also appended to violations()). In fail-fast mode the first
   /// violation throws AuditFailure instead. `forced_placements` > 0 relaxes
   /// the capacity and liveness checks — the simulator reports force-placed
-  /// flows separately, and they intentionally overcommit links.
+  /// flows separately, and they intentionally overcommit links. `context`
+  /// (round id, topology epoch) is stamped onto every violation this pass
+  /// records.
   std::size_t Audit(const net::Network& network,
                     const QueueAccounting& accounting,
-                    std::size_t forced_placements = 0);
+                    std::size_t forced_placements = 0,
+                    const AuditContext& context = {});
 
   [[nodiscard]] const AuditorConfig& config() const { return config_; }
   [[nodiscard]] std::size_t audits_run() const { return audits_run_; }
@@ -112,6 +130,8 @@ class Auditor {
 
   AuditorConfig config_;
   std::size_t audits_run_ = 0;
+  /// Context of the pass currently running (stamped onto its violations).
+  AuditContext context_;
   std::vector<AuditViolation> violations_;
 };
 

@@ -58,4 +58,49 @@ std::optional<std::size_t> ChooseShedVictim(
   return std::nullopt;
 }
 
+std::vector<LinkId> LinkStressMonitor::Observe(const net::Network& network,
+                                               Seconds now) {
+  const std::size_t links = network.graph().link_count();
+  if (overload_since_.size() < links) {
+    overload_since_.resize(links, -1.0);
+    tripped_.resize(links, 0);
+  }
+  std::vector<LinkId> crossed;
+  for (std::size_t i = 0; i < links; ++i) {
+    const LinkId link{static_cast<LinkId::rep_type>(i)};
+    if (!network.LinkUp(link)) {
+      overload_since_[i] = -1.0;
+      continue;
+    }
+    if (network.Utilization(link) >= options_.utilization_threshold) {
+      if (overload_since_[i] < 0.0) overload_since_[i] = now;
+      if (!tripped_[i] && now - overload_since_[i] >= options_.hold_time) {
+        tripped_[i] = 1;
+        crossed.push_back(link);
+      }
+    } else {
+      overload_since_[i] = -1.0;
+      tripped_[i] = 0;  // episode over: a future episode may trip again
+    }
+  }
+  return crossed;
+}
+
+void LinkStressMonitor::Reset() {
+  overload_since_.clear();
+  tripped_.clear();
+}
+
+void LinkStressMonitor::SaveState(BinWriter& w) const {
+  w.Vec(overload_since_, [](BinWriter& out, Seconds s) { out.F64(s); });
+  w.Vec(tripped_, [](BinWriter& out, char t) { out.U8(t != 0 ? 1 : 0); });
+}
+
+void LinkStressMonitor::LoadState(BinReader& r) {
+  overload_since_ =
+      r.Vec<Seconds>([](BinReader& in) { return in.F64(); });
+  tripped_ = r.Vec<char>(
+      [](BinReader& in) { return static_cast<char>(in.U8() != 0 ? 1 : 0); });
+}
+
 }  // namespace nu::guard

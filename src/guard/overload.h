@@ -24,7 +24,9 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <vector>
 
+#include "common/binio.h"
 #include "net/network.h"
 #include "topo/path_provider.h"
 #include "update/update_event.h"
@@ -64,5 +66,51 @@ struct OverloadConfig {
     std::span<const update::UpdateEvent* const> queue,
     const update::UpdateEvent& incoming, const net::Network& network,
     const topo::PathProvider& paths);
+
+/// Sustained-overload detector: tracks, per link, how long utilization has
+/// stayed at or above a threshold and reports links whose overload has
+/// persisted for a hold time. This is the guard-side half of the
+/// overload→cascade feedback loop — fault::CascadeEngine turns reported
+/// links into secondary failures. Purely virtual-time and state-driven:
+/// identical Observe() call sequences produce identical reports, keeping
+/// cascades bit-reproducible.
+///
+/// A reported link is latched (never re-reported) until it is later seen
+/// BELOW the threshold while up — so a link that trips, fails, recovers,
+/// and gets overloaded again can trip again, but a single sustained episode
+/// fires exactly once.
+class LinkStressMonitor {
+ public:
+  struct Options {
+    /// Utilization (occupied / capacity) at or above which a link counts as
+    /// overloaded.
+    double utilization_threshold = 0.98;
+    /// How long the overload must persist before the link is reported.
+    Seconds hold_time = 1.0;
+  };
+
+  explicit LinkStressMonitor(Options options) : options_(options) {}
+
+  /// Samples every link's utilization at virtual time `now` and returns the
+  /// links (ascending id order) whose sustained overload just crossed the
+  /// hold time. Down links are skipped and their episodes cleared — a dead
+  /// link cannot be stressed.
+  [[nodiscard]] std::vector<LinkId> Observe(const net::Network& network,
+                                            Seconds now);
+
+  /// Forgets all tracked episodes and latches (fresh run).
+  void Reset();
+
+  // Episode state is part of the simulation's hot state: checkpoints carry
+  // it so a recovered run trips the same cascades at the same times.
+  void SaveState(BinWriter& w) const;
+  void LoadState(BinReader& r);
+
+ private:
+  Options options_;
+  /// Virtual time each link's current overload episode began; < 0 = none.
+  std::vector<Seconds> overload_since_;
+  std::vector<char> tripped_;  // latched: already reported this episode
+};
 
 }  // namespace nu::guard

@@ -88,11 +88,20 @@ void Collector::OnFault(bool link_fault) {
   link_fault ? ++fault_stats_.link_failures : ++fault_stats_.switch_failures;
 }
 
+void Collector::OnGroupFault() { ++fault_stats_.group_faults; }
+
+void Collector::OnCascadeFailure(std::size_t depth) {
+  ++fault_stats_.cascade_failures;
+  fault_stats_.cascade_depth_max =
+      std::max(fault_stats_.cascade_depth_max, depth);
+}
+
 void Collector::OnFlowKilled() { ++fault_stats_.flows_killed; }
 
-void Collector::OnRecovery(Seconds latency) {
+void Collector::OnRecovery(Seconds latency, bool srlg) {
   NU_EXPECTS(latency >= 0.0);
   fault_stats_.recovery_latency.Add(latency);
+  if (srlg) fault_stats_.srlg_recovery_latency.Add(latency);
 }
 
 void Collector::OnShed(EventId event, Seconds time) {
@@ -215,8 +224,12 @@ void Collector::SaveState(BinWriter& w) const {
   w.U64(fault_stats_.events_replanned);
   w.U64(fault_stats_.link_failures);
   w.U64(fault_stats_.switch_failures);
+  w.U64(fault_stats_.group_faults);
+  w.U64(fault_stats_.cascade_failures);
+  w.U64(fault_stats_.cascade_depth_max);
   w.U64(fault_stats_.flows_killed);
   SaveSamples(w, fault_stats_.recovery_latency);
+  SaveSamples(w, fault_stats_.srlg_recovery_latency);
   w.U64(guard_stats_.events_shed);
   w.U64(guard_stats_.deadline_misses);
   w.U64(guard_stats_.events_requeued);
@@ -262,8 +275,12 @@ void Collector::LoadState(BinReader& r) {
   fault_stats_.events_replanned = r.U64();
   fault_stats_.link_failures = r.U64();
   fault_stats_.switch_failures = r.U64();
+  fault_stats_.group_faults = r.U64();
+  fault_stats_.cascade_failures = r.U64();
+  fault_stats_.cascade_depth_max = r.U64();
   fault_stats_.flows_killed = r.U64();
   fault_stats_.recovery_latency = LoadSamples(r);
+  fault_stats_.srlg_recovery_latency = LoadSamples(r);
   guard_stats_.events_shed = r.U64();
   guard_stats_.deadline_misses = r.U64();
   guard_stats_.events_requeued = r.U64();

@@ -81,11 +81,22 @@ struct FaultStats {
   std::size_t events_replanned = 0;
   std::size_t link_failures = 0;
   std::size_t switch_failures = 0;
+  /// Correlated (SRLG) group incidents that fired — a pod power event or
+  /// core-plane loss counts once here, however many elements it took down.
+  std::size_t group_faults = 0;
+  /// Secondary failures injected by the overload cascade engine.
+  std::size_t cascade_failures = 0;
+  /// Deepest cascade chain observed (primary fault = 1, each
+  /// overload-triggered secondary adds one).
+  std::size_t cascade_depth_max = 0;
   /// Placed flows removed because a fault killed their path.
   std::size_t flows_killed = 0;
   /// Disruption -> successful reinstall latencies (seconds), per recovered
   /// flow. Mean/percentiles feed the report; raw samples feed histograms.
   Samples recovery_latency;
+  /// Recovery latencies of flows stranded by GROUP incidents specifically —
+  /// the per-SRLG recovery story, separate from single-element faults.
+  Samples srlg_recovery_latency;
 };
 
 /// Run-wide overload-guard and auditor counters (all zero when the guard
@@ -162,10 +173,17 @@ class Collector {
   void OnEventReplanned(EventId event);
   /// A scheduled fault fired.
   void OnFault(bool link_fault);
+  /// A correlated group (SRLG) incident fired — one call per incident, on
+  /// top of the element-level counting its members may add.
+  void OnGroupFault();
+  /// The cascade engine injected a secondary failure at `depth`.
+  void OnCascadeFailure(std::size_t depth);
   /// A placed flow was removed by a fault.
   void OnFlowKilled();
   /// A disrupted flow reinstalled `latency` seconds after its disruption.
-  void OnRecovery(Seconds latency);
+  /// `srlg` marks flows stranded by a group incident (their latencies also
+  /// feed the per-SRLG recovery columns).
+  void OnRecovery(Seconds latency, bool srlg = false);
 
   // --- Guard lifecycle ---------------------------------------------------
   /// Admission control shed `event` at `time`. Events that never executed

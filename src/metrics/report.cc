@@ -82,11 +82,19 @@ Report BuildReport(const Collector& collector, double total_plan_time,
   report.installs_failed = faults.installs_failed;
   report.events_aborted = faults.events_aborted;
   report.events_replanned = faults.events_replanned;
+  report.group_faults = faults.group_faults;
+  report.cascade_failures = faults.cascade_failures;
+  report.cascade_depth_max = faults.cascade_depth_max;
   report.flows_killed = faults.flows_killed;
   if (!faults.recovery_latency.empty()) {
     report.recovery_latency_mean = faults.recovery_latency.mean();
     report.recovery_latency_p99 = faults.recovery_latency.Percentile(0.99);
     report.recovery_latency_max = faults.recovery_latency.max();
+  }
+  if (!faults.srlg_recovery_latency.empty()) {
+    report.srlg_recovery_latency_mean = faults.srlg_recovery_latency.mean();
+    report.srlg_recovery_latency_p99 =
+        faults.srlg_recovery_latency.Percentile(0.99);
   }
   const ProbeStats& probes = collector.probe_stats();
   report.probe_cache_hits = probes.probe_cache_hits;

@@ -31,11 +31,21 @@ struct Report {
   std::size_t installs_failed = 0;
   std::size_t events_aborted = 0;
   std::size_t events_replanned = 0;
+  /// Correlated (SRLG) group incidents that fired.
+  std::size_t group_faults = 0;
+  /// Secondary failures injected by the overload cascade engine.
+  std::size_t cascade_failures = 0;
+  /// Deepest cascade chain observed (primary = 1; 0 when no faults fired).
+  std::size_t cascade_depth_max = 0;
   std::size_t flows_killed = 0;
   /// Disruption -> reinstall latency stats (0 when nothing was disrupted).
   double recovery_latency_mean = 0.0;
   double recovery_latency_p99 = 0.0;
   double recovery_latency_max = 0.0;
+  /// Same stats over flows stranded by GROUP incidents only (per-SRLG
+  /// recovery story; 0 when no group incident stranded a flow).
+  double srlg_recovery_latency_mean = 0.0;
+  double srlg_recovery_latency_p99 = 0.0;
 
   // Overload-guard and auditor aggregates (all zero when the guard
   // subsystem is off); see metrics::GuardStats for exact meanings. With the

@@ -32,7 +32,7 @@ struct ReportField {
 
 /// Every Report member, in declaration order — which is also the report-CSV
 /// column order.
-inline constexpr std::array<ReportField, 41> kReportFields = {{
+inline constexpr std::array<ReportField, 46> kReportFields = {{
     {"events", &Report::event_count, nullptr, 0, FieldMean::kFirst},
     {"avg_ect", nullptr, &Report::avg_ect, 4, FieldMean::kMean},
     {"tail_ect", nullptr, &Report::tail_ect, 4, FieldMean::kMean},
@@ -52,12 +52,21 @@ inline constexpr std::array<ReportField, 41> kReportFields = {{
     {"events_aborted", &Report::events_aborted, nullptr, 0, FieldMean::kMean},
     {"events_replanned", &Report::events_replanned, nullptr, 0,
      FieldMean::kMean},
+    {"group_faults", &Report::group_faults, nullptr, 0, FieldMean::kMean},
+    {"cascade_failures", &Report::cascade_failures, nullptr, 0,
+     FieldMean::kMean},
+    {"cascade_depth_max", &Report::cascade_depth_max, nullptr, 0,
+     FieldMean::kMax},
     {"flows_killed", &Report::flows_killed, nullptr, 0, FieldMean::kMean},
     {"recovery_mean", nullptr, &Report::recovery_latency_mean, 4,
      FieldMean::kMean},
     {"recovery_p99", nullptr, &Report::recovery_latency_p99, 4,
      FieldMean::kMean},
     {"recovery_max", nullptr, &Report::recovery_latency_max, 4,
+     FieldMean::kMean},
+    {"srlg_recovery_mean", nullptr, &Report::srlg_recovery_latency_mean, 4,
+     FieldMean::kMean},
+    {"srlg_recovery_p99", nullptr, &Report::srlg_recovery_latency_p99, 4,
      FieldMean::kMean},
     {"events_completed", &Report::events_completed, nullptr, 0,
      FieldMean::kMean},

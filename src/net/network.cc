@@ -65,6 +65,33 @@ bool Network::NodeUp(NodeId node) const {
   return node_up_[node.value()] != 0;
 }
 
+void Network::SetElementsUp(std::span<const LinkId> links,
+                            std::span<const NodeId> nodes, bool up) {
+  bool changed = false;
+  for (LinkId link : links) {
+    NU_EXPECTS(link.value() < link_up_.size());
+    char& state = link_up_[link.value()];
+    if (static_cast<bool>(state) == up) continue;
+    state = up ? 1 : 0;
+    up ? --down_links_ : ++down_links_;
+    changed = true;
+  }
+  for (NodeId node : nodes) {
+    NU_EXPECTS(node.value() < node_up_.size());
+    char& state = node_up_[node.value()];
+    if (static_cast<bool>(state) == up) continue;
+    state = up ? 1 : 0;
+    up ? --down_nodes_ : ++down_nodes_;
+    changed = true;
+  }
+  // One epoch bump for the whole group: a correlated incident is ONE
+  // topology transition, so path caches invalidate once, not per element.
+  if (changed) {
+    ++epoch_;
+    ++state_epoch_;
+  }
+}
+
 bool Network::PathAlive(const topo::Path& path) const {
   if (down_links_ == 0 && down_nodes_ == 0) return true;
   for (LinkId lid : path.links) {

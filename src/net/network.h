@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/binio.h"
@@ -123,6 +124,12 @@ class Network final : public MutableNetwork {
   /// it. Idempotent; bumps the topology epoch on an actual change.
   void SetNodeUp(NodeId node, bool up);
   [[nodiscard]] bool NodeUp(NodeId node) const override;
+
+  /// Flips a whole set of links and nodes (a shared-risk group) in ONE
+  /// topology transition: the epoch counters bump at most once no matter
+  /// how many elements actually change. Idempotent per element.
+  void SetElementsUp(std::span<const LinkId> links,
+                     std::span<const NodeId> nodes, bool up);
 
   /// True when every link and node of `path` is up. Always true while no
   /// element is down (cheap fast path).

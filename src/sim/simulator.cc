@@ -14,6 +14,7 @@
 #include "common/binio.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "fault/cascade.h"
 #include "fault/injector.h"
 #include "metrics/collector.h"
 #include "net/admission.h"
@@ -93,6 +94,10 @@ Rng::State LoadRngState(BinReader& r) {
 ///                         live one (guard subsystem).
 ///   kRequeue:             a watchdog-aborted event's backoff elapsed — it
 ///                         re-enters the queue through admission control.
+///   kCascadeFault:        a secondary failure decided by the cascade engine
+///                         (sustained overload) fires — same victim handling
+///                         as kFault, but the spec lives in the run's
+///                         dynamic-fault list, not the plan.
 struct Occurrence {
   enum class Kind : std::uint8_t {
     kDeparture,
@@ -102,11 +107,14 @@ struct Occurrence {
     kFault,
     kWatchdog,
     kRequeue,
+    kCascadeFault,  // appended: snapshot payloads store the numeric value
   };
   Kind kind = Kind::kDeparture;
   FlowId flow;                 // departures
   EventId event;               // install batches / watchdog / requeue
-  std::size_t fault_index = 0;  // kFault: index into the fault plan's specs
+  /// kFault: index into the fault plan's specs; kCascadeFault: index into
+  /// the run's dynamic (cascade-generated) fault list.
+  std::size_t fault_index = 0;
   /// kInstallDone / kInstallAborted: the batch's placed flow ids. Entries no
   /// longer in the network were killed by a fault mid-install and are
   /// skipped (flow ids are never reused).
@@ -143,10 +151,17 @@ struct ActiveEvent {
   /// Placed ids whose installation completed (subset of flow_index keys).
   /// Killing one of these un-installs it (decrements `installed`).
   std::unordered_set<FlowId::rep_type> installed_ids;
-  /// Event flow index -> time of its FIRST disruption (fault kill or install
+  /// One disrupted-flow recovery in progress: when the disruption happened
+  /// and whether a correlated (SRLG) incident caused it — group-caused
+  /// recoveries also feed the per-SRLG recovery-latency columns.
+  struct PendingRecovery {
+    Seconds time = 0.0;
+    bool srlg = false;
+  };
+  /// Event flow index -> its FIRST disruption (fault kill or install
   /// abort). Cleared — and a recovery latency recorded — when a replacement
   /// placement finishes installing.
-  std::unordered_map<std::size_t, Seconds> pending_recovery;
+  std::unordered_map<std::size_t, PendingRecovery> pending_recovery;
 
   [[nodiscard]] bool Complete() const {
     return installed == event->flow_count();
@@ -501,12 +516,24 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
   // and without this machinery. When on, planning/placement go through an
   // alive-paths view that re-filters whenever the topology epoch changes.
   const bool faults_on = config_.faults.enabled();
+  // Backstop validation: a plan referencing nonexistent ids fails here with
+  // a FaultPlanError naming the offending spec, never by misfiring mid-run.
+  if (faults_on) config_.faults.plan.Validate(network.graph());
   const topo::PredicatePathProvider alive_paths(
       paths_, [&network](const topo::Path& p) { return network.PathAlive(p); },
       [&network] { return network.topology_epoch(); });
   const topo::PathProvider& provider =
       faults_on ? static_cast<const topo::PathProvider&>(alive_paths) : paths_;
   fault::FaultInjector injector(config_.faults, config_.seed ^ 0xFA11ULL);
+  // Overload→cascade feedback: a LinkStressMonitor (guard/) watches link
+  // utilization; the engine converts sustained overload into secondary
+  // kCascadeFault occurrences, recorded in `dynamic_faults` (the run's
+  // cascade-generated specs, parallel to the plan's static ones).
+  fault::CascadeEngine cascade(config_.faults.cascade);
+  std::vector<fault::FaultSpec> dynamic_faults;
+  const std::size_t plan_spec_count = config_.faults.plan.specs().size();
+  const std::span<const fault::SharedRiskGroup> srlg_groups{
+      config_.faults.plan.groups()};
 
   const update::EventPlanner planner(provider, config_.migration_options,
                                      config_.path_selection);
@@ -726,7 +753,8 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     std::vector<FlowId> batch(flows.begin(), flows.end());
     Seconds install_end = start + nominal_install;
     if (faults_on) {
-      const fault::InstallTrial trial = injector.SampleInstall(nominal_install);
+      const fault::InstallTrial trial =
+          injector.SampleInstall(nominal_install, start);
       collector.OnInstallBatch(trial.attempts, !trial.success);
       if (!trial.success) {
         timeline.Push(start + trial.wasted_delay,
@@ -797,7 +825,9 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     acct.shed = shed_count;
     acct.quarantined = quarantined_count;
     acct.queue_capacity = gcfg.overload.max_queue_length;
-    collector.OnAudit(auditor.Audit(network, acct, result.forced_placements));
+    collector.OnAudit(auditor.Audit(
+        network, acct, result.forced_placements,
+        guard::AuditContext{result.rounds, network.topology_epoch()}));
   };
   std::size_t occurrences_since_audit = 0;
   bool audit_due = false;
@@ -862,8 +892,10 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       std::sort(recovering.begin(), recovering.end());
       w.Size(recovering.size());
       for (std::size_t idx : recovering) {
+        const ActiveEvent::PendingRecovery& pr = ae.pending_recovery.at(idx);
         w.U64(idx);
-        w.F64(ae.pending_recovery.at(idx));
+        w.F64(pr.time);
+        w.Bool(pr.srlg);
       }
     }
     std::vector<EventId::rep_type> activated;
@@ -898,6 +930,17 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     w.F64(total_plan_time);
     w.U64(occurrences_since_audit);
     w.Bool(audit_due);
+    cascade.SaveState(w);
+    // Dynamic (cascade-generated) fault specs: kCascadeFault occurrences in
+    // the timeline index into this list, so it must survive recovery.
+    w.Size(dynamic_faults.size());
+    for (const fault::FaultSpec& spec : dynamic_faults) {
+      w.F64(spec.time);
+      w.U8(static_cast<std::uint8_t>(spec.kind));
+      w.U64(spec.link.value());
+      w.U64(spec.node.value());
+      w.U64(spec.group);
+    }
   };
 
   /// Mirror of serialize_state. Replaces every piece of loop state, so a
@@ -973,7 +1016,10 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       ae.pending_recovery.reserve(recovery_size);
       for (std::size_t j = 0; j < recovery_size; ++j) {
         const std::size_t idx = static_cast<std::size_t>(r.U64());
-        ae.pending_recovery.emplace(idx, r.F64());
+        ActiveEvent::PendingRecovery pr;
+        pr.time = r.F64();
+        pr.srlg = r.Bool();
+        ae.pending_recovery.emplace(idx, pr);
       }
       active_order.push_back(EventId{id_rep});
       active.emplace(id_rep, std::move(ae));
@@ -997,7 +1043,7 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       entry.time = r.F64();
       entry.seq = r.U64();
       const std::uint8_t kind = r.U8();
-      if (kind > static_cast<std::uint8_t>(Occurrence::Kind::kRequeue)) {
+      if (kind > static_cast<std::uint8_t>(Occurrence::Kind::kCascadeFault)) {
         throw CorruptInput("bad occurrence kind");
       }
       entry.payload.kind = static_cast<Occurrence::Kind>(kind);
@@ -1018,6 +1064,23 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     total_plan_time = r.F64();
     occurrences_since_audit = static_cast<std::size_t>(r.U64());
     audit_due = r.Bool();
+    cascade.LoadState(r);
+    dynamic_faults.clear();
+    const std::size_t dynamic_count = r.Size();
+    dynamic_faults.reserve(dynamic_count);
+    for (std::size_t i = 0; i < dynamic_count; ++i) {
+      fault::FaultSpec spec;
+      spec.time = r.F64();
+      const std::uint8_t kind = r.U8();
+      if (kind > static_cast<std::uint8_t>(fault::FaultKind::kGroupUp)) {
+        throw CorruptInput("bad fault kind");
+      }
+      spec.kind = static_cast<fault::FaultKind>(kind);
+      spec.link = LinkId{static_cast<LinkId::rep_type>(r.U64())};
+      spec.node = NodeId{static_cast<NodeId::rep_type>(r.U64())};
+      spec.group = static_cast<std::size_t>(r.U64());
+      dynamic_faults.push_back(spec);
+    }
   };
 
   /// Writes the snapshot for `round` and rotates the journal. The snapshot
@@ -1366,14 +1429,30 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
         }
         continue;
       }
-      if (occ.kind == Occurrence::Kind::kFault) {
+      if (occ.kind == Occurrence::Kind::kFault ||
+          occ.kind == Occurrence::Kind::kCascadeFault) {
+        const bool is_cascade = occ.kind == Occurrence::Kind::kCascadeFault;
         const fault::FaultSpec& spec =
-            config_.faults.plan.specs()[occ.fault_index];
+            is_cascade ? dynamic_faults[occ.fault_index]
+                       : config_.faults.plan.specs()[occ.fault_index];
         const std::vector<FlowId> victims =
-            fault::AffectedFlows(network, spec);
-        fault::ApplyFaultState(network, spec);
-        commit(ckpt::WalOp::kFault, occ.fault_index, entry.time);
-        if (spec.IsDown()) collector.OnFault(spec.IsLinkFault());
+            fault::AffectedFlows(network, spec, srlg_groups);
+        fault::ApplyFaultState(network, spec, srlg_groups);
+        // Cascade faults share the kFault WAL op; their subject indices are
+        // offset past the static plan so replay can tell the streams apart.
+        commit(ckpt::WalOp::kFault,
+               is_cascade ? plan_spec_count + occ.fault_index : occ.fault_index,
+               entry.time);
+        if (spec.IsDown() && !is_cascade) {
+          // Cascade failures were counted when the engine fired them; a
+          // primary incident (re)starts a cascade episode at depth 1.
+          if (spec.IsGroupFault()) {
+            collector.OnGroupFault();
+          } else {
+            collector.OnFault(spec.IsLinkFault());
+          }
+          cascade.OnPrimaryFault();
+        }
         std::unordered_set<EventId::rep_type> replanned;
         for (FlowId victim : victims) {
           const EventId owner = network.FlowOf(victim).event;
@@ -1393,7 +1472,9 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
             NU_CHECK(ae.installed > 0);
             --ae.installed;  // un-install: completion now needs the redo
           }
-          ae.pending_recovery.emplace(flow_idx, entry.time);
+          ae.pending_recovery.emplace(
+              flow_idx,
+              ActiveEvent::PendingRecovery{entry.time, spec.IsGroupFault()});
           ae.deferred.push_back(flow_idx);
           if (replanned.insert(owner.value()).second) {
             collector.OnEventReplanned(owner);
@@ -1435,7 +1516,8 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
           const std::size_t flow_idx = idx_it->second;
           network.Remove(fid);
           ae.flow_index.erase(idx_it);
-          ae.pending_recovery.emplace(flow_idx, entry.time);
+          ae.pending_recovery.emplace(
+              flow_idx, ActiveEvent::PendingRecovery{entry.time, false});
           ae.deferred.push_back(flow_idx);
         }
         departed = true;  // freed capacity: worth retrying deferred flows
@@ -1464,7 +1546,8 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
           NU_CHECK(idx_it != ae.flow_index.end());
           const auto rec = ae.pending_recovery.find(idx_it->second);
           if (rec != ae.pending_recovery.end()) {
-            collector.OnRecovery(entry.time - rec->second);
+            collector.OnRecovery(entry.time - rec->second.time,
+                                 rec->second.srlg);
             ae.pending_recovery.erase(rec);
           }
         }
@@ -1481,6 +1564,34 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       }
     }
     if (departed) retry_deferred();
+    if (config_.faults.cascade.enabled()) {
+      // Sustained overload observed now becomes a secondary failure: the
+      // tripped link goes down as a dynamic fault (and comes back after the
+      // configured outage). Both specs are recorded so snapshots and the
+      // kCascadeFault occurrences referencing them survive recovery.
+      for (const fault::CascadeEvent& ce : cascade.Observe(network, now)) {
+        collector.OnCascadeFailure(ce.depth);
+        fault::FaultSpec down;
+        down.time = now;
+        down.kind = fault::FaultKind::kLinkDown;
+        down.link = ce.link;
+        timeline.Push(now, Occurrence{Occurrence::Kind::kCascadeFault,
+                                      FlowId::invalid(), EventId::invalid(),
+                                      dynamic_faults.size(), {}});
+        dynamic_faults.push_back(down);
+        if (config_.faults.cascade.outage > 0.0) {
+          fault::FaultSpec up;
+          up.time = now + config_.faults.cascade.outage;
+          up.kind = fault::FaultKind::kLinkUp;
+          up.link = ce.link;
+          timeline.Push(up.time,
+                        Occurrence{Occurrence::Kind::kCascadeFault,
+                                   FlowId::invalid(), EventId::invalid(),
+                                   dynamic_faults.size(), {}});
+          dynamic_faults.push_back(up);
+        }
+      }
+    }
     if (config_.validate_invariants) {
       NU_CHECK(network.CheckInvariants() || result.forced_placements > 0);
     }
@@ -1512,6 +1623,7 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
   result.records = collector.records();
   result.fault_stats = collector.fault_stats();
   result.guard_stats = collector.guard_stats();
+  result.violations = auditor.violations();
   collector.OnProbeStats(probe_rt.stats);
   result.probe_stats = collector.probe_stats();
   result.report = metrics::BuildReport(collector, total_plan_time,

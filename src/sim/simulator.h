@@ -203,6 +203,11 @@ struct SimResult {
   /// per-process subset is also folded into `report` (ckpt_recoveries,
   /// ckpt_wal_replayed, ckpt_recovery_wall_seconds).
   ckpt::RecoveryInfo recovery;
+  /// Every auditor violation recorded during the run (empty unless
+  /// SimConfig::guard.auditor is enabled in log-and-count mode). Each record
+  /// carries the scheduling round and topology epoch of the pass that found
+  /// it — the chaos campaign's primary oracle.
+  std::vector<guard::AuditViolation> violations;
 };
 
 class Simulator {

@@ -1,0 +1,137 @@
+// Overload-to-cascade engine: the stress monitor's threshold + hold-time
+// model, the secondary-failure budget, depth tracking, and state
+// serialization.
+#include <gtest/gtest.h>
+
+#include "common/binio.h"
+#include "fault/cascade.h"
+#include "guard/overload.h"
+#include "topo/fat_tree.h"
+#include "topo/path_provider.h"
+
+namespace nu::fault {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0}),
+        provider(ft),
+        network(ft.graph()) {}
+
+  /// Saturates one fabric link (edge -> agg) to `fraction` of capacity and
+  /// returns it.
+  LinkId Saturate(double fraction) {
+    const NodeId edge = ft.edge(0, 0);
+    const NodeId agg = ft.agg(0, 0);
+    const LinkId link = ft.graph().FindLink(edge, agg);
+    flow::Flow f;
+    f.src = edge;
+    f.dst = agg;
+    f.demand = fraction * ft.graph().link(link).capacity;
+    f.duration = 100.0;
+    topo::Path path;
+    path.nodes = {edge, agg};
+    path.links = {link};
+    network.Place(std::move(f), path);
+    return link;
+  }
+
+  topo::FatTree ft;
+  topo::FatTreePathProvider provider;
+  net::Network network;
+};
+
+CascadeConfig TestConfig() {
+  CascadeConfig config;
+  config.max_secondary_failures = 2;
+  config.utilization_threshold = 0.9;
+  config.hold_time = 1.0;
+  config.outage = 2.0;
+  return config;
+}
+
+TEST(CascadeTest, TripsOnlyAfterHoldTime) {
+  Fixture fx;
+  const LinkId hot = fx.Saturate(0.95);
+  CascadeEngine engine(TestConfig());
+  engine.OnPrimaryFault();
+  EXPECT_TRUE(engine.Observe(fx.network, 0.0).empty());  // episode starts
+  EXPECT_TRUE(engine.Observe(fx.network, 0.5).empty());  // still holding
+  const std::vector<CascadeEvent> fired = engine.Observe(fx.network, 1.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].link, hot);
+  EXPECT_EQ(fired[0].depth, 2u);  // primary was depth 1
+  EXPECT_EQ(engine.fired(), 1u);
+  EXPECT_EQ(engine.max_depth(), 2u);
+  // Latched: the same sustained episode does not re-fire.
+  EXPECT_TRUE(engine.Observe(fx.network, 2.0).empty());
+}
+
+TEST(CascadeTest, BelowThresholdNeverTrips) {
+  Fixture fx;
+  fx.Saturate(0.5);
+  CascadeEngine engine(TestConfig());
+  for (double t = 0.0; t < 5.0; t += 0.5) {
+    EXPECT_TRUE(engine.Observe(fx.network, t).empty());
+  }
+  EXPECT_EQ(engine.fired(), 0u);
+}
+
+TEST(CascadeTest, BudgetBoundsSecondaryFailures) {
+  Fixture fx;
+  fx.Saturate(0.95);
+  CascadeConfig config = TestConfig();
+  config.max_secondary_failures = 0;  // disabled entirely
+  CascadeEngine disabled(config);
+  EXPECT_TRUE(disabled.Observe(fx.network, 0.0).empty());
+  EXPECT_TRUE(disabled.Observe(fx.network, 2.0).empty());
+}
+
+TEST(CascadeTest, CascadeWithoutPrimaryStillFiresAtDepthTwo) {
+  // Overload can cascade even with no plan fault outstanding (pure load
+  // spike); depth floors at 2 — it is still a secondary phenomenon.
+  Fixture fx;
+  fx.Saturate(0.95);
+  CascadeEngine engine(TestConfig());
+  (void)engine.Observe(fx.network, 0.0);
+  const std::vector<CascadeEvent> fired = engine.Observe(fx.network, 1.0);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].depth, 2u);
+}
+
+TEST(CascadeTest, StateRoundTripsThroughSnapshot) {
+  Fixture fx;
+  fx.Saturate(0.95);
+  CascadeEngine engine(TestConfig());
+  engine.OnPrimaryFault();
+  (void)engine.Observe(fx.network, 0.0);
+  (void)engine.Observe(fx.network, 1.0);
+  ASSERT_EQ(engine.fired(), 1u);
+
+  BinWriter w;
+  engine.SaveState(w);
+  CascadeEngine restored(TestConfig());
+  BinReader r(w.buffer());
+  restored.LoadState(r);
+  EXPECT_EQ(restored.fired(), engine.fired());
+  EXPECT_EQ(restored.max_depth(), engine.max_depth());
+  // The restored monitor remembers the latched episode too.
+  EXPECT_TRUE(restored.Observe(fx.network, 2.0).empty());
+}
+
+TEST(LinkStressMonitorTest, DownLinksClearEpisodes) {
+  Fixture fx;
+  const LinkId hot = fx.Saturate(0.95);
+  guard::LinkStressMonitor monitor({0.9, 1.0});
+  EXPECT_TRUE(monitor.Observe(fx.network, 0.0).empty());
+  fx.network.SetLinkUp(hot, false);
+  // The down link cannot trip: its episode is cleared while it is out.
+  EXPECT_TRUE(monitor.Observe(fx.network, 1.5).empty());
+  fx.network.SetLinkUp(hot, true);
+  // Fresh episode after revival: needs a fresh hold interval.
+  EXPECT_TRUE(monitor.Observe(fx.network, 2.0).empty());
+  EXPECT_EQ(monitor.Observe(fx.network, 3.0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace nu::fault

@@ -68,7 +68,11 @@ TEST(FaultPlanTest, OutageSchedulesDownThenUp) {
   EXPECT_DOUBLE_EQ(plan.specs()[1].time, 5.0);
 
   FaultPlan permanent;
-  permanent.AddSwitchOutage(1.0, 0.0, NodeId{3});  // outage <= 0: never up
+  // A non-positive outage is a plan-build error; permanent failures are
+  // spelled AddSwitchDown.
+  EXPECT_THROW(permanent.AddSwitchOutage(1.0, 0.0, NodeId{3}),
+               FaultPlanError);
+  permanent.AddSwitchDown(1.0, NodeId{3});
   EXPECT_EQ(permanent.size(), 1u);
 }
 
@@ -95,6 +99,160 @@ TEST(RandomLinkFaultPlanTest, DeterministicAndFabricOnly) {
     }
   }
   EXPECT_EQ(victims.size(), 3u);  // distinct cables
+}
+
+TEST(FaultPlanValidationTest, RejectsNonPositiveOutages) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.AddLinkOutage(1.0, 0.0, LinkId{1}), FaultPlanError);
+  EXPECT_THROW(plan.AddLinkOutage(1.0, -2.0, LinkId{1}), FaultPlanError);
+  EXPECT_THROW(plan.AddSwitchOutage(1.0, -1.0, NodeId{1}), FaultPlanError);
+  EXPECT_THROW(plan.AddLinkDown(-0.5, LinkId{1}), FaultPlanError);
+  EXPECT_TRUE(plan.empty());  // failed adds leave the plan untouched
+}
+
+TEST(FaultPlanValidationTest, RejectsInvalidIdsAtBuildTime) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.AddLinkDown(1.0, LinkId::invalid()), FaultPlanError);
+  EXPECT_THROW(plan.AddSwitchDown(1.0, NodeId::invalid()), FaultPlanError);
+  EXPECT_THROW(plan.AddGroupDown(1.0, 0), FaultPlanError);  // no groups yet
+}
+
+TEST(FaultPlanValidationTest, RejectsEmptyAndMisnamedGroups) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.AddGroup(SharedRiskGroup{}), FaultPlanError);
+  SharedRiskGroup unnamed;
+  unnamed.nodes.push_back(NodeId{1});
+  EXPECT_THROW(plan.AddGroup(unnamed), FaultPlanError);
+  SharedRiskGroup spaced;
+  spaced.name = "pod 0";  // whitespace would break the text format
+  spaced.nodes.push_back(NodeId{1});
+  EXPECT_THROW(plan.AddGroup(spaced), FaultPlanError);
+}
+
+TEST(FaultPlanValidationTest, ValidateRejectsNonexistentTopologyIds) {
+  Fixture fx;
+  const auto last_link =
+      static_cast<LinkId::rep_type>(fx.ft.graph().link_count());
+  FaultPlan bad_link;
+  bad_link.AddLinkDown(1.0, LinkId{last_link});
+  EXPECT_THROW((void)bad_link.Validate(fx.ft.graph()), FaultPlanError);
+
+  FaultPlan bad_node;
+  bad_node.AddSwitchDown(
+      1.0, NodeId{static_cast<NodeId::rep_type>(fx.ft.graph().node_count())});
+  EXPECT_THROW((void)bad_node.Validate(fx.ft.graph()), FaultPlanError);
+
+  FaultPlan bad_group;
+  SharedRiskGroup group;
+  group.name = "bogus";
+  group.links.push_back(LinkId{last_link});
+  bad_group.AddGroupDown(1.0, bad_group.AddGroup(group));
+  EXPECT_THROW((void)bad_group.Validate(fx.ft.graph()), FaultPlanError);
+
+  FaultPlan good;
+  good.AddLinkOutage(1.0, 2.0, LinkId{0});
+  EXPECT_NO_THROW((void)good.Validate(fx.ft.graph()));
+}
+
+TEST(FaultPlanTest, RollingDrainStaggersGroupMembers) {
+  FaultPlan plan;
+  SharedRiskGroup group;
+  group.name = "batch";
+  group.nodes = {NodeId{1}, NodeId{2}};
+  group.links = {LinkId{5}};
+  const std::size_t idx = plan.AddGroup(group);
+  plan.AddRollingDrain(10.0, 0.5, 1.0, idx);
+  // Each of the 3 members expands to a primitive down + up pair.
+  ASSERT_EQ(plan.size(), 6u);
+  EXPECT_EQ(plan.specs()[0].kind, FaultKind::kSwitchDown);
+  EXPECT_EQ(plan.specs()[0].node, NodeId{1});
+  EXPECT_DOUBLE_EQ(plan.specs()[0].time, 10.0);
+  // Nodes first (declaration order), then links, `stagger` apart.
+  EXPECT_DOUBLE_EQ(plan.specs()[1].time, 10.5);
+  EXPECT_EQ(plan.specs()[1].node, NodeId{2});
+  // At t=11.0 the first node's up (inserted earlier) precedes the link's
+  // down — equal times keep insertion order.
+  EXPECT_EQ(plan.specs()[2].kind, FaultKind::kSwitchUp);
+  EXPECT_EQ(plan.specs()[2].node, NodeId{1});
+  EXPECT_DOUBLE_EQ(plan.specs()[2].time, 11.0);
+  const FaultSpec& link_down = plan.specs()[3];
+  EXPECT_EQ(link_down.kind, FaultKind::kLinkDown);
+  EXPECT_EQ(link_down.link, LinkId{5});
+  EXPECT_DOUBLE_EQ(link_down.time, 11.0);
+  EXPECT_EQ(plan.specs()[5].kind, FaultKind::kLinkUp);
+  EXPECT_DOUBLE_EQ(plan.specs()[5].time, 12.0);
+}
+
+TEST(GroupFaultTest, GroupDownIsOneEpochBumpAcrossAllMembers) {
+  Fixture fx;
+  // Pod 0's switches plus one explicit fabric cable.
+  SharedRiskGroup group;
+  group.name = "pod0";
+  group.nodes = {fx.ft.edge(0, 0), fx.ft.edge(0, 1), fx.ft.agg(0, 0),
+                 fx.ft.agg(0, 1)};
+  group.links = {fx.ft.graph().FindLink(fx.ft.agg(1, 0), fx.ft.core(0))};
+  FaultPlan plan;
+  const std::size_t idx = plan.AddGroup(group);
+  plan.AddGroupOutage(1.0, 2.0, idx);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_EQ(plan.specs()[0].kind, FaultKind::kGroupDown);
+  EXPECT_EQ(plan.specs()[1].kind, FaultKind::kGroupUp);
+
+  const std::uint64_t before = fx.network.topology_epoch();
+  ApplyFaultState(fx.network, plan.specs()[0], plan.groups());
+  EXPECT_EQ(fx.network.topology_epoch(), before + 1);  // ONE transition
+  for (NodeId node : group.nodes) EXPECT_FALSE(fx.network.NodeUp(node));
+  for (LinkId link : group.links) EXPECT_FALSE(fx.network.LinkUp(link));
+
+  ApplyFaultState(fx.network, plan.specs()[1], plan.groups());
+  EXPECT_EQ(fx.network.topology_epoch(), before + 2);
+  for (NodeId node : group.nodes) EXPECT_TRUE(fx.network.NodeUp(node));
+  for (LinkId link : group.links) EXPECT_TRUE(fx.network.LinkUp(link));
+}
+
+TEST(GroupFaultTest, AffectedFlowsSweepsEveryMember) {
+  Fixture fx;
+  // One flow through pod 0's edge switch, one crossing the named cable,
+  // one entirely outside the group.
+  const FlowId inside = fx.PlaceFlow(fx.ft.host(0), fx.ft.host(2), 5.0);
+  const FlowId outside = fx.PlaceFlow(fx.ft.host(8), fx.ft.host(9), 5.0);
+
+  SharedRiskGroup group;
+  group.name = "edge0";
+  group.nodes = {fx.ft.edge(0, 0)};
+  FaultPlan plan;
+  plan.AddGroupDown(1.0, plan.AddGroup(group));
+
+  const std::vector<FlowId> victims =
+      AffectedFlows(fx.network, plan.specs()[0], plan.groups());
+  EXPECT_NE(std::find(victims.begin(), victims.end(), inside), victims.end());
+  EXPECT_EQ(std::find(victims.begin(), victims.end(), outside),
+            victims.end());
+}
+
+TEST(InjectorTest, StormWindowOverridesBaselineModel) {
+  FaultConfig config;
+  // Healthy, jitter-free baseline: outside a storm every install succeeds
+  // first try with latency factor exactly 1.
+  config.retry.max_attempts = 2;
+  config.retry.base_delay = 0.01;
+  FlakyStorm storm;
+  storm.start = 10.0;
+  storm.duration = 5.0;
+  storm.model.latency_jitter_frac = 0.5;  // jitter only inside the window
+  config.storms.push_back(storm);
+  FaultInjector injector(config, 99);
+
+  // Outside the window the baseline model applies.
+  EXPECT_DOUBLE_EQ(injector.SampleInstall(0.1, 0.0).latency_factor, 1.0);
+  EXPECT_DOUBLE_EQ(injector.SampleInstall(0.1, 15.0).latency_factor,
+                   1.0);  // end exclusive
+  // Inside it, the storm's degraded model governs: jittered latency.
+  const InstallTrial in_storm = injector.SampleInstall(0.1, 10.0);
+  EXPECT_TRUE(in_storm.success);
+  EXPECT_GT(in_storm.latency_factor, 1.0);
+  EXPECT_LT(in_storm.latency_factor, 1.5);
+  EXPECT_GT(injector.SampleInstall(0.1, 14.9).latency_factor, 1.0);
 }
 
 TEST(InjectorTest, DisabledModelPassesThrough) {

@@ -1,0 +1,79 @@
+// Shared-risk-group derivation: the canonical Fat-Tree / leaf-spine
+// catalogs, their deterministic ordering, and id validation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/srlg.h"
+#include "topo/fat_tree.h"
+#include "topo/leaf_spine.h"
+
+namespace nu::fault {
+namespace {
+
+TEST(SrlgTest, FatTreeCatalogShape) {
+  const topo::FatTree ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0});
+  const std::vector<SharedRiskGroup> groups = DeriveFatTreeSrlgs(ft);
+  // k pods + k/2 core planes.
+  ASSERT_EQ(groups.size(), 4u + 2u);
+  for (std::size_t pod = 0; pod < 4; ++pod) {
+    EXPECT_EQ(groups[pod].name, "pod" + std::to_string(pod));
+    // k/2 edge + k/2 aggregation switches, hosts excluded.
+    EXPECT_EQ(groups[pod].nodes.size(), 4u);
+    EXPECT_TRUE(groups[pod].links.empty());
+  }
+  EXPECT_EQ(groups[4].name, "core-plane0");
+  EXPECT_EQ(groups[5].name, "core-plane1");
+  EXPECT_EQ(groups[4].nodes.size(), 2u);
+  EXPECT_EQ(groups[5].nodes.size(), 2u);
+}
+
+TEST(SrlgTest, FatTreeGroupsAreDisjointAndValid) {
+  const topo::FatTree ft(topo::FatTreeConfig{.k = 6, .link_capacity = 100.0});
+  const std::vector<SharedRiskGroup> groups = DeriveFatTreeSrlgs(ft);
+  std::set<NodeId::rep_type> seen;
+  for (const SharedRiskGroup& group : groups) {
+    EXPECT_FALSE(group.empty());
+    EXPECT_TRUE(GroupIdsValid(group, ft.graph())) << group.name;
+    for (NodeId node : group.nodes) {
+      EXPECT_TRUE(seen.insert(node.value()).second)
+          << "node " << node.value() << " in two groups";
+    }
+  }
+  // Every non-host switch is covered: k pods x k switches + (k/2)^2 cores.
+  EXPECT_EQ(seen.size(), 6u * 6u + 9u);
+}
+
+TEST(SrlgTest, DerivationIsDeterministic) {
+  const topo::FatTree a(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0});
+  const topo::FatTree b(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0});
+  EXPECT_EQ(DeriveFatTreeSrlgs(a), DeriveFatTreeSrlgs(b));
+}
+
+TEST(SrlgTest, LeafSpineCatalog) {
+  const topo::LeafSpine ls(
+      topo::LeafSpineConfig{.leaves = 4, .spines = 2, .hosts_per_leaf = 2});
+  const std::vector<SharedRiskGroup> groups = DeriveLeafSpineSrlgs(ls);
+  ASSERT_EQ(groups.size(), 2u + 4u);
+  EXPECT_EQ(groups[0].name, "spine0");
+  EXPECT_EQ(groups[2].name, "leaf0");
+  for (const SharedRiskGroup& group : groups) {
+    EXPECT_EQ(group.size(), 1u);
+    EXPECT_TRUE(GroupIdsValid(group, ls.graph()));
+  }
+}
+
+TEST(SrlgTest, GroupIdsValidRejectsOutOfRange) {
+  const topo::FatTree ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0});
+  SharedRiskGroup group;
+  group.name = "bogus";
+  group.nodes.push_back(NodeId{static_cast<NodeId::rep_type>(
+      ft.graph().node_count())});
+  EXPECT_FALSE(GroupIdsValid(group, ft.graph()));
+  group.nodes.clear();
+  group.links.push_back(LinkId::invalid());
+  EXPECT_FALSE(GroupIdsValid(group, ft.graph()));
+}
+
+}  // namespace
+}  // namespace nu::fault

@@ -142,6 +142,42 @@ TEST(AuditorTest, DetectsQueueBoundOverflow) {
   EXPECT_EQ(auditor.violations()[0].invariant, "accounting");
 }
 
+TEST(AuditorTest, ViolationsCarryRoundAndTopologyEpoch) {
+  Fixture fx;
+  fx.network->ForcePlace(fx.MakeFlow(150.0), fx.AbPath());
+  Auditor auditor(Mode(AuditMode::kLogAndCount));
+  ASSERT_GT(auditor.Audit(*fx.network, Balanced(), 0,
+                          AuditContext{.round = 7, .topology_epoch = 3}),
+            0u);
+  for (const AuditViolation& v : auditor.violations()) {
+    EXPECT_EQ(v.round, 7u);
+    EXPECT_EQ(v.topology_epoch, 3u);
+  }
+  // A later pass stamps ITS context — records pin the pass that found them.
+  (void)auditor.Audit(*fx.network, Balanced(), 0,
+                      AuditContext{.round = 9, .topology_epoch = 4});
+  EXPECT_EQ(auditor.violations().back().round, 9u);
+  EXPECT_EQ(auditor.violations().back().topology_epoch, 4u);
+  // The default context marks an out-of-round pass.
+  Auditor fresh(Mode(AuditMode::kLogAndCount));
+  (void)fresh.Audit(*fx.network, Balanced());
+  EXPECT_EQ(fresh.violations().front().round, 0u);
+}
+
+TEST(AuditorTest, FailFastFailureCarriesContext) {
+  Fixture fx;
+  fx.network->ForcePlace(fx.MakeFlow(150.0), fx.AbPath());
+  Auditor auditor(Mode(AuditMode::kFailFast));
+  try {
+    (void)auditor.Audit(*fx.network, Balanced(), 0,
+                        AuditContext{.round = 5, .topology_epoch = 2});
+    FAIL() << "expected AuditFailure";
+  } catch (const AuditFailure& failure) {
+    EXPECT_EQ(failure.violation().round, 5u);
+    EXPECT_EQ(failure.violation().topology_epoch, 2u);
+  }
+}
+
 TEST(AuditorTest, ViolationsAccumulateAcrossPasses) {
   Fixture fx;
   fx.network->ForcePlace(fx.MakeFlow(150.0), fx.AbPath());
