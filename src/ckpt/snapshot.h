@@ -30,7 +30,10 @@ namespace nu::ckpt {
 /// v2: network section stores canonically sorted link-flow id lists and an
 /// interned used-paths table (paths written once, placements reference them
 /// by table index) instead of a deep path per placement.
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+/// v4: serve-mode runs append a serve section (brownout state machine,
+/// tenant budgets/ledgers, percentile sketch, timeseries rows) after the
+/// dynamic-fault list; absent when SimConfig::serve is disabled.
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// Thrown when a snapshot file fails frame validation (bad magic, version
 /// mismatch, truncation, or checksum failure).

@@ -1,0 +1,61 @@
+// Named deterministic RNG streams.
+//
+// Every stochastic subsystem derives its Rng seed as `base_seed ^ constant`
+// so the streams are independent: adding draws to one stream can never
+// perturb another, and a fixed base seed reproduces every stream
+// bit-for-bit. Historically those constants were scattered magic numbers at
+// the construction sites; this header names them in one place so (a) new
+// subsystems pick a fresh constant instead of colliding with an existing
+// stream and (b) the legacy values are pinned — they are part of the
+// observable output format (golden CSVs from earlier PRs encode exactly
+// these derivations) and MUST NOT change.
+//
+// Usage: `Rng rng(StreamSeed(base_seed, RngStream::kChurnTimers))`.
+#pragma once
+
+#include <cstdint>
+
+namespace nu {
+
+/// The named streams, one per independent consumer of randomness. The
+/// enumerator values ARE the XOR constants (not sequential ids) so the
+/// legacy derivations stay bit-identical and accidental renumbering is
+/// impossible without touching the pinned constant itself.
+enum class RngStream : std::uint64_t {
+  /// Scheduler tie-breaks and candidate sampling (LMTF/P-LMTF alpha draws).
+  /// Legacy: the simulator seeded this stream with the raw seed.
+  kScheduler = 0x0ULL,
+  /// Background-churn departure timers and replacement placement draws.
+  kChurnTimers = 0xC0FFEEULL,
+  /// The churn replacement-flow generator (fresh TrafficGenerator per run).
+  kChurnGenerator = 0xBEEFULL,
+  /// Fault injection: flaky-install coin flips and latency jitter.
+  kFaultInjection = 0xFA11ULL,
+  /// exp::Workload -> sim seed derivation (runner.cc): the simulator's base
+  /// seed is the workload seed XOR this, so workload-level draws (trace
+  /// generation, event construction) and simulator-level draws never share
+  /// a stream.
+  kSimFromWorkload = 0x5eedULL,
+  /// Background-injection random path selection (exp::Workload).
+  kBackgroundPaths = 0xECECULL,
+  /// Open-loop arrival process (serve/): inter-arrival gaps, burst shapes,
+  /// tenant tagging. New in the serving layer — a constant disjoint from
+  /// every legacy stream so enabling serve mode cannot perturb existing
+  /// fixed-seed runs.
+  kServeArrivals = 0xA881ULL,
+  /// Flow synthesis for served events (serve/ -> update::EventGenerator).
+  kServeFlows = 0xF10AULL,
+  /// The traffic generator feeding flow endpoints/demands to served events
+  /// (exp/serve.cc). Distinct from kServeFlows so the event generator's
+  /// internal draws and the flow-spec source never start from identical
+  /// xoshiro states (which would correlate flow counts with endpoints).
+  kServeFlowSource = 0x51ABULL,
+};
+
+/// Derives the seed for `stream` from a run's base seed.
+[[nodiscard]] constexpr std::uint64_t StreamSeed(std::uint64_t base_seed,
+                                                 RngStream stream) {
+  return base_seed ^ static_cast<std::uint64_t>(stream);
+}
+
+}  // namespace nu

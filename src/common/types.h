@@ -64,6 +64,7 @@ struct LinkTag {};
 struct FlowTag {};
 struct EventTag {};
 struct PathTag {};
+struct TenantTag {};
 
 /// A switch or server in the topology graph.
 using NodeId = StrongId<NodeTag>;
@@ -78,6 +79,11 @@ using EventId = StrongId<EventTag, std::uint64_t>;
 /// Refs are only meaningful against the registry that issued them; within
 /// one registry, ref equality is content equality (Intern dedups).
 using PathRef = StrongId<PathTag>;
+/// A tenant in the online-serving layer (serve/): update events are tagged
+/// with the tenant that submitted them so admission budgets and fairness
+/// accounting can be kept per tenant. Invalid = untagged (single-tenant /
+/// offline runs).
+using TenantId = StrongId<TenantTag>;
 
 /// Virtual time in seconds.
 using Seconds = double;

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/check.h"
+#include "exp/serve.h"
 #include "fault/srlg.h"
 #include "guard/auditor.h"
 #include "metrics/export.h"
@@ -131,7 +132,8 @@ bool operator==(const ChaosScenario& a, const ChaosScenario& b) {
          a.cascade.max_secondary_failures == b.cascade.max_secondary_failures &&
          a.cascade.utilization_threshold == b.cascade.utilization_threshold &&
          a.cascade.hold_time == b.cascade.hold_time &&
-         a.cascade.outage == b.cascade.outage && storm_eq;
+         a.cascade.outage == b.cascade.outage && storm_eq &&
+         a.serve_load == b.serve_load && a.serve_rate == b.serve_rate;
 }
 
 ChaosScenario MakeTrialScenario(const ChaosOptions& options,
@@ -183,10 +185,33 @@ ChaosScenario MakeTrialScenario(const ChaosOptions& options,
   if (rng.Bernoulli(0.3)) {
     scenario.storm = fault::FlakyStorm{1.0, 1.5, {0.8, 0.2}};
   }
+  scenario.serve_load = options.serve_load;
+  scenario.serve_rate = options.serve_rate;
   return scenario;
 }
 
 sim::SimResult RunScenario(const ChaosScenario& scenario) {
+  if (scenario.serve_load > 0.0) {
+    // Online-serving trial: the scenario's fault plan lands under the
+    // open-loop arrival stream with the full serve stack (admission,
+    // brownout ladder, bounded queue) armed. event_count doubles as the
+    // stream duration so the shrinker's trace-halving stage applies.
+    ServeCampaignConfig campaign = DefaultServeCampaign(scenario.serve_rate);
+    campaign.exp.fat_tree_k = scenario.fat_tree_k;
+    campaign.exp.seed = scenario.seed;
+    campaign.offered_load = scenario.serve_load;
+    campaign.serve.arrivals.duration =
+        static_cast<Seconds>(scenario.event_count);
+    campaign.exp.sim.faults.plan = scenario.plan;
+    campaign.exp.sim.faults.cascade = scenario.cascade;
+    if (scenario.storm.has_value()) {
+      campaign.exp.sim.faults.storms.push_back(*scenario.storm);
+    }
+    campaign.exp.sim.faults.retry.max_attempts = 3;
+    campaign.exp.sim.faults.retry.base_delay = 0.05;
+    return RunServeCampaign(campaign);
+  }
+
   ExperimentConfig config;
   config.fat_tree_k = scenario.fat_tree_k;
   config.utilization = 0.6;
@@ -260,6 +285,17 @@ ChaosVerdict JudgeScenario(const ChaosScenario& scenario,
                      v.detail;
     return verdict;
   }
+  if (scenario.serve_load > 0.0 && first.serve.slo_misses > 0) {
+    // Deadline-miss oracle: an ADMITTED event blew its tenant SLO. The
+    // admission gates and brownout ladder exist precisely so overload is
+    // absorbed by rejection/shedding instead of tail latency — a miss means
+    // the stack let something through it could not serve in time.
+    verdict.failed = true;
+    verdict.oracle = "deadline-miss";
+    verdict.detail = std::to_string(first.serve.slo_misses) +
+                     " admitted event(s) missed their tenant SLO deadline";
+    return verdict;
+  }
   if (options.check_determinism) {
     sim::SimResult second;
     if (!run_once(second)) return verdict;
@@ -267,6 +303,12 @@ ChaosVerdict JudgeScenario(const ChaosScenario& scenario,
       verdict.failed = true;
       verdict.oracle = "nondeterminism";
       verdict.detail = "normalized report CSVs differ across identical runs";
+      return verdict;
+    }
+    if (first.serve_timeseries_csv != second.serve_timeseries_csv) {
+      verdict.failed = true;
+      verdict.oracle = "nondeterminism";
+      verdict.detail = "serve timeseries CSVs differ across identical runs";
       return verdict;
     }
   }
@@ -396,6 +438,11 @@ std::string SerializeArtifact(const ChaosScenario& scenario) {
         << FormatNum(scenario.storm->model.failure_probability) << " "
         << FormatNum(scenario.storm->model.latency_jitter_frac) << "\n";
   }
+  if (scenario.serve_load > 0.0) {
+    // Absent on offline scenarios so pre-serve artifacts stay byte-stable.
+    out << "serve " << FormatNum(scenario.serve_load) << " "
+        << FormatNum(scenario.serve_rate) << "\n";
+  }
   out << "plan\n";
   scenario.plan.SaveText(out);
   return out.str();
@@ -441,6 +488,9 @@ ChaosScenario ParseArtifact(const std::string& text) {
       scenario.cascade.utilization_threshold = ParseNum(tokens[2]);
       scenario.cascade.hold_time = ParseNum(tokens[3]);
       scenario.cascade.outage = ParseNum(tokens[4]);
+    } else if (key == "serve" && tokens.size() == 3) {
+      scenario.serve_load = ParseNum(tokens[1]);
+      scenario.serve_rate = ParseNum(tokens[2]);
     } else if (key == "storm" && tokens.size() == 5) {
       fault::FlakyStorm storm;
       storm.start = ParseNum(tokens[1]);

@@ -39,6 +39,18 @@ struct ChaosScenario {
   fault::FaultPlan plan;
   fault::CascadeConfig cascade;
   std::optional<fault::FlakyStorm> storm;
+  /// Serve-mode trial: > 0 replaces the offline trace with the open-loop
+  /// arrival stream at `serve_load` x `serve_rate` events/s and arms the
+  /// deadline-miss oracle. `event_count` then doubles as the stream
+  /// duration in virtual seconds (so ddmin's trace-halving stage shortens
+  /// the stream), and the scheduler field is ignored — serve runs always
+  /// use the brownout-degradable P-LMTF ladder. 0 = offline scenario; old
+  /// artifacts parse unchanged.
+  double serve_load = 0.0;
+  /// Pinned arrival base rate (events/s) for serve-mode trials. Pinned
+  /// rather than calibrated so judging a scenario never depends on a
+  /// calibration run.
+  double serve_rate = 1.0;
 
   friend bool operator==(const ChaosScenario& a, const ChaosScenario& b);
 };
@@ -47,7 +59,8 @@ struct ChaosScenario {
 struct ChaosVerdict {
   bool failed = false;
   /// Which oracle fired: "audit-violation" | "recovery-error" |
-  /// "audit-failure" | "nondeterminism" | "injected-bug"; empty when none.
+  /// "audit-failure" | "deadline-miss" | "nondeterminism" | "injected-bug";
+  /// empty when none.
   std::string oracle;
   std::string detail;
 };
@@ -68,6 +81,13 @@ struct ChaosOptions {
   bool inject_bug = false;
   /// Budget of oracle evaluations the shrinker may spend per failure.
   std::size_t max_shrink_runs = 64;
+  /// Serve-mode campaign: > 0 makes every trial an online-serving run at
+  /// this offered load (see ChaosScenario::serve_load) with the
+  /// deadline-miss oracle armed — an admitted event missing its tenant SLO
+  /// is a finding (admission + brownout should have shed or rejected it).
+  double serve_load = 0.0;
+  /// Base arrival rate for serve-mode trials (events/s).
+  double serve_rate = 1.0;
 };
 
 /// One shrunk failure of a campaign.

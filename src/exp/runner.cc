@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/rng_streams.h"
 #include "metrics/report_fields.h"
 
 namespace nu::exp {
@@ -16,7 +17,8 @@ sim::Simulator MakeSimulator(const Workload& workload,
                                  nullptr) {
   sim::SimConfig sim_config = workload.config().sim;
   if (checkpoint != nullptr) sim_config.checkpoint = *checkpoint;
-  sim_config.seed = workload.config().seed ^ 0x5eedULL;
+  sim_config.seed =
+      StreamSeed(workload.config().seed, RngStream::kSimFromWorkload);
   sim_config.churn.enabled = workload.config().background_churn;
   sim_config.churn.placement = workload.background_options();
   sim::Simulator simulator(workload.network(), workload.paths(), sim_config);

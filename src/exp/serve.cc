@@ -1,0 +1,218 @@
+#include "exp/serve.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/rng_streams.h"
+#include "common/table.h"
+#include "fault/srlg.h"
+#include "sched/plmtf.h"
+#include "serve/degradable.h"
+
+namespace nu::exp {
+namespace {
+
+/// Serve runs replace the offline event queue with the arrival stream; the
+/// flow shape knobs follow the arrival config so calibration batches and
+/// served events draw from the same distribution.
+ExperimentConfig ServeWorkloadConfig(const ServeCampaignConfig& config) {
+  ExperimentConfig exp = config.exp;
+  exp.event_count = 0;
+  exp.min_flows_per_event = config.serve.arrivals.min_flows;
+  exp.max_flows_per_event = config.serve.arrivals.max_flows;
+  return exp;
+}
+
+/// Simulator wiring shared by serve and calibration runs (mirrors
+/// runner.cc's MakeSimulator: seed stream, churn factory).
+sim::Simulator MakeServeSimulator(const Workload& workload,
+                                  sim::SimConfig sim_config) {
+  sim_config.seed =
+      StreamSeed(workload.config().seed, RngStream::kSimFromWorkload);
+  sim_config.churn.enabled = workload.config().background_churn;
+  sim_config.churn.placement = workload.background_options();
+  sim::Simulator simulator(workload.network(), workload.paths(), sim_config);
+  if (sim_config.churn.enabled) {
+    simulator.SetChurnFactory([&workload](std::uint64_t seed) {
+      return MakeTrafficGenerator(workload.config().background_trace,
+                                  workload.hosts(), Rng(seed));
+    });
+  }
+  return simulator;
+}
+
+}  // namespace
+
+ServeCampaignConfig DefaultServeCampaign(double rate) {
+  ServeCampaignConfig config;
+  config.exp.fat_tree_k = 4;
+  config.exp.event_count = 0;
+
+  // Guard: bounded queue with shed-costliest, watchdog + quarantine, and
+  // the auditor in log-and-count mode — the acceptance oracles.
+  guard::GuardConfig& guard = config.exp.sim.guard;
+  guard.overload.max_queue_length = 16;
+  guard.overload.policy = guard::OverloadPolicy::kShedCostliest;
+  guard.deadline.base_deadline = 20.0;
+  guard.deadline.per_flow_deadline = 1.0;
+  guard.deadline.max_failures = 3;
+  guard.auditor.enabled = true;
+  guard.auditor.mode = guard::AuditMode::kLogAndCount;
+
+  // Two tenants: a premium tenant that survives Shedding and a best-effort
+  // tenant (priority 0 < shed_min_priority) that absorbs the cuts.
+  serve::ArrivalConfig& arrivals = config.serve.arrivals;
+  arrivals.process = serve::ArrivalProcess::kPoisson;
+  arrivals.rate = rate;
+  arrivals.duration = 60.0;
+  arrivals.min_flows = 5;
+  arrivals.max_flows = 20;
+  arrivals.tenants = {
+      serve::TenantSpec{
+          .name = "premium", .weight = 1.0, .priority = 2, .slo_deadline = 45.0},
+      serve::TenantSpec{.name = "besteffort",
+                        .weight = 2.0,
+                        .priority = 0,
+                        .slo_deadline = 60.0},
+  };
+
+  config.serve.enabled = true;
+  config.serve.brownout.queue_reference =
+      static_cast<double>(guard.overload.max_queue_length);
+  config.serve.budget.enabled = true;
+  config.serve.budget.default_rate = rate;  // per-tenant: scaled by weight
+  config.serve.budget.default_burst = 8.0 * std::max(rate, 1.0);
+  return config;
+}
+
+std::vector<update::UpdateEvent> BuildServeArrivals(
+    const ServeCampaignConfig& config, const Workload& workload) {
+  serve::ArrivalConfig arrivals = config.serve.arrivals;
+  arrivals.rate *= config.offered_load;
+  const std::unique_ptr<trace::TrafficGenerator> flow_source =
+      MakeTrafficGenerator(
+          workload.config().background_trace, workload.hosts(),
+          Rng(StreamSeed(workload.config().seed,
+                         RngStream::kServeFlowSource)));
+  return serve::GenerateArrivals(arrivals, *flow_source,
+                                 workload.config().seed);
+}
+
+sim::SimResult RunServeCampaign(const ServeCampaignConfig& config) {
+  NU_EXPECTS(config.offered_load > 0.0);
+  const Workload workload(ServeWorkloadConfig(config));
+  const std::vector<update::UpdateEvent> events =
+      BuildServeArrivals(config, workload);
+
+  sim::SimConfig sim_config = config.exp.sim;
+  sim_config.serve = config.serve;
+  sim_config.serve.enabled = true;
+  sim_config.serve.arrivals.rate *= config.offered_load;
+  if (config.pod_outage) {
+    NU_CHECK(config.exp.topology == TopologyKind::kFatTree);
+    const std::vector<fault::SharedRiskGroup> groups =
+        fault::DeriveFatTreeSrlgs(workload.fat_tree());
+    // Pod groups lead the catalog ("pod0".."pod<k-1>", then core planes).
+    NU_CHECK(config.pod < workload.config().fat_tree_k);
+    const std::size_t group =
+        sim_config.faults.plan.AddGroup(groups[config.pod]);
+    sim_config.faults.plan.AddGroupOutage(config.pod_outage_time,
+                                          config.pod_outage_duration, group);
+  }
+
+  sim::Simulator simulator = MakeServeSimulator(workload, sim_config);
+  serve::DegradableScheduler scheduler(
+      sched::LmtfConfig{.alpha = config.exp.alpha},
+      config.serve.brownout.degraded_alpha);
+  return simulator.Run(scheduler, events);
+}
+
+double EstimateServiceRate(const ServeCampaignConfig& config,
+                           std::size_t probe_events) {
+  NU_EXPECTS(probe_events >= 1);
+  // Closed calibration batch: `probe_events` events all arrive at t=0 and
+  // drain at full quality — serve mode, faults, and the bounded queue are
+  // all off so nothing is shed and the makespan measures pure capacity.
+  ExperimentConfig exp = ServeWorkloadConfig(config);
+  exp.event_count = probe_events;
+  exp.mean_interarrival = 0.0;
+  const Workload workload(exp);
+
+  sim::SimConfig sim_config = exp.sim;
+  sim_config.serve = serve::ServeOptions{};
+  sim_config.faults = fault::FaultConfig{};
+  sim_config.guard = guard::GuardConfig{};
+  sim::Simulator simulator = MakeServeSimulator(workload, sim_config);
+  sched::PlmtfScheduler scheduler(sched::LmtfConfig{.alpha = exp.alpha});
+  const sim::SimResult result = simulator.Run(scheduler, workload.events());
+
+  Seconds makespan = 0.0;
+  for (const metrics::EventRecord& record : result.records) {
+    makespan = std::max(makespan, record.completion);
+  }
+  NU_CHECK(makespan > 0.0);
+  return static_cast<double>(probe_events) / makespan;
+}
+
+std::vector<ServeSweepPoint> RunServeSweep(const ServeCampaignConfig& config,
+                                           const std::vector<double>& loads,
+                                           bool calibrate) {
+  const double base_rate =
+      calibrate ? EstimateServiceRate(config) : config.serve.arrivals.rate;
+  std::vector<ServeSweepPoint> points;
+  points.reserve(loads.size());
+  for (const double load : loads) {
+    ServeCampaignConfig point_config = config;
+    point_config.serve.arrivals.rate = base_rate;
+    point_config.offered_load = load;
+    ServeSweepPoint point;
+    point.offered_load = load;
+    point.rate = base_rate * load;
+    point.result = RunServeCampaign(point_config);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::string ServeSweepCsv(const std::vector<ServeSweepPoint>& points) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"offered_load", "rate",         "arrivals",
+                   "admitted",     "completed",    "rejected_budget",
+                   "rejected_deadline", "rejected_priority", "shed_queue",
+                   "quarantined",  "slo_misses",   "ect_p50",
+                   "ect_p99",      "ect_p999",     "jain_ect",
+                   "jain_admission", "transitions", "final_state",
+                   "reached_shedding", "recovered_healthy", "violations"});
+  for (const ServeSweepPoint& point : points) {
+    const serve::ServeSummary& s = point.result.serve;
+    writer.WriteRow({
+        FormatDouble(point.offered_load, 3),
+        FormatDouble(point.rate, 4),
+        std::to_string(s.arrivals),
+        std::to_string(s.admitted),
+        std::to_string(s.completed),
+        std::to_string(s.rejected_budget),
+        std::to_string(s.rejected_deadline),
+        std::to_string(s.rejected_priority),
+        std::to_string(s.shed_queue),
+        std::to_string(s.quarantined),
+        std::to_string(s.slo_misses),
+        FormatDouble(s.ect_p50, 4),
+        FormatDouble(s.ect_p99, 4),
+        FormatDouble(s.ect_p999, 4),
+        FormatDouble(s.jain_ect, 4),
+        FormatDouble(s.jain_admission, 4),
+        std::to_string(s.transitions),
+        serve::ToString(s.final_state),
+        s.reached_shedding ? "1" : "0",
+        s.recovered_healthy ? "1" : "0",
+        std::to_string(point.result.violations.size()),
+    });
+  }
+  return out.str();
+}
+
+}  // namespace nu::exp

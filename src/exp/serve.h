@@ -1,0 +1,93 @@
+// Serve-mode campaigns: the experiment harness for the online-serving
+// layer. One ServeCampaignConfig bundles a fabric/background workload
+// (ExperimentConfig, its offline event queue unused), an open-loop arrival
+// stream, the serve knobs (brownout, budgets, telemetry), and an optional
+// mid-run correlated failure (SRLG pod outage) — everything tools/nu_serve,
+// bench_serve, and the chaos deadline-miss oracle need to run the brownout
+// loop deterministically.
+//
+// The capacity anchor: EstimateServiceRate measures how fast the fabric
+// drains events at the campaign's shape (a short calibration run), so an
+// offered-load sweep can express rates as multiples of capacity ("2x
+// overload") instead of absolute events/second that drift with topology
+// size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/workload.h"
+#include "serve/arrivals.h"
+#include "serve/runtime.h"
+#include "sim/simulator.h"
+
+namespace nu::exp {
+
+struct ServeCampaignConfig {
+  /// Fabric + background workload. `event_count` is ignored (the arrival
+  /// stream replaces the offline queue); everything else — topology,
+  /// utilization, churn, alpha, sim cost model — applies as usual.
+  ExperimentConfig exp;
+  /// Serve knobs. `serve.enabled` is forced on; `serve.arrivals.rate` is
+  /// scaled by `offered_load` before the run.
+  serve::ServeOptions serve;
+  /// Offered load as a multiplier on serve.arrivals.rate (1.0 = as
+  /// configured). Sweeps typically span [0.5, 3.0] x capacity.
+  double offered_load = 1.0;
+  /// Mid-run correlated failure: Fat-Tree pod `pod` loses power at
+  /// `pod_outage_time` for `pod_outage_duration` seconds (SRLG group
+  /// outage). Requires exp.topology == kFatTree when enabled.
+  bool pod_outage = false;
+  std::size_t pod = 0;
+  Seconds pod_outage_time = 20.0;
+  Seconds pod_outage_duration = 10.0;
+};
+
+/// A campaign config with the guard + serve defaults the acceptance story
+/// assumes: bounded queue (shed-costliest), watchdog with quarantine,
+/// auditor in log-and-count mode, two tenants (one premium, one best-effort
+/// sheddable), and a Poisson stream at `rate` events/second.
+[[nodiscard]] ServeCampaignConfig DefaultServeCampaign(double rate);
+
+/// Generates the campaign's arrival stream against `workload`'s hosts
+/// (flow draws ride RngStream::kServeFlows of the workload seed; arrival
+/// times ride kServeArrivals). Exposed so tests and the chaos oracle can
+/// inspect the stream the run will see.
+[[nodiscard]] std::vector<update::UpdateEvent> BuildServeArrivals(
+    const ServeCampaignConfig& config, const Workload& workload);
+
+/// Runs one serve campaign: builds the workload, generates arrivals at the
+/// configured offered load, wires the optional pod outage, and runs the
+/// DegradableScheduler under the brownout controller. Deterministic in
+/// `config` (bit-identical timeseries across same-config runs).
+[[nodiscard]] sim::SimResult RunServeCampaign(const ServeCampaignConfig& config);
+
+/// Calibrates the fabric's service rate (events/second drained) for the
+/// campaign's shape: runs a closed batch of `probe_events` events through
+/// the same scheduler/fabric with serve mode off and divides by the
+/// makespan. The sweep multiplies this by the offered-load factors.
+[[nodiscard]] double EstimateServiceRate(const ServeCampaignConfig& config,
+                                         std::size_t probe_events = 16);
+
+/// One offered-load sweep point.
+struct ServeSweepPoint {
+  double offered_load = 0.0;
+  /// Absolute arrival rate this point ran at (events/second).
+  double rate = 0.0;
+  sim::SimResult result;
+};
+
+/// Sweeps offered load over `loads` (multipliers on the calibrated service
+/// rate when `calibrate`, else on config.serve.arrivals.rate).
+[[nodiscard]] std::vector<ServeSweepPoint> RunServeSweep(
+    const ServeCampaignConfig& config, const std::vector<double>& loads,
+    bool calibrate = true);
+
+/// Summary CSV over sweep points: one row per offered load with admission,
+/// SLO, brownout, and fairness columns (stable column set — golden-testable).
+[[nodiscard]] std::string ServeSweepCsv(
+    const std::vector<ServeSweepPoint>& points);
+
+}  // namespace nu::exp

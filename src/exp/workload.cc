@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/rng_streams.h"
 #include "trace/benson.h"
 #include "trace/uniform.h"
 #include "trace/yahoo_like.h"
@@ -78,7 +79,8 @@ Workload::Workload(const ExperimentConfig& config) : config_(config) {
   background_options_.host_link_headroom = config_.background_host_headroom;
   // Per-flow ECMP-hash placement: background load lands unevenly across the
   // fabric, so update flows meet congested links that migration can relieve.
-  background_options_.random_path_seed = config_.seed ^ 0xECEC;
+  background_options_.random_path_seed =
+      StreamSeed(config_.seed, RngStream::kBackgroundPaths);
   background_ = trace::InjectBackground(*network_, *provider_, *generator,
                                         background_options_);
 

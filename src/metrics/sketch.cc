@@ -1,0 +1,138 @@
+#include "metrics/sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace nu::metrics {
+
+PercentileSketch::PercentileSketch(Options options) : options_(options) {
+  NU_EXPECTS(options_.growth > 1.0);
+  NU_EXPECTS(options_.min_value > 0.0);
+}
+
+void PercentileSketch::Add(double value) {
+  if (value < 0.0) value = 0.0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  if (!bucketed_) {
+    exact_.push_back(value);
+    if (exact_.size() > options_.exact_capacity) MigrateToBuckets();
+    return;
+  }
+  const std::size_t index = BucketIndex(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  ++buckets_[index];
+}
+
+double PercentileSketch::min() const {
+  NU_EXPECTS(count_ > 0);
+  return min_;
+}
+
+double PercentileSketch::max() const {
+  NU_EXPECTS(count_ > 0);
+  return max_;
+}
+
+double PercentileSketch::mean() const {
+  NU_EXPECTS(count_ > 0);
+  return sum_ / static_cast<double>(count_);
+}
+
+std::size_t PercentileSketch::BucketIndex(double value) const {
+  if (value <= options_.min_value) return 0;
+  // Bucket b >= 1 covers (min_value * growth^(b-1), min_value * growth^b].
+  const double ratio = value / options_.min_value;
+  const auto b = static_cast<std::size_t>(
+      std::ceil(std::log(ratio) / std::log(options_.growth) - 1e-12));
+  return b == 0 ? 1 : b;
+}
+
+double PercentileSketch::BucketMid(std::size_t index) const {
+  if (index == 0) return options_.min_value;
+  // Geometric midpoint of (min_value * growth^(i-1), min_value * growth^i].
+  return options_.min_value *
+         std::pow(options_.growth, static_cast<double>(index) - 0.5);
+}
+
+void PercentileSketch::MigrateToBuckets() {
+  bucketed_ = true;
+  for (double v : exact_) {
+    const std::size_t index = BucketIndex(v);
+    if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+    ++buckets_[index];
+  }
+  exact_.clear();
+  exact_.shrink_to_fit();
+}
+
+double PercentileSketch::Quantile(double q) const {
+  NU_EXPECTS(count_ > 0);
+  q = std::clamp(q, 0.0, 1.0);
+  if (!bucketed_) {
+    // Same interpolation as Samples::Percentile: rank q * (n - 1) between
+    // order statistics.
+    std::vector<double> sorted = exact_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted.front();
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    // Identical formula to Samples::Percentile (bitwise agreement matters
+    // for the exact-phase unit tests).
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Walk bucket counts to the target rank; answer the bucket midpoint,
+  // clamped to the observed range so tails never overshoot max.
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > target) return std::clamp(BucketMid(i), min_, max_);
+  }
+  return max_;
+}
+
+void PercentileSketch::Reset() {
+  bucketed_ = false;
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  exact_.clear();
+  buckets_.clear();
+}
+
+void PercentileSketch::SaveState(BinWriter& w) const {
+  w.Bool(bucketed_);
+  w.U64(count_);
+  w.F64(sum_);
+  w.F64(min_);
+  w.F64(max_);
+  w.Vec(exact_, [](BinWriter& out, double v) { out.F64(v); });
+  w.Vec(buckets_, [](BinWriter& out, std::uint64_t c) { out.U64(c); });
+}
+
+void PercentileSketch::LoadState(BinReader& r) {
+  bucketed_ = r.Bool();
+  count_ = r.U64();
+  sum_ = r.F64();
+  min_ = r.F64();
+  max_ = r.F64();
+  exact_ = r.Vec<double>([](BinReader& in) { return in.F64(); });
+  buckets_ = r.Vec<std::uint64_t>([](BinReader& in) { return in.U64(); });
+}
+
+}  // namespace nu::metrics

@@ -70,6 +70,12 @@ class SchedulingContext {
   /// Current backpressure state. Defaults to "no admission control" so
   /// contexts predating the guard subsystem need not override it.
   [[nodiscard]] virtual QueuePressure Pressure() const { return {}; }
+
+  /// Brownout degradation level requested by the serving layer: 0 = full
+  /// quality, 1 = shrink the probe candidate sample, >= 2 = cheapest path
+  /// (FIFO). Defaults to 0 so contexts predating serve/ need not override
+  /// it; only serve::DegradableScheduler reads it.
+  [[nodiscard]] virtual int DegradationLevel() const { return 0; }
 };
 
 struct Decision {

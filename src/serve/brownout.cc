@@ -1,0 +1,168 @@
+#include "serve/brownout.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace nu::serve {
+
+const char* ToString(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kOverloaded:
+      return "overloaded";
+    case HealthState::kShedding:
+      return "shedding";
+  }
+  return "?";
+}
+
+BrownoutController::BrownoutController(BrownoutConfig config)
+    : config_(config) {
+  NU_EXPECTS(config_.enter_degraded < config_.enter_overloaded &&
+             config_.enter_overloaded < config_.enter_shedding);
+  NU_EXPECTS(config_.exit_degraded < config_.enter_degraded);
+  NU_EXPECTS(config_.exit_overloaded < config_.enter_overloaded);
+  NU_EXPECTS(config_.exit_shedding < config_.enter_shedding);
+  NU_EXPECTS(config_.hold_enter >= 0.0 && config_.hold_exit >= 0.0);
+  NU_EXPECTS(config_.queue_reference > 0.0 && config_.stress_reference > 0.0);
+}
+
+double BrownoutController::Pressure(const BrownoutSignals& signals) const {
+  const double queue =
+      static_cast<double>(signals.queue_length) / config_.queue_reference;
+  const double stress =
+      static_cast<double>(signals.stressed_links) / config_.stress_reference;
+  return std::max({queue, signals.miss_rate, stress});
+}
+
+double BrownoutController::EnterThreshold(HealthState target) const {
+  switch (target) {
+    case HealthState::kDegraded:
+      return config_.enter_degraded;
+    case HealthState::kOverloaded:
+      return config_.enter_overloaded;
+    case HealthState::kShedding:
+      return config_.enter_shedding;
+    case HealthState::kHealthy:
+      break;
+  }
+  NU_CHECK(false && "no enter threshold for healthy");
+  return 0.0;
+}
+
+double BrownoutController::ExitThreshold(HealthState from) const {
+  switch (from) {
+    case HealthState::kDegraded:
+      return config_.exit_degraded;
+    case HealthState::kOverloaded:
+      return config_.exit_overloaded;
+    case HealthState::kShedding:
+      return config_.exit_shedding;
+    case HealthState::kHealthy:
+      break;
+  }
+  NU_CHECK(false && "no exit threshold for healthy");
+  return 0.0;
+}
+
+HealthState BrownoutController::Observe(Seconds now,
+                                        const BrownoutSignals& signals) {
+  // Accumulate time in the state we were in since the previous observation.
+  if (last_observe_ >= 0.0 && now > last_observe_) {
+    time_in_state_[static_cast<std::size_t>(state_)] += now - last_observe_;
+  }
+  last_observe_ = now;
+
+  const double pressure = Pressure(signals);
+  last_pressure_ = pressure;
+
+  // Escalation: pressure at/above the NEXT level's enter threshold, held
+  // for hold_enter. One level per latch; the timers restart after a
+  // transition, so a two-level climb takes two holds.
+  const bool can_escalate = state_ != HealthState::kShedding;
+  const bool can_relax = state_ != HealthState::kHealthy;
+  const double enter = can_escalate
+                           ? EnterThreshold(static_cast<HealthState>(
+                                 static_cast<int>(state_) + 1))
+                           : 0.0;
+  const double relax_at = can_relax ? ExitThreshold(state_) : 0.0;
+
+  if (can_escalate && pressure >= enter) {
+    below_since_ = -1.0;
+    if (above_since_ < 0.0) above_since_ = now;
+    if (now - above_since_ >= config_.hold_enter) {
+      const HealthState from = state_;
+      state_ = static_cast<HealthState>(static_cast<int>(state_) + 1);
+      transitions_.push_back({now, from, state_, pressure});
+      above_since_ = -1.0;
+      below_since_ = -1.0;
+    }
+    return state_;
+  }
+  if (can_relax && pressure <= relax_at) {
+    above_since_ = -1.0;
+    if (below_since_ < 0.0) below_since_ = now;
+    if (now - below_since_ >= config_.hold_exit) {
+      const HealthState from = state_;
+      state_ = static_cast<HealthState>(static_cast<int>(state_) - 1);
+      transitions_.push_back({now, from, state_, pressure});
+      above_since_ = -1.0;
+      below_since_ = -1.0;
+    }
+    return state_;
+  }
+  // Inside the hysteresis band: both hold timers reset — persistence must
+  // be CONTINUOUS to latch.
+  above_since_ = -1.0;
+  below_since_ = -1.0;
+  return state_;
+}
+
+void BrownoutController::SaveState(BinWriter& w) const {
+  w.U8(static_cast<std::uint8_t>(state_));
+  w.F64(above_since_);
+  w.F64(below_since_);
+  w.F64(last_observe_);
+  w.F64(last_pressure_);
+  w.Size(transitions_.size());
+  for (const BrownoutTransition& t : transitions_) {
+    w.F64(t.time);
+    w.U8(static_cast<std::uint8_t>(t.from));
+    w.U8(static_cast<std::uint8_t>(t.to));
+    w.F64(t.pressure);
+  }
+  for (Seconds s : time_in_state_) w.F64(s);
+}
+
+void BrownoutController::LoadState(BinReader& r) {
+  const std::uint8_t state = r.U8();
+  if (state > static_cast<std::uint8_t>(HealthState::kShedding)) {
+    throw CorruptInput("brownout state out of range");
+  }
+  state_ = static_cast<HealthState>(state);
+  above_since_ = r.F64();
+  below_since_ = r.F64();
+  last_observe_ = r.F64();
+  last_pressure_ = r.F64();
+  transitions_.clear();
+  const std::size_t n = r.Size();
+  transitions_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BrownoutTransition t;
+    t.time = r.F64();
+    const std::uint8_t from = r.U8();
+    const std::uint8_t to = r.U8();
+    if (from > 3 || to > 3) throw CorruptInput("transition state range");
+    t.from = static_cast<HealthState>(from);
+    t.to = static_cast<HealthState>(to);
+    t.pressure = r.F64();
+    transitions_.push_back(t);
+  }
+  for (Seconds& s : time_in_state_) s = r.F64();
+}
+
+}  // namespace nu::serve

@@ -1,0 +1,18 @@
+#include "serve/degradable.h"
+
+namespace nu::serve {
+
+DegradableScheduler::DegradableScheduler(sched::LmtfConfig config,
+                                         std::size_t degraded_alpha)
+    : full_(config),
+      degraded_(sched::LmtfConfig{.alpha = degraded_alpha}) {}
+
+sched::Decision DegradableScheduler::Decide(
+    sched::SchedulingContext& context) {
+  const int level = context.DegradationLevel();
+  if (level >= 2) return fifo_.Decide(context);
+  if (level == 1) return degraded_.Decide(context);
+  return full_.Decide(context);
+}
+
+}  // namespace nu::serve

@@ -1,0 +1,34 @@
+// DegradableScheduler: the scheduler half of the brownout ladder. Wraps the
+// full-quality P-LMTF, a shrunk-sample P-LMTF, and the probe-free FIFO
+// path, and dispatches per round on SchedulingContext::DegradationLevel():
+//
+//   level 0   -> P-LMTF with the configured alpha (full quality)
+//   level 1   -> P-LMTF with degraded_alpha candidates (cheaper rounds)
+//   level >=2 -> FIFO (no probes; strict arrival order)
+//
+// The level is read fresh every Decide call, so the scheduler follows the
+// brownout controller's transitions round by round with no state of its
+// own — determinism is inherited from the wrapped schedulers.
+#pragma once
+
+#include "sched/fifo.h"
+#include "sched/plmtf.h"
+
+namespace nu::serve {
+
+class DegradableScheduler final : public sched::Scheduler {
+ public:
+  explicit DegradableScheduler(sched::LmtfConfig config = {},
+                               std::size_t degraded_alpha = 1);
+
+  [[nodiscard]] sched::Decision Decide(
+      sched::SchedulingContext& context) override;
+  [[nodiscard]] const char* name() const override { return "degradable"; }
+
+ private:
+  sched::PlmtfScheduler full_;
+  sched::PlmtfScheduler degraded_;
+  sched::FifoScheduler fifo_;
+};
+
+}  // namespace nu::serve

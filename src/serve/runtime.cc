@@ -1,0 +1,379 @@
+#include "serve/runtime.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace nu::serve {
+namespace {
+
+std::vector<double> RosterWeights(const std::vector<TenantSpec>& roster) {
+  std::vector<double> weights;
+  weights.reserve(roster.size());
+  for (const TenantSpec& t : roster) weights.push_back(t.weight);
+  return weights;
+}
+
+std::vector<std::string> RosterNames(const std::vector<TenantSpec>& roster) {
+  std::vector<std::string> names;
+  names.reserve(roster.size());
+  for (const TenantSpec& t : roster) names.push_back(t.name);
+  return names;
+}
+
+}  // namespace
+
+const char* ToString(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kBudget:
+      return "budget";
+    case RejectReason::kDeadline:
+      return "deadline";
+    case RejectReason::kPriority:
+      return "priority";
+  }
+  return "?";
+}
+
+ServeRuntime::ServeRuntime(const ServeOptions& options)
+    : options_(options),
+      roster_(options.arrivals.EffectiveTenants()),
+      brownout_(options.brownout),
+      budgets_(options.budget, RosterWeights(roster_)),
+      stress_(options.stress),
+      sketch_(options.sketch),
+      recorder_(options.sample_period) {
+  NU_EXPECTS(options_.miss_window > 0.0);
+  NU_EXPECTS(options_.stress_window > 0.0);
+  NU_EXPECTS(options_.ect_ewma_alpha > 0.0 && options_.ect_ewma_alpha <= 1.0);
+  accountant_.SetTenants(RosterNames(roster_));
+}
+
+int ServeRuntime::PriorityOf(const update::UpdateEvent& event) const {
+  const TenantId tenant = event.tenant();
+  if (!tenant.valid() || tenant.value() >= roster_.size()) return 0;
+  return roster_[tenant.value()].priority;
+}
+
+void ServeRuntime::OnArrival(const update::UpdateEvent& event) {
+  ++arrivals_;
+  const TenantId tenant = event.tenant();
+  if (tenant.valid() && tenant.value() < roster_.size()) {
+    ++accountant_.Of(tenant).arrivals;
+  }
+}
+
+RejectReason ServeRuntime::Admit(const update::UpdateEvent& event,
+                                 Seconds now) {
+  const TenantId tenant = event.tenant();
+  const bool tracked = tenant.valid() && tenant.value() < roster_.size();
+
+  // Gate order matters: the priority and deadline gates are side-effect
+  // free, so they run before the budget gate (which spends a token on
+  // success). A shed tenant's bucket keeps refilling while it is shed.
+  if (brownout_.state() == HealthState::kShedding &&
+      PriorityOf(event) < options_.brownout.shed_min_priority) {
+    ++rejected_priority_;
+    if (tracked) ++accountant_.Of(tenant).rejected_priority;
+    return RejectReason::kPriority;
+  }
+  if (options_.deadline_aware_admission && event.HasDeadline() &&
+      ewma_ect_ > 0.0 &&
+      now + options_.deadline_slack_factor * ewma_ect_ > event.deadline()) {
+    ++rejected_deadline_;
+    if (tracked) ++accountant_.Of(tenant).rejected_deadline;
+    return RejectReason::kDeadline;
+  }
+  if (!budgets_.Admit(tenant, now)) {
+    ++rejected_budget_;
+    if (tracked) ++accountant_.Of(tenant).rejected_budget;
+    return RejectReason::kBudget;
+  }
+  ++admitted_;
+  if (tracked) ++accountant_.Of(tenant).admitted;
+  return RejectReason::kNone;
+}
+
+void ServeRuntime::OnShedQueue(const update::UpdateEvent& event) {
+  ++shed_queue_;
+  const TenantId tenant = event.tenant();
+  if (tenant.valid() && tenant.value() < roster_.size()) {
+    ++accountant_.Of(tenant).shed_queue;
+  }
+}
+
+void ServeRuntime::OnQuarantined(const update::UpdateEvent& event) {
+  ++quarantined_;
+  const TenantId tenant = event.tenant();
+  if (tenant.valid() && tenant.value() < roster_.size()) {
+    ++accountant_.Of(tenant).quarantined;
+  }
+}
+
+void ServeRuntime::OnCompletion(const update::UpdateEvent& event,
+                                Seconds completion) {
+  const Seconds ect = completion - event.arrival_time();
+  sketch_.Add(ect);
+  ++completed_;
+  ewma_ect_ = ewma_ect_ <= 0.0
+                  ? ect
+                  : (1.0 - options_.ect_ewma_alpha) * ewma_ect_ +
+                        options_.ect_ewma_alpha * ect;
+  const bool missed = event.HasDeadline() && completion > event.deadline();
+  if (missed) ++slo_misses_;
+  miss_window_.emplace_back(completion, missed);
+  const TenantId tenant = event.tenant();
+  if (tenant.valid() && tenant.value() < roster_.size()) {
+    metrics::TenantCounters& counters = accountant_.Of(tenant);
+    ++counters.completed;
+    counters.ect.Add(ect);
+    if (missed) ++counters.slo_misses;
+  }
+}
+
+double ServeRuntime::MissRate() const {
+  if (miss_window_.empty()) return 0.0;
+  std::size_t missed = 0;
+  for (const auto& [time, miss] : miss_window_) {
+    if (miss) ++missed;
+  }
+  return static_cast<double>(missed) /
+         static_cast<double>(miss_window_.size());
+}
+
+void ServeRuntime::Tick(const net::Network& network, Seconds now,
+                        std::size_t queue_length, std::size_t active) {
+  last_queue_length_ = queue_length;
+  last_active_ = active;
+
+  // Fabric stress: fold fresh sustained-overload reports into the sliding
+  // window; the signal is the number of reports still inside it.
+  for (LinkId link : stress_.Observe(network, now)) {
+    (void)link;
+    stress_reports_.push_back(now);
+  }
+  ObserveAndLog(now, queue_length);
+}
+
+void ServeRuntime::ObserveAndLog(Seconds now, std::size_t queue_length) {
+  while (!stress_reports_.empty() &&
+         stress_reports_.front() < now - options_.stress_window) {
+    stress_reports_.pop_front();
+  }
+  while (!miss_window_.empty() &&
+         miss_window_.front().first < now - options_.miss_window) {
+    miss_window_.pop_front();
+  }
+
+  const BrownoutSignals signals{.queue_length = queue_length,
+                                .miss_rate = MissRate(),
+                                .stressed_links = stress_reports_.size()};
+  const std::size_t transitions_before = brownout_.transitions().size();
+  (void)brownout_.Observe(now, signals);
+  for (std::size_t i = transitions_before; i < brownout_.transitions().size();
+       ++i) {
+    const BrownoutTransition& t = brownout_.transitions()[i];
+    EmitRow(t.time, "transition",
+            std::string(ToString(t.from)) + "->" + ToString(t.to));
+  }
+  while (recorder_.SampleDue(now)) {
+    EmitRow(recorder_.next_sample(), "sample", "");
+    recorder_.Advance();
+  }
+}
+
+void ServeRuntime::Finish(Seconds now, std::size_t queue_length,
+                          std::size_t active) {
+  last_queue_length_ = queue_length;
+  last_active_ = active;
+  // Quiet cool-down: the stream is over and the queue has drained, but the
+  // controller may still be latched high (the drain itself pushes fresh
+  // stress reports into the window). Keep observing the idle fabric on a
+  // fixed cadence — no new reports arrive, so the windows age out and the
+  // exit hysteresis walks the ladder back down one latched level at a time.
+  if (options_.cooldown_tick > 0.0) {
+    const Seconds deadline = now + options_.max_cooldown;
+    while (brownout_.state() != HealthState::kHealthy && now < deadline) {
+      now += options_.cooldown_tick;
+      ObserveAndLog(now, queue_length);
+    }
+  }
+  EmitRow(now, "sample", "final");
+}
+
+void ServeRuntime::EmitRow(Seconds time, const char* row_type,
+                           const std::string& detail) {
+  auto quantile = [this](double q) {
+    return sketch_.empty() ? 0.0 : sketch_.Quantile(q);
+  };
+  recorder_.Append({
+      FormatDouble(time, 3),
+      row_type,
+      ToString(brownout_.state()),
+      std::to_string(brownout_.DegradationLevel()),
+      FormatDouble(brownout_.last_pressure(), 4),
+      std::to_string(last_queue_length_),
+      std::to_string(last_active_),
+      std::to_string(arrivals_),
+      std::to_string(admitted_),
+      std::to_string(rejected_budget_),
+      std::to_string(rejected_deadline_),
+      std::to_string(rejected_priority_),
+      std::to_string(shed_queue_),
+      std::to_string(completed_),
+      std::to_string(slo_misses_),
+      FormatDouble(MissRate(), 4),
+      FormatDouble(quantile(0.5), 4),
+      FormatDouble(quantile(0.9), 4),
+      FormatDouble(quantile(0.99), 4),
+      FormatDouble(quantile(0.999), 4),
+      detail,
+  });
+}
+
+ServeSummary ServeRuntime::BuildSummary() const {
+  ServeSummary summary;
+  summary.enabled = true;
+  summary.arrivals = arrivals_;
+  summary.admitted = admitted_;
+  summary.completed = completed_;
+  summary.rejected_budget = rejected_budget_;
+  summary.rejected_deadline = rejected_deadline_;
+  summary.rejected_priority = rejected_priority_;
+  summary.shed_queue = shed_queue_;
+  summary.quarantined = quarantined_;
+  summary.slo_misses = slo_misses_;
+  if (!sketch_.empty()) {
+    summary.ect_p50 = sketch_.Quantile(0.5);
+    summary.ect_p90 = sketch_.Quantile(0.9);
+    summary.ect_p99 = sketch_.Quantile(0.99);
+    summary.ect_p999 = sketch_.Quantile(0.999);
+  }
+  summary.jain_ect = accountant_.JainEct();
+  summary.jain_admission = accountant_.JainAdmission();
+  summary.transitions = brownout_.transitions().size();
+  for (std::size_t i = 0; i < 4; ++i) {
+    summary.time_in_state[i] = brownout_.time_in_state()[i];
+  }
+  summary.final_state = brownout_.state();
+  bool reached_degraded = false;
+  for (const BrownoutTransition& t : brownout_.transitions()) {
+    if (t.to == HealthState::kShedding) summary.reached_shedding = true;
+    if (static_cast<int>(t.to) >= 1) reached_degraded = true;
+  }
+  summary.recovered_healthy =
+      reached_degraded && brownout_.state() == HealthState::kHealthy;
+  return summary;
+}
+
+std::string ServeRuntime::TimeseriesCsv() const { return recorder_.ToCsv(); }
+
+std::string ServeRuntime::TenantReportCsv() const {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"tenant", "weight", "priority", "arrivals", "admitted",
+                   "completed", "rejected_budget", "rejected_deadline",
+                   "rejected_priority", "shed_queue", "quarantined",
+                   "slo_misses", "ect_mean", "ect_p99", "jain_ect",
+                   "jain_admission"});
+  for (std::size_t i = 0; i < accountant_.tenants().size(); ++i) {
+    const metrics::TenantCounters& t = accountant_.tenants()[i];
+    writer.WriteRow({
+        t.name,
+        FormatDouble(roster_[i].weight, 3),
+        std::to_string(roster_[i].priority),
+        std::to_string(t.arrivals),
+        std::to_string(t.admitted),
+        std::to_string(t.completed),
+        std::to_string(t.rejected_budget),
+        std::to_string(t.rejected_deadline),
+        std::to_string(t.rejected_priority),
+        std::to_string(t.shed_queue),
+        std::to_string(t.quarantined),
+        std::to_string(t.slo_misses),
+        FormatDouble(t.ect.empty() ? 0.0 : t.ect.mean(), 4),
+        FormatDouble(t.ect.empty() ? 0.0 : t.ect.Percentile(0.99), 4),
+        "",
+        "",
+    });
+  }
+  writer.WriteRow({"all", "", "", std::to_string(arrivals_),
+                   std::to_string(admitted_), std::to_string(completed_),
+                   std::to_string(rejected_budget_),
+                   std::to_string(rejected_deadline_),
+                   std::to_string(rejected_priority_),
+                   std::to_string(shed_queue_), std::to_string(quarantined_),
+                   std::to_string(slo_misses_),
+                   FormatDouble(sketch_.empty() ? 0.0 : sketch_.mean(), 4),
+                   FormatDouble(sketch_.empty() ? 0.0 : sketch_.Quantile(0.99),
+                                4),
+                   FormatDouble(accountant_.JainEct(), 4),
+                   FormatDouble(accountant_.JainAdmission(), 4)});
+  return out.str();
+}
+
+void ServeRuntime::SaveState(BinWriter& w) const {
+  brownout_.SaveState(w);
+  budgets_.SaveState(w);
+  stress_.SaveState(w);
+  accountant_.SaveState(w);
+  sketch_.SaveState(w);
+  recorder_.SaveState(w);
+  w.U64(arrivals_);
+  w.U64(admitted_);
+  w.U64(completed_);
+  w.U64(rejected_budget_);
+  w.U64(rejected_deadline_);
+  w.U64(rejected_priority_);
+  w.U64(shed_queue_);
+  w.U64(quarantined_);
+  w.U64(slo_misses_);
+  w.F64(ewma_ect_);
+  w.Size(miss_window_.size());
+  for (const auto& [time, missed] : miss_window_) {
+    w.F64(time);
+    w.Bool(missed);
+  }
+  w.Size(stress_reports_.size());
+  for (Seconds t : stress_reports_) w.F64(t);
+  w.U64(last_queue_length_);
+  w.U64(last_active_);
+}
+
+void ServeRuntime::LoadState(BinReader& r) {
+  brownout_.LoadState(r);
+  budgets_.LoadState(r);
+  stress_.LoadState(r);
+  accountant_.LoadState(r);
+  sketch_.LoadState(r);
+  recorder_.LoadState(r);
+  arrivals_ = r.U64();
+  admitted_ = r.U64();
+  completed_ = r.U64();
+  rejected_budget_ = r.U64();
+  rejected_deadline_ = r.U64();
+  rejected_priority_ = r.U64();
+  shed_queue_ = r.U64();
+  quarantined_ = r.U64();
+  slo_misses_ = r.U64();
+  ewma_ect_ = r.F64();
+  miss_window_.clear();
+  const std::size_t misses = r.Size();
+  for (std::size_t i = 0; i < misses; ++i) {
+    const Seconds time = r.F64();
+    const bool missed = r.Bool();
+    miss_window_.emplace_back(time, missed);
+  }
+  stress_reports_.clear();
+  const std::size_t reports = r.Size();
+  for (std::size_t i = 0; i < reports; ++i) stress_reports_.push_back(r.F64());
+  last_queue_length_ = r.U64();
+  last_active_ = r.U64();
+}
+
+}  // namespace nu::serve

@@ -1,0 +1,72 @@
+#include "serve/timeseries.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace nu::serve {
+
+TimeseriesRecorder::TimeseriesRecorder(Seconds sample_period)
+    : sample_period_(sample_period) {
+  NU_EXPECTS(sample_period_ > 0.0);
+}
+
+const std::vector<std::string>& TimeseriesRecorder::Header() {
+  static const std::vector<std::string> kHeader = {
+      "time",           "row",
+      "health",         "level",
+      "pressure",       "queue",
+      "active",         "arrivals",
+      "admitted",       "rejected_budget",
+      "rejected_deadline", "rejected_priority",
+      "shed_queue",     "completed",
+      "slo_misses",     "miss_rate",
+      "ect_p50",        "ect_p90",
+      "ect_p99",        "ect_p999",
+      "detail"};
+  return kHeader;
+}
+
+void TimeseriesRecorder::Append(std::vector<std::string> row) {
+  NU_EXPECTS(row.size() == Header().size());
+  rows_.push_back(std::move(row));
+}
+
+void TimeseriesRecorder::WriteCsv(std::ostream& out) const {
+  CsvWriter writer(out);
+  writer.WriteRow(Header());
+  for (const std::vector<std::string>& row : rows_) writer.WriteRow(row);
+}
+
+std::string TimeseriesRecorder::ToCsv() const {
+  std::ostringstream out;
+  WriteCsv(out);
+  return out.str();
+}
+
+void TimeseriesRecorder::SaveState(BinWriter& w) const {
+  w.F64(next_sample_);
+  w.Size(rows_.size());
+  for (const std::vector<std::string>& row : rows_) {
+    w.Size(row.size());
+    for (const std::string& field : row) w.Str(field);
+  }
+}
+
+void TimeseriesRecorder::LoadState(BinReader& r) {
+  next_sample_ = r.F64();
+  rows_.clear();
+  const std::size_t n = r.Size();
+  rows_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::string> row;
+    const std::size_t fields = r.Size();
+    row.reserve(fields);
+    for (std::size_t f = 0; f < fields; ++f) row.push_back(r.Str());
+    rows_.push_back(std::move(row));
+  }
+}
+
+}  // namespace nu::serve

@@ -1,0 +1,63 @@
+// Serve-mode timeseries: periodic samples of the serving layer's health and
+// SLO telemetry, plus a typed row for every brownout transition, emitted as
+// one deterministic CSV per run.
+//
+// Rows are formatted AT EMISSION TIME (common::FormatDouble, fixed
+// precision) and stored as strings, so the recorder's contents — and the
+// CSV bytes — are a pure function of the emission sequence: two runs with
+// the same seed produce byte-identical files, which is what the serve-smoke
+// CI job byte-compares. The formatted rows snapshot with the run so a
+// crash+resume emits the identical file.
+//
+// Column dictionary: see docs/model.md §14.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/types.h"
+
+namespace nu::serve {
+
+class TimeseriesRecorder {
+ public:
+  /// `sample_period` is the cadence of "sample" rows (virtual seconds).
+  explicit TimeseriesRecorder(Seconds sample_period);
+
+  /// The CSV header row (shared with readers/tests).
+  [[nodiscard]] static const std::vector<std::string>& Header();
+
+  /// Emits one pre-formatted row (same arity as Header()).
+  void Append(std::vector<std::string> row);
+
+  /// True when virtual time `now` has reached the next sample boundary.
+  [[nodiscard]] bool SampleDue(Seconds now) const {
+    return now >= next_sample_;
+  }
+  /// The pending sample boundary (row timestamp for cadence samples).
+  [[nodiscard]] Seconds next_sample() const { return next_sample_; }
+  /// Advances to the next boundary (one period) after a cadence sample.
+  void Advance() { next_sample_ += sample_period_; }
+
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  /// Writes header + rows as CSV.
+  void WriteCsv(std::ostream& out) const;
+  [[nodiscard]] std::string ToCsv() const;
+
+  // Snapshot support: emitted rows and the sample cursor round-trip, so a
+  // recovered run appends exactly where the crashed one stopped.
+  void SaveState(BinWriter& w) const;
+  void LoadState(BinReader& r);
+
+ private:
+  Seconds sample_period_;
+  Seconds next_sample_ = 0.0;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nu::serve

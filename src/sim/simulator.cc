@@ -13,6 +13,7 @@
 #include "ckpt/snapshot.h"
 #include "common/binio.h"
 #include "common/logging.h"
+#include "common/rng_streams.h"
 #include "common/thread_pool.h"
 #include "fault/cascade.h"
 #include "fault/injector.h"
@@ -187,7 +188,7 @@ class RoundContext final : public sched::SchedulingContext {
                std::span<const sched::QueuedEvent> queue, Rng& rng,
                Mbps co_migration_allowance, bool quick_cost_probes,
                sched::QueuePressure pressure, ProbeRuntime& probe_rt,
-               ProbeCache& probe_cache)
+               ProbeCache& probe_cache, int degradation_level)
       : network_(network),
         planner_(planner),
         cost_model_(cost_model),
@@ -198,7 +199,8 @@ class RoundContext final : public sched::SchedulingContext {
         quick_cost_probes_(quick_cost_probes),
         pressure_(pressure),
         probe_rt_(probe_rt),
-        probe_cache_(probe_cache) {}
+        probe_cache_(probe_cache),
+        degradation_level_(degradation_level) {}
 
   [[nodiscard]] std::span<const sched::QueuedEvent> Queue() const override {
     return queue_;
@@ -206,6 +208,10 @@ class RoundContext final : public sched::SchedulingContext {
 
   [[nodiscard]] sched::QueuePressure Pressure() const override {
     return pressure_;
+  }
+
+  [[nodiscard]] int DegradationLevel() const override {
+    return degradation_level_;
   }
 
   Mbps ProbeCost(std::size_t index) override {
@@ -474,6 +480,9 @@ class RoundContext final : public sched::SchedulingContext {
   sched::QueuePressure pressure_;
   ProbeRuntime& probe_rt_;
   ProbeCache& probe_cache_;
+  /// Brownout ladder level the serve runtime pinned for this round (0 when
+  /// serve mode is off).
+  int degradation_level_ = 0;
 };
 
 /// Events sorted by arrival time (stable on ties).
@@ -524,7 +533,8 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       [&network] { return network.topology_epoch(); });
   const topo::PathProvider& provider =
       faults_on ? static_cast<const topo::PathProvider&>(alive_paths) : paths_;
-  fault::FaultInjector injector(config_.faults, config_.seed ^ 0xFA11ULL);
+  fault::FaultInjector injector(
+      config_.faults, StreamSeed(config_.seed, RngStream::kFaultInjection));
   // Overload→cascade feedback: a LinkStressMonitor (guard/) watches link
   // utilization; the engine converts sustained overload into secondary
   // kCascadeFault occurrences, recorded in `dynamic_faults` (the run's
@@ -569,6 +579,13 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
   const bool lossy = faults_on || watchdog_on;
   guard::Watchdog watchdog(gcfg.deadline);
   guard::Auditor auditor(gcfg.auditor);
+
+  // Serve wiring. Like faults and the guard, a disabled serve layer keeps
+  // no state and draws nothing, so fixed-seed runs are unchanged. Enabled,
+  // the runtime gates admission, tracks health (brownout), and records the
+  // SLO timeseries; `serve_rt.has_value()` IS the enabled check everywhere.
+  std::optional<serve::ServeRuntime> serve_rt;
+  if (config_.serve.enabled) serve_rt.emplace(config_.serve);
 
   const auto pending = SortedByArrival(events);
   std::size_t next_arrival = 0;
@@ -663,10 +680,11 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
   // lifetime (stationarity: uniform fraction of the full duration) and are
   // replaced with fresh draws at departure time.
   std::unique_ptr<trace::TrafficGenerator> churn_gen;
-  Rng churn_rng(config_.seed ^ 0xC0FFEEULL);
+  Rng churn_rng(StreamSeed(config_.seed, RngStream::kChurnTimers));
   if (config_.churn.enabled) {
     NU_CHECK(churn_factory_ != nullptr);
-    churn_gen = churn_factory_(config_.seed ^ 0xBEEFULL);
+    churn_gen =
+        churn_factory_(StreamSeed(config_.seed, RngStream::kChurnGenerator));
     for (FlowId fid : network.PlacedFlows()) {
       const flow::Flow& f = network.FlowOf(fid);
       if (f.origin != flow::FlowOrigin::kBackground) continue;
@@ -717,9 +735,14 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       const std::optional<std::size_t> victim = guard::ChooseShedVictim(
           gcfg.overload, queue, *e, network, provider);
       if (!victim.has_value()) {
+        // Either way the overload guard drops a serve-ADMITTED event (the
+        // serve gates already passed it), so the serve ledger counts it as
+        // a queue shed, not an admission rejection.
+        if (serve_rt.has_value()) serve_rt->OnShedQueue(*e);
         shed(*e);
         return false;
       }
+      if (serve_rt.has_value()) serve_rt->OnShedQueue(*queue[*victim]);
       shed(*queue[*victim]);
       queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(*victim));
     }
@@ -734,6 +757,19 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       const update::UpdateEvent* e = pending[next_arrival];
       collector.OnArrival(e->id(), e->arrival_time(), e->flow_count());
       commit(ckpt::WalOp::kArrival, e->id().value(), e->arrival_time());
+      if (serve_rt.has_value()) {
+        // Serve admission gates run BEFORE the overload guard: a rejected
+        // arrival never competes for queue space. `now` can sit
+        // kTimeEpsilon below the arrival being ingested, so clamp.
+        serve_rt->OnArrival(*e);
+        const serve::RejectReason reason =
+            serve_rt->Admit(*e, std::max(now, e->arrival_time()));
+        if (reason != serve::RejectReason::kNone) {
+          shed(*e);
+          ++next_arrival;
+          continue;
+        }
+      }
       admit(e);
       ++next_arrival;
     }
@@ -941,6 +977,9 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       w.U64(spec.node.value());
       w.U64(spec.group);
     }
+    // Serve section (format v4): present exactly when serve mode is on —
+    // config decides, so a reader with the same SimConfig always agrees.
+    if (serve_rt.has_value()) serve_rt->SaveState(w);
   };
 
   /// Mirror of serialize_state. Replaces every piece of loop state, so a
@@ -963,7 +1002,8 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     if (config_.churn.enabled) {
       // The generator's stream position is restored by replaying its draw
       // count against a freshly seeded instance.
-      churn_gen = churn_factory_(config_.seed ^ 0xBEEFULL);
+      churn_gen =
+        churn_factory_(StreamSeed(config_.seed, RngStream::kChurnGenerator));
       for (std::uint64_t i = 0; i < churn_draws; ++i) (void)churn_gen->Next();
     }
     collector.LoadState(r);
@@ -1081,6 +1121,7 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       spec.group = static_cast<std::size_t>(r.U64());
       dynamic_faults.push_back(spec);
     }
+    if (serve_rt.has_value()) serve_rt->LoadState(r);
   };
 
   /// Writes the snapshot for `round` and rotates the journal. The snapshot
@@ -1201,7 +1242,8 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
           config_.plmtf_co_migration_allowance, config_.quick_cost_probes,
           sched::QueuePressure{gcfg.overload.max_queue_length, queue.size(),
                                shed_count},
-          probe_rt, probe_cache);
+          probe_rt, probe_cache,
+          serve_rt.has_value() ? serve_rt->DegradationLevel() : 0);
       const sched::Decision decision = scheduler.Decide(context);
       NU_CHECK(sched::IsValidDecision(decision, queue.size()));
 
@@ -1311,6 +1353,11 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
 
       ++result.rounds;
       if (config_.keep_round_log) result.round_log.push_back(std::move(log));
+      // Round boundaries are brownout observation points: plan time moved
+      // the clock, and the queue just drained by the round's selection.
+      if (serve_rt.has_value()) {
+        serve_rt->Tick(network, now, queue.size(), active.size());
+      }
       continue;
     }
 
@@ -1408,6 +1455,9 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
           // Poison: out of failure budget — quarantine instead of another
           // round of livelock.
           collector.OnQuarantined(occ.event, entry.time);
+          if (serve_rt.has_value()) {
+            serve_rt->OnQuarantined(*event_by_id.at(occ.event.value()));
+          }
           commit(ckpt::WalOp::kQuarantine, occ.event.value(), entry.time);
           ++quarantined_count;
         } else {
@@ -1556,6 +1606,9 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       }
       if (ae.Complete()) {
         collector.OnCompletion(occ.event, entry.time);
+        if (serve_rt.has_value()) {
+          serve_rt->OnCompletion(*ae.event, entry.time);
+        }
         commit(ckpt::WalOp::kComplete, occ.event.value(), entry.time);
         ++completed_count;
         active.erase(it);
@@ -1592,11 +1645,23 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
         }
       }
     }
+    if (serve_rt.has_value()) {
+      // Occurrence batches are the other brownout observation points: the
+      // drain just moved the clock and may have completed events, fired
+      // faults, or stressed links.
+      serve_rt->Tick(network, now, queue.size(), active.size());
+    }
     if (config_.validate_invariants) {
       NU_CHECK(network.CheckInvariants() || result.forced_placements > 0);
     }
+    // Degradation ladder level 2+: optional cadence audits are suppressed
+    // to shed audit work under overload; fault-triggered (audit_due) and
+    // final audits always run.
+    const bool suppress_cadence_audit =
+        serve_rt.has_value() && serve_rt->SuppressOptionalAudits();
     if (audit_on &&
-        (audit_due || occurrences_since_audit >= gcfg.auditor.cadence)) {
+        (audit_due || (occurrences_since_audit >= gcfg.auditor.cadence &&
+                       !suppress_cadence_audit))) {
       run_audit();
       occurrences_since_audit = 0;
       audit_due = false;
@@ -1604,8 +1669,16 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
   }
 
   // Final audit: acceptance is "zero violations at end of run", so the last
-  // pass always runs regardless of where the cadence counter stands.
+  // pass always runs regardless of where the cadence counter stands (and
+  // regardless of brownout audit suppression).
   if (audit_on) run_audit();
+
+  if (serve_rt.has_value()) {
+    serve_rt->Finish(now, queue.size(), active.size());
+    result.serve = serve_rt->BuildSummary();
+    result.serve_timeseries_csv = serve_rt->TimeseriesCsv();
+    result.serve_tenant_csv = serve_rt->TenantReportCsv();
+  }
 
   NU_CHECK(collector.AllTerminal());
   NU_CHECK(!config_.validate_invariants || network.CheckInvariants() ||
@@ -1672,10 +1745,11 @@ SimResult Simulator::RunFlowLevel(
 
   // Background churn (see Run for the model).
   std::unique_ptr<trace::TrafficGenerator> churn_gen;
-  Rng churn_rng(config_.seed ^ 0xC0FFEEULL);
+  Rng churn_rng(StreamSeed(config_.seed, RngStream::kChurnTimers));
   if (config_.churn.enabled) {
     NU_CHECK(churn_factory_ != nullptr);
-    churn_gen = churn_factory_(config_.seed ^ 0xBEEFULL);
+    churn_gen =
+        churn_factory_(StreamSeed(config_.seed, RngStream::kChurnGenerator));
     for (FlowId fid : network.PlacedFlows()) {
       const flow::Flow& f = network.FlowOf(fid);
       if (f.origin != flow::FlowOrigin::kBackground) continue;

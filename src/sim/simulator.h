@@ -47,6 +47,7 @@
 #include "net/network.h"
 #include "sched/flow_level.h"
 #include "sched/scheduler.h"
+#include "serve/runtime.h"
 #include "sim/cost_model.h"
 #include "sim/event_queue.h"
 #include "trace/background.h"
@@ -171,6 +172,24 @@ struct SimConfig {
   /// SimConfig::faults.crash fires; Resume restores the newest loadable
   /// snapshot, replay-verifies the journal, and finishes the run.
   ckpt::CheckpointConfig checkpoint;
+  /// Online-serving mode (event-level Run only). Disabled by default; a
+  /// disabled config keeps no serve state, draws nothing from any Rng, and
+  /// adds no serve section to snapshots, so fixed-seed runs are
+  /// bit-identical to a build without the subsystem. When enabled:
+  ///   * Admission: arrivals pass the serve gates (Shedding-state priority
+  ///     floor, deadline-aware rejection, per-tenant token buckets) BEFORE
+  ///     the overload guard's bounded queue; rejected events terminate
+  ///     kShed and are counted per tenant and reason.
+  ///   * Health: a brownout controller tracks queue depth, the sliding
+  ///     deadline-miss rate, and fabric stress; its degradation level is
+  ///     exposed to the scheduler (SchedulingContext::DegradationLevel),
+  ///     suppresses optional cadence audits at level >= 2, and sheds
+  ///     low-priority tenants at level 3.
+  ///   * Telemetry: ECT percentiles via a deterministic streaming sketch,
+  ///     per-tenant ledgers + Jain's indexes, and a periodic/transition
+  ///     timeseries — all folded into SimResult and into snapshots
+  ///     (payload format v4).
+  serve::ServeOptions serve;
 };
 
 struct RoundLogEntry {
@@ -208,6 +227,12 @@ struct SimResult {
   /// carries the scheduling round and topology epoch of the pass that found
   /// it — the chaos campaign's primary oracle.
   std::vector<guard::AuditViolation> violations;
+  /// Serve-mode outcome (enabled == false unless SimConfig::serve is on).
+  serve::ServeSummary serve;
+  /// Serve-mode timeseries (periodic samples + brownout transitions) and
+  /// per-tenant report, as CSV text; empty unless serve mode is on.
+  std::string serve_timeseries_csv;
+  std::string serve_tenant_csv;
 };
 
 class Simulator {

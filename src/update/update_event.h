@@ -43,11 +43,26 @@ class UpdateEvent {
 
   [[nodiscard]] std::string DebugString() const;
 
+  // --- Serving metadata (serve/) -----------------------------------------
+  // Defaults (invalid tenant, deadline 0) mean "offline event": the whole
+  // pre-serve pipeline never sets these and behaves exactly as before.
+
+  /// Tenant that submitted the event; invalid when untagged.
+  [[nodiscard]] TenantId tenant() const { return tenant_; }
+  void SetTenant(TenantId tenant) { tenant_ = tenant; }
+
+  /// Absolute soft-SLO deadline (virtual time); 0 = no deadline.
+  [[nodiscard]] Seconds deadline() const { return deadline_; }
+  void SetDeadline(Seconds deadline) { deadline_ = deadline; }
+  [[nodiscard]] bool HasDeadline() const { return deadline_ > 0.0; }
+
  private:
   EventId id_;
   Seconds arrival_time_;
   EventKind kind_;
   std::vector<flow::Flow> flows_;
+  TenantId tenant_;
+  Seconds deadline_ = 0.0;
 };
 
 }  // namespace nu::update

@@ -1,0 +1,62 @@
+// Pins the named RNG stream constants. The enumerator values ARE the XOR
+// constants the legacy construction sites used, and golden CSVs from earlier
+// PRs encode exactly these derivations — a changed value here is a silent
+// break of every fixed-seed artifact, so each one is asserted numerically.
+#include "common/rng_streams.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nu {
+namespace {
+
+TEST(RngStreamsTest, LegacyConstantsArePinned) {
+  EXPECT_EQ(static_cast<std::uint64_t>(RngStream::kScheduler), 0x0ULL);
+  EXPECT_EQ(static_cast<std::uint64_t>(RngStream::kChurnTimers), 0xC0FFEEULL);
+  EXPECT_EQ(static_cast<std::uint64_t>(RngStream::kChurnGenerator),
+            0xBEEFULL);
+  EXPECT_EQ(static_cast<std::uint64_t>(RngStream::kFaultInjection),
+            0xFA11ULL);
+  EXPECT_EQ(static_cast<std::uint64_t>(RngStream::kSimFromWorkload),
+            0x5eedULL);
+  EXPECT_EQ(static_cast<std::uint64_t>(RngStream::kBackgroundPaths),
+            0xECECULL);
+}
+
+TEST(RngStreamsTest, ServeConstantsArePinned) {
+  EXPECT_EQ(static_cast<std::uint64_t>(RngStream::kServeArrivals), 0xA881ULL);
+  EXPECT_EQ(static_cast<std::uint64_t>(RngStream::kServeFlows), 0xF10AULL);
+  EXPECT_EQ(static_cast<std::uint64_t>(RngStream::kServeFlowSource),
+            0x51ABULL);
+}
+
+TEST(RngStreamsTest, AllStreamsAreDistinct) {
+  const std::set<std::uint64_t> constants{
+      static_cast<std::uint64_t>(RngStream::kScheduler),
+      static_cast<std::uint64_t>(RngStream::kChurnTimers),
+      static_cast<std::uint64_t>(RngStream::kChurnGenerator),
+      static_cast<std::uint64_t>(RngStream::kFaultInjection),
+      static_cast<std::uint64_t>(RngStream::kSimFromWorkload),
+      static_cast<std::uint64_t>(RngStream::kBackgroundPaths),
+      static_cast<std::uint64_t>(RngStream::kServeArrivals),
+      static_cast<std::uint64_t>(RngStream::kServeFlows),
+      static_cast<std::uint64_t>(RngStream::kServeFlowSource),
+  };
+  EXPECT_EQ(constants.size(), 9u);
+}
+
+TEST(RngStreamsTest, StreamSeedIsXor) {
+  // kScheduler is the identity stream: the simulator historically seeded
+  // its scheduler Rng with the raw seed.
+  EXPECT_EQ(StreamSeed(12345, RngStream::kScheduler), 12345u);
+  EXPECT_EQ(StreamSeed(0, RngStream::kChurnTimers), 0xC0FFEEULL);
+  EXPECT_EQ(StreamSeed(42, RngStream::kFaultInjection), 42ULL ^ 0xFA11ULL);
+  // XOR is an involution: deriving twice recovers the base seed.
+  EXPECT_EQ(StreamSeed(StreamSeed(99, RngStream::kServeArrivals),
+                       RngStream::kServeArrivals),
+            99u);
+}
+
+}  // namespace
+}  // namespace nu

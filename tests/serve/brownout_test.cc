@@ -1,0 +1,137 @@
+// The brownout health state machine: pressure folding, one-level-at-a-time
+// latched transitions, enter/exit hysteresis with hold times (no flapping),
+// and snapshot round-tripping mid-episode.
+#include "serve/brownout.h"
+
+#include <gtest/gtest.h>
+
+namespace nu::serve {
+namespace {
+
+BrownoutConfig FastConfig() {
+  BrownoutConfig config;
+  config.hold_enter = 0.5;
+  config.hold_exit = 1.0;
+  return config;
+}
+
+BrownoutSignals Queue(std::size_t length) {
+  return BrownoutSignals{.queue_length = length};
+}
+
+TEST(BrownoutTest, PressureIsWorstOfThreeSignals) {
+  const BrownoutController controller(FastConfig());
+  // queue_reference = 16, stress_reference = 4.
+  EXPECT_DOUBLE_EQ(controller.Pressure(Queue(8)), 0.5);
+  EXPECT_DOUBLE_EQ(
+      controller.Pressure(BrownoutSignals{.queue_length = 0, .miss_rate = 0.7}),
+      0.7);
+  EXPECT_DOUBLE_EQ(controller.Pressure(BrownoutSignals{.stressed_links = 2}),
+                   0.5);
+  EXPECT_DOUBLE_EQ(controller.Pressure(BrownoutSignals{
+                       .queue_length = 8, .miss_rate = 0.9, .stressed_links = 1}),
+                   0.9);
+}
+
+TEST(BrownoutTest, EscalatesOneLevelPerHold) {
+  BrownoutController controller(FastConfig());
+  // Saturated pressure (queue 16/16 = 1.0 >= every enter threshold): the
+  // ladder still climbs ONE latched level per hold_enter, never jumping.
+  // The hold timer restarts AFTER each transition, at the next observation.
+  EXPECT_EQ(controller.Observe(0.0, Queue(16)), HealthState::kHealthy);
+  EXPECT_EQ(controller.Observe(0.25, Queue(16)), HealthState::kHealthy);
+  EXPECT_EQ(controller.Observe(0.5, Queue(16)), HealthState::kDegraded);
+  EXPECT_EQ(controller.Observe(0.75, Queue(16)), HealthState::kDegraded);
+  EXPECT_EQ(controller.Observe(1.25, Queue(16)), HealthState::kOverloaded);
+  EXPECT_EQ(controller.Observe(1.5, Queue(16)), HealthState::kOverloaded);
+  EXPECT_EQ(controller.Observe(2.0, Queue(16)), HealthState::kShedding);
+  // Terminal state: saturated pressure cannot escalate past Shedding.
+  EXPECT_EQ(controller.Observe(2.5, Queue(16)), HealthState::kShedding);
+  EXPECT_EQ(controller.Observe(5.0, Queue(16)), HealthState::kShedding);
+  ASSERT_EQ(controller.transitions().size(), 3u);
+  EXPECT_EQ(controller.transitions()[0].from, HealthState::kHealthy);
+  EXPECT_EQ(controller.transitions()[0].to, HealthState::kDegraded);
+  EXPECT_EQ(controller.transitions()[2].to, HealthState::kShedding);
+  EXPECT_EQ(controller.DegradationLevel(), 3);
+}
+
+TEST(BrownoutTest, RelaxesOneLevelPerExitHold) {
+  BrownoutController controller(FastConfig());
+  (void)controller.Observe(0.0, Queue(16));
+  (void)controller.Observe(0.5, Queue(16));   // -> degraded
+  (void)controller.Observe(0.75, Queue(16));
+  (void)controller.Observe(1.25, Queue(16));  // -> overloaded
+  (void)controller.Observe(1.5, Queue(16));
+  ASSERT_EQ(controller.Observe(2.0, Queue(16)), HealthState::kShedding);
+  // Quiet fabric: exit thresholds are all met, but each step still waits
+  // out hold_exit = 1.0, restarting at the observation after a transition.
+  EXPECT_EQ(controller.Observe(2.5, Queue(0)), HealthState::kShedding);
+  EXPECT_EQ(controller.Observe(3.5, Queue(0)), HealthState::kOverloaded);
+  EXPECT_EQ(controller.Observe(4.0, Queue(0)), HealthState::kOverloaded);
+  EXPECT_EQ(controller.Observe(5.0, Queue(0)), HealthState::kDegraded);
+  EXPECT_EQ(controller.Observe(5.5, Queue(0)), HealthState::kDegraded);
+  EXPECT_EQ(controller.Observe(6.5, Queue(0)), HealthState::kHealthy);
+  EXPECT_EQ(controller.transitions().size(), 6u);
+}
+
+TEST(BrownoutTest, ShortSpikesDoNotLatch) {
+  BrownoutController controller(FastConfig());
+  // Pressure pulses above enter_degraded but keeps dipping back below
+  // before hold_enter accumulates: no transition ever fires.
+  for (int i = 0; i < 20; ++i) {
+    const Seconds t = 0.4 * i;
+    (void)controller.Observe(t, Queue(16));
+    (void)controller.Observe(t + 0.2, Queue(0));
+  }
+  EXPECT_EQ(controller.state(), HealthState::kHealthy);
+  EXPECT_TRUE(controller.transitions().empty());
+}
+
+TEST(BrownoutTest, HysteresisBandHoldsTheLevel) {
+  BrownoutController controller(FastConfig());
+  (void)controller.Observe(0.0, Queue(10));  // 0.625 >= enter_degraded
+  ASSERT_EQ(controller.Observe(0.5, Queue(10)), HealthState::kDegraded);
+  // Pressure settles between exit_degraded (0.3) and enter_overloaded
+  // (0.75): inside the hysteresis band the controller neither escalates
+  // nor relaxes, no matter how long.
+  for (int i = 1; i <= 40; ++i) {
+    EXPECT_EQ(controller.Observe(0.5 + 0.5 * i, Queue(8)),
+              HealthState::kDegraded);
+  }
+  EXPECT_EQ(controller.transitions().size(), 1u);
+}
+
+TEST(BrownoutTest, TimeInStateAccumulates) {
+  BrownoutController controller(FastConfig());
+  (void)controller.Observe(0.0, Queue(16));
+  (void)controller.Observe(0.5, Queue(16));  // -> degraded at 0.5
+  (void)controller.Observe(2.5, Queue(8));   // band: stays degraded
+  const auto& time_in_state = controller.time_in_state();
+  EXPECT_DOUBLE_EQ(time_in_state[0], 0.5);  // healthy
+  EXPECT_DOUBLE_EQ(time_in_state[1], 2.0);  // degraded
+}
+
+TEST(BrownoutTest, SaveLoadRoundTripMidEpisode) {
+  BrownoutController controller(FastConfig());
+  (void)controller.Observe(0.0, Queue(16));
+  (void)controller.Observe(0.5, Queue(16));
+  (void)controller.Observe(0.75, Queue(16));  // part-way to overloaded
+
+  BinWriter w;
+  controller.SaveState(w);
+  BrownoutController restored(FastConfig());
+  BinReader r(w.buffer());
+  restored.LoadState(r);
+
+  EXPECT_EQ(restored.state(), controller.state());
+  EXPECT_EQ(restored.transitions().size(), controller.transitions().size());
+  EXPECT_DOUBLE_EQ(restored.last_pressure(), controller.last_pressure());
+
+  // The restored copy continues the in-flight enter episode identically:
+  // both latch kOverloaded at the same observation (0.75 + hold_enter).
+  EXPECT_EQ(controller.Observe(1.25, Queue(16)), HealthState::kOverloaded);
+  EXPECT_EQ(restored.Observe(1.25, Queue(16)), HealthState::kOverloaded);
+}
+
+}  // namespace
+}  // namespace nu::serve

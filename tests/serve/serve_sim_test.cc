@@ -1,0 +1,235 @@
+// End-to-end serve mode: the acceptance scenario (2x offered load with a
+// mid-run pod SRLG outage) plus the two properties that make it a
+// regression net — byte-identical reruns and crash/recover transparency of
+// the serve section in v4 snapshots.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "common/rng_streams.h"
+#include "exp/runner.h"
+#include "exp/serve.h"
+#include "fault/injector.h"
+#include "metrics/export.h"
+#include "serve/degradable.h"
+#include "serve/runtime.h"
+#include "sim/simulator.h"
+#include "topo/fat_tree.h"
+#include "topo/path_provider.h"
+#include "trace/uniform.h"
+
+namespace nu::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The acceptance shape: small fabric, short stream, 2x the calibrated
+/// service rate, pod0 SRLG outage mid-stream.
+exp::ServeCampaignConfig AcceptanceCampaign() {
+  exp::ServeCampaignConfig campaign = exp::DefaultServeCampaign(/*rate=*/1.0);
+  campaign.exp.fat_tree_k = 4;
+  campaign.exp.seed = 4242;
+  campaign.serve.arrivals.duration = 30.0;
+  campaign.offered_load = 2.0;
+  campaign.pod_outage = true;
+  campaign.pod_outage_time = 8.0;
+  campaign.pod_outage_duration = 6.0;
+  return campaign;
+}
+
+TEST(ServeSimTest, AcceptanceScenarioAtTwoTimesCapacity) {
+  exp::ServeCampaignConfig campaign = AcceptanceCampaign();
+  campaign.serve.arrivals.rate = exp::EstimateServiceRate(campaign);
+  const sim::SimResult result = exp::RunServeCampaign(campaign);
+  const ServeSummary& s = result.serve;
+
+  // Zero auditor violations under 2x overload + a pod outage.
+  EXPECT_TRUE(result.violations.empty());
+  // The ladder went all the way down and came all the way back.
+  EXPECT_TRUE(s.reached_shedding);
+  EXPECT_TRUE(s.recovered_healthy);
+  EXPECT_EQ(s.final_state, HealthState::kHealthy);
+  // Excess load was absorbed by rejection/shedding, not by tail latency:
+  // roughly half the offered load cannot be admitted at 2x.
+  const std::size_t rejected =
+      s.rejected_budget + s.rejected_deadline + s.rejected_priority;
+  EXPECT_GT(rejected + s.shed_queue, 0u);
+  EXPECT_LT(s.admitted, s.arrivals);
+  // Admitted-tail ECT stays bounded: an admitted event's residence is
+  // capped by the watchdog envelope (max_failures attempts at the per-event
+  // deadline budget) plus bounded queue wait — 2x that envelope is generous
+  // and still catches an unbounded-tail regression.
+  const guard::DeadlineConfig& dl = campaign.exp.sim.guard.deadline;
+  const double attempt_budget =
+      dl.base_deadline +
+      dl.per_flow_deadline *
+          static_cast<double>(campaign.serve.arrivals.max_flows);
+  EXPECT_GT(s.ect_p999, 0.0);
+  EXPECT_LT(s.ect_p999,
+            2.0 * static_cast<double>(dl.max_failures) * attempt_budget);
+  // Fairness indexes are reported and sane.
+  EXPECT_GT(s.jain_ect, 0.0);
+  EXPECT_LE(s.jain_ect, 1.0 + 1e-12);
+  EXPECT_GT(s.jain_admission, 0.0);
+  EXPECT_LE(s.jain_admission, 1.0 + 1e-12);
+  // Ladder transitions are typed rows in the timeseries.
+  EXPECT_GT(s.transitions, 0u);
+  EXPECT_NE(result.serve_timeseries_csv.find("transition"), std::string::npos);
+  EXPECT_NE(result.serve_timeseries_csv.find("shedding"), std::string::npos);
+  // Bookkeeping closes: every arrival is admitted or rejected, and no
+  // admitted-event outcome bucket overflows the admitted count.
+  EXPECT_EQ(s.arrivals, s.admitted + rejected);
+  EXPECT_LE(s.completed + s.shed_queue + s.quarantined, s.admitted);
+}
+
+TEST(ServeSimTest, SameSeedRunsAreByteIdentical) {
+  exp::ServeCampaignConfig campaign = AcceptanceCampaign();
+  campaign.serve.arrivals.rate = 2.0;  // pinned: no calibration run needed
+  const sim::SimResult a = exp::RunServeCampaign(campaign);
+  const sim::SimResult b = exp::RunServeCampaign(campaign);
+
+  EXPECT_EQ(a.serve_timeseries_csv, b.serve_timeseries_csv);
+  EXPECT_EQ(a.serve_tenant_csv, b.serve_tenant_csv);
+  std::ostringstream ra;
+  std::ostringstream rb;
+  metrics::WriteRecordsCsv(ra, a.records);
+  metrics::WriteRecordsCsv(rb, b.records);
+  EXPECT_EQ(ra.str(), rb.str());
+}
+
+TEST(ServeSimTest, ProcessShapesAllSurviveOverload) {
+  for (const ArrivalProcess process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kBursty,
+        ArrivalProcess::kDiurnal}) {
+    exp::ServeCampaignConfig campaign = AcceptanceCampaign();
+    campaign.serve.arrivals.process = process;
+    campaign.serve.arrivals.rate = 2.0;
+    const sim::SimResult result = exp::RunServeCampaign(campaign);
+    EXPECT_TRUE(result.violations.empty()) << ToString(process);
+    EXPECT_GT(result.serve.completed, 0u) << ToString(process);
+  }
+}
+
+TEST(ServeSimTest, DisabledServeDrawsNothing) {
+  // A serve config that is present but disabled must not perturb the run:
+  // same records as a config that never mentions serve at all.
+  exp::ServeCampaignConfig campaign = AcceptanceCampaign();
+  exp::ExperimentConfig plain = campaign.exp;
+  plain.event_count = 12;
+
+  auto records_csv = [](const sim::SimResult& result) {
+    std::ostringstream out;
+    metrics::WriteRecordsCsv(out, result.records);
+    return out.str();
+  };
+
+  const exp::Workload workload(plain);
+  const sim::SimResult without =
+      exp::RunScheduler(workload, sched::SchedulerKind::kPlmtf);
+  exp::ExperimentConfig with_stub = plain;
+  with_stub.sim.serve = campaign.serve;
+  with_stub.sim.serve.enabled = false;
+  const exp::Workload workload2(with_stub);
+  const sim::SimResult with =
+      exp::RunScheduler(workload2, sched::SchedulerKind::kPlmtf);
+  EXPECT_EQ(records_csv(with), records_csv(without));
+  EXPECT_FALSE(with.serve.enabled);
+  EXPECT_TRUE(with.serve_timeseries_csv.empty());
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::temp_directory_path() / ("nu_serve_sim_" + tag)) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  [[nodiscard]] const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+/// Crash/recover with the serve section riding in v4 snapshots: a run
+/// crashed mid-stream and resumed from disk must reproduce the
+/// uninterrupted run's serve timeseries and tenant report byte-for-byte.
+TEST(ServeSimTest, CrashRecoveryPreservesServeState) {
+  const topo::FatTree ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0});
+  const topo::FatTreePathProvider provider(ft);
+  const net::Network network(ft.graph());
+
+  sim::SimConfig config;
+  config.seed = 616;
+  config.cost_model.plan_time_per_flow = 0.002;
+  config.cost_model.install_time_per_flow = 0.05;
+  config.guard.overload.max_queue_length = 8;
+  config.guard.overload.policy = guard::OverloadPolicy::kShedCostliest;
+  config.guard.deadline.base_deadline = 10.0;
+  config.guard.deadline.per_flow_deadline = 1.0;
+  config.guard.auditor.enabled = true;
+  config.guard.auditor.mode = guard::AuditMode::kLogAndCount;
+  config.serve.enabled = true;
+  config.serve.arrivals.rate = 2.0;
+  config.serve.arrivals.duration = 10.0;
+  config.serve.arrivals.min_flows = 2;
+  config.serve.arrivals.max_flows = 6;
+  config.serve.arrivals.tenants = {
+      TenantSpec{.name = "gold", .weight = 1.0, .priority = 2,
+                 .slo_deadline = 30.0},
+      TenantSpec{.name = "bronze", .weight = 1.0, .priority = 0,
+                 .slo_deadline = 40.0},
+  };
+  config.serve.budget.enabled = true;
+  config.serve.budget.default_rate = 2.0;
+  config.serve.budget.default_burst = 6.0;
+  config.serve.brownout.queue_reference = 8.0;
+
+  trace::UniformGenerator flow_source(
+      ft.hosts(), Rng(StreamSeed(config.seed, RngStream::kServeFlowSource)));
+  const std::vector<update::UpdateEvent> events =
+      GenerateArrivals(config.serve.arrivals, flow_source, config.seed);
+  ASSERT_GE(events.size(), 8u);
+
+  auto run = [&](const sim::SimConfig& cfg,
+                 bool resume) -> sim::SimResult {
+    sim::Simulator simulator(network, provider, cfg);
+    DegradableScheduler scheduler;
+    return resume ? simulator.Resume(scheduler, events)
+                  : simulator.Run(scheduler, events);
+  };
+
+  TempDir ref_dir("ref");
+  sim::SimConfig ref_config = config;
+  ref_config.checkpoint.dir = ref_dir.path().string();
+  ref_config.checkpoint.cadence = 2;
+  const sim::SimResult reference = run(ref_config, /*resume=*/false);
+  ASSERT_GE(reference.rounds, 4u);
+  ASSERT_TRUE(reference.serve.enabled);
+
+  for (const std::size_t crash_round : {2ul, reference.rounds / 2,
+                                        reference.rounds - 1}) {
+    const std::string tag = "crash_r" + std::to_string(crash_round);
+    TempDir dir(tag);
+    sim::SimConfig crash_config = ref_config;
+    crash_config.checkpoint.dir = dir.path().string();
+    crash_config.faults.crash.at_round = crash_round;
+    crash_config.faults.crash.point = fault::CrashPoint::kBeforeRound;
+
+    EXPECT_THROW((void)run(crash_config, /*resume=*/false),
+                 fault::ControllerCrash)
+        << tag;
+    const sim::SimResult recovered = run(crash_config, /*resume=*/true);
+    EXPECT_TRUE(recovered.recovery.recovered) << tag;
+    EXPECT_EQ(recovered.serve_timeseries_csv, reference.serve_timeseries_csv)
+        << tag;
+    EXPECT_EQ(recovered.serve_tenant_csv, reference.serve_tenant_csv) << tag;
+    EXPECT_EQ(recovered.serve.transitions, reference.serve.transitions)
+        << tag;
+  }
+}
+
+}  // namespace
+}  // namespace nu::serve

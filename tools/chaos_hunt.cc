@@ -33,8 +33,11 @@ struct CliOptions {
   std::cerr << "error: " << error << "\n"
             << "usage: chaos_hunt [--quick] [--trials=N] [--seed=S]\n"
             << "                  [--k=K] [--events=N] [--inject-bug]\n"
+            << "                  [--serve=LOAD] [--serve-rate=R]\n"
             << "                  [--no-determinism] [--out=DIR]\n"
-            << "                  [--replay=ARTIFACT]\n";
+            << "                  [--replay=ARTIFACT]\n"
+            << "--serve runs online-serving trials at LOAD x the base rate\n"
+            << "(deadline-miss oracle armed; --events = stream seconds).\n";
   std::exit(2);
 }
 
@@ -66,6 +69,19 @@ CliOptions ParseArgs(int argc, char** argv) {
       cli.chaos.event_count = ParseCount(flag, value);
     } else if (flag == "--inject-bug") {
       cli.chaos.inject_bug = true;
+    } else if (flag == "--serve") {
+      try {
+        cli.chaos.serve_load = std::stod(value);
+      } catch (const std::exception&) {
+        Usage("bad value for --serve: '" + value + "'");
+      }
+      if (cli.chaos.serve_load <= 0.0) Usage("--serve needs a load > 0");
+    } else if (flag == "--serve-rate") {
+      try {
+        cli.chaos.serve_rate = std::stod(value);
+      } catch (const std::exception&) {
+        Usage("bad value for --serve-rate: '" + value + "'");
+      }
     } else if (flag == "--no-determinism") {
       cli.chaos.check_determinism = false;
     } else if (flag == "--out") {
@@ -127,7 +143,12 @@ int main(int argc, char** argv) {
             << " seed=" << cli.chaos.seed << " k=" << cli.chaos.fat_tree_k
             << " events=" << cli.chaos.event_count
             << (cli.chaos.inject_bug ? " inject-bug" : "")
-            << (cli.chaos.check_determinism ? "" : " no-determinism") << "\n";
+            << (cli.chaos.check_determinism ? "" : " no-determinism");
+  if (cli.chaos.serve_load > 0.0) {
+    std::cout << " serve-load=" << cli.chaos.serve_load
+              << " serve-rate=" << cli.chaos.serve_rate;
+  }
+  std::cout << "\n";
   const nu::exp::ChaosCampaignResult result =
       nu::exp::RunChaosCampaign(cli.chaos);
   std::cout << "trials run: " << result.trials_run << "\n"

@@ -1,0 +1,199 @@
+// nu_serve: seeded online-serving campaigns against the brownout controller.
+//
+// Runs the open-loop arrival stream through the simulator's serve mode and
+// writes the SLO timeseries + per-tenant report; sweep mode calibrates the
+// fabric's service rate and scans offered load across it. Fixed seeds give
+// byte-identical CSVs — CI runs --quick twice and compares.
+//
+//   nu_serve --quick                    # bounded 2x-overload run + SRLG outage (CI)
+//   nu_serve --load=2 --pod-outage      # one calibrated run at 2x capacity
+//   nu_serve --sweep=0.5,1,2,3          # offered-load sweep (multiples of capacity)
+//   nu_serve --seed=7 --k=8 --duration=120 --process=bursty --out=DIR
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/serve.h"
+
+namespace {
+
+using nu::exp::ServeCampaignConfig;
+
+struct CliOptions {
+  ServeCampaignConfig campaign;
+  std::vector<double> sweep_loads;
+  double load = 1.0;
+  bool calibrate = true;
+  bool quick = false;
+  std::string out_dir = ".";
+};
+
+[[noreturn]] void Usage(const std::string& error) {
+  std::cerr << "error: " << error << "\n"
+            << "usage: nu_serve [--quick] [--load=X | --sweep=X,Y,...]\n"
+            << "                [--rate=R] [--no-calibrate] [--seed=S]\n"
+            << "                [--k=K] [--duration=D] [--process=NAME]\n"
+            << "                [--pod-outage] [--out=DIR]\n";
+  std::exit(2);
+}
+
+double ParseReal(const std::string& flag, const std::string& value) {
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    Usage("bad value for " + flag + ": '" + value + "'");
+  }
+}
+
+std::uint64_t ParseCount(const std::string& flag, const std::string& value) {
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    Usage("bad value for " + flag + ": '" + value + "'");
+  }
+}
+
+std::vector<double> ParseLoads(const std::string& value) {
+  std::vector<double> loads;
+  std::istringstream in(value);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    loads.push_back(ParseReal("--sweep", item));
+  }
+  if (loads.empty()) Usage("--sweep needs at least one load factor");
+  return loads;
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions cli;
+  cli.campaign = nu::exp::DefaultServeCampaign(/*rate=*/1.0);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    const std::string flag = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : arg.substr(eq + 1);
+    if (flag == "--quick") {
+      cli.quick = true;
+    } else if (flag == "--load") {
+      cli.load = ParseReal(flag, value);
+    } else if (flag == "--sweep") {
+      cli.sweep_loads = ParseLoads(value);
+    } else if (flag == "--rate") {
+      cli.campaign.serve.arrivals.rate = ParseReal(flag, value);
+      cli.calibrate = false;
+    } else if (flag == "--no-calibrate") {
+      cli.calibrate = false;
+    } else if (flag == "--seed") {
+      cli.campaign.exp.seed = ParseCount(flag, value);
+    } else if (flag == "--k") {
+      cli.campaign.exp.fat_tree_k = ParseCount(flag, value);
+    } else if (flag == "--duration") {
+      cli.campaign.serve.arrivals.duration = ParseReal(flag, value);
+    } else if (flag == "--process") {
+      cli.campaign.serve.arrivals.process =
+          nu::serve::ParseArrivalProcess(value);
+    } else if (flag == "--pod-outage") {
+      cli.campaign.pod_outage = true;
+    } else if (flag == "--out") {
+      cli.out_dir = value;
+    } else {
+      Usage("unknown flag '" + arg + "'");
+    }
+  }
+  if (cli.quick) {
+    // Bounded CI shape: small fabric, short stream, 2x overload with a
+    // mid-run pod outage — the acceptance scenario in miniature.
+    cli.campaign.exp.fat_tree_k = 4;
+    cli.campaign.serve.arrivals.duration = 30.0;
+    cli.campaign.pod_outage = true;
+    cli.campaign.pod_outage_time = 8.0;
+    cli.campaign.pod_outage_duration = 6.0;
+    cli.load = 2.0;
+  }
+  return cli;
+}
+
+void WriteFile(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    std::cerr << "error: cannot write " << path << "\n";
+    std::exit(2);
+  }
+  out << text;
+}
+
+void PrintSummary(const nu::sim::SimResult& result) {
+  const nu::serve::ServeSummary& s = result.serve;
+  std::cout << "arrivals:          " << s.arrivals << "\n"
+            << "admitted:          " << s.admitted << "\n"
+            << "completed:         " << s.completed << "\n"
+            << "rejected (budget/deadline/priority): " << s.rejected_budget
+            << "/" << s.rejected_deadline << "/" << s.rejected_priority
+            << "\n"
+            << "shed from queue:   " << s.shed_queue << "\n"
+            << "quarantined:       " << s.quarantined << "\n"
+            << "slo misses:        " << s.slo_misses << "\n"
+            << "ect p50/p99/p999:  " << s.ect_p50 << " / " << s.ect_p99
+            << " / " << s.ect_p999 << "\n"
+            << "jain ect/admission: " << s.jain_ect << " / "
+            << s.jain_admission << "\n"
+            << "brownout transitions: " << s.transitions
+            << " (final " << nu::serve::ToString(s.final_state)
+            << ", reached shedding: " << (s.reached_shedding ? "yes" : "no")
+            << ", recovered healthy: " << (s.recovered_healthy ? "yes" : "no")
+            << ")\n"
+            << "auditor violations: " << result.violations.size() << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli = ParseArgs(argc, argv);
+  namespace fs = std::filesystem;
+  fs::create_directories(cli.out_dir);
+
+  if (!cli.sweep_loads.empty()) {
+    std::cout << "serve sweep: loads={";
+    for (std::size_t i = 0; i < cli.sweep_loads.size(); ++i) {
+      std::cout << (i > 0 ? "," : "") << cli.sweep_loads[i];
+    }
+    std::cout << "} seed=" << cli.campaign.exp.seed
+              << " k=" << cli.campaign.exp.fat_tree_k << "\n";
+    const std::vector<nu::exp::ServeSweepPoint> points =
+        nu::exp::RunServeSweep(cli.campaign, cli.sweep_loads, cli.calibrate);
+    const std::string csv = nu::exp::ServeSweepCsv(points);
+    WriteFile(fs::path(cli.out_dir) / "serve_sweep.csv", csv);
+    std::cout << csv;
+    return 0;
+  }
+
+  ServeCampaignConfig campaign = cli.campaign;
+  if (cli.calibrate) {
+    const double rate = nu::exp::EstimateServiceRate(campaign);
+    std::cout << "calibrated service rate: " << rate << " events/s\n";
+    campaign.serve.arrivals.rate = rate;
+  }
+  campaign.offered_load = cli.load;
+  std::cout << "serve run: load=" << cli.load
+            << " rate=" << campaign.serve.arrivals.rate * cli.load
+            << " seed=" << campaign.exp.seed
+            << " k=" << campaign.exp.fat_tree_k << " process="
+            << nu::serve::ToString(campaign.serve.arrivals.process)
+            << (campaign.pod_outage ? " pod-outage" : "") << "\n";
+
+  const nu::sim::SimResult result = nu::exp::RunServeCampaign(campaign);
+  PrintSummary(result);
+  WriteFile(fs::path(cli.out_dir) / "serve_timeseries.csv",
+            result.serve_timeseries_csv);
+  WriteFile(fs::path(cli.out_dir) / "serve_tenants.csv",
+            result.serve_tenant_csv);
+  std::cout << "wrote " << (fs::path(cli.out_dir) / "serve_timeseries.csv")
+            << " and " << (fs::path(cli.out_dir) / "serve_tenants.csv")
+            << "\n";
+  return 0;
+}
