@@ -33,7 +33,10 @@ namespace nu::ckpt {
 /// v4: serve-mode runs append a serve section (brownout state machine,
 /// tenant budgets/ledgers, percentile sketch, timeseries rows) after the
 /// dynamic-fault list; absent when SimConfig::serve is disabled.
-inline constexpr std::uint32_t kSnapshotVersion = 4;
+/// v5: sharded runs append a shard section (partition fingerprint + the
+/// engine's logical counters) after the serve section; absent when
+/// SimConfig::shards < 2. Thread count never affects the payload.
+inline constexpr std::uint32_t kSnapshotVersion = 5;
 
 /// Thrown when a snapshot file fails frame validation (bad magic, version
 /// mismatch, truncation, or checksum failure).

@@ -133,7 +133,8 @@ bool operator==(const ChaosScenario& a, const ChaosScenario& b) {
          a.cascade.utilization_threshold == b.cascade.utilization_threshold &&
          a.cascade.hold_time == b.cascade.hold_time &&
          a.cascade.outage == b.cascade.outage && storm_eq &&
-         a.serve_load == b.serve_load && a.serve_rate == b.serve_rate;
+         a.serve_load == b.serve_load && a.serve_rate == b.serve_rate &&
+         a.shards == b.shards && a.shard_threads == b.shard_threads;
 }
 
 ChaosScenario MakeTrialScenario(const ChaosOptions& options,
@@ -187,6 +188,8 @@ ChaosScenario MakeTrialScenario(const ChaosOptions& options,
   }
   scenario.serve_load = options.serve_load;
   scenario.serve_rate = options.serve_rate;
+  scenario.shards = options.shards;
+  scenario.shard_threads = options.shard_threads;
   return scenario;
 }
 
@@ -209,6 +212,8 @@ sim::SimResult RunScenario(const ChaosScenario& scenario) {
     }
     campaign.exp.sim.faults.retry.max_attempts = 3;
     campaign.exp.sim.faults.retry.base_delay = 0.05;
+    campaign.exp.sim.shards = scenario.shards;
+    campaign.exp.sim.shard_threads = scenario.shard_threads;
     return RunServeCampaign(campaign);
   }
 
@@ -240,6 +245,9 @@ sim::SimResult RunScenario(const ChaosScenario& scenario) {
   config.sim.guard.auditor.enabled = true;
   config.sim.guard.auditor.mode = guard::AuditMode::kLogAndCount;
   config.sim.guard.auditor.cadence = 8;
+
+  config.sim.shards = scenario.shards;
+  config.sim.shard_threads = scenario.shard_threads;
 
   const Workload workload(config);
   return RunScheduler(workload, scenario.scheduler);
@@ -443,6 +451,11 @@ std::string SerializeArtifact(const ChaosScenario& scenario) {
     out << "serve " << FormatNum(scenario.serve_load) << " "
         << FormatNum(scenario.serve_rate) << "\n";
   }
+  if (scenario.shards >= 2) {
+    // Absent on unsharded scenarios so pre-shard artifacts stay byte-stable.
+    out << "shards " << scenario.shards << " " << scenario.shard_threads
+        << "\n";
+  }
   out << "plan\n";
   scenario.plan.SaveText(out);
   return out.str();
@@ -491,6 +504,9 @@ ChaosScenario ParseArtifact(const std::string& text) {
     } else if (key == "serve" && tokens.size() == 3) {
       scenario.serve_load = ParseNum(tokens[1]);
       scenario.serve_rate = ParseNum(tokens[2]);
+    } else if (key == "shards" && tokens.size() == 3) {
+      scenario.shards = static_cast<std::size_t>(ParseU64(tokens[1]));
+      scenario.shard_threads = static_cast<std::size_t>(ParseU64(tokens[2]));
     } else if (key == "storm" && tokens.size() == 5) {
       fault::FlakyStorm storm;
       storm.start = ParseNum(tokens[1]);

@@ -51,6 +51,13 @@ struct ChaosScenario {
   /// rather than calibrated so judging a scenario never depends on a
   /// calibration run.
   double serve_rate = 1.0;
+  /// Pod-sharded engine: >= 2 runs every trial on the sharded simulator
+  /// (SimConfig::shards), putting the mailbox, shard audits, and the
+  /// round-barrier protocol under the chaos oracles. 0 = unsharded; old
+  /// artifacts parse unchanged.
+  std::size_t shards = 0;
+  /// Worker threads for sharded trials (0 = engine default).
+  std::size_t shard_threads = 0;
 
   friend bool operator==(const ChaosScenario& a, const ChaosScenario& b);
 };
@@ -88,6 +95,11 @@ struct ChaosOptions {
   double serve_load = 0.0;
   /// Base arrival rate for serve-mode trials (events/s).
   double serve_rate = 1.0;
+  /// Run every trial on the pod-sharded engine with this many shards
+  /// (>= 2); 0 keeps trials unsharded.
+  std::size_t shards = 0;
+  /// Worker threads for sharded trials (0 = engine default).
+  std::size_t shard_threads = 0;
 };
 
 /// One shrunk failure of a campaign.

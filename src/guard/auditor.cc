@@ -1,6 +1,8 @@
 #include "guard/auditor.h"
 
+#include <chrono>
 #include <cmath>
+#include <future>
 #include <sstream>
 #include <unordered_set>
 
@@ -14,6 +16,118 @@ namespace {
 /// from incremental Occupy/Release updates (same spirit as the network's
 /// own CheckInvariants).
 constexpr double kBandwidthEpsilon = 1e-6;
+
+/// One violation detected by a recompute (worker side of the sharded audit,
+/// or the serial scan): text only, no side effects. Reporting — logging,
+/// counting, fail-fast throwing — happens exclusively on the coordinator in
+/// canonical order, so serial and sharded passes are indistinguishable.
+struct Finding {
+  const char* invariant;
+  std::string detail;
+};
+
+using AuditClock = std::chrono::steady_clock;
+
+double SecondsSince(AuditClock::time_point start) {
+  return std::chrono::duration<double>(AuditClock::now() - start).count();
+}
+
+/// Capacity checks for one link given its independently recomputed load.
+/// Emission order (residual disagreement, overcommit, negative residual) is
+/// part of the canonical violation order.
+void CollectCapacityFindings(const topo::Graph& graph,
+                             const net::Network& network, Mbps load,
+                             std::size_t link_index, bool allow_overcommit,
+                             std::vector<Finding>& out) {
+  const LinkId link{static_cast<LinkId::rep_type>(link_index)};
+  const Mbps capacity = graph.link(link).capacity;
+  const Mbps residual = network.Residual(link);
+  if (std::abs((capacity - load) - residual) > kBandwidthEpsilon) {
+    std::ostringstream os;
+    os << "link " << link_index << ": residual " << residual
+       << " disagrees with recomputed " << (capacity - load) << " (capacity "
+       << capacity << ", load " << load << ")";
+    out.push_back(Finding{"capacity", os.str()});
+  }
+  if (!allow_overcommit && load > capacity + kBandwidthEpsilon) {
+    std::ostringstream os;
+    os << "link " << link_index << ": reserved " << load
+       << " exceeds capacity " << capacity;
+    out.push_back(Finding{"capacity", os.str()});
+  }
+  if (!allow_overcommit && residual < -kBandwidthEpsilon) {
+    std::ostringstream os;
+    os << "link " << link_index << ": negative residual " << residual;
+    out.push_back(Finding{"capacity", os.str()});
+  }
+}
+
+/// Structural coherence checks for one placed flow.
+void CollectCoherenceFindings(const topo::Graph& graph,
+                              const net::Network& network, FlowId fid,
+                              const flow::Flow& flow, const topo::Path& path,
+                              bool allow_dead_paths,
+                              std::vector<Finding>& out) {
+  if (path.nodes.empty() || path.links.size() + 1 != path.nodes.size()) {
+    std::ostringstream os;
+    os << "flow " << fid.value() << ": malformed path shape ("
+       << path.nodes.size() << " nodes, " << path.links.size() << " links)";
+    out.push_back(Finding{"coherence", os.str()});
+    return;  // the structural checks below assume a sane shape
+  }
+  if (path.source() != flow.src || path.destination() != flow.dst) {
+    std::ostringstream os;
+    os << "flow " << fid.value() << ": path endpoints ("
+       << path.source().value() << " -> " << path.destination().value()
+       << ") do not match flow (" << flow.src.value() << " -> "
+       << flow.dst.value() << ")";
+    out.push_back(Finding{"coherence", os.str()});
+  }
+  bool contiguous = true;
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    const topo::Link& link = graph.link(path.links[i]);
+    if (link.src != path.nodes[i] || link.dst != path.nodes[i + 1]) {
+      contiguous = false;
+      break;
+    }
+  }
+  if (!contiguous) {
+    std::ostringstream os;
+    os << "flow " << fid.value()
+       << ": path links do not connect its node sequence (blackhole)";
+    out.push_back(Finding{"coherence", os.str()});
+  }
+  std::unordered_set<NodeId::rep_type> seen;
+  bool loop_free = true;
+  for (NodeId node : path.nodes) {
+    if (!seen.insert(node.value()).second) {
+      loop_free = false;
+      break;
+    }
+  }
+  if (!loop_free) {
+    std::ostringstream os;
+    os << "flow " << fid.value() << ": forwarding loop (repeated node)";
+    out.push_back(Finding{"coherence", os.str()});
+  }
+  if (!allow_dead_paths && !network.PathAlive(path)) {
+    std::ostringstream os;
+    os << "flow " << fid.value()
+       << ": path crosses a down link or switch (blackhole)";
+    out.push_back(Finding{"coherence", os.str()});
+  }
+}
+
+/// Slice [begin, end) of `total` split into `slices` near-equal contiguous
+/// ranges.
+std::pair<std::size_t, std::size_t> SliceRange(std::size_t total,
+                                               std::size_t slices,
+                                               std::size_t index) {
+  const std::size_t base = total / slices;
+  const std::size_t extra = total % slices;
+  const std::size_t begin = index * base + std::min(index, extra);
+  return {begin, begin + base + (index < extra ? 1 : 0)};
+}
 
 }  // namespace
 
@@ -62,85 +176,128 @@ void Auditor::AuditCapacity(const net::Network& network, bool allow_overcommit,
           load[link.value()] += flow.demand;
         }
       });
+  std::vector<Finding> findings;
   for (std::size_t i = 0; i < graph.link_count(); ++i) {
-    const LinkId link{static_cast<LinkId::rep_type>(i)};
-    const Mbps capacity = graph.link(link).capacity;
-    const Mbps residual = network.Residual(link);
-    if (std::abs((capacity - load[i]) - residual) > kBandwidthEpsilon) {
-      std::ostringstream os;
-      os << "link " << i << ": residual " << residual
-         << " disagrees with recomputed " << (capacity - load[i])
-         << " (capacity " << capacity << ", load " << load[i] << ")";
-      Report("capacity", os.str(), found);
+    CollectCapacityFindings(graph, network, load[i], i, allow_overcommit,
+                            findings);
+  }
+  for (Finding& f : findings) Report(f.invariant, std::move(f.detail), found);
+}
+
+void Auditor::AuditCapacitySharded(const net::Network& network,
+                                   bool allow_overcommit, std::size_t& found,
+                                   const ShardAuditRuntime& shard) {
+  const topo::Graph& graph = network.graph();
+  const std::size_t shards = shard.shards;
+
+  // Phase A — per-link load recompute, fanned out over disjoint
+  // placement-slot ranges. Each worker fills a private partial vector; the
+  // coordinator reduces partials in slice order, so the result is
+  // independent of thread count and scheduling. (The reduction reassociates
+  // the serial pass's per-link sum — a few-ulp difference at most, well
+  // under kBandwidthEpsilon.)
+  const std::size_t slots = network.placement_slot_count();
+  std::vector<std::vector<Mbps>> partial(shards);
+  std::vector<double> busy(shards, 0.0);
+  {
+    const auto wall_start = AuditClock::now();
+    std::vector<std::future<void>> tasks;
+    tasks.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      tasks.push_back(shard.pool->Submit([&, s] {
+        const auto start = AuditClock::now();
+        const auto [begin, end] = SliceRange(slots, shards, s);
+        std::vector<Mbps>& mine = partial[s];
+        mine.assign(graph.link_count(), 0.0);
+        network.ForEachPlacementInRange(
+            begin, end,
+            [&mine](FlowId, const flow::Flow& flow, const topo::Path& path) {
+              for (LinkId link : path.links) {
+                mine[link.value()] += flow.demand;
+              }
+            });
+        busy[s] = SecondsSince(start);
+      }));
     }
-    if (!allow_overcommit && load[i] > capacity + kBandwidthEpsilon) {
-      std::ostringstream os;
-      os << "link " << i << ": reserved " << load[i] << " exceeds capacity "
-         << capacity;
-      Report("capacity", os.str(), found);
+    for (auto& t : tasks) t.get();
+    if (shard.on_fanout) shard.on_fanout(busy, SecondsSince(wall_start));
+  }
+  std::vector<Mbps> load(graph.link_count(), 0.0);
+  for (std::size_t s = 0; s < shards; ++s) {
+    for (std::size_t l = 0; l < load.size(); ++l) load[l] += partial[s][l];
+  }
+
+  // Phase B — link checks, fanned out over disjoint link ranges. Workers
+  // collect findings in scan order; concatenating the slices in ascending
+  // order reproduces the serial pass's canonical (ascending link id)
+  // violation order exactly.
+  std::vector<std::vector<Finding>> slice_findings(shards);
+  {
+    const auto wall_start = AuditClock::now();
+    std::fill(busy.begin(), busy.end(), 0.0);
+    std::vector<std::future<void>> tasks;
+    tasks.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      tasks.push_back(shard.pool->Submit([&, s] {
+        const auto start = AuditClock::now();
+        const auto [begin, end] = SliceRange(graph.link_count(), shards, s);
+        for (std::size_t i = begin; i < end; ++i) {
+          CollectCapacityFindings(graph, network, load[i], i, allow_overcommit,
+                                  slice_findings[s]);
+        }
+        busy[s] = SecondsSince(start);
+      }));
     }
-    if (!allow_overcommit && residual < -kBandwidthEpsilon) {
-      std::ostringstream os;
-      os << "link " << i << ": negative residual " << residual;
-      Report("capacity", os.str(), found);
-    }
+    for (auto& t : tasks) t.get();
+    if (shard.on_fanout) shard.on_fanout(busy, SecondsSince(wall_start));
+  }
+  for (std::vector<Finding>& slice : slice_findings) {
+    for (Finding& f : slice) Report(f.invariant, std::move(f.detail), found);
   }
 }
 
 void Auditor::AuditCoherence(const net::Network& network,
                              bool allow_dead_paths, std::size_t& found) {
   const topo::Graph& graph = network.graph();
+  std::vector<Finding> findings;
   network.ForEachPlacement([&](FlowId fid, const flow::Flow& flow,
                                const topo::Path& path) {
-    if (path.nodes.empty() || path.links.size() + 1 != path.nodes.size()) {
-      std::ostringstream os;
-      os << "flow " << fid.value() << ": malformed path shape ("
-         << path.nodes.size() << " nodes, " << path.links.size() << " links)";
-      Report("coherence", os.str(), found);
-      return;  // the structural checks below assume a sane shape
-    }
-    if (path.source() != flow.src || path.destination() != flow.dst) {
-      std::ostringstream os;
-      os << "flow " << fid.value() << ": path endpoints ("
-         << path.source().value() << " -> " << path.destination().value()
-         << ") do not match flow (" << flow.src.value() << " -> "
-         << flow.dst.value() << ")";
-      Report("coherence", os.str(), found);
-    }
-    bool contiguous = true;
-    for (std::size_t i = 0; i < path.links.size(); ++i) {
-      const topo::Link& link = graph.link(path.links[i]);
-      if (link.src != path.nodes[i] || link.dst != path.nodes[i + 1]) {
-        contiguous = false;
-        break;
-      }
-    }
-    if (!contiguous) {
-      std::ostringstream os;
-      os << "flow " << fid.value()
-         << ": path links do not connect its node sequence (blackhole)";
-      Report("coherence", os.str(), found);
-    }
-    std::unordered_set<NodeId::rep_type> seen;
-    bool loop_free = true;
-    for (NodeId node : path.nodes) {
-      if (!seen.insert(node.value()).second) {
-        loop_free = false;
-        break;
-      }
-    }
-    if (!loop_free) {
-      std::ostringstream os;
-      os << "flow " << fid.value() << ": forwarding loop (repeated node)";
-      Report("coherence", os.str(), found);
-    }
-    if (!allow_dead_paths && !network.PathAlive(path)) {
-      std::ostringstream os;
-      os << "flow " << fid.value()
-         << ": path crosses a down link or switch (blackhole)";
-      Report("coherence", os.str(), found);
-    }
+    CollectCoherenceFindings(graph, network, fid, flow, path, allow_dead_paths,
+                             findings);
   });
+  for (Finding& f : findings) Report(f.invariant, std::move(f.detail), found);
+}
+
+void Auditor::AuditCoherenceSharded(const net::Network& network,
+                                    bool allow_dead_paths, std::size_t& found,
+                                    const ShardAuditRuntime& shard) {
+  const topo::Graph& graph = network.graph();
+  const std::size_t shards = shard.shards;
+  const std::size_t slots = network.placement_slot_count();
+  std::vector<std::vector<Finding>> slice_findings(shards);
+  std::vector<double> busy(shards, 0.0);
+  const auto wall_start = AuditClock::now();
+  std::vector<std::future<void>> tasks;
+  tasks.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    tasks.push_back(shard.pool->Submit([&, s] {
+      const auto start = AuditClock::now();
+      const auto [begin, end] = SliceRange(slots, shards, s);
+      network.ForEachPlacementInRange(
+          begin, end,
+          [&](FlowId fid, const flow::Flow& flow, const topo::Path& path) {
+            CollectCoherenceFindings(graph, network, fid, flow, path,
+                                     allow_dead_paths, slice_findings[s]);
+          });
+      busy[s] = SecondsSince(start);
+    }));
+  }
+  for (auto& t : tasks) t.get();
+  if (shard.on_fanout) shard.on_fanout(busy, SecondsSince(wall_start));
+  // Ranges ascend over flow ids, so slice order IS the serial scan order.
+  for (std::vector<Finding>& slice : slice_findings) {
+    for (Finding& f : slice) Report(f.invariant, std::move(f.detail), found);
+  }
 }
 
 void Auditor::AuditAccounting(const QueueAccounting& accounting,
@@ -169,13 +326,20 @@ void Auditor::AuditAccounting(const QueueAccounting& accounting,
 std::size_t Auditor::Audit(const net::Network& network,
                            const QueueAccounting& accounting,
                            std::size_t forced_placements,
-                           const AuditContext& context) {
+                           const AuditContext& context,
+                           const ShardAuditRuntime* shard) {
   ++audits_run_;
   context_ = context;
   std::size_t found = 0;
   const bool relaxed = forced_placements > 0;
-  AuditCapacity(network, /*allow_overcommit=*/relaxed, found);
-  AuditCoherence(network, /*allow_dead_paths=*/relaxed, found);
+  if (shard != nullptr && shard->Active()) {
+    AuditCapacitySharded(network, /*allow_overcommit=*/relaxed, found, *shard);
+    AuditCoherenceSharded(network, /*allow_dead_paths=*/relaxed, found,
+                          *shard);
+  } else {
+    AuditCapacity(network, /*allow_overcommit=*/relaxed, found);
+    AuditCoherence(network, /*allow_dead_paths=*/relaxed, found);
+  }
   AuditAccounting(accounting, found);
   return found;
 }

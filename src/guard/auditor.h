@@ -22,10 +22,13 @@
 // run alive (production telemetry — counters land in metrics::GuardStats).
 #pragma once
 
+#include <functional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "net/network.h"
 
 namespace nu::guard {
@@ -95,6 +98,30 @@ struct QueueAccounting {
   std::size_t queue_capacity = 0;
 };
 
+/// Fan-out wiring for shard-parallel audit passes (sharded engine,
+/// docs/model.md §15). Workers only RECOMPUTE — partial per-link loads over
+/// disjoint placement-slot ranges, per-flow structural findings over
+/// disjoint slot ranges — and the coordinator merges partials and reports
+/// findings in the serial pass's canonical order (ascending link id, then
+/// ascending flow id). Violation text, order, counters, and the fail-fast
+/// first violation are therefore identical to a sequential audit; only
+/// wall-clock differs. Per-link load sums are reassociated across slice
+/// boundaries, which can differ from the serial sum by a few ulps — far
+/// below the 1e-6 comparison epsilon every capacity check uses.
+struct ShardAuditRuntime {
+  /// Worker pool; null disables the fan-out (serial audit).
+  ThreadPool* pool = nullptr;
+  /// Slice count (the engine's shard count); >= 2 to fan out.
+  std::size_t shards = 1;
+  /// Invoked once per parallel region with per-shard task busy seconds and
+  /// the region's coordinator wall seconds (modeled-speedup accounting).
+  std::function<void(std::span<const double>, double)> on_fanout;
+
+  [[nodiscard]] bool Active() const {
+    return pool != nullptr && shards >= 2;
+  }
+};
+
 class Auditor {
  public:
   explicit Auditor(AuditorConfig config = {});
@@ -105,11 +132,13 @@ class Auditor {
   /// the capacity and liveness checks — the simulator reports force-placed
   /// flows separately, and they intentionally overcommit links. `context`
   /// (round id, topology epoch) is stamped onto every violation this pass
-  /// records.
+  /// records. A non-null `shard` with an active pool fans the recompute out
+  /// across shard slices; results are identical to the serial pass.
   std::size_t Audit(const net::Network& network,
                     const QueueAccounting& accounting,
                     std::size_t forced_placements = 0,
-                    const AuditContext& context = {});
+                    const AuditContext& context = {},
+                    const ShardAuditRuntime* shard = nullptr);
 
   [[nodiscard]] const AuditorConfig& config() const { return config_; }
   [[nodiscard]] std::size_t audits_run() const { return audits_run_; }
@@ -126,6 +155,13 @@ class Auditor {
                      std::size_t& found);
   void AuditCoherence(const net::Network& network, bool allow_dead_paths,
                       std::size_t& found);
+  /// Shard-parallel twins: same checks, same canonical report order.
+  void AuditCapacitySharded(const net::Network& network, bool allow_overcommit,
+                            std::size_t& found,
+                            const ShardAuditRuntime& shard);
+  void AuditCoherenceSharded(const net::Network& network, bool allow_dead_paths,
+                             std::size_t& found,
+                             const ShardAuditRuntime& shard);
   void AuditAccounting(const QueueAccounting& accounting, std::size_t& found);
 
   AuditorConfig config_;

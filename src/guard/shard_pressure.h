@@ -1,0 +1,32 @@
+// Shard-aware queue-pressure aggregation. Under the sharded engine the
+// coordinator tracks the update queue as per-shard sub-queue depths (each
+// admitted event is counted against its home shard); admission control and
+// the schedulers' overload adaptation still operate on GLOBAL pressure, so
+// the per-shard depths are folded back into one sched::QueuePressure here.
+// The sum over shards equals the flat queue length by construction — the
+// simulator NU_CHECKs it every round, and the unit tests pin the identity —
+// so sharded and unsharded runs make identical admission and
+// effective-alpha decisions.
+#pragma once
+
+#include <numeric>
+#include <span>
+
+#include "sched/scheduler.h"
+
+namespace nu::guard {
+
+/// Global pressure from per-shard sub-queue depths. `capacity` and
+/// `shed_total` pass through unchanged (admission is a global policy).
+[[nodiscard]] inline sched::QueuePressure AggregateShardPressure(
+    std::span<const std::size_t> per_shard_depths, std::size_t capacity,
+    std::size_t shed_total) {
+  sched::QueuePressure pressure;
+  pressure.capacity = capacity;
+  pressure.length = std::accumulate(per_shard_depths.begin(),
+                                    per_shard_depths.end(), std::size_t{0});
+  pressure.shed_total = shed_total;
+  return pressure;
+}
+
+}  // namespace nu::guard

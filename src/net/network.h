@@ -17,6 +17,7 @@
 // real instance.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
@@ -99,6 +100,28 @@ class Network final : public MutableNetwork {
       const FlowId id{static_cast<FlowId::rep_type>(i)};
       fn(id, flows_.Get(id), registry_->Get(ref));
     }
+  }
+
+  /// Range form of ForEachPlacement over placement slots [begin, end).
+  /// Slot indices ARE flow ids, so disjoint ranges partition the placements
+  /// and concatenating ranges in ascending order reproduces the full scan —
+  /// the property the sharded auditor's fan-out relies on.
+  template <typename Fn>
+  void ForEachPlacementInRange(std::size_t begin, std::size_t end,
+                               Fn&& fn) const {
+    end = std::min(end, placements_.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      const PathRef ref = placements_[i];
+      if (!ref.valid()) continue;
+      const FlowId id{static_cast<FlowId::rep_type>(i)};
+      fn(id, flows_.Get(id), registry_->Get(ref));
+    }
+  }
+
+  /// Upper bound (exclusive) of placement slot indices — the end of the
+  /// dense slot array, including holes left by departed flows.
+  [[nodiscard]] std::size_t placement_slot_count() const {
+    return placements_.size();
   }
 
   [[nodiscard]] std::size_t placed_flow_count() const { return placed_count_; }

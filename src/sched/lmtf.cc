@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "sched/select.h"
 
 namespace nu::sched {
 
@@ -32,16 +33,10 @@ LmtfScheduler::Pick LmtfScheduler::PickCheapest(SchedulingContext& context,
   // evaluate them concurrently; the scan below is unchanged.
   std::vector<Mbps> costs(candidates.size());
   context.ProbeCosts(candidates, costs);
-  std::size_t cheapest = candidates.front();
-  Mbps cheapest_cost = costs.front();
-  for (std::size_t i = 1; i < candidates.size(); ++i) {
-    // Strict < : on ties the earlier arrival (smaller queue index) wins,
-    // preserving FIFO order whenever costs are equal.
-    if (costs[i] < cheapest_cost) {
-      cheapest = candidates[i];
-      cheapest_cost = costs[i];
-    }
-  }
+  // Strict < : on ties the earlier arrival (smaller queue index) wins,
+  // preserving FIFO order whenever costs are equal. Shared with the sharded
+  // engine's distributed argmin (sched/select.h).
+  const std::size_t cheapest = CheapestCandidate(candidates, costs);
   return Pick{.candidates = std::move(candidates), .cheapest = cheapest};
 }
 

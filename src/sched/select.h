@@ -1,0 +1,61 @@
+// Candidate selection shared by the LMTF-family schedulers and the sharded
+// engine's distributed argmin. One rule, one implementation: the cheapest
+// candidate wins under strict <, so on ties the earlier queue position
+// (candidates are listed in ascending arrival order) keeps FIFO order.
+// The sharded probe path computes each shard's local minimum with the same
+// rule and merges the shard minima; because strict-< with the position
+// tie-break is associative over ordered slices, the merge equals the global
+// scan — the property the engine NU_CHECKs on every batch.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace nu::sched {
+
+/// The winning candidate among `candidates` (queue positions in ascending
+/// order) with per-candidate `costs`. Returns the candidate value, exactly
+/// as LmtfScheduler's inline scan always has: strict <, first-listed wins
+/// ties.
+[[nodiscard]] inline std::size_t CheapestCandidate(
+    std::span<const std::size_t> candidates, std::span<const Mbps> costs) {
+  NU_EXPECTS(!candidates.empty());
+  NU_EXPECTS(costs.size() >= candidates.size());
+  std::size_t cheapest = candidates[0];
+  Mbps cheapest_cost = costs[0];
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (costs[i] < cheapest_cost) {
+      cheapest = candidates[i];
+      cheapest_cost = costs[i];
+    }
+  }
+  return cheapest;
+}
+
+/// One shard's local minimum over its slice of the candidate list.
+struct ShardMinimum {
+  /// Queue position of the slice's cheapest candidate.
+  std::size_t candidate = 0;
+  Mbps cost = 0.0;
+  bool valid = false;
+};
+
+/// Folds a shard's (candidate, cost) pair into a running minimum. Merge
+/// order must follow ascending candidate position of the slices (the
+/// mailbox's canonical order provides it); then strict-< with
+/// earlier-position-wins reproduces the global scan exactly.
+inline void MergeShardMinimum(ShardMinimum& into, std::size_t candidate,
+                              Mbps cost) {
+  if (!into.valid || cost < into.cost) {
+    into.candidate = candidate;
+    into.cost = cost;
+    into.valid = true;
+  } else if (cost == into.cost && candidate < into.candidate) {
+    into.candidate = candidate;
+  }
+}
+
+}  // namespace nu::sched

@@ -1,0 +1,101 @@
+// Deterministic inter-shard mailbox. Worker tasks evaluating one shard's
+// slice of a round post their results here in whatever real-time order the
+// OS schedules them; the coordinator drains the round and receives the
+// messages in the canonical (round, source shard id, sequence) order, so
+// downstream bookkeeping never observes thread interleaving. This is the
+// same trick that keeps parallel candidate probing bit-identical to
+// sequential probing (docs/model.md §9): workers produce pure values, and
+// one thread consumes them in a total order fixed by the program, not the
+// scheduler.
+//
+// Protocol:
+//   * BeginRound(r) opens round r (rounds strictly increase).
+//   * Any thread may Post() messages stamped with the open round; each
+//     source shard stamps its own 0-based sequence counter (the post order
+//     WITHIN one shard task is meaningful; order ACROSS shards is not).
+//   * DrainRound(r) closes the round: it asserts every queued message
+//     belongs to r and returns them sorted by (shard, seq). Posting into a
+//     closed round aborts — the round barrier exists precisely so no task
+//     can straggle across it.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nu::sim {
+
+template <typename Payload>
+class ShardMailbox {
+ public:
+  struct Message {
+    std::uint64_t round = 0;
+    std::size_t shard = 0;
+    std::uint64_t seq = 0;
+    Payload payload;
+  };
+
+  /// Opens `round` for posting. Rounds must strictly increase and the
+  /// previous round must have been drained.
+  void BeginRound(std::uint64_t round) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    NU_CHECK(!open_);
+    NU_CHECK(messages_.empty());
+    NU_CHECK(round > current_round_ || (round == 0 && !ever_opened_));
+    current_round_ = round;
+    open_ = true;
+    ever_opened_ = true;
+  }
+
+  /// Posts one message from `shard` into the open round. Thread-safe; the
+  /// per-shard sequence number is the caller's post order for that shard.
+  void Post(std::size_t shard, std::uint64_t seq, Payload payload) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    NU_CHECK(open_);
+    messages_.push_back(
+        Message{current_round_, shard, seq, std::move(payload)});
+    ++total_posted_;
+  }
+
+  /// Closes `round` and returns its messages in (shard, seq) order,
+  /// regardless of the real-time order they arrived in. Every queued
+  /// message must carry `round` — a message from any other round means a
+  /// task leaked across the barrier, which is a bug, not a condition.
+  [[nodiscard]] std::vector<Message> DrainRound(std::uint64_t round) {
+    std::vector<Message> drained;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      NU_CHECK(open_);
+      NU_CHECK(current_round_ == round);
+      drained.swap(messages_);
+      open_ = false;
+    }
+    for (const Message& m : drained) NU_CHECK(m.round == round);
+    std::stable_sort(drained.begin(), drained.end(),
+                     [](const Message& a, const Message& b) {
+                       return a.shard != b.shard ? a.shard < b.shard
+                                                 : a.seq < b.seq;
+                     });
+    return drained;
+  }
+
+  /// Messages posted over the mailbox's lifetime (a logical counter:
+  /// independent of thread count and scheduling).
+  [[nodiscard]] std::uint64_t total_posted() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_posted_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Message> messages_;
+  std::uint64_t current_round_ = 0;
+  bool open_ = false;
+  bool ever_opened_ = false;
+  std::uint64_t total_posted_ = 0;
+};
+
+}  // namespace nu::sim

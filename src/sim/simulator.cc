@@ -17,9 +17,12 @@
 #include "common/thread_pool.h"
 #include "fault/cascade.h"
 #include "fault/injector.h"
+#include "guard/shard_pressure.h"
 #include "metrics/collector.h"
 #include "net/admission.h"
 #include "net/overlay.h"
+#include "sched/select.h"
+#include "sim/shard_runtime.h"
 #include "topo/path_provider.h"
 #include "update/cost_estimate.h"
 
@@ -188,7 +191,8 @@ class RoundContext final : public sched::SchedulingContext {
                std::span<const sched::QueuedEvent> queue, Rng& rng,
                Mbps co_migration_allowance, bool quick_cost_probes,
                sched::QueuePressure pressure, ProbeRuntime& probe_rt,
-               ProbeCache& probe_cache, int degradation_level)
+               ProbeCache& probe_cache, int degradation_level,
+               ShardRuntime* shard_rt)
       : network_(network),
         planner_(planner),
         cost_model_(cost_model),
@@ -200,7 +204,8 @@ class RoundContext final : public sched::SchedulingContext {
         pressure_(pressure),
         probe_rt_(probe_rt),
         probe_cache_(probe_cache),
-        degradation_level_(degradation_level) {}
+        degradation_level_(degradation_level),
+        shard_rt_(shard_rt) {}
 
   [[nodiscard]] std::span<const sched::QueuedEvent> Queue() const override {
     return queue_;
@@ -253,6 +258,14 @@ class RoundContext final : public sched::SchedulingContext {
 
   void ProbeCosts(std::span<const std::size_t> indices,
                   std::span<Mbps> out) override {
+    // The sharded engine routes the batch through the per-shard mailbox;
+    // like the flat-parallel path, it only pays off for full overlay
+    // probes on a real batch.
+    if (shard_rt_ != nullptr && probe_rt_.fast_path && !quick_cost_probes_ &&
+        indices.size() >= 2) {
+      ShardedProbeCosts(indices, out);
+      return;
+    }
     // Parallel evaluation pays off only for full overlay probes; quick
     // probes are too cheap and the legacy baseline stays sequential (it
     // models the original code path).
@@ -359,6 +372,127 @@ class RoundContext final : public sched::SchedulingContext {
   }
 
  private:
+  /// Sharded batch probe (docs/model.md §15). Phase 1 resolves cache hits
+  /// by value, groups the misses by home shard, and runs one planning task
+  /// per non-empty shard; each task posts its results to the inter-shard
+  /// mailbox tagged (shard, seq). The coordinator drains the round in the
+  /// canonical (shard, seq) order, restores candidate order via the slot
+  /// index, and then runs phase 2 — bookkeeping identical to sequential
+  /// ProbeCost calls, so the batch is bit-identical to the unsharded paths.
+  /// Fan-out bookkeeping lands in ShardStats only; the report-visible probe
+  /// counters (cache hits/misses, overlay probes) advance exactly as the
+  /// unsharded run's do, and parallel_probe_batches stays untouched.
+  void ShardedProbeCosts(std::span<const std::size_t> indices,
+                         std::span<Mbps> out) {
+    NU_EXPECTS(out.size() >= indices.size());
+    const auto start = ProbeClock::now();
+    const std::size_t shards = shard_rt_->shard_count();
+    metrics::ShardStats& sstats = shard_rt_->stats();
+    // Prime the memoized state-bytes sample BEFORE any plan runs: the
+    // network's ApproxStateBytes includes the shared path registry, which
+    // planning grows, and the sequential path samples it at the round's
+    // first miss — before that miss's plan.
+    (void)StateBytes();
+
+    std::vector<char> is_hit(indices.size(), 0);
+    std::vector<Mbps> hit_cost(indices.size(), 0.0);
+    // Miss slots grouped by home shard; within a shard, slots ascend, so a
+    // task's seq numbers follow candidate order.
+    std::vector<std::vector<std::size_t>> shard_slots(shards);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const update::UpdateEvent& event = *queue_[indices[i]].event;
+      if (const ProbeCacheEntry* entry = CacheLookup(event.id())) {
+        is_hit[i] = 1;
+        hit_cost[i] = entry->cost;
+        continue;
+      }
+      shard_slots[shard_rt_->HomeShard(event)].push_back(i);
+    }
+
+    std::vector<update::EventPlan> plans(indices.size());
+    std::vector<char> have_plan(indices.size(), 0);
+    const std::uint64_t round = shard_rt_->NextMailboxRound();
+    shard_rt_->mailbox().BeginRound(round);
+    std::vector<double> busy(shards, 0.0);
+    std::vector<std::future<void>> tasks;
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (shard_slots[s].empty()) continue;
+      ++sstats.probe_tasks;
+      tasks.push_back(shard_rt_->pool().Submit([this, s, &shard_slots,
+                                                &indices, &busy] {
+        const auto task_start = ProbeClock::now();
+        std::uint64_t seq = 0;
+        for (std::size_t slot : shard_slots[s]) {
+          ShardProbeResult res;
+          res.slot = slot;
+          res.plan = planner_.Plan(network_, *queue_[indices[slot]].event);
+          res.cost = ProbedCost(res.plan, *queue_[indices[slot]].event);
+          shard_rt_->mailbox().Post(s, seq++, std::move(res));
+        }
+        busy[s] = SecondsSince(task_start);
+      }));
+    }
+    if (!tasks.empty()) ++sstats.probe_fanouts;
+    for (std::future<void>& t : tasks) t.get();
+
+    // Canonical drain: messages arrive sorted by (shard, seq) regardless of
+    // worker interleaving; the slot index maps each back to its candidate.
+    // The per-shard minima merged here feed the distributed-argmin
+    // cross-check below.
+    sched::ShardMinimum merged;
+    auto drained = shard_rt_->mailbox().DrainRound(round);
+    sstats.mailbox_messages += drained.size();
+    for (auto& msg : drained) {
+      sched::MergeShardMinimum(merged, indices[msg.payload.slot],
+                               msg.payload.cost);
+      plans[msg.payload.slot] = std::move(msg.payload.plan);
+      have_plan[msg.payload.slot] = 1;
+    }
+    sstats.OnFanout(busy, SecondsSince(start));
+
+    // Phase 2 (simulation thread, candidate order): identical bookkeeping
+    // to sequential ProbeCost calls.
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      const update::UpdateEvent& event = *queue_[indices[i]].event;
+      ++cost_probes_;
+      plan_time_ += cost_model_.ProbeTime(event.flow_count());
+      probed_bits_[indices[i]] = 1;
+      if (is_hit[i] != 0) {
+        ++probe_rt_.stats.probe_cache_hits;
+        out[i] = hit_cost[i];
+        continue;
+      }
+      NU_CHECK(have_plan[i] != 0);
+      ++probe_rt_.stats.overlay_probes;
+      probe_rt_.stats.overlay_bytes_saved +=
+          static_cast<double>(StateBytes());
+      const Mbps cost = ProbedCost(plans[i], event);
+      CacheStore(event.id(), cost, &plans[i]);
+      out[i] = cost;
+    }
+    probe_rt_.stats.probe_wall_seconds += SecondsSince(start);
+
+    // Distributed-argmin cross-check: folding the cache hits into the
+    // mailbox-merged per-shard minimum must reproduce the scheduler's
+    // global first-listed-wins strict-< scan. Candidate lists ascend (the
+    // schedulers sort their samples), making the two tie-breaks coincide.
+    if (std::is_sorted(indices.begin(), indices.end())) {
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (is_hit[i] != 0) {
+          sched::MergeShardMinimum(merged, indices[i], out[i]);
+        }
+      }
+      if (merged.valid) {
+        // CheapestCandidate returns the winning candidate VALUE (a queue
+        // position), directly comparable to the merged minimum's candidate.
+        const std::size_t cheapest = sched::CheapestCandidate(
+            indices, std::span<const Mbps>(out.data(), indices.size()));
+        NU_CHECK(cheapest == merged.candidate);
+        ++sstats.argmin_merges;
+      }
+    }
+  }
+
   /// One full cost-probe plan with fast-path/legacy dispatch + stats.
   update::EventPlan FullProbePlan(const update::UpdateEvent& event) {
     if (probe_rt_.fast_path) {
@@ -483,6 +617,8 @@ class RoundContext final : public sched::SchedulingContext {
   /// Brownout ladder level the serve runtime pinned for this round (0 when
   /// serve mode is off).
   int degradation_level_ = 0;
+  /// Non-null when the pod-sharded engine drives this round's batch probes.
+  ShardRuntime* shard_rt_ = nullptr;
 };
 
 /// Events sorted by arrival time (stable on ties).
@@ -566,6 +702,21 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     probe_rt.pool = probe_pool.get();
   }
   ProbeCache probe_cache;
+
+  // Pod-sharded engine wiring (docs/model.md §15). The shard map partitions
+  // the fabric per pod, the runtime owns the worker pool and the
+  // inter-shard mailbox, and the coordinator stays the only thread that
+  // mutates simulation state — so the sharded run is bit-identical to the
+  // unsharded one at any thread count. Takes precedence over the flat
+  // probe_parallelism pool when both are configured.
+  std::optional<ShardRuntime> shard_rt;
+  if (config_.shards >= 2) {
+    const std::size_t threads =
+        config_.shard_threads != 0
+            ? config_.shard_threads
+            : std::min<std::size_t>(config_.shards, 8);
+    shard_rt.emplace(network.graph(), config_.shards, threads);
+  }
 
   // Guard wiring. Like the fault machinery, a disabled guard draws nothing
   // and changes nothing: fixed-seed runs are bit-identical with and without
@@ -747,6 +898,11 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(*victim));
     }
     queue.push_back(e);
+    if (shard_rt.has_value() && shard_rt->SpansShards(*e)) {
+      // Cross-pod update: some endpoint lives outside the home shard, so
+      // its probe reads boundary-link state owned by another shard.
+      ++shard_rt->stats().cross_shard_events;
+    }
     collector.OnQueueDepth(queue.size());
     return true;
   };
@@ -863,7 +1019,8 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     acct.queue_capacity = gcfg.overload.max_queue_length;
     collector.OnAudit(auditor.Audit(
         network, acct, result.forced_placements,
-        guard::AuditContext{result.rounds, network.topology_epoch()}));
+        guard::AuditContext{result.rounds, network.topology_epoch()},
+        shard_rt.has_value() ? &shard_rt->audit_runtime() : nullptr));
   };
   std::size_t occurrences_since_audit = 0;
   bool audit_due = false;
@@ -980,6 +1137,23 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     // Serve section (format v4): present exactly when serve mode is on —
     // config decides, so a reader with the same SimConfig always agrees.
     if (serve_rt.has_value()) serve_rt->SaveState(w);
+    // Shard section (format v5): present exactly when the sharded engine is
+    // on. Logical counters only — thread count, busy seconds, and modeled
+    // speedups are host measurements and never enter the payload, so
+    // snapshot bytes are identical across thread counts. The partition
+    // fingerprint pins the shard map the counters were taken under.
+    if (shard_rt.has_value()) {
+      const metrics::ShardStats& ss = shard_rt->stats();
+      w.U64(shard_rt->map().Fingerprint());
+      w.U64(static_cast<std::uint64_t>(ss.shards));
+      w.U64(ss.probe_fanouts);
+      w.U64(ss.probe_tasks);
+      w.U64(ss.audit_fanouts);
+      w.U64(ss.audit_tasks);
+      w.U64(ss.mailbox_messages);
+      w.U64(ss.cross_shard_events);
+      w.U64(ss.argmin_merges);
+    }
   };
 
   /// Mirror of serialize_state. Replaces every piece of loop state, so a
@@ -1122,6 +1296,22 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       dynamic_faults.push_back(spec);
     }
     if (serve_rt.has_value()) serve_rt->LoadState(r);
+    if (shard_rt.has_value()) {
+      metrics::ShardStats& ss = shard_rt->stats();
+      if (r.U64() != shard_rt->map().Fingerprint()) {
+        throw CorruptInput("shard map fingerprint mismatch");
+      }
+      if (r.U64() != static_cast<std::uint64_t>(ss.shards)) {
+        throw CorruptInput("shard count mismatch");
+      }
+      ss.probe_fanouts = r.U64();
+      ss.probe_tasks = r.U64();
+      ss.audit_fanouts = r.U64();
+      ss.audit_tasks = r.U64();
+      ss.mailbox_messages = r.U64();
+      ss.cross_shard_events = r.U64();
+      ss.argmin_merges = r.U64();
+    }
   };
 
   /// Writes the snapshot for `round` and rotates the journal. The snapshot
@@ -1237,13 +1427,27 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       for (const update::UpdateEvent* e : queue) {
         view.push_back(sched::QueuedEvent{e});
       }
+      sched::QueuePressure pressure{gcfg.overload.max_queue_length,
+                                    queue.size(), shed_count};
+      if (shard_rt.has_value()) {
+        // Sharded admission view: the global pressure is the aggregate of
+        // the per-shard sub-queue depths. The aggregate must reproduce the
+        // flat queue length exactly — every queued event has exactly one
+        // home shard — which the NU_CHECK in the aggregation asserts.
+        std::vector<std::size_t> depths(shard_rt->shard_count(), 0);
+        for (const update::UpdateEvent* e : queue) {
+          ++depths[shard_rt->HomeShard(*e)];
+        }
+        pressure = guard::AggregateShardPressure(
+            depths, gcfg.overload.max_queue_length, shed_count);
+        NU_CHECK(pressure.length == queue.size());
+      }
       RoundContext context(
           network, planner, costs, view, rng,
           config_.plmtf_co_migration_allowance, config_.quick_cost_probes,
-          sched::QueuePressure{gcfg.overload.max_queue_length, queue.size(),
-                               shed_count},
-          probe_rt, probe_cache,
-          serve_rt.has_value() ? serve_rt->DegradationLevel() : 0);
+          pressure, probe_rt, probe_cache,
+          serve_rt.has_value() ? serve_rt->DegradationLevel() : 0,
+          shard_rt.has_value() ? &*shard_rt : nullptr);
       const sched::Decision decision = scheduler.Decide(context);
       NU_CHECK(sched::IsValidDecision(decision, queue.size()));
 
@@ -1699,6 +1903,7 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
   result.violations = auditor.violations();
   collector.OnProbeStats(probe_rt.stats);
   result.probe_stats = collector.probe_stats();
+  if (shard_rt.has_value()) result.shard_stats = shard_rt->stats();
   result.report = metrics::BuildReport(collector, total_plan_time,
                                        config_.tail_percentile);
   result.report.ckpt_recoveries = result.recovery.recovered ? 1 : 0;

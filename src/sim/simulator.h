@@ -44,6 +44,7 @@
 #include "fault/fault_plan.h"
 #include "guard/guard.h"
 #include "metrics/report.h"
+#include "metrics/shard_stats.h"
 #include "net/network.h"
 #include "sched/flow_level.h"
 #include "sched/scheduler.h"
@@ -115,6 +116,18 @@ struct SimConfig {
   /// accounting happens on the simulation thread in candidate order.
   /// Effective only with probe_fast_path and full (non-quick) probes.
   std::size_t probe_parallelism = 0;
+  /// Pod-sharded parallel engine (docs/model.md §15): partition the fabric
+  /// into this many shards (a k-ary Fat-Tree is naturally k pods) and fan
+  /// the per-round candidate probes and the auditor's recompute passes out
+  /// across them on a worker pool, with results routed back through a
+  /// deterministic inter-shard mailbox. 0 or 1 = off. The coordinator
+  /// remains the single decision/mutation authority, so a sharded run is
+  /// bit-identical to an unsharded one — same decisions, same records, same
+  /// report — at any thread count. Effective only with probe_fast_path and
+  /// full (non-quick) probes; takes precedence over probe_parallelism.
+  std::size_t shards = 0;
+  /// Worker threads for the sharded engine; 0 = min(shards, 8).
+  std::size_t shard_threads = 0;
   /// P-LMTF co-scheduling admits only candidates whose current plan
   /// migrates at most this much traffic (Mbps). Opportunistic updates are
   /// meant to be near-free wins — co-scheduling an expensive event would
@@ -218,6 +231,11 @@ struct SimResult {
   /// Probe fast-path counters (all zero when probe_fast_path is off); also
   /// folded into `report`.
   metrics::ProbeStats probe_stats;
+  /// Sharded-engine counters (enabled == false unless SimConfig::shards
+  /// >= 2). Logical counters are deterministic across thread counts; the
+  /// wall-clock fields (busy seconds, modeled critical path) are host
+  /// measurements and deliberately NOT part of `report` or any CSV.
+  metrics::ShardStats shard_stats;
   /// What this process did to recover (all zero unless Resume ran); the
   /// per-process subset is also folded into `report` (ckpt_recoveries,
   /// ckpt_wal_replayed, ckpt_recovery_wall_seconds).

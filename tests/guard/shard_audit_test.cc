@@ -1,0 +1,190 @@
+// Sharded audit passes and shard pressure aggregation. The sharded audit
+// twins recompute the same invariants over per-shard slices; they must find
+// exactly the same violations, in the same order, with the same text, as
+// the serial pass — on clean states and on deliberately corrupted ones.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "guard/auditor.h"
+#include "guard/shard_pressure.h"
+#include "net/network.h"
+#include "topo/fat_tree.h"
+
+namespace nu::guard {
+namespace {
+
+struct Fixture {
+  Fixture()
+      : ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0}),
+        network(ft.graph()) {}
+
+  [[nodiscard]] flow::Flow MakeFlow(std::size_t src, std::size_t dst,
+                                    Mbps demand) const {
+    flow::Flow f;
+    f.src = ft.host(src);
+    f.dst = ft.host(dst);
+    f.demand = demand;
+    f.duration = 1.0;
+    return f;
+  }
+
+  /// Places `count` flows across pods on their first available path.
+  void Populate(std::size_t count, Mbps demand) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const NodeId src = ft.host(i % 16);
+      const NodeId dst = ft.host((i + 7) % 16);
+      const auto paths = ft.HostPaths(src, dst);
+      ASSERT_FALSE(paths.empty());
+      network.Place(MakeFlow(i % 16, (i + 7) % 16, demand), paths.front());
+    }
+  }
+
+  topo::FatTree ft;
+  net::Network network;
+};
+
+QueueAccounting Balanced() {
+  QueueAccounting acct;
+  acct.arrived = 2;
+  acct.queued = 1;
+  acct.completed = 1;
+  return acct;
+}
+
+ShardAuditRuntime MakeRuntime(ThreadPool& pool, std::size_t shards) {
+  ShardAuditRuntime rt;
+  rt.pool = &pool;
+  rt.shards = shards;
+  return rt;
+}
+
+// Clean state: the sharded pass finds nothing, exactly like the serial one,
+// and invokes the fan-out hook once per parallel region (capacity load,
+// capacity findings, coherence findings).
+TEST(ShardAuditTest, CleanStateMatchesSerial) {
+  Fixture fx;
+  fx.Populate(24, 5.0);
+  ThreadPool pool(4);
+  std::size_t fanouts = 0;
+  ShardAuditRuntime rt = MakeRuntime(pool, 4);
+  rt.on_fanout = [&](std::span<const double>, double) { ++fanouts; };
+
+  AuditorConfig config;
+  config.enabled = true;
+  Auditor serial(config);
+  Auditor sharded(config);
+  EXPECT_EQ(serial.Audit(fx.network, Balanced()), 0u);
+  EXPECT_EQ(sharded.Audit(fx.network, Balanced(), 0, {}, &rt), 0u);
+  EXPECT_TRUE(sharded.violations().empty());
+  EXPECT_GT(fanouts, 0u);
+}
+
+// Injected corruption (overcommitted link via ForcePlace): the sharded
+// pass reports the same violations as the serial pass — same count, same
+// invariant tags, same detail text, same order.
+TEST(ShardAuditTest, CorruptionFindingsMatchSerialExactly) {
+  Fixture serial_fx;
+  Fixture sharded_fx;
+  for (Fixture* fx : {&serial_fx, &sharded_fx}) {
+    fx->Populate(12, 5.0);
+    // Overcommit one edge uplink without declaring a forced placement.
+    const auto paths = fx->ft.HostPaths(fx->ft.host(0), fx->ft.host(15));
+    ASSERT_FALSE(paths.empty());
+    fx->network.ForcePlace(fx->MakeFlow(0, 15, 500.0), paths.front());
+  }
+
+  AuditorConfig config;
+  config.enabled = true;
+  Auditor serial(config);
+  Auditor sharded(config);
+  ThreadPool pool(3);
+  const ShardAuditRuntime rt = MakeRuntime(pool, 4);
+
+  const std::size_t serial_found = serial.Audit(serial_fx.network, Balanced());
+  const std::size_t sharded_found =
+      sharded.Audit(sharded_fx.network, Balanced(), 0, {}, &rt);
+  ASSERT_GT(serial_found, 0u);
+  ASSERT_EQ(sharded_found, serial_found);
+  ASSERT_EQ(sharded.violations().size(), serial.violations().size());
+  for (std::size_t i = 0; i < serial.violations().size(); ++i) {
+    EXPECT_EQ(sharded.violations()[i].invariant,
+              serial.violations()[i].invariant);
+    EXPECT_EQ(sharded.violations()[i].detail, serial.violations()[i].detail);
+  }
+}
+
+// Fail-fast: the FIRST violation the sharded pass throws is the same one
+// the serial pass throws — canonical order includes the abort point.
+TEST(ShardAuditTest, FailFastThrowsSameFirstViolation) {
+  Fixture serial_fx;
+  Fixture sharded_fx;
+  for (Fixture* fx : {&serial_fx, &sharded_fx}) {
+    fx->Populate(8, 5.0);
+    const auto paths = fx->ft.HostPaths(fx->ft.host(2), fx->ft.host(13));
+    ASSERT_FALSE(paths.empty());
+    fx->network.ForcePlace(fx->MakeFlow(2, 13, 400.0), paths.front());
+  }
+  AuditorConfig config;
+  config.enabled = true;
+  config.mode = AuditMode::kFailFast;
+  ThreadPool pool(4);
+  const ShardAuditRuntime rt = MakeRuntime(pool, 4);
+
+  std::optional<AuditViolation> serial_first;
+  std::optional<AuditViolation> sharded_first;
+  try {
+    (void)Auditor(config).Audit(serial_fx.network, Balanced());
+  } catch (const AuditFailure& f) {
+    serial_first = f.violation();
+  }
+  try {
+    (void)Auditor(config).Audit(sharded_fx.network, Balanced(), 0, {}, &rt);
+  } catch (const AuditFailure& f) {
+    sharded_first = f.violation();
+  }
+  ASSERT_TRUE(serial_first.has_value());
+  ASSERT_TRUE(sharded_first.has_value());
+  EXPECT_EQ(sharded_first->invariant, serial_first->invariant);
+  EXPECT_EQ(sharded_first->detail, serial_first->detail);
+}
+
+// An inactive runtime (null pool or one shard) falls back to the serial
+// pass — Audit accepts the pointer but nothing fans out.
+TEST(ShardAuditTest, InactiveRuntimeFallsBackToSerial) {
+  Fixture fx;
+  fx.Populate(6, 5.0);
+  ShardAuditRuntime inactive;  // no pool
+  EXPECT_FALSE(inactive.Active());
+  AuditorConfig config;
+  config.enabled = true;
+  Auditor auditor(config);
+  EXPECT_EQ(auditor.Audit(fx.network, Balanced(), 0, {}, &inactive), 0u);
+
+  ThreadPool pool(2);
+  ShardAuditRuntime one_shard = MakeRuntime(pool, 1);
+  EXPECT_FALSE(one_shard.Active());
+}
+
+// Pressure aggregation: the global queue pressure is the sum of per-shard
+// depths, with capacity and shed totals passed through untouched.
+TEST(ShardPressureTest, AggregatesDepthsExactly) {
+  const std::vector<std::size_t> depths{3, 0, 5, 2};
+  const sched::QueuePressure p = AggregateShardPressure(depths, 16, 4);
+  EXPECT_EQ(p.length, 10u);
+  EXPECT_EQ(p.capacity, 16u);
+  EXPECT_EQ(p.shed_total, 4u);
+  EXPECT_FALSE(p.Overloaded());
+
+  const std::vector<std::size_t> heavy{8, 9};
+  EXPECT_TRUE(AggregateShardPressure(heavy, 16, 0).Overloaded());
+
+  const std::vector<std::size_t> empty;
+  EXPECT_EQ(AggregateShardPressure(empty, 0, 0).length, 0u);
+}
+
+}  // namespace
+}  // namespace nu::guard

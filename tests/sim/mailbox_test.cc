@@ -1,0 +1,109 @@
+#include "sim/mailbox.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace nu::sim {
+namespace {
+
+// Messages posted in a deliberately scrambled real-time order come back in
+// the canonical (shard, seq) order.
+TEST(ShardMailboxTest, DrainSortsByShardThenSeq) {
+  ShardMailbox<std::string> box;
+  box.BeginRound(0);
+  box.Post(2, 0, "s2m0");
+  box.Post(0, 1, "s0m1");
+  box.Post(1, 0, "s1m0");
+  box.Post(0, 0, "s0m0");
+  box.Post(2, 1, "s2m1");
+  const auto drained = box.DrainRound(0);
+  ASSERT_EQ(drained.size(), 5u);
+  EXPECT_EQ(drained[0].payload, "s0m0");
+  EXPECT_EQ(drained[1].payload, "s0m1");
+  EXPECT_EQ(drained[2].payload, "s1m0");
+  EXPECT_EQ(drained[3].payload, "s2m0");
+  EXPECT_EQ(drained[4].payload, "s2m1");
+  EXPECT_EQ(box.total_posted(), 5u);
+}
+
+// Concurrent posters (the real usage: one task per shard on the pool)
+// cannot perturb the drain order, whatever interleaving the OS picks.
+TEST(ShardMailboxTest, ConcurrentPostsDrainDeterministically) {
+  ShardMailbox<std::size_t> box;
+  ThreadPool pool(4);
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kPerShard = 50;
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    box.BeginRound(round);
+    std::vector<std::future<void>> tasks;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      tasks.push_back(pool.Submit([&box, s] {
+        for (std::size_t i = 0; i < kPerShard; ++i) {
+          box.Post(s, i, s * kPerShard + i);
+        }
+      }));
+    }
+    for (auto& t : tasks) t.get();
+    const auto drained = box.DrainRound(round);
+    ASSERT_EQ(drained.size(), kShards * kPerShard);
+    for (std::size_t i = 0; i < drained.size(); ++i) {
+      EXPECT_EQ(drained[i].shard, i / kPerShard);
+      EXPECT_EQ(drained[i].seq, i % kPerShard);
+      EXPECT_EQ(drained[i].payload, i);
+    }
+  }
+  EXPECT_EQ(box.total_posted(), 3u * kShards * kPerShard);
+}
+
+// Round barrier: posting outside an open round, draining the wrong round,
+// reopening without draining, and non-increasing round ids all abort — a
+// straggler task crossing the barrier is a bug, never a tolerated state.
+TEST(ShardMailboxDeathTest, BarrierViolationsAbort) {
+  EXPECT_DEATH(
+      {
+        ShardMailbox<int> box;
+        box.Post(0, 0, 1);  // no round open
+      },
+      "open_");
+  EXPECT_DEATH(
+      {
+        ShardMailbox<int> box;
+        box.BeginRound(0);
+        (void)box.DrainRound(1);  // wrong round
+      },
+      "current_round_");
+  EXPECT_DEATH(
+      {
+        ShardMailbox<int> box;
+        box.BeginRound(0);
+        box.BeginRound(1);  // reopen without draining
+      },
+      "open_");
+  EXPECT_DEATH(
+      {
+        ShardMailbox<int> box;
+        box.BeginRound(5);
+        (void)box.DrainRound(5);
+        box.BeginRound(5);  // rounds must strictly increase
+      },
+      "round");
+}
+
+// Draining an empty round is fine (every shard may hit the cache).
+TEST(ShardMailboxTest, EmptyRoundDrainsEmpty) {
+  ShardMailbox<int> box;
+  box.BeginRound(7);
+  EXPECT_TRUE(box.DrainRound(7).empty());
+  box.BeginRound(8);
+  box.Post(0, 0, 42);
+  EXPECT_EQ(box.DrainRound(8).size(), 1u);
+}
+
+}  // namespace
+}  // namespace nu::sim

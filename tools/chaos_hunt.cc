@@ -34,10 +34,13 @@ struct CliOptions {
             << "usage: chaos_hunt [--quick] [--trials=N] [--seed=S]\n"
             << "                  [--k=K] [--events=N] [--inject-bug]\n"
             << "                  [--serve=LOAD] [--serve-rate=R]\n"
+            << "                  [--shards=N] [--shard-threads=T]\n"
             << "                  [--no-determinism] [--out=DIR]\n"
             << "                  [--replay=ARTIFACT]\n"
             << "--serve runs online-serving trials at LOAD x the base rate\n"
-            << "(deadline-miss oracle armed; --events = stream seconds).\n";
+            << "(deadline-miss oracle armed; --events = stream seconds).\n"
+            << "--shards=N (>= 2) runs every trial on the pod-sharded engine,\n"
+            << "putting the mailbox and round-barrier under the oracles.\n";
   std::exit(2);
 }
 
@@ -82,6 +85,11 @@ CliOptions ParseArgs(int argc, char** argv) {
       } catch (const std::exception&) {
         Usage("bad value for --serve-rate: '" + value + "'");
       }
+    } else if (flag == "--shards") {
+      cli.chaos.shards = ParseCount(flag, value);
+      if (cli.chaos.shards == 1) Usage("--shards needs >= 2 (or 0 for off)");
+    } else if (flag == "--shard-threads") {
+      cli.chaos.shard_threads = ParseCount(flag, value);
     } else if (flag == "--no-determinism") {
       cli.chaos.check_determinism = false;
     } else if (flag == "--out") {
@@ -147,6 +155,12 @@ int main(int argc, char** argv) {
   if (cli.chaos.serve_load > 0.0) {
     std::cout << " serve-load=" << cli.chaos.serve_load
               << " serve-rate=" << cli.chaos.serve_rate;
+  }
+  if (cli.chaos.shards >= 2) {
+    std::cout << " shards=" << cli.chaos.shards;
+    if (cli.chaos.shard_threads > 0) {
+      std::cout << " shard-threads=" << cli.chaos.shard_threads;
+    }
   }
   std::cout << "\n";
   const nu::exp::ChaosCampaignResult result =

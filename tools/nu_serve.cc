@@ -37,7 +37,10 @@ struct CliOptions {
             << "usage: nu_serve [--quick] [--load=X | --sweep=X,Y,...]\n"
             << "                [--rate=R] [--no-calibrate] [--seed=S]\n"
             << "                [--k=K] [--duration=D] [--process=NAME]\n"
-            << "                [--pod-outage] [--out=DIR]\n";
+            << "                [--shards=N] [--shard-threads=T]\n"
+            << "                [--pod-outage] [--out=DIR]\n"
+            << "--shards=N (>= 2) serves on the pod-sharded engine; the SLO\n"
+            << "timeseries and tenant CSVs are byte-identical to unsharded.\n";
   std::exit(2);
 }
 
@@ -97,6 +100,13 @@ CliOptions ParseArgs(int argc, char** argv) {
     } else if (flag == "--process") {
       cli.campaign.serve.arrivals.process =
           nu::serve::ParseArrivalProcess(value);
+    } else if (flag == "--shards") {
+      cli.campaign.exp.sim.shards = ParseCount(flag, value);
+      if (cli.campaign.exp.sim.shards == 1) {
+        Usage("--shards needs >= 2 (or 0 for off)");
+      }
+    } else if (flag == "--shard-threads") {
+      cli.campaign.exp.sim.shard_threads = ParseCount(flag, value);
     } else if (flag == "--pod-outage") {
       cli.campaign.pod_outage = true;
     } else if (flag == "--out") {
@@ -184,7 +194,11 @@ int main(int argc, char** argv) {
             << " seed=" << campaign.exp.seed
             << " k=" << campaign.exp.fat_tree_k << " process="
             << nu::serve::ToString(campaign.serve.arrivals.process)
-            << (campaign.pod_outage ? " pod-outage" : "") << "\n";
+            << (campaign.pod_outage ? " pod-outage" : "");
+  if (campaign.exp.sim.shards >= 2) {
+    std::cout << " shards=" << campaign.exp.sim.shards;
+  }
+  std::cout << "\n";
 
   const nu::sim::SimResult result = nu::exp::RunServeCampaign(campaign);
   PrintSummary(result);
