@@ -36,7 +36,13 @@ namespace nu::ckpt {
 /// v5: sharded runs append a shard section (partition fingerprint + the
 /// engine's logical counters) after the serve section; absent when
 /// SimConfig::shards < 2. Thread count never affects the payload.
-inline constexpr std::uint32_t kSnapshotVersion = 5;
+/// v6: grey-failure/reconciliation runs append a recon section (dataplane
+/// divergence set, reconciler health/backoff/streaks/stats, grey RNG
+/// state) after the shard section; absent when both SimConfig::faults.grey
+/// and SimConfig::recon are disabled. The shard section gains the recon
+/// fan-out counters, and the timeline accepts the three appended
+/// occurrence kinds (kGreyApply, kRuleLoss, kReconcile).
+inline constexpr std::uint32_t kSnapshotVersion = 6;
 
 /// Thrown when a snapshot file fails frame validation (bad magic, version
 /// mismatch, truncation, or checksum failure).

@@ -50,6 +50,13 @@ enum class RngStream : std::uint64_t {
   /// internal draws and the flow-spec source never start from identical
   /// xoshiro states (which would correlate flow counts with endpoints).
   kServeFlowSource = 0x51ABULL,
+  /// Grey-failure draws (fault/ + recon/): ack-lie / straggler / rule-loss
+  /// coin flips, straggler apply delays, loss eviction delays, and the
+  /// reconciler's repair re-issue draws + backoff jitter. One stream for
+  /// injection AND repair so the draw order is a single deterministic
+  /// sequence; disjoint from every legacy constant so enabling grey
+  /// failures cannot perturb existing fixed-seed runs.
+  kGreyFailures = 0x62E7ULL,
 };
 
 /// Derives the seed for `stream` from a run's base seed.

@@ -133,8 +133,9 @@ bool operator==(const ChaosScenario& a, const ChaosScenario& b) {
          a.cascade.utilization_threshold == b.cascade.utilization_threshold &&
          a.cascade.hold_time == b.cascade.hold_time &&
          a.cascade.outage == b.cascade.outage && storm_eq &&
-         a.serve_load == b.serve_load && a.serve_rate == b.serve_rate &&
-         a.shards == b.shards && a.shard_threads == b.shard_threads;
+         a.grey == b.grey && a.serve_load == b.serve_load &&
+         a.serve_rate == b.serve_rate && a.shards == b.shards &&
+         a.shard_threads == b.shard_threads;
 }
 
 ChaosScenario MakeTrialScenario(const ChaosOptions& options,
@@ -186,6 +187,33 @@ ChaosScenario MakeTrialScenario(const ChaosOptions& options,
   if (rng.Bernoulli(0.3)) {
     scenario.storm = fault::FlakyStorm{1.0, 1.5, {0.8, 0.2}};
   }
+  if (options.grey.enabled()) {
+    scenario.grey = options.grey;
+  } else if (rng.Bernoulli(0.35)) {
+    // A lying dataplane on roughly a third of trials; the failure mode
+    // rotates so campaigns cover every repair path (immediate re-issue,
+    // deferred apply, silent re-eviction).
+    fault::GreyFailureSpec spec;
+    switch (rng.Index(3)) {
+      case 0:
+        spec.kind = fault::GreyKind::kAckLie;
+        spec.probability = 0.08;
+        break;
+      case 1:
+        spec.kind = fault::GreyKind::kStraggler;
+        spec.probability = 0.15;
+        spec.min_delay = 0.2;
+        spec.max_delay = 1.0;
+        break;
+      default:
+        spec.kind = fault::GreyKind::kRuleLoss;
+        spec.probability = 0.08;
+        spec.min_delay = 0.5;
+        spec.max_delay = 2.0;
+        break;
+    }
+    scenario.grey.specs.push_back(spec);
+  }
   scenario.serve_load = options.serve_load;
   scenario.serve_rate = options.serve_rate;
   scenario.shards = options.shards;
@@ -212,6 +240,10 @@ sim::SimResult RunScenario(const ChaosScenario& scenario) {
     }
     campaign.exp.sim.faults.retry.max_attempts = 3;
     campaign.exp.sim.faults.retry.base_delay = 0.05;
+    campaign.exp.sim.faults.grey = scenario.grey;
+    // A grey model without the reconciler drifts forever by design; chaos
+    // trials always pair them so the convergence oracle is meaningful.
+    campaign.exp.sim.recon.enabled = scenario.grey.enabled();
     campaign.exp.sim.shards = scenario.shards;
     campaign.exp.sim.shard_threads = scenario.shard_threads;
     return RunServeCampaign(campaign);
@@ -236,6 +268,8 @@ sim::SimResult RunScenario(const ChaosScenario& scenario) {
   config.sim.faults.flaky.latency_jitter_frac = 0.1;
   config.sim.faults.retry.max_attempts = 3;
   config.sim.faults.retry.base_delay = 0.05;
+  config.sim.faults.grey = scenario.grey;
+  config.sim.recon.enabled = scenario.grey.enabled();
 
   config.sim.guard.overload.max_queue_length = 8;
   config.sim.guard.deadline.base_deadline = 6.0;
@@ -303,6 +337,24 @@ ChaosVerdict JudgeScenario(const ChaosScenario& scenario,
     verdict.detail = std::to_string(first.serve.slo_misses) +
                      " admitted event(s) missed their tenant SLO deadline";
     return verdict;
+  }
+  if (scenario.grey.enabled()) {
+    // Drift-convergence oracle: a campaign run must end reconciled. The
+    // only excused residual divergence is rules the reconciler explicitly
+    // ABANDONED (repair budget exhausted) — quarantined switches drop
+    // their divergence when drained, so anything beyond the abandonment
+    // count is live drift the run finished on top of.
+    const metrics::Report& rep = first.report;
+    if (rep.drift_residual_rules > rep.drift_rules_abandoned) {
+      verdict.failed = true;
+      verdict.oracle = "drift-residual";
+      std::string detail = std::to_string(rep.drift_residual_rules);
+      detail += " residual divergent rule(s) at end of run, only ";
+      detail += std::to_string(rep.drift_rules_abandoned);
+      detail += " excused by abandonment";
+      verdict.detail = std::move(detail);
+      return verdict;
+    }
   }
   if (options.check_determinism) {
     sim::SimResult second;
@@ -389,7 +441,28 @@ ChaosScenario ShrinkScenario(const ChaosScenario& failing,
     }
   }
 
-  // Stage 2: halve the trace length while the failure survives.
+  // Stage 2: shed grey-failure specs — the whole model first (the bug may
+  // not need a lying dataplane at all), then one spec at a time.
+  if (best.grey.enabled()) {
+    ChaosScenario honest = best;
+    honest.grey = fault::GreyFailureModel();
+    if (still_fails(honest)) {
+      best = std::move(honest);
+    } else if (best.grey.specs.size() >= 2) {
+      for (std::size_t i = 0; i < best.grey.specs.size();) {
+        ChaosScenario candidate = best;
+        candidate.grey.specs.erase(candidate.grey.specs.begin() +
+                                   static_cast<std::ptrdiff_t>(i));
+        if (still_fails(candidate)) {
+          best = std::move(candidate);
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+
+  // Stage 3: halve the trace length while the failure survives.
   while (best.event_count > 2) {
     ChaosScenario candidate = best;
     candidate.event_count = best.event_count / 2;
@@ -397,7 +470,7 @@ ChaosScenario ShrinkScenario(const ChaosScenario& failing,
     best = std::move(candidate);
   }
 
-  // Stage 3: step the fabric arity down. Candidates whose plan references
+  // Stage 4: step the fabric arity down. Candidates whose plan references
   // ids outside the smaller fabric are skipped, not judged — an invalid
   // plan is a harness error, never a finding.
   while (best.fat_tree_k > 4) {
@@ -445,6 +518,11 @@ std::string SerializeArtifact(const ChaosScenario& scenario) {
         << FormatNum(scenario.storm->duration) << " "
         << FormatNum(scenario.storm->model.failure_probability) << " "
         << FormatNum(scenario.storm->model.latency_jitter_frac) << "\n";
+  }
+  if (scenario.grey.enabled()) {
+    // Absent on healthy-dataplane scenarios so pre-grey artifacts stay
+    // byte-stable. The compact model form contains no spaces.
+    out << "grey " << fault::FormatGreyModel(scenario.grey) << "\n";
   }
   if (scenario.serve_load > 0.0) {
     // Absent on offline scenarios so pre-serve artifacts stay byte-stable.
@@ -501,6 +579,12 @@ ChaosScenario ParseArtifact(const std::string& text) {
       scenario.cascade.utilization_threshold = ParseNum(tokens[2]);
       scenario.cascade.hold_time = ParseNum(tokens[3]);
       scenario.cascade.outage = ParseNum(tokens[4]);
+    } else if (key == "grey" && tokens.size() == 2) {
+      try {
+        scenario.grey = fault::ParseGreyModel(tokens[1]).Validate();
+      } catch (const fault::FaultPlanError& e) {
+        Fail(std::string("grey model: ") + e.what());
+      }
     } else if (key == "serve" && tokens.size() == 3) {
       scenario.serve_load = ParseNum(tokens[1]);
       scenario.serve_rate = ParseNum(tokens[2]);

@@ -39,6 +39,12 @@ struct ChaosScenario {
   fault::FaultPlan plan;
   fault::CascadeConfig cascade;
   std::optional<fault::FlakyStorm> storm;
+  /// Grey-failure model (silent dataplane divergence — ack-lies,
+  /// stragglers, rule loss; docs/model.md §16). A non-empty model also arms
+  /// the reconciler and the drift-convergence oracle: a run must end with
+  /// zero residual drift beyond what abandonment or quarantine explicitly
+  /// excuses. Empty = healthy dataplane; old artifacts parse unchanged.
+  fault::GreyFailureModel grey;
   /// Serve-mode trial: > 0 replaces the offline trace with the open-loop
   /// arrival stream at `serve_load` x `serve_rate` events/s and arms the
   /// deadline-miss oracle. `event_count` then doubles as the stream
@@ -66,8 +72,8 @@ struct ChaosScenario {
 struct ChaosVerdict {
   bool failed = false;
   /// Which oracle fired: "audit-violation" | "recovery-error" |
-  /// "audit-failure" | "deadline-miss" | "nondeterminism" | "injected-bug";
-  /// empty when none.
+  /// "audit-failure" | "deadline-miss" | "drift-residual" |
+  /// "nondeterminism" | "injected-bug"; empty when none.
   std::string oracle;
   std::string detail;
 };
@@ -100,6 +106,9 @@ struct ChaosOptions {
   std::size_t shards = 0;
   /// Worker threads for sharded trials (0 = engine default).
   std::size_t shard_threads = 0;
+  /// Grey-failure model pinned onto EVERY trial (the --grey= flag). Empty
+  /// lets MakeTrialScenario roll its own model on a fraction of trials.
+  fault::GreyFailureModel grey;
 };
 
 /// One shrunk failure of a campaign.
@@ -138,8 +147,9 @@ struct ChaosCampaignResult {
 
 /// ddmin-style minimization of a failing scenario: drops fault-plan events
 /// (chunk halving down to single specs, unused group declarations pruned),
-/// then halves the event count, then steps the fabric arity down — keeping
-/// every candidate that still fails the same oracle. Deterministic; spends
+/// then sheds grey-failure specs, then halves the event count, then steps
+/// the fabric arity down — keeping every candidate that still fails the
+/// same oracle. Deterministic; spends
 /// at most options.max_shrink_runs oracle evaluations. `runs`, when
 /// non-null, receives the number spent.
 [[nodiscard]] ChaosScenario ShrinkScenario(const ChaosScenario& failing,

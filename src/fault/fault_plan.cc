@@ -452,4 +452,163 @@ FaultPlan MakeRandomSrlgFaultPlan(const std::vector<SharedRiskGroup>& catalog,
   return plan;
 }
 
+const char* ToString(GreyKind kind) {
+  switch (kind) {
+    case GreyKind::kAckLie:
+      return "acklie";
+    case GreyKind::kStraggler:
+      return "straggler";
+    case GreyKind::kRuleLoss:
+      return "loss";
+  }
+  return "?";
+}
+
+namespace {
+
+GreyKind ParseGreyKind(std::string_view token, const std::string& context) {
+  if (token == "acklie") return GreyKind::kAckLie;
+  if (token == "straggler") return GreyKind::kStraggler;
+  if (token == "loss") return GreyKind::kRuleLoss;
+  Fail(context + ": unknown grey kind '" + std::string(token) + "'");
+}
+
+// Splits on ':' keeping empty fields (an empty field is malformed input
+// and should fail in the numeric parser with a clear message).
+std::vector<std::string_view> ColonFields(std::string_view text) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = text.find(':', start);
+    if (colon == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, colon - start));
+    start = colon + 1;
+  }
+}
+
+}  // namespace
+
+const GreyFailureModel& GreyFailureModel::Validate() const {
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const GreyFailureSpec& s = specs[i];
+    const std::string context =
+        "grey spec " + std::to_string(i) + " (" + ToString(s.kind) + ")";
+    if (s.probability < 0.0 || s.probability > 1.0) {
+      Fail(context + ": probability must be in [0, 1]");
+    }
+    if (s.min_delay < 0.0 || s.max_delay < s.min_delay) {
+      Fail(context + ": need 0 <= min_delay <= max_delay");
+    }
+    const bool delayed =
+        s.kind == GreyKind::kStraggler || s.kind == GreyKind::kRuleLoss;
+    if (delayed && s.max_delay <= 0.0) {
+      Fail(context + ": delayed kinds need max_delay > 0");
+    }
+  }
+  return *this;
+}
+
+GreyOutcome SampleGrey(const GreyFailureModel& model, NodeId node, Seconds now,
+                       Rng& rng) {
+  for (const GreyFailureSpec& s : model.specs) {
+    if (!s.Covers(now) || !s.Targets(node)) continue;
+    if (!rng.Bernoulli(s.probability)) continue;
+    GreyOutcome out;
+    switch (s.kind) {
+      case GreyKind::kAckLie:
+        out.kind = GreyOutcome::Kind::kAckLie;
+        return out;
+      case GreyKind::kStraggler:
+        out.kind = GreyOutcome::Kind::kStraggler;
+        out.delay = rng.Uniform(s.min_delay, s.max_delay);
+        return out;
+      case GreyKind::kRuleLoss:
+        out.kind = GreyOutcome::Kind::kRuleLoss;
+        out.delay = rng.Uniform(s.min_delay, s.max_delay);
+        return out;
+    }
+  }
+  return GreyOutcome{};
+}
+
+GreyFailureSpec ParseGreySpec(const std::string& text) {
+  const std::string context = "grey spec '" + text + "'";
+  const auto fields = ColonFields(text);
+  if (fields.size() != 2 && fields.size() != 4 && fields.size() != 6 &&
+      fields.size() != 7) {
+    Fail(context + ": expected kind:prob[:min:max[:start:dur[:node]]]");
+  }
+  GreyFailureSpec spec;
+  spec.kind = ParseGreyKind(fields[0], context);
+  spec.probability = ParseTime(fields[1], context);
+  if (fields.size() >= 4) {
+    spec.min_delay = ParseTime(fields[2], context);
+    spec.max_delay = ParseTime(fields[3], context);
+  }
+  if (fields.size() >= 6) {
+    spec.start = ParseTime(fields[4], context);
+    spec.duration = ParseTime(fields[5], context);
+  }
+  if (fields.size() == 7) {
+    if (fields[6] != "-1") {
+      spec.node = NodeId{static_cast<NodeId::rep_type>(
+          ParseUint(fields[6], context))};
+    }
+  }
+  GreyFailureModel probe;
+  probe.specs.push_back(spec);
+  probe.Validate();
+  return spec;
+}
+
+std::string FormatGreySpec(const GreyFailureSpec& spec) {
+  std::string out = ToString(spec.kind);
+  auto append = [&out](const std::string& field) {
+    out += ':';
+    out += field;
+  };
+  append(FormatTime(spec.probability));
+  const bool has_node = spec.node.valid();
+  const bool has_window = spec.start != 0.0 || spec.duration != 0.0;
+  const bool has_delay = spec.min_delay != 0.0 || spec.max_delay != 0.0;
+  if (has_delay || has_window || has_node) {
+    append(FormatTime(spec.min_delay));
+    append(FormatTime(spec.max_delay));
+  }
+  if (has_window || has_node) {
+    append(FormatTime(spec.start));
+    append(FormatTime(spec.duration));
+  }
+  if (has_node) append(std::to_string(spec.node.value()));
+  return out;
+}
+
+GreyFailureModel ParseGreyModel(const std::string& text) {
+  GreyFailureModel model;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t plus = text.find('+', start);
+    const std::string piece =
+        text.substr(start, plus == std::string::npos ? std::string::npos
+                                                     : plus - start);
+    if (!piece.empty()) model.specs.push_back(ParseGreySpec(piece));
+    if (plus == std::string::npos) break;
+    start = plus + 1;
+  }
+  model.Validate();
+  return model;
+}
+
+std::string FormatGreyModel(const GreyFailureModel& model) {
+  std::string out;
+  for (const GreyFailureSpec& spec : model.specs) {
+    if (!out.empty()) out += "+";
+    out += FormatGreySpec(spec);
+  }
+  return out;
+}
+
 }  // namespace nu::fault

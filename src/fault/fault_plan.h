@@ -251,11 +251,115 @@ struct CascadeConfig {
   [[nodiscard]] bool enabled() const { return max_secondary_failures > 0; }
 };
 
+/// The three grey-failure modes: failures the control plane does NOT see.
+/// Unlike FaultKind incidents (visible topology transitions) and the flaky
+/// model (install attempts that fail LOUDLY and get retried), a grey
+/// failure acknowledges success while the dataplane quietly diverges.
+enum class GreyKind : std::uint8_t {
+  /// The switch acks the rule install but never applies it.
+  kAckLie,
+  /// The switch acks immediately but applies after a sampled delay in
+  /// [min_delay, max_delay).
+  kStraggler,
+  /// The switch applies the rule, then silently evicts it after a sampled
+  /// delay in [min_delay, max_delay) (TCAM pressure, firmware bugs).
+  kRuleLoss,
+};
+
+[[nodiscard]] const char* ToString(GreyKind kind);
+
+/// One grey-failure behavior: with `probability`, a rule issued to a
+/// matching switch inside the active window suffers `kind`. Specs are plain
+/// data; all draws happen at issue time from the dedicated
+/// RngStream::kGreyFailures stream, so a (model, seed) pair reproduces the
+/// exact same lies bit-for-bit and composes with SRLG/storm/cascade plans
+/// without perturbing their streams.
+struct GreyFailureSpec {
+  GreyKind kind = GreyKind::kAckLie;
+  /// Per-rule probability of suffering this spec's failure mode.
+  double probability = 0.0;
+  /// Delay window for kStraggler (ack-to-apply) and kRuleLoss
+  /// (apply-to-eviction); ignored by kAckLie.
+  Seconds min_delay = 0.0;
+  Seconds max_delay = 0.0;
+  /// Active window; duration <= 0 means the whole run.
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+  /// Restrict to one switch; invalid() targets every switch.
+  NodeId node = NodeId::invalid();
+
+  [[nodiscard]] bool Covers(Seconds t) const {
+    return t >= start && (duration <= 0.0 || t < start + duration);
+  }
+  [[nodiscard]] bool Targets(NodeId n) const {
+    return !node.valid() || node == n;
+  }
+
+  friend bool operator==(const GreyFailureSpec& a, const GreyFailureSpec& b) {
+    return a.kind == b.kind && a.probability == b.probability &&
+           a.min_delay == b.min_delay && a.max_delay == b.max_delay &&
+           a.start == b.start && a.duration == b.duration && a.node == b.node;
+  }
+};
+
+/// A set of grey-failure specs evaluated in declaration order: the first
+/// spec that matches (window covers issue time, targets the switch) and
+/// wins its Bernoulli draw decides the rule's fate; later specs draw only
+/// if earlier ones miss. Empty = healthy dataplane, zero cost.
+struct GreyFailureModel {
+  std::vector<GreyFailureSpec> specs;
+
+  [[nodiscard]] bool enabled() const { return !specs.empty(); }
+
+  /// Rejects probabilities outside [0, 1], negative or inverted delay
+  /// windows, and delayed kinds with a zero-width window. Throws
+  /// FaultPlanError naming the first offending spec.
+  const GreyFailureModel& Validate() const;
+
+  friend bool operator==(const GreyFailureModel& a, const GreyFailureModel& b) {
+    return a.specs == b.specs;
+  }
+};
+
+/// Outcome of issuing one rule through a grey model.
+struct GreyOutcome {
+  /// kApplied: rule applied immediately and stays. Otherwise the matching
+  /// GreyKind (kStraggler/kRuleLoss carry `delay`).
+  enum class Kind : std::uint8_t { kApplied, kAckLie, kStraggler, kRuleLoss };
+  Kind kind = Kind::kApplied;
+  /// kStraggler: ack-to-apply delay. kRuleLoss: apply-to-eviction delay.
+  Seconds delay = 0.0;
+};
+
+/// Draws one rule's fate from `model` for a rule issued to `node` at `now`.
+/// Specs are tried in declaration order; draw count therefore depends only
+/// on (model, node, now, rng state) — deterministic. Used both for fresh
+/// installs and for the reconciler's repair re-issues (a repair goes
+/// through the same unreliable pipeline that caused the drift).
+[[nodiscard]] GreyOutcome SampleGrey(const GreyFailureModel& model, NodeId node,
+                                     Seconds now, Rng& rng);
+
+/// Parses one spec from its compact form
+/// `kind:prob[:min:max[:start:dur[:node]]]` where kind is one of
+/// `acklie|straggler|loss` (2, 4, 6, or 7 colon-separated fields; `node`
+/// of -1 targets all switches). Throws FaultPlanError on malformed input.
+[[nodiscard]] GreyFailureSpec ParseGreySpec(const std::string& text);
+
+/// Shortest compact form that round-trips through ParseGreySpec.
+[[nodiscard]] std::string FormatGreySpec(const GreyFailureSpec& spec);
+
+/// Parses a `+`-joined spec list (the `--grey=` flag / chaos-artifact
+/// format), e.g. `acklie:0.3+loss:0.1:1:4`. Empty input = empty model.
+[[nodiscard]] GreyFailureModel ParseGreyModel(const std::string& text);
+
+/// `+`-joined FormatGreySpec of every spec; round-trips via ParseGreyModel.
+[[nodiscard]] std::string FormatGreyModel(const GreyFailureModel& model);
+
 /// Everything the simulator needs to run under faults: the incident
 /// schedule, the flaky-install model (baseline + storm windows), the
 /// retry/backoff policy for failed installs, the overload-cascade model,
-/// and an optional controller-crash point. Disabled (the default) costs
-/// nothing on the hot path.
+/// the grey-failure model, and an optional controller-crash point.
+/// Disabled (the default) costs nothing on the hot path.
 struct FaultConfig {
   FaultPlan plan;
   FlakyInstallModel flaky;
@@ -264,13 +368,16 @@ struct FaultConfig {
   std::vector<FlakyStorm> storms;
   RetryPolicy retry;
   CascadeConfig cascade;
+  /// Silent dataplane divergence: ack-lies, stragglers, rule loss
+  /// (repaired by recon::Reconciler when SimConfig::recon is enabled).
+  GreyFailureModel grey;
   /// Controller-crash injection; orthogonal to `enabled()` (a crash can be
   /// injected with a perfectly healthy data plane).
   CrashSpec crash;
 
   [[nodiscard]] bool enabled() const {
     return !plan.empty() || flaky.enabled() || !storms.empty() ||
-           cascade.enabled();
+           cascade.enabled() || grey.enabled();
   }
 };
 

@@ -327,7 +327,8 @@ std::size_t Auditor::Audit(const net::Network& network,
                            const QueueAccounting& accounting,
                            std::size_t forced_placements,
                            const AuditContext& context,
-                           const ShardAuditRuntime* shard) {
+                           const ShardAuditRuntime* shard,
+                           const DriftAuditInput* drift) {
   ++audits_run_;
   context_ = context;
   std::size_t found = 0;
@@ -341,7 +342,20 @@ std::size_t Auditor::Audit(const net::Network& network,
     AuditCoherence(network, /*allow_dead_paths=*/relaxed, found);
   }
   AuditAccounting(accounting, found);
+  if (drift != nullptr) AuditDrift(*drift, found);
   return found;
+}
+
+void Auditor::AuditDrift(const DriftAuditInput& drift, std::size_t& found) {
+  if (drift.max_passes == 0) return;
+  for (const DriftAuditInput::Entry& entry : drift.entries) {
+    if (entry.passes <= drift.max_passes) continue;
+    std::ostringstream os;
+    os << "switch " << entry.node.value() << " at drift for " << entry.passes
+       << " consecutive reconcile passes (bound " << drift.max_passes
+       << ") without quarantine";
+    Report("drift", os.str(), found);
+  }
 }
 
 }  // namespace nu::guard

@@ -62,7 +62,8 @@ struct AuditContext {
 };
 
 struct AuditViolation {
-  /// Which invariant family fired: "capacity" | "coherence" | "accounting".
+  /// Which invariant family fired:
+  /// "capacity" | "coherence" | "accounting" | "drift".
   std::string invariant;
   std::string detail;
   /// Scheduling round and topology epoch of the audit pass that found it.
@@ -96,6 +97,24 @@ struct QueueAccounting {
   std::size_t quarantined = 0;
   /// Queue bound; 0 = unbounded.
   std::size_t queue_capacity = 0;
+};
+
+/// Dataplane-drift state an audit pass cross-checks (recon subsystem,
+/// docs/model.md §16). Bounded-drift invariant: no switch may sit
+/// continuously at drift for more than `max_passes` reconcile passes
+/// without being quarantined — a reconciler that spins without converging
+/// or escalating is a liveness bug, and this is where it surfaces.
+struct DriftAuditInput {
+  struct Entry {
+    NodeId node;
+    /// Consecutive reconcile passes that observed the switch at drift.
+    std::size_t passes = 0;
+  };
+  /// Current streaks, ascending by switch id; quarantined switches are
+  /// excluded (their drift is excused).
+  std::vector<Entry> entries;
+  /// Bound; 0 disables the invariant.
+  std::size_t max_passes = 0;
 };
 
 /// Fan-out wiring for shard-parallel audit passes (sharded engine,
@@ -133,12 +152,14 @@ class Auditor {
   /// flows separately, and they intentionally overcommit links. `context`
   /// (round id, topology epoch) is stamped onto every violation this pass
   /// records. A non-null `shard` with an active pool fans the recompute out
-  /// across shard slices; results are identical to the serial pass.
+  /// across shard slices; results are identical to the serial pass. A
+  /// non-null `drift` additionally checks the bounded-drift invariant.
   std::size_t Audit(const net::Network& network,
                     const QueueAccounting& accounting,
                     std::size_t forced_placements = 0,
                     const AuditContext& context = {},
-                    const ShardAuditRuntime* shard = nullptr);
+                    const ShardAuditRuntime* shard = nullptr,
+                    const DriftAuditInput* drift = nullptr);
 
   [[nodiscard]] const AuditorConfig& config() const { return config_; }
   [[nodiscard]] std::size_t audits_run() const { return audits_run_; }
@@ -163,6 +184,7 @@ class Auditor {
                              std::size_t& found,
                              const ShardAuditRuntime& shard);
   void AuditAccounting(const QueueAccounting& accounting, std::size_t& found);
+  void AuditDrift(const DriftAuditInput& drift, std::size_t& found);
 
   AuditorConfig config_;
   std::size_t audits_run_ = 0;

@@ -43,6 +43,18 @@ std::string Report::DebugString() const {
        << " snapshot_wall=" << ckpt_snapshot_wall_seconds
        << "s recovery_wall=" << ckpt_recovery_wall_seconds << "s}";
   }
+  if (drift_checks > 0 || grey_ack_lies > 0 || grey_stragglers > 0 ||
+      grey_rules_lost > 0) {
+    os << " drift{checks=" << drift_checks
+       << " detected=" << drift_rules_detected << " lies=" << grey_ack_lies
+       << " stragglers=" << grey_stragglers << " lost=" << grey_rules_lost
+       << " repaired=" << drift_repairs << "/" << drift_repair_failures
+       << "f abandoned=" << drift_rules_abandoned
+       << " degraded=" << switches_degraded
+       << " quarantined=" << switches_quarantined
+       << " residual=" << drift_residual_rules
+       << " repair_mean=" << drift_repair_mean << "s}";
+  }
   os << "}";
   return os.str();
 }

@@ -86,6 +86,26 @@ struct Report {
   double ckpt_snapshot_wall_seconds = 0.0;
   double ckpt_recovery_wall_seconds = 0.0;
 
+  // Grey-failure / reconciliation aggregates (all zero when both the grey
+  // model and the reconciler are off); see recon::ReconStats for exact
+  // meanings. drift_residual_rules counts divergence left at end of run —
+  // abandoned repairs only, unless the reconciler was off while grey
+  // failures were on.
+  std::size_t drift_checks = 0;
+  std::size_t drift_rules_detected = 0;
+  std::size_t grey_ack_lies = 0;
+  std::size_t grey_stragglers = 0;
+  std::size_t grey_rules_lost = 0;
+  std::size_t drift_repairs = 0;
+  std::size_t drift_repair_failures = 0;
+  std::size_t drift_rules_abandoned = 0;
+  std::size_t switches_degraded = 0;
+  std::size_t switches_quarantined = 0;
+  std::size_t drift_residual_rules = 0;
+  /// Divergence-onset -> repair latency (virtual seconds; 0 = no repairs).
+  double drift_repair_mean = 0.0;
+  double drift_repair_p99 = 0.0;
+
   [[nodiscard]] std::string DebugString() const;
 };
 

@@ -32,7 +32,7 @@ struct ReportField {
 
 /// Every Report member, in declaration order — which is also the report-CSV
 /// column order.
-inline constexpr std::array<ReportField, 46> kReportFields = {{
+inline constexpr std::array<ReportField, 59> kReportFields = {{
     {"events", &Report::event_count, nullptr, 0, FieldMean::kFirst},
     {"avg_ect", nullptr, &Report::avg_ect, 4, FieldMean::kMean},
     {"tail_ect", nullptr, &Report::tail_ect, 4, FieldMean::kMean},
@@ -110,6 +110,29 @@ inline constexpr std::array<ReportField, 46> kReportFields = {{
      6, FieldMean::kMean},
     {"ckpt_recovery_wall_seconds", nullptr, &Report::ckpt_recovery_wall_seconds,
      6, FieldMean::kMean},
+    {"drift_checks", &Report::drift_checks, nullptr, 0, FieldMean::kMean},
+    {"drift_rules_detected", &Report::drift_rules_detected, nullptr, 0,
+     FieldMean::kMean},
+    {"grey_ack_lies", &Report::grey_ack_lies, nullptr, 0, FieldMean::kMean},
+    {"grey_stragglers", &Report::grey_stragglers, nullptr, 0,
+     FieldMean::kMean},
+    {"grey_rules_lost", &Report::grey_rules_lost, nullptr, 0,
+     FieldMean::kMean},
+    {"drift_repairs", &Report::drift_repairs, nullptr, 0, FieldMean::kMean},
+    {"drift_repair_failures", &Report::drift_repair_failures, nullptr, 0,
+     FieldMean::kMean},
+    {"drift_rules_abandoned", &Report::drift_rules_abandoned, nullptr, 0,
+     FieldMean::kMean},
+    {"switches_degraded", &Report::switches_degraded, nullptr, 0,
+     FieldMean::kMean},
+    {"switches_quarantined", &Report::switches_quarantined, nullptr, 0,
+     FieldMean::kMean},
+    {"drift_residual_rules", &Report::drift_residual_rules, nullptr, 0,
+     FieldMean::kMean},
+    {"drift_repair_mean", nullptr, &Report::drift_repair_mean, 4,
+     FieldMean::kMean},
+    {"drift_repair_p99", nullptr, &Report::drift_repair_p99, 4,
+     FieldMean::kMean},
 }};
 
 }  // namespace nu::metrics

@@ -52,6 +52,10 @@ struct ShardStats {
   std::uint64_t cross_shard_events = 0;
   /// Distributed-argmin merges cross-checked against the global scan.
   std::uint64_t argmin_merges = 0;
+  /// Reconcile read-back passes fanned out across shards.
+  std::uint64_t recon_fanouts = 0;
+  /// Per-shard drift read-back tasks dispatched.
+  std::uint64_t recon_tasks = 0;
 
   // --- Wall-clock measurements (host-dependent; never serialized) ---
   /// Wall seconds spent inside parallel regions (coordinator view).

@@ -1,0 +1,215 @@
+#include "net/dataplane.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace nu::net {
+
+const char* ToString(RuleFault cause) {
+  switch (cause) {
+    case RuleFault::kAckLie:
+      return "ack-lie";
+    case RuleFault::kStraggler:
+      return "straggler";
+    case RuleFault::kRuleLoss:
+      return "rule-loss";
+  }
+  return "?";
+}
+
+void DataplaneState::Account(const DivergentRule& entry, int delta) {
+  std::size_t& bucket = entry.abandoned ? abandoned_ : active_;
+  if (delta > 0) {
+    bucket += static_cast<std::size_t>(delta);
+  } else {
+    NU_CHECK(bucket >= static_cast<std::size_t>(-delta));
+    bucket -= static_cast<std::size_t>(-delta);
+  }
+}
+
+bool DataplaneState::AddDivergence(NodeId node, FlowId flow, RuleFault cause,
+                                   Seconds now) {
+  auto& rules = by_node_[node.value()];
+  auto [it, inserted] = rules.try_emplace(flow.value());
+  if (!inserted) return false;
+  it->second.cause = cause;
+  it->second.since = now;
+  Account(it->second, +1);
+  auto& nodes = by_flow_[flow.value()];
+  const auto pos = std::lower_bound(nodes.begin(), nodes.end(), node.value());
+  nodes.insert(pos, node.value());
+  return true;
+}
+
+bool DataplaneState::Resolve(NodeId node, FlowId flow) {
+  const auto node_it = by_node_.find(node.value());
+  if (node_it == by_node_.end()) return false;
+  const auto rule_it = node_it->second.find(flow.value());
+  if (rule_it == node_it->second.end()) return false;
+  Account(rule_it->second, -1);
+  node_it->second.erase(rule_it);
+  if (node_it->second.empty()) by_node_.erase(node_it);
+  const auto flow_it = by_flow_.find(flow.value());
+  NU_CHECK(flow_it != by_flow_.end());
+  auto& nodes = flow_it->second;
+  nodes.erase(std::find(nodes.begin(), nodes.end(), node.value()));
+  if (nodes.empty()) by_flow_.erase(flow_it);
+  return true;
+}
+
+bool DataplaneState::IsDivergent(NodeId node, FlowId flow) const {
+  return Find(node, flow) != nullptr;
+}
+
+const DivergentRule* DataplaneState::Find(NodeId node, FlowId flow) const {
+  const auto node_it = by_node_.find(node.value());
+  if (node_it == by_node_.end()) return nullptr;
+  const auto rule_it = node_it->second.find(flow.value());
+  if (rule_it == node_it->second.end()) return nullptr;
+  return &rule_it->second;
+}
+
+void DataplaneState::MarkDetected(NodeId node, FlowId flow) {
+  auto* entry = const_cast<DivergentRule*>(Find(node, flow));
+  if (entry != nullptr) entry->detected = true;
+}
+
+void DataplaneState::SetPendingApply(NodeId node, FlowId flow, bool pending) {
+  auto* entry = const_cast<DivergentRule*>(Find(node, flow));
+  if (entry != nullptr) entry->pending_apply = pending;
+}
+
+std::uint32_t DataplaneState::RecordRepairAttempt(NodeId node, FlowId flow) {
+  auto* entry = const_cast<DivergentRule*>(Find(node, flow));
+  if (entry == nullptr) return 0;
+  return ++entry->repair_attempts;
+}
+
+void DataplaneState::MarkAbandoned(NodeId node, FlowId flow) {
+  auto* entry = const_cast<DivergentRule*>(Find(node, flow));
+  if (entry == nullptr || entry->abandoned) return;
+  Account(*entry, -1);
+  entry->abandoned = true;
+  Account(*entry, +1);
+}
+
+void DataplaneState::DropFlow(FlowId flow) {
+  const auto flow_it = by_flow_.find(flow.value());
+  if (flow_it == by_flow_.end()) return;
+  for (const NodeId::rep_type node : flow_it->second) {
+    const auto node_it = by_node_.find(node);
+    NU_CHECK(node_it != by_node_.end());
+    const auto rule_it = node_it->second.find(flow.value());
+    NU_CHECK(rule_it != node_it->second.end());
+    Account(rule_it->second, -1);
+    node_it->second.erase(rule_it);
+    if (node_it->second.empty()) by_node_.erase(node_it);
+  }
+  by_flow_.erase(flow_it);
+}
+
+void DataplaneState::DropNode(NodeId node) {
+  const auto node_it = by_node_.find(node.value());
+  if (node_it == by_node_.end()) return;
+  for (const auto& [flow, entry] : node_it->second) {
+    Account(entry, -1);
+    const auto flow_it = by_flow_.find(flow);
+    NU_CHECK(flow_it != by_flow_.end());
+    auto& nodes = flow_it->second;
+    nodes.erase(std::find(nodes.begin(), nodes.end(), node.value()));
+    if (nodes.empty()) by_flow_.erase(flow_it);
+  }
+  by_node_.erase(node_it);
+}
+
+std::vector<NodeId> DataplaneState::DriftingNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(by_node_.size());
+  for (const auto& [node, rules] : by_node_) out.push_back(NodeId{node});
+  return out;
+}
+
+std::vector<FlowId> DataplaneState::DivergentFlowsOn(NodeId node) const {
+  std::vector<FlowId> out;
+  const auto node_it = by_node_.find(node.value());
+  if (node_it == by_node_.end()) return out;
+  out.reserve(node_it->second.size());
+  for (const auto& [flow, entry] : node_it->second) out.push_back(FlowId{flow});
+  return out;
+}
+
+void DataplaneState::SaveState(BinWriter& w) const {
+  w.Size(by_node_.size());
+  for (const auto& [node, rules] : by_node_) {
+    w.U32(node);
+    w.Size(rules.size());
+    for (const auto& [flow, entry] : rules) {
+      w.U64(flow);
+      w.U8(static_cast<std::uint8_t>(entry.cause));
+      w.F64(entry.since);
+      w.Bool(entry.detected);
+      w.Bool(entry.pending_apply);
+      w.U32(entry.repair_attempts);
+      w.Bool(entry.abandoned);
+    }
+  }
+}
+
+void DataplaneState::LoadState(BinReader& r) {
+  by_node_.clear();
+  by_flow_.clear();
+  active_ = 0;
+  abandoned_ = 0;
+  const std::size_t nodes = r.Size();
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const NodeId::rep_type node = r.U32();
+    const std::size_t rules = r.Size();
+    for (std::size_t j = 0; j < rules; ++j) {
+      const FlowId::rep_type flow = r.U64();
+      DivergentRule entry;
+      const std::uint8_t cause = r.U8();
+      if (cause > static_cast<std::uint8_t>(RuleFault::kRuleLoss)) {
+        throw CorruptInput("bad rule-fault cause");
+      }
+      entry.cause = static_cast<RuleFault>(cause);
+      entry.since = r.F64();
+      entry.detected = r.Bool();
+      entry.pending_apply = r.Bool();
+      entry.repair_attempts = r.U32();
+      entry.abandoned = r.Bool();
+      const auto [it, inserted] = by_node_[node].try_emplace(flow, entry);
+      if (!inserted) throw CorruptInput("duplicate divergence entry");
+      Account(entry, +1);
+      auto& flow_nodes = by_flow_[flow];
+      const auto pos =
+          std::lower_bound(flow_nodes.begin(), flow_nodes.end(), node);
+      flow_nodes.insert(pos, node);
+    }
+  }
+}
+
+bool operator==(const DataplaneState& a, const DataplaneState& b) {
+  auto tie = [](const DivergentRule& e) {
+    return std::tuple(e.cause, e.since, e.detected, e.pending_apply,
+                      e.repair_attempts, e.abandoned);
+  };
+  if (a.by_node_.size() != b.by_node_.size()) return false;
+  auto ia = a.by_node_.begin();
+  auto ib = b.by_node_.begin();
+  for (; ia != a.by_node_.end(); ++ia, ++ib) {
+    if (ia->first != ib->first) return false;
+    if (ia->second.size() != ib->second.size()) return false;
+    auto ja = ia->second.begin();
+    auto jb = ib->second.begin();
+    for (; ja != ia->second.end(); ++ja, ++jb) {
+      if (ja->first != jb->first || tie(ja->second) != tie(jb->second)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace nu::net

@@ -1,0 +1,112 @@
+#include "recon/health.h"
+
+#include "common/check.h"
+
+namespace nu::recon {
+
+const char* ToString(HealthLevel level) {
+  switch (level) {
+    case HealthLevel::kHealthy:
+      return "healthy";
+    case HealthLevel::kSuspect:
+      return "suspect";
+    case HealthLevel::kDegraded:
+      return "degraded";
+    case HealthLevel::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
+HealthLevel SwitchHealthTracker::LevelFor(double score) const {
+  if (score >= config_.quarantine_threshold) return HealthLevel::kQuarantined;
+  if (score >= config_.degrade_threshold) return HealthLevel::kDegraded;
+  if (score >= config_.suspect_threshold) return HealthLevel::kSuspect;
+  return HealthLevel::kHealthy;
+}
+
+HealthLevel SwitchHealthTracker::Observe(NodeId node, bool incident) {
+  State& state = states_[node.value()];
+  state.score = config_.ewma_alpha * (incident ? 1.0 : 0.0) +
+                (1.0 - config_.ewma_alpha) * state.score;
+  if (state.level == HealthLevel::kQuarantined) return state.level;  // latched
+  const HealthLevel next = LevelFor(state.score);
+  if (next == state.level) return state.level;
+  const bool was_usable = state.level < HealthLevel::kDegraded;
+  const bool now_usable = next < HealthLevel::kDegraded;
+  if (state.level == HealthLevel::kDegraded) --degraded_;
+  if (next == HealthLevel::kDegraded) {
+    ++degraded_;
+    ++ever_degraded_;
+  }
+  if (next == HealthLevel::kQuarantined) ++quarantined_;
+  state.level = next;
+  if (was_usable != now_usable) ++epoch_;
+  return state.level;
+}
+
+HealthLevel SwitchHealthTracker::LevelOf(NodeId node) const {
+  const auto it = states_.find(node.value());
+  return it == states_.end() ? HealthLevel::kHealthy : it->second.level;
+}
+
+double SwitchHealthTracker::ScoreOf(NodeId node) const {
+  const auto it = states_.find(node.value());
+  return it == states_.end() ? 0.0 : it->second.score;
+}
+
+void SwitchHealthTracker::SaveState(BinWriter& w) const {
+  w.Size(states_.size());
+  for (const auto& [node, state] : states_) {
+    w.U32(node);
+    w.F64(state.score);
+    w.U8(static_cast<std::uint8_t>(state.level));
+  }
+  w.U64(epoch_);
+  // U64, not Size: these are counters, not length prefixes, and Size()
+  // reads reject values larger than the remaining input.
+  w.U64(degraded_);
+  w.U64(quarantined_);
+  w.U64(ever_degraded_);
+}
+
+void SwitchHealthTracker::LoadState(BinReader& r) {
+  states_.clear();
+  const std::size_t count = r.Size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId::rep_type node = r.U32();
+    State state;
+    state.score = r.F64();
+    const std::uint8_t level = r.U8();
+    if (level > static_cast<std::uint8_t>(HealthLevel::kQuarantined)) {
+      throw CorruptInput("bad health level");
+    }
+    state.level = static_cast<HealthLevel>(level);
+    const auto [it, inserted] = states_.try_emplace(node, state);
+    if (!inserted) throw CorruptInput("duplicate health entry");
+  }
+  epoch_ = r.U64();
+  degraded_ = static_cast<std::size_t>(r.U64());
+  quarantined_ = static_cast<std::size_t>(r.U64());
+  ever_degraded_ = static_cast<std::size_t>(r.U64());
+}
+
+bool operator==(const SwitchHealthTracker& a, const SwitchHealthTracker& b) {
+  if (a.epoch_ != b.epoch_ || a.degraded_ != b.degraded_ ||
+      a.quarantined_ != b.quarantined_ ||
+      a.ever_degraded_ != b.ever_degraded_) {
+    return false;
+  }
+  if (a.states_.size() != b.states_.size()) return false;
+  auto ia = a.states_.begin();
+  auto ib = b.states_.begin();
+  for (; ia != a.states_.end(); ++ia, ++ib) {
+    if (ia->first != ib->first || ia->second.score != ib->second.score ||
+        ia->second.level != ib->second.level) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace nu::recon

@@ -1,0 +1,114 @@
+// Per-switch health scoring for the reconciliation subsystem.
+//
+// Every reconcile pass scores every switch it has ever suspected: an
+// incident (the pass found at least one divergent rule on the switch)
+// pushes an EWMA toward 1, a clean observation decays it toward 0. The
+// score drives an escalating response ladder (docs/model.md §16):
+//
+//   kHealthy     score <  suspect_threshold     normal operation
+//   kSuspect     score >= suspect_threshold     reprobed every pass
+//   kDegraded    score >= degrade_threshold     deprioritized in planning
+//                                               (paths through it filtered
+//                                               from candidate selection)
+//   kQuarantined score >= quarantine_threshold  drained like a switch-down
+//                                               fault; LATCHED — lying
+//                                               hardware does not earn its
+//                                               way back by lying less
+//
+// This mirrors guard/'s poison-event quarantine one level down: guard
+// quarantines an EVENT that keeps missing deadlines, the health tracker
+// quarantines a SWITCH that keeps lying about installs.
+//
+// The tracker is deterministic plain data (std::map, no draws); `epoch()`
+// bumps whenever any switch crosses the kDegraded boundary in either
+// direction so path-provider caches keyed on it invalidate exactly when
+// the usable-switch set changes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/binio.h"
+#include "common/types.h"
+
+namespace nu::recon {
+
+enum class HealthLevel : std::uint8_t {
+  kHealthy,
+  kSuspect,
+  kDegraded,
+  kQuarantined,
+};
+
+[[nodiscard]] const char* ToString(HealthLevel level);
+
+struct HealthConfig {
+  /// EWMA smoothing: score = alpha * incident + (1 - alpha) * score.
+  double ewma_alpha = 0.35;
+  double suspect_threshold = 0.2;
+  double degrade_threshold = 0.55;
+  /// Set above 1.0 to disable quarantine entirely (the score can never
+  /// reach it); the auditor's drift bound then catches perma-liars.
+  double quarantine_threshold = 0.85;
+};
+
+class SwitchHealthTracker {
+ public:
+  SwitchHealthTracker() = default;
+  explicit SwitchHealthTracker(HealthConfig config) : config_(config) {}
+
+  /// Folds one reconcile observation for `node` into its score and
+  /// returns the resulting level. Quarantine latches: once reached, the
+  /// level never drops regardless of later observations.
+  HealthLevel Observe(NodeId node, bool incident);
+
+  /// kHealthy for switches never observed.
+  [[nodiscard]] HealthLevel LevelOf(NodeId node) const;
+  [[nodiscard]] double ScoreOf(NodeId node) const;
+
+  /// True when paths through `node` may be used for planning (level below
+  /// kDegraded). Hosts are never tracked, so they are always usable.
+  [[nodiscard]] bool IsUsable(NodeId node) const {
+    return LevelOf(node) < HealthLevel::kDegraded;
+  }
+
+  /// Bumps whenever any switch crosses the usable/unusable boundary.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
+  [[nodiscard]] std::size_t degraded_count() const { return degraded_; }
+  [[nodiscard]] std::size_t quarantined_count() const { return quarantined_; }
+  /// Switches that ever reached kDegraded (monotonic; reported).
+  [[nodiscard]] std::size_t ever_degraded() const { return ever_degraded_; }
+  [[nodiscard]] bool any_unusable() const { return degraded_ + quarantined_ > 0; }
+
+  /// Visits tracked switches in ascending id order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [node, state] : states_) {
+      fn(NodeId{node}, state.score, state.level);
+    }
+  }
+
+  void SaveState(BinWriter& w) const;
+  void LoadState(BinReader& r);
+
+  friend bool operator==(const SwitchHealthTracker& a,
+                         const SwitchHealthTracker& b);
+
+ private:
+  struct State {
+    double score = 0.0;
+    HealthLevel level = HealthLevel::kHealthy;
+  };
+
+  [[nodiscard]] HealthLevel LevelFor(double score) const;
+
+  HealthConfig config_;
+  std::map<NodeId::rep_type, State> states_;
+  std::uint64_t epoch_ = 0;
+  std::size_t degraded_ = 0;
+  std::size_t quarantined_ = 0;
+  std::size_t ever_degraded_ = 0;
+};
+
+}  // namespace nu::recon

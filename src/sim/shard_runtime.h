@@ -23,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "guard/auditor.h"
 #include "metrics/shard_stats.h"
+#include "recon/reconciler.h"
 #include "sim/mailbox.h"
 #include "topo/shard_map.h"
 #include "update/planner.h"
@@ -53,6 +54,12 @@ class ShardRuntime {
   }
   [[nodiscard]] metrics::ShardStats& stats() { return stats_; }
   [[nodiscard]] ShardMailbox<ShardProbeResult>& mailbox() { return mailbox_; }
+  /// Separate mailbox for reconcile read-back fan-outs (drift observations
+  /// are tiny next to event plans; sharing the probe mailbox would force a
+  /// variant payload). Rounds come from the same NextMailboxRound counter.
+  [[nodiscard]] ShardMailbox<recon::DriftObservation>& drift_mailbox() {
+    return drift_mailbox_;
+  }
 
   /// Monotonic mailbox round ids (one per probe fan-out).
   [[nodiscard]] std::uint64_t NextMailboxRound() { return next_round_++; }
@@ -88,6 +95,7 @@ class ShardRuntime {
   std::unique_ptr<ThreadPool> pool_;
   metrics::ShardStats stats_;
   ShardMailbox<ShardProbeResult> mailbox_;
+  ShardMailbox<recon::DriftObservation> drift_mailbox_;
   std::uint64_t next_round_ = 0;
   guard::ShardAuditRuntime audit_rt_;
 };

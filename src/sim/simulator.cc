@@ -102,6 +102,17 @@ Rng::State LoadRngState(BinReader& r) {
 ///                         (sustained overload) fires — same victim handling
 ///                         as kFault, but the spec lives in the run's
 ///                         dynamic-fault list, not the plan.
+///   kGreyApply:           a straggling (or repair-re-issued) dataplane rule
+///                         finally lands on its switch — the divergence it
+///                         covered resolves (recon subsystem).
+///   kRuleLoss:            a switch silently evicts a rule it had applied —
+///                         new divergence appears without any controller
+///                         action.
+///   kReconcile:           the periodic anti-entropy read-back pass runs
+///                         (recon::Reconciler): detect drift, repair it,
+///                         feed switch health. At most one is armed at a
+///                         time; passes re-arm themselves while work
+///                         remains.
 struct Occurrence {
   enum class Kind : std::uint8_t {
     kDeparture,
@@ -112,12 +123,16 @@ struct Occurrence {
     kWatchdog,
     kRequeue,
     kCascadeFault,  // appended: snapshot payloads store the numeric value
+    kGreyApply,     // appended (snapshot v6)
+    kRuleLoss,      // appended (snapshot v6)
+    kReconcile,     // appended (snapshot v6)
   };
   Kind kind = Kind::kDeparture;
   FlowId flow;                 // departures
   EventId event;               // install batches / watchdog / requeue
   /// kFault: index into the fault plan's specs; kCascadeFault: index into
-  /// the run's dynamic (cascade-generated) fault list.
+  /// the run's dynamic (cascade-generated) fault list; kGreyApply /
+  /// kRuleLoss: the target switch's node id.
   std::size_t fault_index = 0;
   /// kInstallDone / kInstallAborted: the batch's placed flow ids. Entries no
   /// longer in the network were killed by a fault mid-install and are
@@ -664,11 +679,50 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
   // Backstop validation: a plan referencing nonexistent ids fails here with
   // a FaultPlanError naming the offending spec, never by misfiring mid-run.
   if (faults_on) config_.faults.plan.Validate(network.graph());
+
+  // Grey-failure / reconciliation wiring (docs/model.md §16). The grey
+  // model makes installed rules lie (acked-but-absent), straggle, or get
+  // silently evicted; the reconciler is the periodic read-back pass that
+  // detects and repairs the resulting intended-vs-applied drift. Both off
+  // by default: a disabled dataplane model holds no divergence, draws
+  // nothing, and adds no snapshot section, so fixed-seed runs are
+  // bit-identical to a build without the subsystem. One RNG stream covers
+  // injection AND repair, so reconciliation is a single deterministic draw
+  // sequence.
+  const bool grey_on = config_.faults.grey.enabled();
+  if (grey_on) config_.faults.grey.Validate();
+  const bool recon_on = config_.recon.enabled;
+  const bool dataplane_on = grey_on || recon_on;
+  net::DataplaneState dataplane;
+  recon::Reconciler reconciler(config_.recon);
+  Rng grey_rng(StreamSeed(config_.seed, RngStream::kGreyFailures));
+  // kGreyApply/kRuleLoss entries currently in the timeline, and whether a
+  // kReconcile tick is armed. Not serialized: both are recounted from the
+  // restored timeline.
+  std::size_t pending_grey = 0;
+  bool reconcile_armed = false;
+
   const topo::PredicatePathProvider alive_paths(
-      paths_, [&network](const topo::Path& p) { return network.PathAlive(p); },
-      [&network] { return network.topology_epoch(); });
+      paths_,
+      [&network, &reconciler, recon_on](const topo::Path& p) {
+        if (!network.PathAlive(p)) return false;
+        // Health deprioritization: paths through Degraded (or Quarantined)
+        // switches leave candidate selection. Quarantined switches are
+        // also down, but degradation alone must already steer planning.
+        if (recon_on && reconciler.health().any_unusable()) {
+          for (const NodeId node : p.nodes) {
+            if (!reconciler.health().IsUsable(node)) return false;
+          }
+        }
+        return true;
+      },
+      [&network, &reconciler] {
+        return network.topology_epoch() + reconciler.health().epoch();
+      });
   const topo::PathProvider& provider =
-      faults_on ? static_cast<const topo::PathProvider&>(alive_paths) : paths_;
+      faults_on || recon_on
+          ? static_cast<const topo::PathProvider&>(alive_paths)
+          : paths_;
   fault::FaultInjector injector(
       config_.faults, StreamSeed(config_.seed, RngStream::kFaultInjection));
   // Overload→cascade feedback: a LinkStressMonitor (guard/) watches link
@@ -969,6 +1023,71 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     }
   };
 
+  /// Arms the next anti-entropy tick. At most one kReconcile occurrence is
+  /// ever in flight; passes re-arm themselves while drift or in-flight
+  /// grey applies remain, so the tick dies out with the work.
+  auto arm_reconcile = [&](Seconds t) {
+    if (!recon_on || reconcile_armed) return;
+    reconcile_armed = true;
+    timeline.Push(t + config_.recon.period,
+                  Occurrence{Occurrence::Kind::kReconcile, FlowId::invalid(),
+                             EventId::invalid(), 0, {}});
+  };
+
+  /// Schedules a deferred grey occurrence (straggler apply / rule loss);
+  /// the target switch rides in fault_index.
+  auto push_grey = [&](Occurrence::Kind kind, NodeId node, FlowId flow,
+                       Seconds t) {
+    ++pending_grey;
+    timeline.Push(t, Occurrence{kind, flow, EventId::invalid(),
+                                static_cast<std::size_t>(node.value()), {}});
+  };
+
+  /// Issues the dataplane rules of freshly installed event flows: one rule
+  /// per switch on the flow's path, each drawn through the grey model. An
+  /// ack-lie or straggler leaves the rule divergent (intended but not
+  /// applied); a rule loss applies now and schedules the silent eviction.
+  /// Background flows and migration reroutes of already-verified flows are
+  /// modeled as reliable — the grey model targets the install pipeline of
+  /// update events, where drift gates correctness.
+  auto issue_rules = [&](std::span<const FlowId> flows, Seconds t) {
+    if (!dataplane_on) return;
+    recon::ReconStats& rs = reconciler.stats();
+    for (const FlowId fid : flows) {
+      if (lossy && !network.HasFlow(fid)) continue;  // killed mid-install
+      const topo::Path& path = network.PathOf(fid);
+      for (const NodeId node : path.nodes) {
+        if (network.graph().node(node).role == topo::NodeRole::kHost) {
+          continue;
+        }
+        ++rs.rules_issued;
+        const fault::GreyOutcome out =
+            fault::SampleGrey(config_.faults.grey, node, t, grey_rng);
+        switch (out.kind) {
+          case fault::GreyOutcome::Kind::kApplied:
+            ++rs.rules_verified;
+            break;
+          case fault::GreyOutcome::Kind::kAckLie:
+            dataplane.AddDivergence(node, fid, net::RuleFault::kAckLie, t);
+            ++rs.ack_lies;
+            arm_reconcile(t);
+            break;
+          case fault::GreyOutcome::Kind::kStraggler:
+            dataplane.AddDivergence(node, fid, net::RuleFault::kStraggler, t);
+            dataplane.SetPendingApply(node, fid, true);
+            push_grey(Occurrence::Kind::kGreyApply, node, fid, t + out.delay);
+            ++rs.stragglers;
+            arm_reconcile(t);
+            break;
+          case fault::GreyOutcome::Kind::kRuleLoss:
+            ++rs.rules_verified;  // applied now, evicted later
+            push_grey(Occurrence::Kind::kRuleLoss, node, fid, t + out.delay);
+            break;
+        }
+      }
+    }
+  };
+
   // Retries deferred flows of active events (activation order) against the
   // freed capacity. A retry is a cheap admission check; full migration
   // planning runs only every kMigrationRetryPeriod-th failure, so frequent
@@ -1017,13 +1136,111 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     acct.shed = shed_count;
     acct.quarantined = quarantined_count;
     acct.queue_capacity = gcfg.overload.max_queue_length;
+    // Bounded-drift invariant (recon subsystem): a switch continuously at
+    // drift past the configured pass budget without quarantine is a
+    // liveness violation.
+    guard::DriftAuditInput drift_input;
+    const guard::DriftAuditInput* drift_ptr = nullptr;
+    if (recon_on && config_.recon.max_passes_at_drift > 0) {
+      drift_input.max_passes = config_.recon.max_passes_at_drift;
+      for (const recon::DriftStreak& streak : reconciler.DriftStreaks()) {
+        drift_input.entries.push_back({streak.node, streak.passes});
+      }
+      drift_ptr = &drift_input;
+    }
     collector.OnAudit(auditor.Audit(
         network, acct, result.forced_placements,
         guard::AuditContext{result.rounds, network.topology_epoch()},
-        shard_rt.has_value() ? &shard_rt->audit_runtime() : nullptr));
+        shard_rt.has_value() ? &shard_rt->audit_runtime() : nullptr,
+        drift_ptr));
   };
   std::size_t occurrences_since_audit = 0;
   bool audit_due = false;
+
+  /// One anti-entropy pass (docs/model.md §16): prune stale divergence,
+  /// read back every drifting switch, repair through the grey pipeline,
+  /// fold switch health, quarantine perma-liars, and re-arm while work
+  /// remains. Sharded runs fan the read-back out per shard through the
+  /// deterministic mailbox; the canonical (shard, seq) drain re-sorted by
+  /// switch id makes the observation list identical to the serial scan.
+  auto run_reconcile = [&](Seconds t) {
+    recon::Reconciler::Prune(network, dataplane);
+    std::vector<recon::DriftObservation> drift;
+    const std::vector<NodeId> drifting = dataplane.DriftingNodes();
+    if (shard_rt.has_value() && drifting.size() >= 2) {
+      metrics::ShardStats& sstats = shard_rt->stats();
+      std::vector<std::vector<NodeId>> shard_nodes(shard_rt->shard_count());
+      for (const NodeId node : drifting) {
+        shard_nodes[shard_rt->map().ShardOf(node)].push_back(node);
+      }
+      const std::uint64_t round = shard_rt->NextMailboxRound();
+      shard_rt->drift_mailbox().BeginRound(round);
+      std::vector<std::future<void>> tasks;
+      for (std::size_t s = 0; s < shard_nodes.size(); ++s) {
+        if (shard_nodes[s].empty()) continue;
+        ++sstats.recon_tasks;
+        tasks.push_back(shard_rt->pool().Submit([&, s] {
+          // Workers only read the (frozen) dataplane and post pure values;
+          // the coordinator blocks on the round barrier below.
+          std::uint64_t seq = 0;
+          for (const NodeId node : shard_nodes[s]) {
+            shard_rt->drift_mailbox().Post(
+                s, seq++,
+                recon::Reconciler::CollectNodeDrift(dataplane, node));
+          }
+        }));
+      }
+      ++sstats.recon_fanouts;
+      for (std::future<void>& task : tasks) task.get();
+      auto drained = shard_rt->drift_mailbox().DrainRound(round);
+      sstats.mailbox_messages += drained.size();
+      drift.reserve(drained.size());
+      for (auto& msg : drained) drift.push_back(std::move(msg.payload));
+      // Mailbox order is (shard, seq); the pass wants ascending switch id.
+      std::sort(drift.begin(), drift.end(),
+                [](const recon::DriftObservation& a,
+                   const recon::DriftObservation& b) {
+                  return a.node.value() < b.node.value();
+                });
+    } else {
+      drift = recon::Reconciler::CollectDrift(dataplane);
+    }
+    const recon::PassResult pass =
+        reconciler.Pass(drift, dataplane, config_.faults.grey, t, grey_rng);
+    for (const recon::DeferredGrey& d : pass.deferred) {
+      push_grey(d.kind == recon::DeferredGrey::Kind::kApply
+                    ? Occurrence::Kind::kGreyApply
+                    : Occurrence::Kind::kRuleLoss,
+                d.node, d.flow, d.time);
+    }
+    for (const NodeId node : pass.quarantine) {
+      // Quarantine-with-drain: the switch leaves service exactly like a
+      // switch-down fault (victim sweep, WAL commit, audit trigger) via a
+      // dynamic fault spec fired at `t`; its tracked divergence is dropped
+      // — residual on a quarantined switch is excused by the explicit
+      // quarantine.
+      dataplane.DropNode(node);
+      // Dynamic faults are counted at the firing site (the execution path
+      // skips accounting for them, matching the cascade engine).
+      collector.OnFault(/*link_fault=*/false);
+      fault::FaultSpec down;
+      down.time = t;
+      down.kind = fault::FaultKind::kSwitchDown;
+      down.node = node;
+      timeline.Push(t, Occurrence{Occurrence::Kind::kCascadeFault,
+                                  FlowId::invalid(), EventId::invalid(),
+                                  dynamic_faults.size(), {}});
+      dynamic_faults.push_back(down);
+    }
+    // Re-arm while anything still needs reconciling: a live run (rules are
+    // still being issued), unresolved repairable drift, or in-flight grey
+    // applies/evictions.
+    const bool run_live = !active.empty() || !queue.empty() ||
+                          parked_count > 0 || next_arrival < pending.size();
+    if (run_live || dataplane.active_count() > 0 || pending_grey > 0) {
+      arm_reconcile(t);
+    }
+  };
 
   /// Serializes the complete mid-run controller state at a round boundary.
   /// Field order IS the snapshot payload format — bump
@@ -1153,6 +1370,17 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       w.U64(ss.mailbox_messages);
       w.U64(ss.cross_shard_events);
       w.U64(ss.argmin_merges);
+      w.U64(ss.recon_fanouts);  // appended in format v6
+      w.U64(ss.recon_tasks);
+    }
+    // Recon section (format v6): present exactly when the grey/recon
+    // dataplane model is on — config decides, so reader and writer agree.
+    // The armed-tick flag and the pending-grey count are NOT stored: both
+    // are recounted from the restored timeline.
+    if (dataplane_on) {
+      dataplane.SaveState(w);
+      reconciler.SaveState(w);
+      SaveRngState(w, grey_rng.GetState());
     }
   };
 
@@ -1252,15 +1480,25 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     std::vector<TimelineQueue<Occurrence>::Entry> entries;
     const std::size_t entry_count = r.Size();
     entries.reserve(entry_count);
+    pending_grey = 0;
+    reconcile_armed = false;
     for (std::size_t i = 0; i < entry_count; ++i) {
       TimelineQueue<Occurrence>::Entry entry;
       entry.time = r.F64();
       entry.seq = r.U64();
       const std::uint8_t kind = r.U8();
-      if (kind > static_cast<std::uint8_t>(Occurrence::Kind::kCascadeFault)) {
+      if (kind > static_cast<std::uint8_t>(Occurrence::Kind::kReconcile)) {
         throw CorruptInput("bad occurrence kind");
       }
       entry.payload.kind = static_cast<Occurrence::Kind>(kind);
+      if (entry.payload.kind == Occurrence::Kind::kGreyApply ||
+          entry.payload.kind == Occurrence::Kind::kRuleLoss) {
+        ++pending_grey;
+      }
+      if (entry.payload.kind == Occurrence::Kind::kReconcile) {
+        if (reconcile_armed) throw CorruptInput("duplicate reconcile tick");
+        reconcile_armed = true;
+      }
       entry.payload.flow = FlowId{r.U64()};
       entry.payload.event = EventId{r.U64()};
       entry.payload.fault_index = static_cast<std::size_t>(r.U64());
@@ -1311,6 +1549,13 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       ss.mailbox_messages = r.U64();
       ss.cross_shard_events = r.U64();
       ss.argmin_merges = r.U64();
+      ss.recon_fanouts = r.U64();
+      ss.recon_tasks = r.U64();
+    }
+    if (dataplane_on) {
+      dataplane.LoadState(r);
+      reconciler.LoadState(r);
+      grey_rng.SetState(LoadRngState(r));
     }
   };
 
@@ -1397,9 +1642,15 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
 
     // Drained: every event arrived and reached a terminal state. Parked
     // events still owe a requeue attempt. (Churn would keep the timeline
-    // busy forever, so do not wait for it to empty.)
+    // busy forever, so do not wait for it to empty.) A run with the
+    // reconciler on additionally drains its dataplane drift: it ends only
+    // once every non-abandoned divergence is repaired and every in-flight
+    // grey apply/eviction has landed — zero unexcused residual, or
+    // explicit abandonment/quarantine.
     if (active.empty() && queue.empty() && parked_count == 0 &&
-        next_arrival >= pending.size()) {
+        next_arrival >= pending.size() &&
+        (!recon_on ||
+         (dataplane.active_count() == 0 && pending_grey == 0))) {
       break;
     }
 
@@ -1568,7 +1819,13 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
     // --- Advance virtual time ---
     const bool have_arrival = next_arrival < pending.size();
     const bool have_occurrence = !timeline.empty();
-    if (!have_arrival && !have_occurrence) {
+    // Recon machinery in the timeline (the armed tick, pending grey
+    // applies/evictions) never frees capacity, so it must not stop the
+    // deadlock breaker below. With the reconciler off both counters are
+    // zero and the condition degenerates to the original !have_occurrence.
+    const std::size_t recon_entries =
+        pending_grey + (reconcile_armed ? 1 : 0);
+    if (!have_arrival && timeline.size() <= recon_entries) {
       // Deferred flows with nothing left to free capacity: break the
       // deadlock by force-placing them (reported, not hidden).
       bool any_deferred = false;
@@ -1592,8 +1849,11 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
           ++result.forced_placements;
         }
       }
-      NU_CHECK(any_deferred);  // otherwise the loop cannot make progress
-      continue;
+      if (any_deferred) continue;
+      // No deferred flows: the drain condition kept us alive for the
+      // remaining recon entries — fall through and advance time over
+      // them. An empty timeline here means the loop cannot make progress.
+      NU_CHECK(have_occurrence);
     }
 
     Seconds next_time = std::numeric_limits<double>::infinity();
@@ -1614,6 +1874,7 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
         // ids are never reused).
         if (lossy && !network.HasFlow(occ.flow)) continue;
         network.Remove(occ.flow);
+        if (dataplane_on) dataplane.DropFlow(occ.flow);
         departed = true;
         continue;
       }
@@ -1651,6 +1912,7 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
         for (FlowId::rep_type fid_rep : rollback) {
           const FlowId fid{fid_rep};
           if (network.HasFlow(fid)) network.Remove(fid);
+          if (dataplane_on) dataplane.DropFlow(fid);
         }
         active.erase(it);
         active_order.erase(std::find(active_order.begin(),
@@ -1683,6 +1945,51 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
         }
         continue;
       }
+      if (occ.kind == Occurrence::Kind::kGreyApply) {
+        // A straggling (or repair-re-issued) rule finally lands. Stale if
+        // the flow departed or the divergence was pruned meanwhile.
+        NU_CHECK(pending_grey > 0);
+        --pending_grey;
+        const NodeId node{static_cast<NodeId::rep_type>(occ.fault_index)};
+        if (const net::DivergentRule* rule = dataplane.Find(node, occ.flow)) {
+          recon::ReconStats& rs = reconciler.stats();
+          ++rs.rules_verified;
+          if (rule->detected) {
+            // The reconciler had seen this drift, so the landing closes a
+            // repair and counts toward recovery latency.
+            ++rs.repairs_succeeded;
+            rs.repair_latency.Add(entry.time - rule->since);
+          }
+          dataplane.Resolve(node, occ.flow);
+        }
+        continue;
+      }
+      if (occ.kind == Occurrence::Kind::kRuleLoss) {
+        // A switch silently evicts a rule it had applied. Only meaningful
+        // while the flow still routes through the (alive) switch and the
+        // rule is not already divergent for another reason.
+        NU_CHECK(pending_grey > 0);
+        --pending_grey;
+        const NodeId node{static_cast<NodeId::rep_type>(occ.fault_index)};
+        if (network.HasFlow(occ.flow) && network.NodeUp(node) &&
+            !dataplane.IsDivergent(node, occ.flow)) {
+          const topo::Path& path = network.PathOf(occ.flow);
+          if (std::find(path.nodes.begin(), path.nodes.end(), node) !=
+              path.nodes.end()) {
+            dataplane.AddDivergence(node, occ.flow, net::RuleFault::kRuleLoss,
+                                    entry.time);
+            ++reconciler.stats().rules_lost;
+            arm_reconcile(entry.time);
+          }
+        }
+        continue;
+      }
+      if (occ.kind == Occurrence::Kind::kReconcile) {
+        NU_CHECK(reconcile_armed);
+        reconcile_armed = false;
+        run_reconcile(entry.time);
+        continue;
+      }
       if (occ.kind == Occurrence::Kind::kFault ||
           occ.kind == Occurrence::Kind::kCascadeFault) {
         const bool is_cascade = occ.kind == Occurrence::Kind::kCascadeFault;
@@ -1711,6 +2018,7 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
         for (FlowId victim : victims) {
           const EventId owner = network.FlowOf(victim).event;
           network.Remove(victim);
+          if (dataplane_on) dataplane.DropFlow(victim);
           collector.OnFlowKilled();
           if (!owner.valid()) continue;  // background: killed outright
           const auto owner_it = active.find(owner.value());
@@ -1808,6 +2116,12 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
       } else {
         ae.installed += occ.flows.size();
       }
+      // Freshly installed flows issue their dataplane rules through the
+      // grey pipeline (no-op when the dataplane model is off). Install
+      // COMPLETION is the controller's view — the switches ack every rule
+      // — so grey divergence never delays the event; it surfaces as drift
+      // the reconciler must repair.
+      issue_rules(occ.flows, entry.time);
       if (ae.Complete()) {
         collector.OnCompletion(occ.event, entry.time);
         if (serve_rt.has_value()) {
@@ -1914,6 +2228,25 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
   result.report.ckpt_snapshot_wall_seconds = snapshot_wall_seconds;
   result.report.ckpt_recovery_wall_seconds =
       result.recovery.recovery_wall_seconds;
+  if (dataplane_on) {
+    recon::ReconStats& rs = reconciler.stats();
+    rs.residual_divergence = dataplane.total_count();
+    result.recon_stats = rs;
+    metrics::Report& rep = result.report;
+    rep.drift_checks = rs.passes;
+    rep.drift_rules_detected = rs.drift_detected;
+    rep.grey_ack_lies = rs.ack_lies;
+    rep.grey_stragglers = rs.stragglers;
+    rep.grey_rules_lost = rs.rules_lost;
+    rep.drift_repairs = rs.repairs_succeeded;
+    rep.drift_repair_failures = rs.repair_failures;
+    rep.drift_rules_abandoned = rs.rules_abandoned;
+    rep.switches_degraded = rs.switches_degraded;
+    rep.switches_quarantined = rs.switches_quarantined;
+    rep.drift_residual_rules = rs.residual_divergence;
+    rep.drift_repair_mean = rs.repair_latency.mean();
+    rep.drift_repair_p99 = rs.repair_latency.Percentile(0.99);
+  }
   return result;
 }
 

@@ -46,6 +46,7 @@
 #include "metrics/report.h"
 #include "metrics/shard_stats.h"
 #include "net/network.h"
+#include "recon/reconciler.h"
 #include "sched/flow_level.h"
 #include "sched/scheduler.h"
 #include "serve/runtime.h"
@@ -203,6 +204,24 @@ struct SimConfig {
   ///     timeseries — all folded into SimResult and into snapshots
   ///     (payload format v4).
   serve::ServeOptions serve;
+  /// Anti-entropy reconciliation of grey dataplane failures (event-level
+  /// Run only; docs/model.md §16). Disabled by default; a disabled
+  /// reconciler keeps no state, draws nothing from any Rng, and adds no
+  /// snapshot section, so fixed-seed runs are bit-identical to a build
+  /// without the subsystem. When enabled (usually together with
+  /// SimConfig::faults.grey):
+  ///   * Every `recon.period` virtual seconds a read-back pass diffs the
+  ///     controller's intended rules against each switch's applied state,
+  ///     classifies the drift (ack-lie / straggler / silent loss), and
+  ///     repairs it by re-issuing rules through the same grey pipeline
+  ///     under a per-switch retry/backoff budget.
+  ///   * A per-switch health EWMA escalates persistent liars: Suspect ->
+  ///     Degraded (paths through the switch leave candidate selection) ->
+  ///     Quarantined (drained like a switch-down fault, latched).
+  ///   * The auditor (when on) enforces the drift invariant: no switch may
+  ///     stay continuously at drift past recon.max_passes_at_drift passes
+  ///     without being quarantined.
+  recon::ReconcilerConfig recon;
 };
 
 struct RoundLogEntry {
@@ -251,6 +270,10 @@ struct SimResult {
   /// per-tenant report, as CSV text; empty unless serve mode is on.
   std::string serve_timeseries_csv;
   std::string serve_tenant_csv;
+  /// Grey-failure / reconciliation counters (all zero unless
+  /// SimConfig::faults.grey or SimConfig::recon is on); the headline
+  /// subset is also folded into `report` (drift_*, grey_*, switches_*).
+  recon::ReconStats recon_stats;
 };
 
 class Simulator {

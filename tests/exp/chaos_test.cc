@@ -116,6 +116,41 @@ TEST(ChaosTest, ArtifactRoundTripsExactly) {
   }
 }
 
+TEST(ChaosTest, GreyScenariosRoundTripAndRunConverged) {
+  // Pinning --grey= forces the model onto every trial; the artifact must
+  // carry it and replay it, and the drift-convergence oracle must hold.
+  ChaosOptions options = QuickOptions();
+  options.grey = fault::ParseGreyModel("acklie:0.2+loss:0.1:0.5:2");
+  const ChaosScenario scenario = MakeTrialScenario(options, 0);
+  EXPECT_EQ(fault::FormatGreyModel(scenario.grey),
+            fault::FormatGreyModel(options.grey));
+
+  const std::string text = SerializeArtifact(scenario);
+  EXPECT_NE(text.find("\ngrey acklie:0.2+loss:0.1:0.5:2\n"),
+            std::string::npos);
+  const ChaosScenario parsed = ParseArtifact(text);
+  EXPECT_EQ(parsed, scenario);
+  EXPECT_EQ(SerializeArtifact(parsed), text);
+
+  const sim::SimResult run = RunScenario(scenario);
+  EXPECT_GT(run.report.drift_checks, 0u);
+  EXPECT_LE(run.report.drift_residual_rules, run.report.drift_rules_abandoned);
+  const ChaosVerdict verdict = JudgeScenario(scenario, options);
+  EXPECT_FALSE(verdict.failed) << verdict.oracle << ": " << verdict.detail;
+}
+
+TEST(ChaosTest, GreylessArtifactsOmitTheGreyLine) {
+  // Old artifacts predate the grey key; scenarios without a model must
+  // serialize to exactly the old bytes.
+  ChaosOptions options = QuickOptions();
+  options.seed = 17;  // a seed whose trial 0 draws no grey model
+  ChaosScenario scenario = MakeTrialScenario(options, 0);
+  scenario.grey = fault::GreyFailureModel{};
+  const std::string text = SerializeArtifact(scenario);
+  EXPECT_EQ(text.find("\ngrey "), std::string::npos);
+  EXPECT_EQ(ParseArtifact(text), scenario);
+}
+
 TEST(ChaosTest, ParseArtifactRejectsMalformedInput) {
   const ChaosScenario scenario = MakeTrialScenario(QuickOptions(), 0);
   const std::string good = SerializeArtifact(scenario);
@@ -132,6 +167,14 @@ TEST(ChaosTest, ParseArtifactRejectsMalformedInput) {
   EXPECT_THROW((void)ParseArtifact(truncated), ChaosError);
   // So is trailing garbage after the embedded plan.
   EXPECT_THROW((void)ParseArtifact(good + "trailing garbage\n"), ChaosError);
+  // A grey model that fails to parse or validate is rejected up front.
+  const std::string::size_type header_end = good.find('\n') + 1;
+  const std::string bad_grey =
+      good.substr(0, header_end) + "grey warp:1\n" + good.substr(header_end);
+  EXPECT_THROW((void)ParseArtifact(bad_grey), ChaosError);
+  const std::string invalid_grey =
+      good.substr(0, header_end) + "grey acklie:1.5\n" + good.substr(header_end);
+  EXPECT_THROW((void)ParseArtifact(invalid_grey), ChaosError);
 }
 
 TEST(ChaosTest, CampaignIsAPureFunctionOfItsOptions) {

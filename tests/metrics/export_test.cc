@@ -54,12 +54,19 @@ TEST(ExportTest, ReportCsvHasAllColumns) {
   report.overlay_probes = 40;
   report.overlay_bytes_saved = 1024.0;
   report.probe_wall_seconds = 0.125;
+  report.drift_checks = 9;
+  report.drift_rules_detected = 8;
+  report.grey_ack_lies = 3;
+  report.drift_repairs = 7;
+  report.drift_rules_abandoned = 1;
+  report.switches_quarantined = 2;
+  report.drift_repair_p99 = 0.5;
 
   std::ostringstream out;
   WriteReportCsv(out, report);
   const CsvFile parsed = ParseCsv(out.str(), /*has_header=*/true);
   ASSERT_EQ(parsed.rows.size(), 1u);
-  EXPECT_EQ(parsed.header.size(), 46u);
+  EXPECT_EQ(parsed.header.size(), 59u);
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("events")], "3");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("avg_ect")], "10.0000");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("makespan")], "25.0000");
@@ -78,6 +85,13 @@ TEST(ExportTest, ReportCsvHasAllColumns) {
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("overlay_bytes_saved")], "1024");
   EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("probe_wall_seconds")],
             "0.125000");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("drift_checks")], "9");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("drift_rules_detected")], "8");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("grey_ack_lies")], "3");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("drift_repairs")], "7");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("drift_rules_abandoned")], "1");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("switches_quarantined")], "2");
+  EXPECT_EQ(parsed.rows[0][*parsed.ColumnIndex("drift_repair_p99")], "0.5000");
 }
 
 TEST(ExportTest, RecordsCsvCarriesFaultColumns) {

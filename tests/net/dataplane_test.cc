@@ -1,0 +1,144 @@
+// DataplaneState: the sparse intended-vs-applied divergence store behind
+// the grey-failure model. Accounting (active vs abandoned), canonical
+// iteration order, the per-flow reverse index, and snapshot round-trips.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/binio.h"
+#include "net/dataplane.h"
+
+namespace nu::net {
+namespace {
+
+TEST(DataplaneTest, AddResolveAndCounters) {
+  DataplaneState dp;
+  EXPECT_TRUE(dp.empty());
+  EXPECT_TRUE(dp.AddDivergence(NodeId{3}, FlowId{7}, RuleFault::kAckLie, 1.0));
+  EXPECT_TRUE(
+      dp.AddDivergence(NodeId{3}, FlowId{9}, RuleFault::kStraggler, 1.5));
+  EXPECT_EQ(dp.active_count(), 2u);
+  EXPECT_EQ(dp.abandoned_count(), 0u);
+  EXPECT_TRUE(dp.IsDivergent(NodeId{3}, FlowId{7}));
+  EXPECT_FALSE(dp.IsDivergent(NodeId{4}, FlowId{7}));
+
+  ASSERT_NE(dp.Find(NodeId{3}, FlowId{7}), nullptr);
+  EXPECT_EQ(dp.Find(NodeId{3}, FlowId{7})->cause, RuleFault::kAckLie);
+  EXPECT_EQ(dp.Find(NodeId{3}, FlowId{7})->since, 1.0);
+
+  EXPECT_TRUE(dp.Resolve(NodeId{3}, FlowId{7}));
+  EXPECT_FALSE(dp.Resolve(NodeId{3}, FlowId{7}));  // already gone
+  EXPECT_EQ(dp.active_count(), 1u);
+}
+
+TEST(DataplaneTest, FirstCauseWins) {
+  DataplaneState dp;
+  EXPECT_TRUE(dp.AddDivergence(NodeId{1}, FlowId{1}, RuleFault::kAckLie, 1.0));
+  // A rule cannot diverge twice without a repair in between.
+  EXPECT_FALSE(
+      dp.AddDivergence(NodeId{1}, FlowId{1}, RuleFault::kRuleLoss, 2.0));
+  EXPECT_EQ(dp.Find(NodeId{1}, FlowId{1})->cause, RuleFault::kAckLie);
+  EXPECT_EQ(dp.Find(NodeId{1}, FlowId{1})->since, 1.0);
+  EXPECT_EQ(dp.active_count(), 1u);
+}
+
+TEST(DataplaneTest, AbandonmentMovesBetweenCounters) {
+  DataplaneState dp;
+  dp.AddDivergence(NodeId{2}, FlowId{5}, RuleFault::kAckLie, 0.0);
+  EXPECT_EQ(dp.RecordRepairAttempt(NodeId{2}, FlowId{5}), 1u);
+  EXPECT_EQ(dp.RecordRepairAttempt(NodeId{2}, FlowId{5}), 2u);
+  dp.MarkAbandoned(NodeId{2}, FlowId{5});
+  EXPECT_EQ(dp.active_count(), 0u);
+  EXPECT_EQ(dp.abandoned_count(), 1u);
+  EXPECT_EQ(dp.total_count(), 1u);
+  EXPECT_FALSE(dp.empty());
+  // Resolving an abandoned entry still removes it and fixes the counter.
+  EXPECT_TRUE(dp.Resolve(NodeId{2}, FlowId{5}));
+  EXPECT_EQ(dp.abandoned_count(), 0u);
+  EXPECT_TRUE(dp.empty());
+}
+
+TEST(DataplaneTest, MutatorsAreNoOpsOnMissingEntries) {
+  DataplaneState dp;
+  dp.MarkDetected(NodeId{9}, FlowId{9});
+  dp.SetPendingApply(NodeId{9}, FlowId{9}, true);
+  dp.MarkAbandoned(NodeId{9}, FlowId{9});
+  EXPECT_EQ(dp.RecordRepairAttempt(NodeId{9}, FlowId{9}), 0u);
+  EXPECT_TRUE(dp.empty());
+}
+
+TEST(DataplaneTest, DropFlowClearsEveryNode) {
+  DataplaneState dp;
+  dp.AddDivergence(NodeId{1}, FlowId{4}, RuleFault::kAckLie, 0.0);
+  dp.AddDivergence(NodeId{2}, FlowId{4}, RuleFault::kRuleLoss, 0.0);
+  dp.AddDivergence(NodeId{2}, FlowId{5}, RuleFault::kAckLie, 0.0);
+  dp.DropFlow(FlowId{4});
+  EXPECT_EQ(dp.active_count(), 1u);
+  EXPECT_FALSE(dp.IsDivergent(NodeId{1}, FlowId{4}));
+  EXPECT_FALSE(dp.IsDivergent(NodeId{2}, FlowId{4}));
+  EXPECT_TRUE(dp.IsDivergent(NodeId{2}, FlowId{5}));
+}
+
+TEST(DataplaneTest, DropNodeClearsItsRulesOnly) {
+  DataplaneState dp;
+  dp.AddDivergence(NodeId{1}, FlowId{4}, RuleFault::kAckLie, 0.0);
+  dp.AddDivergence(NodeId{2}, FlowId{4}, RuleFault::kAckLie, 0.0);
+  dp.MarkAbandoned(NodeId{2}, FlowId{4});
+  dp.DropNode(NodeId{2});
+  EXPECT_EQ(dp.active_count(), 1u);
+  EXPECT_EQ(dp.abandoned_count(), 0u);
+  EXPECT_TRUE(dp.IsDivergent(NodeId{1}, FlowId{4}));
+}
+
+TEST(DataplaneTest, CanonicalAscendingOrder) {
+  DataplaneState dp;
+  dp.AddDivergence(NodeId{5}, FlowId{2}, RuleFault::kAckLie, 0.0);
+  dp.AddDivergence(NodeId{1}, FlowId{8}, RuleFault::kAckLie, 0.0);
+  dp.AddDivergence(NodeId{5}, FlowId{1}, RuleFault::kAckLie, 0.0);
+
+  const std::vector<NodeId> nodes = dp.DriftingNodes();
+  ASSERT_EQ(nodes.size(), 2u);
+  EXPECT_EQ(nodes[0], NodeId{1});
+  EXPECT_EQ(nodes[1], NodeId{5});
+
+  const std::vector<FlowId> flows = dp.DivergentFlowsOn(NodeId{5});
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[0], FlowId{1});
+  EXPECT_EQ(flows[1], FlowId{2});
+
+  std::vector<std::pair<NodeId::rep_type, FlowId::rep_type>> visited;
+  dp.ForEach([&](NodeId n, FlowId f, const DivergentRule&) {
+    visited.emplace_back(n.value(), f.value());
+  });
+  const std::vector<std::pair<NodeId::rep_type, FlowId::rep_type>> want = {
+      {1, 8}, {5, 1}, {5, 2}};
+  EXPECT_EQ(visited, want);
+}
+
+TEST(DataplaneTest, SaveLoadRoundTrip) {
+  DataplaneState dp;
+  dp.AddDivergence(NodeId{3}, FlowId{7}, RuleFault::kStraggler, 1.25);
+  dp.SetPendingApply(NodeId{3}, FlowId{7}, true);
+  dp.AddDivergence(NodeId{4}, FlowId{2}, RuleFault::kAckLie, 0.5);
+  dp.MarkDetected(NodeId{4}, FlowId{2});
+  dp.RecordRepairAttempt(NodeId{4}, FlowId{2});
+  dp.AddDivergence(NodeId{4}, FlowId{3}, RuleFault::kRuleLoss, 2.0);
+  dp.MarkAbandoned(NodeId{4}, FlowId{3});
+
+  BinWriter w;
+  dp.SaveState(w);
+  BinReader r(w.buffer());
+  DataplaneState loaded;
+  loaded.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(loaded == dp);
+  EXPECT_EQ(loaded.active_count(), 2u);
+  EXPECT_EQ(loaded.abandoned_count(), 1u);
+  const DivergentRule* entry = loaded.Find(NodeId{3}, FlowId{7});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->pending_apply);
+  EXPECT_EQ(entry->since, 1.25);
+}
+
+}  // namespace
+}  // namespace nu::net

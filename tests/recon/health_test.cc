@@ -1,0 +1,102 @@
+// SwitchHealthTracker: the EWMA escalation ladder behind the reconciler.
+// Scores climb on incidents and decay on clean passes, quarantine latches,
+// and the epoch counter bumps exactly on usable-boundary crossings.
+#include <gtest/gtest.h>
+
+#include "common/binio.h"
+#include "recon/health.h"
+
+namespace nu::recon {
+namespace {
+
+HealthConfig Fast() {
+  HealthConfig config;
+  config.ewma_alpha = 0.5;  // fast ladder for short tests
+  config.suspect_threshold = 0.2;
+  config.degrade_threshold = 0.55;
+  config.quarantine_threshold = 0.85;
+  return config;
+}
+
+TEST(HealthTest, UnknownSwitchesAreHealthyAndUsable) {
+  const SwitchHealthTracker tracker;
+  EXPECT_EQ(tracker.LevelOf(NodeId{5}), HealthLevel::kHealthy);
+  EXPECT_EQ(tracker.ScoreOf(NodeId{5}), 0.0);
+  EXPECT_TRUE(tracker.IsUsable(NodeId{5}));
+  EXPECT_FALSE(tracker.any_unusable());
+}
+
+TEST(HealthTest, IncidentsEscalateThroughTheLadder) {
+  SwitchHealthTracker tracker(Fast());
+  // alpha=0.5: scores 0.5, 0.75, 0.875 -> suspect, degraded, quarantined.
+  EXPECT_EQ(tracker.Observe(NodeId{1}, true), HealthLevel::kSuspect);
+  EXPECT_TRUE(tracker.IsUsable(NodeId{1}));
+  EXPECT_EQ(tracker.Observe(NodeId{1}, true), HealthLevel::kDegraded);
+  EXPECT_FALSE(tracker.IsUsable(NodeId{1}));
+  EXPECT_EQ(tracker.degraded_count(), 1u);
+  EXPECT_EQ(tracker.Observe(NodeId{1}, true), HealthLevel::kQuarantined);
+  EXPECT_EQ(tracker.quarantined_count(), 1u);
+  EXPECT_EQ(tracker.degraded_count(), 0u);  // moved up, not double-counted
+  EXPECT_EQ(tracker.ever_degraded(), 1u);
+  EXPECT_TRUE(tracker.any_unusable());
+}
+
+TEST(HealthTest, CleanObservationsDecayButQuarantineLatches) {
+  SwitchHealthTracker tracker(Fast());
+  tracker.Observe(NodeId{1}, true);
+  tracker.Observe(NodeId{1}, true);
+  ASSERT_EQ(tracker.LevelOf(NodeId{1}), HealthLevel::kDegraded);
+  // One clean pass: 0.75 -> 0.375, back below the degrade threshold.
+  EXPECT_EQ(tracker.Observe(NodeId{1}, false), HealthLevel::kSuspect);
+  EXPECT_TRUE(tracker.IsUsable(NodeId{1}));
+
+  // Push to quarantine, then observe clean forever: the level never drops.
+  SwitchHealthTracker latched(Fast());
+  for (int i = 0; i < 3; ++i) latched.Observe(NodeId{2}, true);
+  ASSERT_EQ(latched.LevelOf(NodeId{2}), HealthLevel::kQuarantined);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(latched.Observe(NodeId{2}, false), HealthLevel::kQuarantined);
+  }
+  EXPECT_EQ(latched.quarantined_count(), 1u);
+}
+
+TEST(HealthTest, EpochBumpsOnUsableBoundaryCrossingsOnly) {
+  SwitchHealthTracker tracker(Fast());
+  const std::uint64_t e0 = tracker.epoch();
+  tracker.Observe(NodeId{1}, true);  // healthy -> suspect: still usable
+  EXPECT_EQ(tracker.epoch(), e0);
+  tracker.Observe(NodeId{1}, true);  // suspect -> degraded: crossed
+  const std::uint64_t e1 = tracker.epoch();
+  EXPECT_GT(e1, e0);
+  tracker.Observe(NodeId{1}, false);  // degraded -> suspect: crossed back
+  EXPECT_GT(tracker.epoch(), e1);
+}
+
+TEST(HealthTest, QuarantineAboveOneNeverFires) {
+  HealthConfig config = Fast();
+  config.quarantine_threshold = 1.5;  // disabled: EWMA can never reach it
+  SwitchHealthTracker tracker(config);
+  for (int i = 0; i < 100; ++i) tracker.Observe(NodeId{1}, true);
+  EXPECT_EQ(tracker.LevelOf(NodeId{1}), HealthLevel::kDegraded);
+  EXPECT_EQ(tracker.quarantined_count(), 0u);
+}
+
+TEST(HealthTest, SaveLoadRoundTrip) {
+  SwitchHealthTracker tracker(Fast());
+  tracker.Observe(NodeId{1}, true);
+  tracker.Observe(NodeId{1}, true);
+  tracker.Observe(NodeId{4}, true);
+  tracker.Observe(NodeId{4}, false);
+  BinWriter w;
+  tracker.SaveState(w);
+  BinReader r(w.buffer());
+  SwitchHealthTracker loaded(Fast());
+  loaded.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(loaded == tracker);
+  EXPECT_EQ(loaded.LevelOf(NodeId{1}), HealthLevel::kDegraded);
+  EXPECT_EQ(loaded.epoch(), tracker.epoch());
+}
+
+}  // namespace
+}  // namespace nu::recon

@@ -1,0 +1,234 @@
+// Reconciler passes: detection, repair through the grey pipeline, backoff
+// and abandonment, quarantine escalation, drift streaks for the auditor,
+// pruning of stale intent, and snapshot round-trips.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/binio.h"
+#include "net/network.h"
+#include "recon/reconciler.h"
+#include "topo/fat_tree.h"
+
+namespace nu::recon {
+namespace {
+
+ReconcilerConfig FastConfig() {
+  ReconcilerConfig config;
+  config.enabled = true;
+  config.retry.max_attempts = 3;
+  config.health.ewma_alpha = 0.5;
+  return config;
+}
+
+fault::GreyFailureModel Always(fault::GreyKind kind, Seconds min_delay = 0.0,
+                               Seconds max_delay = 0.0) {
+  fault::GreyFailureSpec spec;
+  spec.kind = kind;
+  spec.probability = 1.0;
+  spec.min_delay = min_delay;
+  spec.max_delay = max_delay;
+  fault::GreyFailureModel model;
+  model.specs.push_back(spec);
+  return model;
+}
+
+TEST(ReconcilerTest, HealthyPipelineRepairsEverythingInOnePass) {
+  Reconciler recon(FastConfig());
+  net::DataplaneState dp;
+  dp.AddDivergence(NodeId{3}, FlowId{1}, net::RuleFault::kAckLie, 0.0);
+  dp.AddDivergence(NodeId{3}, FlowId{2}, net::RuleFault::kAckLie, 0.5);
+  Rng rng(1);
+
+  // Empty grey model: every re-issue applies immediately.
+  const PassResult result =
+      recon.Pass(Reconciler::CollectDrift(dp), dp, {}, 2.0, rng);
+
+  EXPECT_TRUE(dp.empty());
+  EXPECT_TRUE(result.deferred.empty());
+  EXPECT_TRUE(result.quarantine.empty());
+  EXPECT_EQ(result.drifting_switches, 1u);
+  const ReconStats& stats = recon.stats();
+  EXPECT_EQ(stats.passes, 1u);
+  EXPECT_EQ(stats.drift_detected, 2u);
+  EXPECT_EQ(stats.repairs_succeeded, 2u);
+  EXPECT_EQ(stats.repair_failures, 0u);
+  // Latencies measured from each entry's `since` to the pass time.
+  ASSERT_EQ(stats.repair_latency.count(), 2u);
+  EXPECT_NEAR(stats.repair_latency.mean(), (2.0 + 1.5) / 2.0, 1e-12);
+}
+
+TEST(ReconcilerTest, PermaLiarExhaustsBudgetAndIsAbandoned) {
+  Reconciler recon(FastConfig());
+  net::DataplaneState dp;
+  dp.AddDivergence(NodeId{4}, FlowId{1}, net::RuleFault::kAckLie, 0.0);
+  const fault::GreyFailureModel liar = Always(fault::GreyKind::kAckLie);
+  Rng rng(1);
+
+  // Pass times spaced beyond the worst jittered backoff so every pass gets
+  // a live repair attempt; max_attempts=3 means the third failure abandons.
+  for (int pass = 1; pass <= 3; ++pass) {
+    recon.Pass(Reconciler::CollectDrift(dp), dp, liar,
+               10.0 * static_cast<double>(pass), rng);
+  }
+  EXPECT_EQ(dp.active_count(), 0u);
+  EXPECT_EQ(dp.abandoned_count(), 1u);
+  const ReconStats& stats = recon.stats();
+  EXPECT_EQ(stats.repair_attempts, 3u);
+  EXPECT_EQ(stats.repair_failures, 3u);
+  EXPECT_EQ(stats.rules_abandoned, 1u);
+  EXPECT_EQ(stats.repairs_succeeded, 0u);
+
+  // An abandoned rule no longer draws repair attempts.
+  recon.Pass(Reconciler::CollectDrift(dp), dp, liar, 40.0, rng);
+  EXPECT_EQ(recon.stats().repair_attempts, 3u);
+}
+
+TEST(ReconcilerTest, BackoffDefersRetriesWithinTheWindow) {
+  Reconciler recon(FastConfig());
+  net::DataplaneState dp;
+  dp.AddDivergence(NodeId{4}, FlowId{1}, net::RuleFault::kAckLie, 0.0);
+  const fault::GreyFailureModel liar = Always(fault::GreyKind::kAckLie);
+  Rng rng(1);
+
+  recon.Pass(Reconciler::CollectDrift(dp), dp, liar, 1.0, rng);
+  ASSERT_EQ(recon.stats().repair_attempts, 1u);
+  // base_delay=0.05 with 10% jitter: the next attempt is at least 1.045.
+  recon.Pass(Reconciler::CollectDrift(dp), dp, liar, 1.01, rng);
+  EXPECT_EQ(recon.stats().repair_attempts, 1u);  // still backing off
+  recon.Pass(Reconciler::CollectDrift(dp), dp, liar, 2.0, rng);
+  EXPECT_EQ(recon.stats().repair_attempts, 2u);
+}
+
+TEST(ReconcilerTest, StragglerRepairDefersTheApply) {
+  Reconciler recon(FastConfig());
+  net::DataplaneState dp;
+  dp.AddDivergence(NodeId{4}, FlowId{1}, net::RuleFault::kAckLie, 0.0);
+  const fault::GreyFailureModel slow =
+      Always(fault::GreyKind::kStraggler, 0.5, 1.0);
+  Rng rng(1);
+
+  const PassResult result =
+      recon.Pass(Reconciler::CollectDrift(dp), dp, slow, 2.0, rng);
+  ASSERT_EQ(result.deferred.size(), 1u);
+  EXPECT_EQ(result.deferred[0].kind, DeferredGrey::Kind::kApply);
+  EXPECT_EQ(result.deferred[0].node, NodeId{4});
+  EXPECT_EQ(result.deferred[0].flow, FlowId{1});
+  EXPECT_GE(result.deferred[0].time, 2.5);
+  EXPECT_LT(result.deferred[0].time, 3.0);
+  // The entry stays divergent but in flight; no re-issue next pass.
+  ASSERT_NE(dp.Find(NodeId{4}, FlowId{1}), nullptr);
+  EXPECT_TRUE(dp.Find(NodeId{4}, FlowId{1})->pending_apply);
+  recon.Pass(Reconciler::CollectDrift(dp), dp, slow, 2.2, rng);
+  EXPECT_EQ(recon.stats().repair_attempts, 1u);
+}
+
+TEST(ReconcilerTest, RuleLossRepairSucceedsThenSchedulesEviction) {
+  Reconciler recon(FastConfig());
+  net::DataplaneState dp;
+  dp.AddDivergence(NodeId{4}, FlowId{1}, net::RuleFault::kAckLie, 0.0);
+  const fault::GreyFailureModel lossy =
+      Always(fault::GreyKind::kRuleLoss, 1.0, 2.0);
+  Rng rng(1);
+
+  const PassResult result =
+      recon.Pass(Reconciler::CollectDrift(dp), dp, lossy, 3.0, rng);
+  EXPECT_TRUE(dp.empty());  // applied now...
+  ASSERT_EQ(result.deferred.size(), 1u);  // ...but evicted again later
+  EXPECT_EQ(result.deferred[0].kind, DeferredGrey::Kind::kLoss);
+  EXPECT_GE(result.deferred[0].time, 4.0);
+  EXPECT_LT(result.deferred[0].time, 5.0);
+  EXPECT_EQ(recon.stats().repairs_succeeded, 1u);
+}
+
+TEST(ReconcilerTest, RepeatedIncidentsQuarantineTheSwitch) {
+  Reconciler recon(FastConfig());
+  net::DataplaneState dp;
+  dp.AddDivergence(NodeId{7}, FlowId{1}, net::RuleFault::kAckLie, 0.0);
+  const fault::GreyFailureModel liar = Always(fault::GreyKind::kAckLie);
+  Rng rng(1);
+
+  // alpha=0.5 reaches the 0.85 quarantine threshold on the third
+  // consecutive incident pass.
+  std::vector<NodeId> quarantined;
+  for (int pass = 1; pass <= 3; ++pass) {
+    // Keep the entry alive: re-add after abandonment so every pass sees
+    // the switch drifting (a fresh lie each time).
+    dp.AddDivergence(NodeId{7},
+                     FlowId{static_cast<FlowId::rep_type>(pass + 1)},
+                     net::RuleFault::kAckLie, 0.0);
+    const PassResult result =
+        recon.Pass(Reconciler::CollectDrift(dp), dp, liar,
+                   10.0 * static_cast<double>(pass), rng);
+    for (const NodeId n : result.quarantine) quarantined.push_back(n);
+  }
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0], NodeId{7});
+  EXPECT_EQ(recon.stats().switches_quarantined, 1u);
+  EXPECT_EQ(recon.health().LevelOf(NodeId{7}), HealthLevel::kQuarantined);
+  // Quarantined switches are excluded from drift streaks (excused).
+  EXPECT_TRUE(recon.DriftStreaks().empty());
+}
+
+TEST(ReconcilerTest, DriftStreaksTrackConsecutivePassesOnly) {
+  ReconcilerConfig config = FastConfig();
+  config.health.quarantine_threshold = 1.5;  // never quarantine
+  Reconciler recon(config);
+  net::DataplaneState dp;
+  const fault::GreyFailureModel liar = Always(fault::GreyKind::kAckLie);
+  Rng rng(1);
+
+  dp.AddDivergence(NodeId{5}, FlowId{1}, net::RuleFault::kAckLie, 0.0);
+  recon.Pass(Reconciler::CollectDrift(dp), dp, liar, 10.0, rng);
+  dp.AddDivergence(NodeId{5}, FlowId{2}, net::RuleFault::kAckLie, 0.0);
+  recon.Pass(Reconciler::CollectDrift(dp), dp, liar, 20.0, rng);
+  std::vector<DriftStreak> streaks = recon.DriftStreaks();
+  ASSERT_EQ(streaks.size(), 1u);
+  EXPECT_EQ(streaks[0].node, NodeId{5});
+  EXPECT_EQ(streaks[0].passes, 2u);
+
+  // A clean pass resets the streak.
+  for (const FlowId f : dp.DivergentFlowsOn(NodeId{5})) {
+    dp.Resolve(NodeId{5}, f);
+  }
+  recon.Pass(Reconciler::CollectDrift(dp), dp, liar, 30.0, rng);
+  EXPECT_TRUE(recon.DriftStreaks().empty());
+}
+
+TEST(ReconcilerTest, PruneDropsEntriesWithoutIntent) {
+  const topo::FatTree ft(topo::FatTreeConfig{.k = 4, .link_capacity = 100.0});
+  const net::Network network(ft.graph());
+  net::DataplaneState dp;
+  // No flow in the network backs these entries: all stale.
+  dp.AddDivergence(NodeId{1}, FlowId{10}, net::RuleFault::kAckLie, 0.0);
+  dp.AddDivergence(NodeId{2}, FlowId{11}, net::RuleFault::kRuleLoss, 0.0);
+  Reconciler::Prune(network, dp);
+  EXPECT_TRUE(dp.empty());
+}
+
+TEST(ReconcilerTest, SaveLoadRoundTrip) {
+  Reconciler recon(FastConfig());
+  net::DataplaneState dp;
+  dp.AddDivergence(NodeId{4}, FlowId{1}, net::RuleFault::kAckLie, 0.0);
+  dp.AddDivergence(NodeId{6}, FlowId{2}, net::RuleFault::kAckLie, 0.0);
+  const fault::GreyFailureModel liar = Always(fault::GreyKind::kAckLie);
+  Rng rng(1);
+  recon.Pass(Reconciler::CollectDrift(dp), dp, liar, 1.0, rng);
+  recon.Pass(Reconciler::CollectDrift(dp), dp, liar, 12.0, rng);
+
+  BinWriter w;
+  recon.SaveState(w);
+  BinReader r(w.buffer());
+  Reconciler loaded(FastConfig());
+  loaded.LoadState(r);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(loaded == recon);
+  EXPECT_EQ(loaded.stats().passes, recon.stats().passes);
+  EXPECT_EQ(loaded.stats().repair_failures, recon.stats().repair_failures);
+  EXPECT_EQ(loaded.stats().repair_latency.count(),
+            recon.stats().repair_latency.count());
+  EXPECT_EQ(loaded.DriftStreaks().size(), recon.DriftStreaks().size());
+}
+
+}  // namespace
+}  // namespace nu::recon

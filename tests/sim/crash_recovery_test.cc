@@ -16,6 +16,7 @@
 
 #include "ckpt/checkpoint.h"
 #include "ckpt/journal.h"
+#include "fault/fault_plan.h"
 #include "metrics/export.h"
 #include "sched/factory.h"
 #include "sim/simulator.h"
@@ -221,6 +222,62 @@ TEST_P(CrashRecoveryTest, CrashAtAnyRoundRecoversBitIdentical) {
         // truncated it rather than replayed it.
         EXPECT_GT(recovered.recovery.torn_bytes_truncated, 0u) << tag;
       }
+    }
+  }
+}
+
+/// Crash-during-repair: the oracle with a lying dataplane and the
+/// reconciler on. Mid-repair state (tracked divergence, retry backoff,
+/// health EWMAs, in-flight grey applies, the armed reconcile tick) all
+/// rides the snapshot; killing the run at every round must still replay to
+/// identical bytes.
+TEST_P(CrashRecoveryTest, CrashDuringRepairRecoversBitIdentical) {
+  const Fixture fx;
+  const auto events = MakeEvents(fx);
+  const sched::SchedulerKind kind = GetParam();
+
+  TempDir ref_dir("grey_ref_" + std::string(ToString(kind)));
+  SimConfig ref_config = OracleConfig(fx);
+  ref_config.faults.grey = fault::ParseGreyModel(
+      "acklie:0.25+straggler:0.3:0.1:0.5+loss:0.15:0.5:1.5");
+  ref_config.recon.enabled = true;
+  ref_config.checkpoint.dir = ref_dir.path().string();
+  ref_config.checkpoint.cadence = 2;
+  const SimResult reference = RunWith(fx, ref_config, kind, events);
+  const std::string want_records = RecordsCsv(reference);
+  const std::string want_report = NormalizedReportCsv(reference);
+  ASSERT_GE(reference.rounds, 3u);
+  // The run must actually have been drifting, or this proves nothing.
+  ASSERT_GT(reference.report.drift_rules_detected, 0u);
+  ASSERT_GT(reference.report.drift_repairs, 0u);
+
+  for (const fault::CrashPoint point :
+       {fault::CrashPoint::kBeforeRound, fault::CrashPoint::kMidRound}) {
+    for (std::size_t crash_round = 1; crash_round <= reference.rounds;
+         ++crash_round) {
+      const std::string tag =
+          "grey_" + std::string(ToString(kind)) + "_r" +
+          std::to_string(crash_round) +
+          (point == fault::CrashPoint::kMidRound ? "_mid" : "_pre");
+      TempDir dir(tag);
+      SimConfig config = ref_config;
+      config.checkpoint.dir = dir.path().string();
+      config.faults.crash.at_round = crash_round;
+      config.faults.crash.point = point;
+
+      Simulator sim(fx.network, fx.provider, config);
+      const auto scheduler = sched::MakeScheduler(kind);
+      EXPECT_THROW((void)sim.Run(*scheduler, events), fault::ControllerCrash)
+          << tag;
+
+      Simulator recovered_sim(fx.network, fx.provider, config);
+      const auto recovered_sched = sched::MakeScheduler(kind);
+      const SimResult recovered =
+          recovered_sim.Resume(*recovered_sched, events);
+
+      EXPECT_TRUE(recovered.recovery.recovered) << tag;
+      EXPECT_EQ(RecordsCsv(recovered), want_records) << tag;
+      EXPECT_EQ(NormalizedReportCsv(recovered), want_report) << tag;
     }
   }
 }

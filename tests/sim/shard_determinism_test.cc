@@ -16,6 +16,7 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/fault_plan.h"
 #include "metrics/export.h"
 #include "sched/factory.h"
 #include "sim/simulator.h"
@@ -190,6 +191,37 @@ TEST_P(ShardDeterminismTest, LogicalCountersAreThreadCountInvariant) {
   // The workload straddles pods, and the auditor ran sharded passes.
   EXPECT_GT(one.shard_stats.cross_shard_events, 0u);
   EXPECT_GT(one.shard_stats.audit_fanouts, 0u);
+}
+
+// With a lying dataplane and the reconciler on, drift collection runs
+// through the shard mailbox — sharded reconciliation must still match the
+// unsharded run byte for byte at every thread count.
+TEST_P(ShardDeterminismTest, GreyReconciliationIsThreadCountInvariant) {
+  const Fixture fx;
+  const auto events = MakeEvents(fx);
+  SimConfig plain = OracleConfig(fx);
+  plain.faults.grey = fault::ParseGreyModel(
+      "acklie:0.2+straggler:0.25:0.1:0.5+loss:0.1:0.5:1.5");
+  plain.recon.enabled = true;
+  (void)RunWith(fx, plain, GetParam(), events);  // warm the path registry
+  const SimResult baseline = RunWith(fx, plain, GetParam(), events);
+  const std::string want_records = RecordsCsv(baseline);
+  const std::string want_report = NormalizedReportCsv(baseline);
+  ASSERT_GT(baseline.report.drift_rules_detected, 0u);
+
+  const std::vector<std::size_t> thread_counts =
+      quick_mode ? std::vector<std::size_t>{2}
+                 : std::vector<std::size_t>{1, 2, 4, 8};
+  for (const std::size_t threads : thread_counts) {
+    SimConfig sharded = plain;
+    sharded.shards = fx.ft.pod_count();
+    sharded.shard_threads = threads;
+    const SimResult result = RunWith(fx, sharded, GetParam(), events);
+    SCOPED_TRACE("grey threads=" + std::to_string(threads));
+    EXPECT_EQ(RecordsCsv(result), want_records);
+    EXPECT_EQ(NormalizedReportCsv(result), want_report);
+    EXPECT_TRUE(result.shard_stats.enabled);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchedulers, ShardDeterminismTest,

@@ -35,12 +35,15 @@ struct CliOptions {
             << "                  [--k=K] [--events=N] [--inject-bug]\n"
             << "                  [--serve=LOAD] [--serve-rate=R]\n"
             << "                  [--shards=N] [--shard-threads=T]\n"
-            << "                  [--no-determinism] [--out=DIR]\n"
-            << "                  [--replay=ARTIFACT]\n"
+            << "                  [--grey=MODEL] [--no-determinism]\n"
+            << "                  [--out=DIR] [--replay=ARTIFACT]\n"
             << "--serve runs online-serving trials at LOAD x the base rate\n"
             << "(deadline-miss oracle armed; --events = stream seconds).\n"
             << "--shards=N (>= 2) runs every trial on the pod-sharded engine,\n"
-            << "putting the mailbox and round-barrier under the oracles.\n";
+            << "putting the mailbox and round-barrier under the oracles.\n"
+            << "--grey=MODEL pins a grey-failure model on every trial, e.g.\n"
+            << "acklie:0.1+loss:0.05:1:4 (reconciler + drift oracle armed;\n"
+            << "without it roughly a third of trials roll their own model).\n";
   std::exit(2);
 }
 
@@ -90,6 +93,12 @@ CliOptions ParseArgs(int argc, char** argv) {
       if (cli.chaos.shards == 1) Usage("--shards needs >= 2 (or 0 for off)");
     } else if (flag == "--shard-threads") {
       cli.chaos.shard_threads = ParseCount(flag, value);
+    } else if (flag == "--grey") {
+      try {
+        cli.chaos.grey = nu::fault::ParseGreyModel(value).Validate();
+      } catch (const nu::fault::FaultPlanError& e) {
+        Usage("bad value for --grey: " + std::string(e.what()));
+      }
     } else if (flag == "--no-determinism") {
       cli.chaos.check_determinism = false;
     } else if (flag == "--out") {
@@ -161,6 +170,9 @@ int main(int argc, char** argv) {
     if (cli.chaos.shard_threads > 0) {
       std::cout << " shard-threads=" << cli.chaos.shard_threads;
     }
+  }
+  if (cli.chaos.grey.enabled()) {
+    std::cout << " grey=" << nu::fault::FormatGreyModel(cli.chaos.grey);
   }
   std::cout << "\n";
   const nu::exp::ChaosCampaignResult result =

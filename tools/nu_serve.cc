@@ -38,9 +38,11 @@ struct CliOptions {
             << "                [--rate=R] [--no-calibrate] [--seed=S]\n"
             << "                [--k=K] [--duration=D] [--process=NAME]\n"
             << "                [--shards=N] [--shard-threads=T]\n"
-            << "                [--pod-outage] [--out=DIR]\n"
+            << "                [--grey=MODEL] [--pod-outage] [--out=DIR]\n"
             << "--shards=N (>= 2) serves on the pod-sharded engine; the SLO\n"
-            << "timeseries and tenant CSVs are byte-identical to unsharded.\n";
+            << "timeseries and tenant CSVs are byte-identical to unsharded.\n"
+            << "--grey=MODEL serves over a lying dataplane (e.g.\n"
+            << "acklie:0.1+loss:0.05:1:4) with the reconciler armed.\n";
   std::exit(2);
 }
 
@@ -107,6 +109,14 @@ CliOptions ParseArgs(int argc, char** argv) {
       }
     } else if (flag == "--shard-threads") {
       cli.campaign.exp.sim.shard_threads = ParseCount(flag, value);
+    } else if (flag == "--grey") {
+      try {
+        cli.campaign.exp.sim.faults.grey =
+            nu::fault::ParseGreyModel(value).Validate();
+      } catch (const nu::fault::FaultPlanError& e) {
+        Usage("bad value for --grey: " + std::string(e.what()));
+      }
+      cli.campaign.exp.sim.recon.enabled = true;
     } else if (flag == "--pod-outage") {
       cli.campaign.pod_outage = true;
     } else if (flag == "--out") {
@@ -158,6 +168,16 @@ void PrintSummary(const nu::sim::SimResult& result) {
             << ", recovered healthy: " << (s.recovered_healthy ? "yes" : "no")
             << ")\n"
             << "auditor violations: " << result.violations.size() << "\n";
+  const nu::metrics::Report& r = result.report;
+  if (r.drift_checks > 0 || r.grey_ack_lies > 0 || r.grey_stragglers > 0 ||
+      r.grey_rules_lost > 0) {
+    std::cout << "drift: passes=" << r.drift_checks
+              << " detected=" << r.drift_rules_detected
+              << " repaired=" << r.drift_repairs
+              << " abandoned=" << r.drift_rules_abandoned
+              << " quarantined=" << r.switches_quarantined
+              << " residual=" << r.drift_residual_rules << "\n";
+  }
 }
 
 }  // namespace
@@ -197,6 +217,10 @@ int main(int argc, char** argv) {
             << (campaign.pod_outage ? " pod-outage" : "");
   if (campaign.exp.sim.shards >= 2) {
     std::cout << " shards=" << campaign.exp.sim.shards;
+  }
+  if (campaign.exp.sim.faults.grey.enabled()) {
+    std::cout << " grey="
+              << nu::fault::FormatGreyModel(campaign.exp.sim.faults.grey);
   }
   std::cout << "\n";
 
