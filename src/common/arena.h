@@ -1,0 +1,107 @@
+// Bump/arena allocator for per-round scratch. The steady-state round loop
+// (quick-probe scoring, candidate gathering, migration workspaces) used to
+// allocate short-lived vectors on every call; the arena replaces those with
+// pointer bumps into chunks that are reused across rounds: after the first
+// few rounds warm the chunk list, Reset() rewinds without freeing and the
+// loop runs with zero heap allocations (asserted by tests/common/
+// arena_test.cc with a counting global operator new).
+//
+// Only trivially-destructible element types are supported — nothing is ever
+// destroyed, Reset() just rewinds the bump cursors. Alignment is capped at
+// alignof(std::max_align_t), which `operator new[]` guarantees for the
+// chunk base.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace nu {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : next_chunk_bytes_(chunk_bytes) {
+    NU_EXPECTS(chunk_bytes > 0);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialized storage for `count` Ts. Valid until the next Reset().
+  /// count == 0 returns a non-null aligned pointer (never dereferenced).
+  template <typename T>
+  [[nodiscard]] T* AllocArray(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is rewound, never destroyed");
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    return static_cast<T*>(Raw(count * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds every chunk. Previously returned pointers become invalid;
+  /// chunk storage is retained for reuse (no frees, no future mallocs as
+  /// long as the per-reset footprint does not grow past the high-water
+  /// mark).
+  void Reset() {
+    for (Chunk& c : chunks_) c.used = 0;
+    active_ = 0;
+    bytes_in_use_ = 0;
+  }
+
+  /// Bytes handed out since the last Reset (padding included).
+  [[nodiscard]] std::size_t bytes_in_use() const { return bytes_in_use_; }
+
+  /// Maximum bytes_in_use ever observed — the steady-state footprint.
+  [[nodiscard]] std::size_t high_water_bytes() const { return high_water_; }
+
+  /// Chunks allocated over the arena's lifetime. Stable chunk_count across
+  /// Resets means the warmed arena no longer touches the heap.
+  [[nodiscard]] std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void* Raw(std::size_t bytes, std::size_t align) {
+    for (;;) {
+      if (active_ < chunks_.size()) {
+        Chunk& c = chunks_[active_];
+        const std::size_t aligned = (c.used + align - 1) & ~(align - 1);
+        if (aligned + bytes <= c.size) {
+          bytes_in_use_ += (aligned - c.used) + bytes;
+          if (bytes_in_use_ > high_water_) high_water_ = bytes_in_use_;
+          c.used = aligned + bytes;
+          return c.data.get() + aligned;
+        }
+        ++active_;  // tail too small; move on (the waste is bounded)
+        continue;
+      }
+      const std::size_t want = bytes > next_chunk_bytes_ ? bytes
+                                                         : next_chunk_bytes_;
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want, 0});
+      if (next_chunk_bytes_ < kMaxChunkBytes) {
+        next_chunk_bytes_ = std::min(next_chunk_bytes_ * 2, kMaxChunkBytes);
+      }
+    }
+  }
+
+  static constexpr std::size_t kMaxChunkBytes = 8 * 1024 * 1024;
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;
+  std::size_t next_chunk_bytes_;
+  std::size_t bytes_in_use_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace nu

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "net/residual_scan.h"
 
 namespace nu::guard {
 namespace {
@@ -176,8 +177,18 @@ void Auditor::AuditCapacity(const net::Network& network, bool allow_overcommit,
           load[link.value()] += flow.demand;
         }
       });
+  // Vectorized pre-scan over the flat SoA rows flags the (rare) violating
+  // links; the string-building finding collector then runs only on those.
+  // The scan's predicate is the exact union of the collector's three
+  // checks and flags ascend, so findings and their canonical order are
+  // identical to the historical every-link collector loop.
+  flagged_.clear();
+  net::ScanCapacityViolations(network.ResidualArray().data(), load.data(),
+                              network.CapacityArray().data(),
+                              graph.link_count(), allow_overcommit,
+                              kBandwidthEpsilon, 0, flagged_);
   std::vector<Finding> findings;
-  for (std::size_t i = 0; i < graph.link_count(); ++i) {
+  for (const std::uint32_t i : flagged_) {
     CollectCapacityFindings(graph, network, load[i], i, allow_overcommit,
                             findings);
   }
@@ -241,7 +252,16 @@ void Auditor::AuditCapacitySharded(const net::Network& network,
       tasks.push_back(shard.pool->Submit([&, s] {
         const auto start = AuditClock::now();
         const auto [begin, end] = SliceRange(graph.link_count(), shards, s);
-        for (std::size_t i = begin; i < end; ++i) {
+        // Same flag-then-collect split as the serial pass, over this
+        // slice's subrange of the SoA rows (index_base shifts the flags
+        // back to absolute link indices).
+        std::vector<std::uint32_t> flagged;
+        net::ScanCapacityViolations(
+            network.ResidualArray().data() + begin, load.data() + begin,
+            network.CapacityArray().data() + begin, end - begin,
+            allow_overcommit, kBandwidthEpsilon,
+            static_cast<std::uint32_t>(begin), flagged);
+        for (const std::uint32_t i : flagged) {
           CollectCapacityFindings(graph, network, load[i], i, allow_overcommit,
                                   slice_findings[s]);
         }

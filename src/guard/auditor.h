@@ -188,6 +188,9 @@ class Auditor {
 
   AuditorConfig config_;
   std::size_t audits_run_ = 0;
+  /// Reused flag buffer of the serial capacity pre-scan (link indices that
+  /// tripped an invariant; usually empty).
+  std::vector<std::uint32_t> flagged_;
   /// Context of the pass currently running (stamped onto its violations).
   AuditContext context_;
   std::vector<AuditViolation> violations_;

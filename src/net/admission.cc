@@ -1,8 +1,44 @@
 #include "net/admission.h"
 
+#include <algorithm>
 #include <limits>
 
+#include "common/arena.h"
+#include "common/check.h"
+#include "net/residual_scan.h"
+
 namespace nu::net {
+namespace {
+
+/// Per-thread scratch for the batched candidate scans. Admission runs
+/// concurrently on the planner's probe workers, so the arena cannot be a
+/// shared static; per-thread is safe (calls never nest) and a warmed arena
+/// keeps the steady-state admission path allocation-free.
+thread_local Arena t_scan_arena;
+
+/// Gathers `path`'s residual row into `row`: straight indexed loads off the
+/// flat array when the view exposes one, virtual reads otherwise (the
+/// values are identical either way, so feasibility decisions are too).
+void GatherRow(const NetworkView& network, const Mbps* flat,
+               std::span<const LinkId> links, Mbps* row) {
+  if (flat != nullptr) {
+    GatherResiduals(flat, links, row);
+    return;
+  }
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    row[i] = network.Residual(links[i]);
+  }
+}
+
+std::size_t MaxLinkCount(const std::vector<topo::Path>& candidates) {
+  std::size_t max_links = 0;
+  for (const topo::Path& p : candidates) {
+    max_links = std::max(max_links, p.links.size());
+  }
+  return max_links;
+}
+
+}  // namespace
 
 Mbps BottleneckResidual(const NetworkView& network, const topo::Path& path) {
   Mbps bottleneck = std::numeric_limits<double>::infinity();
@@ -12,31 +48,39 @@ Mbps BottleneckResidual(const NetworkView& network, const topo::Path& path) {
   return bottleneck;
 }
 
-std::optional<topo::Path> FindFeasiblePath(const NetworkView& network,
-                                           const topo::PathProvider& paths,
-                                           NodeId src, NodeId dst, Mbps demand,
-                                           PathSelection selection) {
+const topo::Path* FindFeasiblePathPtr(const NetworkView& network,
+                                      const topo::PathProvider& paths,
+                                      NodeId src, NodeId dst, Mbps demand,
+                                      PathSelection selection) {
   const std::vector<topo::Path>& candidates = paths.Paths(src, dst);
+  if (candidates.empty()) return nullptr;
+  Arena& arena = t_scan_arena;
+  arena.Reset();
+  Mbps* row = arena.AllocArray<Mbps>(MaxLinkCount(candidates));
+  const Mbps* flat = network.ResidualData();
+
   const topo::Path* best = nullptr;
   Mbps best_bottleneck = 0.0;
   Mbps best_total = 0.0;
-  auto total_residual = [&network](const topo::Path& p) {
-    Mbps total = 0.0;
-    for (LinkId lid : p.links) total += network.Residual(lid);
-    return total;
-  };
   for (const topo::Path& p : candidates) {
-    if (!network.CanPlace(demand, p)) continue;
+    if (!network.PathAlive(p)) continue;
+    const std::span<const LinkId> links = p.links;
+    GatherRow(network, flat, links, row);
+    // Feasible iff no link of the row is congested for `demand` — the same
+    // ApproxGe predicate CanPlace applies link by link.
+    if (CountCongested(row, links.size(), demand) != 0) continue;
     switch (selection) {
       case PathSelection::kFirstFit:
-        return p;
+        return &p;
       case PathSelection::kWidest: {
         // Primary: max bottleneck. Secondary: max total residual — in
         // multi-rooted trees every candidate shares the host links, so the
         // bottleneck alone frequently ties and would always pack the first
-        // fabric path.
-        const Mbps b = BottleneckResidual(network, p);
-        const Mbps t = total_residual(p);
+        // fabric path. The total stays a scalar sum in path-link order:
+        // tie-breaks compare exact doubles.
+        const Mbps b = MinValue(row, links.size());
+        Mbps t = 0.0;
+        for (std::size_t i = 0; i < links.size(); ++i) t += row[i];
         if (best == nullptr || b > best_bottleneck ||
             (b == best_bottleneck && t > best_total)) {
           best = &p;
@@ -46,8 +90,9 @@ std::optional<topo::Path> FindFeasiblePath(const NetworkView& network,
         break;
       }
       case PathSelection::kBestFit: {
-        const Mbps b = BottleneckResidual(network, p);
-        const Mbps t = total_residual(p);
+        const Mbps b = MinValue(row, links.size());
+        Mbps t = 0.0;
+        for (std::size_t i = 0; i < links.size(); ++i) t += row[i];
         if (best == nullptr || b < best_bottleneck ||
             (b == best_bottleneck && t < best_total)) {
           best = &p;
@@ -58,15 +103,23 @@ std::optional<topo::Path> FindFeasiblePath(const NetworkView& network,
       }
     }
   }
+  return best;
+}
+
+std::optional<topo::Path> FindFeasiblePath(const NetworkView& network,
+                                           const topo::PathProvider& paths,
+                                           NodeId src, NodeId dst, Mbps demand,
+                                           PathSelection selection) {
+  const topo::Path* best =
+      FindFeasiblePathPtr(network, paths, src, dst, demand, selection);
   if (best == nullptr) return std::nullopt;
   return *best;
 }
 
 bool CanAdmit(const NetworkView& network, const topo::PathProvider& paths,
               NodeId src, NodeId dst, Mbps demand) {
-  return FindFeasiblePath(network, paths, src, dst, demand,
-                          PathSelection::kFirstFit)
-      .has_value();
+  return FindFeasiblePathPtr(network, paths, src, dst, demand,
+                             PathSelection::kFirstFit) != nullptr;
 }
 
 const topo::Path& LeastCongestedPath(const NetworkView& network,
@@ -74,14 +127,20 @@ const topo::Path& LeastCongestedPath(const NetworkView& network,
                                      NodeId src, NodeId dst, Mbps demand) {
   const std::vector<topo::Path>& candidates = paths.Paths(src, dst);
   NU_EXPECTS(!candidates.empty());
-  const topo::Path* best = &candidates.front();
-  std::size_t best_congested = network.CongestedLinks(demand, *best).size();
-  Mbps best_bottleneck = BottleneckResidual(network, *best);
-  for (std::size_t i = 1; i < candidates.size(); ++i) {
-    const topo::Path& p = candidates[i];
-    const std::size_t congested = network.CongestedLinks(demand, p).size();
-    const Mbps bottleneck = BottleneckResidual(network, p);
-    if (congested < best_congested ||
+  Arena& arena = t_scan_arena;
+  arena.Reset();
+  Mbps* row = arena.AllocArray<Mbps>(MaxLinkCount(candidates));
+  const Mbps* flat = network.ResidualData();
+
+  const topo::Path* best = nullptr;
+  std::size_t best_congested = 0;
+  Mbps best_bottleneck = 0.0;
+  for (const topo::Path& p : candidates) {
+    const std::span<const LinkId> links = p.links;
+    GatherRow(network, flat, links, row);
+    const std::size_t congested = CountCongested(row, links.size(), demand);
+    const Mbps bottleneck = MinValue(row, links.size());
+    if (best == nullptr || congested < best_congested ||
         (congested == best_congested && bottleneck > best_bottleneck)) {
       best = &p;
       best_congested = congested;

@@ -24,7 +24,20 @@ enum class PathSelection : std::uint8_t {
 };
 
 /// Returns a feasible path for (src, dst, demand) under `selection`, or
-/// nullopt when no candidate path has enough residual everywhere.
+/// nullptr when no candidate path has enough residual everywhere. The
+/// returned path is owned by the provider (stable until its caches are
+/// invalidated — within one planning pass). All candidates are scored in a
+/// batched pass over gathered residual rows (net/residual_scan.h) with
+/// thread-local arena scratch: no allocation, no optional<Path> deep copy.
+/// Tie-breaks are bit-identical to the historical per-link scalar loop
+/// (the kWidest total-residual tie-break sums in path-link order on
+/// purpose — reassociating it would flip near-tie decisions).
+[[nodiscard]] const topo::Path* FindFeasiblePathPtr(
+    const NetworkView& network, const topo::PathProvider& paths, NodeId src,
+    NodeId dst, Mbps demand, PathSelection selection = PathSelection::kWidest);
+
+/// Copying convenience wrapper over FindFeasiblePathPtr; prefer the pointer
+/// form on hot paths.
 [[nodiscard]] std::optional<topo::Path> FindFeasiblePath(
     const NetworkView& network, const topo::PathProvider& paths, NodeId src,
     NodeId dst, Mbps demand, PathSelection selection = PathSelection::kWidest);

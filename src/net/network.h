@@ -45,6 +45,24 @@ class Network final : public MutableNetwork {
   /// Residual bandwidth c_{i,j} of a link.
   [[nodiscard]] Mbps Residual(LinkId link) const override;
 
+  /// The residual store IS a flat array here (updated incrementally by
+  /// Occupy/Release); expose it for the SoA scan kernels.
+  [[nodiscard]] const Mbps* ResidualData() const override {
+    return residual_.data();
+  }
+
+  /// Flat structure-of-arrays rows indexed by LinkId value, for batched
+  /// scans (guard::Auditor's capacity pass, bench_hotloops). The capacity
+  /// row is derived from the graph at construction — it is not serialized
+  /// (snapshot format unchanged) and not counted by ApproxStateBytes (it
+  /// duplicates immutable graph data, so deep copies could share it).
+  [[nodiscard]] std::span<const Mbps> ResidualArray() const {
+    return residual_;
+  }
+  [[nodiscard]] std::span<const Mbps> CapacityArray() const {
+    return capacity_;
+  }
+
   /// Utilization of a link in [0, 1].
   [[nodiscard]] double Utilization(LinkId link) const;
 
@@ -233,6 +251,9 @@ class Network final : public MutableNetwork {
   std::shared_ptr<topo::PathRegistry> registry_;
   flow::FlowTable flows_;
   std::vector<Mbps> residual_;  // by LinkId
+  /// Immutable per-link capacities mirrored from the graph (SoA row for
+  /// batched scans; see CapacityArray()).
+  std::vector<Mbps> capacity_;  // by LinkId
   /// Flow ids on each link, ascending (canonical), 32-bit reps.
   std::vector<std::vector<std::uint32_t>> link_flows_;  // by LinkId
   /// Path ref of each placed flow, indexed by flow id; invalid() = absent.

@@ -36,6 +36,15 @@ class NetworkView {
   /// Residual bandwidth c_{i,j} of a link.
   [[nodiscard]] virtual Mbps Residual(LinkId link) const = 0;
 
+  /// Contiguous per-link residual array indexed by LinkId value, or nullptr
+  /// when this view cannot expose one (copy-on-write overlays patch
+  /// residuals sparsely). Non-null means element i bitwise-equals
+  /// Residual(LinkId{i}) for every link, so the SoA scan kernels
+  /// (net/residual_scan.h) read it directly; callers must keep a
+  /// Residual()-based fallback for views that return nullptr. Valid until
+  /// the next mutation of this view.
+  [[nodiscard]] virtual const Mbps* ResidualData() const { return nullptr; }
+
   [[nodiscard]] virtual bool LinkUp(LinkId link) const = 0;
   [[nodiscard]] virtual bool NodeUp(NodeId node) const = 0;
 

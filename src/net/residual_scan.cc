@@ -1,0 +1,343 @@
+#include "net/residual_scan.h"
+
+#include <cmath>
+#include <limits>
+
+// Backend selection. NU_SIMD_ENABLED is defined by src/CMakeLists.txt when
+// the NU_SIMD cache variable is truthy; "avx2" additionally compiles this
+// one translation unit with -mavx2 (the flag is per-file on purpose — a
+// global -mavx2 would let the compiler contract mul+add into FMAs elsewhere
+// and perturb golden-pinned outputs).
+#if defined(NU_SIMD_ENABLED) && defined(__AVX2__)
+#define NU_SCAN_AVX2 1
+#include <immintrin.h>
+#elif defined(NU_SIMD_ENABLED) && defined(__SSE2__)
+#define NU_SCAN_SSE2 1
+#include <emmintrin.h>
+#endif
+
+namespace nu::net {
+
+namespace scalar {
+
+void GatherResiduals(const Mbps* soa, std::span<const LinkId> links,
+                     Mbps* out) {
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    out[i] = soa[links[i].value()];
+  }
+}
+
+std::size_t CountCongested(const Mbps* row, std::size_t n, Mbps demand) {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    count += (row[i] + kBandwidthEpsilon < demand) ? 1u : 0u;
+  }
+  return count;
+}
+
+WorstDeficit MaxDeficit(const Mbps* row, std::size_t n, Mbps demand) {
+  WorstDeficit r;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (row[i] + kBandwidthEpsilon < demand) {
+      const Mbps d = demand - row[i];
+      if (d > r.deficit) {
+        r.deficit = d;
+        r.index = i;
+        r.residual = row[i];
+      }
+    }
+  }
+  return r;
+}
+
+Mbps MinValue(const Mbps* row, std::size_t n) {
+  Mbps min = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) min = std::min(min, row[i]);
+  return min;
+}
+
+void ScanCapacityViolations(const Mbps* residual, const Mbps* load,
+                            const Mbps* capacity, std::size_t n,
+                            bool allow_overcommit, double eps,
+                            std::uint32_t index_base,
+                            std::vector<std::uint32_t>& flagged) {
+  for (std::size_t i = 0; i < n; ++i) {
+    bool bad = std::abs((capacity[i] - load[i]) - residual[i]) > eps;
+    if (!allow_overcommit) {
+      bad = bad || load[i] > capacity[i] + eps || residual[i] < -eps;
+    }
+    if (bad) flagged.push_back(index_base + static_cast<std::uint32_t>(i));
+  }
+}
+
+}  // namespace scalar
+
+// Gathering is memory-bound indexed loads either way; one definition
+// serves every backend.
+void GatherResiduals(const Mbps* soa, std::span<const LinkId> links,
+                     Mbps* out) {
+  scalar::GatherResiduals(soa, links, out);
+}
+
+#if defined(NU_SCAN_AVX2)
+
+const char* SimdBackend() { return "avx2"; }
+
+std::size_t CountCongested(const Mbps* row, std::size_t n, Mbps demand) {
+  const __m256d veps = _mm256_set1_pd(kBandwidthEpsilon);
+  const __m256d vdemand = _mm256_set1_pd(demand);
+  // Compare masks are all-ones int64 lanes; subtracting them accumulates
+  // per-lane hit counts without a movemask/popcount in the loop.
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d c0 = _mm256_cmp_pd(
+        _mm256_add_pd(_mm256_loadu_pd(row + i), veps), vdemand, _CMP_LT_OQ);
+    const __m256d c1 = _mm256_cmp_pd(
+        _mm256_add_pd(_mm256_loadu_pd(row + i + 4), veps), vdemand,
+        _CMP_LT_OQ);
+    acc = _mm256_sub_epi64(acc, _mm256_castpd_si256(c0));
+    acc = _mm256_sub_epi64(acc, _mm256_castpd_si256(c1));
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d c = _mm256_cmp_pd(
+        _mm256_add_pd(_mm256_loadu_pd(row + i), veps), vdemand, _CMP_LT_OQ);
+    acc = _mm256_sub_epi64(acc, _mm256_castpd_si256(c));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t count =
+      static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; i < n; ++i) count += (row[i] + kBandwidthEpsilon < demand) ? 1u : 0u;
+  return count;
+}
+
+WorstDeficit MaxDeficit(const Mbps* row, std::size_t n, Mbps demand) {
+  const __m256d veps = _mm256_set1_pd(kBandwidthEpsilon);
+  const __m256d vdemand = _mm256_set1_pd(demand);
+  __m256d vmax = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(row + i);
+    const __m256d congested =
+        _mm256_cmp_pd(_mm256_add_pd(v, veps), vdemand, _CMP_LT_OQ);
+    // Deficit where congested, 0.0 elsewhere; congested deficits are
+    // > epsilon > 0, so the zero lanes never win the max.
+    const __m256d deficit =
+        _mm256_and_pd(_mm256_sub_pd(vdemand, v), congested);
+    vmax = _mm256_max_pd(vmax, deficit);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vmax);
+  Mbps max = std::max(std::max(lanes[0], lanes[1]),
+                      std::max(lanes[2], lanes[3]));
+  for (; i < n; ++i) {
+    if (row[i] + kBandwidthEpsilon < demand) {
+      max = std::max(max, demand - row[i]);
+    }
+  }
+  WorstDeficit r;
+  if (max <= 0.0) return r;
+  // First position attaining the max — the strict-greater scalar scan's
+  // pick. Subtraction is exact per lane, so equality rescan is safe.
+  for (std::size_t j = 0; j < n; ++j) {
+    if (row[j] + kBandwidthEpsilon < demand && demand - row[j] == max) {
+      r.deficit = max;
+      r.index = j;
+      r.residual = row[j];
+      return r;
+    }
+  }
+  return r;  // unreachable
+}
+
+Mbps MinValue(const Mbps* row, std::size_t n) {
+  __m256d vmin = _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vmin = _mm256_min_pd(vmin, _mm256_loadu_pd(row + i));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vmin);
+  Mbps min = std::min(std::min(lanes[0], lanes[1]),
+                      std::min(lanes[2], lanes[3]));
+  for (; i < n; ++i) min = std::min(min, row[i]);
+  return min;
+}
+
+void ScanCapacityViolations(const Mbps* residual, const Mbps* load,
+                            const Mbps* capacity, std::size_t n,
+                            bool allow_overcommit, double eps,
+                            std::uint32_t index_base,
+                            std::vector<std::uint32_t>& flagged) {
+  const __m256d veps = _mm256_set1_pd(eps);
+  const __m256d vneg_eps = _mm256_set1_pd(-eps);
+  const __m256d abs_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(
+      static_cast<long long>(0x7fffffffffffffffULL)));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d res = _mm256_loadu_pd(residual + i);
+    const __m256d ld = _mm256_loadu_pd(load + i);
+    const __m256d cap = _mm256_loadu_pd(capacity + i);
+    const __m256d diff = _mm256_sub_pd(_mm256_sub_pd(cap, ld), res);
+    __m256d bad = _mm256_cmp_pd(_mm256_and_pd(diff, abs_mask), veps,
+                                _CMP_GT_OQ);
+    if (!allow_overcommit) {
+      const __m256d over =
+          _mm256_cmp_pd(ld, _mm256_add_pd(cap, veps), _CMP_GT_OQ);
+      const __m256d negative = _mm256_cmp_pd(res, vneg_eps, _CMP_LT_OQ);
+      bad = _mm256_or_pd(bad, _mm256_or_pd(over, negative));
+    }
+    unsigned mask = static_cast<unsigned>(_mm256_movemask_pd(bad));
+    while (mask != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+      flagged.push_back(index_base + static_cast<std::uint32_t>(i + lane));
+      mask &= mask - 1;
+    }
+  }
+  if (i < n) {
+    scalar::ScanCapacityViolations(residual + i, load + i, capacity + i,
+                                   n - i, allow_overcommit, eps,
+                                   index_base + static_cast<std::uint32_t>(i),
+                                   flagged);
+  }
+}
+
+#elif defined(NU_SCAN_SSE2)
+
+const char* SimdBackend() { return "sse2"; }
+
+std::size_t CountCongested(const Mbps* row, std::size_t n, Mbps demand) {
+  const __m128d veps = _mm_set1_pd(kBandwidthEpsilon);
+  const __m128d vdemand = _mm_set1_pd(demand);
+  // Compare masks are all-ones int64 lanes; subtracting them accumulates
+  // per-lane hit counts without a movemask/popcount in the loop.
+  __m128i acc = _mm_setzero_si128();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128d c0 =
+        _mm_cmplt_pd(_mm_add_pd(_mm_loadu_pd(row + i), veps), vdemand);
+    const __m128d c1 =
+        _mm_cmplt_pd(_mm_add_pd(_mm_loadu_pd(row + i + 2), veps), vdemand);
+    acc = _mm_sub_epi64(acc, _mm_castpd_si128(c0));
+    acc = _mm_sub_epi64(acc, _mm_castpd_si128(c1));
+  }
+  for (; i + 2 <= n; i += 2) {
+    const __m128d c =
+        _mm_cmplt_pd(_mm_add_pd(_mm_loadu_pd(row + i), veps), vdemand);
+    acc = _mm_sub_epi64(acc, _mm_castpd_si128(c));
+  }
+  alignas(16) std::uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  std::size_t count = static_cast<std::size_t>(lanes[0] + lanes[1]);
+  for (; i < n; ++i) count += (row[i] + kBandwidthEpsilon < demand) ? 1u : 0u;
+  return count;
+}
+
+WorstDeficit MaxDeficit(const Mbps* row, std::size_t n, Mbps demand) {
+  const __m128d veps = _mm_set1_pd(kBandwidthEpsilon);
+  const __m128d vdemand = _mm_set1_pd(demand);
+  __m128d vmax = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d v = _mm_loadu_pd(row + i);
+    const __m128d congested = _mm_cmplt_pd(_mm_add_pd(v, veps), vdemand);
+    const __m128d deficit = _mm_and_pd(_mm_sub_pd(vdemand, v), congested);
+    vmax = _mm_max_pd(vmax, deficit);
+  }
+  alignas(16) double lanes[2];
+  _mm_store_pd(lanes, vmax);
+  Mbps max = std::max(lanes[0], lanes[1]);
+  for (; i < n; ++i) {
+    if (row[i] + kBandwidthEpsilon < demand) {
+      max = std::max(max, demand - row[i]);
+    }
+  }
+  WorstDeficit r;
+  if (max <= 0.0) return r;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (row[j] + kBandwidthEpsilon < demand && demand - row[j] == max) {
+      r.deficit = max;
+      r.index = j;
+      r.residual = row[j];
+      return r;
+    }
+  }
+  return r;  // unreachable
+}
+
+Mbps MinValue(const Mbps* row, std::size_t n) {
+  __m128d vmin = _mm_set1_pd(std::numeric_limits<double>::infinity());
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) vmin = _mm_min_pd(vmin, _mm_loadu_pd(row + i));
+  alignas(16) double lanes[2];
+  _mm_store_pd(lanes, vmin);
+  Mbps min = std::min(lanes[0], lanes[1]);
+  for (; i < n; ++i) min = std::min(min, row[i]);
+  return min;
+}
+
+void ScanCapacityViolations(const Mbps* residual, const Mbps* load,
+                            const Mbps* capacity, std::size_t n,
+                            bool allow_overcommit, double eps,
+                            std::uint32_t index_base,
+                            std::vector<std::uint32_t>& flagged) {
+  const __m128d veps = _mm_set1_pd(eps);
+  const __m128d vneg_eps = _mm_set1_pd(-eps);
+  const __m128d abs_mask = _mm_castsi128_pd(_mm_set1_epi64x(
+      static_cast<long long>(0x7fffffffffffffffULL)));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d res = _mm_loadu_pd(residual + i);
+    const __m128d ld = _mm_loadu_pd(load + i);
+    const __m128d cap = _mm_loadu_pd(capacity + i);
+    const __m128d diff = _mm_sub_pd(_mm_sub_pd(cap, ld), res);
+    __m128d bad = _mm_cmpgt_pd(_mm_and_pd(diff, abs_mask), veps);
+    if (!allow_overcommit) {
+      const __m128d over = _mm_cmpgt_pd(ld, _mm_add_pd(cap, veps));
+      const __m128d negative = _mm_cmplt_pd(res, vneg_eps);
+      bad = _mm_or_pd(bad, _mm_or_pd(over, negative));
+    }
+    unsigned mask = static_cast<unsigned>(_mm_movemask_pd(bad));
+    while (mask != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+      flagged.push_back(index_base + static_cast<std::uint32_t>(i + lane));
+      mask &= mask - 1;
+    }
+  }
+  if (i < n) {
+    scalar::ScanCapacityViolations(residual + i, load + i, capacity + i,
+                                   n - i, allow_overcommit, eps,
+                                   index_base + static_cast<std::uint32_t>(i),
+                                   flagged);
+  }
+}
+
+#else  // NU_SIMD off (or a non-x86 target): dispatch to the reference loops.
+
+const char* SimdBackend() { return "scalar"; }
+
+std::size_t CountCongested(const Mbps* row, std::size_t n, Mbps demand) {
+  return scalar::CountCongested(row, n, demand);
+}
+
+WorstDeficit MaxDeficit(const Mbps* row, std::size_t n, Mbps demand) {
+  return scalar::MaxDeficit(row, n, demand);
+}
+
+Mbps MinValue(const Mbps* row, std::size_t n) {
+  return scalar::MinValue(row, n);
+}
+
+void ScanCapacityViolations(const Mbps* residual, const Mbps* load,
+                            const Mbps* capacity, std::size_t n,
+                            bool allow_overcommit, double eps,
+                            std::uint32_t index_base,
+                            std::vector<std::uint32_t>& flagged) {
+  scalar::ScanCapacityViolations(residual, load, capacity, n,
+                                 allow_overcommit, eps, index_base, flagged);
+}
+
+#endif
+
+}  // namespace nu::net

@@ -11,6 +11,7 @@
 
 #include "ckpt/journal.h"
 #include "ckpt/snapshot.h"
+#include "common/arena.h"
 #include "common/binio.h"
 #include "common/logging.h"
 #include "common/rng_streams.h"
@@ -40,6 +41,11 @@ struct ProbeRuntime {
   bool cache_enabled = true;
   /// Non-null when parallel candidate probing is on.
   ThreadPool* pool = nullptr;
+  /// Run-wide scratch for quick-probe scoring. Quick probes only ever run
+  /// on the simulation thread (the parallel and sharded batch paths handle
+  /// full probes exclusively), so one arena serves the whole run and the
+  /// steady-state scoring loop stays allocation-free once warmed.
+  Arena score_arena;
   metrics::ProbeStats stats;
 };
 
@@ -249,8 +255,8 @@ class RoundContext final : public sched::SchedulingContext {
         return entry->cost;
       }
       const auto start = ProbeClock::now();
-      const Mbps score =
-          update::QuickCostScore(network_, planner_.paths(), event);
+      const Mbps score = update::QuickCostScore(network_, planner_.paths(),
+                                                event, probe_rt_.score_arena);
       probe_rt_.stats.probe_wall_seconds += SecondsSince(start);
       CacheStore(event.id(), score, nullptr);
       return score;
@@ -1101,9 +1107,9 @@ SimResult Simulator::RunEventLoop(sched::Scheduler& scheduler,
         const flow::Flow& f = ae.event->flows()[flow_idx];
         Mbps migrated = 0.0;
         std::optional<FlowId> placed;
-        if (auto direct = net::FindFeasiblePath(network, provider, f.src,
-                                                f.dst, f.demand,
-                                                config_.path_selection)) {
+        if (const topo::Path* direct = net::FindFeasiblePathPtr(
+                network, provider, f.src, f.dst, f.demand,
+                config_.path_selection)) {
           placed = network.Place(f, *direct);
           total_plan_time += costs.plan_time_per_flow;
         } else if (++ae.retry_failures % kMigrationRetryPeriod == 0) {
@@ -2397,7 +2403,7 @@ SimResult Simulator::RunFlowLevel(
     if (item->retry_failures == 0 ||
         item->retry_failures % kMigrationRetryPeriod == 0) {
       placed = planner.PlaceFlow(network, f, &migrated);
-    } else if (auto direct = net::FindFeasiblePath(
+    } else if (const topo::Path* direct = net::FindFeasiblePathPtr(
                    network, paths_, f.src, f.dst, f.demand,
                    config_.path_selection)) {
       placed = network.Place(f, *direct);

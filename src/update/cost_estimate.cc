@@ -1,93 +1,98 @@
 #include "update/cost_estimate.h"
 
 #include <algorithm>
-#include <limits>
-#include <vector>
+#include <cstdint>
+
+#include "net/residual_scan.h"
 
 namespace nu::update {
 namespace {
 
-/// Per-call residual memo. Candidate paths of one event overlap heavily
-/// (all share host links; fabric links repeat across candidates), so each
-/// link's residual is fetched from the network once and then served from a
-/// flat array.
-class ResidualScratch {
- public:
-  explicit ResidualScratch(const net::NetworkView& network)
-      : network_(&network),
-        value_(network.graph().link_count(), 0.0),
-        known_(network.graph().link_count(), 0) {}
+/// Residual source for one estimate call. When the view exposes its flat
+/// residual array the rows are gathered with straight indexed loads; when
+/// it cannot (copy-on-write overlays), each link's residual is fetched
+/// through the virtual Residual() once and memoized in arena-backed flat
+/// arrays — the per-call scratch vectors the old implementation allocated
+/// on every estimate now live in the caller's reusable arena.
+struct ResidualSource {
+  const net::NetworkView* network = nullptr;
+  const Mbps* flat = nullptr;  // non-null: SoA fast path
+  Mbps* memo_value = nullptr;
+  unsigned char* memo_known = nullptr;
 
-  Mbps Get(LinkId lid) {
-    const auto i = lid.value();
-    if (known_[i] == 0) {
-      value_[i] = network_->Residual(lid);
-      known_[i] = 1;
+  void GatherRow(std::span<const LinkId> links, Mbps* row) {
+    if (flat != nullptr) {
+      net::GatherResiduals(flat, links, row);
+      return;
     }
-    return value_[i];
-  }
-
- private:
-  const net::NetworkView* network_;
-  std::vector<Mbps> value_;
-  std::vector<char> known_;
-};
-
-/// Deficit of placing `demand` on `path`: the WORST single-link shortfall.
-/// Clearing a link requires migrating at least its deficit off it, so the
-/// max over links lower-bounds the migrated traffic (a sum would
-/// double-count: one migrated flow often relieves several links at once).
-/// Also reports the movable traffic on that worst link (an upper bound on
-/// what migration could free there).
-struct PathDeficit {
-  Mbps deficit = 0.0;
-  Mbps movable = 0.0;
-};
-
-PathDeficit DeficitOn(const net::NetworkView& network,
-                      ResidualScratch& residuals, const topo::Path& path,
-                      Mbps demand) {
-  PathDeficit result;
-  for (LinkId lid : path.links) {
-    const Mbps residual = residuals.Get(lid);
-    if (ApproxGe(residual, demand)) continue;
-    const Mbps link_deficit = demand - residual;
-    if (link_deficit > result.deficit) {
-      result.deficit = link_deficit;
-      const topo::Link& link = network.graph().link(lid);
-      result.movable = link.capacity - residual;
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      const auto rep = links[i].value();
+      if (memo_known[rep] == 0) {
+        memo_value[rep] = network->Residual(links[i]);
+        memo_known[rep] = 1;
+      }
+      row[i] = memo_value[rep];
     }
   }
-  return result;
-}
+};
 
 }  // namespace
 
 QuickCostResult QuickCostEstimate(const net::NetworkView& network,
                                   const topo::PathProvider& paths,
-                                  const UpdateEvent& event) {
+                                  const UpdateEvent& event, Arena& scratch) {
   QuickCostResult result;
-  ResidualScratch residuals(network);
+  scratch.Reset();
+
+  ResidualSource source;
+  source.network = &network;
+  source.flat = network.ResidualData();
+  if (source.flat == nullptr) {
+    const std::size_t links = network.graph().link_count();
+    source.memo_value = scratch.AllocArray<Mbps>(links);
+    source.memo_known = scratch.AllocArray<unsigned char>(links);
+    std::fill_n(source.memo_known, links, static_cast<unsigned char>(0));
+  }
+
   for (const flow::Flow& f : event.flows()) {
     const std::vector<topo::Path>& candidates = paths.Paths(f.src, f.dst);
     if (candidates.empty()) {
       ++result.likely_blocked;
       continue;
     }
-    Mbps best_deficit = std::numeric_limits<double>::infinity();
-    Mbps movable_at_best = 0.0;
+
+    // Batched pass: gather each candidate's residual row into contiguous
+    // scratch and reduce it with the MaxDeficit kernel. Winner selection is
+    // the historical control flow verbatim — strict < with the first
+    // candidate winning ties, early exit the moment the running best fits
+    // outright (a later candidate can only tie at deficit 0 and would lose
+    // the tie anyway) — so results are bit-identical to the scalar loop.
+    const std::size_t n = candidates.size();
+    net::WorstDeficit* worst = scratch.AllocArray<net::WorstDeficit>(n);
+    std::size_t max_links = 0;
     for (const topo::Path& p : candidates) {
-      const PathDeficit d = DeficitOn(network, residuals, p, f.demand);
-      if (d.deficit < best_deficit) {
-        best_deficit = d.deficit;
-        movable_at_best = d.movable;
-        if (best_deficit <= kBandwidthEpsilon) break;  // fits outright
-      }
+      max_links = std::max(max_links, p.links.size());
     }
-    if (best_deficit <= kBandwidthEpsilon) continue;
+    Mbps* row = scratch.AllocArray<Mbps>(max_links);
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const std::span<const LinkId> links = candidates[c].links;
+      source.GatherRow(links, row);
+      worst[c] = net::MaxDeficit(row, links.size(), f.demand);
+      if (c > 0 && worst[c].deficit < worst[best].deficit) best = c;
+      if (worst[best].deficit <= kBandwidthEpsilon) break;  // fits outright
+    }
+    if (worst[best].deficit <= kBandwidthEpsilon) continue;  // fits outright
+
     ++result.flows_with_deficit;
-    result.deficit_sum += best_deficit;
-    if (best_deficit > movable_at_best + kBandwidthEpsilon) {
+    result.deficit_sum += worst[best].deficit;
+    // Movable traffic on the winning candidate's worst link: capacity minus
+    // the GATHERED residual (recomputing it from the deficit would not be
+    // bit-identical).
+    const LinkId worst_link = candidates[best].links[worst[best].index];
+    const Mbps movable =
+        network.graph().link(worst_link).capacity - worst[best].residual;
+    if (worst[best].deficit > movable + kBandwidthEpsilon) {
       // Even migrating everything off the congested links cannot free
       // enough: the shortfall is structural (e.g. a saturated host uplink).
       ++result.likely_blocked;
@@ -96,10 +101,18 @@ QuickCostResult QuickCostEstimate(const net::NetworkView& network,
   return result;
 }
 
+QuickCostResult QuickCostEstimate(const net::NetworkView& network,
+                                  const topo::PathProvider& paths,
+                                  const UpdateEvent& event) {
+  Arena scratch;
+  return QuickCostEstimate(network, paths, event, scratch);
+}
+
 Mbps QuickCostScore(const net::NetworkView& network,
-                    const topo::PathProvider& paths,
-                    const UpdateEvent& event) {
-  const QuickCostResult estimate = QuickCostEstimate(network, paths, event);
+                    const topo::PathProvider& paths, const UpdateEvent& event,
+                    Arena& scratch) {
+  const QuickCostResult estimate =
+      QuickCostEstimate(network, paths, event, scratch);
   Mbps score = estimate.deficit_sum;
   // Mirror the simulator's full-probe penalty: blocked flows are charged
   // their demand at 10x. We do not know which specific flows are blocked
@@ -110,6 +123,13 @@ Mbps QuickCostScore(const net::NetworkView& network,
     score += 10.0 * mean_demand * static_cast<double>(estimate.likely_blocked);
   }
   return score;
+}
+
+Mbps QuickCostScore(const net::NetworkView& network,
+                    const topo::PathProvider& paths,
+                    const UpdateEvent& event) {
+  Arena scratch;
+  return QuickCostScore(network, paths, event, scratch);
 }
 
 }  // namespace nu::update

@@ -236,9 +236,10 @@ std::optional<std::vector<std::size_t>> SelectCoverSet(
   return std::nullopt;
 }
 
-std::optional<topo::Path> FindRerouteTarget(
-    const net::NetworkView& network, const topo::PathProvider& paths,
-    FlowId flow, const std::unordered_set<LinkId::rep_type>& forbidden) {
+const topo::Path* FindRerouteTargetPtr(const net::NetworkView& network,
+                                       const topo::PathProvider& paths,
+                                       FlowId flow,
+                                       std::span<const char> forbidden_mask) {
   const flow::Flow& f = network.FlowOf(flow);
   const topo::Path& current = network.PathOf(flow);
   const std::vector<topo::Path>& candidates = paths.Paths(f.src, f.dst);
@@ -250,7 +251,7 @@ std::optional<topo::Path> FindRerouteTarget(
     bool usable = true;
     Mbps bottleneck = std::numeric_limits<double>::infinity();
     for (LinkId lid : candidate.links) {
-      if (forbidden.contains(lid.value())) {
+      if (!forbidden_mask.empty() && forbidden_mask[lid.value()] != 0) {
         usable = false;
         break;
       }
@@ -270,6 +271,18 @@ std::optional<topo::Path> FindRerouteTarget(
       best_bottleneck = bottleneck;
     }
   }
+  return best;
+}
+
+std::optional<topo::Path> FindRerouteTarget(
+    const net::NetworkView& network, const topo::PathProvider& paths,
+    FlowId flow, const std::unordered_set<LinkId::rep_type>& forbidden) {
+  std::vector<char> mask;
+  if (!forbidden.empty()) {
+    mask.assign(network.graph().link_count(), 0);
+    for (const LinkId::rep_type rep : forbidden) mask[rep] = 1;
+  }
+  const topo::Path* best = FindRerouteTargetPtr(network, paths, flow, mask);
   if (best == nullptr) return std::nullopt;
   return *best;
 }
@@ -304,9 +317,10 @@ MigrationPlan MigrationOptimizer::PlanOn(net::MutableNetwork& scratch,
   }
 
   // Reroute targets must stay off the desired path entirely: touching even a
-  // currently-uncongested link of it could create a fresh deficit.
-  std::unordered_set<LinkId::rep_type> forbidden;
-  for (LinkId lid : desired_path.links) forbidden.insert(lid.value());
+  // currently-uncongested link of it could create a fresh deficit. Flat
+  // byte mask — the reroute scan tests every candidate link against it.
+  std::vector<char> forbidden(scratch.graph().link_count(), 0);
+  for (LinkId lid : desired_path.links) forbidden[lid.value()] = 1;
 
   // A congested link's deficit can only shrink as flows leave it, but we
   // re-scan because selections are re-validated; bound the passes.
@@ -329,7 +343,7 @@ MigrationPlan MigrationOptimizer::PlanOn(net::MutableNetwork& scratch,
       movable.reserve(on_link.size());
       for (const std::uint32_t rep : on_link) {
         const FlowId fid{rep};
-        if (FindRerouteTarget(scratch, paths_, fid, forbidden).has_value()) {
+        if (FindRerouteTargetPtr(scratch, paths_, fid, forbidden) != nullptr) {
           movable.push_back(fid);
           weights.push_back(scratch.FlowOf(fid).demand);
         }
@@ -347,8 +361,9 @@ MigrationPlan MigrationOptimizer::PlanOn(net::MutableNetwork& scratch,
         const FlowId fid = movable[idx];
         // Re-resolve the target against the *current* scratch state: earlier
         // moves in this selection may have consumed the original target.
-        const auto target = FindRerouteTarget(scratch, paths_, fid, forbidden);
-        if (!target.has_value()) continue;
+        const topo::Path* target =
+            FindRerouteTargetPtr(scratch, paths_, fid, forbidden);
+        if (target == nullptr) continue;
         const Mbps moved = scratch.FlowOf(fid).demand;
         scratch.Reroute(fid, *target);
         plan.moves.push_back(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -102,6 +103,14 @@ class MigrationOptimizer {
 [[nodiscard]] std::optional<topo::Path> FindRerouteTarget(
     const net::NetworkView& network, const topo::PathProvider& paths,
     FlowId flow, const std::unordered_set<LinkId::rep_type>& forbidden);
+
+/// Hot-path form: provider-owned pointer result (no Path copy, nullptr =
+/// no target) and the forbidden set as a flat byte mask indexed by LinkId
+/// value (empty = nothing forbidden). PlanOn builds the mask once per plan
+/// and scans it branch-cheaply instead of paying a hash probe per link.
+[[nodiscard]] const topo::Path* FindRerouteTargetPtr(
+    const net::NetworkView& network, const topo::PathProvider& paths,
+    FlowId flow, std::span<const char> forbidden_mask);
 
 /// Min-sum subset cover: choose indices of `weights` with total >= deficit
 /// minimizing the chosen sum. Strategies as above (exact uses

@@ -34,8 +34,8 @@ EventPlan EventPlanner::PlanInto(net::MutableNetwork& state,
     action.flow_index = i;
 
     // 1. Direct admission on a feasible path, if one exists.
-    if (auto direct = net::FindFeasiblePath(state, paths_, f.src, f.dst,
-                                            f.demand, path_selection_)) {
+    if (const topo::Path* direct = net::FindFeasiblePathPtr(
+            state, paths_, f.src, f.dst, f.demand, path_selection_)) {
       action.path = state.path_registry().Intern(*direct);
       action.migration.feasible = true;
       action.placeable = true;
@@ -130,8 +130,8 @@ ExecutionResult EventPlanner::ExecuteWithPlan(net::MutableNetwork& network,
 std::optional<FlowId> EventPlanner::PlaceFlow(net::MutableNetwork& network,
                                               flow::Flow flow, Mbps* migrated,
                                               std::size_t* moves) const {
-  if (auto direct = net::FindFeasiblePath(network, paths_, flow.src, flow.dst,
-                                          flow.demand, path_selection_)) {
+  if (const topo::Path* direct = net::FindFeasiblePathPtr(
+          network, paths_, flow.src, flow.dst, flow.demand, path_selection_)) {
     return network.Place(std::move(flow), *direct);
   }
   if (paths_.Paths(flow.src, flow.dst).empty()) return std::nullopt;
